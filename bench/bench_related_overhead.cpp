@@ -1,0 +1,131 @@
+//===- bench/bench_related_overhead.cpp - Related-work comparison ---------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The related-work dimension of the evaluation (Section 9): prior precise
+/// detectors cost 3x-30x because every access pays detector work, while
+/// the paper's pipeline proves most accesses redundant before they reach
+/// the detector.  This harness runs each CPU-bound benchmark under:
+///
+///   - Base (no detection),
+///   - HERD Full (static pruning + cache + ownership + trie),
+///   - Eraser on the full event stream (no static phase, no cache — the
+///     paper reports 10x-30x for the original),
+///   - the vector-clock happens-before detector on the full stream (the
+///     TRaDe-class approach, 4x-15x in the paper).
+///
+/// Shape to check: wherever the static phase prunes accesses (mtrt, sor2)
+/// the full pipeline is dramatically cheaper than any per-access detector;
+/// where pruning finds little (tsp), the compiled-C++ detectors converge —
+/// the 2002 gap there came from the cache hit being ~10 instructions
+/// against an in-VM Java detector path, a ratio a compiled substrate
+/// cannot reproduce.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/EraserDetector.h"
+#include "baselines/VectorClockDetector.h"
+#include "herd/Pipeline.h"
+#include "instr/Instrumenter.h"
+#include "workloads/Workloads.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace herd;
+
+namespace {
+
+double timeWithHooks(const Program &P, RuntimeHooks *Hooks, int Repeats) {
+  double Best = -1;
+  for (int I = 0; I != Repeats; ++I) {
+    InterpOptions Opts;
+    Interpreter Interp(P, Hooks, Opts);
+    auto T0 = std::chrono::steady_clock::now();
+    InterpResult R = Interp.run();
+    double Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+            .count();
+    if (!R.Ok) {
+      std::fprintf(stderr, "run failed: %s\n", R.Error.c_str());
+      std::exit(1);
+    }
+    if (Best < 0 || Seconds < Best)
+      Best = Seconds;
+  }
+  return Best;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint32_t Scale = argc > 1 ? uint32_t(std::atoi(argv[1])) : 120;
+  int Repeats = 3;
+
+  std::printf("Related-work comparison (scale=%u, best of %d):\n", Scale,
+              Repeats);
+  std::printf("(paper: prior precise detectors 3x-30x; Eraser 10x-30x; "
+              "TRaDe-class HB 4x-15x; this paper 13%%-42%%)\n\n");
+  std::printf("%-6s %10s %12s %12s %12s | %8s %8s %8s\n", "prog", "base(s)",
+              "herd-full", "eraser", "vclock", "full-ovh", "eraser-x",
+              "vclock-x");
+
+  for (Workload &W : buildAllWorkloads(Scale)) {
+    if (!W.CpuBound)
+      continue;
+    double Base = timeWithHooks(W.P, nullptr, Repeats);
+
+    // The baselines have no static phase: like the 2002 originals, they
+    // pay instrumentation at EVERY access.  Build that program once.
+    Program EveryAccess = W.P;
+    InstrumenterOptions IOpts;
+    IOpts.UseStaticRaceSet = false;
+    IOpts.StaticWeakerThan = false;
+    IOpts.LoopPeeling = false;
+    instrumentProgram(EveryAccess, IOpts, nullptr);
+
+    // HERD Full: the real pipeline (instrumented program + cache + trie).
+    double Full = 0;
+    {
+      double Best = -1;
+      for (int I = 0; I != Repeats; ++I) {
+        PipelineResult R = runPipeline(W.P, ToolConfig::full());
+        if (!R.Run.Ok)
+          return 1;
+        if (Best < 0 || R.ExecSeconds < Best)
+          Best = R.ExecSeconds;
+      }
+      Full = Best;
+    }
+
+    // Eraser and vector clocks observe every access of the
+    // fully-instrumented program.
+    double Eraser = 0, VClock = 0;
+    {
+      EraserDetector D;
+      Eraser = timeWithHooks(EveryAccess, &D, Repeats);
+    }
+    {
+      VectorClockDetector D;
+      VClock = timeWithHooks(EveryAccess, &D, Repeats);
+    }
+
+    std::printf("%-6s %10.4f %12.4f %12.4f %12.4f | %7.0f%% %7.2fx %7.2fx\n",
+                W.Name.c_str(), Base, Full, Eraser, VClock,
+                (Full - Base) / Base * 100.0, Eraser / Base, VClock / Base);
+  }
+
+  std::printf(
+      "\nNote: the baselines run as compiled C++ observers of an\n"
+      "interpreted program, so their multipliers are far milder than\n"
+      "2002's in-VM instrumentation.  The reproducible claim is the\n"
+      "static-pruning win: on mtrt and sor2 the full pipeline is near\n"
+      "zero-overhead while every per-access detector pays for each of the\n"
+      "untraced accesses; on tsp (little static pruning) the compiled\n"
+      "detectors converge.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+//===- bench/bench_table3_accuracy.cpp - Table 3 regeneration -------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 3, "Number of Objects With Dataraces Reported":
+/// distinct objects reported by Full / FieldsMerged / NoOwnership on all
+/// five benchmarks, extended with the related-work baselines implemented
+/// from scratch (Eraser and object-granularity detection run on the full
+/// event stream) and the Section 8.3 join-idiom comparison.
+///
+/// Paper values: mtrt 2/2/12; tsp 5/20/241; sor2 4/4/1009; elevator
+/// 0/0/16; hedc 5/10/29.  Shape to check: Full is small and corresponds
+/// to the engineered ground truth; FieldsMerged adds spurious objects on
+/// tsp/hedc; NoOwnership floods everywhere; Eraser and object detection
+/// report supersets.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/EraserDetector.h"
+#include "herd/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <set>
+
+using namespace herd;
+
+namespace {
+
+size_t eraserObjects(const Program &P, bool ObjectGranularity) {
+  EraserDetector Eraser(ObjectGranularity);
+  InterpOptions Opts;
+  Opts.TraceEveryAccess = true;
+  Interpreter Interp(P, &Eraser, Opts);
+  InterpResult R = Interp.run();
+  if (!R.Ok) {
+    std::fprintf(stderr, "eraser run failed: %s\n", R.Error.c_str());
+    std::exit(1);
+  }
+  return Eraser.countDistinctObjects();
+}
+
+size_t objectsOf(const Program &P, ToolConfig Config) {
+  PipelineResult R = runPipeline(P, Config);
+  if (!R.Run.Ok) {
+    std::fprintf(stderr, "pipeline run failed: %s\n", R.Run.Error.c_str());
+    std::exit(1);
+  }
+  return R.Reports.countDistinctObjects();
+}
+
+} // namespace
+
+int main() {
+  std::printf("Table 3: number of objects with dataraces reported\n");
+  std::printf("(paper: mtrt 2/2/12; tsp 5/20/241; sor2 4/4/1009;"
+              " elevator 0/0/16; hedc 5/10/29)\n\n");
+  std::printf("%-10s %6s %14s %13s | %8s %10s\n", "program", "Full",
+              "FieldsMerged", "NoOwnership", "Eraser", "ObjGranul");
+
+  for (Workload &W : buildAllWorkloads()) {
+    size_t Full = objectsOf(W.P, ToolConfig::full());
+    size_t Merged = objectsOf(W.P, ToolConfig::fieldsMerged());
+    size_t NoOwn = objectsOf(W.P, ToolConfig::noOwnership());
+    size_t Eraser = eraserObjects(W.P, /*ObjectGranularity=*/false);
+    size_t ObjGran = eraserObjects(W.P, /*ObjectGranularity=*/true);
+    std::printf("%-10s %6zu %14zu %13zu | %8zu %10zu\n", W.Name.c_str(),
+                Full, Merged, NoOwn, Eraser, ObjGran);
+  }
+
+  std::printf("\nSection 8.3 join idiom on mtrt: the parent reads the I/O\n"
+              "statistics lock-free after join(); our dummy join locks make\n"
+              "the three locksets mutually intersecting (no report), while\n"
+              "Eraser's single-common-lock rule reports the object — see\n"
+              "the Eraser column exceeding Full on mtrt above.\n");
+  return 0;
+}

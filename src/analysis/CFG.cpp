@@ -1,0 +1,172 @@
+//===- analysis/CFG.cpp - CFG utilities: RPO, dominators, loops -----------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace herd;
+
+CFG::CFG(const Program &P, MethodId Method) : P(P), M(P.method(Method)) {
+  size_t N = M.Blocks.size();
+  Succs.resize(N);
+  Preds.resize(N);
+  for (size_t BI = 0; BI != N; ++BI) {
+    M.Blocks[BI].appendSuccessors(Succs[BI]);
+    for (BlockId Succ : Succs[BI])
+      Preds[Succ.index()].push_back(BlockId(uint32_t(BI)));
+  }
+  computeRPO();
+  computeDominators();
+  computeLoops();
+}
+
+void CFG::computeRPO() {
+  size_t N = Succs.size();
+  RPOIndex.assign(N, -1);
+  std::vector<BlockId> PostOrder;
+  PostOrder.reserve(N);
+  // Iterative DFS from the entry block.
+  std::vector<uint8_t> Visited(N, 0);
+  struct WorkItem {
+    BlockId Block;
+    size_t NextSucc;
+  };
+  std::vector<WorkItem> Stack;
+  Stack.push_back({BlockId(0), 0});
+  Visited[0] = 1;
+  while (!Stack.empty()) {
+    WorkItem &Item = Stack.back();
+    const std::vector<BlockId> &S = Succs[Item.Block.index()];
+    if (Item.NextSucc < S.size()) {
+      BlockId Next = S[Item.NextSucc++];
+      if (!Visited[Next.index()]) {
+        Visited[Next.index()] = 1;
+        Stack.push_back({Next, 0});
+      }
+      continue;
+    }
+    PostOrder.push_back(Item.Block);
+    Stack.pop_back();
+  }
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (size_t I = 0; I != RPO.size(); ++I)
+    RPOIndex[RPO[I].index()] = int32_t(I);
+}
+
+void CFG::computeDominators() {
+  // Cooper-Harvey-Kennedy iterative algorithm over RPO.
+  size_t N = Succs.size();
+  IDom.assign(N, BlockId::invalid());
+  if (RPO.empty())
+    return;
+  IDom[RPO[0].index()] = RPO[0];
+
+  auto Intersect = [&](BlockId A, BlockId B) {
+    while (A != B) {
+      while (RPOIndex[A.index()] > RPOIndex[B.index()])
+        A = IDom[A.index()];
+      while (RPOIndex[B.index()] > RPOIndex[A.index()])
+        B = IDom[B.index()];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 1; I < RPO.size(); ++I) {
+      BlockId B = RPO[I];
+      BlockId NewIDom = BlockId::invalid();
+      for (BlockId Pred : Preds[B.index()]) {
+        if (!isReachable(Pred) || !IDom[Pred.index()].isValid())
+          continue;
+        NewIDom = NewIDom.isValid() ? Intersect(NewIDom, Pred) : Pred;
+      }
+      assert(NewIDom.isValid() && "reachable block with no processed preds");
+      if (IDom[B.index()] != NewIDom) {
+        IDom[B.index()] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool CFG::dominates(BlockId A, BlockId B) const {
+  assert(isReachable(A) && isReachable(B) && "dominance of unreachable block");
+  // Walk B's dominator chain; RPO indices strictly decrease along it.
+  while (true) {
+    if (A == B)
+      return true;
+    BlockId Next = IDom[B.index()];
+    if (Next == B)
+      return false; // reached the entry
+    B = Next;
+  }
+}
+
+bool CFG::Loop::contains(BlockId B) const {
+  return std::find(Blocks.begin(), Blocks.end(), B) != Blocks.end();
+}
+
+void CFG::computeLoops() {
+  // A back edge T -> H exists when H dominates T; the natural loop is H
+  // plus every block that can reach T without passing through H.
+  std::vector<std::pair<BlockId, BlockId>> BackEdges;
+  for (BlockId B : RPO)
+    for (BlockId Succ : Succs[B.index()])
+      if (isReachable(Succ) && dominates(Succ, B))
+        BackEdges.emplace_back(B, Succ);
+
+  // Group back edges by header.
+  std::vector<uint8_t> InLoop(Succs.size());
+  for (size_t I = 0; I != BackEdges.size(); ++I) {
+    BlockId Header = BackEdges[I].second;
+    // Skip if this header's loop was already built.
+    bool Done = false;
+    for (const Loop &L : Loops)
+      if (L.Header == Header)
+        Done = true;
+    if (Done)
+      continue;
+
+    std::fill(InLoop.begin(), InLoop.end(), 0);
+    InLoop[Header.index()] = 1;
+    std::vector<BlockId> Work;
+    for (const auto &[Tail, H] : BackEdges) {
+      if (H != Header)
+        continue;
+      if (!InLoop[Tail.index()]) {
+        InLoop[Tail.index()] = 1;
+        Work.push_back(Tail);
+      }
+    }
+    while (!Work.empty()) {
+      BlockId B = Work.back();
+      Work.pop_back();
+      for (BlockId Pred : Preds[B.index()]) {
+        if (!isReachable(Pred) || InLoop[Pred.index()])
+          continue;
+        InLoop[Pred.index()] = 1;
+        Work.push_back(Pred);
+      }
+    }
+    Loop L;
+    L.Header = Header;
+    for (size_t BI = 0; BI != InLoop.size(); ++BI)
+      if (InLoop[BI])
+        L.Blocks.push_back(BlockId(uint32_t(BI)));
+    Loops.push_back(std::move(L));
+  }
+}
+
+bool CFG::isInLoop(BlockId Block) const {
+  for (const Loop &L : Loops)
+    if (L.contains(Block))
+      return true;
+  return false;
+}

@@ -1,0 +1,91 @@
+//===- analysis/CFG.h - CFG utilities: RPO, dominators, loops ---*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-method control-flow analyses: predecessor/successor lists, reverse
+/// post-order, the dominator tree (Cooper-Harvey-Kennedy), and natural-loop
+/// discovery.  The instrumentation optimizer uses dominance for the static
+/// weaker-than relation (Section 6.1 uses `dom`; the paper notes `pdom` is
+/// nearly useless in Java because of PEIs) and loops for peeling
+/// (Section 6.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_ANALYSIS_CFG_H
+#define HERD_ANALYSIS_CFG_H
+
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace herd {
+
+/// Control-flow facts for one method.
+class CFG {
+public:
+  CFG(const Program &P, MethodId Method);
+
+  size_t numBlocks() const { return Succs.size(); }
+
+  const std::vector<BlockId> &successors(BlockId Block) const {
+    return Succs[Block.index()];
+  }
+  const std::vector<BlockId> &predecessors(BlockId Block) const {
+    return Preds[Block.index()];
+  }
+
+  /// Blocks in reverse post-order from the entry; unreachable blocks are
+  /// excluded.
+  const std::vector<BlockId> &reversePostOrder() const { return RPO; }
+
+  bool isReachable(BlockId Block) const {
+    return RPOIndex[Block.index()] >= 0;
+  }
+
+  /// Immediate dominator; the entry block's idom is itself.  Only valid for
+  /// reachable blocks.
+  BlockId immediateDominator(BlockId Block) const {
+    return IDom[Block.index()];
+  }
+
+  /// Returns true if \p A dominates \p B (reflexive).
+  bool dominates(BlockId A, BlockId B) const;
+
+  /// A natural loop: the header plus all blocks that reach a back edge
+  /// into it.
+  struct Loop {
+    BlockId Header;
+    std::vector<BlockId> Blocks; ///< includes the header
+    bool contains(BlockId B) const;
+  };
+
+  /// All natural loops, one per header (back edges to the same header are
+  /// merged into one loop).
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// Returns true if \p Block is inside any natural loop.  Used by the
+  /// single-instance analysis (Section 5.3): a statement in a loop may
+  /// execute more than once.
+  bool isInLoop(BlockId Block) const;
+
+private:
+  void computeRPO();
+  void computeDominators();
+  void computeLoops();
+
+  const Program &P;
+  const Method &M;
+  std::vector<std::vector<BlockId>> Succs;
+  std::vector<std::vector<BlockId>> Preds;
+  std::vector<BlockId> RPO;
+  std::vector<int32_t> RPOIndex; ///< -1 for unreachable
+  std::vector<BlockId> IDom;
+  std::vector<Loop> Loops;
+};
+
+} // namespace herd
+
+#endif // HERD_ANALYSIS_CFG_H

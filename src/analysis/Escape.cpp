@@ -1,0 +1,158 @@
+//===- analysis/Escape.cpp - Escape + thread-specific analysis ------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Escape.h"
+
+using namespace herd;
+
+EscapeAnalysis::EscapeAnalysis(const Program &P, const PointsToAnalysis &PT)
+    : P(P), PT(PT) {
+  Escaping.assign(P.numAllocSites(), 0);
+  TSMethod.assign(P.numMethods(), 0);
+  TSField.assign(P.numFields(), 0);
+}
+
+size_t EscapeAnalysis::numEscaping() const {
+  size_t Count = 0;
+  for (uint8_t E : Escaping)
+    Count += E;
+  return Count;
+}
+
+void EscapeAnalysis::run() {
+  // --- Escaping objects -------------------------------------------------
+  // Seeds: anything a static field may point to, and every started thread
+  // object (the thread and its creator both see it).
+  std::vector<AllocSiteId> Work;
+  auto MarkEscaping = [&](AllocSiteId Site) {
+    if (Escaping[Site.index()])
+      return;
+    Escaping[Site.index()] = 1;
+    Work.push_back(Site);
+  };
+
+  for (size_t FI = 0; FI != P.numFields(); ++FI)
+    for (AllocSiteId Site :
+         PT.staticFieldPointsTo(FieldId(uint32_t(FI))))
+      MarkEscaping(Site);
+  for (MethodId Run : PT.startedRunMethods())
+    for (AllocSiteId Site : PT.threadObjectsOf(Run))
+      MarkEscaping(Site);
+
+  // Closure over heap reachability: fields and elements of escaping
+  // objects escape.  (Iterating the full field map per step is fine at
+  // MiniJ program sizes.)
+  while (!Work.empty()) {
+    Work.clear();
+    size_t Before = numEscaping();
+    PT.forEachFieldPts(
+        [&](AllocSiteId Base, FieldId, const ObjSet &Targets) {
+          if (!Escaping[Base.index()])
+            return;
+          for (AllocSiteId Target : Targets)
+            MarkEscaping(Target);
+        });
+    for (size_t SI = 0; SI != P.numAllocSites(); ++SI)
+      if (Escaping[SI])
+        for (AllocSiteId Target :
+             PT.elementPointsTo(AllocSiteId(uint32_t(SI))))
+          MarkEscaping(Target);
+    if (numEscaping() == Before)
+      break;
+  }
+
+  // --- Thread-specific methods ------------------------------------------
+  // Collect direct call sites per callee: (caller, passes caller's `this`).
+  struct CallInfo {
+    MethodId Caller;
+    bool PassesThisThrough;
+  };
+  std::vector<std::vector<CallInfo>> Callers(P.numMethods());
+  for (size_t MI = 0; MI != P.numMethods(); ++MI) {
+    MethodId M{uint32_t(MI)};
+    if (!PT.isMethodReachable(M))
+      continue;
+    const Method &Caller = P.method(M);
+    bool CallerIsInstance = !Caller.IsStatic;
+    for (const BasicBlock &Block : Caller.Blocks)
+      for (const Instr &I : Block.Instrs)
+        if (I.Op == Opcode::Call) {
+          bool Passes = CallerIsInstance && !I.Args.empty() &&
+                        I.Args[0] == RegId(0);
+          Callers[I.Callee.index()].push_back({M, Passes});
+        }
+  }
+
+  // Thread classes: classes of started run methods.
+  std::vector<uint8_t> IsThreadClass(P.numClasses(), 0);
+  for (MethodId Run : PT.startedRunMethods()) {
+    ClassId Cls = P.method(Run).Owner;
+    if (Cls.isValid())
+      IsThreadClass[Cls.index()] = 1;
+    // A run() that is only ever invoked by thread start is the base case.
+    if (Callers[Run.index()].empty())
+      TSMethod[Run.index()] = 1;
+  }
+
+  // Grow: an instance method of a thread class whose callers are all
+  // thread-specific methods of the same class passing `this` through.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t MI = 0; MI != P.numMethods(); ++MI) {
+      MethodId M{uint32_t(MI)};
+      if (TSMethod[MI] || !PT.isMethodReachable(M))
+        continue;
+      const Method &Body = P.method(M);
+      if (Body.IsStatic || !Body.Owner.isValid() ||
+          !IsThreadClass[Body.Owner.index()])
+        continue;
+      if (Callers[MI].empty())
+        continue; // only reachable via start: handled above for run()
+      bool AllTS = true;
+      for (const CallInfo &CI : Callers[MI]) {
+        if (!TSMethod[CI.Caller.index()] || !CI.PassesThisThrough ||
+            P.method(CI.Caller).Owner != Body.Owner) {
+          AllTS = false;
+          break;
+        }
+      }
+      if (AllTS) {
+        TSMethod[MI] = 1;
+        Changed = true;
+      }
+    }
+  }
+
+  // --- Thread-specific fields -------------------------------------------
+  // A field of a thread class is thread-specific when every reachable
+  // access goes through `this` (r0) inside a thread-specific method of the
+  // owning class.
+  std::vector<uint8_t> Candidate(P.numFields(), 0);
+  for (size_t FI = 0; FI != P.numFields(); ++FI) {
+    const FieldDecl &F = P.field(FieldId(uint32_t(FI)));
+    Candidate[FI] =
+        !F.IsStatic && F.Owner.isValid() && IsThreadClass[F.Owner.index()];
+  }
+  for (size_t MI = 0; MI != P.numMethods(); ++MI) {
+    MethodId M{uint32_t(MI)};
+    if (!PT.isMethodReachable(M))
+      continue;
+    const Method &Body = P.method(M);
+    for (const BasicBlock &Block : Body.Blocks)
+      for (const Instr &I : Block.Instrs) {
+        if (I.Op != Opcode::GetField && I.Op != Opcode::PutField)
+          continue;
+        if (!Candidate[I.Field.index()])
+          continue;
+        bool ViaThisInTS = TSMethod[MI] && I.A == RegId(0) &&
+                           Body.Owner == P.field(I.Field).Owner;
+        if (!ViaThisInTS)
+          Candidate[I.Field.index()] = 0;
+      }
+  }
+  TSField = Candidate;
+}

@@ -1,0 +1,74 @@
+//===- analysis/Escape.h - Escape + thread-specific analysis ----*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The escape analysis of Section 5.4 and its thread-specific extension.
+///
+/// *Thread-local* objects are never reachable from any thread other than
+/// their creator; their accesses can never race.  We approximate: an
+/// abstract object escapes when it is reachable (through fields or array
+/// elements) from a static field or from a started thread object — the only
+/// channels through which two MiniJ threads can share references.
+///
+/// *Thread-specific* fields handle the common Java pattern the plain
+/// analysis misses: data hanging off a thread object T, initialized during
+/// construction and thereafter touched only by T itself.  We implement the
+/// field half of the paper's extension: a field of a thread class C is
+/// thread-specific when every reachable access to it goes through the
+/// `this` reference of a *thread-specific method* of C (run(), if never
+/// called directly, plus methods of C called only from thread-specific
+/// methods of C that pass `this` through).  Accesses to thread-specific
+/// fields cannot race.  The object-reachability half ("objects reachable
+/// only through thread-specific fields of a safe thread") is not
+/// implemented; MiniJ has no constructors, so the unsafe-thread subtleties
+/// it guards against cannot arise, and the field rule alone is sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_ANALYSIS_ESCAPE_H
+#define HERD_ANALYSIS_ESCAPE_H
+
+#include "analysis/PointsTo.h"
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace herd {
+
+class EscapeAnalysis {
+public:
+  EscapeAnalysis(const Program &P, const PointsToAnalysis &PT);
+
+  void run();
+
+  /// True when objects from \p Site may be reachable by a non-creator
+  /// thread.
+  bool escapes(AllocSiteId Site) const { return Escaping[Site.index()] != 0; }
+
+  /// True when every reachable access to \p Field goes through `this` of a
+  /// thread-specific method (so the field cannot race).
+  bool isThreadSpecificField(FieldId Field) const {
+    return TSField[Field.index()] != 0;
+  }
+
+  /// True when \p M is a thread-specific method of its class.
+  bool isThreadSpecificMethod(MethodId M) const {
+    return TSMethod[M.index()] != 0;
+  }
+
+  size_t numEscaping() const;
+
+private:
+  const Program &P;
+  const PointsToAnalysis &PT;
+  std::vector<uint8_t> Escaping; ///< [alloc site]
+  std::vector<uint8_t> TSMethod; ///< [method]
+  std::vector<uint8_t> TSField;  ///< [field]
+};
+
+} // namespace herd
+
+#endif // HERD_ANALYSIS_ESCAPE_H

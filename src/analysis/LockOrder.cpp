@@ -1,0 +1,159 @@
+//===- analysis/LockOrder.cpp - Static lock-order analysis ----------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LockOrder.h"
+
+#include <deque>
+#include <functional>
+
+using namespace herd;
+
+LockOrderAnalysis::LockOrderAnalysis(const Program &P,
+                                     const PointsToAnalysis &PT,
+                                     const SingleInstanceAnalysis &SI)
+    : P(P), PT(PT), SI(SI) {}
+
+void LockOrderAnalysis::run() {
+  size_t NumMethods = P.numMethods();
+
+  // Per-method context: abstract locks that MAY be held when the method is
+  // entered — the union over reachable call sites (over-approximation is
+  // the correct polarity for candidate generation).  Thread roots enter
+  // lock-free except for a synchronized run()'s own monitor, handled
+  // locally.
+  std::vector<ObjSet> Context(NumMethods);
+  std::vector<uint8_t> Changed(NumMethods, 1);
+
+  // Walk one method: at every MonitorEnter (and synchronized-method
+  // entry), add edges from each held abstract lock to each acquired one,
+  // and propagate held-sets into callees.  Returns true if any callee
+  // context grew.
+  auto WalkMethod = [&](MethodId M) {
+    bool Grew = false;
+    const Method &Body = P.method(M);
+
+    ObjSet MethodBase = Context[M.index()];
+    if (Body.IsSynchronized) {
+      const ObjSet &Self = PT.pointsTo(M, RegId(0));
+      for (AllocSiteId Held : MethodBase)
+        for (AllocSiteId Acquired : Self)
+          if (Held != Acquired || !SI.isSingleInstanceSite(Held))
+            Edges.emplace(Held, Acquired);
+      MethodBase.unionWith(Self);
+    }
+
+    // Monitor stacks are path-consistent (verifier); BFS with the stack of
+    // may-held sets.
+    using Stack = std::vector<ObjSet>;
+    std::map<uint32_t, Stack> EntryStacks;
+    std::deque<BlockId> Work;
+    std::vector<uint8_t> Visited(Body.Blocks.size(), 0);
+    EntryStacks[0] = {};
+    Visited[0] = 1;
+    Work.push_back(BlockId(0));
+
+    while (!Work.empty()) {
+      BlockId BId = Work.front();
+      Work.pop_front();
+      Stack Current = EntryStacks[BId.index()];
+      for (const Instr &I : Body.block(BId).Instrs) {
+        if (I.Op == Opcode::MonitorEnter) {
+          ObjSet Held = MethodBase;
+          for (const ObjSet &Level : Current)
+            Held.unionWith(Level);
+          const ObjSet &Acquired = PT.pointsTo(M, I.A);
+          for (AllocSiteId H : Held)
+            for (AllocSiteId A : Acquired)
+              if (H != A || !SI.isSingleInstanceSite(H))
+                Edges.emplace(H, A);
+          Current.push_back(Acquired);
+        } else if (I.Op == Opcode::MonitorExit) {
+          if (!Current.empty())
+            Current.pop_back();
+        } else if (I.Op == Opcode::Call) {
+          ObjSet Held = MethodBase;
+          for (const ObjSet &Level : Current)
+            Held.unionWith(Level);
+          if (Context[I.Callee.index()].unionWith(Held)) {
+            Changed[I.Callee.index()] = 1;
+            Grew = true;
+          }
+        }
+      }
+      std::vector<BlockId> Succs;
+      Body.block(BId).appendSuccessors(Succs);
+      for (BlockId Succ : Succs) {
+        if (Visited[Succ.index()])
+          continue;
+        Visited[Succ.index()] = 1;
+        EntryStacks[Succ.index()] = Current;
+        Work.push_back(Succ);
+      }
+    }
+    return Grew;
+  };
+
+  // Iterate until contexts stabilize (contexts only grow; finite lattice).
+  bool Any = true;
+  while (Any) {
+    Any = false;
+    for (size_t MI = 0; MI != NumMethods; ++MI) {
+      MethodId M{uint32_t(MI)};
+      if (!PT.isMethodReachable(M) || !Changed[MI])
+        continue;
+      Changed[MI] = 0;
+      Any |= WalkMethod(M);
+      // Edges are accumulated idempotently, so re-walking is safe.
+    }
+  }
+}
+
+std::vector<StaticLockCycle>
+LockOrderAnalysis::findCycles(size_t MaxLength) const {
+  std::map<AllocSiteId, std::vector<AllocSiteId>> Adj;
+  std::set<StaticLockCycle> Found;
+  for (const auto &[From, To] : Edges) {
+    if (From == To) {
+      // Multi-instance self-edge: already filtered at insertion for
+      // single-instance sites.
+      Found.insert(StaticLockCycle{{From}});
+      continue;
+    }
+    Adj[From].push_back(To);
+  }
+
+  std::function<void(AllocSiteId, std::vector<AllocSiteId> &)> Extend =
+      [&](AllocSiteId Start, std::vector<AllocSiteId> &Path) {
+        auto It = Adj.find(Path.back());
+        if (It == Adj.end())
+          return;
+        for (AllocSiteId Next : It->second) {
+          if (Next == Start && Path.size() >= 2) {
+            Found.insert(StaticLockCycle{Path});
+            continue;
+          }
+          if (Path.size() >= MaxLength)
+            continue;
+          if (Next < Start || Next == Start)
+            continue; // canonical: the start is the smallest site
+          bool Seen = false;
+          for (AllocSiteId OnPath : Path)
+            Seen |= OnPath == Next;
+          if (Seen)
+            continue;
+          Path.push_back(Next);
+          Extend(Start, Path);
+          Path.pop_back();
+        }
+      };
+
+  for (const auto &[Start, Out] : Adj) {
+    (void)Out;
+    std::vector<AllocSiteId> Path = {Start};
+    Extend(Start, Path);
+  }
+  return std::vector<StaticLockCycle>(Found.begin(), Found.end());
+}

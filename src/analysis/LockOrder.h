@@ -1,0 +1,74 @@
+//===- analysis/LockOrder.h - Static lock-order analysis --------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static half of the deadlock co-analysis (the paper's Section 10
+/// future work applies its static/dynamic recipe to deadlocks; the dynamic
+/// half is detect/DeadlockDetector).  In the same spirit as the static
+/// datarace analysis, this pass conservatively over-approximates: it
+/// builds a lock-order graph over *abstract* lock objects (allocation
+/// sites) using may points-to — an edge a → b means some execution may
+/// acquire an object of site b while holding one of site a — and reports
+/// the cycles.  Like IsMayRace, "may" is the right polarity here: missing
+/// an edge could hide a deadlock, while a spurious edge only costs a
+/// candidate for the dynamic detector to refute.
+///
+/// A self-edge on a *multi-instance* site is also a candidate (two objects
+/// of one allocation site acquired in opposite orders — the dining
+/// philosophers pattern, where all forks share one `new Fork()` site); a
+/// self-edge on a single-instance site is reentrancy, not deadlock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_ANALYSIS_LOCKORDER_H
+#define HERD_ANALYSIS_LOCKORDER_H
+
+#include "analysis/PointsTo.h"
+#include "analysis/SingleInstance.h"
+#include "ir/Program.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace herd {
+
+/// A static potential-deadlock candidate: a cycle of abstract lock sites.
+struct StaticLockCycle {
+  std::vector<AllocSiteId> Sites; ///< in cycle order; size 1 = self-cycle
+
+  friend bool operator<(const StaticLockCycle &A, const StaticLockCycle &B) {
+    return A.Sites < B.Sites;
+  }
+};
+
+/// Computes the static lock-order graph and its cycles.
+class LockOrderAnalysis {
+public:
+  LockOrderAnalysis(const Program &P, const PointsToAnalysis &PT,
+                    const SingleInstanceAnalysis &SI);
+
+  void run();
+
+  /// All lock-order edges discovered (abstract from -> to).
+  const std::set<std::pair<AllocSiteId, AllocSiteId>> &edges() const {
+    return Edges;
+  }
+
+  /// Cycles up to \p MaxLength (including multi-instance self-cycles),
+  /// canonicalized and sorted.
+  std::vector<StaticLockCycle> findCycles(size_t MaxLength = 8) const;
+
+private:
+  const Program &P;
+  const PointsToAnalysis &PT;
+  const SingleInstanceAnalysis &SI;
+  std::set<std::pair<AllocSiteId, AllocSiteId>> Edges;
+};
+
+} // namespace herd
+
+#endif // HERD_ANALYSIS_LOCKORDER_H

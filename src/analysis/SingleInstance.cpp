@@ -1,0 +1,116 @@
+//===- analysis/SingleInstance.cpp - Must points-to support ---------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SingleInstance.h"
+
+#include "analysis/CFG.h"
+
+using namespace herd;
+
+SingleInstanceAnalysis::SingleInstanceAnalysis(const Program &P,
+                                               const PointsToAnalysis &PT)
+    : P(P), PT(PT) {
+  MethodOnce.assign(P.numMethods(), 0);
+  SiteOnce.assign(P.numAllocSites(), 0);
+}
+
+void SingleInstanceAnalysis::run() {
+  size_t NumMethods = P.numMethods();
+
+  // Gather, per callee: the reachable direct call sites and whether each
+  // lies in a loop of its caller.  Also the direct-call counts of run
+  // methods (a run that is also called directly is not single-start).
+  struct CallSiteInfo {
+    MethodId Caller;
+    bool InLoop;
+  };
+  std::vector<std::vector<CallSiteInfo>> CallSites(NumMethods);
+  std::vector<CFG> CFGs;
+  CFGs.reserve(NumMethods);
+  for (size_t MI = 0; MI != NumMethods; ++MI)
+    CFGs.emplace_back(P, MethodId(uint32_t(MI)));
+
+  for (size_t MI = 0; MI != NumMethods; ++MI) {
+    MethodId M{uint32_t(MI)};
+    if (!PT.isMethodReachable(M))
+      continue;
+    const Method &Body = P.method(M);
+    for (size_t BI = 0; BI != Body.Blocks.size(); ++BI) {
+      BlockId Block{uint32_t(BI)};
+      if (!CFGs[MI].isReachable(Block))
+        continue;
+      bool InLoop = CFGs[MI].isInLoop(Block);
+      for (const Instr &I : Body.Blocks[BI].Instrs)
+        if (I.Op == Opcode::Call)
+          CallSites[I.Callee.index()].push_back({M, InLoop});
+    }
+  }
+
+  // Fixpoint from "false" upward; the conditions are monotone in the
+  // caller's at-most-once bit, so the least fixpoint correctly rejects
+  // recursion (a self-call site keeps the method at `false`).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t MI = 0; MI != NumMethods; ++MI) {
+      MethodId M{uint32_t(MI)};
+      if (MethodOnce[MI] || !PT.isMethodReachable(M))
+        continue;
+      bool Once = false;
+      if (M == P.MainMethod) {
+        Once = true;
+      } else {
+        bool IsStartedRun = !PT.threadObjectsOf(M).empty();
+        if (IsStartedRun) {
+          // At most one thread object, allocated at most once, and no
+          // direct calls: each object is started at most once, so run
+          // executes at most once.
+          const ObjSet &Objs = PT.threadObjectsOf(M);
+          Once = Objs.size() == 1 && CallSites[MI].empty() &&
+                 SiteOnce[Objs.begin()->index()];
+        } else if (CallSites[MI].size() == 1) {
+          const CallSiteInfo &CS = CallSites[MI][0];
+          Once = !CS.InLoop && MethodOnce[CS.Caller.index()];
+        }
+      }
+      if (Once) {
+        MethodOnce[MI] = 1;
+        Changed = true;
+      }
+    }
+
+    // Allocation sites: the `new` is single-instance when its method runs
+    // at most once and the instruction is not inside a loop.
+    for (size_t MI = 0; MI != NumMethods; ++MI) {
+      if (!MethodOnce[MI])
+        continue;
+      MethodId M{uint32_t(MI)};
+      const Method &Body = P.method(M);
+      for (size_t BI = 0; BI != Body.Blocks.size(); ++BI) {
+        BlockId Block{uint32_t(BI)};
+        if (!CFGs[MI].isReachable(Block) || CFGs[MI].isInLoop(Block))
+          continue;
+        for (const Instr &I : Body.Blocks[BI].Instrs) {
+          if ((I.Op == Opcode::New || I.Op == Opcode::NewArray) &&
+              !SiteOnce[I.AllocSite.index()]) {
+            SiteOnce[I.AllocSite.index()] = 1;
+            Changed = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+ObjSet SingleInstanceAnalysis::mustPointsTo(MethodId M, RegId Reg) const {
+  const ObjSet &May = PT.pointsTo(M, Reg);
+  if (May.size() != 1)
+    return ObjSet();
+  AllocSiteId Site = *May.begin();
+  if (!isSingleInstanceSite(Site))
+    return ObjSet();
+  return May;
+}

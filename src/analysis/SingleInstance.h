@@ -1,0 +1,62 @@
+//===- analysis/SingleInstance.h - Must points-to support -------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single-instance analysis underlying the conservative must points-to
+/// of Section 5.3: a *single-instance statement* executes at most once per
+/// program run; an object allocated at a single-instance `new` is a
+/// *single-instance object*.  A register whose may points-to set is one
+/// single-instance object *must* point to it — the only form of must
+/// points-to the paper (and we) compute.
+///
+/// A method executes at most once when it is main, or it has exactly one
+/// reachable call site, that site is not inside a loop, and the calling
+/// method itself executes at most once.  A started run() executes at most
+/// once when exactly one single-instance thread object can reach it and it
+/// is never also called directly (each object can be started only once).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_ANALYSIS_SINGLEINSTANCE_H
+#define HERD_ANALYSIS_SINGLEINSTANCE_H
+
+#include "analysis/PointsTo.h"
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace herd {
+
+class SingleInstanceAnalysis {
+public:
+  SingleInstanceAnalysis(const Program &P, const PointsToAnalysis &PT);
+
+  /// Runs the fixpoint; call once before queries.
+  void run();
+
+  bool methodAtMostOnce(MethodId M) const {
+    return MethodOnce[M.index()] != 0;
+  }
+
+  /// True when the allocation site's `new` executes at most once.
+  bool isSingleInstanceSite(AllocSiteId Site) const {
+    return SiteOnce[Site.index()] != 0;
+  }
+
+  /// MustPT(reg): the may points-to set when it is a singleton
+  /// single-instance object; empty otherwise (Section 5.3).
+  ObjSet mustPointsTo(MethodId M, RegId Reg) const;
+
+private:
+  const Program &P;
+  const PointsToAnalysis &PT;
+  std::vector<uint8_t> MethodOnce; ///< [method]
+  std::vector<uint8_t> SiteOnce;   ///< [alloc site]
+};
+
+} // namespace herd
+
+#endif // HERD_ANALYSIS_SINGLEINSTANCE_H

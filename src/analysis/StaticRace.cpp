@@ -1,0 +1,163 @@
+//===- analysis/StaticRace.cpp - Static datarace analysis -----------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticRace.h"
+
+#include "analysis/CFG.h"
+
+using namespace herd;
+
+namespace {
+
+/// One access statement prepared for pairing.
+struct AccessStmt {
+  InstrRef Ref;
+  AccessKind Kind = AccessKind::Read;
+  bool IsArray = false;
+  bool IsStatic = false;
+  FieldId Field;        ///< valid for field/static accesses
+  const ObjSet *BasePts = nullptr; ///< may points-to of the base object
+};
+
+bool accMayConflict(const AccessStmt &X, const AccessStmt &Y) {
+  // At least one write (race condition 1's "at least one write" half).
+  if (X.Kind != AccessKind::Write && Y.Kind != AccessKind::Write)
+    return false;
+  if (X.IsArray != Y.IsArray)
+    return false;
+  if (X.IsArray)
+    return X.BasePts->intersects(*Y.BasePts);
+  // Field accesses conflict only on the same field (Equation 2's
+  // field(x) = field(y)).
+  if (X.Field != Y.Field)
+    return false;
+  if (X.IsStatic || Y.IsStatic) {
+    // The same static field is one location; a static and an instance
+    // access never share a field id in MiniJ.
+    return X.IsStatic && Y.IsStatic;
+  }
+  return X.BasePts->intersects(*Y.BasePts);
+}
+
+} // namespace
+
+StaticRaceAnalysis::StaticRaceAnalysis(const Program &P) : P(P) {}
+StaticRaceAnalysis::~StaticRaceAnalysis() = default;
+
+void StaticRaceAnalysis::run() {
+  PT = std::make_unique<PointsToAnalysis>(P);
+  PT->run();
+  SI = std::make_unique<SingleInstanceAnalysis>(P, *PT);
+  SI->run();
+  Threads = std::make_unique<ThreadAnalysis>(P, *PT, *SI);
+  Threads->run();
+  Sync = std::make_unique<SyncAnalysis>(P, *PT, *SI);
+  Sync->run();
+  Esc = std::make_unique<EscapeAnalysis>(P, *PT);
+  Esc->run();
+
+  // Collect reachable access statements, applying the Section 5.4 filters.
+  std::vector<AccessStmt> Accesses;
+  for (size_t MI = 0; MI != P.numMethods(); ++MI) {
+    MethodId M{uint32_t(MI)};
+    if (!PT->isMethodReachable(M))
+      continue;
+    CFG Cfg(P, M);
+    const Method &Body = P.method(M);
+    for (size_t BI = 0; BI != Body.Blocks.size(); ++BI) {
+      BlockId Block{uint32_t(BI)};
+      if (!Cfg.isReachable(Block))
+        continue;
+      const std::vector<Instr> &Instrs = Body.Blocks[BI].Instrs;
+      for (size_t II = 0; II != Instrs.size(); ++II) {
+        const Instr &I = Instrs[II];
+        AccessStmt A;
+        A.Ref = InstrRef{M, Block, uint32_t(II)};
+        switch (I.Op) {
+        case Opcode::GetField:
+        case Opcode::PutField: {
+          A.Kind = I.Op == Opcode::PutField ? AccessKind::Write
+                                            : AccessKind::Read;
+          A.Field = I.Field;
+          A.BasePts = &PT->pointsTo(M, I.A);
+          break;
+        }
+        case Opcode::GetStatic:
+        case Opcode::PutStatic:
+          A.Kind = I.Op == Opcode::PutStatic ? AccessKind::Write
+                                             : AccessKind::Read;
+          A.Field = I.Field;
+          A.IsStatic = true;
+          break;
+        case Opcode::ALoad:
+        case Opcode::AStore:
+          A.Kind =
+              I.Op == Opcode::AStore ? AccessKind::Write : AccessKind::Read;
+          A.IsArray = true;
+          A.BasePts = &PT->pointsTo(M, I.A);
+          break;
+        default:
+          continue;
+        }
+        ++Stats.ReachableAccessStatements;
+
+        // Thread-specific fields never race (Section 5.4).
+        if (!A.IsArray && !A.IsStatic &&
+            Esc->isThreadSpecificField(A.Field)) {
+          ++Stats.ThreadSpecificFiltered;
+          continue;
+        }
+        // Accesses whose every possible target is thread-local never race.
+        if (A.BasePts) {
+          bool AnyEscapes = A.BasePts->empty(); // no targets: keep (null PEI)
+          for (AllocSiteId Site : *A.BasePts)
+            AnyEscapes |= Esc->escapes(Site);
+          if (!AnyEscapes && !A.BasePts->empty()) {
+            ++Stats.ThreadLocalFiltered;
+            continue;
+          }
+        }
+        Accesses.push_back(A);
+      }
+    }
+  }
+
+  // Pair every conflicting access (Equation 1).  O(A²) in the number of
+  // surviving access statements, which the filters keep small.
+  for (size_t XI = 0; XI != Accesses.size(); ++XI) {
+    for (size_t YI = XI; YI != Accesses.size(); ++YI) {
+      const AccessStmt &X = Accesses[XI];
+      const AccessStmt &Y = Accesses[YI];
+      if (!accMayConflict(X, Y))
+        continue;
+      if (Threads->mustSameThread(X.Ref.Method, Y.Ref.Method)) {
+        ++Stats.SameThreadFiltered;
+        continue;
+      }
+      if (Sync->mustCommonSync(X.Ref, Y.Ref)) {
+        ++Stats.CommonSyncFiltered;
+        continue;
+      }
+      ++Stats.MayRacePairs;
+      Pairs.emplace_back(X.Ref, Y.Ref);
+      RaceSet.insert(X.Ref);
+      RaceSet.insert(Y.Ref);
+    }
+  }
+  Stats.RaceSetSize = RaceSet.size();
+}
+
+std::vector<InstrRef> StaticRaceAnalysis::mayRaceWith(
+    const InstrRef &Ref) const {
+  std::vector<InstrRef> Result;
+  for (const auto &[A, B] : Pairs) {
+    if (A == Ref)
+      Result.push_back(B);
+    else if (B == Ref)
+      Result.push_back(A);
+  }
+  return Result;
+}

@@ -1,0 +1,92 @@
+//===- analysis/StaticRace.h - Static datarace analysis ---------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static datarace analysis of Section 5: computes the *static datarace
+/// set*, the statements that may participate in a datarace.  A statement
+/// outside the set can never race and needs no instrumentation (Figure 1's
+/// first phase).
+///
+/// For access statements x, y (Equation 1):
+///
+///   IsMayRace(x, y) = AccMayConflict(x, y)           [Eq 2: may points-to]
+///                   ∧ ¬MustSameThread(x, y)          [Eq 3: thread roots]
+///                   ∧ ¬MustCommonSync(x, y)          [Eq 4: must locks]
+///
+/// augmented with the Section 5.4 filters: accesses to non-escaping
+/// (thread-local) objects and to thread-specific fields are excluded before
+/// pairing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_ANALYSIS_STATICRACE_H
+#define HERD_ANALYSIS_STATICRACE_H
+
+#include "analysis/Escape.h"
+#include "analysis/PointsTo.h"
+#include "analysis/SingleInstance.h"
+#include "analysis/SyncAnalysis.h"
+#include "analysis/ThreadAnalysis.h"
+#include "ir/InstrRef.h"
+#include "ir/Program.h"
+
+#include <memory>
+#include <unordered_set>
+
+namespace herd {
+
+/// Statistics from one static analysis run, reported by the Table 2
+/// harness to show how much instrumentation the static phase removes.
+struct StaticRaceStats {
+  size_t ReachableAccessStatements = 0;
+  size_t ThreadLocalFiltered = 0;   ///< removed by escape analysis
+  size_t ThreadSpecificFiltered = 0;
+  size_t SameThreadFiltered = 0;    ///< pairs pruned by Eq 3 (statements)
+  size_t CommonSyncFiltered = 0;
+  size_t RaceSetSize = 0;           ///< statements needing instrumentation
+  size_t MayRacePairs = 0;
+};
+
+/// Runs the whole static pipeline (points-to, single-instance, thread,
+/// sync, escape) and computes the static datarace set.
+class StaticRaceAnalysis {
+public:
+  explicit StaticRaceAnalysis(const Program &P);
+  ~StaticRaceAnalysis();
+
+  void run();
+
+  /// True when the access statement may participate in a race and must be
+  /// instrumented.
+  bool isInRaceSet(const InstrRef &Ref) const {
+    return RaceSet.count(Ref) != 0;
+  }
+
+  const std::unordered_set<InstrRef> &raceSet() const { return RaceSet; }
+  const StaticRaceStats &stats() const { return Stats; }
+
+  /// For debugging and reports: the statements that may race with \p Ref
+  /// (Section 2.6 mentions this as debugging aid).
+  std::vector<InstrRef> mayRaceWith(const InstrRef &Ref) const;
+
+  const PointsToAnalysis &pointsTo() const { return *PT; }
+  const EscapeAnalysis &escape() const { return *Esc; }
+
+private:
+  const Program &P;
+  std::unique_ptr<PointsToAnalysis> PT;
+  std::unique_ptr<SingleInstanceAnalysis> SI;
+  std::unique_ptr<ThreadAnalysis> Threads;
+  std::unique_ptr<SyncAnalysis> Sync;
+  std::unique_ptr<EscapeAnalysis> Esc;
+  std::unordered_set<InstrRef> RaceSet;
+  std::vector<std::pair<InstrRef, InstrRef>> Pairs;
+  StaticRaceStats Stats;
+};
+
+} // namespace herd
+
+#endif // HERD_ANALYSIS_STATICRACE_H

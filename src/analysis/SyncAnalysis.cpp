@@ -1,0 +1,127 @@
+//===- analysis/SyncAnalysis.cpp - MustCommonSync -------------------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SyncAnalysis.h"
+
+#include <deque>
+#include <map>
+
+using namespace herd;
+
+const ObjSet SyncAnalysis::EmptySet;
+
+SyncAnalysis::SyncAnalysis(const Program &P, const PointsToAnalysis &PT,
+                           const SingleInstanceAnalysis &SI)
+    : P(P), PT(PT), SI(SI) {
+  Context.resize(P.numMethods());
+  ContextTop.assign(P.numMethods(), 1);
+}
+
+const ObjSet &SyncAnalysis::mustSync(const InstrRef &Ref) const {
+  auto It = PerInstr.find(Ref);
+  return It == PerInstr.end() ? EmptySet : It->second;
+}
+
+void SyncAnalysis::run() {
+  size_t NumMethods = P.numMethods();
+
+  // Pass 1: per-instruction *local* must-sync sets — the union of the must
+  // points-to of every enclosing monitor region (plus `this` for
+  // synchronized methods).  Monitor stacks are consistent at joins (the
+  // verifier guarantees it), so a BFS carrying the stack suffices.
+  for (size_t MI = 0; MI != NumMethods; ++MI) {
+    MethodId M{uint32_t(MI)};
+    if (!PT.isMethodReachable(M))
+      continue;
+    const Method &Body = P.method(M);
+
+    ObjSet MethodBase;
+    if (Body.IsSynchronized)
+      MethodBase = SI.mustPointsTo(M, RegId(0));
+
+    using Stack = std::vector<ObjSet>;
+    std::map<uint32_t, Stack> EntryStacks;
+    std::deque<BlockId> Work;
+    EntryStacks[0] = {};
+    Work.push_back(BlockId(0));
+    std::vector<uint8_t> Visited(Body.Blocks.size(), 0);
+    Visited[0] = 1;
+
+    while (!Work.empty()) {
+      BlockId BId = Work.front();
+      Work.pop_front();
+      Stack Current = EntryStacks[BId.index()];
+      const BasicBlock &Block = Body.block(BId);
+      for (size_t II = 0; II != Block.Instrs.size(); ++II) {
+        const Instr &I = Block.Instrs[II];
+        if (I.Op == Opcode::MonitorEnter)
+          Current.push_back(SI.mustPointsTo(M, I.A));
+        else if (I.Op == Opcode::MonitorExit && !Current.empty())
+          Current.pop_back();
+        ObjSet Local = MethodBase;
+        for (const ObjSet &Held : Current)
+          Local.unionWith(Held);
+        PerInstr[InstrRef{M, BId, uint32_t(II)}] = std::move(Local);
+      }
+      std::vector<BlockId> Succs;
+      Block.appendSuccessors(Succs);
+      for (BlockId Succ : Succs) {
+        if (Visited[Succ.index()])
+          continue;
+        Visited[Succ.index()] = 1;
+        EntryStacks[Succ.index()] = Current;
+        Work.push_back(Succ);
+      }
+    }
+  }
+
+  // Pass 2: per-method contexts.  Roots (main and every started run) enter
+  // with no locks guaranteed; other methods meet (intersect) the must-sync
+  // sets of all their reachable call sites.  Decreasing from ⊤; terminates.
+  ContextTop[P.MainMethod.index()] = 0;
+  for (MethodId Run : PT.startedRunMethods())
+    ContextTop[Run.index()] = 0;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t MI = 0; MI != NumMethods; ++MI) {
+      MethodId M{uint32_t(MI)};
+      if (!PT.isMethodReachable(M) || ContextTop[MI])
+        continue;
+      const Method &Body = P.method(M);
+      for (size_t BI = 0; BI != Body.Blocks.size(); ++BI) {
+        const BasicBlock &Block = Body.Blocks[BI];
+        for (size_t II = 0; II != Block.Instrs.size(); ++II) {
+          const Instr &I = Block.Instrs[II];
+          if (I.Op != Opcode::Call)
+            continue;
+          InstrRef Site{M, BlockId(uint32_t(BI)), uint32_t(II)};
+          auto LocalIt = PerInstr.find(Site);
+          if (LocalIt == PerInstr.end())
+            continue; // unreachable within the method
+          ObjSet AtCall = Context[MI];
+          AtCall.unionWith(LocalIt->second);
+          uint32_t Callee = I.Callee.index();
+          if (ContextTop[Callee]) {
+            ContextTop[Callee] = 0;
+            Context[Callee] = std::move(AtCall);
+            Changed = true;
+          } else if (Context[Callee].intersectWith(AtCall)) {
+            Changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Pass 3: fold each method's context into its statements' local sets.
+  for (auto &[Ref, Local] : PerInstr) {
+    uint32_t MI = Ref.Method.index();
+    if (!ContextTop[MI])
+      Local.unionWith(Context[MI]);
+  }
+}

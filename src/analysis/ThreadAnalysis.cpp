@@ -1,0 +1,81 @@
+//===- analysis/ThreadAnalysis.cpp - MustSameThread -----------------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ThreadAnalysis.h"
+
+#include <deque>
+
+using namespace herd;
+
+ThreadAnalysis::ThreadAnalysis(const Program &P, const PointsToAnalysis &PT,
+                               const SingleInstanceAnalysis &SI)
+    : P(P), PT(PT), SI(SI) {
+  MustThreadSets.resize(P.numMethods());
+}
+
+void ThreadAnalysis::run() {
+  size_t NumMethods = P.numMethods();
+
+  // Direct (intrathread) call edges among reachable methods.
+  std::vector<std::vector<MethodId>> Callees(NumMethods);
+  for (size_t MI = 0; MI != NumMethods; ++MI) {
+    MethodId M{uint32_t(MI)};
+    if (!PT.isMethodReachable(M))
+      continue;
+    for (const BasicBlock &Block : P.method(M).Blocks)
+      for (const Instr &I : Block.Instrs)
+        if (I.Op == Opcode::Call)
+          Callees[MI].push_back(I.Callee);
+  }
+
+  // Thread roots and the must points-to of each root's `this`.
+  struct Root {
+    MethodId Method;
+    ObjSet MustThis;
+  };
+  std::vector<Root> Roots;
+  {
+    Root MainRoot;
+    MainRoot.Method = P.MainMethod;
+    MainRoot.MustThis.insert(mainThreadObject());
+    Roots.push_back(std::move(MainRoot));
+  }
+  for (MethodId Run : PT.startedRunMethods()) {
+    Root R;
+    R.Method = Run;
+    // run's `this` is r0; must points-to holds when a single
+    // single-instance thread object reaches this run method.
+    R.MustThis = SI.mustPointsTo(Run, RegId(0));
+    Roots.push_back(std::move(R));
+  }
+
+  // For each root, the set of methods reachable via intrathread paths;
+  // intersect the roots' MustThis sets into each reached method.
+  std::vector<uint8_t> Seeded(NumMethods, 0);
+  for (const Root &R : Roots) {
+    std::vector<uint8_t> Visited(NumMethods, 0);
+    std::deque<MethodId> Work;
+    Work.push_back(R.Method);
+    Visited[R.Method.index()] = 1;
+    while (!Work.empty()) {
+      MethodId M = Work.front();
+      Work.pop_front();
+      ObjSet &Dest = MustThreadSets[M.index()];
+      if (!Seeded[M.index()]) {
+        Seeded[M.index()] = 1;
+        Dest = R.MustThis;
+      } else {
+        Dest.intersectWith(R.MustThis);
+      }
+      for (MethodId Callee : Callees[M.index()]) {
+        if (Visited[Callee.index()])
+          continue;
+        Visited[Callee.index()] = 1;
+        Work.push_back(Callee);
+      }
+    }
+  }
+}

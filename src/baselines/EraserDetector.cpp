@@ -1,0 +1,57 @@
+//===- baselines/EraserDetector.cpp - Eraser lockset baseline -------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/EraserDetector.h"
+
+using namespace herd;
+
+EraserDetector::State EraserDetector::stateOf(LocationKey Location) const {
+  if (ObjectGranularity)
+    Location = Location.withFieldsMerged();
+  auto It = Table.find(Location);
+  return It == Table.end() ? State::Virgin : It->second.St;
+}
+
+void EraserDetector::onAccess(ThreadId Thread, LocationKey Location,
+                              AccessKind Access, SiteId Site) {
+  (void)Site;
+  if (ObjectGranularity)
+    Location = Location.withFieldsMerged();
+  PerLocation &L = Table[Location];
+
+  switch (L.St) {
+  case State::Virgin:
+    L.St = State::Exclusive;
+    L.FirstThread = Thread;
+    return;
+  case State::Exclusive:
+    if (Thread == L.FirstThread)
+      return; // still in the initialization phase: no refinement
+    L.St = Access == AccessKind::Write ? State::SharedModified
+                                       : State::Shared;
+    break;
+  case State::Shared:
+    if (Access == AccessKind::Write)
+      L.St = State::SharedModified;
+    break;
+  case State::SharedModified:
+    break;
+  }
+
+  // Refine the candidate set with the current lockset.
+  const LockSet &Held = Locks.held(Thread);
+  if (!L.CandidatesInitialized) {
+    L.Candidates = Held;
+    L.CandidatesInitialized = true;
+  } else {
+    L.Candidates.intersectWith(Held);
+  }
+
+  // Report in Shared-Modified with an empty candidate set (Eraser only
+  // warns once per location).
+  if (L.St == State::SharedModified && L.Candidates.empty())
+    Reported.insert(Location);
+}

@@ -1,0 +1,75 @@
+//===- baselines/VectorClockDetector.cpp - Happens-before baseline --------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/VectorClockDetector.h"
+
+using namespace herd;
+
+VectorClock &VectorClockDetector::clockOf(ThreadId Thread) {
+  size_t Index = Thread.index();
+  if (Index >= ThreadClocks.size()) {
+    ThreadClocks.resize(Index + 1);
+    ExitClocks.resize(Index + 1);
+  }
+  return ThreadClocks[Index];
+}
+
+void VectorClockDetector::onThreadCreate(ThreadId Child, ThreadId Parent,
+                                         ObjectId ThreadObj) {
+  (void)ThreadObj;
+  VectorClock &ChildClock = clockOf(Child);
+  if (Parent.isValid()) {
+    // Everything the parent did before start() happens-before the child.
+    ChildClock.joinWith(clockOf(Parent));
+    clockOf(Parent).tick(Parent);
+  }
+  // A thread's own component starts positive so its events are visibly
+  // unordered with other fresh threads.
+  ChildClock.tick(Child);
+}
+
+void VectorClockDetector::onThreadExit(ThreadId Dying) {
+  ExitClocks[Dying.index()] = clockOf(Dying);
+}
+
+void VectorClockDetector::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
+  // Everything the joined thread did happens-before the joiner's
+  // continuation.
+  clockOf(Joiner).joinWith(ExitClocks[Joined.index()]);
+}
+
+void VectorClockDetector::onMonitorEnter(ThreadId Thread, LockId Lock,
+                                         bool Recursive) {
+  if (Recursive)
+    return;
+  auto It = LockClocks.find(Lock);
+  if (It != LockClocks.end())
+    clockOf(Thread).joinWith(It->second);
+}
+
+void VectorClockDetector::onMonitorExit(ThreadId Thread, LockId Lock,
+                                        bool StillHeld) {
+  if (StillHeld)
+    return;
+  LockClocks[Lock] = clockOf(Thread);
+  clockOf(Thread).tick(Thread);
+}
+
+void VectorClockDetector::onAccess(ThreadId Thread, LocationKey Location,
+                                   AccessKind Access, SiteId Site) {
+  (void)Site;
+  const VectorClock &Now = clockOf(Thread);
+  PerLocation &L = Table[Location];
+  bool Raced = !L.Writes.isOrderedBefore(Now);
+  if (Access == AccessKind::Write) {
+    Raced = Raced || !L.Reads.isOrderedBefore(Now);
+    L.Writes.set(Thread, Now.get(Thread));
+  } else {
+    L.Reads.set(Thread, Now.get(Thread));
+  }
+  if (Raced)
+    Reported.insert(Location);
+}

@@ -1,0 +1,108 @@
+//===- baselines/VectorClockDetector.h - Happens-before baseline -*- C++ -*-=//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A pure happens-before race detector using vector clocks (in the style
+/// of DJIT/TRaDe — the class of detectors Section 2.2 and the related-work
+/// discussion contrast against).
+///
+/// Lock releases publish the releasing thread's clock into the lock;
+/// acquires join it into the acquiring thread, so two critical sections on
+/// the same lock are *ordered* if one observes the other's release.  That
+/// ordering is exactly why a happens-before detector misses the *feasible*
+/// race of Figure 2 when T13:p and T20:q collide: had the threads acquired
+/// the lock in the other order the accesses would race, but the witnessed
+/// schedule hides it.  The paper's lockset approach reports it in every
+/// schedule (Section 2.2); the tests demonstrate the difference.
+///
+/// Thread start copies the parent's clock into the child; join joins the
+/// child's clock into the joiner — the precise modelling of condition 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_BASELINES_VECTORCLOCKDETECTOR_H
+#define HERD_BASELINES_VECTORCLOCKDETECTOR_H
+
+#include "runtime/Hooks.h"
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace herd {
+
+/// A vector clock: per-thread logical timestamps.
+class VectorClock {
+public:
+  uint64_t get(ThreadId Thread) const {
+    size_t Index = Thread.index();
+    return Index < Clocks.size() ? Clocks[Index] : 0;
+  }
+
+  void set(ThreadId Thread, uint64_t Value) {
+    size_t Index = Thread.index();
+    if (Index >= Clocks.size())
+      Clocks.resize(Index + 1, 0);
+    Clocks[Index] = Value;
+  }
+
+  void tick(ThreadId Thread) { set(Thread, get(Thread) + 1); }
+
+  /// Pointwise maximum.
+  void joinWith(const VectorClock &Other) {
+    if (Other.Clocks.size() > Clocks.size())
+      Clocks.resize(Other.Clocks.size(), 0);
+    for (size_t I = 0; I != Other.Clocks.size(); ++I)
+      Clocks[I] = std::max(Clocks[I], Other.Clocks[I]);
+  }
+
+  /// True when this clock is pointwise <= Other ("happened before or
+  /// equal").
+  bool isOrderedBefore(const VectorClock &Other) const {
+    for (size_t I = 0; I != Clocks.size(); ++I)
+      if (Clocks[I] > Other.get(ThreadId(uint32_t(I))))
+        return false;
+    return true;
+  }
+
+private:
+  std::vector<uint64_t> Clocks;
+};
+
+/// The happens-before detector.
+class VectorClockDetector : public RuntimeHooks {
+public:
+  void onThreadCreate(ThreadId Child, ThreadId Parent,
+                      ObjectId ThreadObj) override;
+  void onThreadExit(ThreadId Dying) override;
+  void onThreadJoin(ThreadId Joiner, ThreadId Joined) override;
+  void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive) override;
+  void onMonitorExit(ThreadId Thread, LockId Lock, bool StillHeld) override;
+  void onAccess(ThreadId Thread, LocationKey Location, AccessKind Access,
+                SiteId Site) override;
+
+  const std::set<LocationKey> &reportedLocations() const { return Reported; }
+
+private:
+  VectorClock &clockOf(ThreadId Thread);
+
+  struct PerLocation {
+    VectorClock Writes; ///< join of all write timestamps
+    VectorClock Reads;  ///< join of all read timestamps
+  };
+
+  std::vector<VectorClock> ThreadClocks;
+  std::vector<VectorClock> ExitClocks; ///< snapshot at thread exit
+  std::map<LockId, VectorClock> LockClocks;
+  std::map<LocationKey, PerLocation> Table;
+  std::set<LocationKey> Reported;
+};
+
+} // namespace herd
+
+#endif // HERD_BASELINES_VECTORCLOCKDETECTOR_H

@@ -1,0 +1,88 @@
+//===- detect/AccessCache.cpp - Per-thread redundant-access cache ---------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/AccessCache.h"
+
+using namespace herd;
+
+void AccessCache::unlink(uint32_t Index) {
+  Entry &E = Entries[Index];
+  if (!E.ListLock.isValid())
+    return;
+  if (E.Prev != None)
+    Entries[E.Prev].Next = E.Next;
+  else {
+    auto It = ListHead.find(E.ListLock);
+    if (It != ListHead.end()) {
+      if (E.Next == None)
+        ListHead.erase(It);
+      else
+        It->second = E.Next;
+    }
+  }
+  if (E.Next != None)
+    Entries[E.Next].Prev = E.Prev;
+  E.Prev = E.Next = None;
+  E.ListLock = LockId::invalid();
+}
+
+void AccessCache::insert(LocationKey Key, LockId InnermostLock) {
+  uint32_t Index = indexOf(Key);
+  Entry &E = Entries[Index];
+  if (E.Valid) {
+    // Conflict eviction: the doubly-linked list makes removal O(1)
+    // (Section 4.2, last paragraph).
+    ++Evictions;
+    unlink(Index);
+  }
+  E.Key = Key;
+  E.Valid = true;
+  if (InnermostLock.isValid()) {
+    E.ListLock = InnermostLock;
+    auto [It, Inserted] = ListHead.try_emplace(InnermostLock, Index);
+    if (!Inserted) {
+      E.Next = It->second;
+      Entries[It->second].Prev = Index;
+      It->second = Index;
+    }
+  }
+}
+
+void AccessCache::evictLock(LockId Lock) {
+  auto It = ListHead.find(Lock);
+  if (It == ListHead.end())
+    return;
+  uint32_t Index = It->second;
+  ListHead.erase(It);
+  while (Index != None) {
+    Entry &E = Entries[Index];
+    uint32_t Next = E.Next;
+    E.Valid = false;
+    E.Prev = E.Next = None;
+    E.ListLock = LockId::invalid();
+    ++Evictions;
+    Index = Next;
+  }
+}
+
+void AccessCache::evictKey(LocationKey Key) {
+  uint32_t Index = indexOf(Key);
+  Entry &E = Entries[Index];
+  if (!E.Valid || E.Key != Key)
+    return;
+  unlink(Index);
+  E.Valid = false;
+  ++Evictions;
+}
+
+void AccessCache::clear() {
+  for (Entry &E : Entries) {
+    E.Valid = false;
+    E.Prev = E.Next = None;
+    E.ListLock = LockId::invalid();
+  }
+  ListHead.clear();
+}

@@ -1,0 +1,102 @@
+//===- detect/AccessCache.h - Per-thread redundant-access cache -*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime optimizer of Section 4: a direct-mapped cache of recent
+/// accesses whose hits are guaranteed to be redundant (a weaker access has
+/// already reached the detector).
+///
+/// One cache instance covers one (thread, access-kind) pair — separate
+/// caches per thread make p.t = q.t trivially true, and separate caches for
+/// reads and writes make p.a = q.a true (Section 4.2).  The lockset subset
+/// condition p.Locks ⊆ q.Locks is maintained by eviction: whenever the
+/// thread releases a lock l, every entry inserted while l was held is
+/// evicted.  Java's structured ("last in, first out") locking means it
+/// suffices to link each entry onto the list of the innermost *releasable*
+/// lock held at insertion time and flush that list when the lock is
+/// released.  (Dummy join locks are never released while the cache is live,
+/// so they are excluded from the tagging — see detect/RaceRuntime.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_DETECT_ACCESSCACHE_H
+#define HERD_DETECT_ACCESSCACHE_H
+
+#include "support/Ids.h"
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+namespace herd {
+
+/// A 256-entry direct-mapped cache indexed by memory location, with
+/// per-lock doubly-linked eviction lists threaded through the entries.
+class AccessCache {
+public:
+  static constexpr uint32_t NumEntries = 256;
+
+  AccessCache() { clear(); }
+
+  /// Returns true when \p Key is present (a guaranteed-redundant access).
+  bool lookup(LocationKey Key) {
+    const Entry &E = Entries[indexOf(Key)];
+    if (E.Valid && E.Key == Key) {
+      ++Hits;
+      return true;
+    }
+    ++Misses;
+    return false;
+  }
+
+  /// Inserts \p Key, replacing whatever occupied its slot.  \p InnermostLock
+  /// is the most recently acquired releasable lock currently held (invalid
+  /// when none): the entry will be evicted when that lock is released.
+  void insert(LocationKey Key, LockId InnermostLock);
+
+  /// Evicts every entry inserted under \p Lock (called on the final, i.e.
+  /// non-nested, monitorexit of \p Lock).
+  void evictLock(LockId Lock);
+
+  /// Evicts \p Key if present (called when the location transitions to the
+  /// shared ownership state, Section 7.2).
+  void evictKey(LocationKey Key);
+
+  void clear();
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  uint64_t evictions() const { return Evictions; }
+
+private:
+  static constexpr uint32_t None = 0xFFFFFFFF;
+
+  struct Entry {
+    LocationKey Key;
+    bool Valid = false;
+    LockId ListLock;          ///< which lock's eviction list holds this entry
+    uint32_t Prev = None;     ///< neighbours on that list (entry indices)
+    uint32_t Next = None;
+  };
+
+  static uint32_t indexOf(LocationKey Key) {
+    // Multiplicative hash, taking high bits — the same shape as the paper's
+    // "multiply by a constant, take the upper bits" function (Section 4.3).
+    return uint32_t((Key.raw() * 0x9e3779b97f4a7c15ull) >> 56);
+  }
+
+  void unlink(uint32_t Index);
+
+  std::array<Entry, NumEntries> Entries;
+  std::unordered_map<LockId, uint32_t> ListHead; ///< lock -> first entry
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+};
+
+} // namespace herd
+
+#endif // HERD_DETECT_ACCESSCACHE_H

@@ -1,0 +1,190 @@
+//===- detect/AccessTrie.cpp - Trie-based access history ------------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/AccessTrie.h"
+
+#include <algorithm>
+
+using namespace herd;
+
+/// A trie node.  Children are kept sorted by edge label so that a lockset's
+/// canonical path visits labels in ascending order.
+struct AccessTrie::Node {
+  ThreadLattice Thread = ThreadLattice::top();
+  AccessKind Access = AccessKind::Read;
+  std::vector<std::pair<LockId, std::unique_ptr<Node>>> Children;
+
+  bool hasInfo() const { return !Thread.isTop(); }
+
+  Node *findChild(LockId Label) const {
+    auto It = std::lower_bound(
+        Children.begin(), Children.end(), Label,
+        [](const auto &Entry, LockId L) { return Entry.first < L; });
+    return (It != Children.end() && It->first == Label) ? It->second.get()
+                                                        : nullptr;
+  }
+
+  Node *getOrCreateChild(LockId Label, size_t &NumNodes) {
+    auto It = std::lower_bound(
+        Children.begin(), Children.end(), Label,
+        [](const auto &Entry, LockId L) { return Entry.first < L; });
+    if (It != Children.end() && It->first == Label)
+      return It->second.get();
+    It = Children.emplace(It, Label, std::make_unique<Node>());
+    ++NumNodes;
+    return It->second.get();
+  }
+};
+
+AccessTrie::AccessTrie() : Root(std::make_unique<Node>()) {}
+AccessTrie::~AccessTrie() = default;
+AccessTrie::AccessTrie(AccessTrie &&) noexcept = default;
+AccessTrie &AccessTrie::operator=(AccessTrie &&) noexcept = default;
+
+bool AccessTrie::findWeaker(const Node &N, const std::vector<LockId> &Locks,
+                            size_t From, ThreadLattice Thread,
+                            AccessKind Access) const {
+  // This node's lockset (its root path) is a subset of the event's lockset
+  // by construction of the traversal, so Definition 2 reduces to the thread
+  // and access-kind orders.
+  if (N.hasInfo() && isWeakerOrEqual(N.Thread, Thread) &&
+      isWeakerOrEqual(N.Access, Access))
+    return true;
+  // Descend only along edges labeled with locks the event holds.  Children
+  // and the lockset are both sorted, so merge-walk them.
+  size_t LockIdx = From;
+  for (const auto &[Label, Child] : N.Children) {
+    while (LockIdx < Locks.size() && Locks[LockIdx] < Label)
+      ++LockIdx;
+    if (LockIdx == Locks.size())
+      break;
+    if (Locks[LockIdx] == Label &&
+        findWeaker(*Child, Locks, LockIdx + 1, Thread, Access))
+      return true;
+  }
+  return false;
+}
+
+const AccessTrie::Node *
+AccessTrie::findRace(const Node &N, const LockSet &Locks,
+                     ThreadLattice Thread, AccessKind Access,
+                     std::vector<LockId> &Path,
+                     std::vector<LockId> &RacePath) const {
+  // Case II: the stored accesses at this node involve a different thread
+  // (meet goes to t_⊥) and at least one side wrote.  The traversal has
+  // already established (by pruning in Case I) that no lock is shared.
+  if (N.hasInfo() && meet(N.Thread, Thread).isBottom() &&
+      meet(N.Access, Access) == AccessKind::Write) {
+    RacePath = Path;
+    return &N;
+  }
+  // Case III: recurse, except into children reached via a lock the event
+  // holds (Case I: a shared lock protects the whole subtree).
+  for (const auto &[Label, Child] : N.Children) {
+    if (Locks.contains(Label))
+      continue;
+    Path.push_back(Label);
+    if (const Node *Hit = findRace(*Child, Locks, Thread, Access, Path,
+                                   RacePath))
+      return Hit;
+    Path.pop_back();
+  }
+  return nullptr;
+}
+
+AccessTrie::Node *AccessTrie::updateNode(const LockSet &Locks,
+                                         ThreadLattice Thread,
+                                         AccessKind Access) {
+  Node *N = Root.get();
+  for (LockId Lock : Locks)
+    N = N->getOrCreateChild(Lock, NumNodes);
+  N->Thread = meet(N->Thread, Thread);
+  N->Access = meet(N->Access, Access);
+  return N;
+}
+
+void AccessTrie::pruneStronger(Node &N, const std::vector<LockId> &Locks,
+                               size_t Matched, ThreadLattice Thread,
+                               AccessKind Access, const Node *Keep) {
+  // A stored access q at node N is stronger than the new access p when
+  // p.L ⊆ q.L (all of Locks matched on the path) and p.t ⊑ q.t ∧ p.a ⊑ q.a.
+  if (&N != Keep && N.hasInfo() && Matched == Locks.size() &&
+      isWeakerOrEqual(Thread, N.Thread) && isWeakerOrEqual(Access, N.Access)) {
+    N.Thread = ThreadLattice::top();
+    N.Access = AccessKind::Read;
+  }
+  for (auto &[Label, Child] : N.Children) {
+    size_t NextMatched = Matched;
+    if (Matched < Locks.size()) {
+      if (Label == Locks[Matched]) {
+        NextMatched = Matched + 1;
+      } else if (Locks[Matched] < Label) {
+        // Canonical paths are ascending: once an edge label exceeds the next
+        // required lock, no descendant's lockset can contain it.
+        continue;
+      }
+    }
+    pruneStronger(*Child, Locks, NextMatched, Thread, Access, Keep);
+  }
+  // Drop children that carry no information and have no descendants.
+  auto NewEnd = std::remove_if(N.Children.begin(), N.Children.end(),
+                               [this](const auto &Entry) {
+                                 Node &C = *Entry.second;
+                                 if (C.hasInfo() || !C.Children.empty())
+                                   return false;
+                                 --NumNodes;
+                                 return true;
+                               });
+  N.Children.erase(NewEnd, N.Children.end());
+}
+
+AccessTrie::Outcome AccessTrie::process(ThreadId Thread, const LockSet &Locks,
+                                        AccessKind Access) {
+  Outcome Result;
+  ThreadLattice EventThread(Thread);
+
+  // 1. Weakness check: the vast majority of events are filtered here.
+  if (findWeaker(*Root, Locks.items(), 0, EventThread, Access)) {
+    Result.Filtered = true;
+    return Result;
+  }
+
+  // 2. Race check (Cases I-III).
+  std::vector<LockId> Path, RacePath;
+  if (const Node *Hit =
+          findRace(*Root, Locks, EventThread, Access, Path, RacePath)) {
+    Result.Raced = true;
+    Result.PriorThreadKnown = Hit->Thread.isConcrete();
+    if (Result.PriorThreadKnown)
+      Result.PriorThread = Hit->Thread.concrete();
+    Result.PriorAccess = Hit->Access;
+    for (LockId Lock : RacePath)
+      Result.PriorLocks.insert(Lock);
+  }
+
+  // 3. Update the node for the event's exact lockset.
+  Node *Updated = updateNode(Locks, EventThread, Access);
+
+  // 4. Remove stored accesses the new event is weaker than.
+  pruneStronger(*Root, Locks.items(), 0, EventThread, Access, Updated);
+
+  return Result;
+}
+
+size_t AccessTrie::storedAccessCount() const {
+  size_t Count = 0;
+  // Iterative DFS to avoid a second recursive helper on Node (kept private).
+  std::vector<const Node *> Stack = {Root.get()};
+  while (!Stack.empty()) {
+    const Node *N = Stack.back();
+    Stack.pop_back();
+    if (N->hasInfo())
+      ++Count;
+    for (const auto &[Label, Child] : N->Children)
+      Stack.push_back(Child.get());
+  }
+  return Count;
+}

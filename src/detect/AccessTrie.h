@@ -1,0 +1,89 @@
+//===- detect/AccessTrie.h - Trie-based access history ----------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The edge-labeled trie that stores the access history of one memory
+/// location (Section 3.2).  Edges are labeled with lock identifiers; the
+/// path from the root to a node spells the node's lockset in canonical
+/// (ascending) order.  Nodes hold a thread-lattice value and an access
+/// kind; internal nodes with no recorded access hold (t_⊤, READ).
+///
+/// Processing an event performs, in order:
+///   1. the weakness check: is a stored access ⊑ the new one?  If so the
+///      event is discarded (the common case);
+///   2. the race check (Cases I-III of Section 3.2.1), reporting at most
+///      one race per event;
+///   3. the update: meet the event into the node for its exact lockset;
+///   4. pruning of stored accesses that the new event is weaker than.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_DETECT_ACCESSTRIE_H
+#define HERD_DETECT_ACCESSTRIE_H
+
+#include "detect/AccessEvent.h"
+
+#include <memory>
+#include <vector>
+
+namespace herd {
+
+/// Access history of one logical memory location.
+class AccessTrie {
+public:
+  /// Result of feeding one event through the trie.
+  struct Outcome {
+    bool Filtered = false; ///< a stored weaker access already covers this
+    bool Raced = false;    ///< Case II fired
+
+    // Prior-access information when Raced (for the report): the earlier
+    // access's lockset, kind, and its thread when known (t_⊥ erases it).
+    bool PriorThreadKnown = false;
+    ThreadId PriorThread;
+    AccessKind PriorAccess = AccessKind::Read;
+    LockSet PriorLocks;
+  };
+
+  AccessTrie();
+  ~AccessTrie();
+  AccessTrie(AccessTrie &&) noexcept;
+  AccessTrie &operator=(AccessTrie &&) noexcept;
+
+  /// Runs the weakness check, race check, update and pruning for one event.
+  Outcome process(ThreadId Thread, const LockSet &Locks, AccessKind Access);
+
+  /// Number of trie nodes currently allocated (the root counts as one);
+  /// Section 8.2 reports this as the detector's space consumption.
+  size_t nodeCount() const { return NumNodes; }
+
+  /// Number of nodes carrying a recorded access (t != t_⊤).
+  size_t storedAccessCount() const;
+
+private:
+  struct Node;
+
+  bool findWeaker(const Node &N, const std::vector<LockId> &Locks,
+                  size_t From, ThreadLattice Thread, AccessKind Access) const;
+
+  const Node *findRace(const Node &N, const LockSet &Locks,
+                       ThreadLattice Thread, AccessKind Access,
+                       std::vector<LockId> &Path,
+                       std::vector<LockId> &RacePath) const;
+
+  Node *updateNode(const LockSet &Locks, ThreadLattice Thread,
+                   AccessKind Access);
+
+  void pruneStronger(Node &N, const std::vector<LockId> &Locks,
+                     size_t Matched, ThreadLattice Thread, AccessKind Access,
+                     const Node *Keep);
+
+  std::unique_ptr<Node> Root;
+  size_t NumNodes = 1;
+};
+
+} // namespace herd
+
+#endif // HERD_DETECT_ACCESSTRIE_H

@@ -1,0 +1,141 @@
+//===- detect/DeadlockDetector.cpp - Lock-order deadlock detection --------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/DeadlockDetector.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace herd;
+
+void DeadlockDetector::onMonitorEnter(ThreadId Thread, LockId Lock,
+                                      bool Recursive) {
+  if (Recursive)
+    return;
+  std::vector<LockId> &Stack = Held[Thread];
+  for (LockId From : Stack) {
+    Edge E;
+    E.Thread = Thread;
+    for (LockId Other : Stack)
+      if (Other != From)
+        E.Gate.insert(Other);
+    auto &Obs = Edges[{From, Lock}];
+    bool Seen = false;
+    for (const Edge &Existing : Obs)
+      if (Existing.Thread == E.Thread && Existing.Gate == E.Gate) {
+        Seen = true;
+        break;
+      }
+    if (!Seen)
+      Obs.push_back(std::move(E));
+  }
+  Stack.push_back(Lock);
+}
+
+void DeadlockDetector::onMonitorExit(ThreadId Thread, LockId Lock,
+                                     bool StillHeld) {
+  if (StillHeld)
+    return;
+  std::vector<LockId> &Stack = Held[Thread];
+  auto It = std::find(Stack.begin(), Stack.end(), Lock);
+  if (It != Stack.end())
+    Stack.erase(It);
+}
+
+size_t DeadlockDetector::numEdges() const {
+  size_t Count = 0;
+  for (const auto &[Pair, Obs] : Edges)
+    Count += Obs.size();
+  return Count;
+}
+
+namespace {
+
+/// One candidate assignment of observations along a lock cycle.
+struct PathState {
+  std::vector<LockId> Locks;
+  std::vector<ThreadId> Threads;
+  std::vector<LockSet> Gates;
+};
+
+/// Edges from distinct threads with pairwise-disjoint gate sets can
+/// interleave into a wait cycle; a shared gate lock serializes the two
+/// acquisition sequences and rules the deadlock out (Goodlock).
+bool validAddition(const PathState &Path, ThreadId Thread,
+                   const LockSet &Gate) {
+  for (ThreadId Existing : Path.Threads)
+    if (Existing == Thread)
+      return false;
+  for (const LockSet &ExistingGate : Path.Gates)
+    if (ExistingGate.intersects(Gate))
+      return false;
+  return true;
+}
+
+} // namespace
+
+std::vector<DeadlockCycle>
+DeadlockDetector::findPotentialDeadlocks(size_t MaxLength) const {
+  // Adjacency index: from -> [(to, observations*)].
+  std::map<LockId, std::vector<std::pair<LockId, const std::vector<Edge> *>>>
+      Adj;
+  for (const auto &[Pair, Obs] : Edges)
+    Adj[Pair.first].emplace_back(Pair.second, &Obs);
+
+  std::set<DeadlockCycle> Found;
+
+  // DFS over simple lock paths starting from each lock; a cycle closes
+  // when an edge returns to the start.  To report each cycle once, only
+  // cycles whose smallest lock is the start are kept.
+  std::function<void(LockId, PathState &)> Extend = [&](LockId Start,
+                                                        PathState &Path) {
+    LockId Current = Path.Locks.back();
+    auto It = Adj.find(Current);
+    if (It == Adj.end())
+      return;
+    for (const auto &[Next, Obs] : It->second) {
+      if (Next == Start && Path.Locks.size() >= 2) {
+        for (const Edge &E : *Obs) {
+          if (!validAddition(Path, E.Thread, E.Gate))
+            continue;
+          DeadlockCycle Cycle;
+          Cycle.Locks = Path.Locks;
+          Cycle.Threads = Path.Threads;
+          Cycle.Threads.push_back(E.Thread);
+          Found.insert(std::move(Cycle));
+        }
+        continue;
+      }
+      if (Path.Locks.size() >= MaxLength)
+        continue;
+      if (Next < Start || Next == Start)
+        continue; // canonical form: start is the smallest lock
+      if (std::find(Path.Locks.begin(), Path.Locks.end(), Next) !=
+          Path.Locks.end())
+        continue;
+      for (const Edge &E : *Obs) {
+        if (!validAddition(Path, E.Thread, E.Gate))
+          continue;
+        Path.Locks.push_back(Next);
+        Path.Threads.push_back(E.Thread);
+        Path.Gates.push_back(E.Gate);
+        Extend(Start, Path);
+        Path.Locks.pop_back();
+        Path.Threads.pop_back();
+        Path.Gates.pop_back();
+      }
+    }
+  };
+
+  for (const auto &[Start, Out] : Adj) {
+    (void)Out;
+    PathState Path;
+    Path.Locks.push_back(Start);
+    Extend(Start, Path);
+  }
+
+  return std::vector<DeadlockCycle>(Found.begin(), Found.end());
+}

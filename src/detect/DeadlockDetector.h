@@ -1,0 +1,78 @@
+//===- detect/DeadlockDetector.h - Lock-order deadlock detection -*- C++ -*-=//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 10 names deadlock detection as the next target for
+/// the static/dynamic co-analysis approach.  This module implements the
+/// dynamic half in the same spirit as the race detector: observe the
+/// monitor event stream and report *potential* deadlocks — ones that did
+/// not necessarily manifest in this schedule but could in another — using
+/// a lock-order graph (the Goodlock family of algorithms).
+///
+/// An edge (a -> b, thread t, gate set G) is recorded whenever t acquires
+/// b while already holding a; G is everything else t held.  A cycle among
+/// edges from pairwise-distinct threads whose gate sets share no lock is a
+/// potential deadlock: with no common gate serializing them, some schedule
+/// interleaves the acquisitions into a wait cycle.  This mirrors the race
+/// detector's lockset philosophy (Section 2.2): report the *feasible*
+/// hazard in whatever schedule was observed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_DETECT_DEADLOCKDETECTOR_H
+#define HERD_DETECT_DEADLOCKDETECTOR_H
+
+#include "detect/AccessEvent.h"
+#include "runtime/Hooks.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace herd {
+
+/// A reported potential deadlock: the locks on the cycle and the threads
+/// whose acquisition orders close it.
+struct DeadlockCycle {
+  std::vector<LockId> Locks;     ///< in cycle order
+  std::vector<ThreadId> Threads; ///< acquiring thread per edge
+
+  friend bool operator<(const DeadlockCycle &A, const DeadlockCycle &B) {
+    return A.Locks < B.Locks;
+  }
+};
+
+/// Observes monitor events and reports potential deadlocks at the end of
+/// the run (or on demand).
+class DeadlockDetector : public RuntimeHooks {
+public:
+  void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive) override;
+  void onMonitorExit(ThreadId Thread, LockId Lock, bool StillHeld) override;
+
+  /// Finds every simple cycle (up to length \p MaxLength) in the
+  /// lock-order graph satisfying the distinct-thread and empty-gate
+  /// conditions.  Deterministic: cycles are canonicalized and sorted.
+  std::vector<DeadlockCycle> findPotentialDeadlocks(
+      size_t MaxLength = 8) const;
+
+  /// Number of distinct lock-order edges observed.
+  size_t numEdges() const;
+
+private:
+  struct Edge {
+    ThreadId Thread;
+    LockSet Gate; ///< locks held besides From at acquisition of To
+  };
+
+  /// (from, to) -> observations; multiple observations of the same pair
+  /// are merged by keeping each distinct (thread, gate) once.
+  std::map<std::pair<LockId, LockId>, std::vector<Edge>> Edges;
+  std::map<ThreadId, std::vector<LockId>> Held; ///< per-thread lock stack
+};
+
+} // namespace herd
+
+#endif // HERD_DETECT_DEADLOCKDETECTOR_H

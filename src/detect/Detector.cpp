@@ -1,0 +1,74 @@
+//===- detect/Detector.cpp - Runtime datarace detector --------------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Detector.h"
+
+using namespace herd;
+
+void Detector::handleAccess(const AccessEvent &Event) {
+  ++Stats.EventsIn;
+
+  LocationKey Key =
+      Opts.FieldsMerged ? Event.Location.withFieldsMerged() : Event.Location;
+
+  auto [It, Inserted] = Table.try_emplace(Key);
+  LocationState &State = It->second;
+  if (Inserted)
+    ++Stats.LocationsTracked;
+
+  if (Opts.UseOwnership && !State.Shared) {
+    if (Inserted || !State.Owner.isValid()) {
+      // First access: the accessing thread becomes the owner (Section 7.1).
+      State.Owner = Event.Thread;
+      ++Stats.OwnedFiltered;
+      return;
+    }
+    if (State.Owner == Event.Thread) {
+      ++Stats.OwnedFiltered;
+      return;
+    }
+    // A second thread touched the location: it becomes shared, and this
+    // access and all subsequent ones flow to the trie.
+    State.Shared = true;
+    State.Owner = ThreadId::invalid();
+    ++Stats.LocationsShared;
+    if (OnShared)
+      OnShared(Key);
+  } else if (!State.Shared) {
+    State.Shared = true;
+    ++Stats.LocationsShared;
+  }
+
+  AccessTrie::Outcome Outcome =
+      State.Trie.process(Event.Thread, Event.Locks, Event.Access);
+  if (Outcome.Filtered) {
+    ++Stats.WeakerFiltered;
+    return;
+  }
+  if (!Outcome.Raced)
+    return;
+
+  ++Stats.RacesReported;
+  RaceRecord Record;
+  Record.Location = Key;
+  Record.CurrentThread = Event.Thread;
+  Record.CurrentAccess = Event.Access;
+  Record.CurrentLocks = Event.Locks;
+  Record.CurrentSite = Event.Site;
+  Record.PriorThreadKnown = Outcome.PriorThreadKnown;
+  Record.PriorThread = Outcome.PriorThread;
+  Record.PriorAccess = Outcome.PriorAccess;
+  Record.PriorLocks = Outcome.PriorLocks;
+  Reporter.report(std::move(Record));
+}
+
+DetectorStats Detector::stats() const {
+  Stats.TrieNodes = 0;
+  for (const auto &[Key, State] : Table)
+    if (State.Shared)
+      Stats.TrieNodes += State.Trie.nodeCount();
+  return Stats;
+}

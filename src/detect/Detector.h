@@ -1,0 +1,92 @@
+//===- detect/Detector.h - Runtime datarace detector ------------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime datarace detector (Section 3) combined with the ownership
+/// model (Section 7): a table mapping each logical memory location to its
+/// ownership state and, once shared, its access-history trie.
+///
+/// Ownership: the owner of a location is the first thread to access it; the
+/// event stream is filtered to accesses of locations in the shared state,
+/// which approximates the ordering constraints of thread start (Sections
+/// 2.3 and 7.1).  When a location becomes shared, an optional callback lets
+/// the cache layer forcibly evict it from every thread's cache — the sound
+/// run-time fix of Section 7.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_DETECT_DETECTOR_H
+#define HERD_DETECT_DETECTOR_H
+
+#include "detect/AccessEvent.h"
+#include "detect/AccessTrie.h"
+#include "detect/RaceReport.h"
+
+#include <functional>
+#include <unordered_map>
+
+namespace herd {
+
+/// Counters mirroring the measurements of Section 8.2.
+struct DetectorStats {
+  uint64_t EventsIn = 0;        ///< events delivered to the detector
+  uint64_t OwnedFiltered = 0;   ///< dropped while the location was owned
+  uint64_t WeakerFiltered = 0;  ///< dropped by the trie weakness check
+  uint64_t RacesReported = 0;
+  size_t LocationsTracked = 0;  ///< locations with any state
+  size_t LocationsShared = 0;   ///< locations that reached the shared state
+
+  /// Trie nodes currently allocated across all shared locations.
+  size_t TrieNodes = 0;
+};
+
+/// The per-location detector.
+class Detector {
+public:
+  struct Options {
+    /// Apply the ownership filter (Section 7).  Disabled for the
+    /// "NoOwnership" accuracy variant of Table 3.
+    bool UseOwnership = true;
+
+    /// Collapse all fields of an object into one location (the
+    /// "FieldsMerged" accuracy variant of Table 3).
+    bool FieldsMerged = false;
+  };
+
+  Detector(RaceReporter &Reporter, Options Opts)
+      : Reporter(Reporter), Opts(Opts) {}
+
+  /// Processes one access event.  The event's lockset must already include
+  /// any dummy join locks (the caller maintains per-thread locksets).
+  void handleAccess(const AccessEvent &Event);
+
+  /// Invoked when a location transitions from owned to shared, before the
+  /// triggering access is processed.  The cache layer uses this to evict
+  /// the location from every thread's cache.
+  void setOnShared(std::function<void(LocationKey)> Callback) {
+    OnShared = std::move(Callback);
+  }
+
+  /// Returns the current statistics (recomputes the trie-node total).
+  DetectorStats stats() const;
+
+private:
+  struct LocationState {
+    ThreadId Owner;      ///< first accessor; invalid once shared
+    bool Shared = false;
+    AccessTrie Trie;     ///< populated only once shared
+  };
+
+  RaceReporter &Reporter;
+  Options Opts;
+  std::function<void(LocationKey)> OnShared;
+  std::unordered_map<LocationKey, LocationState> Table;
+  mutable DetectorStats Stats;
+};
+
+} // namespace herd
+
+#endif // HERD_DETECT_DETECTOR_H

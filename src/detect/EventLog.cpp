@@ -1,0 +1,165 @@
+//===- detect/EventLog.cpp - Post-mortem event logging --------------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/EventLog.h"
+
+#include "support/Compiler.h"
+
+using namespace herd;
+
+void EventLog::onThreadCreate(ThreadId Child, ThreadId Parent,
+                              ObjectId ThreadObj) {
+  Record R;
+  R.Kind = RecordKind::ThreadCreate;
+  R.Thread = Child;
+  R.OtherThread = Parent;
+  R.ThreadObj = ThreadObj;
+  Records.push_back(R);
+}
+
+void EventLog::onThreadExit(ThreadId Dying) {
+  Record R;
+  R.Kind = RecordKind::ThreadExit;
+  R.Thread = Dying;
+  Records.push_back(R);
+}
+
+void EventLog::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
+  Record R;
+  R.Kind = RecordKind::ThreadJoin;
+  R.Thread = Joiner;
+  R.OtherThread = Joined;
+  Records.push_back(R);
+}
+
+void EventLog::onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive) {
+  Record R;
+  R.Kind = RecordKind::MonitorEnter;
+  R.Thread = Thread;
+  R.Lock = Lock;
+  R.Flags = Recursive ? 1 : 0;
+  Records.push_back(R);
+}
+
+void EventLog::onMonitorExit(ThreadId Thread, LockId Lock, bool StillHeld) {
+  Record R;
+  R.Kind = RecordKind::MonitorExit;
+  R.Thread = Thread;
+  R.Lock = Lock;
+  R.Flags = StillHeld ? 1 : 0;
+  Records.push_back(R);
+}
+
+void EventLog::onAccess(ThreadId Thread, LocationKey Location,
+                        AccessKind Access, SiteId Site) {
+  Record R;
+  R.Kind = RecordKind::Access;
+  R.Thread = Thread;
+  R.Location = Location;
+  R.Flags = Access == AccessKind::Write ? 1 : 0;
+  R.Site = Site;
+  Records.push_back(R);
+}
+
+void EventLog::replayInto(RuntimeHooks &Sink) const {
+  for (const Record &R : Records) {
+    switch (R.Kind) {
+    case RecordKind::ThreadCreate:
+      Sink.onThreadCreate(R.Thread, R.OtherThread, R.ThreadObj);
+      break;
+    case RecordKind::ThreadExit:
+      Sink.onThreadExit(R.Thread);
+      break;
+    case RecordKind::ThreadJoin:
+      Sink.onThreadJoin(R.Thread, R.OtherThread);
+      break;
+    case RecordKind::MonitorEnter:
+      Sink.onMonitorEnter(R.Thread, R.Lock, R.Flags != 0);
+      break;
+    case RecordKind::MonitorExit:
+      Sink.onMonitorExit(R.Thread, R.Lock, R.Flags != 0);
+      break;
+    case RecordKind::Access:
+      Sink.onAccess(R.Thread, R.Location,
+                    R.Flags ? AccessKind::Write : AccessKind::Read, R.Site);
+      break;
+    }
+  }
+}
+
+namespace {
+
+void put32(std::vector<uint8_t> &Out, uint32_t V) {
+  Out.push_back(uint8_t(V));
+  Out.push_back(uint8_t(V >> 8));
+  Out.push_back(uint8_t(V >> 16));
+  Out.push_back(uint8_t(V >> 24));
+}
+
+void put64(std::vector<uint8_t> &Out, uint64_t V) {
+  put32(Out, uint32_t(V));
+  put32(Out, uint32_t(V >> 32));
+}
+
+uint32_t get32(const std::vector<uint8_t> &In, size_t At) {
+  return uint32_t(In[At]) | (uint32_t(In[At + 1]) << 8) |
+         (uint32_t(In[At + 2]) << 16) | (uint32_t(In[At + 3]) << 24);
+}
+
+uint64_t get64(const std::vector<uint8_t> &In, size_t At) {
+  return uint64_t(get32(In, At)) | (uint64_t(get32(In, At + 4)) << 32);
+}
+
+} // namespace
+
+std::vector<uint8_t> EventLog::serialize() const {
+  std::vector<uint8_t> Out;
+  Out.reserve(8 + Records.size() * logRecordBytes());
+  put64(Out, Records.size());
+  for (const Record &R : Records) {
+    Out.push_back(uint8_t(R.Kind));
+    Out.push_back(R.Flags);
+    Out.push_back(0);
+    Out.push_back(0);
+    put32(Out, R.Thread.index());
+    put32(Out, R.OtherThread.index());
+    put32(Out, R.Lock.index());
+    put64(Out, R.Location.raw());
+    put32(Out, R.Site.index());
+    put32(Out, R.ThreadObj.index());
+    put64(Out, 0); // reserved padding to logRecordBytes()
+  }
+  return Out;
+}
+
+bool EventLog::deserialize(const std::vector<uint8_t> &Bytes, EventLog &Out) {
+  Out.clear();
+  if (Bytes.size() < 8)
+    return false;
+  uint64_t Count = get64(Bytes, 0);
+  if (Bytes.size() != 8 + Count * logRecordBytes())
+    return false;
+  size_t At = 8;
+  for (uint64_t I = 0; I != Count; ++I) {
+    Record R;
+    uint8_t Kind = Bytes[At];
+    if (Kind > uint8_t(RecordKind::Access))
+      return false;
+    R.Kind = RecordKind(Kind);
+    R.Flags = Bytes[At + 1];
+    R.Thread = ThreadId(get32(Bytes, At + 4));
+    R.OtherThread = ThreadId(get32(Bytes, At + 8));
+    R.Lock = LockId(get32(Bytes, At + 12));
+    // LocationKey has no raw constructor; rebuild via the packed halves.
+    uint64_t Raw = get64(Bytes, At + 16);
+    R.Location = LocationKey::fromRaw(Raw);
+    R.Site = SiteId(get32(Bytes, At + 24));
+    R.ThreadObj = ObjectId(get32(Bytes, At + 28));
+    Out.Records.push_back(R);
+    At += logRecordBytes();
+  }
+  return true;
+}

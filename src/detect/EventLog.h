@@ -1,0 +1,95 @@
+//===- detect/EventLog.h - Post-mortem event logging ------------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Post-mortem detection (Section 1): "our approach could be easily
+/// modified to perform post-mortem datarace detection by creating a log of
+/// access events during program execution and performing the final
+/// datarace detection phase off-line."
+///
+/// EventLog is a RuntimeHooks sink that records the full event stream (a
+/// compact tagged record per event); replayInto() later feeds any other
+/// RuntimeHooks implementation — the trie detector for offline race
+/// detection, or several detectors for comparison — without re-running the
+/// program.  Logs can round-trip through a byte buffer (serialize /
+/// deserialize) so a recording process and an analysis process can be
+/// different programs.
+///
+/// Section 9 notes the classic post-mortem pitfall: "the size of the trace
+/// structure can grow prohibitively large"; logRecordBytes() makes that
+/// cost measurable (the Table 2 harness's event counts multiply directly).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_DETECT_EVENTLOG_H
+#define HERD_DETECT_EVENTLOG_H
+
+#include "runtime/Hooks.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace herd {
+
+/// Records every runtime event in order.
+class EventLog : public RuntimeHooks {
+public:
+  enum class RecordKind : uint8_t {
+    ThreadCreate,
+    ThreadExit,
+    ThreadJoin,
+    MonitorEnter,
+    MonitorExit,
+    Access,
+  };
+
+  /// One log record; fields are interpreted per RecordKind.
+  struct Record {
+    RecordKind Kind;
+    uint8_t Flags = 0;   ///< recursive / still-held / access kind
+    ThreadId Thread;     ///< acting thread (or child for ThreadCreate)
+    ThreadId OtherThread;///< parent / joined thread
+    LockId Lock;
+    LocationKey Location;
+    SiteId Site;
+    ObjectId ThreadObj;
+  };
+
+  // RuntimeHooks:
+  void onThreadCreate(ThreadId Child, ThreadId Parent,
+                      ObjectId ThreadObj) override;
+  void onThreadExit(ThreadId Dying) override;
+  void onThreadJoin(ThreadId Joiner, ThreadId Joined) override;
+  void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive) override;
+  void onMonitorExit(ThreadId Thread, LockId Lock, bool StillHeld) override;
+  void onAccess(ThreadId Thread, LocationKey Location, AccessKind Access,
+                SiteId Site) override;
+
+  /// Replays the whole log into \p Sink in recorded order.
+  void replayInto(RuntimeHooks &Sink) const;
+
+  const std::vector<Record> &records() const { return Records; }
+  size_t size() const { return Records.size(); }
+  bool empty() const { return Records.empty(); }
+  void clear() { Records.clear(); }
+
+  /// Bytes one record occupies in the serialized form.
+  static constexpr size_t logRecordBytes() { return 40; }
+
+  /// Serializes to a portable little-endian byte buffer.
+  std::vector<uint8_t> serialize() const;
+
+  /// Restores a log from serialize() output; returns false on a malformed
+  /// buffer (truncation or an unknown record kind).
+  static bool deserialize(const std::vector<uint8_t> &Bytes, EventLog &Out);
+
+private:
+  std::vector<Record> Records;
+};
+
+} // namespace herd
+
+#endif // HERD_DETECT_EVENTLOG_H

@@ -1,0 +1,87 @@
+//===- detect/RaceReport.h - Race records and collection --------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Race reports.  Per Definition 1, the detector reports at least one
+/// racing access event for every memory location involved in a race; each
+/// report pairs the current access with what is known about a prior
+/// conflicting access (its lockset, and its thread when the t_⊥
+/// space optimization has not erased it — Section 2.6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_DETECT_RACEREPORT_H
+#define HERD_DETECT_RACEREPORT_H
+
+#include "detect/AccessEvent.h"
+
+#include <set>
+#include <vector>
+
+namespace herd {
+
+/// One reported race.
+struct RaceRecord {
+  LocationKey Location;
+
+  // The access that triggered the report (reported at the moment it
+  // occurs, so a debugger could suspend the program here — Section 2.6).
+  ThreadId CurrentThread;
+  AccessKind CurrentAccess = AccessKind::Read;
+  LockSet CurrentLocks;
+  SiteId CurrentSite;
+
+  // What is known about the earlier conflicting access.
+  bool PriorThreadKnown = false;
+  ThreadId PriorThread;           ///< valid iff PriorThreadKnown
+  AccessKind PriorAccess = AccessKind::Read;
+  LockSet PriorLocks;
+};
+
+/// Collects race records and answers the counting queries used by the
+/// Table 3 experiments.
+class RaceReporter {
+public:
+  void report(RaceRecord Record) { Records.push_back(std::move(Record)); }
+
+  const std::vector<RaceRecord> &records() const { return Records; }
+  bool empty() const { return Records.empty(); }
+  size_t size() const { return Records.size(); }
+  void clear() { Records.clear(); }
+
+  /// Distinct logical memory locations with at least one report.
+  size_t countDistinctLocations() const {
+    std::set<LocationKey> Locs;
+    for (const RaceRecord &R : Records)
+      Locs.insert(R.Location);
+    return Locs.size();
+  }
+
+  /// Distinct *objects* with at least one report — the measure of Table 3
+  /// ("here we count only the number of distinct objects mentioned").
+  size_t countDistinctObjects() const {
+    std::set<ObjectId> Objects;
+    for (const RaceRecord &R : Records)
+      Objects.insert(R.Location.object());
+    return Objects.size();
+  }
+
+  /// The distinct locations reported, for set-equality tests against the
+  /// exact oracle.
+  std::set<LocationKey> reportedLocations() const {
+    std::set<LocationKey> Locs;
+    for (const RaceRecord &R : Records)
+      Locs.insert(R.Location);
+    return Locs;
+  }
+
+private:
+  std::vector<RaceRecord> Records;
+};
+
+} // namespace herd
+
+#endif // HERD_DETECT_RACEREPORT_H

@@ -1,0 +1,148 @@
+//===- detect/RaceRuntime.cpp - Hooks-to-detector glue --------------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/RaceRuntime.h"
+
+#include <cassert>
+
+using namespace herd;
+
+RaceRuntime::RaceRuntime(RaceRuntimeOptions Opts)
+    : Opts(Opts),
+      // Field merging is applied here (before the cache) so that the cache
+      // and the detector index the same keys; the detector's own option
+      // stays off to avoid re-merging.
+      Det(Reporter,
+          Detector::Options{Opts.UseOwnership, /*FieldsMerged=*/false}) {
+  Det.setOnShared([this](LocationKey Key) {
+    if (!this->Opts.UseCache)
+      return;
+    // Section 7.2: a location entering the shared state must leave every
+    // thread's cache, otherwise a cache hit could suppress the first
+    // post-sharing access.
+    for (auto &T : Threads) {
+      if (!T)
+        continue;
+      T->ReadCache.evictKey(Key);
+      T->WriteCache.evictKey(Key);
+    }
+  });
+}
+
+RaceRuntime::~RaceRuntime() = default;
+
+RaceRuntime::PerThread &RaceRuntime::threadState(ThreadId Thread) {
+  size_t Index = Thread.index();
+  if (Index >= Threads.size())
+    Threads.resize(Index + 1);
+  if (!Threads[Index])
+    Threads[Index] = std::make_unique<PerThread>();
+  return *Threads[Index];
+}
+
+const LockSet &RaceRuntime::lockSetOf(ThreadId Thread) const {
+  static const LockSet Empty;
+  size_t Index = Thread.index();
+  if (Index >= Threads.size() || !Threads[Index])
+    return Empty;
+  return Threads[Index]->Locks;
+}
+
+void RaceRuntime::onThreadCreate(ThreadId Child, ThreadId Parent,
+                                 ObjectId ThreadObj) {
+  (void)Parent;
+  (void)ThreadObj;
+  PerThread &T = threadState(Child);
+  if (Opts.ModelJoin) {
+    // A dummy mon-enter(S_child) at the start of the child's execution
+    // (Section 2.3).  The dummy lock is not releasable during the thread's
+    // life, so it is not tagged for cache eviction (see AccessCache docs).
+    T.Locks.insert(dummyLockOf(Child));
+  }
+}
+
+void RaceRuntime::onThreadExit(ThreadId Dying) {
+  if (!Opts.ModelJoin)
+    return;
+  // The dummy mon-exit(S_dying) at the end of the thread's execution.
+  threadState(Dying).Locks.erase(dummyLockOf(Dying));
+}
+
+void RaceRuntime::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
+  if (!Opts.ModelJoin)
+    return;
+  // A dummy mon-enter(S_joined) after the join completes: everything the
+  // joiner does from now on is ordered after the joined thread, which held
+  // S_joined for its entire execution.  The dummy lock is held forever.
+  threadState(Joiner).Locks.insert(dummyLockOf(Joined));
+}
+
+void RaceRuntime::onMonitorEnter(ThreadId Thread, LockId Lock,
+                                 bool Recursive) {
+  if (Recursive)
+    return; // nested acquisitions are invisible to the detector (Sec 4.2)
+  PerThread &T = threadState(Thread);
+  T.Locks.insert(Lock);
+  T.RealStack.push_back(Lock);
+}
+
+void RaceRuntime::onMonitorExit(ThreadId Thread, LockId Lock,
+                                bool StillHeld) {
+  if (StillHeld)
+    return; // only the final monitorexit releases (Section 4.2)
+  PerThread &T = threadState(Thread);
+  T.Locks.erase(Lock);
+  assert(!T.RealStack.empty() && T.RealStack.back() == Lock &&
+         "monitor releases must be LIFO (Java structured locking)");
+  T.RealStack.pop_back();
+  if (Opts.UseCache) {
+    T.ReadCache.evictLock(Lock);
+    T.WriteCache.evictLock(Lock);
+  }
+}
+
+void RaceRuntime::onAccess(ThreadId Thread, LocationKey Location,
+                           AccessKind Access, SiteId Site) {
+  ++EventsSeen;
+  PerThread &T = threadState(Thread);
+  LocationKey Key =
+      Opts.FieldsMerged ? Location.withFieldsMerged() : Location;
+
+  AccessCache *Cache = nullptr;
+  if (Opts.UseCache) {
+    Cache = Access == AccessKind::Read ? &T.ReadCache : &T.WriteCache;
+    if (Cache->lookup(Key))
+      return; // guaranteed redundant: a weaker access is already recorded
+  }
+
+  AccessEvent Event;
+  Event.Location = Key;
+  Event.Thread = Thread;
+  Event.Locks = T.Locks;
+  Event.Access = Access;
+  Event.Site = Site;
+  Det.handleAccess(Event);
+
+  if (Cache) {
+    LockId Innermost =
+        T.RealStack.empty() ? LockId::invalid() : T.RealStack.back();
+    Cache->insert(Key, Innermost);
+  }
+}
+
+RaceRuntimeStats RaceRuntime::stats() const {
+  RaceRuntimeStats S;
+  S.EventsSeen = EventsSeen;
+  for (const auto &T : Threads) {
+    if (!T)
+      continue;
+    S.CacheHits += T->ReadCache.hits() + T->WriteCache.hits();
+    S.CacheMisses += T->ReadCache.misses() + T->WriteCache.misses();
+    S.CacheEvictions += T->ReadCache.evictions() + T->WriteCache.evictions();
+  }
+  S.Detector = Det.stats();
+  return S;
+}

@@ -1,0 +1,199 @@
+//===- frontend/Ast.h - MiniJ abstract syntax trees -------------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the MiniJ surface language.  Nodes are owned by unique_ptr and
+/// carry the source line for diagnostics and race-report site labels.
+///
+/// MiniJ is deliberately small but covers everything the paper's analyses
+/// care about: classes with (typed) fields, instance/static/synchronized
+/// methods, object and array allocation, monitors, thread start/join, and
+/// structured control flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_FRONTEND_AST_H
+#define HERD_FRONTEND_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace herd {
+
+/// A (syntactic) type reference: int, a class, or arrays of either.
+/// Null is the type of the `null` literal, assignable to any class type.
+struct TypeRef {
+  enum class Kind : uint8_t { Int, Class, IntArray, ClassArray, Null };
+  Kind K = Kind::Int;
+  std::string ClassName; ///< for Class / ClassArray
+
+  static TypeRef intType() { return TypeRef(); }
+  static TypeRef nullType() {
+    TypeRef T;
+    T.K = Kind::Null;
+    return T;
+  }
+  static TypeRef classType(std::string Name) {
+    TypeRef T;
+    T.K = Kind::Class;
+    T.ClassName = std::move(Name);
+    return T;
+  }
+
+  bool isInt() const { return K == Kind::Int; }
+  bool isClass() const { return K == Kind::Class; }
+  bool isArray() const {
+    return K == Kind::IntArray || K == Kind::ClassArray;
+  }
+  bool isNull() const { return K == Kind::Null; }
+
+  std::string str() const {
+    switch (K) {
+    case Kind::Int:
+      return "int";
+    case Kind::Class:
+      return ClassName;
+    case Kind::IntArray:
+      return "int[]";
+    case Kind::ClassArray:
+      return ClassName + "[]";
+    case Kind::Null:
+      return "null";
+    }
+    return "?";
+  }
+};
+
+//===----------------------------------------------------------------------===
+// Expressions.
+//===----------------------------------------------------------------------===
+
+struct Expr {
+  enum class Kind : uint8_t {
+    IntLit,
+    NullLit,
+    This,
+    Name,       ///< local / parameter, or a class name in qualified refs
+    Unary,      ///< ! or unary -
+    Binary,
+    Field,      ///< base.field, ClassName.staticField, or array.length
+    Index,      ///< base[index]
+    Call,       ///< base.method(args) or ClassName.staticMethod(args)
+    NewObject,
+    NewArray,
+  };
+
+  Kind K;
+  uint32_t Line = 0;
+
+  // Payload (union-of-everything style; only the fields for K are used).
+  int64_t IntValue = 0;
+  std::string Name;       ///< identifier / field / method / class name
+  std::string OpText;     ///< for Unary/Binary
+  std::unique_ptr<Expr> LHS, RHS; ///< operands / base / index / length
+  std::vector<std::unique_ptr<Expr>> Args;
+  TypeRef ElemType;       ///< for NewArray
+
+  explicit Expr(Kind K, uint32_t Line) : K(K), Line(Line) {}
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+//===----------------------------------------------------------------------===
+// Statements.
+//===----------------------------------------------------------------------===
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind : uint8_t {
+    VarDecl,      ///< var x[: T] = init;
+    Assign,       ///< lvalue = expr;
+    If,
+    While,
+    Synchronized,
+    Return,
+    Print,
+    Yield,
+    Start,
+    Join,
+    ExprStmt,
+    Block,
+  };
+
+  Kind K;
+  uint32_t Line = 0;
+
+  std::string Name;       ///< VarDecl variable name
+  TypeRef DeclType;       ///< VarDecl declared type (defaults to int)
+  bool HasDeclType = false;
+  ExprPtr Target;         ///< Assign lvalue / If-While cond / sync obj /
+                          ///< Return-Print-Start-Join operand / ExprStmt
+  ExprPtr Value;          ///< Assign rhs / VarDecl init
+  std::vector<StmtPtr> Body;     ///< If-then / While / Sync / Block
+  std::vector<StmtPtr> ElseBody; ///< If-else
+
+  explicit Stmt(Kind K, uint32_t Line) : K(K), Line(Line) {}
+};
+
+//===----------------------------------------------------------------------===
+// Declarations.
+//===----------------------------------------------------------------------===
+
+struct ParamAst {
+  std::string Name;
+  TypeRef Type;
+};
+
+struct FieldAst {
+  std::string Name;
+  TypeRef Type;
+  bool IsStatic = false;
+  uint32_t Line = 0;
+};
+
+struct MethodAst {
+  std::string Name;
+  std::vector<ParamAst> Params; ///< not counting the implicit `this`
+  TypeRef RetType;              ///< `def f(...): T`; defaults to int
+  bool HasRetType = false;
+  bool IsStatic = false;
+  bool IsSynchronized = false;
+  std::vector<StmtPtr> Body;
+  uint32_t Line = 0;
+};
+
+struct ClassAst {
+  std::string Name;
+  std::vector<FieldAst> Fields;
+  std::vector<MethodAst> Methods;
+  uint32_t Line = 0;
+};
+
+struct ProgramAst {
+  std::vector<ClassAst> Classes;
+  /// The entry point: a top-level `def main() { ... }`.
+  std::unique_ptr<MethodAst> Main;
+};
+
+/// A diagnostic with 1-based source position.
+struct Diagnostic {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+  std::string Message;
+
+  std::string str() const {
+    return "line " + std::to_string(Line) + ":" + std::to_string(Column) +
+           ": " + Message;
+  }
+};
+
+} // namespace herd
+
+#endif // HERD_FRONTEND_AST_H

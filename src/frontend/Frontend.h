@@ -1,0 +1,42 @@
+//===- frontend/Frontend.h - MiniJ compilation entry point ------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-call frontend: compiles MiniJ source text to a verified MiniJ
+/// Program ready for the detection pipeline.
+///
+/// \code
+///   CompileResult R = compileMiniJ(Source);
+///   if (!R.Ok) { for (auto &D : R.Diags) ...; }
+///   else runPipeline(R.P, ToolConfig::full());
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_FRONTEND_FRONTEND_H
+#define HERD_FRONTEND_FRONTEND_H
+
+#include "frontend/Ast.h"
+#include "ir/Program.h"
+
+#include <string_view>
+#include <vector>
+
+namespace herd {
+
+struct CompileResult {
+  bool Ok = false;
+  Program P;                      ///< valid only when Ok
+  std::vector<Diagnostic> Diags;  ///< parse and semantic errors
+};
+
+/// Compiles MiniJ source; on success the returned program passes
+/// verifyProgram().
+CompileResult compileMiniJ(std::string_view Source);
+
+} // namespace herd
+
+#endif // HERD_FRONTEND_FRONTEND_H

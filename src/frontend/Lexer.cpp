@@ -1,0 +1,272 @@
+//===- frontend/Lexer.cpp - MiniJ lexer -----------------------------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace herd;
+
+const char *herd::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Integer:
+    return "integer literal";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::KwClass:
+    return "'class'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwDef:
+    return "'def'";
+  case TokenKind::KwStatic:
+    return "'static'";
+  case TokenKind::KwSynchronized:
+    return "'synchronized'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwPrint:
+    return "'print'";
+  case TokenKind::KwYield:
+    return "'yield'";
+  case TokenKind::KwStart:
+    return "'start'";
+  case TokenKind::KwJoin:
+    return "'join'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::KwThis:
+    return "'this'";
+  case TokenKind::KwNull:
+    return "'null'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::BangEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::EndOfFile:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid character";
+  }
+  return "?";
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::make(TokenKind Kind, size_t Start) {
+  Token T;
+  T.Kind = Kind;
+  T.Text = Source.substr(Start, Pos - Start);
+  T.Line = Line;
+  T.Column = Column - uint32_t(Pos - Start);
+  return T;
+}
+
+Token Lexer::next() {
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"class", TokenKind::KwClass},
+      {"var", TokenKind::KwVar},
+      {"def", TokenKind::KwDef},
+      {"static", TokenKind::KwStatic},
+      {"synchronized", TokenKind::KwSynchronized},
+      {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},
+      {"return", TokenKind::KwReturn},
+      {"print", TokenKind::KwPrint},
+      {"yield", TokenKind::KwYield},
+      {"start", TokenKind::KwStart},
+      {"join", TokenKind::KwJoin},
+      {"new", TokenKind::KwNew},
+      {"this", TokenKind::KwThis},
+      {"null", TokenKind::KwNull},
+      {"int", TokenKind::KwInt},
+  };
+
+  skipTrivia();
+  if (Pos >= Source.size()) {
+    Token T;
+    T.Kind = TokenKind::EndOfFile;
+    T.Line = Line;
+    T.Column = Column;
+    return T;
+  }
+
+  size_t Start = Pos;
+  char C = advance();
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    int64_t Value = C - '0';
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Value = Value * 10 + (advance() - '0');
+    Token T = make(TokenKind::Integer, Start);
+    T.IntValue = Value;
+    return T;
+  }
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      advance();
+    Token T = make(TokenKind::Identifier, Start);
+    auto It = Keywords.find(T.Text);
+    if (It != Keywords.end())
+      T.Kind = It->second;
+    return T;
+  }
+
+  auto Two = [&](char Next, TokenKind IfTwo, TokenKind IfOne) {
+    if (peek() == Next) {
+      advance();
+      return make(IfTwo, Start);
+    }
+    return make(IfOne, Start);
+  };
+
+  switch (C) {
+  case '{':
+    return make(TokenKind::LBrace, Start);
+  case '}':
+    return make(TokenKind::RBrace, Start);
+  case '(':
+    return make(TokenKind::LParen, Start);
+  case ')':
+    return make(TokenKind::RParen, Start);
+  case '[':
+    return make(TokenKind::LBracket, Start);
+  case ']':
+    return make(TokenKind::RBracket, Start);
+  case ';':
+    return make(TokenKind::Semicolon, Start);
+  case ',':
+    return make(TokenKind::Comma, Start);
+  case ':':
+    return make(TokenKind::Colon, Start);
+  case '.':
+    return make(TokenKind::Dot, Start);
+  case '+':
+    return make(TokenKind::Plus, Start);
+  case '-':
+    return make(TokenKind::Minus, Start);
+  case '*':
+    return make(TokenKind::Star, Start);
+  case '/':
+    return make(TokenKind::Slash, Start);
+  case '%':
+    return make(TokenKind::Percent, Start);
+  case '=':
+    return Two('=', TokenKind::EqEq, TokenKind::Assign);
+  case '!':
+    return Two('=', TokenKind::BangEq, TokenKind::Bang);
+  case '<':
+    return Two('=', TokenKind::LessEq, TokenKind::Less);
+  case '>':
+    return Two('=', TokenKind::GreaterEq, TokenKind::Greater);
+  case '&':
+    if (peek() == '&') {
+      advance();
+      return make(TokenKind::AmpAmp, Start);
+    }
+    return make(TokenKind::Error, Start);
+  case '|':
+    if (peek() == '|') {
+      advance();
+      return make(TokenKind::PipePipe, Start);
+    }
+    return make(TokenKind::Error, Start);
+  default:
+    return make(TokenKind::Error, Start);
+  }
+}
+
+std::vector<Token> Lexer::tokenizeAll(std::string_view Source) {
+  Lexer L(Source);
+  std::vector<Token> Tokens;
+  while (true) {
+    Tokens.push_back(L.next());
+    if (Tokens.back().is(TokenKind::EndOfFile))
+      return Tokens;
+  }
+}

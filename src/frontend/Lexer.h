@@ -1,0 +1,50 @@
+//===- frontend/Lexer.h - MiniJ lexer ---------------------------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniJ.  Supports `//` line comments and decimal
+/// integer literals; reports malformed input as Error tokens carrying the
+/// offending text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_FRONTEND_LEXER_H
+#define HERD_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace herd {
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Source(Source) {}
+
+  /// Produces the next token (EndOfFile forever once exhausted).
+  Token next();
+
+  /// Lexes the whole buffer; the last token is EndOfFile.
+  static std::vector<Token> tokenizeAll(std::string_view Source);
+
+private:
+  void skipTrivia();
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  Token make(TokenKind Kind, size_t Start);
+
+  std::string_view Source;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace herd
+
+#endif // HERD_FRONTEND_LEXER_H

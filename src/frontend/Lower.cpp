@@ -1,0 +1,825 @@
+//===- frontend/Lower.cpp - MiniJ AST-to-IR lowering ----------------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the MiniJ AST to the MiniJ IR through the IRBuilder, with a
+/// pragmatic type checker: every expression carries a TypeRef so that
+/// method calls resolve statically (the IR has only direct calls), field
+/// and array accesses are shape-checked, and `null` is assignable to any
+/// class type.  Statements carry `L<line>` site labels, which is what race
+/// reports print.
+///
+/// Restrictions (diagnosed, not silently miscompiled):
+///   - `return` is not allowed inside a `synchronized` block (the IR's
+///     monitor regions are strictly structured);
+///   - `&&` and `||` evaluate both operands (no short circuit);
+///   - code after a `return` in the same block is rejected as unreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+
+#include "frontend/Parser.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include <map>
+#include <optional>
+
+using namespace herd;
+
+namespace {
+
+/// A typed value produced by expression lowering.  An invalid Reg with
+/// IsClassRef set denotes a class name used as a qualifier.
+struct TypedValue {
+  RegId Reg;
+  TypeRef Type;
+  bool IsClassRef = false;
+  ClassId Class; ///< for class refs
+  bool Ok = false;
+
+  static TypedValue value(RegId R, TypeRef T) {
+    TypedValue V;
+    V.Reg = R;
+    V.Type = std::move(T);
+    V.Ok = true;
+    return V;
+  }
+  static TypedValue classRef(ClassId C, std::string Name) {
+    TypedValue V;
+    V.IsClassRef = true;
+    V.Class = C;
+    V.Type = TypeRef::classType(std::move(Name));
+    V.Ok = true;
+    return V;
+  }
+  static TypedValue invalid() { return TypedValue(); }
+};
+
+struct FieldInfo {
+  FieldId Id;
+  TypeRef Type;
+  bool IsStatic = false;
+};
+
+struct MethodInfo {
+  MethodId Id;
+  const MethodAst *Ast = nullptr;
+  ClassId Owner;
+};
+
+class Lowering {
+public:
+  Lowering(Program &P, std::vector<Diagnostic> &Diags)
+      : P(P), B(P), Diags(Diags) {}
+
+  void run(const ProgramAst &Ast);
+
+private:
+  void declare(const ProgramAst &Ast);
+  void lowerMethod(const MethodAst &M, MethodId Id, ClassId Owner);
+  void lowerStmts(const std::vector<StmtPtr> &Stmts);
+  void lowerStmt(const Stmt &S);
+  void lowerAssign(const Stmt &S);
+  TypedValue lowerExpr(const Expr &E);
+  TypedValue lowerBinary(const Expr &E);
+  TypedValue lowerField(const Expr &E);
+  TypedValue lowerCall(const Expr &E);
+
+  void error(uint32_t Line, const std::string &Message) {
+    Diagnostic D;
+    D.Line = Line;
+    D.Column = 1;
+    D.Message = Message;
+    Diags.push_back(std::move(D));
+  }
+
+  /// Checks that a value of type \p From may flow into a slot of type
+  /// \p To (exact match, or null into any reference type).
+  bool assignable(const TypeRef &From, const TypeRef &To) const {
+    if (From.isNull())
+      return To.isClass() || To.isArray();
+    if (From.K != To.K)
+      return false;
+    if (From.K == TypeRef::Kind::Class ||
+        From.K == TypeRef::Kind::ClassArray)
+      return From.ClassName == To.ClassName;
+    return true;
+  }
+
+  bool resolveType(const TypeRef &T, uint32_t Line) {
+    if ((T.K == TypeRef::Kind::Class || T.K == TypeRef::Kind::ClassArray) &&
+        !Classes.count(T.ClassName)) {
+      error(Line, "unknown class '" + T.ClassName + "'");
+      return false;
+    }
+    return true;
+  }
+
+  RegId emitNullConst() {
+    // MiniJ unifies `null` with the integer zero value: fields, array
+    // elements and fresh registers all zero-initialize, so `x == null`
+    // after `x = arr[i]` on an unset slot works out of the box.  The cost
+    // is that dereferencing null reports a type error ("expected a
+    // reference") rather than a dedicated NPE message — same program
+    // point, same halt.
+    return B.emitConst(0);
+  }
+
+  struct Local {
+    RegId Reg;
+    TypeRef Type;
+  };
+
+  Local *findLocal(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  Program &P;
+  IRBuilder B;
+  std::vector<Diagnostic> &Diags;
+
+  std::map<std::string, ClassId> Classes;
+  std::map<std::pair<uint32_t, std::string>, FieldInfo> Fields; ///< (class)
+  std::map<std::pair<uint32_t, std::string>, MethodInfo> Methods;
+
+  // Per-method lowering state.
+  std::vector<std::map<std::string, Local>> Scopes;
+  ClassId CurClass;
+  const MethodAst *CurMethod = nullptr;
+  uint32_t SyncDepth = 0;
+};
+
+void Lowering::declare(const ProgramAst &Ast) {
+  for (const ClassAst &C : Ast.Classes) {
+    if (Classes.count(C.Name)) {
+      error(C.Line, "duplicate class '" + C.Name + "'");
+      continue;
+    }
+    Classes.emplace(C.Name, B.makeClass(C.Name));
+  }
+  for (const ClassAst &C : Ast.Classes) {
+    auto ClsIt = Classes.find(C.Name);
+    if (ClsIt == Classes.end())
+      continue;
+    ClassId Cls = ClsIt->second;
+    for (const FieldAst &F : C.Fields) {
+      if (!resolveType(F.Type, F.Line))
+        continue;
+      auto Key = std::make_pair(Cls.index(), F.Name);
+      if (Fields.count(Key)) {
+        error(F.Line, "duplicate field '" + F.Name + "'");
+        continue;
+      }
+      FieldInfo Info;
+      Info.Id = F.IsStatic ? B.makeStaticField(Cls, F.Name)
+                           : B.makeField(Cls, F.Name);
+      Info.Type = F.Type;
+      Info.IsStatic = F.IsStatic;
+      Fields.emplace(Key, Info);
+    }
+    for (const MethodAst &M : C.Methods) {
+      auto Key = std::make_pair(Cls.index(), M.Name);
+      if (Methods.count(Key)) {
+        error(M.Line, "duplicate method '" + M.Name + "'");
+        continue;
+      }
+      for (const ParamAst &Param : M.Params)
+        resolveType(Param.Type, M.Line);
+      if (M.HasRetType)
+        resolveType(M.RetType, M.Line);
+      if (M.IsSynchronized && M.IsStatic)
+        error(M.Line, "static methods cannot be synchronized in MiniJ");
+      uint32_t NumParams =
+          uint32_t(M.Params.size()) + (M.IsStatic ? 0u : 1u);
+      MethodInfo Info;
+      Info.Id = P.addMethod(Cls, M.Name, NumParams, M.IsStatic,
+                            M.IsSynchronized);
+      Info.Ast = &M;
+      Info.Owner = Cls;
+      Methods.emplace(Key, Info);
+    }
+  }
+}
+
+void Lowering::run(const ProgramAst &Ast) {
+  declare(Ast);
+  if (!Diags.empty())
+    return;
+
+  for (const ClassAst &C : Ast.Classes) {
+    ClassId Cls = Classes.at(C.Name);
+    for (const MethodAst &M : C.Methods)
+      lowerMethod(M, Methods.at({Cls.index(), M.Name}).Id, Cls);
+  }
+  if (Ast.Main) {
+    MethodId Main = P.addMethod(ClassId::invalid(), "main", 0, true, false);
+    P.MainMethod = Main;
+    lowerMethod(*Ast.Main, Main, ClassId::invalid());
+  }
+}
+
+void Lowering::lowerMethod(const MethodAst &M, MethodId Id, ClassId Owner) {
+  // Position the builder in the (already declared) method.
+  Method &Body = P.method(Id);
+  Body.Blocks.clear();
+  Body.Blocks.emplace_back();
+  Body.NumRegs = Body.NumParams;
+  // IRBuilder has no re-entry API; emulate startMethod's positioning.
+  struct BuilderReset {
+    IRBuilder &B;
+    BuilderReset(IRBuilder &B, MethodId Id) : B(B) { B.resumeMethod(Id); }
+  } Reset(B, Id);
+
+  CurClass = Owner;
+  CurMethod = &M;
+  SyncDepth = 0;
+  Scopes.clear();
+  Scopes.emplace_back();
+  uint32_t ParamBase = M.IsStatic ? 0 : 1;
+  if (!M.IsStatic)
+    Scopes.back().emplace(
+        "this", Local{RegId(0), TypeRef::classType(std::string(
+                                    P.Names.text(P.classDecl(Owner).Name)))});
+  for (size_t I = 0; I != M.Params.size(); ++I)
+    Scopes.back().emplace(
+        M.Params[I].Name,
+        Local{RegId(uint32_t(ParamBase + I)), M.Params[I].Type});
+
+  lowerStmts(M.Body);
+  if (!P.method(Id).block(B.currentBlock()).hasTerminator())
+    B.emitReturn();
+  Scopes.clear();
+}
+
+void Lowering::lowerStmts(const std::vector<StmtPtr> &Stmts) {
+  Scopes.emplace_back();
+  for (const StmtPtr &S : Stmts) {
+    if (P.method(B.currentMethod()).block(B.currentBlock()).hasTerminator()) {
+      error(S->Line, "unreachable code after 'return'");
+      break;
+    }
+    lowerStmt(*S);
+  }
+  Scopes.pop_back();
+}
+
+void Lowering::lowerStmt(const Stmt &S) {
+  B.site("L" + std::to_string(S.Line));
+  switch (S.K) {
+  case Stmt::Kind::VarDecl: {
+    TypeRef Type = S.HasDeclType ? S.DeclType : TypeRef::intType();
+    if (!resolveType(Type, S.Line))
+      return;
+    RegId Reg;
+    if (S.Value) {
+      TypedValue Init = lowerExpr(*S.Value);
+      if (!Init.Ok)
+        return;
+      if (!S.HasDeclType && !Init.Type.isNull())
+        Type = Init.Type;
+      if (!assignable(Init.Type, Type)) {
+        error(S.Line, "cannot initialize '" + S.Name + "' of type " +
+                          Type.str() + " with a " + Init.Type.str());
+        return;
+      }
+      Reg = B.emitMove(Init.Reg);
+    } else {
+      Reg = B.emitConst(0);
+    }
+    if (Scopes.back().count(S.Name)) {
+      error(S.Line, "redeclaration of '" + S.Name + "'");
+      return;
+    }
+    Scopes.back().emplace(S.Name, Local{Reg, Type});
+    return;
+  }
+
+  case Stmt::Kind::Assign:
+    lowerAssign(S);
+    return;
+
+  case Stmt::Kind::If: {
+    TypedValue Cond = lowerExpr(*S.Target);
+    if (!Cond.Ok)
+      return;
+    if (S.ElseBody.empty())
+      B.ifThen(Cond.Reg, [&] { lowerStmts(S.Body); });
+    else
+      B.ifThenElse(
+          Cond.Reg, [&] { lowerStmts(S.Body); },
+          [&] { lowerStmts(S.ElseBody); });
+    return;
+  }
+
+  case Stmt::Kind::While:
+    B.whileLoop(
+        [&]() -> RegId {
+          TypedValue Cond = lowerExpr(*S.Target);
+          return Cond.Ok ? Cond.Reg : B.emitConst(0);
+        },
+        [&] { lowerStmts(S.Body); });
+    return;
+
+  case Stmt::Kind::Synchronized: {
+    TypedValue Obj = lowerExpr(*S.Target);
+    if (!Obj.Ok)
+      return;
+    if (!Obj.Type.isClass() && !Obj.Type.isArray()) {
+      error(S.Line, "synchronized requires an object, got " +
+                        Obj.Type.str());
+      return;
+    }
+    ++SyncDepth;
+    B.sync(Obj.Reg, [&] { lowerStmts(S.Body); });
+    --SyncDepth;
+    return;
+  }
+
+  case Stmt::Kind::Return: {
+    if (SyncDepth > 0) {
+      error(S.Line, "'return' inside 'synchronized' is not supported");
+      return;
+    }
+    if (S.Target) {
+      TypedValue V = lowerExpr(*S.Target);
+      if (!V.Ok)
+        return;
+      if (CurMethod && CurMethod->HasRetType &&
+          !assignable(V.Type, CurMethod->RetType))
+        error(S.Line, "returning a " + V.Type.str() + " from a method "
+                          "declared to return " + CurMethod->RetType.str());
+      B.emitReturn(V.Reg);
+    } else {
+      B.emitReturn();
+    }
+    return;
+  }
+
+  case Stmt::Kind::Print: {
+    TypedValue V = lowerExpr(*S.Target);
+    if (V.Ok)
+      B.emitPrint(V.Reg);
+    return;
+  }
+
+  case Stmt::Kind::Yield:
+    B.emitYield();
+    return;
+
+  case Stmt::Kind::Start: {
+    TypedValue V = lowerExpr(*S.Target);
+    if (!V.Ok)
+      return;
+    if (!V.Type.isClass()) {
+      error(S.Line, "'start' requires an object");
+      return;
+    }
+    ClassId Cls = Classes.at(V.Type.ClassName);
+    if (!P.classDecl(Cls).RunMethod.isValid())
+      error(S.Line, "class '" + V.Type.ClassName + "' has no run() method");
+    B.emitThreadStart(V.Reg);
+    return;
+  }
+
+  case Stmt::Kind::Join: {
+    TypedValue V = lowerExpr(*S.Target);
+    if (!V.Ok)
+      return;
+    if (!V.Type.isClass()) {
+      error(S.Line, "'join' requires an object");
+      return;
+    }
+    B.emitThreadJoin(V.Reg);
+    return;
+  }
+
+  case Stmt::Kind::ExprStmt:
+    lowerExpr(*S.Target);
+    return;
+
+  case Stmt::Kind::Block:
+    lowerStmts(S.Body);
+    return;
+  }
+}
+
+void Lowering::lowerAssign(const Stmt &S) {
+  const Expr &Target = *S.Target;
+
+  if (Target.K == Expr::Kind::Name) {
+    // Local, or an implicit `this.field` / static field of this class.
+    if (Local *L = findLocal(Target.Name)) {
+      TypedValue V = lowerExpr(*S.Value);
+      if (!V.Ok)
+        return;
+      if (!assignable(V.Type, L->Type)) {
+        error(S.Line, "cannot assign a " + V.Type.str() + " to '" +
+                          Target.Name + "' of type " + L->Type.str());
+        return;
+      }
+      B.emitAssign(L->Reg, V.Reg);
+      return;
+    }
+    if (CurClass.isValid()) {
+      auto It = Fields.find({CurClass.index(), Target.Name});
+      if (It != Fields.end()) {
+        TypedValue V = lowerExpr(*S.Value);
+        if (!V.Ok)
+          return;
+        if (!assignable(V.Type, It->second.Type)) {
+          error(S.Line, "cannot assign a " + V.Type.str() + " to field '" +
+                            Target.Name + "' of type " +
+                            It->second.Type.str());
+          return;
+        }
+        if (It->second.IsStatic) {
+          B.emitPutStatic(It->second.Id, V.Reg);
+        } else if (CurMethod && !CurMethod->IsStatic) {
+          B.emitPutField(RegId(0), It->second.Id, V.Reg);
+        } else {
+          error(S.Line, "cannot access instance field '" + Target.Name +
+                            "' from a static method");
+        }
+        return;
+      }
+    }
+    error(S.Line, "unknown variable '" + Target.Name + "'");
+    return;
+  }
+
+  if (Target.K == Expr::Kind::Field) {
+    TypedValue Base = lowerExpr(*Target.LHS);
+    if (!Base.Ok)
+      return;
+    TypedValue V = lowerExpr(*S.Value);
+    if (!V.Ok)
+      return;
+    if (Base.IsClassRef) {
+      auto It = Fields.find({Base.Class.index(), Target.Name});
+      if (It == Fields.end() || !It->second.IsStatic) {
+        error(S.Line, "no static field '" + Target.Name + "' in class " +
+                          Base.Type.ClassName);
+        return;
+      }
+      if (!assignable(V.Type, It->second.Type)) {
+        error(S.Line, "type mismatch assigning to static field '" +
+                          Target.Name + "'");
+        return;
+      }
+      B.emitPutStatic(It->second.Id, V.Reg);
+      return;
+    }
+    if (!Base.Type.isClass()) {
+      error(S.Line, "field assignment on a non-object (" +
+                        Base.Type.str() + ")");
+      return;
+    }
+    ClassId Cls = Classes.at(Base.Type.ClassName);
+    auto It = Fields.find({Cls.index(), Target.Name});
+    if (It == Fields.end() || It->second.IsStatic) {
+      error(S.Line, "no field '" + Target.Name + "' in class " +
+                        Base.Type.ClassName);
+      return;
+    }
+    if (!assignable(V.Type, It->second.Type)) {
+      error(S.Line, "type mismatch assigning to field '" + Target.Name +
+                        "' (expected " + It->second.Type.str() + ", got " +
+                        V.Type.str() + ")");
+      return;
+    }
+    B.emitPutField(Base.Reg, It->second.Id, V.Reg);
+    return;
+  }
+
+  if (Target.K == Expr::Kind::Index) {
+    TypedValue Arr = lowerExpr(*Target.LHS);
+    TypedValue Idx = lowerExpr(*Target.RHS);
+    if (!Arr.Ok || !Idx.Ok)
+      return;
+    if (!Arr.Type.isArray()) {
+      error(S.Line, "indexing a non-array (" + Arr.Type.str() + ")");
+      return;
+    }
+    if (!Idx.Type.isInt()) {
+      error(S.Line, "array index must be an int");
+      return;
+    }
+    TypedValue V = lowerExpr(*S.Value);
+    if (!V.Ok)
+      return;
+    TypeRef Elem = Arr.Type.K == TypeRef::Kind::IntArray
+                       ? TypeRef::intType()
+                       : TypeRef::classType(Arr.Type.ClassName);
+    if (!assignable(V.Type, Elem)) {
+      error(S.Line, "type mismatch storing a " + V.Type.str() +
+                        " into a " + Arr.Type.str());
+      return;
+    }
+    B.emitAStore(Arr.Reg, Idx.Reg, V.Reg);
+    return;
+  }
+
+  error(S.Line, "expression is not assignable");
+}
+
+TypedValue Lowering::lowerExpr(const Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    return TypedValue::value(B.emitConst(E.IntValue), TypeRef::intType());
+
+  case Expr::Kind::NullLit:
+    return TypedValue::value(emitNullConst(), TypeRef::nullType());
+
+  case Expr::Kind::This:
+    if (!CurClass.isValid() || !CurMethod || CurMethod->IsStatic) {
+      error(E.Line, "'this' outside an instance method");
+      return TypedValue::invalid();
+    }
+    return TypedValue::value(
+        RegId(0), TypeRef::classType(std::string(
+                      P.Names.text(P.classDecl(CurClass).Name))));
+
+  case Expr::Kind::Name: {
+    if (Local *L = findLocal(E.Name))
+      return TypedValue::value(L->Reg, L->Type);
+    // Implicit this.field / static field of the current class.
+    if (CurClass.isValid()) {
+      auto It = Fields.find({CurClass.index(), E.Name});
+      if (It != Fields.end()) {
+        if (It->second.IsStatic)
+          return TypedValue::value(B.emitGetStatic(It->second.Id),
+                                   It->second.Type);
+        if (CurMethod && !CurMethod->IsStatic)
+          return TypedValue::value(
+              B.emitGetField(RegId(0), It->second.Id), It->second.Type);
+      }
+    }
+    auto ClsIt = Classes.find(E.Name);
+    if (ClsIt != Classes.end())
+      return TypedValue::classRef(ClsIt->second, E.Name);
+    error(E.Line, "unknown name '" + E.Name + "'");
+    return TypedValue::invalid();
+  }
+
+  case Expr::Kind::Unary: {
+    TypedValue V = lowerExpr(*E.LHS);
+    if (!V.Ok)
+      return TypedValue::invalid();
+    if (!V.Type.isInt()) {
+      error(E.Line, "unary '" + E.OpText + "' requires an int");
+      return TypedValue::invalid();
+    }
+    RegId Zero = B.emitConst(0);
+    if (E.OpText == "!")
+      return TypedValue::value(B.emitBinOp(BinOpKind::CmpEq, V.Reg, Zero),
+                               TypeRef::intType());
+    return TypedValue::value(B.emitBinOp(BinOpKind::Sub, Zero, V.Reg),
+                             TypeRef::intType());
+  }
+
+  case Expr::Kind::Binary:
+    return lowerBinary(E);
+
+  case Expr::Kind::Field:
+    return lowerField(E);
+
+  case Expr::Kind::Index: {
+    TypedValue Arr = lowerExpr(*E.LHS);
+    TypedValue Idx = lowerExpr(*E.RHS);
+    if (!Arr.Ok || !Idx.Ok)
+      return TypedValue::invalid();
+    if (!Arr.Type.isArray()) {
+      error(E.Line, "indexing a non-array (" + Arr.Type.str() + ")");
+      return TypedValue::invalid();
+    }
+    if (!Idx.Type.isInt()) {
+      error(E.Line, "array index must be an int");
+      return TypedValue::invalid();
+    }
+    TypeRef Elem = Arr.Type.K == TypeRef::Kind::IntArray
+                       ? TypeRef::intType()
+                       : TypeRef::classType(Arr.Type.ClassName);
+    return TypedValue::value(B.emitALoad(Arr.Reg, Idx.Reg), Elem);
+  }
+
+  case Expr::Kind::Call:
+    return lowerCall(E);
+
+  case Expr::Kind::NewObject: {
+    auto It = Classes.find(E.Name);
+    if (It == Classes.end()) {
+      error(E.Line, "unknown class '" + E.Name + "'");
+      return TypedValue::invalid();
+    }
+    return TypedValue::value(B.emitNew(It->second),
+                             TypeRef::classType(E.Name));
+  }
+
+  case Expr::Kind::NewArray: {
+    TypedValue Len = lowerExpr(*E.LHS);
+    if (!Len.Ok)
+      return TypedValue::invalid();
+    if (!Len.Type.isInt()) {
+      error(E.Line, "array size must be an int");
+      return TypedValue::invalid();
+    }
+    if (!resolveType(E.ElemType, E.Line))
+      return TypedValue::invalid();
+    TypeRef ArrType;
+    if (E.ElemType.isInt()) {
+      ArrType.K = TypeRef::Kind::IntArray;
+    } else {
+      ArrType.K = TypeRef::Kind::ClassArray;
+      ArrType.ClassName = E.ElemType.ClassName;
+    }
+    return TypedValue::value(B.emitNewArray(Len.Reg), ArrType);
+  }
+  }
+  return TypedValue::invalid();
+}
+
+TypedValue Lowering::lowerBinary(const Expr &E) {
+  TypedValue L = lowerExpr(*E.LHS);
+  TypedValue R = lowerExpr(*E.RHS);
+  if (!L.Ok || !R.Ok)
+    return TypedValue::invalid();
+
+  const std::string &Op = E.OpText;
+  if (Op == "==" || Op == "!=") {
+    // References and ints alike; null comparisons included.
+    RegId Res = B.emitBinOp(Op == "==" ? BinOpKind::CmpEq : BinOpKind::CmpNe,
+                            L.Reg, R.Reg);
+    return TypedValue::value(Res, TypeRef::intType());
+  }
+
+  if (!L.Type.isInt() || !R.Type.isInt()) {
+    error(E.Line, "operator '" + Op + "' requires ints (got " +
+                      L.Type.str() + " and " + R.Type.str() + ")");
+    return TypedValue::invalid();
+  }
+
+  BinOpKind Kind;
+  if (Op == "+")
+    Kind = BinOpKind::Add;
+  else if (Op == "-")
+    Kind = BinOpKind::Sub;
+  else if (Op == "*")
+    Kind = BinOpKind::Mul;
+  else if (Op == "/")
+    Kind = BinOpKind::Div;
+  else if (Op == "%")
+    Kind = BinOpKind::Mod;
+  else if (Op == "<")
+    Kind = BinOpKind::CmpLt;
+  else if (Op == "<=")
+    Kind = BinOpKind::CmpLe;
+  else if (Op == ">")
+    Kind = BinOpKind::CmpGt;
+  else if (Op == ">=")
+    Kind = BinOpKind::CmpGe;
+  else if (Op == "&&" || Op == "||") {
+    // Eager evaluation: normalize both sides to 0/1 and combine.
+    RegId Zero = B.emitConst(0);
+    RegId LB = B.emitBinOp(BinOpKind::CmpNe, L.Reg, Zero);
+    RegId RB = B.emitBinOp(BinOpKind::CmpNe, R.Reg, Zero);
+    RegId Res = B.emitBinOp(Op == "&&" ? BinOpKind::And : BinOpKind::Or,
+                            LB, RB);
+    return TypedValue::value(Res, TypeRef::intType());
+  } else {
+    error(E.Line, "unknown operator '" + Op + "'");
+    return TypedValue::invalid();
+  }
+  return TypedValue::value(B.emitBinOp(Kind, L.Reg, R.Reg),
+                           TypeRef::intType());
+}
+
+TypedValue Lowering::lowerField(const Expr &E) {
+  TypedValue Base = lowerExpr(*E.LHS);
+  if (!Base.Ok)
+    return TypedValue::invalid();
+
+  if (Base.IsClassRef) {
+    auto It = Fields.find({Base.Class.index(), E.Name});
+    if (It == Fields.end() || !It->second.IsStatic) {
+      error(E.Line, "no static field '" + E.Name + "' in class " +
+                        Base.Type.ClassName);
+      return TypedValue::invalid();
+    }
+    return TypedValue::value(B.emitGetStatic(It->second.Id),
+                             It->second.Type);
+  }
+
+  if (Base.Type.isArray() && E.Name == "length")
+    return TypedValue::value(B.emitArrayLen(Base.Reg), TypeRef::intType());
+
+  if (!Base.Type.isClass()) {
+    error(E.Line, "field access on a non-object (" + Base.Type.str() + ")");
+    return TypedValue::invalid();
+  }
+  ClassId Cls = Classes.at(Base.Type.ClassName);
+  auto It = Fields.find({Cls.index(), E.Name});
+  if (It == Fields.end() || It->second.IsStatic) {
+    error(E.Line, "no field '" + E.Name + "' in class " +
+                      Base.Type.ClassName);
+    return TypedValue::invalid();
+  }
+  return TypedValue::value(B.emitGetField(Base.Reg, It->second.Id),
+                           It->second.Type);
+}
+
+TypedValue Lowering::lowerCall(const Expr &E) {
+  TypedValue Base = lowerExpr(*E.LHS);
+  if (!Base.Ok)
+    return TypedValue::invalid();
+
+  ClassId Cls;
+  bool IsStaticCall = Base.IsClassRef;
+  if (IsStaticCall) {
+    Cls = Base.Class;
+  } else if (Base.Type.isClass()) {
+    Cls = Classes.at(Base.Type.ClassName);
+  } else {
+    error(E.Line, "method call on a non-object (" + Base.Type.str() + ")");
+    return TypedValue::invalid();
+  }
+
+  auto It = Methods.find({Cls.index(), E.Name});
+  if (It == Methods.end()) {
+    error(E.Line, "no method '" + E.Name + "' in class " +
+                      std::string(P.Names.text(P.classDecl(Cls).Name)));
+    return TypedValue::invalid();
+  }
+  const MethodInfo &Info = It->second;
+  if (IsStaticCall && !Info.Ast->IsStatic) {
+    error(E.Line, "'" + E.Name + "' is an instance method; call it on an "
+                      "object");
+    return TypedValue::invalid();
+  }
+  if (!IsStaticCall && Info.Ast->IsStatic) {
+    error(E.Line, "'" + E.Name + "' is static; call it as " +
+                      std::string(P.Names.text(P.classDecl(Cls).Name)) +
+                      "." + E.Name + "(...)");
+    return TypedValue::invalid();
+  }
+  if (E.Args.size() != Info.Ast->Params.size()) {
+    error(E.Line, "'" + E.Name + "' expects " +
+                      std::to_string(Info.Ast->Params.size()) +
+                      " argument(s), got " + std::to_string(E.Args.size()));
+    return TypedValue::invalid();
+  }
+
+  std::vector<RegId> Args;
+  if (!IsStaticCall)
+    Args.push_back(Base.Reg);
+  for (size_t I = 0; I != E.Args.size(); ++I) {
+    TypedValue V = lowerExpr(*E.Args[I]);
+    if (!V.Ok)
+      return TypedValue::invalid();
+    if (!assignable(V.Type, Info.Ast->Params[I].Type)) {
+      error(E.Line, "argument " + std::to_string(I + 1) + " of '" + E.Name +
+                        "' expects " + Info.Ast->Params[I].Type.str() +
+                        ", got " + V.Type.str());
+      return TypedValue::invalid();
+    }
+    Args.push_back(V.Reg);
+  }
+
+  RegId Ret = B.emitCallArgs(Info.Id, Args);
+  TypeRef RetType =
+      Info.Ast->HasRetType ? Info.Ast->RetType : TypeRef::intType();
+  return TypedValue::value(Ret, RetType);
+}
+
+} // namespace
+
+CompileResult herd::compileMiniJ(std::string_view Source) {
+  CompileResult Result;
+  Parser P(Source, Result.Diags);
+  ProgramAst Ast = P.parseProgram();
+  if (!Result.Diags.empty())
+    return Result;
+
+  Lowering Lower(Result.P, Result.Diags);
+  Lower.run(Ast);
+  if (!Result.Diags.empty())
+    return Result;
+
+  std::vector<std::string> Problems = verifyProgram(Result.P);
+  for (const std::string &Problem : Problems) {
+    Diagnostic D;
+    D.Message = "internal: lowered program failed verification: " + Problem;
+    Result.Diags.push_back(std::move(D));
+  }
+  Result.Ok = Result.Diags.empty();
+  return Result;
+}

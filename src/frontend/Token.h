@@ -1,0 +1,90 @@
+//===- frontend/Token.h - MiniJ surface-language tokens ---------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens of the MiniJ surface language — the small Java-like language
+/// whose programs the pipeline analyses (see frontend/Parser.h for the
+/// grammar).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_FRONTEND_TOKEN_H
+#define HERD_FRONTEND_TOKEN_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace herd {
+
+enum class TokenKind : uint8_t {
+  // Literals and identifiers.
+  Integer,
+  Identifier,
+  // Keywords.
+  KwClass,
+  KwVar,
+  KwDef,
+  KwStatic,
+  KwSynchronized,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwPrint,
+  KwYield,
+  KwStart,
+  KwJoin,
+  KwNew,
+  KwThis,
+  KwNull,
+  KwInt,
+  // Punctuation and operators.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Colon,
+  Dot,
+  Assign,     // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Bang,       // !
+  EqEq,
+  BangEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  AmpAmp,
+  PipePipe,
+  // Sentinels.
+  EndOfFile,
+  Error,
+};
+
+/// Returns a human-readable name for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  std::string_view Text;  ///< slice of the source buffer
+  int64_t IntValue = 0;   ///< for Integer tokens
+  uint32_t Line = 0;      ///< 1-based
+  uint32_t Column = 0;    ///< 1-based
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace herd
+
+#endif // HERD_FRONTEND_TOKEN_H

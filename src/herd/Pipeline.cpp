@@ -1,0 +1,232 @@
+//===- herd/Pipeline.cpp - The end-to-end detection pipeline --------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "herd/Pipeline.h"
+
+#include "ir/Verifier.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace herd;
+
+ToolConfig ToolConfig::base() {
+  ToolConfig C;
+  C.Instrument = false;
+  return C;
+}
+
+ToolConfig ToolConfig::full() { return ToolConfig(); }
+
+ToolConfig ToolConfig::noStatic() {
+  ToolConfig C;
+  C.StaticAnalysis = false;
+  return C;
+}
+
+ToolConfig ToolConfig::noDominators() {
+  ToolConfig C;
+  C.StaticWeakerThan = false;
+  C.LoopPeeling = false; // useless without the weaker-than check (Sec 8.2)
+  return C;
+}
+
+ToolConfig ToolConfig::noPeeling() {
+  ToolConfig C;
+  C.LoopPeeling = false;
+  return C;
+}
+
+ToolConfig ToolConfig::noCache() {
+  ToolConfig C;
+  C.UseCache = false;
+  return C;
+}
+
+ToolConfig ToolConfig::fieldsMerged() {
+  ToolConfig C;
+  C.FieldsMerged = true;
+  return C;
+}
+
+ToolConfig ToolConfig::noOwnership() {
+  ToolConfig C;
+  C.UseOwnership = false;
+  return C;
+}
+
+namespace {
+
+/// Renders one race record using program metadata and the final heap (for
+/// object class names).
+std::string formatRace(const Program &P, const Heap &TheHeap,
+                       const RaceRecord &Rec) {
+  std::string Out = "race on ";
+  ObjectId Obj = Rec.Location.object();
+  if (Obj.index() < TheHeap.size()) {
+    const HeapObject &H = TheHeap.object(Obj);
+    if (H.IsArray) {
+      Out += "array";
+    } else if (H.IsClassStatics) {
+      Out += "statics";
+    } else if (H.Class.isValid()) {
+      Out += P.Names.text(P.classDecl(H.Class).Name);
+    } else {
+      Out += "object";
+    }
+  } else {
+    Out += "object";
+  }
+  Out += " #";
+  Out += std::to_string(Obj.index());
+
+  uint32_t FieldBits = uint32_t(Rec.Location.raw() & 0xFFFFFFFF);
+  if (FieldBits < P.numFields()) {
+    Out += " field ";
+    Out += P.Names.text(P.field(FieldId(FieldBits)).Name);
+  }
+
+  Out += ": ";
+  Out += Rec.CurrentAccess == AccessKind::Write ? "write" : "read";
+  Out += " by thread ";
+  Out += std::to_string(Rec.CurrentThread.index());
+  if (Rec.CurrentSite.isValid()) {
+    Out += " at ";
+    Out += P.Names.text(P.site(Rec.CurrentSite).Label);
+  }
+  Out += " conflicts with earlier ";
+  Out += Rec.PriorAccess == AccessKind::Write ? "write" : "read";
+  if (Rec.PriorThreadKnown) {
+    Out += " by thread ";
+    Out += std::to_string(Rec.PriorThread.index());
+  } else {
+    Out += " (thread unknown: multiple earlier threads)";
+  }
+  // Dummy join locks (Section 2.3) are an implementation device; report
+  // only program locks, but surface the join ordering when present.
+  size_t RealLocks = 0;
+  bool HasDummy = false;
+  for (LockId L : Rec.PriorLocks) {
+    if (L.index() >= (1u << 30))
+      HasDummy = true;
+    else
+      ++RealLocks;
+  }
+  Out += " holding ";
+  Out += std::to_string(RealLocks);
+  Out += " lock(s)";
+  if (HasDummy)
+    Out += " (+join ordering)";
+  return Out;
+}
+
+} // namespace
+
+PipelineResult herd::runPipeline(const Program &Input,
+                                 const ToolConfig &Config) {
+  using Clock = std::chrono::steady_clock;
+  PipelineResult Result;
+
+  assert(verifyProgram(Input).empty() &&
+         "pipeline input must be a verified program");
+
+  // Phase 1+2: static analysis and instrumentation, on a private copy.
+  Program P = Input;
+  Clock::time_point T0 = Clock::now();
+  if (Config.Instrument) {
+    std::unique_ptr<StaticRaceAnalysis> Races;
+    if (Config.StaticAnalysis) {
+      Races = std::make_unique<StaticRaceAnalysis>(P);
+      Races->run();
+      Result.Static = Races->stats();
+    }
+    InstrumenterOptions Opts;
+    Opts.UseStaticRaceSet = Config.StaticAnalysis;
+    Opts.StaticWeakerThan = Config.StaticWeakerThan;
+    Opts.LoopPeeling = Config.LoopPeeling;
+    Result.Instr = instrumentProgram(P, Opts, Races.get());
+    assert(verifyProgram(P).empty() &&
+           "instrumentation must preserve well-formedness");
+  }
+  Result.AnalysisSeconds =
+      std::chrono::duration<double>(Clock::now() - T0).count();
+
+  // Phase 3+4: execution with the runtime optimizer and detector.
+  RaceRuntimeOptions RTOpts;
+  RTOpts.UseCache = Config.UseCache;
+  RTOpts.UseOwnership = Config.UseOwnership;
+  RTOpts.FieldsMerged = Config.FieldsMerged;
+  RTOpts.ModelJoin = Config.ModelJoin;
+  RaceRuntime RT(RTOpts);
+  DeadlockDetector Deadlocks;
+  FanoutHooks Fanout{&RT, &Deadlocks};
+  RuntimeHooks *Hooks = nullptr;
+  if (Config.Instrument)
+    Hooks = Config.DetectDeadlocks ? static_cast<RuntimeHooks *>(&Fanout)
+                                   : &RT;
+  else if (Config.DetectDeadlocks)
+    Hooks = &Deadlocks;
+
+  InterpOptions IOpts;
+  IOpts.Seed = Config.Seed;
+  IOpts.MaxQuantum = Config.MaxQuantum;
+  IOpts.MaxInstructions = Config.MaxInstructions;
+  Interpreter Interp(P, Hooks, IOpts);
+
+  Clock::time_point T1 = Clock::now();
+  Result.Run = Interp.run();
+  Result.ExecSeconds =
+      std::chrono::duration<double>(Clock::now() - T1).count();
+
+  Result.Stats = RT.stats();
+  Result.Reports = RT.reporter();
+  for (const RaceRecord &Rec : Result.Reports.records())
+    Result.FormattedRaces.push_back(formatRace(P, Interp.heap(), Rec));
+
+  if (Config.DetectDeadlocks) {
+    // Static half of the co-analysis: whole-program candidates.
+    PointsToAnalysis PT(Input);
+    PT.run();
+    SingleInstanceAnalysis SI(Input, PT);
+    SI.run();
+    LockOrderAnalysis LO(Input, PT, SI);
+    LO.run();
+    Result.StaticDeadlockCandidates = LO.findCycles();
+    for (const StaticLockCycle &Cycle : Result.StaticDeadlockCandidates) {
+      std::string Line = "static deadlock candidate: allocation-site cycle";
+      for (AllocSiteId Site : Cycle.Sites) {
+        Line += " -> site #";
+        Line += std::to_string(Site.index());
+        ClassId Cls = Input.allocSite(Site).Class;
+        if (Cls.isValid()) {
+          Line += " (";
+          Line += Input.Names.text(Input.classDecl(Cls).Name);
+          Line += ')';
+        }
+      }
+      if (Cycle.Sites.size() == 1)
+        Line += " [two instances of one site in opposite orders]";
+      Result.FormattedDeadlocks.push_back(std::move(Line));
+    }
+
+    Result.Deadlocks = Deadlocks.findPotentialDeadlocks();
+    for (const DeadlockCycle &Cycle : Result.Deadlocks) {
+      std::string Line = "potential deadlock: lock cycle";
+      for (LockId L : Cycle.Locks) {
+        Line += " -> object #";
+        Line += std::to_string(L.index());
+      }
+      Line += " (threads";
+      for (ThreadId T : Cycle.Threads) {
+        Line += ' ';
+        Line += std::to_string(T.index());
+      }
+      Line += ")";
+      Result.FormattedDeadlocks.push_back(std::move(Line));
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,94 @@
+//===- herd/Pipeline.h - The end-to-end detection pipeline ------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point: Figure 1's full architecture in one call.
+///
+///   program --> static datarace analysis --> optimized instrumentation
+///           --> execution with runtime optimizer (caches) --> detector
+///
+/// ToolConfig exposes every phase as a switch so the paper's ablations
+/// (Base / Full / NoStatic / NoDominators / NoPeeling / NoCache of Table 2,
+/// and Full / FieldsMerged / NoOwnership of Table 3) are one-liners.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_HERD_PIPELINE_H
+#define HERD_HERD_PIPELINE_H
+
+#include "analysis/LockOrder.h"
+#include "analysis/StaticRace.h"
+#include "detect/DeadlockDetector.h"
+#include "detect/RaceRuntime.h"
+#include "instr/Instrumenter.h"
+#include "runtime/Interpreter.h"
+
+#include <string>
+#include <vector>
+
+namespace herd {
+
+/// Configuration of one pipeline run.
+struct ToolConfig {
+  // --- Compile-time phases (Table 2 ablations) ---
+  bool Instrument = true;      ///< false = "Base": run uninstrumented
+  bool StaticAnalysis = true;  ///< false = "NoStatic"
+  bool StaticWeakerThan = true;///< false = "NoDominators"
+  bool LoopPeeling = true;     ///< false = "NoPeeling"
+
+  // --- Runtime phases ---
+  bool UseCache = true;        ///< false = "NoCache"
+  bool UseOwnership = true;    ///< false = "NoOwnership" (Table 3)
+  bool FieldsMerged = false;   ///< true  = "FieldsMerged" (Table 3)
+  bool ModelJoin = true;       ///< dummy join locks (Section 2.3)
+
+  /// Also run the lock-order deadlock detector (the Section 10 extension)
+  /// over the same monitor event stream.
+  bool DetectDeadlocks = false;
+
+  // --- Execution ---
+  uint64_t Seed = 1;
+  uint32_t MaxQuantum = 40;
+  uint64_t MaxInstructions = 500'000'000;
+
+  /// Named presets for the experiment tables.
+  static ToolConfig base();
+  static ToolConfig full();
+  static ToolConfig noStatic();
+  static ToolConfig noDominators();
+  static ToolConfig noPeeling();
+  static ToolConfig noCache();
+  static ToolConfig fieldsMerged();
+  static ToolConfig noOwnership();
+};
+
+/// Everything one run produces.
+struct PipelineResult {
+  InterpResult Run;
+  RaceRuntimeStats Stats;
+  RaceReporter Reports;
+  StaticRaceStats Static;    ///< zeroed when StaticAnalysis was off
+  InstrumenterStats Instr;   ///< zeroed when Instrument was off
+  double AnalysisSeconds = 0.0; ///< static analysis + instrumentation time
+  double ExecSeconds = 0.0;     ///< program execution (incl. detection)
+  std::vector<std::string> FormattedRaces; ///< human-readable reports
+
+  /// Potential deadlocks (only populated with DetectDeadlocks): the
+  /// dynamic lock-order cycles observed in this run, and the static
+  /// candidates from the whole-program lock-order analysis (a superset of
+  /// what any single run can witness — the co-analysis pairing).
+  std::vector<DeadlockCycle> Deadlocks;
+  std::vector<StaticLockCycle> StaticDeadlockCandidates;
+  std::vector<std::string> FormattedDeadlocks;
+};
+
+/// Runs the full pipeline on a copy of \p Input (the input program is not
+/// mutated).
+PipelineResult runPipeline(const Program &Input, const ToolConfig &Config);
+
+} // namespace herd
+
+#endif // HERD_HERD_PIPELINE_H

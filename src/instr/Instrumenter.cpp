@@ -1,0 +1,42 @@
+//===- instr/Instrumenter.cpp - Optimized instrumentation driver ----------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "instr/Instrumenter.h"
+
+using namespace herd;
+
+namespace herd {
+namespace detail {
+// Defined in TraceInsertion.cpp.
+size_t insertTraces(Program &P, const StaticRaceAnalysis *Races);
+} // namespace detail
+} // namespace herd
+
+InstrumenterStats herd::instrumentProgram(Program &P,
+                                          const InstrumenterOptions &Opts,
+                                          const StaticRaceAnalysis *Races) {
+  InstrumenterStats Stats;
+
+  // Phase 1: insert trace pseudo-instructions (Figure 1's instrumentation
+  // phase), restricted by the static datarace set when available.
+  Stats.TracesInserted =
+      detail::insertTraces(P, Opts.UseStaticRaceSet ? Races : nullptr);
+
+  if (!Opts.StaticWeakerThan)
+    return Stats; // "NoDominators": peeling alone is useless (Section 8.2)
+
+  // Phase 2: peel first iterations so in-loop traces become removable.
+  if (Opts.LoopPeeling)
+    for (size_t MI = 0; MI != P.numMethods(); ++MI)
+      Stats.LoopsPeeled +=
+          peelTraceLoops(P, MethodId{uint32_t(MI)}, Opts.MaxPeelsPerMethod);
+
+  // Phase 3: delete statically weaker-than-covered traces.
+  for (size_t MI = 0; MI != P.numMethods(); ++MI)
+    Stats.TracesRemoved += eliminateRedundantTraces(P, MethodId{uint32_t(MI)});
+
+  return Stats;
+}

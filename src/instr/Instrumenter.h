@@ -1,0 +1,73 @@
+//===- instr/Instrumenter.h - Optimized instrumentation ---------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumentation phase of Figure 1 with the compile-time
+/// optimizations of Section 6:
+///
+///   1. insert a trace(o, f, L, a) pseudo-instruction after every memory
+///      access in the static datarace set (or after every access when the
+///      static phase is disabled — the "NoStatic" ablation);
+///   2. peel the first iteration of innermost loops containing traces, so
+///      first-iteration events are produced once outside the loop body
+///      (Section 6.3 — PEIs prevent ordinary hoisting);
+///   3. delete traces that are statically weaker-than-covered
+///      (Section 6.1): an availability dataflow over facts
+///      (base value, field, access strength, monitor-nesting prefix) whose
+///      kill points are calls, thread start/join (Defn 3/4), base-register
+///      redefinitions (value numbering) and monitor exits (the outer()
+///      condition).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_INSTR_INSTRUMENTER_H
+#define HERD_INSTR_INSTRUMENTER_H
+
+#include "analysis/StaticRace.h"
+#include "ir/Program.h"
+
+namespace herd {
+
+/// Ablation switches mirroring Table 2's configurations.
+struct InstrumenterOptions {
+  /// Use the static datarace set to skip provably race-free statements
+  /// (off = "NoStatic": every access is instrumented).
+  bool UseStaticRaceSet = true;
+
+  /// Apply the static weaker-than elimination (off = "NoDominators").
+  bool StaticWeakerThan = true;
+
+  /// Apply loop peeling before elimination (off = "NoPeeling"; also
+  /// implied off when StaticWeakerThan is off, as in the paper).
+  bool LoopPeeling = true;
+
+  /// Safety cap on peels per method (each peel clones the loop body).
+  uint32_t MaxPeelsPerMethod = 16;
+};
+
+struct InstrumenterStats {
+  size_t TracesInserted = 0;
+  size_t TracesRemoved = 0; ///< by the static weaker-than elimination
+  size_t LoopsPeeled = 0;
+};
+
+/// Instruments \p P in place.  When UseStaticRaceSet is set, \p Races must
+/// be a completed StaticRaceAnalysis of the *uninstrumented* program.
+InstrumenterStats instrumentProgram(Program &P,
+                                    const InstrumenterOptions &Opts,
+                                    const StaticRaceAnalysis *Races);
+
+/// Exposed for unit testing: peels the first iteration of every innermost
+/// loop of \p M that contains a Trace; returns the number of peels.
+size_t peelTraceLoops(Program &P, MethodId M, uint32_t MaxPeels);
+
+/// Exposed for unit testing: removes statically redundant traces from
+/// \p M; returns the number removed.
+size_t eliminateRedundantTraces(Program &P, MethodId M);
+
+} // namespace herd
+
+#endif // HERD_INSTR_INSTRUMENTER_H

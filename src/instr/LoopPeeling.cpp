@@ -1,0 +1,139 @@
+//===- instr/LoopPeeling.cpp - First-iteration loop peeling ---------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The loop peeling transformation of Section 6.3.  Given a natural loop
+/// with header h, we clone every loop block; edges into h from outside the
+/// loop are retargeted to the clone of h, and the clone's back edges fall
+/// into the *original* header.  The cloned blocks therefore execute exactly
+/// the first iteration (guarded by the cloned loop condition — the paper's
+/// S20 `if`), after which control continues in the untouched original loop.
+/// The static weaker-than elimination can then delete the in-loop traces
+/// that the peeled copy makes redundant, which ordinary loop-invariant code
+/// motion cannot do because the loop bodies contain PEIs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "instr/Instrumenter.h"
+
+#include <set>
+#include <unordered_map>
+
+using namespace herd;
+
+namespace {
+
+bool loopContainsTrace(const Method &M, const CFG::Loop &L) {
+  for (BlockId B : L.Blocks)
+    for (const Instr &I : M.block(B).Instrs)
+      if (I.Op == Opcode::Trace)
+        return true;
+  return false;
+}
+
+bool isInnermost(const CFG &Cfg, const CFG::Loop &L) {
+  for (const CFG::Loop &Other : Cfg.loops()) {
+    if (Other.Header == L.Header)
+      continue;
+    // `Other` nested inside L makes L non-innermost.
+    if (L.contains(Other.Header) && Other.Blocks.size() < L.Blocks.size())
+      return false;
+  }
+  return true;
+}
+
+/// Peels one loop; returns false when the loop shape is unsupported (the
+/// entry block as header).
+bool peelLoop(Method &M, const CFG::Loop &L) {
+  if (L.Header == BlockId(0))
+    return false;
+
+  // Clone every loop block.
+  std::unordered_map<uint32_t, BlockId> CloneOf;
+  for (BlockId B : L.Blocks) {
+    BlockId Clone{uint32_t(M.Blocks.size())};
+    M.Blocks.push_back(M.block(B)); // copy instructions
+    CloneOf.emplace(B.index(), Clone);
+  }
+
+  auto RetargetInClone = [&](BlockId &Target) {
+    // Back edge to the header continues in the original loop (second
+    // iteration onwards); other intra-loop edges stay within the clone.
+    if (Target == L.Header)
+      return;
+    auto It = CloneOf.find(Target.index());
+    if (It != CloneOf.end())
+      Target = It->second;
+  };
+  for (BlockId B : L.Blocks) {
+    std::vector<Instr> &Instrs = M.block(CloneOf.at(B.index())).Instrs;
+    if (Instrs.empty())
+      continue;
+    Instr &Term = Instrs.back();
+    if (Term.Op == Opcode::Jump) {
+      RetargetInClone(Term.Target);
+    } else if (Term.Op == Opcode::Branch) {
+      RetargetInClone(Term.Target);
+      RetargetInClone(Term.AltTarget);
+    }
+  }
+
+  // Entry edges: every edge into the header from outside the loop now
+  // enters the peeled copy.  (Only original blocks are scanned; the clones
+  // were just created and their edges are already correct.)
+  BlockId HeaderClone = CloneOf.at(L.Header.index());
+  size_t NumOriginal = M.Blocks.size() - L.Blocks.size();
+  for (size_t BI = 0; BI != NumOriginal; ++BI) {
+    if (L.contains(BlockId(uint32_t(BI))))
+      continue;
+    std::vector<Instr> &Instrs = M.Blocks[BI].Instrs;
+    if (Instrs.empty())
+      continue;
+    Instr &Term = Instrs.back();
+    if (Term.Op == Opcode::Jump && Term.Target == L.Header)
+      Term.Target = HeaderClone;
+    if (Term.Op == Opcode::Branch) {
+      if (Term.Target == L.Header)
+        Term.Target = HeaderClone;
+      if (Term.AltTarget == L.Header)
+        Term.AltTarget = HeaderClone;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+size_t herd::peelTraceLoops(Program &P, MethodId MId, uint32_t MaxPeels) {
+  size_t Peeled = 0;
+  // Re-derive the CFG after each peel (cloning appends blocks; original
+  // block ids are stable, so peeled headers can be remembered by id).  A
+  // peeled copy is acyclic — its back edge enters the original header — so
+  // each header is peeled at most once.
+  std::set<uint32_t> PeeledHeaders;
+  for (uint32_t Round = 0; Round != MaxPeels; ++Round) {
+    Method &M = P.method(MId);
+    CFG Cfg(P, MId);
+    const CFG::Loop *Candidate = nullptr;
+    for (const CFG::Loop &L : Cfg.loops()) {
+      if (PeeledHeaders.count(L.Header.index()))
+        continue;
+      if (!isInnermost(Cfg, L) || !loopContainsTrace(M, L))
+        continue;
+      Candidate = &L;
+      break;
+    }
+    if (!Candidate)
+      break;
+    CFG::Loop L = *Candidate; // copy: peeling invalidates the CFG
+    PeeledHeaders.insert(L.Header.index());
+    if (!peelLoop(M, L))
+      continue;
+    ++Peeled;
+  }
+  return Peeled;
+}

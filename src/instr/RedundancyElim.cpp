@@ -1,0 +1,253 @@
+//===- instr/RedundancyElim.cpp - Static weaker-than elimination ----------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static weaker-than elimination of Section 6.1.  A trace S_j can be
+/// deleted when some S_i is statically weaker: on every path to S_j, S_i
+/// already produced an event with the same memory location (same base
+/// value and field), equal-or-weaker access kind, a subset lockset (S_i at
+/// the same or shallower monitor nesting — the outer() condition), the
+/// same thread (trivial intraprocedurally), and no start()/join() between
+/// them (Definition 3) nor any method invocation (Definition 4's Exec).
+///
+/// Implemented as an all-paths availability dataflow whose facts are
+/// (base register, location descriptor, access strength, monitor-nesting
+/// prefix at generation).  Facts are killed by calls and thread operations,
+/// by redefinition of the base register (our conservative value numbering:
+/// a register names one value until redefined), and by monitor exits that
+/// close regions the fact was generated under.  The all-paths intersection
+/// subsumes the dominance test the paper uses; meeting over the peeled
+/// first-iteration copy and the loop back edge is exactly what makes
+/// in-loop traces removable after peeling (Section 6.3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "instr/Instrumenter.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+using namespace herd;
+
+namespace {
+
+/// An available-trace fact.
+struct Fact {
+  TraceWhatKind What = TraceWhatKind::Field;
+  RegId Base;    ///< base object register (invalid for static traces)
+  FieldId Field; ///< field (invalid for array traces)
+  ClassId Class; ///< for static traces
+  AccessKind Access = AccessKind::Read;
+  std::vector<uint32_t> MonStack; ///< region ids open at generation
+
+  friend bool operator<(const Fact &A, const Fact &B) {
+    auto Key = [](const Fact &F) {
+      return std::make_tuple(uint32_t(F.What), F.Base.index(),
+                             F.Field.index(), F.Class.index(),
+                             uint32_t(F.Access));
+    };
+    if (Key(A) != Key(B))
+      return Key(A) < Key(B);
+    return A.MonStack < B.MonStack;
+  }
+  friend bool operator==(const Fact &A, const Fact &B) {
+    return !(A < B) && !(B < A);
+  }
+};
+
+using FactSet = std::set<Fact>;
+
+bool sameLocation(const Fact &F, const Instr &Trace) {
+  if (F.What != Trace.TraceWhat)
+    return false;
+  switch (Trace.TraceWhat) {
+  case TraceWhatKind::Field:
+    return F.Base == Trace.A && F.Field == Trace.Field;
+  case TraceWhatKind::Array:
+    return F.Base == Trace.A;
+  case TraceWhatKind::Static:
+    return F.Class == Trace.Class && F.Field == Trace.Field;
+  }
+  return false;
+}
+
+/// True when some available fact makes \p Trace redundant at a point whose
+/// open regions are \p MonStack.
+bool isCovered(const FactSet &Facts, const Instr &Trace,
+               const std::vector<uint32_t> &MonStack) {
+  for (const Fact &F : Facts) {
+    if (!sameLocation(F, Trace))
+      continue;
+    if (!isWeakerOrEqual(F.Access, Trace.Access))
+      continue;
+    // outer(): the fact's nesting is a prefix of the current nesting, so
+    // its lockset is a subset of the current one.
+    if (F.MonStack.size() > MonStack.size())
+      continue;
+    if (!std::equal(F.MonStack.begin(), F.MonStack.end(), MonStack.begin()))
+      continue;
+    return true;
+  }
+  return false;
+}
+
+/// Applies one instruction's effect to the fact set and monitor stack.
+/// When \p RedundantOut is non-null, records whether a Trace was covered
+/// *before* its own fact is generated.
+void transfer(const Instr &I, FactSet &Facts,
+              std::vector<uint32_t> &MonStack, bool *RedundantOut) {
+  if (RedundantOut)
+    *RedundantOut = false;
+  switch (I.Op) {
+  case Opcode::Trace: {
+    if (RedundantOut)
+      *RedundantOut = isCovered(Facts, I, MonStack);
+    Fact F;
+    F.What = I.TraceWhat;
+    F.Base = I.TraceWhat == TraceWhatKind::Static ? RegId::invalid() : I.A;
+    F.Field = I.TraceWhat == TraceWhatKind::Array ? FieldId::invalid()
+                                                  : I.Field;
+    F.Class = I.TraceWhat == TraceWhatKind::Static ? I.Class
+                                                   : ClassId::invalid();
+    F.Access = I.Access;
+    F.MonStack = MonStack;
+    Facts.insert(std::move(F));
+    return;
+  }
+  case Opcode::MonitorEnter:
+    MonStack.push_back(I.SyncRegion);
+    return;
+  case Opcode::MonitorExit: {
+    if (!MonStack.empty())
+      MonStack.pop_back();
+    // Facts generated under the closed region lose their lockset-subset
+    // guarantee.
+    for (auto It = Facts.begin(); It != Facts.end();) {
+      if (It->MonStack.size() > MonStack.size())
+        It = Facts.erase(It);
+      else
+        ++It;
+    }
+    return;
+  }
+  default:
+    break;
+  }
+  if (I.killsStaticWeakerFacts()) {
+    // Definition 3/4: method invocations and thread start/join invalidate
+    // everything (the callee may start threads; the lockset reasoning is
+    // intraprocedural).
+    Facts.clear();
+    return;
+  }
+  if (I.definesValue()) {
+    // The base register names a new value: kill facts built on it.
+    for (auto It = Facts.begin(); It != Facts.end();) {
+      if (It->Base == I.Dst)
+        It = Facts.erase(It);
+      else
+        ++It;
+    }
+  }
+}
+
+} // namespace
+
+size_t herd::eliminateRedundantTraces(Program &P, MethodId MId) {
+  Method &M = P.method(MId);
+  CFG Cfg(P, MId);
+  size_t NumBlocks = M.Blocks.size();
+
+  // Monitor stacks at block entry are path-independent (verified), so the
+  // per-block entry stack can be taken from any predecessor.
+  std::vector<FactSet> Out(NumBlocks);
+  std::vector<std::vector<uint32_t>> EntryStack(NumBlocks);
+  std::vector<uint8_t> Visited(NumBlocks, 0);
+
+  // Iterate to fixpoint over reverse post-order.  IN = ∩ over visited
+  // predecessors (optimistic ⊤ for unvisited ones).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : Cfg.reversePostOrder()) {
+      FactSet In;
+      bool First = true;
+      for (BlockId Pred : Cfg.predecessors(B)) {
+        if (!Visited[Pred.index()])
+          continue;
+        if (First) {
+          In = Out[Pred.index()];
+          First = false;
+        } else {
+          FactSet Inter;
+          std::set_intersection(In.begin(), In.end(),
+                                Out[Pred.index()].begin(),
+                                Out[Pred.index()].end(),
+                                std::inserter(Inter, Inter.begin()));
+          In = std::move(Inter);
+        }
+      }
+      // Entry block (or no visited preds yet): nothing available.
+      if (B == BlockId(0))
+        In.clear();
+
+      std::vector<uint32_t> Stack = EntryStack[B.index()];
+      FactSet Cur = In;
+      for (const Instr &I : M.block(B).Instrs)
+        transfer(I, Cur, Stack, nullptr);
+
+      if (!Visited[B.index()] || Cur != Out[B.index()]) {
+        Visited[B.index()] = 1;
+        Out[B.index()] = std::move(Cur);
+        Changed = true;
+      }
+      for (BlockId Succ : Cfg.successors(B))
+        if (EntryStack[Succ.index()].empty())
+          EntryStack[Succ.index()] = Stack;
+    }
+  }
+
+  // Final pass: delete traces covered at their program point.
+  size_t Removed = 0;
+  for (BlockId B : Cfg.reversePostOrder()) {
+    FactSet In;
+    bool First = true;
+    for (BlockId Pred : Cfg.predecessors(B)) {
+      if (!Visited[Pred.index()])
+        continue;
+      if (First) {
+        In = Out[Pred.index()];
+        First = false;
+      } else {
+        FactSet Inter;
+        std::set_intersection(In.begin(), In.end(), Out[Pred.index()].begin(),
+                              Out[Pred.index()].end(),
+                              std::inserter(Inter, Inter.begin()));
+        In = std::move(Inter);
+      }
+    }
+    if (B == BlockId(0))
+      In.clear();
+
+    std::vector<uint32_t> Stack = EntryStack[B.index()];
+    std::vector<Instr> Kept;
+    std::vector<Instr> &Instrs = M.block(B).Instrs;
+    Kept.reserve(Instrs.size());
+    for (const Instr &I : Instrs) {
+      bool Redundant = false;
+      transfer(I, In, Stack, &Redundant);
+      if (I.Op == Opcode::Trace && Redundant) {
+        ++Removed;
+        continue;
+      }
+      Kept.push_back(I);
+    }
+    Instrs = std::move(Kept);
+  }
+  return Removed;
+}

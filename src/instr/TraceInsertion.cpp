@@ -1,0 +1,79 @@
+//===- instr/TraceInsertion.cpp - Trace pseudo-instruction insertion ------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "instr/Instrumenter.h"
+
+using namespace herd;
+
+namespace herd {
+namespace detail {
+
+/// Builds the Trace instruction observing access \p I, or returns false
+/// when \p I is not a memory access.
+bool makeTraceFor(const Instr &I, Instr &Out) {
+  Out = Instr();
+  Out.Op = Opcode::Trace;
+  Out.Site = I.Site;
+  switch (I.Op) {
+  case Opcode::GetField:
+  case Opcode::PutField:
+    Out.TraceWhat = TraceWhatKind::Field;
+    Out.A = I.A;
+    Out.Field = I.Field;
+    Out.Access =
+        I.Op == Opcode::PutField ? AccessKind::Write : AccessKind::Read;
+    return true;
+  case Opcode::GetStatic:
+  case Opcode::PutStatic:
+    Out.TraceWhat = TraceWhatKind::Static;
+    Out.Class = I.Class;
+    Out.Field = I.Field;
+    Out.Access =
+        I.Op == Opcode::PutStatic ? AccessKind::Write : AccessKind::Read;
+    return true;
+  case Opcode::ALoad:
+  case Opcode::AStore:
+    Out.TraceWhat = TraceWhatKind::Array;
+    Out.A = I.A;
+    Out.Access =
+        I.Op == Opcode::AStore ? AccessKind::Write : AccessKind::Read;
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Inserts traces into every method of \p P.  When \p Races is non-null,
+/// only accesses in its static datarace set are instrumented.
+size_t insertTraces(Program &P, const StaticRaceAnalysis *Races) {
+  size_t Inserted = 0;
+  for (size_t MI = 0; MI != P.numMethods(); ++MI) {
+    MethodId M{uint32_t(MI)};
+    Method &Body = P.method(M);
+    for (size_t BI = 0; BI != Body.Blocks.size(); ++BI) {
+      BlockId Block{uint32_t(BI)};
+      std::vector<Instr> &Old = Body.Blocks[BI].Instrs;
+      std::vector<Instr> New;
+      New.reserve(Old.size() * 2);
+      for (size_t II = 0; II != Old.size(); ++II) {
+        New.push_back(Old[II]);
+        Instr Trace;
+        if (!makeTraceFor(Old[II], Trace))
+          continue;
+        if (Races &&
+            !Races->isInRaceSet(InstrRef{M, Block, uint32_t(II)}))
+          continue;
+        New.push_back(std::move(Trace));
+        ++Inserted;
+      }
+      Old = std::move(New);
+    }
+  }
+  return Inserted;
+}
+
+} // namespace detail
+} // namespace herd

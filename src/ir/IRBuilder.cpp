@@ -1,0 +1,359 @@
+//===- ir/IRBuilder.cpp - Fluent MiniJ construction API -------------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include "support/Compiler.h"
+
+using namespace herd;
+
+Method &IRBuilder::curMethod() {
+  assert(CurMethod.isValid() && "no current method");
+  return P.method(CurMethod);
+}
+
+Instr &IRBuilder::append(Instr I) {
+  I.Site = CurSite;
+  Method &M = curMethod();
+  BasicBlock &Block = M.block(CurBlock);
+  assert(!Block.hasTerminator() && "appending past a terminator");
+  Block.Instrs.push_back(std::move(I));
+  return Block.Instrs.back();
+}
+
+MethodId IRBuilder::startMethod(ClassId Cls, std::string_view Name,
+                                uint32_t NumParams, bool IsStatic,
+                                bool IsSynchronized) {
+  assert((IsStatic || NumParams >= 1) &&
+         "instance methods take `this` as their first parameter");
+  CurMethod = P.addMethod(Cls, Name, NumParams, IsStatic, IsSynchronized);
+  curMethod().Blocks.emplace_back();
+  CurBlock = BlockId(0);
+  CurSite = SiteId::invalid();
+  return CurMethod;
+}
+
+MethodId IRBuilder::startMain() {
+  MethodId Main = startMethod(ClassId::invalid(), "main", /*NumParams=*/0,
+                              /*IsStatic=*/true);
+  P.MainMethod = Main;
+  return Main;
+}
+
+void IRBuilder::resumeMethod(MethodId Id) {
+  assert(Id.isValid() && !P.method(Id).Blocks.empty() &&
+         "resumeMethod requires a declared method with an entry block");
+  CurMethod = Id;
+  CurBlock = BlockId(0);
+  CurSite = SiteId::invalid();
+}
+
+RegId IRBuilder::param(uint32_t I) const {
+  assert(CurMethod.isValid() && I < P.method(CurMethod).NumParams &&
+         "parameter index out of range");
+  return RegId(I);
+}
+
+BlockId IRBuilder::newBlock() {
+  Method &M = curMethod();
+  M.Blocks.emplace_back();
+  return BlockId(uint32_t(M.Blocks.size() - 1));
+}
+
+void IRBuilder::site(std::string_view Label) {
+  CurSite = P.addSite(Label, CurMethod);
+}
+
+RegId IRBuilder::newReg() { return RegId(curMethod().NumRegs++); }
+
+RegId IRBuilder::emitConst(int64_t Value) {
+  Instr I;
+  I.Op = Opcode::Const;
+  I.Dst = newReg();
+  I.Imm = Value;
+  return append(I).Dst;
+}
+
+RegId IRBuilder::emitMove(RegId Src) {
+  Instr I;
+  I.Op = Opcode::Move;
+  I.Dst = newReg();
+  I.A = Src;
+  return append(I).Dst;
+}
+
+void IRBuilder::emitAssign(RegId Dst, RegId Src) {
+  Instr I;
+  I.Op = Opcode::Move;
+  I.Dst = Dst;
+  I.A = Src;
+  append(I);
+}
+
+RegId IRBuilder::emitBinOp(BinOpKind Kind, RegId A, RegId B) {
+  Instr I;
+  I.Op = Opcode::BinOp;
+  I.BinKind = Kind;
+  I.Dst = newReg();
+  I.A = A;
+  I.B = B;
+  return append(I).Dst;
+}
+
+RegId IRBuilder::emitNew(ClassId Cls) {
+  Instr I;
+  I.Op = Opcode::New;
+  I.Dst = newReg();
+  I.Class = Cls;
+  I.AllocSite = P.addAllocSite(Cls, CurMethod, /*IsArray=*/false);
+  return append(I).Dst;
+}
+
+RegId IRBuilder::emitNewArray(RegId Length) {
+  Instr I;
+  I.Op = Opcode::NewArray;
+  I.Dst = newReg();
+  I.A = Length;
+  I.AllocSite =
+      P.addAllocSite(ClassId::invalid(), CurMethod, /*IsArray=*/true);
+  return append(I).Dst;
+}
+
+RegId IRBuilder::emitArrayLen(RegId Array) {
+  Instr I;
+  I.Op = Opcode::ArrayLen;
+  I.Dst = newReg();
+  I.A = Array;
+  return append(I).Dst;
+}
+
+RegId IRBuilder::emitGetField(RegId Obj, FieldId Field) {
+  assert(!P.field(Field).IsStatic && "use emitGetStatic for static fields");
+  Instr I;
+  I.Op = Opcode::GetField;
+  I.Dst = newReg();
+  I.A = Obj;
+  I.Field = Field;
+  return append(I).Dst;
+}
+
+void IRBuilder::emitPutField(RegId Obj, FieldId Field, RegId Value) {
+  assert(!P.field(Field).IsStatic && "use emitPutStatic for static fields");
+  Instr I;
+  I.Op = Opcode::PutField;
+  I.A = Obj;
+  I.B = Value;
+  I.Field = Field;
+  append(I);
+}
+
+RegId IRBuilder::emitGetStatic(FieldId Field) {
+  assert(P.field(Field).IsStatic && "emitGetStatic requires a static field");
+  Instr I;
+  I.Op = Opcode::GetStatic;
+  I.Dst = newReg();
+  I.Class = P.field(Field).Owner;
+  I.Field = Field;
+  return append(I).Dst;
+}
+
+void IRBuilder::emitPutStatic(FieldId Field, RegId Value) {
+  assert(P.field(Field).IsStatic && "emitPutStatic requires a static field");
+  Instr I;
+  I.Op = Opcode::PutStatic;
+  I.Class = P.field(Field).Owner;
+  I.Field = Field;
+  I.A = Value;
+  append(I);
+}
+
+RegId IRBuilder::emitALoad(RegId Array, RegId Index) {
+  Instr I;
+  I.Op = Opcode::ALoad;
+  I.Dst = newReg();
+  I.A = Array;
+  I.B = Index;
+  return append(I).Dst;
+}
+
+void IRBuilder::emitAStore(RegId Array, RegId Index, RegId Value) {
+  Instr I;
+  I.Op = Opcode::AStore;
+  I.A = Array;
+  I.B = Index;
+  I.C = Value;
+  append(I);
+}
+
+RegId IRBuilder::emitCall(MethodId Callee, std::initializer_list<RegId> Args) {
+  assert(Args.size() == P.method(Callee).NumParams &&
+         "call arity mismatch");
+  Instr I;
+  I.Op = Opcode::Call;
+  I.Dst = newReg();
+  I.Callee = Callee;
+  I.Args.assign(Args.begin(), Args.end());
+  return append(I).Dst;
+}
+
+RegId IRBuilder::emitCallArgs(MethodId Callee,
+                              const std::vector<RegId> &Args) {
+  assert(Args.size() == P.method(Callee).NumParams && "call arity mismatch");
+  Instr I;
+  I.Op = Opcode::Call;
+  I.Dst = newReg();
+  I.Callee = Callee;
+  I.Args = Args;
+  return append(I).Dst;
+}
+
+void IRBuilder::emitCallVoid(MethodId Callee,
+                             std::initializer_list<RegId> Args) {
+  assert(Args.size() == P.method(Callee).NumParams &&
+         "call arity mismatch");
+  Instr I;
+  I.Op = Opcode::Call;
+  I.Callee = Callee;
+  I.Args.assign(Args.begin(), Args.end());
+  append(I);
+}
+
+void IRBuilder::emitThreadStart(RegId ThreadObj) {
+  Instr I;
+  I.Op = Opcode::ThreadStart;
+  I.A = ThreadObj;
+  append(I);
+}
+
+void IRBuilder::emitThreadJoin(RegId ThreadObj) {
+  Instr I;
+  I.Op = Opcode::ThreadJoin;
+  I.A = ThreadObj;
+  append(I);
+}
+
+void IRBuilder::emitBranch(RegId Cond, BlockId IfTrue, BlockId IfFalse) {
+  Instr I;
+  I.Op = Opcode::Branch;
+  I.A = Cond;
+  I.Target = IfTrue;
+  I.AltTarget = IfFalse;
+  append(I);
+}
+
+void IRBuilder::emitJump(BlockId Target) {
+  Instr I;
+  I.Op = Opcode::Jump;
+  I.Target = Target;
+  append(I);
+}
+
+void IRBuilder::emitReturn() {
+  Instr I;
+  I.Op = Opcode::Return;
+  append(I);
+}
+
+void IRBuilder::emitReturn(RegId Value) {
+  Instr I;
+  I.Op = Opcode::Return;
+  I.A = Value;
+  append(I);
+}
+
+void IRBuilder::emitPrint(RegId Value) {
+  Instr I;
+  I.Op = Opcode::Print;
+  I.A = Value;
+  append(I);
+}
+
+void IRBuilder::emitYield() {
+  Instr I;
+  I.Op = Opcode::Yield;
+  append(I);
+}
+
+uint32_t IRBuilder::emitMonitorEnter(RegId Obj) {
+  Instr I;
+  I.Op = Opcode::MonitorEnter;
+  I.A = Obj;
+  I.SyncRegion = NextSyncRegion++;
+  return append(I).SyncRegion;
+}
+
+void IRBuilder::emitMonitorExit(RegId Obj, uint32_t Region) {
+  Instr I;
+  I.Op = Opcode::MonitorExit;
+  I.A = Obj;
+  I.SyncRegion = Region;
+  append(I);
+}
+
+void IRBuilder::ifThen(RegId Cond, const std::function<void()> &Then) {
+  BlockId ThenBlock = newBlock();
+  BlockId JoinBlock = newBlock();
+  emitBranch(Cond, ThenBlock, JoinBlock);
+  setBlock(ThenBlock);
+  Then();
+  if (!curMethod().block(CurBlock).hasTerminator())
+    emitJump(JoinBlock);
+  setBlock(JoinBlock);
+}
+
+void IRBuilder::ifThenElse(RegId Cond, const std::function<void()> &Then,
+                           const std::function<void()> &Else) {
+  BlockId ThenBlock = newBlock();
+  BlockId ElseBlock = newBlock();
+  BlockId JoinBlock = newBlock();
+  emitBranch(Cond, ThenBlock, ElseBlock);
+  setBlock(ThenBlock);
+  Then();
+  if (!curMethod().block(CurBlock).hasTerminator())
+    emitJump(JoinBlock);
+  setBlock(ElseBlock);
+  Else();
+  if (!curMethod().block(CurBlock).hasTerminator())
+    emitJump(JoinBlock);
+  setBlock(JoinBlock);
+}
+
+void IRBuilder::whileLoop(const std::function<RegId()> &EmitCond,
+                          const std::function<void()> &Body) {
+  BlockId Header = newBlock();
+  emitJump(Header);
+  setBlock(Header);
+  RegId Cond = EmitCond();
+  BlockId BodyBlock = newBlock();
+  BlockId ExitBlock = newBlock();
+  emitBranch(Cond, BodyBlock, ExitBlock);
+  setBlock(BodyBlock);
+  Body();
+  if (!curMethod().block(CurBlock).hasTerminator())
+    emitJump(Header);
+  setBlock(ExitBlock);
+}
+
+void IRBuilder::forLoop(int64_t Lo, RegId Hi, int64_t Step,
+                        const std::function<void(RegId)> &Body) {
+  assert(Step != 0 && "zero loop step never terminates");
+  // The induction variable lives in a dedicated register that the loop
+  // updates in place, so `IVar` names the same value in every iteration.
+  RegId IVar = emitConst(Lo);
+  whileLoop(
+      [&] { return emitBinOp(BinOpKind::CmpLt, IVar, Hi); },
+      [&] {
+        Body(IVar);
+        RegId StepReg = emitConst(Step);
+        emitAssign(IVar, emitBinOp(BinOpKind::Add, IVar, StepReg));
+      });
+}
+
+void IRBuilder::sync(RegId Obj, const std::function<void()> &Body) {
+  uint32_t Region = emitMonitorEnter(Obj);
+  Body();
+  emitMonitorExit(Obj, Region);
+}

@@ -1,0 +1,161 @@
+//===- ir/IRBuilder.h - Fluent MiniJ construction API -----------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A builder for constructing MiniJ programs directly in C++.  Workload
+/// replicas and unit tests use this API; the textual frontend lowers to the
+/// same Program representation.
+///
+/// Structured-control helpers (ifThen / whileLoop / sync) keep the larger
+/// workloads readable and guarantee the well-nested monitor regions that the
+/// cache eviction policy of Section 4.2 depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_IR_IRBUILDER_H
+#define HERD_IR_IRBUILDER_H
+
+#include "ir/Program.h"
+
+#include <functional>
+#include <initializer_list>
+#include <string_view>
+
+namespace herd {
+
+/// Stateful builder: positions at a (method, block) insertion point and
+/// appends instructions.
+class IRBuilder {
+public:
+  explicit IRBuilder(Program &P) : P(P) {}
+
+  Program &program() { return P; }
+
+  //===--------------------------------------------------------------------===
+  // Declarations.
+  //===--------------------------------------------------------------------===
+
+  ClassId makeClass(std::string_view Name) { return P.addClass(Name); }
+
+  FieldId makeField(ClassId Cls, std::string_view Name) {
+    return P.addField(Cls, Name, /*IsStatic=*/false);
+  }
+
+  FieldId makeStaticField(ClassId Cls, std::string_view Name) {
+    return P.addField(Cls, Name, /*IsStatic=*/true);
+  }
+
+  /// Begins a new method and positions the builder at its entry block.
+  /// Parameters occupy r0..r(NumParams-1); r0 is `this` for instance
+  /// methods.
+  MethodId startMethod(ClassId Cls, std::string_view Name, uint32_t NumParams,
+                       bool IsStatic = false, bool IsSynchronized = false);
+
+  /// Begins the program entry point `main` (static, no parameters).
+  MethodId startMain();
+
+  /// Repositions the builder at the entry block of an already-declared
+  /// method (used by the frontend, which declares signatures first and
+  /// lowers bodies later).  The method must have at least its entry block.
+  void resumeMethod(MethodId Id);
+
+  /// Returns the i-th parameter register of the current method.
+  RegId param(uint32_t I) const;
+
+  /// Returns `this` (r0) of the current instance method.
+  RegId thisReg() const { return param(0); }
+
+  //===--------------------------------------------------------------------===
+  // Position control.
+  //===--------------------------------------------------------------------===
+
+  BlockId newBlock();
+  void setBlock(BlockId Block) { CurBlock = Block; }
+  BlockId currentBlock() const { return CurBlock; }
+  MethodId currentMethod() const { return CurMethod; }
+
+  /// Sets the source label attached to subsequently emitted instructions
+  /// (the paper's statement labels such as "T11").
+  void site(std::string_view Label);
+
+  RegId newReg();
+
+  //===--------------------------------------------------------------------===
+  // Instructions.
+  //===--------------------------------------------------------------------===
+
+  RegId emitConst(int64_t Value);
+  RegId emitMove(RegId Src);
+
+  /// Copies \p Src into the *existing* register \p Dst (unlike emitMove,
+  /// which allocates a fresh destination).  Used for loop induction
+  /// variables and accumulators that must name one register.
+  void emitAssign(RegId Dst, RegId Src);
+  RegId emitBinOp(BinOpKind Kind, RegId A, RegId B);
+  RegId emitNew(ClassId Cls);
+  RegId emitNewArray(RegId Length);
+  RegId emitArrayLen(RegId Array);
+  RegId emitGetField(RegId Obj, FieldId Field);
+  void emitPutField(RegId Obj, FieldId Field, RegId Value);
+  RegId emitGetStatic(FieldId Field);
+  void emitPutStatic(FieldId Field, RegId Value);
+  RegId emitALoad(RegId Array, RegId Index);
+  void emitAStore(RegId Array, RegId Index, RegId Value);
+  RegId emitCall(MethodId Callee, std::initializer_list<RegId> Args);
+  RegId emitCallArgs(MethodId Callee, const std::vector<RegId> &Args);
+  void emitCallVoid(MethodId Callee, std::initializer_list<RegId> Args);
+  void emitThreadStart(RegId ThreadObj);
+  void emitThreadJoin(RegId ThreadObj);
+  void emitBranch(RegId Cond, BlockId IfTrue, BlockId IfFalse);
+  void emitJump(BlockId Target);
+  void emitReturn();
+  void emitReturn(RegId Value);
+  void emitPrint(RegId Value);
+  void emitYield();
+
+  /// Raw monitor operations; prefer sync() which guarantees nesting.
+  uint32_t emitMonitorEnter(RegId Obj);
+  void emitMonitorExit(RegId Obj, uint32_t Region);
+
+  //===--------------------------------------------------------------------===
+  // Structured-control helpers.
+  //===--------------------------------------------------------------------===
+
+  /// Emits `if (Cond) { Then(); }` and repositions after the join block.
+  void ifThen(RegId Cond, const std::function<void()> &Then);
+
+  /// Emits `if (Cond) { Then(); } else { Else(); }`.
+  void ifThenElse(RegId Cond, const std::function<void()> &Then,
+                  const std::function<void()> &Else);
+
+  /// Emits `while (<EmitCond>() != 0) { Body(); }`.  EmitCond runs in the
+  /// loop header block (re-evaluated each iteration) and returns the
+  /// condition register.
+  void whileLoop(const std::function<RegId()> &EmitCond,
+                 const std::function<void()> &Body);
+
+  /// Emits a counted loop `for (IVar = Lo; IVar < Hi; IVar += Step)`.
+  /// \p Body receives the induction-variable register.
+  void forLoop(int64_t Lo, RegId Hi, int64_t Step,
+               const std::function<void(RegId)> &Body);
+
+  /// Emits `synchronized (Obj) { Body(); }` with a fresh region id.
+  void sync(RegId Obj, const std::function<void()> &Body);
+
+private:
+  Instr &append(Instr I);
+  Method &curMethod();
+
+  Program &P;
+  MethodId CurMethod;
+  BlockId CurBlock;
+  SiteId CurSite;
+  uint32_t NextSyncRegion = 1;
+};
+
+} // namespace herd
+
+#endif // HERD_IR_IRBUILDER_H

@@ -1,0 +1,201 @@
+//===- ir/Instr.h - MiniJ IR instructions -----------------------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniJ instruction set.  MiniJ is the small object-oriented concurrent
+/// IR that stands in for Java bytecode: it has classes with fields, arrays,
+/// monitors (synchronized regions), thread start/join, and potentially
+/// excepting instructions (PEIs) — everything the paper's static and dynamic
+/// analyses need to observe.
+///
+/// The `Trace` pseudo-instruction corresponds to the paper's
+/// trace(o, f, L, a) (Section 6.1): it is inserted by the instrumentation
+/// phase after memory accesses and generates an access event at runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_IR_INSTR_H
+#define HERD_IR_INSTR_H
+
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace herd {
+
+/// Whether an access event reads or writes its location.  WRITE is the
+/// bottom of the access lattice: WRITE ⊑ READ and WRITE ⊑ WRITE (Defn 2).
+enum class AccessKind : uint8_t { Read, Write };
+
+/// Meet on access kinds: equal kinds stay, differing kinds go to WRITE
+/// (WRITE is the bottom of the two-point access lattice).
+constexpr AccessKind meet(AccessKind A, AccessKind B) {
+  return A == B ? A : AccessKind::Write;
+}
+
+/// a_i is weaker than or equal to a_j iff a_i = a_j or a_i = WRITE
+/// (Definition 2's access-kind component).
+constexpr bool isWeakerOrEqual(AccessKind A, AccessKind B) {
+  return A == B || A == AccessKind::Write;
+}
+
+/// MiniJ opcodes.
+enum class Opcode : uint8_t {
+  // Data movement and arithmetic.
+  Const,     ///< Dst := Imm
+  Move,      ///< Dst := A
+  BinOp,     ///< Dst := A <BinKind> B   (Div/Mod are PEIs)
+  // Allocation.
+  New,       ///< Dst := new Class   (an allocation site)
+  NewArray,  ///< Dst := new int[A]  (an allocation site)
+  ArrayLen,  ///< Dst := A.length    (PEI: null)
+  // Heap accesses (all object/array accesses are PEIs: null / bounds).
+  GetField,  ///< Dst := A.Field
+  PutField,  ///< A.Field := B
+  GetStatic, ///< Dst := Class.Field
+  PutStatic, ///< Class.Field := A
+  ALoad,     ///< Dst := A[B]
+  AStore,    ///< A[B] := C
+  // Control.
+  Call,      ///< Dst := Callee(Args...)   (direct call)
+  Branch,    ///< if A != 0 goto Target else goto AltTarget
+  Jump,      ///< goto Target
+  Return,    ///< return [A]
+  // Synchronization and threads.
+  MonitorEnter, ///< enter monitor of object A (SyncRegion tags the region)
+  MonitorExit,  ///< exit monitor of object A
+  ThreadStart,  ///< start thread object A (invokes A's class's run())
+  ThreadJoin,   ///< join thread object A
+  // Misc.
+  Print,     ///< observable output of A (keeps workload results live)
+  Yield,     ///< scheduler hint: allow preemption here
+  // Instrumentation (inserted by the instr/ phase, never by frontends).
+  Trace,     ///< emit access event for A.Field / A[] / Class.Field
+};
+
+/// Arithmetic and comparison operators for BinOp.
+enum class BinOpKind : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  And,
+  Or,
+  Xor,
+  CmpEq,
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+};
+
+/// What kind of location a Trace instruction observes.
+enum class TraceWhatKind : uint8_t {
+  Field,  ///< instance field A.Field
+  Array,  ///< array element of A (one location per array)
+  Static, ///< static field Class.Field
+};
+
+/// A single MiniJ instruction.  A plain struct: analyses match on Op and
+/// read the operand fields relevant to that opcode.
+struct Instr {
+  Opcode Op = Opcode::Const;
+  BinOpKind BinKind = BinOpKind::Add;
+  AccessKind Access = AccessKind::Read; ///< for Trace
+  TraceWhatKind TraceWhat = TraceWhatKind::Field;
+
+  RegId Dst;
+  RegId A;
+  RegId B;
+  RegId C;
+  int64_t Imm = 0;
+
+  ClassId Class;
+  FieldId Field;
+  MethodId Callee;
+  AllocSiteId AllocSite; ///< for New/NewArray
+
+  BlockId Target;
+  BlockId AltTarget;
+
+  SiteId Site; ///< source label for reports; no effect on detection
+
+  /// Static synchronized-region id for MonitorEnter/Exit pairs.  Regions
+  /// are well nested within a method (Java's structured locking, which the
+  /// cache eviction policy of Section 4.2 relies on).
+  uint32_t SyncRegion = 0;
+
+  std::vector<RegId> Args; ///< for Call
+
+  /// Returns true if this instruction may throw (a PEI).  PEIs block naive
+  /// hoisting of instrumentation out of loops (Section 6.3) and make
+  /// post-dominance almost useless in Java-like languages (Section 7.2).
+  bool isPEI() const {
+    switch (Op) {
+    case Opcode::GetField:
+    case Opcode::PutField:
+    case Opcode::ALoad:
+    case Opcode::AStore:
+    case Opcode::ArrayLen:
+    case Opcode::MonitorEnter:
+    case Opcode::MonitorExit:
+    case Opcode::ThreadStart:
+    case Opcode::ThreadJoin:
+      return true;
+    case Opcode::BinOp:
+      return BinKind == BinOpKind::Div || BinKind == BinOpKind::Mod;
+    default:
+      return false;
+    }
+  }
+
+  /// Returns true if this instruction transfers control out of the method
+  /// (a call) or crosses a thread-ordering boundary.  These are the kill
+  /// points of the static weaker-than analysis: Defn 4 requires no method
+  /// invocation between S_i and S_j, and Defn 3 requires no start()/join().
+  bool killsStaticWeakerFacts() const {
+    return Op == Opcode::Call || Op == Opcode::ThreadStart ||
+           Op == Opcode::ThreadJoin;
+  }
+
+  /// Returns true if this instruction ends a basic block.
+  bool isTerminator() const {
+    return Op == Opcode::Branch || Op == Opcode::Jump || Op == Opcode::Return;
+  }
+
+  /// Returns true if this instruction defines register Dst.
+  bool definesValue() const {
+    switch (Op) {
+    case Opcode::Const:
+    case Opcode::Move:
+    case Opcode::BinOp:
+    case Opcode::New:
+    case Opcode::NewArray:
+    case Opcode::ArrayLen:
+    case Opcode::GetField:
+    case Opcode::GetStatic:
+    case Opcode::ALoad:
+      return true;
+    case Opcode::Call:
+      return Dst.isValid();
+    default:
+      return false;
+    }
+  }
+};
+
+/// Returns a printable mnemonic for an opcode.
+const char *opcodeName(Opcode Op);
+
+/// Returns a printable mnemonic for a binary operator.
+const char *binOpName(BinOpKind Kind);
+
+} // namespace herd
+
+#endif // HERD_IR_INSTR_H

@@ -1,0 +1,57 @@
+//===- ir/InstrRef.h - Reference to one instruction -------------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stable reference to one instruction: (method, block, index).  Valid
+/// only against the Program it was created from and only until that method
+/// is transformed (instrumentation rebuilds instruction lists).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_IR_INSTRREF_H
+#define HERD_IR_INSTRREF_H
+
+#include "ir/Program.h"
+#include "support/Ids.h"
+
+#include <functional>
+
+namespace herd {
+
+struct InstrRef {
+  MethodId Method;
+  BlockId Block;
+  uint32_t Index = 0;
+
+  const Instr &get(const Program &P) const {
+    return P.method(Method).block(Block).Instrs[Index];
+  }
+
+  friend bool operator==(const InstrRef &A, const InstrRef &B) {
+    return A.Method == B.Method && A.Block == B.Block && A.Index == B.Index;
+  }
+  friend bool operator<(const InstrRef &A, const InstrRef &B) {
+    if (A.Method != B.Method)
+      return A.Method < B.Method;
+    if (A.Block != B.Block)
+      return A.Block < B.Block;
+    return A.Index < B.Index;
+  }
+};
+
+} // namespace herd
+
+namespace std {
+template <> struct hash<herd::InstrRef> {
+  size_t operator()(const herd::InstrRef &Ref) const {
+    uint64_t Key = (uint64_t(Ref.Method.index()) << 40) ^
+                   (uint64_t(Ref.Block.index()) << 20) ^ Ref.Index;
+    return hash<uint64_t>()(Key);
+  }
+};
+} // namespace std
+
+#endif // HERD_IR_INSTRREF_H

@@ -1,0 +1,229 @@
+//===- ir/Printer.cpp - Textual MiniJ dump --------------------------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include <string>
+
+using namespace herd;
+
+namespace {
+
+void appendReg(std::string &Out, RegId Reg) {
+  Out += 'r';
+  Out += std::to_string(Reg.index());
+}
+
+void appendBlock(std::string &Out, BlockId Block) {
+  Out += "bb";
+  Out += std::to_string(Block.index());
+}
+
+std::string fieldName(const Program &P, FieldId Field) {
+  const FieldDecl &Decl = P.field(Field);
+  std::string Out(P.Names.text(P.classDecl(Decl.Owner).Name));
+  Out += '.';
+  Out += P.Names.text(Decl.Name);
+  return Out;
+}
+
+} // namespace
+
+std::string herd::printInstr(const Program &P, const Instr &I) {
+  std::string Out;
+  auto Dst = [&] {
+    appendReg(Out, I.Dst);
+    Out += " = ";
+  };
+  switch (I.Op) {
+  case Opcode::Const:
+    Dst();
+    Out += std::to_string(I.Imm);
+    break;
+  case Opcode::Move:
+    Dst();
+    appendReg(Out, I.A);
+    break;
+  case Opcode::BinOp:
+    Dst();
+    Out += binOpName(I.BinKind);
+    Out += ' ';
+    appendReg(Out, I.A);
+    Out += ", ";
+    appendReg(Out, I.B);
+    break;
+  case Opcode::New:
+    Dst();
+    Out += "new ";
+    Out += P.Names.text(P.classDecl(I.Class).Name);
+    break;
+  case Opcode::NewArray:
+    Dst();
+    Out += "newarray ";
+    appendReg(Out, I.A);
+    break;
+  case Opcode::ArrayLen:
+    Dst();
+    Out += "arraylen ";
+    appendReg(Out, I.A);
+    break;
+  case Opcode::GetField:
+    Dst();
+    appendReg(Out, I.A);
+    Out += '.';
+    Out += fieldName(P, I.Field);
+    break;
+  case Opcode::PutField:
+    appendReg(Out, I.A);
+    Out += '.';
+    Out += fieldName(P, I.Field);
+    Out += " = ";
+    appendReg(Out, I.B);
+    break;
+  case Opcode::GetStatic:
+    Dst();
+    Out += fieldName(P, I.Field);
+    break;
+  case Opcode::PutStatic:
+    Out += fieldName(P, I.Field);
+    Out += " = ";
+    appendReg(Out, I.A);
+    break;
+  case Opcode::ALoad:
+    Dst();
+    appendReg(Out, I.A);
+    Out += '[';
+    appendReg(Out, I.B);
+    Out += ']';
+    break;
+  case Opcode::AStore:
+    appendReg(Out, I.A);
+    Out += '[';
+    appendReg(Out, I.B);
+    Out += "] = ";
+    appendReg(Out, I.C);
+    break;
+  case Opcode::Call: {
+    if (I.Dst.isValid())
+      Dst();
+    Out += "call ";
+    Out += P.Names.text(P.method(I.Callee).Name);
+    Out += '(';
+    for (size_t N = 0; N != I.Args.size(); ++N) {
+      if (N)
+        Out += ", ";
+      appendReg(Out, I.Args[N]);
+    }
+    Out += ')';
+    break;
+  }
+  case Opcode::Branch:
+    Out += "branch ";
+    appendReg(Out, I.A);
+    Out += ", ";
+    appendBlock(Out, I.Target);
+    Out += ", ";
+    appendBlock(Out, I.AltTarget);
+    break;
+  case Opcode::Jump:
+    Out += "jump ";
+    appendBlock(Out, I.Target);
+    break;
+  case Opcode::Return:
+    Out += "return";
+    if (I.A.isValid()) {
+      Out += ' ';
+      appendReg(Out, I.A);
+    }
+    break;
+  case Opcode::MonitorEnter:
+    Out += "monitorenter ";
+    appendReg(Out, I.A);
+    Out += " #";
+    Out += std::to_string(I.SyncRegion);
+    break;
+  case Opcode::MonitorExit:
+    Out += "monitorexit ";
+    appendReg(Out, I.A);
+    Out += " #";
+    Out += std::to_string(I.SyncRegion);
+    break;
+  case Opcode::ThreadStart:
+    Out += "start ";
+    appendReg(Out, I.A);
+    break;
+  case Opcode::ThreadJoin:
+    Out += "join ";
+    appendReg(Out, I.A);
+    break;
+  case Opcode::Print:
+    Out += "print ";
+    appendReg(Out, I.A);
+    break;
+  case Opcode::Yield:
+    Out += "yield";
+    break;
+  case Opcode::Trace:
+    Out += "trace ";
+    switch (I.TraceWhat) {
+    case TraceWhatKind::Field:
+      appendReg(Out, I.A);
+      Out += '.';
+      Out += fieldName(P, I.Field);
+      break;
+    case TraceWhatKind::Array:
+      appendReg(Out, I.A);
+      Out += "[]";
+      break;
+    case TraceWhatKind::Static:
+      Out += fieldName(P, I.Field);
+      break;
+    }
+    Out += I.Access == AccessKind::Write ? ", W" : ", R";
+    break;
+  }
+  if (I.Site.isValid()) {
+    Out += "  ; @";
+    Out += P.Names.text(P.site(I.Site).Label);
+  }
+  return Out;
+}
+
+std::string herd::printMethod(const Program &P, MethodId Id) {
+  const Method &M = P.method(Id);
+  std::string Out;
+  Out += "method ";
+  if (M.Owner.isValid()) {
+    Out += P.Names.text(P.classDecl(M.Owner).Name);
+    Out += '.';
+  }
+  Out += P.Names.text(M.Name);
+  Out += " (params=";
+  Out += std::to_string(M.NumParams);
+  Out += ", regs=";
+  Out += std::to_string(M.NumRegs);
+  if (M.IsSynchronized)
+    Out += ", synchronized";
+  Out += ")\n";
+  for (size_t BI = 0, BE = M.Blocks.size(); BI != BE; ++BI) {
+    Out += "  bb";
+    Out += std::to_string(BI);
+    Out += ":\n";
+    for (const Instr &I : M.Blocks[BI].Instrs) {
+      Out += "    ";
+      Out += printInstr(P, I);
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
+std::string herd::printProgram(const Program &P) {
+  std::string Out;
+  for (size_t MI = 0, ME = P.numMethods(); MI != ME; ++MI)
+    Out += printMethod(P, MethodId(uint32_t(MI)));
+  return Out;
+}

@@ -1,0 +1,33 @@
+//===- ir/Printer.h - Textual MiniJ dump ------------------------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a MiniJ Program (or a single method) to text for debugging and
+/// for the golden-output tests of the instrumentation phase.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_IR_PRINTER_H
+#define HERD_IR_PRINTER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace herd {
+
+/// Renders one method as text, one instruction per line.
+std::string printMethod(const Program &P, MethodId Id);
+
+/// Renders the whole program.
+std::string printProgram(const Program &P);
+
+/// Renders one instruction (without trailing newline).
+std::string printInstr(const Program &P, const Instr &I);
+
+} // namespace herd
+
+#endif // HERD_IR_PRINTER_H

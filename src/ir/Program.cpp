@@ -1,0 +1,134 @@
+//===- ir/Program.cpp - MiniJ program container ---------------------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+#include "support/Compiler.h"
+
+using namespace herd;
+
+MethodId Program::findMethod(ClassId Cls, std::string_view Name) const {
+  if (!Cls.isValid())
+    return MethodId::invalid();
+  for (MethodId Id : Classes[Cls.index()].Methods)
+    if (Names.text(Methods[Id.index()].Name) == Name)
+      return Id;
+  return MethodId::invalid();
+}
+
+ClassId Program::findClass(std::string_view Name) const {
+  for (size_t I = 0, E = Classes.size(); I != E; ++I)
+    if (Names.text(Classes[I].Name) == Name)
+      return ClassId(uint32_t(I));
+  return ClassId::invalid();
+}
+
+FieldId Program::findField(ClassId Cls, std::string_view Name) const {
+  if (!Cls.isValid())
+    return FieldId::invalid();
+  const ClassDecl &Decl = Classes[Cls.index()];
+  for (FieldId Id : Decl.InstanceFields)
+    if (Names.text(Fields[Id.index()].Name) == Name)
+      return Id;
+  for (FieldId Id : Decl.StaticFields)
+    if (Names.text(Fields[Id.index()].Name) == Name)
+      return Id;
+  return FieldId::invalid();
+}
+
+size_t Program::countInstructions() const {
+  size_t Count = 0;
+  for (const Method &M : Methods)
+    for (const BasicBlock &Block : M.Blocks)
+      Count += Block.Instrs.size();
+  return Count;
+}
+
+const char *herd::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Const:
+    return "const";
+  case Opcode::Move:
+    return "move";
+  case Opcode::BinOp:
+    return "binop";
+  case Opcode::New:
+    return "new";
+  case Opcode::NewArray:
+    return "newarray";
+  case Opcode::ArrayLen:
+    return "arraylen";
+  case Opcode::GetField:
+    return "getfield";
+  case Opcode::PutField:
+    return "putfield";
+  case Opcode::GetStatic:
+    return "getstatic";
+  case Opcode::PutStatic:
+    return "putstatic";
+  case Opcode::ALoad:
+    return "aload";
+  case Opcode::AStore:
+    return "astore";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Branch:
+    return "branch";
+  case Opcode::Jump:
+    return "jump";
+  case Opcode::Return:
+    return "return";
+  case Opcode::MonitorEnter:
+    return "monitorenter";
+  case Opcode::MonitorExit:
+    return "monitorexit";
+  case Opcode::ThreadStart:
+    return "start";
+  case Opcode::ThreadJoin:
+    return "join";
+  case Opcode::Print:
+    return "print";
+  case Opcode::Yield:
+    return "yield";
+  case Opcode::Trace:
+    return "trace";
+  }
+  HERD_UNREACHABLE("unknown opcode");
+}
+
+const char *herd::binOpName(BinOpKind Kind) {
+  switch (Kind) {
+  case BinOpKind::Add:
+    return "add";
+  case BinOpKind::Sub:
+    return "sub";
+  case BinOpKind::Mul:
+    return "mul";
+  case BinOpKind::Div:
+    return "div";
+  case BinOpKind::Mod:
+    return "mod";
+  case BinOpKind::And:
+    return "and";
+  case BinOpKind::Or:
+    return "or";
+  case BinOpKind::Xor:
+    return "xor";
+  case BinOpKind::CmpEq:
+    return "cmpeq";
+  case BinOpKind::CmpNe:
+    return "cmpne";
+  case BinOpKind::CmpLt:
+    return "cmplt";
+  case BinOpKind::CmpLe:
+    return "cmple";
+  case BinOpKind::CmpGt:
+    return "cmpgt";
+  case BinOpKind::CmpGe:
+    return "cmpge";
+  }
+  HERD_UNREACHABLE("unknown binop");
+}

@@ -1,0 +1,207 @@
+//===- ir/Program.h - MiniJ program container -------------------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniJ program representation: classes, fields, methods, basic blocks
+/// and source sites.  A Program owns everything and hands out dense ids.
+///
+/// MiniJ deliberately has no inheritance: the paper's analyses dispatch on
+/// allocation sites and direct calls, and its benchmarks' races do not
+/// depend on virtual dispatch.  A class whose name has a `run` method can be
+/// started as a thread (ThreadStart performs the only dynamic dispatch).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_IR_PROGRAM_H
+#define HERD_IR_PROGRAM_H
+
+#include "ir/Instr.h"
+#include "support/Ids.h"
+#include "support/StringInterner.h"
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace herd {
+
+/// A basic block: straight-line instructions ending in one terminator.
+class BasicBlock {
+public:
+  std::vector<Instr> Instrs;
+
+  bool hasTerminator() const {
+    return !Instrs.empty() && Instrs.back().isTerminator();
+  }
+
+  const Instr &terminator() const {
+    assert(hasTerminator() && "block lacks a terminator");
+    return Instrs.back();
+  }
+
+  /// Appends this block's successors to \p Out (0, 1 or 2 of them).
+  void appendSuccessors(std::vector<BlockId> &Out) const {
+    if (!hasTerminator())
+      return;
+    const Instr &Term = terminator();
+    if (Term.Op == Opcode::Jump) {
+      Out.push_back(Term.Target);
+    } else if (Term.Op == Opcode::Branch) {
+      Out.push_back(Term.Target);
+      if (Term.AltTarget != Term.Target)
+        Out.push_back(Term.AltTarget);
+    }
+  }
+};
+
+/// A field declaration.  Static fields live on a per-class pseudo-object at
+/// runtime; instance fields live in each object's slot vector.
+struct FieldDecl {
+  Symbol Name;
+  ClassId Owner;
+  uint32_t SlotIndex = 0; ///< index into the object's (or class's) slots
+  bool IsStatic = false;
+};
+
+/// A method: registers r0..rN; parameters arrive in r0.. (r0 = this for
+/// instance methods).  Block 0 is the entry block.
+struct Method {
+  Symbol Name;
+  ClassId Owner;               ///< invalid for free functions (main)
+  uint32_t NumParams = 0;      ///< including `this` when non-static
+  uint32_t NumRegs = 0;
+  bool IsStatic = false;
+  bool IsSynchronized = false; ///< synchronized instance method
+  std::vector<BasicBlock> Blocks;
+
+  BasicBlock &block(BlockId Id) { return Blocks[Id.index()]; }
+  const BasicBlock &block(BlockId Id) const { return Blocks[Id.index()]; }
+};
+
+/// A class declaration: a bag of instance fields plus methods.
+struct ClassDecl {
+  Symbol Name;
+  std::vector<FieldId> InstanceFields;
+  std::vector<FieldId> StaticFields;
+  std::vector<MethodId> Methods;
+  MethodId RunMethod; ///< resolved `run()` if present (thread entry point)
+};
+
+/// A source site: the statement label used when reporting races (the paper's
+/// T01/T11/... labels in Figure 2).
+struct SourceSite {
+  Symbol Label;
+  MethodId InMethod;
+};
+
+/// An allocation site: `new C` / `new int[n]`.  Abstract objects of the
+/// points-to analysis are allocation sites (Section 5.3).
+struct AllocSite {
+  ClassId Class;      ///< invalid for arrays
+  MethodId InMethod;
+  bool IsArray = false;
+};
+
+/// The whole-program container.
+class Program {
+public:
+  StringInterner Names;
+
+  ClassId addClass(std::string_view Name) {
+    ClassId Id(uint32_t(Classes.size()));
+    Classes.push_back(ClassDecl{Names.intern(Name), {}, {}, {}, {}});
+    return Id;
+  }
+
+  FieldId addField(ClassId Owner, std::string_view Name, bool IsStatic) {
+    FieldId Id(uint32_t(Fields.size()));
+    ClassDecl &Cls = Classes[Owner.index()];
+    auto &List = IsStatic ? Cls.StaticFields : Cls.InstanceFields;
+    Fields.push_back(
+        FieldDecl{Names.intern(Name), Owner, uint32_t(List.size()), IsStatic});
+    List.push_back(Id);
+    return Id;
+  }
+
+  MethodId addMethod(ClassId Owner, std::string_view Name, uint32_t NumParams,
+                     bool IsStatic, bool IsSynchronized) {
+    MethodId Id(uint32_t(Methods.size()));
+    Method M;
+    M.Name = Names.intern(Name);
+    M.Owner = Owner;
+    M.NumParams = NumParams;
+    M.NumRegs = NumParams;
+    M.IsStatic = IsStatic;
+    M.IsSynchronized = IsSynchronized;
+    Methods.push_back(std::move(M));
+    if (Owner.isValid()) {
+      Classes[Owner.index()].Methods.push_back(Id);
+      if (Name == "run")
+        Classes[Owner.index()].RunMethod = Id;
+    }
+    return Id;
+  }
+
+  SiteId addSite(std::string_view Label, MethodId InMethod) {
+    SiteId Id(uint32_t(Sites.size()));
+    Sites.push_back(SourceSite{Names.intern(Label), InMethod});
+    return Id;
+  }
+
+  AllocSiteId addAllocSite(ClassId Class, MethodId InMethod, bool IsArray) {
+    AllocSiteId Id(uint32_t(AllocSites.size()));
+    AllocSites.push_back(AllocSite{Class, InMethod, IsArray});
+    return Id;
+  }
+
+  ClassDecl &classDecl(ClassId Id) { return Classes[Id.index()]; }
+  const ClassDecl &classDecl(ClassId Id) const { return Classes[Id.index()]; }
+
+  FieldDecl &field(FieldId Id) { return Fields[Id.index()]; }
+  const FieldDecl &field(FieldId Id) const { return Fields[Id.index()]; }
+
+  Method &method(MethodId Id) { return Methods[Id.index()]; }
+  const Method &method(MethodId Id) const { return Methods[Id.index()]; }
+
+  const SourceSite &site(SiteId Id) const { return Sites[Id.index()]; }
+  const AllocSite &allocSite(AllocSiteId Id) const {
+    return AllocSites[Id.index()];
+  }
+
+  size_t numClasses() const { return Classes.size(); }
+  size_t numFields() const { return Fields.size(); }
+  size_t numMethods() const { return Methods.size(); }
+  size_t numSites() const { return Sites.size(); }
+  size_t numAllocSites() const { return AllocSites.size(); }
+
+  /// Looks up a method by name within a class; returns invalid if absent.
+  MethodId findMethod(ClassId Cls, std::string_view Name) const;
+
+  /// Looks up a class by name; returns invalid if absent.
+  ClassId findClass(std::string_view Name) const;
+
+  /// Looks up a field by name within a class; returns invalid if absent.
+  FieldId findField(ClassId Cls, std::string_view Name) const;
+
+  /// Counts all instructions across all methods (the "statements" measure
+  /// used for Table 1 program characteristics).
+  size_t countInstructions() const;
+
+  /// The designated entry point; must be a static method with no params.
+  MethodId MainMethod;
+
+private:
+  std::vector<ClassDecl> Classes;
+  std::vector<FieldDecl> Fields;
+  std::vector<Method> Methods;
+  std::vector<SourceSite> Sites;
+  std::vector<AllocSite> AllocSites;
+};
+
+} // namespace herd
+
+#endif // HERD_IR_PROGRAM_H

@@ -1,0 +1,175 @@
+//===- ir/Verifier.cpp - MiniJ structural verifier ------------------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include <deque>
+#include <map>
+#include <optional>
+
+using namespace herd;
+
+namespace {
+
+/// Collects problems for one method.
+class MethodVerifier {
+public:
+  MethodVerifier(const Program &P, MethodId Id,
+                 std::vector<std::string> &Problems)
+      : P(P), Id(Id), M(P.method(Id)), Problems(Problems) {}
+
+  void run() {
+    if (M.Blocks.empty()) {
+      report("method has no blocks");
+      return;
+    }
+    for (size_t BI = 0, BE = M.Blocks.size(); BI != BE; ++BI)
+      verifyBlock(BlockId(uint32_t(BI)));
+    verifyMonitorNesting();
+  }
+
+private:
+  void report(const std::string &Message) {
+    std::string Out = "in method ";
+    Out += P.Names.text(M.Name);
+    Out += ": ";
+    Out += Message;
+    Problems.push_back(std::move(Out));
+  }
+
+  bool regInRange(RegId Reg) const {
+    return !Reg.isValid() || Reg.index() < M.NumRegs;
+  }
+
+  void checkReg(RegId Reg, const char *What) {
+    if (!regInRange(Reg))
+      report(std::string("register out of range (") + What + ")");
+  }
+
+  void checkTarget(BlockId Target) {
+    if (!Target.isValid() || Target.index() >= M.Blocks.size())
+      report("branch target out of range");
+  }
+
+  void verifyBlock(BlockId BId) {
+    const BasicBlock &Block = M.block(BId);
+    if (!Block.hasTerminator()) {
+      report("block bb" + std::to_string(BId.index()) +
+             " does not end in a terminator");
+      return;
+    }
+    for (size_t II = 0, IE = Block.Instrs.size(); II != IE; ++II) {
+      const Instr &I = Block.Instrs[II];
+      if (I.isTerminator() && II + 1 != IE) {
+        report("terminator in the middle of bb" +
+               std::to_string(BId.index()));
+        return;
+      }
+      checkReg(I.Dst, "dst");
+      checkReg(I.A, "a");
+      checkReg(I.B, "b");
+      checkReg(I.C, "c");
+      for (RegId Arg : I.Args)
+        checkReg(Arg, "arg");
+      switch (I.Op) {
+      case Opcode::Branch:
+        checkTarget(I.Target);
+        checkTarget(I.AltTarget);
+        break;
+      case Opcode::Jump:
+        checkTarget(I.Target);
+        break;
+      case Opcode::Call:
+        if (!I.Callee.isValid() || I.Callee.index() >= P.numMethods())
+          report("call to invalid method");
+        else if (I.Args.size() != P.method(I.Callee).NumParams)
+          report("call arity mismatch for callee " +
+                 std::string(P.Names.text(P.method(I.Callee).Name)));
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  /// Forward dataflow over the CFG checking that the monitor-region stack is
+  /// the same along every path into a block and balanced at returns.
+  void verifyMonitorNesting() {
+    using Stack = std::vector<uint32_t>;
+    std::map<uint32_t, Stack> EntryState;
+    std::deque<BlockId> Worklist;
+    EntryState[0] = {};
+    Worklist.push_back(BlockId(0));
+
+    while (!Worklist.empty()) {
+      BlockId BId = Worklist.front();
+      Worklist.pop_front();
+      const BasicBlock &Block = M.block(BId);
+      if (!Block.hasTerminator())
+        continue; // already reported
+      Stack State = EntryState[BId.index()];
+      bool Broken = false;
+      for (const Instr &I : Block.Instrs) {
+        if (I.Op == Opcode::MonitorEnter) {
+          State.push_back(I.SyncRegion);
+        } else if (I.Op == Opcode::MonitorExit) {
+          if (State.empty() || State.back() != I.SyncRegion) {
+            report("monitorexit #" + std::to_string(I.SyncRegion) +
+                   " does not match the innermost open region in bb" +
+                   std::to_string(BId.index()));
+            Broken = true;
+            break;
+          }
+          State.pop_back();
+        } else if (I.Op == Opcode::Return && !State.empty()) {
+          report("return with open monitor region in bb" +
+                 std::to_string(BId.index()));
+        }
+      }
+      if (Broken)
+        continue;
+      std::vector<BlockId> Succs;
+      Block.appendSuccessors(Succs);
+      for (BlockId Succ : Succs) {
+        auto It = EntryState.find(Succ.index());
+        if (It == EntryState.end()) {
+          EntryState[Succ.index()] = State;
+          Worklist.push_back(Succ);
+        } else if (It->second != State) {
+          report("inconsistent monitor nesting at entry of bb" +
+                 std::to_string(Succ.index()));
+        }
+      }
+    }
+  }
+
+  const Program &P;
+  [[maybe_unused]] MethodId Id;
+  const Method &M;
+  std::vector<std::string> &Problems;
+};
+
+} // namespace
+
+std::vector<std::string> herd::verifyMethod(const Program &P, MethodId Id) {
+  std::vector<std::string> Problems;
+  MethodVerifier(P, Id, Problems).run();
+  return Problems;
+}
+
+std::vector<std::string> herd::verifyProgram(const Program &P) {
+  std::vector<std::string> Problems;
+  if (!P.MainMethod.isValid()) {
+    Problems.push_back("program has no main method");
+  } else {
+    const Method &Main = P.method(P.MainMethod);
+    if (!Main.IsStatic || Main.NumParams != 0)
+      Problems.push_back("main must be static and take no parameters");
+  }
+  for (size_t MI = 0, ME = P.numMethods(); MI != ME; ++MI)
+    MethodVerifier(P, MethodId(uint32_t(MI)), Problems).run();
+  return Problems;
+}

@@ -1,0 +1,44 @@
+//===- ir/Verifier.h - MiniJ structural verifier ----------------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness checks for MiniJ programs.  The verifier runs
+/// after IR construction and after each transformation (instrumentation,
+/// loop peeling), catching builder bugs before they become wrong detector
+/// results.
+///
+/// Checked invariants:
+///   - every reachable block ends in exactly one terminator;
+///   - branch/jump targets are in range;
+///   - registers are within the method's register count;
+///   - call arities match callee parameter counts;
+///   - monitor regions are balanced and well nested along every path and
+///     consistent at control-flow joins (Java's structured locking, which
+///     Section 4.2's LIFO cache eviction depends on);
+///   - the entry method exists, is static, and takes no parameters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_IR_VERIFIER_H
+#define HERD_IR_VERIFIER_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace herd {
+
+/// Verifies \p P; returns a list of human-readable problems (empty when the
+/// program is well formed).
+std::vector<std::string> verifyProgram(const Program &P);
+
+/// Verifies a single method.
+std::vector<std::string> verifyMethod(const Program &P, MethodId Id);
+
+} // namespace herd
+
+#endif // HERD_IR_VERIFIER_H

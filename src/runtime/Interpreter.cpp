@@ -1,0 +1,638 @@
+//===- runtime/Interpreter.cpp - Deterministic MiniJ interpreter ----------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interpreter.h"
+
+#include "support/Compiler.h"
+
+using namespace herd;
+
+RuntimeHooks::~RuntimeHooks() = default;
+
+/// A call frame.
+struct Interpreter::Frame {
+  MethodId Method;
+  BlockId Block = BlockId(0);
+  uint32_t Ip = 0;
+  std::vector<Value> Regs;
+  RegId RetDst;        ///< caller register receiving the return value
+  ObjectId SyncSelf;   ///< monitor to release on return (synchronized method)
+  bool NeedsMonEnter = false; ///< synchronized method not yet entered
+};
+
+/// A simulated thread.
+struct Interpreter::SimThread {
+  enum class State : uint8_t {
+    Runnable,
+    BlockedOnMonitor,
+    BlockedOnJoin,
+    Finished,
+  };
+
+  ThreadId Id;
+  ObjectId ThreadObj;    ///< invalid for the initial thread
+  State St = State::Runnable;
+  ObjectId WaitObj;      ///< monitor or thread object blocked on
+  std::vector<Frame> Stack;
+};
+
+Interpreter::Interpreter(const Program &P, RuntimeHooks *Hooks,
+                         InterpOptions Opts)
+    : P(P), Hooks(Hooks), Opts(Opts), TheHeap(P), ScheduleRng(Opts.Seed) {}
+
+Interpreter::~Interpreter() = default;
+
+Value &Interpreter::reg(SimThread &Thread, RegId Reg) {
+  Frame &F = Thread.Stack.back();
+  assert(Reg.isValid() && Reg.index() < F.Regs.size() &&
+         "register out of range (verifier should have caught this)");
+  return F.Regs[Reg.index()];
+}
+
+void Interpreter::fault(const std::string &Message) {
+  if (Faulted)
+    return;
+  Faulted = true;
+  Result.Ok = false;
+  Result.Error = Message;
+}
+
+bool Interpreter::requireRef(SimThread &Thread, RegId Reg, ObjectId &Out,
+                             const char *What) {
+  const Value &V = reg(Thread, Reg);
+  if (!V.isRef()) {
+    fault(std::string("type error: expected a reference for ") + What);
+    return false;
+  }
+  if (V.isNull()) {
+    fault(std::string("null pointer dereference in ") + What);
+    return false;
+  }
+  Out = V.asRef();
+  return true;
+}
+
+bool Interpreter::requireInt(SimThread &Thread, RegId Reg, int64_t &Out,
+                             const char *What) {
+  const Value &V = reg(Thread, Reg);
+  if (V.isRef()) {
+    fault(std::string("type error: expected an integer for ") + What);
+    return false;
+  }
+  Out = V.asInt();
+  return true;
+}
+
+void Interpreter::emitAccess(ThreadId Thread, LocationKey Loc,
+                             AccessKind Kind, SiteId Site) {
+  ++Result.AccessEvents;
+  if (Hooks)
+    Hooks->onAccess(Thread, Loc, Kind, Site);
+}
+
+bool Interpreter::tryAcquireMonitor(SimThread &Thread, ObjectId Obj,
+                                    bool &Recursive) {
+  Monitor &Mon = TheHeap.object(Obj).Mon;
+  if (Mon.Owner == Thread.Id) {
+    ++Mon.Recursion;
+    Recursive = true;
+    return true;
+  }
+  if (!Mon.Owner.isValid()) {
+    Mon.Owner = Thread.Id;
+    Mon.Recursion = 1;
+    Recursive = false;
+    return true;
+  }
+  return false;
+}
+
+void Interpreter::exitMonitorOnce(SimThread &Thread, ObjectId Obj) {
+  Monitor &Mon = TheHeap.object(Obj).Mon;
+  if (Mon.Owner != Thread.Id || Mon.Recursion == 0) {
+    fault("monitorexit on a monitor the thread does not own");
+    return;
+  }
+  --Mon.Recursion;
+  bool StillHeld = Mon.Recursion > 0;
+  if (!StillHeld) {
+    Mon.Owner = ThreadId::invalid();
+    wakeBlockedOn(Obj);
+  }
+  if (Hooks)
+    Hooks->onMonitorExit(Thread.Id, Heap::lockOf(Obj), StillHeld);
+}
+
+void Interpreter::wakeBlockedOn(ObjectId Obj) {
+  for (auto &T : Threads)
+    if (T->St == SimThread::State::BlockedOnMonitor && T->WaitObj == Obj)
+      T->St = SimThread::State::Runnable;
+}
+
+void Interpreter::wakeJoiners(ObjectId ThreadObj) {
+  for (auto &T : Threads)
+    if (T->St == SimThread::State::BlockedOnJoin && T->WaitObj == ThreadObj)
+      T->St = SimThread::State::Runnable;
+}
+
+Interpreter::StepResult
+Interpreter::enterSynchronizedFrame(SimThread &Thread, Frame &F) {
+  // The callee is a synchronized instance method; acquire this's monitor
+  // before its first instruction runs.
+  ObjectId Self = F.Regs[0].asRef();
+  bool Recursive = false;
+  if (!tryAcquireMonitor(Thread, Self, Recursive)) {
+    Thread.St = SimThread::State::BlockedOnMonitor;
+    Thread.WaitObj = Self;
+    return StepResult::Blocked;
+  }
+  F.NeedsMonEnter = false;
+  F.SyncSelf = Self;
+  if (Hooks)
+    Hooks->onMonitorEnter(Thread.Id, Heap::lockOf(Self), Recursive);
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::step(SimThread &Thread) {
+  Frame &F = Thread.Stack.back();
+  if (F.NeedsMonEnter) {
+    StepResult R = enterSynchronizedFrame(Thread, F);
+    if (R != StepResult::Continue)
+      return R;
+  }
+
+  const Method &M = P.method(F.Method);
+  const BasicBlock &Block = M.block(F.Block);
+  assert(F.Ip < Block.Instrs.size() && "pc ran off the end of a block");
+  const Instr &I = Block.Instrs[F.Ip];
+
+  auto Advance = [&] { ++Thread.Stack.back().Ip; };
+  auto JumpTo = [&](BlockId Target) {
+    Frame &Top = Thread.Stack.back();
+    Top.Block = Target;
+    Top.Ip = 0;
+  };
+
+  switch (I.Op) {
+  case Opcode::Const:
+    reg(Thread, I.Dst) = Value::makeInt(I.Imm);
+    Advance();
+    return StepResult::Continue;
+
+  case Opcode::Move:
+    reg(Thread, I.Dst) = reg(Thread, I.A);
+    Advance();
+    return StepResult::Continue;
+
+  case Opcode::BinOp: {
+    const Value &AV = reg(Thread, I.A);
+    const Value &BV = reg(Thread, I.B);
+    // Eq/Ne compare values of either kind; all other operators require
+    // integers.
+    if (I.BinKind == BinOpKind::CmpEq || I.BinKind == BinOpKind::CmpNe) {
+      bool Eq = AV == BV;
+      reg(Thread, I.Dst) =
+          Value::makeInt((I.BinKind == BinOpKind::CmpEq) == Eq ? 1 : 0);
+      Advance();
+      return StepResult::Continue;
+    }
+    int64_t A = 0, B = 0;
+    if (!requireInt(Thread, I.A, A, "binop") ||
+        !requireInt(Thread, I.B, B, "binop"))
+      return StepResult::Fault;
+    int64_t R = 0;
+    switch (I.BinKind) {
+    case BinOpKind::Add:
+      R = A + B;
+      break;
+    case BinOpKind::Sub:
+      R = A - B;
+      break;
+    case BinOpKind::Mul:
+      R = A * B;
+      break;
+    case BinOpKind::Div:
+    case BinOpKind::Mod:
+      if (B == 0) {
+        fault("division by zero");
+        return StepResult::Fault;
+      }
+      R = I.BinKind == BinOpKind::Div ? A / B : A % B;
+      break;
+    case BinOpKind::And:
+      R = A & B;
+      break;
+    case BinOpKind::Or:
+      R = A | B;
+      break;
+    case BinOpKind::Xor:
+      R = A ^ B;
+      break;
+    case BinOpKind::CmpLt:
+      R = A < B;
+      break;
+    case BinOpKind::CmpLe:
+      R = A <= B;
+      break;
+    case BinOpKind::CmpGt:
+      R = A > B;
+      break;
+    case BinOpKind::CmpGe:
+      R = A >= B;
+      break;
+    case BinOpKind::CmpEq:
+    case BinOpKind::CmpNe:
+      HERD_UNREACHABLE("handled above");
+    }
+    reg(Thread, I.Dst) = Value::makeInt(R);
+    Advance();
+    return StepResult::Continue;
+  }
+
+  case Opcode::New:
+    reg(Thread, I.Dst) =
+        Value::makeRef(TheHeap.allocate(I.Class, I.AllocSite));
+    Advance();
+    return StepResult::Continue;
+
+  case Opcode::NewArray: {
+    int64_t Len = 0;
+    if (!requireInt(Thread, I.A, Len, "newarray length"))
+      return StepResult::Fault;
+    if (Len < 0) {
+      fault("negative array size");
+      return StepResult::Fault;
+    }
+    reg(Thread, I.Dst) = Value::makeRef(TheHeap.allocateArray(Len, I.AllocSite));
+    Advance();
+    return StepResult::Continue;
+  }
+
+  case Opcode::ArrayLen: {
+    ObjectId Arr;
+    if (!requireRef(Thread, I.A, Arr, "arraylen"))
+      return StepResult::Fault;
+    reg(Thread, I.Dst) =
+        Value::makeInt(int64_t(TheHeap.object(Arr).Slots.size()));
+    Advance();
+    return StepResult::Continue;
+  }
+
+  case Opcode::GetField: {
+    ObjectId Obj;
+    if (!requireRef(Thread, I.A, Obj, "getfield"))
+      return StepResult::Fault;
+    reg(Thread, I.Dst) = TheHeap.object(Obj).Slots[P.field(I.Field).SlotIndex];
+    if (Opts.TraceEveryAccess)
+      emitAccess(Thread.Id, LocationKey::forField(Obj, I.Field),
+                 AccessKind::Read, I.Site);
+    Advance();
+    return StepResult::Continue;
+  }
+
+  case Opcode::PutField: {
+    ObjectId Obj;
+    if (!requireRef(Thread, I.A, Obj, "putfield"))
+      return StepResult::Fault;
+    TheHeap.object(Obj).Slots[P.field(I.Field).SlotIndex] = reg(Thread, I.B);
+    if (Opts.TraceEveryAccess)
+      emitAccess(Thread.Id, LocationKey::forField(Obj, I.Field),
+                 AccessKind::Write, I.Site);
+    Advance();
+    return StepResult::Continue;
+  }
+
+  case Opcode::GetStatic: {
+    ObjectId Statics = TheHeap.classStatics(I.Class);
+    reg(Thread, I.Dst) =
+        TheHeap.object(Statics).Slots[P.field(I.Field).SlotIndex];
+    if (Opts.TraceEveryAccess)
+      emitAccess(Thread.Id, LocationKey::forStatic(Statics, I.Field),
+                 AccessKind::Read, I.Site);
+    Advance();
+    return StepResult::Continue;
+  }
+
+  case Opcode::PutStatic: {
+    ObjectId Statics = TheHeap.classStatics(I.Class);
+    TheHeap.object(Statics).Slots[P.field(I.Field).SlotIndex] =
+        reg(Thread, I.A);
+    if (Opts.TraceEveryAccess)
+      emitAccess(Thread.Id, LocationKey::forStatic(Statics, I.Field),
+                 AccessKind::Write, I.Site);
+    Advance();
+    return StepResult::Continue;
+  }
+
+  case Opcode::ALoad: {
+    ObjectId Arr;
+    int64_t Idx = 0;
+    if (!requireRef(Thread, I.A, Arr, "aload") ||
+        !requireInt(Thread, I.B, Idx, "aload index"))
+      return StepResult::Fault;
+    HeapObject &ArrObj = TheHeap.object(Arr);
+    if (Idx < 0 || size_t(Idx) >= ArrObj.Slots.size()) {
+      fault("array index out of bounds");
+      return StepResult::Fault;
+    }
+    reg(Thread, I.Dst) = ArrObj.Slots[size_t(Idx)];
+    if (Opts.TraceEveryAccess)
+      emitAccess(Thread.Id, LocationKey::forArray(Arr), AccessKind::Read,
+                 I.Site);
+    Advance();
+    return StepResult::Continue;
+  }
+
+  case Opcode::AStore: {
+    ObjectId Arr;
+    int64_t Idx = 0;
+    if (!requireRef(Thread, I.A, Arr, "astore") ||
+        !requireInt(Thread, I.B, Idx, "astore index"))
+      return StepResult::Fault;
+    HeapObject &ArrObj = TheHeap.object(Arr);
+    if (Idx < 0 || size_t(Idx) >= ArrObj.Slots.size()) {
+      fault("array index out of bounds");
+      return StepResult::Fault;
+    }
+    ArrObj.Slots[size_t(Idx)] = reg(Thread, I.C);
+    if (Opts.TraceEveryAccess)
+      emitAccess(Thread.Id, LocationKey::forArray(Arr), AccessKind::Write,
+                 I.Site);
+    Advance();
+    return StepResult::Continue;
+  }
+
+  case Opcode::Call: {
+    const Method &Callee = P.method(I.Callee);
+    Frame NewFrame;
+    NewFrame.Method = I.Callee;
+    NewFrame.Regs.resize(Callee.NumRegs);
+    for (size_t N = 0; N != I.Args.size(); ++N)
+      NewFrame.Regs[N] = reg(Thread, I.Args[N]);
+    NewFrame.RetDst = I.Dst;
+    if (Callee.IsSynchronized) {
+      if (NewFrame.Regs.empty() || !NewFrame.Regs[0].isRef() ||
+          NewFrame.Regs[0].isNull()) {
+        fault("synchronized call on null receiver");
+        return StepResult::Fault;
+      }
+      NewFrame.NeedsMonEnter = true;
+    }
+    Advance(); // the caller resumes after the call
+    Thread.Stack.push_back(std::move(NewFrame));
+    return StepResult::Continue;
+  }
+
+  case Opcode::Branch: {
+    bool Taken = reg(Thread, I.A).isTruthy();
+    JumpTo(Taken ? I.Target : I.AltTarget);
+    return StepResult::Continue;
+  }
+
+  case Opcode::Jump:
+    JumpTo(I.Target);
+    return StepResult::Continue;
+
+  case Opcode::Return: {
+    Value Ret = I.A.isValid() ? reg(Thread, I.A) : Value();
+    ObjectId SyncSelf = F.SyncSelf;
+    RegId RetDst = F.RetDst;
+    Thread.Stack.pop_back();
+    if (SyncSelf.isValid())
+      exitMonitorOnce(Thread, SyncSelf);
+    if (Faulted)
+      return StepResult::Fault;
+    if (Thread.Stack.empty()) {
+      Thread.St = SimThread::State::Finished;
+      if (Hooks)
+        Hooks->onThreadExit(Thread.Id);
+      if (Thread.ThreadObj.isValid())
+        wakeJoiners(Thread.ThreadObj);
+      return StepResult::Finished;
+    }
+    if (RetDst.isValid())
+      reg(Thread, RetDst) = Ret;
+    return StepResult::Continue;
+  }
+
+  case Opcode::MonitorEnter: {
+    ObjectId Obj;
+    if (!requireRef(Thread, I.A, Obj, "monitorenter"))
+      return StepResult::Fault;
+    bool Recursive = false;
+    if (!tryAcquireMonitor(Thread, Obj, Recursive)) {
+      Thread.St = SimThread::State::BlockedOnMonitor;
+      Thread.WaitObj = Obj;
+      return StepResult::Blocked;
+    }
+    if (Hooks)
+      Hooks->onMonitorEnter(Thread.Id, Heap::lockOf(Obj), Recursive);
+    Advance();
+    return StepResult::Continue;
+  }
+
+  case Opcode::MonitorExit: {
+    ObjectId Obj;
+    if (!requireRef(Thread, I.A, Obj, "monitorexit"))
+      return StepResult::Fault;
+    exitMonitorOnce(Thread, Obj);
+    if (Faulted)
+      return StepResult::Fault;
+    Advance();
+    return StepResult::Continue;
+  }
+
+  case Opcode::ThreadStart: {
+    ObjectId Obj;
+    if (!requireRef(Thread, I.A, Obj, "thread start"))
+      return StepResult::Fault;
+    HeapObject &ThreadObj = TheHeap.object(Obj);
+    if (!ThreadObj.Class.isValid() ||
+        !P.classDecl(ThreadObj.Class).RunMethod.isValid()) {
+      fault("start on an object whose class has no run() method");
+      return StepResult::Fault;
+    }
+    if (ThreadByObject.count(Obj)) {
+      fault("thread object started twice");
+      return StepResult::Fault;
+    }
+    MethodId Run = P.classDecl(ThreadObj.Class).RunMethod;
+    const Method &RunM = P.method(Run);
+    auto Child = std::make_unique<SimThread>();
+    Child->Id = ThreadId(uint32_t(Threads.size()));
+    Child->ThreadObj = Obj;
+    Frame RunFrame;
+    RunFrame.Method = Run;
+    RunFrame.Regs.resize(RunM.NumRegs);
+    RunFrame.Regs[0] = Value::makeRef(Obj);
+    RunFrame.NeedsMonEnter = RunM.IsSynchronized;
+    Child->Stack.push_back(std::move(RunFrame));
+    ThreadByObject.emplace(Obj, Child->Id);
+    ++Result.ThreadsCreated;
+    if (Hooks)
+      Hooks->onThreadCreate(Child->Id, Thread.Id, Obj);
+    Threads.push_back(std::move(Child));
+    Advance();
+    return StepResult::Continue;
+  }
+
+  case Opcode::ThreadJoin: {
+    ObjectId Obj;
+    if (!requireRef(Thread, I.A, Obj, "thread join"))
+      return StepResult::Fault;
+    auto It = ThreadByObject.find(Obj);
+    if (It == ThreadByObject.end()) {
+      // Joining a never-started thread returns immediately (Java semantics);
+      // no ordering is established.
+      Advance();
+      return StepResult::Continue;
+    }
+    SimThread &Target = *Threads[It->second.index()];
+    if (Target.St != SimThread::State::Finished) {
+      Thread.St = SimThread::State::BlockedOnJoin;
+      Thread.WaitObj = Obj;
+      return StepResult::Blocked;
+    }
+    if (Hooks)
+      Hooks->onThreadJoin(Thread.Id, Target.Id);
+    Advance();
+    return StepResult::Continue;
+  }
+
+  case Opcode::Print: {
+    const Value &V = reg(Thread, I.A);
+    Result.Output.push_back(V.isRef() ? int64_t(V.asRef().index())
+                                      : V.asInt());
+    Advance();
+    return StepResult::Continue;
+  }
+
+  case Opcode::Yield:
+    Advance();
+    return StepResult::Switched;
+
+  case Opcode::Trace: {
+    LocationKey Loc;
+    switch (I.TraceWhat) {
+    case TraceWhatKind::Field: {
+      ObjectId Obj;
+      if (!requireRef(Thread, I.A, Obj, "trace"))
+        return StepResult::Fault;
+      Loc = LocationKey::forField(Obj, I.Field);
+      break;
+    }
+    case TraceWhatKind::Array: {
+      ObjectId Obj;
+      if (!requireRef(Thread, I.A, Obj, "trace"))
+        return StepResult::Fault;
+      Loc = LocationKey::forArray(Obj);
+      break;
+    }
+    case TraceWhatKind::Static:
+      Loc = LocationKey::forStatic(TheHeap.classStatics(I.Class), I.Field);
+      break;
+    }
+    emitAccess(Thread.Id, Loc, I.Access, I.Site);
+    Advance();
+    return StepResult::Continue;
+  }
+  }
+  HERD_UNREACHABLE("unknown opcode in interpreter");
+}
+
+InterpResult Interpreter::run() {
+  Result = InterpResult();
+  Result.Ok = true;
+  Faulted = false;
+
+  assert(P.MainMethod.isValid() && "program has no main");
+  const Method &Main = P.method(P.MainMethod);
+
+  auto MainThread = std::make_unique<SimThread>();
+  MainThread->Id = ThreadId(0);
+  Frame MainFrame;
+  MainFrame.Method = P.MainMethod;
+  MainFrame.Regs.resize(Main.NumRegs);
+  MainThread->Stack.push_back(std::move(MainFrame));
+  Threads.clear();
+  ThreadByObject.clear();
+  Threads.push_back(std::move(MainThread));
+  Result.ThreadsCreated = 1;
+  if (Hooks)
+    Hooks->onThreadCreate(ThreadId(0), ThreadId::invalid(),
+                          ObjectId::invalid());
+
+  size_t Cursor = 0;
+  size_t ReplayIndex = 0;
+  while (true) {
+    SimThread *Current = nullptr;
+    uint64_t Quantum = 0;
+
+    if (Opts.Replay) {
+      // Replay mode: follow the recorded slices exactly (Section 2.6's
+      // DejaVu-style deterministic re-execution).
+      if (ReplayIndex >= Opts.Replay->Slices.size())
+        break;
+      const ScheduleTrace::Slice &Slice = Opts.Replay->Slices[ReplayIndex++];
+      if (Slice.ThreadIndex >= Threads.size()) {
+        fault("schedule replay diverged: unknown thread in trace");
+        break;
+      }
+      Current = Threads[Slice.ThreadIndex].get();
+      if (Current->St != SimThread::State::Runnable) {
+        fault("schedule replay diverged: recorded thread not runnable");
+        break;
+      }
+      Quantum = Slice.Steps;
+    } else {
+      // Round-robin: find the next runnable thread at or after the cursor.
+      bool AnyUnfinished = false;
+      for (size_t Probe = 0; Probe != Threads.size(); ++Probe) {
+        SimThread &T = *Threads[(Cursor + Probe) % Threads.size()];
+        if (T.St != SimThread::State::Finished)
+          AnyUnfinished = true;
+        if (T.St == SimThread::State::Runnable) {
+          Current = &T;
+          Cursor = (Cursor + Probe) % Threads.size();
+          break;
+        }
+      }
+      if (!Current) {
+        if (AnyUnfinished)
+          fault("deadlock: all live threads are blocked");
+        break;
+      }
+      Quantum = 1 + ScheduleRng.nextBelow(Opts.MaxQuantum);
+    }
+
+    uint32_t Retired = 0;
+    for (uint64_t Step = 0; Step != Quantum; ++Step) {
+      if (++Result.InstructionsExecuted > Opts.MaxInstructions) {
+        fault("instruction budget exhausted (runaway workload?)");
+        break;
+      }
+      StepResult R = step(*Current);
+      if (R == StepResult::Fault)
+        break;
+      ++Retired;
+      if (R != StepResult::Continue)
+        break; // Blocked / Switched / Finished: end the quantum
+    }
+    if (Faulted)
+      break;
+    if (Opts.Record && Retired > 0)
+      Opts.Record->Slices.push_back({Current->Id.index(), Retired});
+    Cursor = (Cursor + 1) % Threads.size();
+    ++Result.ContextSwitches;
+  }
+
+  if (Faulted) {
+    Result.Ok = false;
+    return Result;
+  }
+  Result.Ok = true;
+  return Result;
+}

@@ -1,0 +1,149 @@
+//===- runtime/Interpreter.h - Deterministic MiniJ interpreter --*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, cooperatively scheduled interpreter for MiniJ programs.
+///
+/// Threads are simulated: the interpreter round-robins over runnable
+/// threads, preempting after a pseudo-random quantum drawn from a seeded
+/// generator.  The same seed therefore replays the identical interleaving,
+/// which makes race reports and the Table 2/3 experiments reproducible —
+/// the role DejaVu record/replay plays for the paper's prototype
+/// (Section 2.6).
+///
+/// The interpreter reports synchronization operations and traced accesses
+/// through RuntimeHooks; it is otherwise oblivious to race detection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_RUNTIME_INTERPRETER_H
+#define HERD_RUNTIME_INTERPRETER_H
+
+#include "ir/Program.h"
+#include "runtime/Heap.h"
+#include "runtime/Hooks.h"
+#include "runtime/Value.h"
+#include "support/Rng.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace herd {
+
+/// A recorded schedule: the exact sequence of (thread, retired
+/// instructions) slices of one run.  Plays the role of the DejaVu
+/// record/replay tool in the paper's debugging workflow (Section 2.6):
+/// detection runs alongside recording, and the expensive FullRace
+/// reconstruction happens during replay of the identical interleaving.
+struct ScheduleTrace {
+  struct Slice {
+    uint32_t ThreadIndex;
+    uint32_t Steps; ///< instructions actually retired in the slice
+  };
+  std::vector<Slice> Slices;
+};
+
+/// Execution options.
+struct InterpOptions {
+  /// Seed for the scheduling generator; same seed => same interleaving.
+  uint64_t Seed = 1;
+
+  /// Maximum instructions a thread runs before a preemption point.
+  uint32_t MaxQuantum = 40;
+
+  /// Fuel limit: total instructions before the run is aborted (guards
+  /// against accidentally divergent workloads).
+  uint64_t MaxInstructions = 500'000'000;
+
+  /// When true, the interpreter synthesizes an access event at every heap
+  /// access, independent of Trace instrumentation.  Used by the baseline
+  /// detectors and by the oracle tests, which need the full event stream.
+  bool TraceEveryAccess = false;
+
+  /// When set, the executed schedule is appended here (DejaVu-style
+  /// recording).
+  ScheduleTrace *Record = nullptr;
+
+  /// When set, scheduling decisions are taken from this trace instead of
+  /// the seeded generator, reproducing a recorded run exactly.  The
+  /// program must be the same one that was recorded; divergence is a
+  /// runtime error.
+  const ScheduleTrace *Replay = nullptr;
+};
+
+/// The outcome of a run.
+struct InterpResult {
+  bool Ok = false;
+  std::string Error;                ///< non-empty when !Ok
+  std::vector<int64_t> Output;      ///< values printed by Print
+  uint64_t InstructionsExecuted = 0;
+  uint64_t AccessEvents = 0;        ///< events delivered to hooks
+  uint64_t ContextSwitches = 0;
+  uint32_t ThreadsCreated = 0;
+};
+
+/// Interprets one program once.  Construct, call run(), inspect the result;
+/// the heap remains available afterwards for tests that want to examine
+/// final object state.
+class Interpreter {
+public:
+  Interpreter(const Program &P, RuntimeHooks *Hooks, InterpOptions Opts);
+  ~Interpreter();
+
+  /// Executes the program's main method to completion (or error).
+  InterpResult run();
+
+  Heap &heap() { return TheHeap; }
+  const Heap &heap() const { return TheHeap; }
+
+private:
+  struct Frame;
+  struct SimThread;
+
+  /// One step outcome for the per-thread execution loop.
+  enum class StepResult : uint8_t {
+    Continue,  ///< instruction retired; keep running this thread
+    Blocked,   ///< thread blocked; do not advance its pc
+    Switched,  ///< voluntary yield; preempt now
+    Finished,  ///< thread ran to completion
+    Fault,     ///< runtime error; abort the whole run
+  };
+
+  StepResult step(SimThread &Thread);
+  StepResult enterSynchronizedFrame(SimThread &Thread, Frame &F);
+
+  bool tryAcquireMonitor(SimThread &Thread, ObjectId Obj, bool &Recursive);
+  void exitMonitorOnce(SimThread &Thread, ObjectId Obj);
+  void wakeBlockedOn(ObjectId Obj);
+  void wakeJoiners(ObjectId ThreadObj);
+
+  void fault(const std::string &Message);
+  void emitAccess(ThreadId Thread, LocationKey Loc, AccessKind Kind,
+                  SiteId Site);
+
+  Value &reg(SimThread &Thread, RegId Reg);
+  bool requireRef(SimThread &Thread, RegId Reg, ObjectId &Out,
+                  const char *What);
+  bool requireInt(SimThread &Thread, RegId Reg, int64_t &Out,
+                  const char *What);
+
+  const Program &P;
+  RuntimeHooks *Hooks;
+  InterpOptions Opts;
+  Heap TheHeap;
+  Rng ScheduleRng;
+
+  std::vector<std::unique_ptr<SimThread>> Threads;
+  std::unordered_map<ObjectId, ThreadId> ThreadByObject;
+  InterpResult Result;
+  bool Faulted = false;
+};
+
+} // namespace herd
+
+#endif // HERD_RUNTIME_INTERPRETER_H

@@ -1,0 +1,61 @@
+//===- support/Rng.h - Deterministic pseudo-random generator ----*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fully deterministic SplitMix64 generator.  The scheduler and the
+/// property-based tests must replay identically from a seed, so we do not
+/// depend on std::mt19937's unspecified seeding behaviour across platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_SUPPORT_RNG_H
+#define HERD_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace herd {
+
+/// SplitMix64: a 64-bit generator with a single word of state.  Passes
+/// BigCrush when used as a stream; more than adequate for schedule jitter
+/// and test-input generation.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit pseudo-random value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    // Multiply-shift rejection-free mapping (Lemire); bias is negligible for
+    // the small bounds used by the scheduler and tests.
+    return uint64_t((__uint128_t(next()) * Bound) >> 64);
+  }
+
+  /// Returns a value uniformly distributed in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + int64_t(nextBelow(uint64_t(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool nextChance(uint64_t Num, uint64_t Den) { return nextBelow(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace herd
+
+#endif // HERD_SUPPORT_RNG_H

@@ -1,0 +1,136 @@
+//===- support/SortedIdSet.h - Sorted-vector set of ids ---------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set represented as a sorted vector, tuned for the small sets that
+/// dominate this system: locksets (typically 0-3 locks, Section 2.4) and
+/// abstract-object points-to sets (Section 5.3).  Sorted vectors give cheap
+/// subset / intersection tests, deterministic iteration order, and cache
+/// friendliness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_SUPPORT_SORTEDIDSET_H
+#define HERD_SUPPORT_SORTEDIDSET_H
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace herd {
+
+/// A sorted, duplicate-free vector of values ordered by operator<.
+template <typename T> class SortedIdSet {
+public:
+  SortedIdSet() = default;
+
+  /// Builds a set from an arbitrary list, sorting and deduplicating.
+  SortedIdSet(std::initializer_list<T> Init) : Items(Init) {
+    std::sort(Items.begin(), Items.end());
+    Items.erase(std::unique(Items.begin(), Items.end()), Items.end());
+  }
+
+  bool empty() const { return Items.empty(); }
+  size_t size() const { return Items.size(); }
+
+  auto begin() const { return Items.begin(); }
+  auto end() const { return Items.end(); }
+
+  bool contains(T Value) const {
+    return std::binary_search(Items.begin(), Items.end(), Value);
+  }
+
+  /// Inserts a value; returns true if it was not already present.
+  bool insert(T Value) {
+    auto It = std::lower_bound(Items.begin(), Items.end(), Value);
+    if (It != Items.end() && *It == Value)
+      return false;
+    Items.insert(It, Value);
+    return true;
+  }
+
+  /// Removes a value; returns true if it was present.
+  bool erase(T Value) {
+    auto It = std::lower_bound(Items.begin(), Items.end(), Value);
+    if (It == Items.end() || *It != Value)
+      return false;
+    Items.erase(It);
+    return true;
+  }
+
+  void clear() { Items.clear(); }
+
+  /// Returns true if this set is a subset of (or equal to) \p Other.
+  bool isSubsetOf(const SortedIdSet &Other) const {
+    return std::includes(Other.Items.begin(), Other.Items.end(),
+                         Items.begin(), Items.end());
+  }
+
+  /// Returns true if this set shares at least one element with \p Other.
+  bool intersects(const SortedIdSet &Other) const {
+    auto A = Items.begin(), AE = Items.end();
+    auto B = Other.Items.begin(), BE = Other.Items.end();
+    while (A != AE && B != BE) {
+      if (*A == *B)
+        return true;
+      if (*A < *B)
+        ++A;
+      else
+        ++B;
+    }
+    return false;
+  }
+
+  /// Replaces this set with its intersection with \p Other; returns true if
+  /// the set changed.  Used by the must-analyses, whose meet is intersection
+  /// (Section 5.3, dataflow equations for MustSync).
+  bool intersectWith(const SortedIdSet &Other) {
+    std::vector<T> Result;
+    Result.reserve(std::min(Items.size(), Other.Items.size()));
+    std::set_intersection(Items.begin(), Items.end(), Other.Items.begin(),
+                          Other.Items.end(), std::back_inserter(Result));
+    if (Result.size() == Items.size())
+      return false;
+    Items = std::move(Result);
+    return true;
+  }
+
+  /// Inserts every element of \p Other; returns true if the set grew.  Used
+  /// by the may points-to analysis, whose join is union.
+  bool unionWith(const SortedIdSet &Other) {
+    if (Other.empty())
+      return false;
+    std::vector<T> Result;
+    Result.reserve(Items.size() + Other.Items.size());
+    std::set_union(Items.begin(), Items.end(), Other.Items.begin(),
+                   Other.Items.end(), std::back_inserter(Result));
+    if (Result.size() == Items.size())
+      return false;
+    Items = std::move(Result);
+    return true;
+  }
+
+  const std::vector<T> &items() const { return Items; }
+
+  friend bool operator==(const SortedIdSet &A, const SortedIdSet &B) {
+    return A.Items == B.Items;
+  }
+  friend bool operator!=(const SortedIdSet &A, const SortedIdSet &B) {
+    return A.Items != B.Items;
+  }
+
+  /// Lexicographic order, so sets can key ordered maps.
+  friend bool operator<(const SortedIdSet &A, const SortedIdSet &B) {
+    return A.Items < B.Items;
+  }
+
+private:
+  std::vector<T> Items;
+};
+
+} // namespace herd
+
+#endif // HERD_SUPPORT_SORTEDIDSET_H

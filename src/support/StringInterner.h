@@ -1,0 +1,70 @@
+//===- support/StringInterner.h - Name interning ----------------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns names (class, field, method and statement-label strings) so the
+/// IR and the detector can carry 32-bit symbols instead of strings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_SUPPORT_STRINGINTERNER_H
+#define HERD_SUPPORT_STRINGINTERNER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace herd {
+
+/// An interned string handle; 0 is the empty string.
+struct Symbol {
+  uint32_t Id = 0;
+
+  bool isEmpty() const { return Id == 0; }
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+};
+
+/// Maps strings to dense Symbol handles and back.  Not thread-safe; the
+/// frontend and IR construction are single-threaded by design (the simulated
+/// program's concurrency lives in the runtime scheduler, not in host
+/// threads).
+class StringInterner {
+public:
+  StringInterner() { Storage.emplace_back(); }
+
+  /// Returns the symbol for \p Text, interning it on first sight.
+  Symbol intern(std::string_view Text) {
+    if (Text.empty())
+      return Symbol{0};
+    auto It = Lookup.find(std::string(Text));
+    if (It != Lookup.end())
+      return Symbol{It->second};
+    uint32_t Id = uint32_t(Storage.size());
+    Storage.emplace_back(Text);
+    Lookup.emplace(Storage.back(), Id);
+    return Symbol{Id};
+  }
+
+  /// Returns the text for a previously interned symbol.
+  std::string_view text(Symbol Sym) const {
+    return Sym.Id < Storage.size() ? std::string_view(Storage[Sym.Id])
+                                   : std::string_view();
+  }
+
+  size_t size() const { return Storage.size(); }
+
+private:
+  std::vector<std::string> Storage;
+  std::unordered_map<std::string, uint32_t> Lookup;
+};
+
+} // namespace herd
+
+#endif // HERD_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,260 @@
+//===- workloads/Hedc.cpp - hedc replica (web-crawler kernel) -------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replica of the ETH hedc web-crawler application kernel (Table 1: 8
+/// dynamic threads), built on a Doug-Lea-style task pool.
+///
+/// Ground truth per Section 8.3:
+///   - the thread pool's size field is "read and written without
+///     appropriate locking" — a real race on the pool object;
+///   - Task.thread_ is assigned null by the completing worker with no
+///     lock, racing with cancel()'s read from another thread — the
+///     NullPointerException bug previous work misclassified as benign
+///     (4 Task objects -> 4 reported objects; with the pool that makes
+///     the paper's 5);
+///   - LinkedQueue mixes immutable fields read lock-free with mutable
+///     head/tail guarded by the queue lock: correct per-field discipline
+///     that FieldsMerged conflates into spurious reports;
+///   - MetaSearchRequest objects mix thread-local scratch with properly
+///     locked shared results — likewise conflated by FieldsMerged.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "workloads/Workloads.h"
+
+using namespace herd;
+
+Workload herd::buildHedc(uint32_t Scale) {
+  Workload W;
+  W.Name = "hedc";
+  W.Description = "web crawler task-pool kernel (ETH hedc replica)";
+  W.DynamicThreads = 8;
+  W.CpuBound = false;
+  W.ExpectedRacyObjectsFull = 5; // pool + 4 tasks
+
+  Program &P = W.P;
+  IRBuilder B(P);
+
+  ClassId Pool = B.makeClass("ThreadPool");
+  FieldId PoolSize = B.makeField(Pool, "size");
+  FieldId PoolQueue = B.makeField(Pool, "queue");
+
+  ClassId LinkedQueue = B.makeClass("LinkedQueue");
+  FieldId QCapacity = B.makeField(LinkedQueue, "capacity"); // immutable
+  FieldId QItems = B.makeField(LinkedQueue, "items");       // immutable ref
+  FieldId QHead = B.makeField(LinkedQueue, "head");         // locked
+  FieldId QTail = B.makeField(LinkedQueue, "tail");         // locked
+
+  ClassId Task = B.makeClass("Task");
+  FieldId TaskThread = B.makeField(Task, "thread_");
+  FieldId TaskDone = B.makeField(Task, "done");
+  FieldId TaskRequest = B.makeField(Task, "request");
+
+  ClassId Request = B.makeClass("MetaSearchRequest");
+  FieldId ReqResult = B.makeField(Request, "result");   // locked
+  FieldId ReqLock = B.makeField(Request, "lock");
+  FieldId ReqScratch = B.makeField(Request, "scratch"); // effectively local
+
+  ClassId LockCls = B.makeClass("LockObj");
+
+  ClassId WorkerCls = B.makeClass("PoolWorker");
+  FieldId WPool = B.makeField(WorkerCls, "pool");
+  FieldId WSelfId = B.makeField(WorkerCls, "selfId");
+
+  ClassId Canceller = B.makeClass("Canceller");
+  FieldId CTask = B.makeField(Canceller, "task");
+
+  // LinkedQueue.poll(this): take the next task under the queue lock;
+  // capacity is read lock-free (immutable after construction).
+  MethodId QueuePoll = B.startMethod(LinkedQueue, "poll", 1);
+  {
+    RegId This = B.thisReg();
+    B.site("hedc:capacity-read");
+    RegId Capacity = B.emitGetField(This, QCapacity); // lock-free read
+    RegId Result = B.emitConst(0);
+    RegId NullRef = B.newReg(); // stays integer 0; reassigned below
+    B.emitAssign(NullRef, Result);
+    B.sync(This, [&] {
+      B.site("hedc:queue-poll");
+      RegId Head = B.emitGetField(This, QHead);
+      RegId Tail = B.emitGetField(This, QTail);
+      RegId HasWork = B.emitBinOp(BinOpKind::CmpLt, Head, Tail);
+      B.ifThen(HasWork, [&] {
+        RegId Items = B.emitGetField(This, QItems);
+        RegId Wrapped = B.emitBinOp(BinOpKind::Mod, Head, Capacity);
+        B.emitAssign(NullRef, B.emitALoad(Items, Wrapped));
+        B.emitPutField(This, QHead,
+                       B.emitBinOp(BinOpKind::Add, Head, B.emitConst(1)));
+      });
+    });
+    B.emitReturn(NullRef);
+  }
+
+  // Task.process(this, workerId): record the claiming worker, do the
+  // search work, publish the result under the request's lock, then clear
+  // thread_ WITHOUT a lock — the Task.thread_ race.
+  MethodId TaskProcess = B.startMethod(Task, "process", 2);
+  {
+    RegId This = B.thisReg();
+    RegId WorkerId = B.param(1);
+    B.site("hedc:thread_-assign");
+    B.emitPutField(This, TaskThread, WorkerId);
+
+    RegId Req = B.emitGetField(This, TaskRequest);
+    // Thread-local-ish scratch work on the request.
+    B.site("hedc:scratch");
+    RegId N = B.emitConst(12);
+    B.forLoop(0, N, 1, [&](RegId I) {
+      RegId S = B.emitGetField(Req, ReqScratch);
+      B.emitPutField(Req, ReqScratch, B.emitBinOp(BinOpKind::Add, S, I));
+    });
+    // Publish under the request lock.
+    RegId Lock = B.emitGetField(Req, ReqLock);
+    B.sync(Lock, [&] {
+      B.site("hedc:result-publish");
+      RegId R = B.emitGetField(Req, ReqResult);
+      RegId S = B.emitGetField(Req, ReqScratch);
+      B.emitPutField(Req, ReqResult, B.emitBinOp(BinOpKind::Add, R, S));
+    });
+    // Completion: null out thread_ with no lock (the real race with
+    // cancel()).
+    B.site("hedc:thread_-nullout");
+    B.emitPutField(This, TaskThread, B.emitConst(0));
+    B.emitPutField(This, TaskDone, B.emitConst(1));
+    B.emitReturn();
+  }
+
+  // PoolWorker.run: poll tasks; adjust pool.size without the lock (the
+  // real pool race); process each task.
+  B.startMethod(WorkerCls, "run", 1);
+  {
+    RegId This = B.thisReg();
+    RegId PoolObj = B.emitGetField(This, WPool);
+    RegId QueueObj = B.emitGetField(PoolObj, PoolQueue);
+    RegId SelfId = B.emitGetField(This, WSelfId);
+    RegId Busy = B.emitConst(1);
+    B.whileLoop(
+        [&] { return B.emitMove(Busy); },
+        [&] {
+          RegId TaskRef = B.emitCall(QueuePoll, {QueueObj});
+          RegId None = B.emitBinOp(BinOpKind::CmpEq, TaskRef,
+                                   B.emitConst(0));
+          B.ifThenElse(
+              None, [&] { B.emitAssign(Busy, B.emitConst(0)); },
+              [&] {
+                // pool.size++ ... pool.size-- with NO lock: the real race
+                // ("the size of a thread pool is read and written without
+                // appropriate locking").
+                B.site("hedc:poolsize++");
+                RegId Sz = B.emitGetField(PoolObj, PoolSize);
+                B.emitPutField(PoolObj, PoolSize,
+                               B.emitBinOp(BinOpKind::Add, Sz,
+                                           B.emitConst(1)));
+                B.emitCallVoid(TaskProcess, {TaskRef, SelfId});
+                B.site("hedc:poolsize--");
+                RegId Sz2 = B.emitGetField(PoolObj, PoolSize);
+                B.emitPutField(PoolObj, PoolSize,
+                               B.emitBinOp(BinOpKind::Sub, Sz2,
+                                           B.emitConst(1)));
+              });
+        });
+    B.emitReturn();
+  }
+
+  // Canceller.run: Task.cancel() — read thread_ with no lock and "would
+  // interrupt" the worker if it is still set.
+  B.startMethod(Canceller, "run", 1);
+  {
+    RegId This = B.thisReg();
+    RegId TaskRef = B.emitGetField(This, CTask);
+    RegId Tries = B.emitConst(6);
+    B.forLoop(0, Tries, 1, [&](RegId) {
+      B.site("hedc:cancel-read");
+      RegId Th = B.emitGetField(TaskRef, TaskThread);
+      B.ifThen(Th, [&] { B.emitYield(); });
+      B.emitYield();
+    });
+    // Inspect the result under the request's lock: correct per-field
+    // locking on MetaSearchRequest (result locked, scratch single-owner)
+    // that FieldsMerged conflates into a spurious report.
+    RegId Req = B.emitGetField(TaskRef, TaskRequest);
+    RegId Lock = B.emitGetField(Req, ReqLock);
+    B.sync(Lock, [&] {
+      B.site("hedc:result-inspect");
+      RegId R = B.emitGetField(Req, ReqResult);
+      B.ifThen(R, [&] { B.emitYield(); });
+    });
+    B.emitReturn();
+  }
+
+  // main: 1 + 3 workers + 4 cancellers = 8 threads.
+  B.startMain();
+  {
+    int64_t NumTasks = 4;
+    int64_t Capacity = 8;
+    (void)Scale;
+
+    RegId QueueObj = B.emitNew(LinkedQueue);
+    RegId Items = B.emitNewArray(B.emitConst(Capacity));
+    B.emitPutField(QueueObj, QItems, Items);
+    B.emitPutField(QueueObj, QCapacity, B.emitConst(Capacity));
+    B.emitPutField(QueueObj, QHead, B.emitConst(0));
+
+    RegId PoolObj = B.emitNew(Pool);
+    B.emitPutField(PoolObj, PoolQueue, QueueObj);
+    B.emitPutField(PoolObj, PoolSize, B.emitConst(0));
+
+    // Tasks and their requests.
+    RegId TaskRefs[4];
+    for (int64_t I = 0; I != NumTasks; ++I) {
+      RegId Req = B.emitNew(Request);
+      B.emitPutField(Req, ReqLock, B.emitNew(LockCls));
+      B.emitPutField(Req, ReqResult, B.emitConst(0));
+      B.emitPutField(Req, ReqScratch, B.emitConst(0));
+      RegId T = B.emitNew(Task);
+      B.emitPutField(T, TaskRequest, Req);
+      B.emitPutField(T, TaskThread, B.emitConst(0));
+      B.emitPutField(T, TaskDone, B.emitConst(0));
+      B.emitAStore(Items, B.emitConst(I), T);
+      TaskRefs[I] = T;
+    }
+    B.emitPutField(QueueObj, QTail, B.emitConst(NumTasks));
+
+    // Three pool workers.
+    RegId Workers[3];
+    for (int64_t I = 0; I != 3; ++I) {
+      RegId Wk = B.emitNew(WorkerCls);
+      B.emitPutField(Wk, WPool, PoolObj);
+      B.emitPutField(Wk, WSelfId, B.emitConst(I + 1));
+      Workers[I] = Wk;
+    }
+    // Four cancellers, one per task.
+    RegId Cancellers[4];
+    for (int64_t I = 0; I != NumTasks; ++I) {
+      RegId C = B.emitNew(Canceller);
+      B.emitPutField(C, CTask, TaskRefs[I]);
+      Cancellers[I] = C;
+    }
+
+    for (RegId Wk : Workers)
+      B.emitThreadStart(Wk);
+    for (RegId C : Cancellers)
+      B.emitThreadStart(C);
+    for (RegId Wk : Workers)
+      B.emitThreadJoin(Wk);
+    for (RegId C : Cancellers)
+      B.emitThreadJoin(C);
+
+    B.emitPrint(B.emitGetField(PoolObj, PoolSize));
+    for (RegId T : TaskRefs)
+      B.emitPrint(B.emitGetField(T, TaskDone));
+    B.emitReturn();
+  }
+
+  return W;
+}

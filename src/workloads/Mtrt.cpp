@@ -1,0 +1,235 @@
+//===- workloads/Mtrt.cpp - mtrt replica (SPECJVM98 ray tracer) -----------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replica of SPECJVM98 mtrt's sharing structure (Table 1: 3 threads).
+///
+/// Ground truth engineered to match Section 8.3's findings:
+///   - RayTrace.threadCount (a static) is incremented and decremented by
+///     both render threads without synchronization — a real race whose
+///     value "is fortunately not actually used";
+///   - the shared output stream's startOfLine flag is toggled by both
+///     threads without synchronization — a real race;
+///   - I/O statistics are updated by the children under a common lock and
+///     read by the parent after join() with no lock: locksets {S1, c},
+///     {S2, c}, {S1, S2} are mutually intersecting, so the paper's
+///     detector is silent while Eraser (no join model) reports;
+///   - the scene geometry is initialized by main and only *read* by the
+///     workers, and each worker renders into its own canvas: no races;
+///   - per-pixel scratch Vec objects are thread-local, so the static
+///     escape analysis removes their (numerous) accesses — the reason
+///     mtrt without static analysis exhausted memory in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "workloads/Workloads.h"
+
+using namespace herd;
+
+Workload herd::buildMtrt(uint32_t Scale) {
+  Workload W;
+  W.Name = "mtrt";
+  W.Description = "multithreaded ray tracer (SPECJVM98 mtrt replica)";
+  W.DynamicThreads = 3;
+  W.CpuBound = true;
+  W.ExpectedRacyObjectsFull = 2; // threadCount statics + stream
+
+  Program &P = W.P;
+  IRBuilder B(P);
+
+  ClassId Scene = B.makeClass("Scene");
+  FieldId SceneGeom = B.makeField(Scene, "geom");
+  FieldId SceneSize = B.makeField(Scene, "size");
+
+  ClassId RayTrace = B.makeClass("RayTrace");
+  FieldId ThreadCount = B.makeStaticField(RayTrace, "threadCount");
+
+  ClassId Stream = B.makeClass("ValidityCheckOutputStream");
+  FieldId StartOfLine = B.makeField(Stream, "startOfLine");
+
+  ClassId Stats = B.makeClass("IOStats");
+  FieldId StatsRays = B.makeField(Stats, "raysTraced");
+  FieldId StatsHits = B.makeField(Stats, "hits");
+
+  ClassId LockCls = B.makeClass("SyncObject");
+
+  ClassId Vec = B.makeClass("Vec");
+  FieldId VecX = B.makeField(Vec, "x");
+  FieldId VecY = B.makeField(Vec, "y");
+  FieldId VecZ = B.makeField(Vec, "z");
+
+  ClassId Render = B.makeClass("RenderThread");
+  FieldId RScene = B.makeField(Render, "scene");
+  FieldId RStream = B.makeField(Render, "stream");
+  FieldId RStats = B.makeField(Render, "stats");
+  FieldId RSync = B.makeField(Render, "syncObject");
+  FieldId RCanvas = B.makeField(Render, "canvas");
+  FieldId RLo = B.makeField(Render, "lo");
+  FieldId RHi = B.makeField(Render, "hi");
+
+  // Stream.print(this): toggle startOfLine with no lock (the real race on
+  // ValidityCheckOutputStream.startOfLine).
+  MethodId StreamPrint = B.startMethod(Stream, "print", 1);
+  {
+    B.site("mtrt:Stream.print");
+    RegId S = B.emitGetField(B.thisReg(), StartOfLine);
+    RegId One = B.emitConst(1);
+    B.emitPutField(B.thisReg(), StartOfLine,
+                   B.emitBinOp(BinOpKind::Sub, One, S));
+    B.emitReturn();
+  }
+
+  // RenderThread.shade(this, v, geomArr, i): per-pixel inner work over the
+  // read-only geometry; v is a thread-local scratch Vec.
+  MethodId Shade = B.startMethod(Render, "shade", 4);
+  {
+    RegId V = B.param(1);
+    RegId Geom = B.param(2);
+    RegId I = B.param(3);
+    RegId Len = B.emitArrayLen(Geom);
+    RegId Acc = B.emitConst(0);
+    B.site("mtrt:shade-loop");
+    B.forLoop(0, Len, 1, [&](RegId K) {
+      RegId G = B.emitALoad(Geom, K);
+      RegId X = B.emitGetField(V, VecX);
+      RegId Mix = B.emitBinOp(BinOpKind::Add, G, X);
+      RegId Mask = B.emitConst(1023);
+      RegId Wrapped = B.emitBinOp(BinOpKind::And, Mix, Mask);
+      B.emitPutField(V, VecY, Wrapped);
+      // Accumulate into the scratch register via the Vec (thread-local).
+      RegId Prev = B.emitGetField(V, VecZ);
+      B.emitPutField(V, VecZ, B.emitBinOp(BinOpKind::Add, Prev, Wrapped));
+      (void)Acc;
+      (void)I;
+    });
+    B.emitReturn(B.emitGetField(V, VecZ));
+  }
+
+  // RenderThread.run.
+  B.startMethod(Render, "run", 1);
+  {
+    RegId This = B.thisReg();
+    // threadCount++ at thread start: the real unsynchronized race.
+    B.site("mtrt:threadCount++");
+    RegId TC = B.emitGetStatic(ThreadCount);
+    B.emitPutStatic(ThreadCount, B.emitBinOp(BinOpKind::Add, TC,
+                                             B.emitConst(1)));
+
+    RegId SceneObj = B.emitGetField(This, RScene);
+    RegId SharedGeom = B.emitGetField(SceneObj, SceneGeom);
+    // Copy the scene into a thread-local array first (the real tracer's
+    // hot data is per-thread); shade() then runs entirely on thread-local
+    // storage, which the static escape analysis proves race-free — the
+    // bulk of mtrt's accesses, and the reason NoStatic explodes.
+    RegId GeomLen = B.emitArrayLen(SharedGeom);
+    RegId Geom = B.emitNewArray(GeomLen);
+    B.site("mtrt:geom-copy");
+    B.forLoop(0, GeomLen, 1, [&](RegId K) {
+      B.emitAStore(Geom, K, B.emitALoad(SharedGeom, K));
+    });
+    RegId Canvas = B.emitGetField(This, RCanvas);
+    RegId StreamObj = B.emitGetField(This, RStream);
+    RegId StatsObj = B.emitGetField(This, RStats);
+    RegId SyncObj = B.emitGetField(This, RSync);
+    RegId Lo = B.emitGetField(This, RLo);
+    RegId Hi = B.emitGetField(This, RHi);
+
+    RegId Pixel = B.emitMove(Lo);
+    B.whileLoop(
+        [&] { return B.emitBinOp(BinOpKind::CmpLt, Pixel, Hi); },
+        [&] {
+          // Thread-local scratch: statically filtered by escape analysis.
+          RegId V = B.emitNew(Vec);
+          B.emitPutField(V, VecX, Pixel);
+          B.emitPutField(V, VecZ, B.emitConst(0));
+          RegId Color = B.emitCall(Shade, {This, V, Geom, Pixel});
+          RegId Offset = B.emitBinOp(BinOpKind::Sub, Pixel, Lo);
+          B.site("mtrt:canvas-store");
+          B.emitAStore(Canvas, Offset, Color);
+
+          // Every 16th pixel: update shared stats under the common lock
+          // and emit progress output (the startOfLine race).
+          RegId Sixteen = B.emitConst(16);
+          RegId Rem = B.emitBinOp(BinOpKind::Mod, Pixel, Sixteen);
+          RegId IsTick = B.emitBinOp(BinOpKind::CmpEq, Rem, B.emitConst(0));
+          B.ifThen(IsTick, [&] {
+            B.sync(SyncObj, [&] {
+              B.site("mtrt:stats-update");
+              RegId R = B.emitGetField(StatsObj, StatsRays);
+              B.emitPutField(StatsObj, StatsRays,
+                             B.emitBinOp(BinOpKind::Add, R, Sixteen));
+              RegId H = B.emitGetField(StatsObj, StatsHits);
+              B.emitPutField(StatsObj, StatsHits,
+                             B.emitBinOp(BinOpKind::Add, H, B.emitConst(1)));
+            });
+            B.emitCallVoid(StreamPrint, {StreamObj});
+          });
+
+          // Pixel += 1 (write back into the loop register).
+          B.emitAssign(Pixel,
+                       B.emitBinOp(BinOpKind::Add, Pixel, B.emitConst(1)));
+        });
+
+    // threadCount-- at thread end.
+    B.site("mtrt:threadCount--");
+    RegId TC2 = B.emitGetStatic(ThreadCount);
+    B.emitPutStatic(ThreadCount, B.emitBinOp(BinOpKind::Sub, TC2,
+                                             B.emitConst(1)));
+    B.emitReturn();
+  }
+
+  // main.
+  B.startMain();
+  {
+    int64_t GeomSize = 32;
+    int64_t PixelsPerThread = 48 * int64_t(Scale);
+
+    RegId SceneObj = B.emitNew(Scene);
+    RegId Geom = B.emitNewArray(B.emitConst(GeomSize));
+    B.emitPutField(SceneObj, SceneGeom, Geom);
+    B.emitPutField(SceneObj, SceneSize, B.emitConst(GeomSize));
+    RegId GLen = B.emitArrayLen(Geom);
+    B.site("mtrt:scene-init");
+    B.forLoop(0, GLen, 1, [&](RegId K) {
+      RegId Val = B.emitBinOp(BinOpKind::Mul, K, B.emitConst(7));
+      B.emitAStore(Geom, K, Val);
+    });
+
+    RegId StreamObj = B.emitNew(Stream);
+    RegId StatsObj = B.emitNew(Stats);
+    RegId SyncObj = B.emitNew(LockCls);
+
+    auto MakeWorker = [&](int64_t Lo, int64_t Hi) {
+      RegId Worker = B.emitNew(Render);
+      B.emitPutField(Worker, RScene, SceneObj);
+      B.emitPutField(Worker, RStream, StreamObj);
+      B.emitPutField(Worker, RStats, StatsObj);
+      B.emitPutField(Worker, RSync, SyncObj);
+      RegId Canvas = B.emitNewArray(B.emitConst(Hi - Lo));
+      B.emitPutField(Worker, RCanvas, Canvas);
+      B.emitPutField(Worker, RLo, B.emitConst(Lo));
+      B.emitPutField(Worker, RHi, B.emitConst(Hi));
+      return Worker;
+    };
+    RegId W1 = MakeWorker(0, PixelsPerThread);
+    RegId W2 = MakeWorker(PixelsPerThread, 2 * PixelsPerThread);
+    B.emitThreadStart(W1);
+    B.emitThreadStart(W2);
+    B.emitThreadJoin(W1);
+    B.emitThreadJoin(W2);
+
+    // Parent reads the statistics after join with no lock: the Section
+    // 8.3 idiom Eraser reports spuriously and we do not.
+    B.site("mtrt:parent-stats-read");
+    B.emitPrint(B.emitGetField(StatsObj, StatsRays));
+    B.emitPrint(B.emitGetField(StatsObj, StatsHits));
+    B.emitPrint(B.emitGetStatic(ThreadCount));
+    B.emitReturn();
+  }
+
+  return W;
+}

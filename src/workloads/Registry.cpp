@@ -1,0 +1,19 @@
+//===- workloads/Registry.cpp - Workload registry -------------------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace herd;
+
+std::vector<Workload> herd::buildAllWorkloads(uint32_t Scale) {
+  std::vector<Workload> All;
+  All.push_back(buildMtrt(Scale));
+  All.push_back(buildTsp(Scale));
+  All.push_back(buildSor2(Scale));
+  All.push_back(buildElevator(Scale));
+  All.push_back(buildHedc(Scale));
+  return All;
+}

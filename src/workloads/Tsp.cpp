@@ -1,0 +1,233 @@
+//===- workloads/Tsp.cpp - tsp replica (ETH branch-and-bound) -------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replica of the ETH traveling-salesman solver (Table 1: 3 threads).
+///
+/// Ground truth per Section 8.3:
+///   - TspSolver.MinTourLen, the shared branch-and-bound bound, is read
+///     for pruning and written on improvement by both solver threads with
+///     no lock — "a serious datarace ... which can lead to incorrect
+///     output";
+///   - TourElement objects are handed between threads through a locked
+///     work queue and then mutated without locks: protected by
+///     higher-level synchronization the detector cannot see, so they are
+///     reported although "they cannot in fact happen" — the paper's
+///     feasible-but-benign tsp reports;
+///   - the distance matrix is initialized by main and only read by the
+///     workers.
+///
+/// The recursive search with method calls on every node is what makes the
+/// access cache essential: calls kill the static weaker-than facts, so
+/// nearly every dynamic access produces an event, and without the cache
+/// each goes through the trie (NoCache was 3722% in the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "workloads/Workloads.h"
+
+using namespace herd;
+
+Workload herd::buildTsp(uint32_t Scale) {
+  Workload W;
+  W.Name = "tsp";
+  W.Description = "traveling salesman branch-and-bound (ETH tsp replica)";
+  W.DynamicThreads = 3;
+  W.CpuBound = true;
+  W.ExpectedRacyObjectsFull = 5; // MinTourLen statics + 4 TourElements
+
+  Program &P = W.P;
+  IRBuilder B(P);
+
+  ClassId TspSolver = B.makeClass("TspSolver");
+  FieldId MinTourLen = B.makeStaticField(TspSolver, "MinTourLen");
+
+  ClassId TourElement = B.makeClass("TourElement");
+  FieldId TePrefix = B.makeField(TourElement, "prefixLen");
+  FieldId TeLast = B.makeField(TourElement, "lastCity");
+
+  ClassId Queue = B.makeClass("WorkQueue");
+  FieldId QSlots = B.makeField(Queue, "slots");
+  FieldId QTake = B.makeField(Queue, "takeIndex");
+
+  ClassId Solver = B.makeClass("SolverThread");
+  FieldId SDist = B.makeField(Solver, "distance");
+  FieldId SQueue = B.makeField(Solver, "queue");
+  FieldId SCities = B.makeField(Solver, "numCities");
+  FieldId SBits = B.makeField(Solver, "bitOf"); // bitOf[i] = 1 << i
+  FieldId SRounds = B.makeField(Solver, "rounds");
+
+  // SolverThread.search(this, dist, city, visitedMask, len, depth):
+  // recursive branch-and-bound; prunes on the shared bound and publishes
+  // improvements without a lock (the real race).  Reads the distance
+  // matrix and the bit-lookup table on every node: the access-dense,
+  // call-heavy profile that makes the runtime cache essential.
+  MethodId Search = B.startMethod(Solver, "search", 6);
+  {
+    RegId Dist = B.param(1);
+    RegId City = B.param(2);
+    RegId Visited = B.param(3);
+    RegId Len = B.param(4);
+    RegId Depth = B.param(5);
+    RegId N = B.emitGetField(B.thisReg(), SCities);
+    RegId Bits = B.emitGetField(B.thisReg(), SBits);
+
+    // Prune: if len >= MinTourLen, give up this branch.
+    B.site("tsp:bound-read");
+    RegId Bound = B.emitGetStatic(MinTourLen);
+    RegId Pruned = B.emitBinOp(BinOpKind::CmpGe, Len, Bound);
+    B.ifThen(Pruned, [&] { B.emitReturn(); });
+
+    // Complete tour: maybe improve the bound (unsynchronized write).
+    RegId Done = B.emitBinOp(BinOpKind::CmpGe, Depth, N);
+    B.ifThen(Done, [&] {
+      B.site("tsp:bound-read2");
+      RegId Best = B.emitGetStatic(MinTourLen);
+      RegId Improves = B.emitBinOp(BinOpKind::CmpLt, Len, Best);
+      B.ifThen(Improves, [&] {
+        B.site("tsp:bound-write");
+        B.emitPutStatic(MinTourLen, Len);
+      });
+      B.emitReturn();
+    });
+
+    // Recurse over unvisited cities.
+    B.forLoop(0, N, 1, [&](RegId Next) {
+      B.site("tsp:bit-read");
+      RegId Mask = B.emitALoad(Bits, Next);
+      RegId Seen = B.emitBinOp(BinOpKind::And, Visited, Mask);
+      RegId Unseen = B.emitBinOp(BinOpKind::CmpEq, Seen, B.emitConst(0));
+      B.ifThen(Unseen, [&] {
+        // edge = dist[city * n + next]  (read-only shared matrix).
+        RegId RowBase = B.emitBinOp(BinOpKind::Mul, City, N);
+        RegId Index = B.emitBinOp(BinOpKind::Add, RowBase, Next);
+        B.site("tsp:dist-read");
+        RegId Edge = B.emitALoad(Dist, Index);
+        RegId NewLen = B.emitBinOp(BinOpKind::Add, Len, Edge);
+        RegId NewVisited = B.emitBinOp(BinOpKind::Or, Visited, Mask);
+        RegId NewDepth = B.emitBinOp(BinOpKind::Add, Depth, B.emitConst(1));
+        B.emitCallVoid(Search, {B.thisReg(), Dist, Next, NewVisited,
+                                NewLen, NewDepth});
+      });
+    });
+    B.emitReturn();
+  }
+
+  // SolverThread.run: repeatedly take a TourElement from the locked
+  // queue, mutate it WITHOUT the lock (higher-level protocol), and solve
+  // from its prefix.
+  B.startMethod(Solver, "run", 1);
+  {
+    RegId This = B.thisReg();
+    RegId Dist = B.emitGetField(This, SDist);
+    RegId QueueObj = B.emitGetField(This, SQueue);
+    RegId Slots = B.emitGetField(QueueObj, QSlots);
+    RegId Rounds = B.emitGetField(This, SRounds);
+    B.forLoop(0, Rounds, 1, [&](RegId) {
+      // Take under the queue lock.
+      RegId Elem = B.emitMove(Slots); // placeholder ref; overwritten below
+      B.sync(QueueObj, [&] {
+        B.site("tsp:queue-take");
+        RegId Take = B.emitGetField(QueueObj, QTake);
+        RegId SlotCount = B.emitArrayLen(Slots);
+        RegId Wrapped = B.emitBinOp(BinOpKind::Mod, Take, SlotCount);
+        B.emitAssign(Elem, B.emitALoad(Slots, Wrapped));
+        B.emitPutField(QueueObj, QTake,
+                       B.emitBinOp(BinOpKind::Add, Take, B.emitConst(1)));
+      });
+      // Mutate the element outside the lock: the benign-but-reported
+      // TourElement accesses.
+      B.site("tsp:element-update");
+      RegId Steps = B.emitGetField(Elem, TePrefix);
+      B.emitPutField(Elem, TePrefix,
+                     B.emitBinOp(BinOpKind::Add, Steps, B.emitConst(1)));
+      RegId Start = B.emitGetField(Elem, TeLast);
+
+      // Solve from this start city.
+      RegId Bits = B.emitGetField(This, SBits);
+      RegId StartMask = B.emitALoad(Bits, Start);
+      B.emitCallVoid(Search, {This, Dist, Start, StartMask, B.emitConst(0),
+                              B.emitConst(1)});
+    });
+    // Final audit sweep over every element, again without the queue lock
+    // (the higher-level protocol "knows" the rounds are over); ensures
+    // both workers touch all four TourElements, as in the original tsp
+    // where every element's fields are reported.
+    RegId SlotCount = B.emitArrayLen(Slots);
+    B.forLoop(0, SlotCount, 1, [&](RegId I) {
+      RegId Elem2 = B.emitALoad(Slots, I);
+      B.site("tsp:element-audit");
+      RegId Steps2 = B.emitGetField(Elem2, TePrefix);
+      B.emitPutField(Elem2, TePrefix,
+                     B.emitBinOp(BinOpKind::Add, Steps2, B.emitConst(0)));
+    });
+    B.emitReturn();
+  }
+
+  // main.
+  B.startMain();
+  {
+    int64_t NumCities = 6;    // recursion breadth (6 keeps 5! leaf tours)
+    int64_t NumElements = 4;
+    int64_t Rounds = 6 * int64_t(Scale); // work scales with rounds
+
+    RegId N = B.emitConst(NumCities);
+    RegId MatrixSize = B.emitBinOp(BinOpKind::Mul, N, N);
+    RegId Dist = B.emitNewArray(MatrixSize);
+    B.site("tsp:matrix-init");
+    B.forLoop(0, MatrixSize, 1, [&](RegId I) {
+      RegId Seven = B.emitConst(7);
+      RegId Thirteen = B.emitConst(13);
+      RegId V = B.emitBinOp(BinOpKind::Mod,
+                            B.emitBinOp(BinOpKind::Mul, I, Seven), Thirteen);
+      B.emitAStore(Dist, I, B.emitBinOp(BinOpKind::Add, V, B.emitConst(1)));
+    });
+
+    B.emitPutStatic(MinTourLen, B.emitConst(1'000'000));
+
+    RegId Bits = B.emitNewArray(B.emitConst(NumCities + 1));
+    RegId BitVal = B.emitConst(1);
+    B.site("tsp:bits-init");
+    B.forLoop(0, B.emitArrayLen(Bits), 1, [&](RegId I) {
+      B.emitAStore(Bits, I, BitVal);
+      B.emitAssign(BitVal, B.emitBinOp(BinOpKind::Add, BitVal, BitVal));
+    });
+
+    RegId QueueObj = B.emitNew(Queue);
+    RegId Slots = B.emitNewArray(B.emitConst(NumElements));
+    B.emitPutField(QueueObj, QSlots, Slots);
+    B.emitPutField(QueueObj, QTake, B.emitConst(0));
+    B.site("tsp:elements-init");
+    B.forLoop(0, B.emitConst(NumElements), 1, [&](RegId I) {
+      RegId Elem = B.emitNew(TourElement);
+      B.emitPutField(Elem, TePrefix, B.emitConst(0));
+      RegId City = B.emitBinOp(BinOpKind::Mod, I, N);
+      B.emitPutField(Elem, TeLast, City);
+      B.emitAStore(Slots, I, Elem);
+    });
+
+    auto MakeSolver = [&] {
+      RegId S = B.emitNew(Solver);
+      B.emitPutField(S, SDist, Dist);
+      B.emitPutField(S, SQueue, QueueObj);
+      B.emitPutField(S, SCities, N);
+      B.emitPutField(S, SBits, Bits);
+      B.emitPutField(S, SRounds, B.emitConst(Rounds));
+      return S;
+    };
+    RegId S1 = MakeSolver();
+    RegId S2 = MakeSolver();
+    B.emitThreadStart(S1);
+    B.emitThreadStart(S2);
+    B.emitThreadJoin(S1);
+    B.emitThreadJoin(S2);
+    B.emitPrint(B.emitGetStatic(MinTourLen));
+    B.emitReturn();
+  }
+
+  return W;
+}

@@ -1,0 +1,147 @@
+//===- tests/cache_test.cpp - Access-cache unit tests ---------------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the Section 4 runtime optimizer: direct-mapped lookup,
+/// conflict eviction, per-lock LIFO eviction lists, and the forced eviction
+/// used by the ownership interaction (Section 7.2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/AccessCache.h"
+
+#include <gtest/gtest.h>
+
+using namespace herd;
+
+namespace {
+
+LocationKey keyOf(uint32_t Obj, uint32_t Field = 0) {
+  return LocationKey::forField(ObjectId(Obj), FieldId(Field));
+}
+
+TEST(AccessCacheTest, MissThenHit) {
+  AccessCache Cache;
+  EXPECT_FALSE(Cache.lookup(keyOf(1)));
+  Cache.insert(keyOf(1), LockId::invalid());
+  EXPECT_TRUE(Cache.lookup(keyOf(1)));
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_EQ(Cache.misses(), 1u);
+}
+
+TEST(AccessCacheTest, DistinctKeysAreIndependent) {
+  AccessCache Cache;
+  Cache.insert(keyOf(1), LockId::invalid());
+  EXPECT_FALSE(Cache.lookup(keyOf(2)));
+  EXPECT_FALSE(Cache.lookup(keyOf(1, 1)));
+}
+
+TEST(AccessCacheTest, LockReleaseEvictsEntriesInsertedUnderIt) {
+  AccessCache Cache;
+  Cache.insert(keyOf(1), LockId(7));
+  Cache.insert(keyOf(2), LockId(7));
+  Cache.insert(keyOf(3), LockId::invalid()); // lock-free: survives releases
+  EXPECT_TRUE(Cache.lookup(keyOf(1)));
+  Cache.evictLock(LockId(7));
+  EXPECT_FALSE(Cache.lookup(keyOf(1)));
+  EXPECT_FALSE(Cache.lookup(keyOf(2)));
+  EXPECT_TRUE(Cache.lookup(keyOf(3)));
+}
+
+TEST(AccessCacheTest, ReleasingOtherLockKeepsEntries) {
+  AccessCache Cache;
+  Cache.insert(keyOf(1), LockId(7));
+  Cache.evictLock(LockId(8));
+  EXPECT_TRUE(Cache.lookup(keyOf(1)));
+}
+
+TEST(AccessCacheTest, NestedLocksEvictInnermostListOnly) {
+  // LIFO discipline: an entry made while {outer, inner} were held is tagged
+  // with `inner`; releasing inner must evict it, because inner releases
+  // first and the entry's lockset would otherwise stop being a subset of
+  // the held locks.
+  AccessCache Cache;
+  Cache.insert(keyOf(1), LockId(2)); // under {outer=1, inner=2}
+  Cache.insert(keyOf(5), LockId(1)); // under {outer=1} only
+  Cache.evictLock(LockId(2));        // inner released
+  EXPECT_FALSE(Cache.lookup(keyOf(1)));
+  EXPECT_TRUE(Cache.lookup(keyOf(5)));
+  Cache.evictLock(LockId(1));
+  EXPECT_FALSE(Cache.lookup(keyOf(5)));
+}
+
+TEST(AccessCacheTest, ConflictEvictionUnlinksFromLockList) {
+  // Find two keys that collide in the direct-mapped table.
+  AccessCache Cache;
+  LocationKey First = keyOf(0);
+  LocationKey Collider = First;
+  bool Found = false;
+  // Scan until a colliding key appears (the 8-bit index guarantees one
+  // within a few hundred probes).
+  for (uint32_t Obj = 1; Obj != 4096 && !Found; ++Obj) {
+    LocationKey Candidate = keyOf(Obj);
+    AccessCache Probe;
+    Probe.insert(First, LockId::invalid());
+    Probe.insert(Candidate, LockId::invalid());
+    if (!Probe.lookup(First)) { // displaced: same slot
+      Collider = Candidate;
+      Found = true;
+    }
+  }
+  ASSERT_TRUE(Found);
+
+  Cache.insert(First, LockId(7));
+  Cache.insert(Collider, LockId(7)); // displaces First, reuses the slot
+  EXPECT_TRUE(Cache.lookup(Collider));
+  EXPECT_FALSE(Cache.lookup(First));
+  // The eviction list must not contain a stale node for First; releasing
+  // the lock evicts only the live entry and must not corrupt the list.
+  Cache.evictLock(LockId(7));
+  EXPECT_FALSE(Cache.lookup(Collider));
+}
+
+TEST(AccessCacheTest, EvictKeyRemovesSingleEntry) {
+  AccessCache Cache;
+  Cache.insert(keyOf(1), LockId(7));
+  Cache.insert(keyOf(2), LockId(7));
+  Cache.evictKey(keyOf(1));
+  EXPECT_FALSE(Cache.lookup(keyOf(1)));
+  EXPECT_TRUE(Cache.lookup(keyOf(2)));
+  // The lock list stays consistent after the middle removal.
+  Cache.evictLock(LockId(7));
+  EXPECT_FALSE(Cache.lookup(keyOf(2)));
+}
+
+TEST(AccessCacheTest, EvictKeyOnAbsentKeyIsANoOp) {
+  AccessCache Cache;
+  Cache.insert(keyOf(1), LockId::invalid());
+  Cache.evictKey(keyOf(2));
+  EXPECT_TRUE(Cache.lookup(keyOf(1)));
+}
+
+TEST(AccessCacheTest, ClearEmptiesEverything) {
+  AccessCache Cache;
+  for (uint32_t Obj = 0; Obj != 100; ++Obj)
+    Cache.insert(keyOf(Obj), LockId(Obj % 3));
+  Cache.clear();
+  for (uint32_t Obj = 0; Obj != 100; ++Obj)
+    EXPECT_FALSE(Cache.lookup(keyOf(Obj)));
+}
+
+TEST(AccessCacheTest, ManyInsertionsUnderManyLocksStayConsistent) {
+  // Stress the linked-list maintenance: interleave insertions under several
+  // locks with conflict evictions, then release the locks one by one.
+  AccessCache Cache;
+  for (uint32_t Round = 0; Round != 8; ++Round)
+    for (uint32_t Obj = 0; Obj != 600; ++Obj)
+      Cache.insert(keyOf(Obj + Round), LockId(Obj % 5));
+  for (uint32_t Lock = 0; Lock != 5; ++Lock)
+    Cache.evictLock(LockId(Lock));
+  for (uint32_t Obj = 0; Obj != 700; ++Obj)
+    EXPECT_FALSE(Cache.lookup(keyOf(Obj)));
+}
+
+} // namespace

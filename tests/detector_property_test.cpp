@@ -1,0 +1,262 @@
+//===- tests/detector_property_test.cpp - Randomized detector checks ------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomized stress of the detector data structures against brute force:
+///
+///   - the trie detector on one location must report iff the exact O(N²)
+///     check finds a racing pair among the events seen so far (Definition
+///     1 + precision, at the granularity the trie works at);
+///   - the trie's weakness filter must only drop events that a stored
+///     weaker access covers (checked against the definition directly);
+///   - the dominator tree must agree with a naive quadratic dominator
+///     computation on random CFGs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "detect/AccessTrie.h"
+#include "detect/Detector.h"
+#include "ir/IRBuilder.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace herd;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// Trie vs brute force on one location.
+//===----------------------------------------------------------------------===
+
+AccessEvent randomEventAt(Rng &R, LocationKey Loc, uint32_t NumThreads,
+                          uint32_t NumLocks) {
+  AccessEvent E;
+  E.Location = Loc;
+  E.Thread = ThreadId(uint32_t(R.nextBelow(NumThreads)));
+  for (uint32_t L = 0; L != NumLocks; ++L)
+    if (R.nextChance(2, 5))
+      E.Locks.insert(LockId(L));
+  E.Access = R.nextChance(2, 5) ? AccessKind::Write : AccessKind::Read;
+  return E;
+}
+
+class DetectorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+/// The abstract semantics the trie implements: one (thread-lattice,
+/// access-meet) summary per distinct lockset (Section 3.2's node values,
+/// without the tree structure, filtering or pruning).  Theorem 1
+/// guarantees that filtering and pruning never change the has-raced
+/// outcome, so the trie must agree with this model at every step.
+class LocksetSummaryModel {
+public:
+  /// Returns true when the event races against the abstract history.
+  bool process(const AccessEvent &E) {
+    bool Raced = false;
+    for (const auto &[Locks, Value] : Groups) {
+      if (Locks.intersects(E.Locks))
+        continue;
+      if (meet(Value.first, ThreadLattice(E.Thread)).isBottom() &&
+          meet(Value.second, E.Access) == AccessKind::Write)
+        Raced = true;
+    }
+    auto [It, Inserted] = Groups.try_emplace(
+        E.Locks, std::make_pair(ThreadLattice(E.Thread), E.Access));
+    if (!Inserted) {
+      It->second.first = meet(It->second.first, ThreadLattice(E.Thread));
+      It->second.second = meet(It->second.second, E.Access);
+    }
+    return Raced;
+  }
+
+private:
+  std::map<LockSet, std::pair<ThreadLattice, AccessKind>> Groups;
+};
+
+TEST_P(DetectorPropertyTest, TrieMatchesTheLocksetSummaryModel) {
+  // Three relationships, checked on every prefix of a random stream:
+  //   1. completeness (Definition 1): if a real racing pair exists, the
+  //      trie has reported;
+  //   2. the trie's has-raced bit equals the abstract lockset-summary
+  //      model's (the t_bottom/meet semantics of Section 3.2 — filtering
+  //      and pruning are invisible, per Theorem 1);
+  //   3. any report beyond the real races is explained by the t_bottom
+  //      abstraction (the paper's footnote 4 spurious-report caveat) —
+  //      which is exactly what (2) pins down.
+  Rng R(GetParam());
+  LocationKey Loc = LocationKey::forField(ObjectId(1), FieldId(0));
+
+  AccessTrie Trie;
+  LocksetSummaryModel Model;
+  std::vector<AccessEvent> History;
+  bool TrieEver = false, ModelEver = false, BruteEver = false;
+
+  for (int Step = 0; Step != 300; ++Step) {
+    AccessEvent E = randomEventAt(R, Loc, 3, 4);
+    TrieEver |= Trie.process(E.Thread, E.Locks, E.Access).Raced;
+    ModelEver |= Model.process(E);
+    for (const AccessEvent &Old : History)
+      BruteEver |= isRace(Old, E);
+    History.push_back(std::move(E));
+
+    EXPECT_EQ(TrieEver, ModelEver)
+        << "seed " << GetParam() << " step " << Step;
+    if (BruteEver) {
+      EXPECT_TRUE(TrieEver)
+          << "missed a real race: seed " << GetParam() << " step " << Step;
+    }
+  }
+}
+
+TEST_P(DetectorPropertyTest, WeaknessFilterOnlyDropsCoveredEvents) {
+  // Re-run a random stream; whenever the trie filters an event, verify by
+  // definition that some earlier event is weaker-or-equal.
+  Rng R(GetParam() + 500);
+  LocationKey Loc = LocationKey::forField(ObjectId(2), FieldId(1));
+  AccessTrie Trie;
+  std::vector<AccessEvent> History;
+  int Filtered = 0;
+  for (int Step = 0; Step != 300; ++Step) {
+    AccessEvent E = randomEventAt(R, Loc, 3, 3);
+    AccessTrie::Outcome Out = Trie.process(E.Thread, E.Locks, E.Access);
+    if (Out.Filtered) {
+      ++Filtered;
+      bool Covered = false;
+      for (const AccessEvent &Old : History) {
+        if (isWeakerOrEqual(Old, E)) {
+          Covered = true;
+          break;
+        }
+        // The t_bottom abstraction also covers: two earlier events from
+        // distinct threads with identical locksets subsuming E's check.
+        for (const AccessEvent &Other : History) {
+          if (&Old == &Other)
+            continue;
+          if (Old.Locks == Other.Locks && Old.Thread != Other.Thread &&
+              Old.Locks.isSubsetOf(E.Locks) &&
+              isWeakerOrEqual(meet(Old.Access, Other.Access), E.Access)) {
+            Covered = true;
+            break;
+          }
+        }
+        if (Covered)
+          break;
+      }
+      EXPECT_TRUE(Covered) << "seed " << GetParam() << " step " << Step;
+    }
+    History.push_back(std::move(E));
+  }
+  EXPECT_GT(Filtered, 50) << "stream should exercise the filter heavily";
+}
+
+TEST_P(DetectorPropertyTest, MultiLocationDetectorMatchesPerLocationTries) {
+  // The Detector's location table must behave as independent tries.
+  Rng R(GetParam() + 900);
+  RaceReporter TableReporter;
+  Detector Table(TableReporter, {/*UseOwnership=*/false, false});
+  std::map<uint64_t, AccessTrie> Independent;
+  std::set<uint64_t> IndependentRaced;
+
+  for (int Step = 0; Step != 500; ++Step) {
+    LocationKey Loc = LocationKey::forField(
+        ObjectId(uint32_t(R.nextBelow(4))), FieldId(uint32_t(R.nextBelow(2))));
+    AccessEvent E = randomEventAt(R, Loc, 3, 3);
+    Table.handleAccess(E);
+    if (Independent[Loc.raw()].process(E.Thread, E.Locks, E.Access).Raced)
+      IndependentRaced.insert(Loc.raw());
+  }
+
+  std::set<uint64_t> TableRaced;
+  for (LocationKey Loc : TableReporter.reportedLocations())
+    TableRaced.insert(Loc.raw());
+  EXPECT_EQ(TableRaced, IndependentRaced);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectorPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+//===----------------------------------------------------------------------===
+// Dominators vs naive reference.
+//===----------------------------------------------------------------------===
+
+/// Builds a random (reducible or irreducible) CFG as a MiniJ method of
+/// N blocks with random branch targets; every block gets a terminator.
+Program randomCFGProgram(Rng &R, size_t NumBlocks) {
+  Program P;
+  IRBuilder B(P);
+  B.startMain();
+  RegId Cond = B.emitConst(1);
+  std::vector<BlockId> Blocks;
+  Blocks.push_back(B.currentBlock());
+  for (size_t I = 1; I != NumBlocks; ++I)
+    Blocks.push_back(B.newBlock());
+  for (size_t I = 0; I != NumBlocks; ++I) {
+    B.setBlock(Blocks[I]);
+    uint64_t Kind = R.nextBelow(10);
+    if (Kind < 2 || I + 1 == NumBlocks) {
+      B.emitReturn();
+    } else if (Kind < 6) {
+      B.emitJump(Blocks[R.nextBelow(NumBlocks)]);
+    } else {
+      Instr Br;
+      Br.Op = Opcode::Branch;
+      Br.A = Cond;
+      Br.Target = Blocks[R.nextBelow(NumBlocks)];
+      Br.AltTarget = Blocks[R.nextBelow(NumBlocks)];
+      P.method(P.MainMethod).block(Blocks[I]).Instrs.push_back(Br);
+    }
+  }
+  return P;
+}
+
+/// Naive dominators: D dominates B iff removing D makes B unreachable.
+bool naiveDominates(const CFG &Cfg, BlockId D, BlockId B) {
+  if (D == B)
+    return true;
+  std::vector<uint8_t> Visited(Cfg.numBlocks(), 0);
+  std::vector<BlockId> Work = {BlockId(0)};
+  Visited[0] = 1;
+  if (D == BlockId(0))
+    return Cfg.isReachable(B);
+  while (!Work.empty()) {
+    BlockId Cur = Work.back();
+    Work.pop_back();
+    for (BlockId Succ : Cfg.successors(Cur)) {
+      if (Succ == D || Visited[Succ.index()])
+        continue;
+      Visited[Succ.index()] = 1;
+      Work.push_back(Succ);
+    }
+  }
+  return !Visited[B.index()];
+}
+
+class DominatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DominatorPropertyTest, AgreesWithReachabilityDefinition) {
+  Rng R(GetParam());
+  for (int Trial = 0; Trial != 10; ++Trial) {
+    Program P = randomCFGProgram(R, 4 + R.nextBelow(8));
+    CFG Cfg(P, P.MainMethod);
+    for (uint32_t A = 0; A != Cfg.numBlocks(); ++A)
+      for (uint32_t B = 0; B != Cfg.numBlocks(); ++B) {
+        BlockId BA(A), BB(B);
+        if (!Cfg.isReachable(BA) || !Cfg.isReachable(BB))
+          continue;
+        EXPECT_EQ(Cfg.dominates(BA, BB), naiveDominates(Cfg, BA, BB))
+            << "seed " << GetParam() << " trial " << Trial << " blocks "
+            << A << "," << B;
+      }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominatorPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+} // namespace

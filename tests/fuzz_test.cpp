@@ -1,0 +1,292 @@
+//===- tests/fuzz_test.cpp - Random-program property tests ----------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random multithreaded MiniJ programs — shared objects, lock
+/// objects, nested synchronized regions, loops, start/join — and checks
+/// the system-level invariants of DESIGN.md on each:
+///
+///   1. with full instrumentation (no static pruning / elimination /
+///      peeling), the detector's reported locations equal the exact O(N²)
+///      oracle's racy locations (Definition 1 + precision);
+///   2. the cache never changes the reported set;
+///   3. every optimized configuration's reports are a subset of the
+///      oracle's (no optimization can create a false positive);
+///   4. Eraser reports a superset of our per-object reports;
+///   5. runs are deterministic per seed;
+///   6. instrumentation never breaks program well-formedness.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/EraserDetector.h"
+#include "baselines/NaiveDetector.h"
+#include "detect/RaceRuntime.h"
+#include "herd/Pipeline.h"
+#include "instr/Instrumenter.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace herd;
+
+namespace {
+
+/// Generates a random, always-terminating multithreaded program.
+///
+/// Shape: main allocates D data objects (2 int fields each) and L lock
+/// objects, wires them into 2-3 worker threads, starts all workers, joins
+/// a random subset, and possibly touches data afterwards.  Each worker's
+/// run() does a bounded loop of random field reads/writes, optionally
+/// inside (possibly nested) synchronized regions, with occasional yields.
+Program generateProgram(uint64_t Seed) {
+  Rng R(Seed);
+  Program P;
+  IRBuilder B(P);
+
+  ClassId Data = B.makeClass("Data");
+  FieldId F0 = B.makeField(Data, "f0");
+  FieldId F1 = B.makeField(Data, "f1");
+  ClassId LockCls = B.makeClass("Lock");
+
+  size_t NumData = 2 + R.nextBelow(3);   // 2..4
+  size_t NumLocks = 1 + R.nextBelow(2);  // 1..2
+  size_t NumWorkers = 2 + R.nextBelow(2); // 2..3
+
+  ClassId Worker = B.makeClass("Worker");
+  std::vector<FieldId> WData, WLocks;
+  for (size_t I = 0; I != NumData; ++I)
+    WData.push_back(B.makeField(Worker, "d" + std::to_string(I)));
+  for (size_t I = 0; I != NumLocks; ++I)
+    WLocks.push_back(B.makeField(Worker, "l" + std::to_string(I)));
+
+  // Worker.run: random accesses under random (possibly nested) locking.
+  B.startMethod(Worker, "run", 1);
+  {
+    RegId This = B.thisReg();
+    std::vector<RegId> DataRegs, LockRegs;
+    for (FieldId F : WData)
+      DataRegs.push_back(B.emitGetField(This, F));
+    for (FieldId F : WLocks)
+      LockRegs.push_back(B.emitGetField(This, F));
+
+    // One random access.
+    auto EmitAccess = [&] {
+      RegId Obj = DataRegs[R.nextBelow(DataRegs.size())];
+      FieldId F = R.nextChance(1, 2) ? F0 : F1;
+      if (R.nextChance(1, 2)) {
+        RegId Cur = B.emitGetField(Obj, F);
+        B.emitPutField(Obj, F,
+                       B.emitBinOp(BinOpKind::Add, Cur, B.emitConst(1)));
+      } else {
+        B.emitPrint(B.emitGetField(Obj, F));
+      }
+    };
+
+    // A run of 1-3 accesses, possibly wrapped in nested sync regions.
+    // Nested acquisitions respect the global lock order (ascending index):
+    // generated programs must never truly deadlock, or termination tests
+    // become schedule lotteries.  (Deadlock *detection* has its own
+    // dedicated tests with deliberately inverted orders.)
+    std::function<void(size_t)> EmitGroup = [&](size_t MinLock) {
+      if (MinLock < LockRegs.size() && R.nextChance(1, 2)) {
+        size_t Pick = MinLock + R.nextBelow(LockRegs.size() - MinLock);
+        B.sync(LockRegs[Pick], [&] { EmitGroup(Pick + 1); });
+        return;
+      }
+      size_t Count = 1 + R.nextBelow(3);
+      for (size_t I = 0; I != Count; ++I)
+        EmitAccess();
+      if (R.nextChance(1, 3))
+        B.emitYield();
+    };
+
+    RegId Iters = B.emitConst(int64_t(2 + R.nextBelow(5)));
+    B.forLoop(0, Iters, 1, [&](RegId) {
+      size_t Groups = 1 + R.nextBelow(3);
+      for (size_t I = 0; I != Groups; ++I)
+        EmitGroup(0);
+    });
+    B.emitReturn();
+  }
+
+  // main.
+  B.startMain();
+  std::vector<RegId> DataObjs, LockObjs;
+  for (size_t I = 0; I != NumData; ++I) {
+    RegId Obj = B.emitNew(Data);
+    // Random initialization (ownership will absorb these).
+    if (R.nextChance(2, 3))
+      B.emitPutField(Obj, F0, B.emitConst(int64_t(R.nextBelow(100))));
+    DataObjs.push_back(Obj);
+  }
+  for (size_t I = 0; I != NumLocks; ++I)
+    LockObjs.push_back(B.emitNew(LockCls));
+
+  std::vector<RegId> Workers;
+  for (size_t W = 0; W != NumWorkers; ++W) {
+    RegId Wk = B.emitNew(Worker);
+    for (size_t I = 0; I != NumData; ++I)
+      B.emitPutField(Wk, WData[I], DataObjs[R.nextBelow(DataObjs.size())]);
+    for (size_t I = 0; I != NumLocks; ++I)
+      B.emitPutField(Wk, WLocks[I], LockObjs[R.nextBelow(LockObjs.size())]);
+    Workers.push_back(Wk);
+  }
+  for (RegId Wk : Workers)
+    B.emitThreadStart(Wk);
+  // Join a random subset (possibly none, possibly all).
+  for (RegId Wk : Workers)
+    if (R.nextChance(2, 3))
+      B.emitThreadJoin(Wk);
+  // Sometimes touch shared data afterwards (races with unjoined workers).
+  if (R.nextChance(1, 2))
+    B.emitPrint(B.emitGetField(DataObjs[0], F0));
+  B.emitReturn();
+  return P;
+}
+
+/// Instruments every access, then runs once with the detector and the
+/// exact oracle observing the SAME execution (ownership is
+/// schedule-sensitive, so the oracle must see the very same event order).
+struct SharedRun {
+  std::set<LocationKey> Detector;
+  std::set<LocationKey> Oracle;
+  std::set<LocationKey> OracleNoOwnership;
+  std::set<ObjectId> EraserObjects;
+};
+
+SharedRun runDetectorAndOraclesTogether(Program P, uint64_t Seed) {
+  InstrumenterOptions IOpts;
+  IOpts.UseStaticRaceSet = false;
+  IOpts.StaticWeakerThan = false;
+  IOpts.LoopPeeling = false;
+  instrumentProgram(P, IOpts, nullptr);
+
+  RaceRuntime RT;
+  NaiveDetector Oracle;
+  NaiveDetector::Options NoOwnOpts;
+  NoOwnOpts.UseOwnership = false;
+  NaiveDetector OracleNoOwn(NoOwnOpts);
+  EraserDetector Eraser;
+  FanoutHooks Fanout{&RT, &Oracle, &OracleNoOwn, &Eraser};
+
+  InterpOptions Opts;
+  Opts.Seed = Seed;
+  Interpreter Interp(P, &Fanout, Opts);
+  InterpResult R = Interp.run();
+  EXPECT_TRUE(R.Ok) << R.Error;
+
+  SharedRun Out;
+  Out.Detector = RT.reporter().reportedLocations();
+  Out.Oracle = Oracle.racyLocations();
+  Out.OracleNoOwnership = OracleNoOwn.racyLocations();
+  for (LocationKey Loc : Eraser.reportedLocations())
+    Out.EraserObjects.insert(Loc.object());
+  return Out;
+}
+
+ToolConfig unoptimizedConfig(uint64_t Seed) {
+  ToolConfig Config;
+  Config.StaticAnalysis = false;
+  Config.StaticWeakerThan = false;
+  Config.LoopPeeling = false;
+  Config.Seed = Seed;
+  return Config;
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, GeneratedProgramIsWellFormedAndTerminates) {
+  Program P = generateProgram(GetParam());
+  auto Problems = verifyProgram(P);
+  ASSERT_TRUE(Problems.empty()) << Problems[0];
+  PipelineResult R = runPipeline(P, ToolConfig::base());
+  ASSERT_TRUE(R.Run.Ok) << R.Run.Error;
+}
+
+TEST_P(FuzzTest, UnoptimizedReportsEqualTheOracle) {
+  for (uint64_t ScheduleSeed : {1u, 13u}) {
+    SharedRun Run =
+        runDetectorAndOraclesTogether(generateProgram(GetParam()),
+                                      ScheduleSeed);
+    EXPECT_EQ(Run.Detector, Run.Oracle)
+        << "program seed " << GetParam() << " schedule " << ScheduleSeed;
+  }
+}
+
+TEST_P(FuzzTest, CacheIsTransparent) {
+  Program P = generateProgram(GetParam());
+  ToolConfig WithCache = unoptimizedConfig(7);
+  ToolConfig NoCache = unoptimizedConfig(7);
+  NoCache.UseCache = false;
+  PipelineResult A = runPipeline(P, WithCache);
+  PipelineResult B = runPipeline(P, NoCache);
+  ASSERT_TRUE(A.Run.Ok && B.Run.Ok);
+  EXPECT_EQ(A.Reports.reportedLocations(), B.Reports.reportedLocations());
+}
+
+TEST_P(FuzzTest, OptimizedConfigsNeverInventRaces) {
+  // The comparison oracle disables ownership: its racy-location set is
+  // then schedule-independent for these programs (per-thread event
+  // sequences do not depend on shared data), so it soundly bounds every
+  // configuration's reports regardless of how instrumentation perturbs
+  // the schedule.  Ownership and the optimizations can only *remove*
+  // events, never manufacture a conflicting pair.
+  Program P = generateProgram(GetParam());
+  SharedRun Ref = runDetectorAndOraclesTogether(P, 7);
+  for (ToolConfig Config :
+       {ToolConfig::full(), ToolConfig::noStatic(), ToolConfig::noPeeling(),
+        ToolConfig::noDominators(), ToolConfig::noCache()}) {
+    Config.Seed = 7;
+    PipelineResult R = runPipeline(P, Config);
+    ASSERT_TRUE(R.Run.Ok) << R.Run.Error;
+    for (LocationKey Loc : R.Reports.reportedLocations())
+      EXPECT_TRUE(Ref.OracleNoOwnership.count(Loc))
+          << "false positive from an optimized configuration "
+          << "(program seed " << GetParam() << ")";
+  }
+}
+
+TEST_P(FuzzTest, EraserReportsASuperset) {
+  SharedRun Run = runDetectorAndOraclesTogether(generateProgram(GetParam()),
+                                                7);
+  for (LocationKey Loc : Run.Detector)
+    EXPECT_TRUE(Run.EraserObjects.count(Loc.object()))
+        << "Eraser missed an object we report (program seed "
+        << GetParam() << ")";
+}
+
+TEST_P(FuzzTest, DeterministicPerSeed) {
+  Program P = generateProgram(GetParam());
+  ToolConfig Config = ToolConfig::full();
+  Config.Seed = 21;
+  PipelineResult A = runPipeline(P, Config);
+  PipelineResult B = runPipeline(P, Config);
+  ASSERT_TRUE(A.Run.Ok && B.Run.Ok);
+  EXPECT_EQ(A.Run.InstructionsExecuted, B.Run.InstructionsExecuted);
+  EXPECT_EQ(A.Reports.reportedLocations(), B.Reports.reportedLocations());
+  EXPECT_EQ(A.Run.Output, B.Run.Output);
+}
+
+TEST_P(FuzzTest, InstrumentationPreservesWellFormedness) {
+  for (bool Peel : {false, true}) {
+    Program P = generateProgram(GetParam());
+    InstrumenterOptions Opts;
+    Opts.UseStaticRaceSet = false;
+    Opts.StaticWeakerThan = true;
+    Opts.LoopPeeling = Peel;
+    instrumentProgram(P, Opts, nullptr);
+    auto Problems = verifyProgram(P);
+    EXPECT_TRUE(Problems.empty())
+        << "seed " << GetParam() << " peel=" << Peel << ": " << Problems[0];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, FuzzTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+} // namespace

@@ -1,0 +1,218 @@
+//===- tests/ir_test.cpp - MiniJ IR unit tests ----------------------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "ir/Program.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace herd;
+
+namespace {
+
+TEST(ProgramTest, DeclarationsGetDenseIds) {
+  Program P;
+  ClassId C1 = P.addClass("A");
+  ClassId C2 = P.addClass("B");
+  EXPECT_EQ(C1.index(), 0u);
+  EXPECT_EQ(C2.index(), 1u);
+  FieldId F1 = P.addField(C1, "x", false);
+  FieldId F2 = P.addField(C1, "y", false);
+  FieldId S1 = P.addField(C1, "s", true);
+  EXPECT_EQ(P.field(F1).SlotIndex, 0u);
+  EXPECT_EQ(P.field(F2).SlotIndex, 1u);
+  EXPECT_EQ(P.field(S1).SlotIndex, 0u); // statics slot separately
+  EXPECT_TRUE(P.field(S1).IsStatic);
+}
+
+TEST(ProgramTest, FindByName) {
+  Program P;
+  ClassId C = P.addClass("Worker");
+  P.addField(C, "count", false);
+  P.addMethod(C, "run", 1, false, false);
+  EXPECT_EQ(P.findClass("Worker"), C);
+  EXPECT_FALSE(P.findClass("Nope").isValid());
+  EXPECT_TRUE(P.findField(C, "count").isValid());
+  EXPECT_FALSE(P.findField(C, "nope").isValid());
+  EXPECT_TRUE(P.findMethod(C, "run").isValid());
+  EXPECT_EQ(P.classDecl(C).RunMethod, P.findMethod(C, "run"));
+}
+
+TEST(IRBuilderTest, SimpleMainVerifies) {
+  Program P;
+  IRBuilder B(P);
+  B.startMain();
+  RegId X = B.emitConst(41);
+  RegId One = B.emitConst(1);
+  RegId Sum = B.emitBinOp(BinOpKind::Add, X, One);
+  B.emitPrint(Sum);
+  B.emitReturn();
+  EXPECT_TRUE(verifyProgram(P).empty());
+  EXPECT_EQ(P.countInstructions(), 5u);
+}
+
+TEST(IRBuilderTest, IfThenElseBuildsDiamond) {
+  Program P;
+  IRBuilder B(P);
+  B.startMain();
+  RegId C = B.emitConst(1);
+  B.ifThenElse(
+      C, [&] { B.emitPrint(B.emitConst(10)); },
+      [&] { B.emitPrint(B.emitConst(20)); });
+  B.emitReturn();
+  ASSERT_TRUE(verifyProgram(P).empty());
+  // Entry + then + else + join.
+  EXPECT_EQ(P.method(P.MainMethod).Blocks.size(), 4u);
+}
+
+TEST(IRBuilderTest, WhileLoopHasBackEdge) {
+  Program P;
+  IRBuilder B(P);
+  B.startMain();
+  RegId N = B.emitConst(10);
+  B.forLoop(0, N, 1, [&](RegId I) { B.emitPrint(I); });
+  B.emitReturn();
+  ASSERT_TRUE(verifyProgram(P).empty()) << verifyProgram(P)[0];
+}
+
+TEST(IRBuilderTest, SyncEmitsBalancedMonitorOps) {
+  Program P;
+  IRBuilder B(P);
+  ClassId C = B.makeClass("L");
+  B.startMain();
+  RegId Obj = B.emitNew(C);
+  B.sync(Obj, [&] {
+    B.sync(Obj, [&] { B.emitPrint(B.emitConst(1)); });
+  });
+  B.emitReturn();
+  EXPECT_TRUE(verifyProgram(P).empty());
+}
+
+TEST(VerifierTest, MissingTerminatorReported) {
+  Program P;
+  IRBuilder B(P);
+  B.startMain();
+  B.emitConst(1); // no return
+  auto Problems = verifyProgram(P);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("terminator"), std::string::npos);
+}
+
+TEST(VerifierTest, UnbalancedMonitorReported) {
+  Program P;
+  IRBuilder B(P);
+  ClassId C = B.makeClass("L");
+  B.startMain();
+  RegId Obj = B.emitNew(C);
+  B.emitMonitorEnter(Obj);
+  B.emitReturn(); // return with the monitor still held
+  auto Problems = verifyProgram(P);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("monitor"), std::string::npos);
+}
+
+TEST(VerifierTest, MismatchedMonitorExitReported) {
+  Program P;
+  IRBuilder B(P);
+  ClassId C = B.makeClass("L");
+  B.startMain();
+  RegId Obj = B.emitNew(C);
+  uint32_t R1 = B.emitMonitorEnter(Obj);
+  uint32_t R2 = B.emitMonitorEnter(Obj);
+  B.emitMonitorExit(Obj, R1); // exits outer region while inner is open
+  B.emitMonitorExit(Obj, R2);
+  B.emitReturn();
+  auto Problems = verifyProgram(P);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("monitorexit"), std::string::npos);
+}
+
+TEST(VerifierTest, CallArityMismatchReported) {
+  Program P;
+  IRBuilder B(P);
+  ClassId C = B.makeClass("A");
+  MethodId Callee = B.startMethod(C, "f", /*NumParams=*/2);
+  B.emitReturn();
+  B.startMain();
+  RegId X = B.emitConst(0);
+  Instr I;
+  I.Op = Opcode::Call;
+  I.Callee = Callee;
+  I.Args = {X}; // one arg for a two-param method
+  P.method(P.MainMethod).Blocks[0].Instrs.push_back(I);
+  B.emitReturn();
+  auto Problems = verifyProgram(P);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("arity"), std::string::npos);
+}
+
+TEST(VerifierTest, MissingMainReported) {
+  Program P;
+  auto Problems = verifyProgram(P);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("main"), std::string::npos);
+}
+
+TEST(PrinterTest, RendersRecognizableText) {
+  Program P;
+  IRBuilder B(P);
+  ClassId C = B.makeClass("Point");
+  FieldId F = B.makeField(C, "x");
+  B.startMain();
+  B.site("T01");
+  RegId Obj = B.emitNew(C);
+  RegId V = B.emitConst(100);
+  B.emitPutField(Obj, F, V);
+  B.emitReturn();
+  std::string Text = printProgram(P);
+  EXPECT_NE(Text.find("new Point"), std::string::npos);
+  EXPECT_NE(Text.find("Point.x"), std::string::npos);
+  EXPECT_NE(Text.find("@T01"), std::string::npos);
+  EXPECT_NE(Text.find("return"), std::string::npos);
+}
+
+TEST(VerifierTest, VerifyMethodChecksOneMethod) {
+  Program P;
+  IRBuilder B(P);
+  ClassId C = B.makeClass("A");
+  MethodId Good = B.startMethod(C, "good", 1);
+  B.emitReturn();
+  MethodId Bad = B.startMethod(C, "bad", 1);
+  B.emitConst(1); // no terminator
+  EXPECT_TRUE(verifyMethod(P, Good).empty());
+  EXPECT_FALSE(verifyMethod(P, Bad).empty());
+}
+
+TEST(InstrTest, PEIClassification) {
+  Instr I;
+  I.Op = Opcode::GetField;
+  EXPECT_TRUE(I.isPEI());
+  I.Op = Opcode::Const;
+  EXPECT_FALSE(I.isPEI());
+  I.Op = Opcode::BinOp;
+  I.BinKind = BinOpKind::Div;
+  EXPECT_TRUE(I.isPEI());
+  I.BinKind = BinOpKind::Add;
+  EXPECT_FALSE(I.isPEI());
+}
+
+TEST(InstrTest, KillPointsForStaticWeakerFacts) {
+  Instr I;
+  I.Op = Opcode::Call;
+  EXPECT_TRUE(I.killsStaticWeakerFacts());
+  I.Op = Opcode::ThreadStart;
+  EXPECT_TRUE(I.killsStaticWeakerFacts());
+  I.Op = Opcode::ThreadJoin;
+  EXPECT_TRUE(I.killsStaticWeakerFacts());
+  I.Op = Opcode::GetField;
+  EXPECT_FALSE(I.killsStaticWeakerFacts());
+  I.Op = Opcode::MonitorEnter;
+  EXPECT_FALSE(I.killsStaticWeakerFacts());
+}
+
+} // namespace

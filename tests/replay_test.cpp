@@ -1,0 +1,173 @@
+//===- tests/replay_test.cpp - Schedule record/replay tests ---------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the DejaVu-style record/replay facility (Section 2.6): the
+/// paper's workflow runs the cheap detector alongside recording and does
+/// "the expensive reconstruction of FullRace during DejaVu replay".  We
+/// verify that a recorded schedule replays to the identical execution and
+/// demonstrate exactly that workflow: detect online, then reconstruct the
+/// full racing-pair counts offline on the replayed run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/NaiveDetector.h"
+#include "detect/RaceRuntime.h"
+#include "runtime/Interpreter.h"
+#include "workloads/Workloads.h"
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace herd;
+using namespace herd::testprogs;
+
+namespace {
+
+TEST(ReplayTest, ReplayReproducesTheRunExactly) {
+  CounterProgram CP = buildCounter(/*Locked=*/false, 25);
+
+  ScheduleTrace Trace;
+  InterpOptions RecordOpts;
+  RecordOpts.Seed = 42;
+  RecordOpts.Record = &Trace;
+  Interpreter Recorder(CP.P, nullptr, RecordOpts);
+  InterpResult Original = Recorder.run();
+  ASSERT_TRUE(Original.Ok) << Original.Error;
+  ASSERT_FALSE(Trace.Slices.empty());
+
+  InterpOptions ReplayOpts;
+  ReplayOpts.Seed = 999; // must be irrelevant under replay
+  ReplayOpts.Replay = &Trace;
+  Interpreter Replayer(CP.P, nullptr, ReplayOpts);
+  InterpResult Replayed = Replayer.run();
+  ASSERT_TRUE(Replayed.Ok) << Replayed.Error;
+
+  EXPECT_EQ(Replayed.Output, Original.Output);
+  EXPECT_EQ(Replayed.InstructionsExecuted, Original.InstructionsExecuted);
+  EXPECT_EQ(Replayed.ThreadsCreated, Original.ThreadsCreated);
+}
+
+TEST(ReplayTest, ReplayedEventStreamIsIdentical) {
+  struct EventCollector : RuntimeHooks {
+    std::vector<std::tuple<uint32_t, uint64_t, uint8_t>> Events;
+    void onAccess(ThreadId T, LocationKey L, AccessKind A,
+                  SiteId) override {
+      Events.emplace_back(T.index(), L.raw(), uint8_t(A));
+    }
+    void onMonitorEnter(ThreadId T, LockId L, bool R) override {
+      Events.emplace_back(T.index(), L.index(), R ? 100 : 101);
+    }
+  };
+
+  CounterProgram CP = buildCounter(/*Locked=*/true, 15);
+  ScheduleTrace Trace;
+  EventCollector A;
+  InterpOptions RecordOpts;
+  RecordOpts.Seed = 7;
+  RecordOpts.Record = &Trace;
+  RecordOpts.TraceEveryAccess = true;
+  Interpreter Recorder(CP.P, &A, RecordOpts);
+  ASSERT_TRUE(Recorder.run().Ok);
+
+  EventCollector B;
+  InterpOptions ReplayOpts;
+  ReplayOpts.Replay = &Trace;
+  ReplayOpts.TraceEveryAccess = true;
+  Interpreter Replayer(CP.P, &B, ReplayOpts);
+  ASSERT_TRUE(Replayer.run().Ok);
+
+  EXPECT_EQ(A.Events, B.Events);
+}
+
+TEST(ReplayTest, DejaVuWorkflowOnlineDetectOfflineReconstruct) {
+  // Online: cheap detection while recording.  Offline: replay the same
+  // interleaving into the exact oracle and reconstruct |MemRace(m)| — the
+  // FullRace information Definition 1 deliberately does not enumerate
+  // online.
+  CounterProgram CP = buildCounter(/*Locked=*/false, 25);
+
+  ScheduleTrace Trace;
+  RaceRuntime Online;
+  InterpOptions RecordOpts;
+  RecordOpts.Seed = 5;
+  RecordOpts.Record = &Trace;
+  RecordOpts.TraceEveryAccess = true;
+  Interpreter Recorder(CP.P, &Online, RecordOpts);
+  ASSERT_TRUE(Recorder.run().Ok);
+  ASSERT_FALSE(Online.reporter().empty()) << "need a racy recording";
+
+  NaiveDetector Oracle;
+  InterpOptions ReplayOpts;
+  ReplayOpts.Replay = &Trace;
+  ReplayOpts.TraceEveryAccess = true;
+  Interpreter Replayer(CP.P, &Oracle, ReplayOpts);
+  ASSERT_TRUE(Replayer.run().Ok);
+
+  // Same racy locations; and the offline pass knows the full pair counts.
+  EXPECT_EQ(Oracle.racyLocations(), Online.reporter().reportedLocations());
+  for (LocationKey Loc : Oracle.racyLocations())
+    EXPECT_GT(Oracle.memRaceSize(Loc), 1u)
+        << "FullRace reconstruction should enumerate many pairs where the "
+           "online detector reported once";
+}
+
+TEST(ReplayTest, EveryWorkloadReplaysExactly) {
+  for (Workload &W : buildAllWorkloads()) {
+    ScheduleTrace Trace;
+    InterpOptions RecordOpts;
+    RecordOpts.Seed = 3;
+    RecordOpts.Record = &Trace;
+    Interpreter Recorder(W.P, nullptr, RecordOpts);
+    InterpResult Original = Recorder.run();
+    ASSERT_TRUE(Original.Ok) << W.Name << ": " << Original.Error;
+
+    InterpOptions ReplayOpts;
+    ReplayOpts.Replay = &Trace;
+    Interpreter Replayer(W.P, nullptr, ReplayOpts);
+    InterpResult Replayed = Replayer.run();
+    ASSERT_TRUE(Replayed.Ok) << W.Name << ": " << Replayed.Error;
+    EXPECT_EQ(Replayed.Output, Original.Output) << W.Name;
+    EXPECT_EQ(Replayed.InstructionsExecuted, Original.InstructionsExecuted)
+        << W.Name;
+  }
+}
+
+TEST(ReplayTest, DivergentTraceIsARuntimeError) {
+  CounterProgram CP = buildCounter(true, 5);
+  ScheduleTrace Trace;
+  Trace.Slices.push_back({7, 3}); // thread 7 never exists
+  InterpOptions Opts;
+  Opts.Replay = &Trace;
+  Interpreter Interp(CP.P, nullptr, Opts);
+  InterpResult R = Interp.run();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("diverged"), std::string::npos);
+}
+
+TEST(ReplayTest, TruncatedTraceStopsEarlyWithoutError) {
+  // Replaying a prefix of a recording executes exactly that prefix.
+  CounterProgram CP = buildCounter(true, 10);
+  ScheduleTrace Trace;
+  InterpOptions RecordOpts;
+  RecordOpts.Record = &Trace;
+  Interpreter Recorder(CP.P, nullptr, RecordOpts);
+  InterpResult Full = Recorder.run();
+  ASSERT_TRUE(Full.Ok);
+
+  ScheduleTrace Half;
+  Half.Slices.assign(Trace.Slices.begin(),
+                     Trace.Slices.begin() +
+                         std::ptrdiff_t(Trace.Slices.size() / 2));
+  InterpOptions ReplayOpts;
+  ReplayOpts.Replay = &Half;
+  Interpreter Replayer(CP.P, nullptr, ReplayOpts);
+  InterpResult R = Replayer.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_LT(R.InstructionsExecuted, Full.InstructionsExecuted);
+}
+
+} // namespace

@@ -1,0 +1,216 @@
+//===- tests/trie_test.cpp - Access-trie unit tests -----------------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for Section 3.2: the trie's weakness filter, the three race-check
+/// cases, the t_⊥ transition, and pruning of stronger stored accesses.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/AccessTrie.h"
+
+#include <gtest/gtest.h>
+
+using namespace herd;
+
+namespace {
+
+AccessTrie::Outcome feed(AccessTrie &Trie, uint32_t Thread,
+                         std::initializer_list<uint32_t> Locks,
+                         AccessKind Access) {
+  LockSet L;
+  for (uint32_t Lock : Locks)
+    L.insert(LockId(Lock));
+  return Trie.process(ThreadId(Thread), L, Access);
+}
+
+constexpr AccessKind R = AccessKind::Read;
+constexpr AccessKind W = AccessKind::Write;
+
+TEST(AccessTrieTest, SameThreadNeverRaces) {
+  AccessTrie Trie;
+  EXPECT_FALSE(feed(Trie, 1, {}, W).Raced);
+  AccessTrie::Outcome O = feed(Trie, 1, {}, W);
+  EXPECT_FALSE(O.Raced);
+  EXPECT_TRUE(O.Filtered); // identical access is redundant
+}
+
+TEST(AccessTrieTest, TwoWritersNoLocksRace) {
+  AccessTrie Trie;
+  EXPECT_FALSE(feed(Trie, 1, {}, W).Raced);
+  AccessTrie::Outcome O = feed(Trie, 2, {}, W);
+  EXPECT_TRUE(O.Raced);
+  EXPECT_TRUE(O.PriorThreadKnown);
+  EXPECT_EQ(O.PriorThread, ThreadId(1));
+  EXPECT_EQ(O.PriorAccess, W);
+  EXPECT_TRUE(O.PriorLocks.empty());
+}
+
+TEST(AccessTrieTest, TwoReadersNeverRace) {
+  AccessTrie Trie;
+  EXPECT_FALSE(feed(Trie, 1, {}, R).Raced);
+  EXPECT_FALSE(feed(Trie, 2, {}, R).Raced);
+  EXPECT_FALSE(feed(Trie, 3, {}, R).Raced);
+}
+
+TEST(AccessTrieTest, ReadThenWriteRaces) {
+  AccessTrie Trie;
+  EXPECT_FALSE(feed(Trie, 1, {}, R).Raced);
+  EXPECT_TRUE(feed(Trie, 2, {}, W).Raced);
+}
+
+TEST(AccessTrieTest, WriteThenReadRaces) {
+  AccessTrie Trie;
+  EXPECT_FALSE(feed(Trie, 1, {}, W).Raced);
+  EXPECT_TRUE(feed(Trie, 2, {}, R).Raced);
+}
+
+TEST(AccessTrieTest, CommonLockPreventsRace) {
+  // Case I: a shared lock prunes the whole subtree.
+  AccessTrie Trie;
+  EXPECT_FALSE(feed(Trie, 1, {7}, W).Raced);
+  EXPECT_FALSE(feed(Trie, 2, {7}, W).Raced);
+  EXPECT_FALSE(feed(Trie, 2, {7, 9}, W).Raced);
+}
+
+TEST(AccessTrieTest, DisjointLocksetsRace) {
+  AccessTrie Trie;
+  EXPECT_FALSE(feed(Trie, 1, {7}, W).Raced);
+  AccessTrie::Outcome O = feed(Trie, 2, {9}, W);
+  EXPECT_TRUE(O.Raced);
+  EXPECT_TRUE(O.PriorLocks.contains(LockId(7)));
+}
+
+TEST(AccessTrieTest, OverlappingLocksetsDoNotRace) {
+  AccessTrie Trie;
+  EXPECT_FALSE(feed(Trie, 1, {3, 7}, W).Raced);
+  EXPECT_FALSE(feed(Trie, 2, {7, 9}, W).Raced); // share lock 7
+}
+
+TEST(AccessTrieTest, MutuallyIntersectingLocksetsDoNotRace) {
+  // The mtrt join idiom (Section 8.3): locksets {S1, c}, {S2, c}, {S1, S2}
+  // are pairwise intersecting although no single lock is common to all —
+  // Eraser's single-common-lock rule reports here, the trie does not.
+  AccessTrie Trie;
+  EXPECT_FALSE(feed(Trie, 1, {101, 5}, W).Raced);
+  EXPECT_FALSE(feed(Trie, 2, {102, 5}, W).Raced);
+  EXPECT_FALSE(feed(Trie, 0, {101, 102}, W).Raced);
+}
+
+TEST(AccessTrieTest, WeaknessFilterDiscardsStrongerAccesses) {
+  AccessTrie Trie;
+  EXPECT_FALSE(feed(Trie, 1, {}, W).Filtered); // first is never filtered
+  // More locks, same thread, weaker kind: all redundant.
+  EXPECT_TRUE(feed(Trie, 1, {3}, W).Filtered);
+  EXPECT_TRUE(feed(Trie, 1, {3, 4}, R).Filtered);
+  EXPECT_TRUE(feed(Trie, 1, {}, R).Filtered);
+  // Different thread is not filtered by a concrete-thread node.
+  EXPECT_FALSE(feed(Trie, 2, {}, R).Filtered);
+}
+
+TEST(AccessTrieTest, ReadDoesNotFilterLaterWrite) {
+  AccessTrie Trie;
+  EXPECT_FALSE(feed(Trie, 1, {}, R).Filtered);
+  AccessTrie::Outcome O = feed(Trie, 1, {}, W);
+  EXPECT_FALSE(O.Filtered); // READ is not ⊑ WRITE
+  EXPECT_FALSE(O.Raced);
+  // Now the WRITE covers future reads and writes of that thread.
+  EXPECT_TRUE(feed(Trie, 1, {}, R).Filtered);
+  EXPECT_TRUE(feed(Trie, 1, {}, W).Filtered);
+}
+
+TEST(AccessTrieTest, BottomThreadFiltersEveryThread) {
+  // Two threads with the same lockset meet to t_⊥; afterwards any thread's
+  // access with a superset lockset is redundant (Section 3.1's intuition).
+  AccessTrie Trie;
+  EXPECT_FALSE(feed(Trie, 1, {5}, W).Raced);
+  EXPECT_FALSE(feed(Trie, 2, {5}, W).Raced); // same lockset: no race, meet
+  EXPECT_TRUE(feed(Trie, 3, {5}, W).Filtered);
+  EXPECT_TRUE(feed(Trie, 4, {5, 6}, R).Filtered);
+}
+
+TEST(AccessTrieTest, BottomThreadRaceReportsUnknownPrior) {
+  AccessTrie Trie;
+  feed(Trie, 1, {5}, W);
+  feed(Trie, 2, {5}, W);
+  AccessTrie::Outcome O = feed(Trie, 3, {6}, W);
+  EXPECT_TRUE(O.Raced);
+  EXPECT_FALSE(O.PriorThreadKnown); // t_⊥ erased the thread (Section 3.1)
+  EXPECT_TRUE(O.PriorLocks.contains(LockId(5)));
+}
+
+TEST(AccessTrieTest, PruningRemovesStrongerNodes) {
+  AccessTrie Trie;
+  // Store a strongly protected access, then a weaker one that subsumes it.
+  feed(Trie, 1, {3, 4}, R);
+  EXPECT_EQ(Trie.storedAccessCount(), 1u);
+  feed(Trie, 1, {}, W); // weaker than everything thread 1 stored
+  EXPECT_EQ(Trie.storedAccessCount(), 1u);
+  // The {3,4} path nodes should have been garbage collected.
+  EXPECT_EQ(Trie.nodeCount(), 1u);
+}
+
+TEST(AccessTrieTest, PruningKeepsIncomparableNodes) {
+  AccessTrie Trie;
+  feed(Trie, 1, {3}, W);
+  feed(Trie, 2, {4}, W); // races, but is still recorded
+  EXPECT_EQ(Trie.storedAccessCount(), 2u);
+  // Thread 1 with lockset {4}: nothing is pruned ({3} is incomparable),
+  // and the access meets into the existing {4} node, driving its thread to
+  // t_bottom rather than adding a node (one node per lockset).
+  feed(Trie, 1, {4}, W);
+  EXPECT_EQ(Trie.storedAccessCount(), 2u);
+  // The t_bottom node now filters every thread holding lock 4.
+  EXPECT_TRUE(feed(Trie, 3, {4}, W).Filtered);
+}
+
+TEST(AccessTrieTest, RaceStillRecordsTheRacingAccess) {
+  // After reporting, the racing access is stored so future conflicts with
+  // *it* are also caught.
+  AccessTrie Trie;
+  feed(Trie, 1, {3}, W);
+  EXPECT_TRUE(feed(Trie, 2, {}, W).Raced);
+  // Thread 3 under lock 3 does not race with thread 1's access (common
+  // lock) but does race with thread 2's stored lock-free write.
+  EXPECT_TRUE(feed(Trie, 3, {3}, W).Raced);
+}
+
+TEST(AccessTrieTest, NodeCountTracksStructure) {
+  AccessTrie Trie;
+  EXPECT_EQ(Trie.nodeCount(), 1u); // root
+  feed(Trie, 1, {2, 5}, W);
+  EXPECT_EQ(Trie.nodeCount(), 3u); // root -> 2 -> 5
+  feed(Trie, 1, {2, 7}, W);
+  // Filtered by the weaker {2,5}? No: {2,5} ⊄ {2,7}.  New path shares node 2.
+  EXPECT_EQ(Trie.nodeCount(), 4u);
+}
+
+TEST(AccessTrieTest, LocksetOrderCanonicalization) {
+  // The same lockset inserted via different acquisition orders must land on
+  // the same node (locksets are sets; the trie path is canonical).
+  AccessTrie Trie;
+  LockSet L1, L2;
+  L1.insert(LockId(9));
+  L1.insert(LockId(2));
+  L2.insert(LockId(2));
+  L2.insert(LockId(9));
+  Trie.process(ThreadId(1), L1, W);
+  AccessTrie::Outcome O = Trie.process(ThreadId(1), L2, W);
+  EXPECT_TRUE(O.Filtered);
+  EXPECT_EQ(Trie.nodeCount(), 3u);
+}
+
+TEST(AccessTrieTest, DeepLocksetNesting) {
+  AccessTrie Trie;
+  EXPECT_FALSE(feed(Trie, 1, {1, 2, 3, 4, 5, 6, 7, 8}, W).Raced);
+  // Shares lock 8 with the stored access: no race.
+  EXPECT_FALSE(feed(Trie, 2, {8}, W).Raced);
+  // Thread 1 under {9}: never races with its own access, but thread 2's
+  // stored write under {8} has a disjoint lockset.
+  EXPECT_TRUE(feed(Trie, 1, {9}, W).Raced);
+}
+
+} // namespace

@@ -1,0 +1,207 @@
+//===- tests/weaker_than_test.cpp - Weaker-than relation properties -------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit and property tests for Section 3.1: the thread and access lattices,
+/// the meet operators, the weaker-than partial order (Definition 2), and —
+/// the heart of the algorithm — Theorem 1: if p ⊑ q then every future
+/// event racing with q also races with p.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/AccessEvent.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace herd;
+
+namespace {
+
+TEST(ThreadLatticeTest, MeetTable) {
+  ThreadLattice T1{ThreadId(1)}, T2{ThreadId(2)};
+  ThreadLattice Top = ThreadLattice::top();
+  ThreadLattice Bot = ThreadLattice::bottom();
+  EXPECT_EQ(meet(T1, T1), T1);
+  EXPECT_EQ(meet(T1, Top), T1);
+  EXPECT_EQ(meet(Top, T1), T1);
+  EXPECT_EQ(meet(T1, T2), Bot);
+  EXPECT_EQ(meet(T1, Bot), Bot);
+  EXPECT_EQ(meet(Bot, Bot), Bot);
+  EXPECT_EQ(meet(Top, Top), Top);
+}
+
+TEST(ThreadLatticeTest, PartialOrder) {
+  ThreadLattice T1{ThreadId(1)}, T2{ThreadId(2)};
+  ThreadLattice Bot = ThreadLattice::bottom();
+  // t_i ⊑ t_j  iff  t_i = t_j or t_i = t_⊥.
+  EXPECT_TRUE(isWeakerOrEqual(T1, T1));
+  EXPECT_FALSE(isWeakerOrEqual(T1, T2));
+  EXPECT_TRUE(isWeakerOrEqual(Bot, T1));
+  EXPECT_TRUE(isWeakerOrEqual(Bot, Bot));
+  EXPECT_FALSE(isWeakerOrEqual(T1, Bot));
+}
+
+TEST(AccessLatticeTest, MeetAndOrder) {
+  EXPECT_EQ(meet(AccessKind::Read, AccessKind::Read), AccessKind::Read);
+  EXPECT_EQ(meet(AccessKind::Read, AccessKind::Write), AccessKind::Write);
+  EXPECT_EQ(meet(AccessKind::Write, AccessKind::Write), AccessKind::Write);
+  EXPECT_TRUE(isWeakerOrEqual(AccessKind::Write, AccessKind::Read));
+  EXPECT_FALSE(isWeakerOrEqual(AccessKind::Read, AccessKind::Write));
+  EXPECT_TRUE(isWeakerOrEqual(AccessKind::Read, AccessKind::Read));
+}
+
+TEST(IsRaceTest, FourConditions) {
+  LocationKey M = LocationKey::forField(ObjectId(1), FieldId(0));
+  AccessEvent W1{M, ThreadId(1), {}, AccessKind::Write, SiteId()};
+  AccessEvent W2{M, ThreadId(2), {}, AccessKind::Write, SiteId()};
+  EXPECT_TRUE(isRace(W1, W2));
+
+  // Same thread: no race.
+  AccessEvent W1b = W1;
+  EXPECT_FALSE(isRace(W1, W1b));
+
+  // Different location: no race.
+  AccessEvent Other = W2;
+  Other.Location = LocationKey::forField(ObjectId(2), FieldId(0));
+  EXPECT_FALSE(isRace(W1, Other));
+
+  // Common lock: no race.
+  AccessEvent L1 = W1, L2 = W2;
+  L1.Locks = {LockId(9)};
+  L2.Locks = {LockId(9), LockId(4)};
+  EXPECT_FALSE(isRace(L1, L2));
+
+  // Two reads: no race.
+  AccessEvent R1 = W1, R2 = W2;
+  R1.Access = R2.Access = AccessKind::Read;
+  EXPECT_FALSE(isRace(R1, R2));
+  R2.Access = AccessKind::Write;
+  EXPECT_TRUE(isRace(R1, R2));
+}
+
+TEST(WeakerThanTest, DefinitionTwoExamples) {
+  LocationKey M = LocationKey::forField(ObjectId(1), FieldId(0));
+  AccessEvent P{M, ThreadId(1), {}, AccessKind::Write, SiteId()};
+  AccessEvent Q{M, ThreadId(1), {LockId(3)}, AccessKind::Read, SiteId()};
+  // Fewer locks + write ⊑ more locks + read, same thread.
+  EXPECT_TRUE(isWeakerOrEqual(P, Q));
+  EXPECT_FALSE(isWeakerOrEqual(Q, P));
+
+  // Different threads are incomparable.
+  AccessEvent QOther = Q;
+  QOther.Thread = ThreadId(2);
+  EXPECT_FALSE(isWeakerOrEqual(P, QOther));
+
+  // Different locations are incomparable.
+  AccessEvent QFar = Q;
+  QFar.Location = LocationKey::forField(ObjectId(2), FieldId(0));
+  EXPECT_FALSE(isWeakerOrEqual(P, QFar));
+}
+
+//===----------------------------------------------------------------------===
+// Property tests.
+//===----------------------------------------------------------------------===
+
+/// Generates a pseudo-random event over a small universe so that collisions
+/// (same location, shared locks) are common.
+AccessEvent randomEvent(Rng &R) {
+  AccessEvent E;
+  E.Location = LocationKey::forField(ObjectId(uint32_t(R.nextBelow(3))),
+                                     FieldId(uint32_t(R.nextBelow(2))));
+  E.Thread = ThreadId(uint32_t(R.nextBelow(3)));
+  for (uint32_t L = 0; L != 4; ++L)
+    if (R.nextChance(1, 2))
+      E.Locks.insert(LockId(L));
+  E.Access = R.nextChance(1, 2) ? AccessKind::Write : AccessKind::Read;
+  return E;
+}
+
+class WeakerThanPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+/// Theorem 1: p ⊑ q implies (IsRace(q, r) implies IsRace(p, r)) for every
+/// future access r.
+TEST_P(WeakerThanPropertyTest, TheoremOneHolds) {
+  Rng R(GetParam());
+  int Checked = 0;
+  for (int Trial = 0; Trial != 4000; ++Trial) {
+    AccessEvent P = randomEvent(R);
+    // Half the time derive Q by strengthening P (extra locks, possibly a
+    // weaker kind), so comparable pairs are common; otherwise draw Q
+    // independently to also exercise incomparable pairs.
+    AccessEvent Q = R.nextChance(1, 2) ? P : randomEvent(R);
+    if (R.nextChance(1, 2)) {
+      Q.Locks.insert(LockId(uint32_t(4 + R.nextBelow(3))));
+      if (P.Access == AccessKind::Write && R.nextChance(1, 2))
+        Q.Access = AccessKind::Read;
+    }
+    AccessEvent Future = randomEvent(R);
+    if (!isWeakerOrEqual(P, Q))
+      continue;
+    ++Checked;
+    if (isRace(Q, Future)) {
+      EXPECT_TRUE(isRace(P, Future))
+          << "weaker event failed to race where the stronger did";
+    }
+  }
+  EXPECT_GT(Checked, 500) << "generator produced too few comparable pairs";
+}
+
+/// ⊑ is a partial order: reflexive, antisymmetric (up to field equality),
+/// transitive.
+TEST_P(WeakerThanPropertyTest, IsPartialOrder) {
+  Rng R(GetParam() + 1000);
+  for (int Trial = 0; Trial != 2000; ++Trial) {
+    AccessEvent A = randomEvent(R);
+    AccessEvent B = randomEvent(R);
+    AccessEvent C = randomEvent(R);
+    EXPECT_TRUE(isWeakerOrEqual(A, A));
+    if (isWeakerOrEqual(A, B) && isWeakerOrEqual(B, C)) {
+      EXPECT_TRUE(isWeakerOrEqual(A, C));
+    }
+    if (isWeakerOrEqual(A, B) && isWeakerOrEqual(B, A)) {
+      EXPECT_EQ(A.Location, B.Location);
+      EXPECT_EQ(A.Locks, B.Locks);
+      EXPECT_EQ(A.Thread, B.Thread);
+      EXPECT_EQ(A.Access, B.Access);
+    }
+  }
+}
+
+/// The meet operators are idempotent, commutative and associative, and the
+/// meet is a lower bound in the order.
+TEST_P(WeakerThanPropertyTest, MeetIsALowerBound) {
+  Rng R(GetParam() + 2000);
+  auto RandomLattice = [&] {
+    switch (R.nextBelow(4)) {
+    case 0:
+      return ThreadLattice::top();
+    case 1:
+      return ThreadLattice::bottom();
+    default:
+      return ThreadLattice(ThreadId(uint32_t(R.nextBelow(3))));
+    }
+  };
+  for (int Trial = 0; Trial != 2000; ++Trial) {
+    ThreadLattice A = RandomLattice(), B = RandomLattice(),
+                  C = RandomLattice();
+    EXPECT_EQ(meet(A, A), A);
+    EXPECT_EQ(meet(A, B), meet(B, A));
+    EXPECT_EQ(meet(meet(A, B), C), meet(A, meet(B, C)));
+    ThreadLattice M = meet(A, B);
+    if (!A.isTop()) {
+      EXPECT_TRUE(isWeakerOrEqual(M, A));
+    }
+    if (!B.isTop()) {
+      EXPECT_TRUE(isWeakerOrEqual(M, B));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeakerThanPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace

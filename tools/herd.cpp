@@ -1,0 +1,237 @@
+//===- tools/herd.cpp - The herd command-line driver ----------------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `herd` command-line tool: compile a MiniJ source file, run it under
+/// the detection pipeline, and print race reports.
+///
+///   herd prog.mj                    # full pipeline, defaults
+///   herd prog.mj --seed=7           # a different schedule
+///   herd prog.mj --config=nocache   # a Table 2 ablation
+///   herd prog.mj --stats            # pipeline statistics
+///   herd prog.mj --dump-ir          # print the MiniJ IR and exit
+///   herd prog.mj --sweep=20         # run 20 seeds; summarize reports
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "herd/Pipeline.h"
+#include "ir/Printer.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+using namespace herd;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: herd <file.mj> [options]\n"
+      "  --config=<name>   full | nostatic | nodominators | nopeeling |\n"
+      "                    nocache | fieldsmerged | noownership | base\n"
+      "  --seed=<n>        schedule seed (default 1)\n"
+      "  --sweep=<n>       run n seeds and summarize the reports\n"
+      "  --deadlocks       also run the lock-order deadlock detector\n"
+      "  --stats           print pipeline statistics\n"
+      "  --dump-ir         print the lowered MiniJ IR and exit\n"
+      "  --workload=<name> analyse a built-in benchmark replica instead\n"
+      "                    of a file: mtrt | tsp | sor2 | elevator | hedc\n");
+}
+
+bool pickConfig(const std::string &Name, ToolConfig &Out) {
+  if (Name == "full")
+    Out = ToolConfig::full();
+  else if (Name == "nostatic")
+    Out = ToolConfig::noStatic();
+  else if (Name == "nodominators")
+    Out = ToolConfig::noDominators();
+  else if (Name == "nopeeling")
+    Out = ToolConfig::noPeeling();
+  else if (Name == "nocache")
+    Out = ToolConfig::noCache();
+  else if (Name == "fieldsmerged")
+    Out = ToolConfig::fieldsMerged();
+  else if (Name == "noownership")
+    Out = ToolConfig::noOwnership();
+  else if (Name == "base")
+    Out = ToolConfig::base();
+  else
+    return false;
+  return true;
+}
+
+void printStats(const PipelineResult &R) {
+  std::printf("-- statistics --\n");
+  std::printf("static:   %zu access statements, %zu in race set, "
+              "%zu may-race pairs\n",
+              R.Static.ReachableAccessStatements, R.Static.RaceSetSize,
+              R.Static.MayRacePairs);
+  std::printf("instr:    %zu traces inserted, %zu removed, %zu loops "
+              "peeled\n",
+              R.Instr.TracesInserted, R.Instr.TracesRemoved,
+              R.Instr.LoopsPeeled);
+  std::printf("run:      %llu instructions, %u threads, %.4fs\n",
+              (unsigned long long)R.Run.InstructionsExecuted,
+              R.Run.ThreadsCreated, R.ExecSeconds);
+  std::printf("events:   %llu seen, %llu cache hits, %llu to detector\n",
+              (unsigned long long)R.Stats.EventsSeen,
+              (unsigned long long)R.Stats.CacheHits,
+              (unsigned long long)R.Stats.Detector.EventsIn);
+  std::printf("detector: %llu owned-filtered, %llu weaker-filtered, "
+              "%zu locations tracked, %zu trie nodes\n",
+              (unsigned long long)R.Stats.Detector.OwnedFiltered,
+              (unsigned long long)R.Stats.Detector.WeakerFiltered,
+              R.Stats.Detector.LocationsTracked,
+              R.Stats.Detector.TrieNodes);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+
+  std::string Path;
+  std::string WorkloadName;
+  ToolConfig Config = ToolConfig::full();
+  uint64_t Seed = 1;
+  int Sweep = 0;
+  bool Stats = false;
+  bool DumpIR = false;
+  bool Deadlocks = false;
+
+  for (int I = 1; I != argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--config=", 0) == 0) {
+      if (!pickConfig(Arg.substr(9), Config)) {
+        std::fprintf(stderr, "herd: unknown config '%s'\n",
+                     Arg.substr(9).c_str());
+        return 2;
+      }
+    } else if (Arg.rfind("--seed=", 0) == 0) {
+      Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
+    } else if (Arg.rfind("--sweep=", 0) == 0) {
+      Sweep = std::atoi(Arg.c_str() + 8);
+    } else if (Arg.rfind("--workload=", 0) == 0) {
+      WorkloadName = Arg.substr(11);
+    } else if (Arg == "--deadlocks") {
+      Deadlocks = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--dump-ir") {
+      DumpIR = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "herd: unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 2;
+    } else {
+      Path = Arg;
+    }
+  }
+  if (Path.empty() && WorkloadName.empty()) {
+    usage();
+    return 2;
+  }
+
+  CompileResult Compiled;
+  if (!WorkloadName.empty()) {
+    bool Found = false;
+    for (Workload &W : buildAllWorkloads())
+      if (W.Name == WorkloadName) {
+        Compiled.Ok = true;
+        Compiled.P = std::move(W.P);
+        Found = true;
+        break;
+      }
+    if (!Found) {
+      std::fprintf(stderr, "herd: unknown workload '%s'\n",
+                   WorkloadName.c_str());
+      return 2;
+    }
+  } else {
+    std::ifstream File(Path);
+    if (!File) {
+      std::fprintf(stderr, "herd: cannot open '%s'\n", Path.c_str());
+      return 2;
+    }
+    std::stringstream Buffer;
+    Buffer << File.rdbuf();
+    Compiled = compileMiniJ(Buffer.str());
+    if (!Compiled.Ok) {
+      for (const Diagnostic &D : Compiled.Diags)
+        std::fprintf(stderr, "%s: %s\n", Path.c_str(), D.str().c_str());
+      return 1;
+    }
+  }
+
+  if (DumpIR) {
+    std::printf("%s", printProgram(Compiled.P).c_str());
+    return 0;
+  }
+
+  if (Sweep > 0) {
+    std::set<std::string> AllRaces;
+    int SchedulesWithReports = 0;
+    for (int I = 0; I != Sweep; ++I) {
+      Config.Seed = Seed + uint64_t(I);
+      PipelineResult R = runPipeline(Compiled.P, Config);
+      if (!R.Run.Ok) {
+        std::fprintf(stderr, "herd: seed %llu: %s\n",
+                     (unsigned long long)Config.Seed, R.Run.Error.c_str());
+        return 1;
+      }
+      if (!R.FormattedRaces.empty())
+        ++SchedulesWithReports;
+      AllRaces.insert(R.FormattedRaces.begin(), R.FormattedRaces.end());
+    }
+    std::printf("%d/%d schedules produced reports; distinct reports:\n",
+                SchedulesWithReports, Sweep);
+    for (const std::string &Line : AllRaces)
+      std::printf("  %s\n", Line.c_str());
+    return AllRaces.empty() ? 0 : 1;
+  }
+
+  Config.Seed = Seed;
+  Config.DetectDeadlocks = Deadlocks;
+  PipelineResult R = runPipeline(Compiled.P, Config);
+  if (!R.Run.Ok) {
+    std::fprintf(stderr, "herd: runtime error: %s\n", R.Run.Error.c_str());
+    return 1;
+  }
+  if (!R.Run.Output.empty()) {
+    std::printf("-- program output --\n");
+    for (int64_t V : R.Run.Output)
+      std::printf("%lld\n", (long long)V);
+  }
+  if (R.FormattedRaces.empty()) {
+    std::printf("no dataraces reported\n");
+  } else {
+    std::printf("-- dataraces --\n");
+    for (const std::string &Line : R.FormattedRaces)
+      std::printf("%s\n", Line.c_str());
+  }
+  if (!R.FormattedDeadlocks.empty()) {
+    std::printf("-- potential deadlocks --\n");
+    for (const std::string &Line : R.FormattedDeadlocks)
+      std::printf("%s\n", Line.c_str());
+  }
+  if (Stats)
+    printStats(R);
+  bool Clean = R.FormattedRaces.empty() && R.FormattedDeadlocks.empty();
+  return Clean ? 0 : 1;
+}
