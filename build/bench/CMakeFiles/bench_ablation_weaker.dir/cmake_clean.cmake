@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_weaker.dir/bench_ablation_weaker.cpp.o"
+  "CMakeFiles/bench_ablation_weaker.dir/bench_ablation_weaker.cpp.o.d"
+  "bench_ablation_weaker"
+  "bench_ablation_weaker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_weaker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

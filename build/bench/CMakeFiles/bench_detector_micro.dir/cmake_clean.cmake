@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detector_micro.dir/bench_detector_micro.cpp.o"
+  "CMakeFiles/bench_detector_micro.dir/bench_detector_micro.cpp.o.d"
+  "bench_detector_micro"
+  "bench_detector_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detector_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

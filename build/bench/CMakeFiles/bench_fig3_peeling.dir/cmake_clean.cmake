@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_peeling.dir/bench_fig3_peeling.cpp.o"
+  "CMakeFiles/bench_fig3_peeling.dir/bench_fig3_peeling.cpp.o.d"
+  "bench_fig3_peeling"
+  "bench_fig3_peeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_peeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_postmortem.dir/bench_postmortem.cpp.o"
+  "CMakeFiles/bench_postmortem.dir/bench_postmortem.cpp.o.d"
+  "bench_postmortem"
+  "bench_postmortem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_postmortem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_overhead.dir/bench_related_overhead.cpp.o"
+  "CMakeFiles/bench_related_overhead.dir/bench_related_overhead.cpp.o.d"
+  "bench_related_overhead"
+  "bench_related_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_programs.cpp" "bench/CMakeFiles/bench_table1_programs.dir/bench_table1_programs.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_programs.dir/bench_table1_programs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/herd/CMakeFiles/herd_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/herd_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/herd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/instr/CMakeFiles/herd_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/herd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/herd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/herd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/herd_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minij_tour.dir/minij_tour.cpp.o"
+  "CMakeFiles/minij_tour.dir/minij_tour.cpp.o.d"
+  "minij_tour"
+  "minij_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minij_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

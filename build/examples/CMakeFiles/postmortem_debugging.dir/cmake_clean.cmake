@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postmortem_debugging.dir/postmortem_debugging.cpp.o"
+  "CMakeFiles/postmortem_debugging.dir/postmortem_debugging.cpp.o.d"
+  "postmortem_debugging"
+  "postmortem_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postmortem_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

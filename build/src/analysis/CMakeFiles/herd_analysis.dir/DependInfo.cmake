@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CFG.cpp" "src/analysis/CMakeFiles/herd_analysis.dir/CFG.cpp.o" "gcc" "src/analysis/CMakeFiles/herd_analysis.dir/CFG.cpp.o.d"
+  "/root/repo/src/analysis/Escape.cpp" "src/analysis/CMakeFiles/herd_analysis.dir/Escape.cpp.o" "gcc" "src/analysis/CMakeFiles/herd_analysis.dir/Escape.cpp.o.d"
+  "/root/repo/src/analysis/LockOrder.cpp" "src/analysis/CMakeFiles/herd_analysis.dir/LockOrder.cpp.o" "gcc" "src/analysis/CMakeFiles/herd_analysis.dir/LockOrder.cpp.o.d"
+  "/root/repo/src/analysis/PointsTo.cpp" "src/analysis/CMakeFiles/herd_analysis.dir/PointsTo.cpp.o" "gcc" "src/analysis/CMakeFiles/herd_analysis.dir/PointsTo.cpp.o.d"
+  "/root/repo/src/analysis/SingleInstance.cpp" "src/analysis/CMakeFiles/herd_analysis.dir/SingleInstance.cpp.o" "gcc" "src/analysis/CMakeFiles/herd_analysis.dir/SingleInstance.cpp.o.d"
+  "/root/repo/src/analysis/StaticRace.cpp" "src/analysis/CMakeFiles/herd_analysis.dir/StaticRace.cpp.o" "gcc" "src/analysis/CMakeFiles/herd_analysis.dir/StaticRace.cpp.o.d"
+  "/root/repo/src/analysis/SyncAnalysis.cpp" "src/analysis/CMakeFiles/herd_analysis.dir/SyncAnalysis.cpp.o" "gcc" "src/analysis/CMakeFiles/herd_analysis.dir/SyncAnalysis.cpp.o.d"
+  "/root/repo/src/analysis/ThreadAnalysis.cpp" "src/analysis/CMakeFiles/herd_analysis.dir/ThreadAnalysis.cpp.o" "gcc" "src/analysis/CMakeFiles/herd_analysis.dir/ThreadAnalysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/herd_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_analysis.dir/CFG.cpp.o"
+  "CMakeFiles/herd_analysis.dir/CFG.cpp.o.d"
+  "CMakeFiles/herd_analysis.dir/Escape.cpp.o"
+  "CMakeFiles/herd_analysis.dir/Escape.cpp.o.d"
+  "CMakeFiles/herd_analysis.dir/LockOrder.cpp.o"
+  "CMakeFiles/herd_analysis.dir/LockOrder.cpp.o.d"
+  "CMakeFiles/herd_analysis.dir/PointsTo.cpp.o"
+  "CMakeFiles/herd_analysis.dir/PointsTo.cpp.o.d"
+  "CMakeFiles/herd_analysis.dir/SingleInstance.cpp.o"
+  "CMakeFiles/herd_analysis.dir/SingleInstance.cpp.o.d"
+  "CMakeFiles/herd_analysis.dir/StaticRace.cpp.o"
+  "CMakeFiles/herd_analysis.dir/StaticRace.cpp.o.d"
+  "CMakeFiles/herd_analysis.dir/SyncAnalysis.cpp.o"
+  "CMakeFiles/herd_analysis.dir/SyncAnalysis.cpp.o.d"
+  "CMakeFiles/herd_analysis.dir/ThreadAnalysis.cpp.o"
+  "CMakeFiles/herd_analysis.dir/ThreadAnalysis.cpp.o.d"
+  "libherd_analysis.a"
+  "libherd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_baselines.dir/EraserDetector.cpp.o"
+  "CMakeFiles/herd_baselines.dir/EraserDetector.cpp.o.d"
+  "CMakeFiles/herd_baselines.dir/NaiveDetector.cpp.o"
+  "CMakeFiles/herd_baselines.dir/NaiveDetector.cpp.o.d"
+  "CMakeFiles/herd_baselines.dir/VectorClockDetector.cpp.o"
+  "CMakeFiles/herd_baselines.dir/VectorClockDetector.cpp.o.d"
+  "libherd_baselines.a"
+  "libherd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/AccessCache.cpp" "src/detect/CMakeFiles/herd_detect.dir/AccessCache.cpp.o" "gcc" "src/detect/CMakeFiles/herd_detect.dir/AccessCache.cpp.o.d"
+  "/root/repo/src/detect/AccessTrie.cpp" "src/detect/CMakeFiles/herd_detect.dir/AccessTrie.cpp.o" "gcc" "src/detect/CMakeFiles/herd_detect.dir/AccessTrie.cpp.o.d"
+  "/root/repo/src/detect/DeadlockDetector.cpp" "src/detect/CMakeFiles/herd_detect.dir/DeadlockDetector.cpp.o" "gcc" "src/detect/CMakeFiles/herd_detect.dir/DeadlockDetector.cpp.o.d"
+  "/root/repo/src/detect/Detector.cpp" "src/detect/CMakeFiles/herd_detect.dir/Detector.cpp.o" "gcc" "src/detect/CMakeFiles/herd_detect.dir/Detector.cpp.o.d"
+  "/root/repo/src/detect/EventLog.cpp" "src/detect/CMakeFiles/herd_detect.dir/EventLog.cpp.o" "gcc" "src/detect/CMakeFiles/herd_detect.dir/EventLog.cpp.o.d"
+  "/root/repo/src/detect/RaceRuntime.cpp" "src/detect/CMakeFiles/herd_detect.dir/RaceRuntime.cpp.o" "gcc" "src/detect/CMakeFiles/herd_detect.dir/RaceRuntime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/herd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/herd_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

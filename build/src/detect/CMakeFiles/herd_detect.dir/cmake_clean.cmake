@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_detect.dir/AccessCache.cpp.o"
+  "CMakeFiles/herd_detect.dir/AccessCache.cpp.o.d"
+  "CMakeFiles/herd_detect.dir/AccessTrie.cpp.o"
+  "CMakeFiles/herd_detect.dir/AccessTrie.cpp.o.d"
+  "CMakeFiles/herd_detect.dir/DeadlockDetector.cpp.o"
+  "CMakeFiles/herd_detect.dir/DeadlockDetector.cpp.o.d"
+  "CMakeFiles/herd_detect.dir/Detector.cpp.o"
+  "CMakeFiles/herd_detect.dir/Detector.cpp.o.d"
+  "CMakeFiles/herd_detect.dir/EventLog.cpp.o"
+  "CMakeFiles/herd_detect.dir/EventLog.cpp.o.d"
+  "CMakeFiles/herd_detect.dir/RaceRuntime.cpp.o"
+  "CMakeFiles/herd_detect.dir/RaceRuntime.cpp.o.d"
+  "libherd_detect.a"
+  "libherd_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

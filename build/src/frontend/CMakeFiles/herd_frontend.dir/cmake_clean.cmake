@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/herd_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/herd_frontend.dir/Lower.cpp.o"
+  "CMakeFiles/herd_frontend.dir/Lower.cpp.o.d"
+  "CMakeFiles/herd_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/herd_frontend.dir/Parser.cpp.o.d"
+  "libherd_frontend.a"
+  "libherd_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

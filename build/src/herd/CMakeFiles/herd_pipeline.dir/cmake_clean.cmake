@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_pipeline.dir/Pipeline.cpp.o"
+  "CMakeFiles/herd_pipeline.dir/Pipeline.cpp.o.d"
+  "libherd_pipeline.a"
+  "libherd_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instr/Instrumenter.cpp" "src/instr/CMakeFiles/herd_instr.dir/Instrumenter.cpp.o" "gcc" "src/instr/CMakeFiles/herd_instr.dir/Instrumenter.cpp.o.d"
+  "/root/repo/src/instr/LoopPeeling.cpp" "src/instr/CMakeFiles/herd_instr.dir/LoopPeeling.cpp.o" "gcc" "src/instr/CMakeFiles/herd_instr.dir/LoopPeeling.cpp.o.d"
+  "/root/repo/src/instr/RedundancyElim.cpp" "src/instr/CMakeFiles/herd_instr.dir/RedundancyElim.cpp.o" "gcc" "src/instr/CMakeFiles/herd_instr.dir/RedundancyElim.cpp.o.d"
+  "/root/repo/src/instr/TraceInsertion.cpp" "src/instr/CMakeFiles/herd_instr.dir/TraceInsertion.cpp.o" "gcc" "src/instr/CMakeFiles/herd_instr.dir/TraceInsertion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/herd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/herd_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_instr.dir/Instrumenter.cpp.o"
+  "CMakeFiles/herd_instr.dir/Instrumenter.cpp.o.d"
+  "CMakeFiles/herd_instr.dir/LoopPeeling.cpp.o"
+  "CMakeFiles/herd_instr.dir/LoopPeeling.cpp.o.d"
+  "CMakeFiles/herd_instr.dir/RedundancyElim.cpp.o"
+  "CMakeFiles/herd_instr.dir/RedundancyElim.cpp.o.d"
+  "CMakeFiles/herd_instr.dir/TraceInsertion.cpp.o"
+  "CMakeFiles/herd_instr.dir/TraceInsertion.cpp.o.d"
+  "libherd_instr.a"
+  "libherd_instr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

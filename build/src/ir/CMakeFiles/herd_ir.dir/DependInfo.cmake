@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/IRBuilder.cpp" "src/ir/CMakeFiles/herd_ir.dir/IRBuilder.cpp.o" "gcc" "src/ir/CMakeFiles/herd_ir.dir/IRBuilder.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/ir/CMakeFiles/herd_ir.dir/Printer.cpp.o" "gcc" "src/ir/CMakeFiles/herd_ir.dir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Program.cpp" "src/ir/CMakeFiles/herd_ir.dir/Program.cpp.o" "gcc" "src/ir/CMakeFiles/herd_ir.dir/Program.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/herd_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/herd_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/herd_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/herd_ir.dir/Printer.cpp.o"
+  "CMakeFiles/herd_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/herd_ir.dir/Program.cpp.o"
+  "CMakeFiles/herd_ir.dir/Program.cpp.o.d"
+  "CMakeFiles/herd_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/herd_ir.dir/Verifier.cpp.o.d"
+  "libherd_ir.a"
+  "libherd_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_runtime.dir/Interpreter.cpp.o"
+  "CMakeFiles/herd_runtime.dir/Interpreter.cpp.o.d"
+  "libherd_runtime.a"
+  "libherd_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Elevator.cpp" "src/workloads/CMakeFiles/herd_workloads.dir/Elevator.cpp.o" "gcc" "src/workloads/CMakeFiles/herd_workloads.dir/Elevator.cpp.o.d"
+  "/root/repo/src/workloads/Hedc.cpp" "src/workloads/CMakeFiles/herd_workloads.dir/Hedc.cpp.o" "gcc" "src/workloads/CMakeFiles/herd_workloads.dir/Hedc.cpp.o.d"
+  "/root/repo/src/workloads/Mtrt.cpp" "src/workloads/CMakeFiles/herd_workloads.dir/Mtrt.cpp.o" "gcc" "src/workloads/CMakeFiles/herd_workloads.dir/Mtrt.cpp.o.d"
+  "/root/repo/src/workloads/Registry.cpp" "src/workloads/CMakeFiles/herd_workloads.dir/Registry.cpp.o" "gcc" "src/workloads/CMakeFiles/herd_workloads.dir/Registry.cpp.o.d"
+  "/root/repo/src/workloads/Sor2.cpp" "src/workloads/CMakeFiles/herd_workloads.dir/Sor2.cpp.o" "gcc" "src/workloads/CMakeFiles/herd_workloads.dir/Sor2.cpp.o.d"
+  "/root/repo/src/workloads/Tsp.cpp" "src/workloads/CMakeFiles/herd_workloads.dir/Tsp.cpp.o" "gcc" "src/workloads/CMakeFiles/herd_workloads.dir/Tsp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/herd_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd_workloads.dir/Elevator.cpp.o"
+  "CMakeFiles/herd_workloads.dir/Elevator.cpp.o.d"
+  "CMakeFiles/herd_workloads.dir/Hedc.cpp.o"
+  "CMakeFiles/herd_workloads.dir/Hedc.cpp.o.d"
+  "CMakeFiles/herd_workloads.dir/Mtrt.cpp.o"
+  "CMakeFiles/herd_workloads.dir/Mtrt.cpp.o.d"
+  "CMakeFiles/herd_workloads.dir/Registry.cpp.o"
+  "CMakeFiles/herd_workloads.dir/Registry.cpp.o.d"
+  "CMakeFiles/herd_workloads.dir/Sor2.cpp.o"
+  "CMakeFiles/herd_workloads.dir/Sor2.cpp.o.d"
+  "CMakeFiles/herd_workloads.dir/Tsp.cpp.o"
+  "CMakeFiles/herd_workloads.dir/Tsp.cpp.o.d"
+  "libherd_workloads.a"
+  "libherd_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_runtime_test.dir/race_runtime_test.cpp.o"
+  "CMakeFiles/race_runtime_test.dir/race_runtime_test.cpp.o.d"
+  "race_runtime_test"
+  "race_runtime_test.pdb"
+  "race_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weaker_than_test.dir/weaker_than_test.cpp.o"
+  "CMakeFiles/weaker_than_test.dir/weaker_than_test.cpp.o.d"
+  "weaker_than_test"
+  "weaker_than_test.pdb"
+  "weaker_than_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weaker_than_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

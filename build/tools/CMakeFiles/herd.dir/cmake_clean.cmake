@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herd.dir/herd.cpp.o"
+  "CMakeFiles/herd.dir/herd.cpp.o.d"
+  "herd"
+  "herd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

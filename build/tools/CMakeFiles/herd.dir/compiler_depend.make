@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for herd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for herd.
+# This may be replaced when dependencies are built.
