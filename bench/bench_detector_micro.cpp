@@ -19,9 +19,12 @@
 #include "detect/AccessCache.h"
 #include "detect/AccessTrie.h"
 #include "detect/Detector.h"
+#include "detect/ShardedRuntime.h"
 #include "support/Rng.h"
 
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 using namespace herd;
 
@@ -157,6 +160,70 @@ void BM_TrieSameStreamLinear(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_TrieSameStreamLinear)->Arg(256)->Arg(1024)->Arg(4096);
+
+//===----------------------------------------------------------------------===
+// Serial vs sharded event throughput (docs/SHARDING.md).
+//
+// The same pre-generated stream — many locations, deep locksets so the
+// trie work dominates routing overhead — pushed through one serial
+// detector and through the ShardPool at increasing shard counts.
+// events/sec is reported as items_per_second; on a multicore host the
+// shard workers process disjoint location sets concurrently, so
+// throughput scales with the shard count until the producer saturates.
+//===----------------------------------------------------------------------===
+
+std::vector<AccessEvent> makeThroughputStream(size_t NumEvents) {
+  Rng R(271828);
+  std::vector<AccessEvent> Events;
+  Events.reserve(NumEvents);
+  for (size_t I = 0; I != NumEvents; ++I) {
+    AccessEvent E;
+    E.Location = keyOf(uint32_t(R.nextBelow(1024)), uint32_t(R.nextBelow(2)));
+    E.Thread = ThreadId(uint32_t(R.nextBelow(4)));
+    size_t Depth = 4 + R.nextBelow(3); // 4..6 of 12 locks: deep meets
+    for (size_t L = 0; L != Depth; ++L)
+      E.Locks.insert(LockId(uint32_t(R.nextBelow(12))));
+    E.Access = R.nextChance(1, 3) ? AccessKind::Write : AccessKind::Read;
+    Events.push_back(std::move(E));
+  }
+  return Events;
+}
+
+void BM_SerialEventStream(benchmark::State &State) {
+  std::vector<AccessEvent> Events = makeThroughputStream(1 << 14);
+  for (auto _ : State) {
+    State.PauseTiming();
+    RaceReporter Reporter;
+    Detector Det(Reporter,
+                 {/*UseOwnership=*/false, /*FieldsMerged=*/false});
+    State.ResumeTiming();
+    for (const AccessEvent &E : Events)
+      Det.handleAccess(E);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(Events.size()));
+}
+BENCHMARK(BM_SerialEventStream);
+
+void BM_ShardedEventStream(benchmark::State &State) {
+  uint32_t Shards = uint32_t(State.range(0));
+  std::vector<AccessEvent> Events = makeThroughputStream(1 << 14);
+  for (auto _ : State) {
+    State.PauseTiming();
+    ShardPool Pool(Shards, EventBatch::DefaultCapacity,
+                   /*QueueDepth=*/16);
+    State.ResumeTiming();
+    for (const AccessEvent &E : Events)
+      Pool.submit(E);
+    Pool.drain();
+    State.PauseTiming();
+    Pool.finish();
+    State.ResumeTiming();
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(Events.size()));
+}
+BENCHMARK(BM_ShardedEventStream)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 } // namespace
 

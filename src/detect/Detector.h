@@ -23,25 +23,13 @@
 
 #include "detect/AccessEvent.h"
 #include "detect/AccessTrie.h"
+#include "detect/DetectorStats.h"
 #include "detect/RaceReport.h"
 
 #include <functional>
 #include <unordered_map>
 
 namespace herd {
-
-/// Counters mirroring the measurements of Section 8.2.
-struct DetectorStats {
-  uint64_t EventsIn = 0;        ///< events delivered to the detector
-  uint64_t OwnedFiltered = 0;   ///< dropped while the location was owned
-  uint64_t WeakerFiltered = 0;  ///< dropped by the trie weakness check
-  uint64_t RacesReported = 0;
-  size_t LocationsTracked = 0;  ///< locations with any state
-  size_t LocationsShared = 0;   ///< locations that reached the shared state
-
-  /// Trie nodes currently allocated across all shared locations.
-  size_t TrieNodes = 0;
-};
 
 /// The per-location detector.
 class Detector {

@@ -1,0 +1,59 @@
+//===- detect/DetectorStats.h - Detection observability counters -*- C++ -*-=//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability layer of the detection runtime: counters for the
+/// detector core (mirroring the measurements of Section 8.2), for the
+/// hooks-to-detector glue (events, cache behaviour), and for the sharded
+/// runtime (per-shard ingest and queue depths).  Everything here is plain
+/// data so that tests can assert exact values and `herd --stats` / the
+/// bench harness can print snapshots without touching detector internals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_DETECT_DETECTORSTATS_H
+#define HERD_DETECT_DETECTORSTATS_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace herd {
+
+/// Counters mirroring the measurements of Section 8.2.
+struct DetectorStats {
+  uint64_t EventsIn = 0;        ///< events delivered to the detector
+  uint64_t OwnedFiltered = 0;   ///< dropped while the location was owned
+  uint64_t WeakerFiltered = 0;  ///< dropped by the trie weakness check
+  uint64_t RacesReported = 0;
+  size_t LocationsTracked = 0;  ///< locations with any state
+  size_t LocationsShared = 0;   ///< locations that reached the shared state
+
+  /// Trie nodes currently allocated across all shared locations.
+  size_t TrieNodes = 0;
+};
+
+/// Aggregate counters for one run (serial or sharded).
+struct RaceRuntimeStats {
+  uint64_t EventsSeen = 0;   ///< accesses arriving from the program
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0;
+  DetectorStats Detector;
+};
+
+/// Per-shard counters of the sharded runtime.  Ingest counters are written
+/// by the producer (the interpreter's hook thread); the Detector sub-stats
+/// come from the shard's own trie detector and are read after a drain.
+struct ShardStats {
+  uint64_t EventsIngested = 0;      ///< events routed to this shard
+  uint64_t BatchesIngested = 0;     ///< batches pushed to this shard's queue
+  size_t MaxQueueDepthBatches = 0;  ///< high-water mark of the queue
+  DetectorStats Detector;           ///< this shard's trie-detector counters
+};
+
+} // namespace herd
+
+#endif // HERD_DETECT_DETECTORSTATS_H

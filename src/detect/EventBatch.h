@@ -1,0 +1,120 @@
+//===- detect/EventBatch.h - Batched event transport ------------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport layer of the sharded detection runtime: access events are
+/// accumulated into fixed-capacity batches on the producer (the
+/// interpreter's hook thread) and handed to shard workers through a
+/// bounded single-producer / single-consumer queue.
+///
+/// Batching amortizes the queue synchronization over many events; the
+/// bound applies backpressure so a slow shard cannot let the event backlog
+/// grow without limit.  The queue uses a mutex and condition variables —
+/// the per-batch cost is amortized over EventBatch::DefaultCapacity events,
+/// and a lock-free ring can replace this class later without touching the
+/// runtime above it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_DETECT_EVENTBATCH_H
+#define HERD_DETECT_EVENTBATCH_H
+
+#include "detect/AccessEvent.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace herd {
+
+/// A batch of access events bound for one shard.  Events are stored in a
+/// vector so that handing a batch to the queue is a pointer move, not an
+/// element-wise copy.
+struct EventBatch {
+  static constexpr size_t DefaultCapacity = 128;
+
+  std::vector<AccessEvent> Events;
+
+  bool empty() const { return Events.empty(); }
+  size_t size() const { return Events.size(); }
+};
+
+/// A bounded blocking queue of event batches with in-flight accounting:
+/// a batch stays "pending" from push until the consumer acknowledges it
+/// with completeOne(), so waitIdle() means every submitted event has been
+/// fully processed — the drain barrier the sharded runtime's determinism
+/// guarantee rests on.
+class BoundedBatchQueue {
+public:
+  explicit BoundedBatchQueue(size_t MaxBatches = 16) : Limit(MaxBatches) {}
+
+  /// Producer: enqueues a batch, blocking while the queue is full.
+  void push(EventBatch &&Batch) {
+    std::unique_lock<std::mutex> Lock(M);
+    NotFull.wait(Lock, [&] { return Queue.size() < Limit; });
+    Queue.push_back(std::move(Batch));
+    ++InFlight;
+    if (Queue.size() > MaxDepth)
+      MaxDepth = Queue.size();
+    NotEmpty.notify_one();
+  }
+
+  /// Consumer: dequeues the next batch, blocking until one arrives.
+  /// Returns false when the queue was stopped and fully emptied.
+  bool pop(EventBatch &Out) {
+    std::unique_lock<std::mutex> Lock(M);
+    NotEmpty.wait(Lock, [&] { return !Queue.empty() || Stopped; });
+    if (Queue.empty())
+      return false;
+    Out = std::move(Queue.front());
+    Queue.pop_front();
+    NotFull.notify_one();
+    return true;
+  }
+
+  /// Consumer: acknowledges that the batch returned by the last pop() has
+  /// been fully processed.
+  void completeOne() {
+    std::lock_guard<std::mutex> Lock(M);
+    if (--InFlight == 0)
+      IdleCv.notify_all();
+  }
+
+  /// Producer: blocks until every pushed batch has been processed.  The
+  /// consumer's completeOne() runs under the same mutex, so the state its
+  /// processing wrote happens-before this call returns.
+  void waitIdle() {
+    std::unique_lock<std::mutex> Lock(M);
+    IdleCv.wait(Lock, [&] { return InFlight == 0; });
+  }
+
+  /// Producer: wakes the consumer so it can exit once the queue is empty.
+  void stop() {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopped = true;
+    NotEmpty.notify_all();
+  }
+
+  /// High-water mark of the queue, in batches.  Meaningful once idle.
+  size_t maxDepthSeen() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return MaxDepth;
+  }
+
+private:
+  mutable std::mutex M;
+  std::condition_variable NotFull, NotEmpty, IdleCv;
+  std::deque<EventBatch> Queue;
+  size_t Limit;
+  size_t InFlight = 0; ///< pushed but not yet completeOne()'d
+  size_t MaxDepth = 0;
+  bool Stopped = false;
+};
+
+} // namespace herd
+
+#endif // HERD_DETECT_EVENTBATCH_H

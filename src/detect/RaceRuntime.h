@@ -22,6 +22,7 @@
 
 #include "detect/AccessCache.h"
 #include "detect/Detector.h"
+#include "detect/DetectorStats.h"
 #include "detect/RaceReport.h"
 #include "runtime/Hooks.h"
 
@@ -45,15 +46,6 @@ struct RaceRuntimeOptions {
   /// Model join ordering with dummy locks S_j (Section 2.3).  Disabling
   /// reproduces Eraser's behaviour on the mtrt join idiom (Section 8.3).
   bool ModelJoin = true;
-};
-
-/// Aggregate counters for one run.
-struct RaceRuntimeStats {
-  uint64_t EventsSeen = 0;   ///< accesses arriving from the program
-  uint64_t CacheHits = 0;
-  uint64_t CacheMisses = 0;
-  uint64_t CacheEvictions = 0;
-  DetectorStats Detector;
 };
 
 /// The runtime detection pipeline.

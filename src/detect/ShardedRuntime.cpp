@@ -1,0 +1,299 @@
+//===- detect/ShardedRuntime.cpp - Sharded batched detection --------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/ShardedRuntime.h"
+
+#include "detect/RaceRuntime.h"
+
+#include <cassert>
+
+using namespace herd;
+
+//===----------------------------------------------------------------------===
+// ShardPool
+//===----------------------------------------------------------------------===
+
+ShardPool::ShardPool(uint32_t NumShards, size_t BatchCapacity,
+                     size_t QueueDepth)
+    : BatchCapacity(BatchCapacity == 0 ? 1 : BatchCapacity) {
+  if (NumShards == 0)
+    NumShards = 1;
+  if (QueueDepth == 0)
+    QueueDepth = 1;
+  Shards.reserve(NumShards);
+  for (uint32_t I = 0; I != NumShards; ++I) {
+    Shards.push_back(std::make_unique<Shard>(QueueDepth));
+    Shards.back()->Open.Events.reserve(this->BatchCapacity);
+  }
+  for (auto &S : Shards)
+    S->Worker = std::thread([this, Raw = S.get()] { workerLoop(*Raw); });
+}
+
+ShardPool::~ShardPool() { finish(); }
+
+void ShardPool::workerLoop(Shard &S) {
+  EventBatch Batch;
+  while (S.Queue.pop(Batch)) {
+    for (const AccessEvent &Event : Batch.Events)
+      S.Det.handleAccess(Event);
+    Batch.Events.clear();
+    S.Queue.completeOne();
+  }
+}
+
+void ShardPool::submit(AccessEvent Event) {
+  assert(!Finished && "submit after finish");
+  Shard &S = *Shards[shardOf(Event.Location, numShards())];
+  ++S.EventsIngested;
+  S.Open.Events.push_back(std::move(Event));
+  if (S.Open.Events.size() >= BatchCapacity) {
+    ++S.BatchesIngested;
+    S.Queue.push(std::move(S.Open));
+    S.Open.Events.clear();
+    S.Open.Events.reserve(BatchCapacity);
+  }
+}
+
+void ShardPool::flush() {
+  if (Finished)
+    return; // the final drain already ran; queues are stopped
+  for (auto &S : Shards) {
+    if (S->Open.Events.empty())
+      continue;
+    ++S->BatchesIngested;
+    S->Queue.push(std::move(S->Open));
+    S->Open.Events.clear();
+    S->Open.Events.reserve(BatchCapacity);
+  }
+}
+
+void ShardPool::drain() {
+  if (Finished)
+    return;
+  flush();
+  for (auto &S : Shards)
+    S->Queue.waitIdle();
+}
+
+void ShardPool::finish() {
+  if (Finished)
+    return;
+  drain();
+  Finished = true;
+  for (auto &S : Shards)
+    S->Queue.stop();
+  for (auto &S : Shards)
+    if (S->Worker.joinable())
+      S->Worker.join();
+}
+
+std::vector<RaceRecord> ShardPool::mergedRecords() const {
+  std::vector<RaceRecord> Out;
+  for (const auto &S : Shards)
+    for (const RaceRecord &Rec : S->Reporter.records())
+      Out.push_back(Rec);
+  return Out;
+}
+
+ShardStats ShardPool::shardStats(uint32_t Shard) const {
+  assert(Shard < Shards.size());
+  const auto &S = *Shards[Shard];
+  ShardStats Stats;
+  Stats.EventsIngested = S.EventsIngested;
+  Stats.BatchesIngested = S.BatchesIngested;
+  Stats.MaxQueueDepthBatches = S.Queue.maxDepthSeen();
+  Stats.Detector = S.Det.stats();
+  return Stats;
+}
+
+DetectorStats ShardPool::aggregateDetectorStats() const {
+  DetectorStats Sum;
+  for (const auto &S : Shards) {
+    DetectorStats D = S->Det.stats();
+    Sum.EventsIn += D.EventsIn;
+    Sum.OwnedFiltered += D.OwnedFiltered;
+    Sum.WeakerFiltered += D.WeakerFiltered;
+    Sum.RacesReported += D.RacesReported;
+    Sum.LocationsTracked += D.LocationsTracked;
+    Sum.LocationsShared += D.LocationsShared;
+    Sum.TrieNodes += D.TrieNodes;
+  }
+  return Sum;
+}
+
+//===----------------------------------------------------------------------===
+// ShardedRuntime
+//===----------------------------------------------------------------------===
+
+ShardedRuntime::ShardedRuntime(ShardedRuntimeOptions Opts)
+    : Opts(Opts),
+      Pool(Opts.NumShards, Opts.BatchCapacity, Opts.QueueDepthBatches) {
+  Ownership.setOnShared([this](LocationKey Key) {
+    if (!this->Opts.UseCache)
+      return;
+    // Section 7.2: a location entering the shared state must leave every
+    // thread's cache, otherwise a cache hit could suppress the first
+    // post-sharing access.  Ownership runs on the producer thread, so this
+    // eviction is synchronous with ingest exactly as in the serial runtime.
+    for (auto &T : Threads) {
+      if (!T)
+        continue;
+      T->ReadCache.evictKey(Key);
+      T->WriteCache.evictKey(Key);
+    }
+  });
+}
+
+ShardedRuntime::~ShardedRuntime() { finish(); }
+
+ShardedRuntime::PerThread &ShardedRuntime::threadState(ThreadId Thread) {
+  size_t Index = Thread.index();
+  if (Index >= Threads.size())
+    Threads.resize(Index + 1);
+  if (!Threads[Index])
+    Threads[Index] = std::make_unique<PerThread>();
+  return *Threads[Index];
+}
+
+void ShardedRuntime::onThreadCreate(ThreadId Child, ThreadId Parent,
+                                    ObjectId ThreadObj) {
+  (void)Parent;
+  (void)ThreadObj;
+  PerThread &T = threadState(Child);
+  if (Opts.ModelJoin)
+    T.Locks.insert(RaceRuntime::dummyLockOf(Child));
+}
+
+void ShardedRuntime::onThreadExit(ThreadId Dying) {
+  if (!Opts.ModelJoin)
+    return;
+  threadState(Dying).Locks.erase(RaceRuntime::dummyLockOf(Dying));
+}
+
+void ShardedRuntime::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
+  if (Opts.ModelJoin)
+    threadState(Joiner).Locks.insert(RaceRuntime::dummyLockOf(Joined));
+  // Join points are drain barriers: every event from before the join is
+  // fully processed before execution continues, which bounds queue skew
+  // and makes mid-run statistics snapshots deterministic.
+  drain();
+}
+
+void ShardedRuntime::onMonitorEnter(ThreadId Thread, LockId Lock,
+                                    bool Recursive) {
+  if (Recursive)
+    return; // nested acquisitions are invisible to the detector (Sec 4.2)
+  PerThread &T = threadState(Thread);
+  T.Locks.insert(Lock);
+  T.RealStack.push_back(Lock);
+}
+
+void ShardedRuntime::onMonitorExit(ThreadId Thread, LockId Lock,
+                                   bool StillHeld) {
+  if (StillHeld)
+    return; // only the final monitorexit releases (Section 4.2)
+  PerThread &T = threadState(Thread);
+  T.Locks.erase(Lock);
+  assert(!T.RealStack.empty() && T.RealStack.back() == Lock &&
+         "monitor releases must be LIFO (Java structured locking)");
+  T.RealStack.pop_back();
+  if (Opts.UseCache) {
+    T.ReadCache.evictLock(Lock);
+    T.WriteCache.evictLock(Lock);
+  }
+}
+
+void ShardedRuntime::onAccess(ThreadId Thread, LocationKey Location,
+                              AccessKind Access, SiteId Site) {
+  ++EventsSeen;
+  MergedValid = false;
+  PerThread &T = threadState(Thread);
+  LocationKey Key =
+      Opts.FieldsMerged ? Location.withFieldsMerged() : Location;
+
+  AccessCache *Cache = nullptr;
+  if (Opts.UseCache) {
+    Cache = Access == AccessKind::Read ? &T.ReadCache : &T.WriteCache;
+    if (Cache->lookup(Key))
+      return; // guaranteed redundant: a weaker access is already recorded
+  }
+
+  ++EventsToDetector;
+  // The ownership filter runs before the cache insert, mirroring the
+  // serial runtime where the shared-transition eviction precedes it.
+  if (!Opts.UseOwnership || Ownership.passes(Thread, Key)) {
+    AccessEvent Event;
+    Event.Location = Key;
+    Event.Thread = Thread;
+    Event.Locks = T.Locks;
+    Event.Access = Access;
+    Event.Site = Site;
+    Pool.submit(std::move(Event));
+  }
+
+  if (Cache) {
+    LockId Innermost =
+        T.RealStack.empty() ? LockId::invalid() : T.RealStack.back();
+    Cache->insert(Key, Innermost);
+  }
+}
+
+void ShardedRuntime::onRunEnd() { finish(); }
+
+void ShardedRuntime::drain() { Pool.drain(); }
+
+void ShardedRuntime::finish() {
+  Pool.finish();
+}
+
+const RaceReporter &ShardedRuntime::reporter() {
+  drain();
+  if (!MergedValid) {
+    Merged.clear();
+    for (RaceRecord &Rec : Pool.mergedRecords())
+      Merged.report(std::move(Rec));
+    MergedValid = true;
+  }
+  return Merged;
+}
+
+RaceRuntimeStats ShardedRuntime::stats() {
+  drain();
+  RaceRuntimeStats S;
+  S.EventsSeen = EventsSeen;
+  for (const auto &T : Threads) {
+    if (!T)
+      continue;
+    S.CacheHits += T->ReadCache.hits() + T->WriteCache.hits();
+    S.CacheMisses += T->ReadCache.misses() + T->WriteCache.misses();
+    S.CacheEvictions += T->ReadCache.evictions() + T->WriteCache.evictions();
+  }
+  DetectorStats Agg = Pool.aggregateDetectorStats();
+  S.Detector.EventsIn = EventsToDetector;
+  S.Detector.WeakerFiltered = Agg.WeakerFiltered;
+  S.Detector.RacesReported = Agg.RacesReported;
+  S.Detector.TrieNodes = Agg.TrieNodes;
+  if (Opts.UseOwnership) {
+    // The shard detectors only ever see post-ownership events; the global
+    // ownership picture lives in the producer-side filter.
+    S.Detector.OwnedFiltered = Ownership.ownedFiltered();
+    S.Detector.LocationsTracked = Ownership.locationsTracked();
+    S.Detector.LocationsShared = Ownership.locationsShared();
+  } else {
+    S.Detector.OwnedFiltered = Agg.OwnedFiltered;
+    S.Detector.LocationsTracked = Agg.LocationsTracked;
+    S.Detector.LocationsShared = Agg.LocationsShared;
+  }
+  return S;
+}
+
+std::vector<ShardStats> ShardedRuntime::shardStats() {
+  drain();
+  std::vector<ShardStats> Out;
+  for (uint32_t I = 0; I != Pool.numShards(); ++I)
+    Out.push_back(Pool.shardStats(I));
+  return Out;
+}

@@ -1,0 +1,186 @@
+//===- detect/ShardedRuntime.h - Sharded batched detection ------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sharded, batched detection runtime: the serial pipeline of
+/// detect/RaceRuntime split across N location-hashed shards, each running
+/// its trie detector on a real worker thread fed by a bounded batch queue
+/// (see docs/SHARDING.md).
+///
+/// Division of labour:
+///   - producer (the interpreter's hook thread): per-thread locksets and
+///     dummy join locks, the per-thread read/write caches, field merging,
+///     and the ownership filter — everything whose outcome the next event
+///     depends on stays synchronous;
+///   - shard workers: the access-history tries and race reporting — the
+///     per-event cost the paper's measurements show dominates detection.
+///
+/// Because a location's entire event stream lands on one shard in program
+/// order, each per-location trie evolves exactly as it does serially, so
+/// the sharded runtime reports the identical race-record set for the same
+/// schedule (tests/sharded_runtime_test.cpp enforces this differentially).
+/// Drain barriers at thread joins and at the end of the run make report
+/// merging deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_DETECT_SHARDEDRUNTIME_H
+#define HERD_DETECT_SHARDEDRUNTIME_H
+
+#include "detect/AccessCache.h"
+#include "detect/Detector.h"
+#include "detect/DetectorStats.h"
+#include "detect/EventBatch.h"
+#include "detect/OwnershipFilter.h"
+#include "detect/RaceReport.h"
+#include "runtime/Hooks.h"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace herd {
+
+/// Configuration of the sharded runtime.  The detection flags mirror
+/// RaceRuntimeOptions so every ablation runs sharded as well.
+struct ShardedRuntimeOptions {
+  uint32_t NumShards = 4;      ///< shard (and worker-thread) count
+  size_t BatchCapacity = EventBatch::DefaultCapacity;
+  size_t QueueDepthBatches = 16; ///< backpressure bound per shard
+
+  bool UseCache = true;
+  bool UseOwnership = true;
+  bool FieldsMerged = false;
+  bool ModelJoin = true;
+};
+
+/// The shard engine: N trie detectors on worker threads behind bounded
+/// batch queues.  Used by ShardedRuntime, and directly by the bench
+/// harness to measure raw event throughput without interpreter overhead.
+/// submit/flush/drain are producer-thread-only.
+class ShardPool {
+public:
+  ShardPool(uint32_t NumShards, size_t BatchCapacity, size_t QueueDepth);
+  ~ShardPool();
+
+  /// The shard a location's events are routed to: a hash of the location
+  /// key, so the assignment is stable across runs and shard-count-only
+  /// changes of configuration.
+  static uint32_t shardOf(LocationKey Key, uint32_t NumShards) {
+    return uint32_t(std::hash<LocationKey>()(Key) % NumShards);
+  }
+
+  uint32_t numShards() const { return uint32_t(Shards.size()); }
+
+  /// Routes one event to its shard, batching; blocks only when the shard's
+  /// queue is full (backpressure).
+  void submit(AccessEvent Event);
+
+  /// Pushes every partially filled batch to its queue.
+  void flush();
+
+  /// Flush, then block until every shard has processed every event
+  /// submitted so far.  On return the shard detectors and reporters are
+  /// safe to read from the producer thread.
+  void drain();
+
+  /// Drain, then stop and join the workers.  Idempotent; submit must not
+  /// be called afterwards.
+  void finish();
+
+  /// Race records from all shards, in shard order then per-shard program
+  /// order — deterministic for a deterministic event stream.  Requires a
+  /// preceding drain().
+  std::vector<RaceRecord> mergedRecords() const;
+
+  /// Per-shard counters.  Requires a preceding drain().
+  ShardStats shardStats(uint32_t Shard) const;
+
+  /// Sum of the shard detectors' counters.  Requires a preceding drain().
+  DetectorStats aggregateDetectorStats() const;
+
+private:
+  struct Shard {
+    BoundedBatchQueue Queue;
+    RaceReporter Reporter;
+    Detector Det;
+    std::thread Worker;
+
+    // Producer-side ingest counters and the open (partial) batch.
+    EventBatch Open;
+    uint64_t EventsIngested = 0;
+    uint64_t BatchesIngested = 0;
+
+    Shard(size_t QueueDepth)
+        : Queue(QueueDepth),
+          Det(Reporter, Detector::Options{/*UseOwnership=*/false,
+                                          /*FieldsMerged=*/false}) {}
+  };
+
+  void workerLoop(Shard &S);
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+  size_t BatchCapacity;
+  bool Finished = false;
+};
+
+/// The sharded detection runtime: a drop-in alternative to RaceRuntime
+/// behind the same RuntimeHooks interface.
+class ShardedRuntime : public RuntimeHooks {
+public:
+  explicit ShardedRuntime(ShardedRuntimeOptions Opts = {});
+  ~ShardedRuntime() override;
+
+  void onThreadCreate(ThreadId Child, ThreadId Parent,
+                      ObjectId ThreadObj) override;
+  void onThreadExit(ThreadId Dying) override;
+  void onThreadJoin(ThreadId Joiner, ThreadId Joined) override;
+  void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive) override;
+  void onMonitorExit(ThreadId Thread, LockId Lock, bool StillHeld) override;
+  void onAccess(ThreadId Thread, LocationKey Location, AccessKind Access,
+                SiteId Site) override;
+  void onRunEnd() override;
+
+  /// Drains the shards and returns the merged reporter (shard order, then
+  /// per-shard program order).
+  const RaceReporter &reporter();
+
+  /// Drains the shards and returns aggregate counters.  For the same
+  /// program and schedule every field equals the serial RaceRuntime's
+  /// (tests/stats_test.cpp asserts this).
+  RaceRuntimeStats stats();
+
+  /// Drains the shards and returns per-shard counters.
+  std::vector<ShardStats> shardStats();
+
+  /// Stops the shard workers after a final drain.  Called automatically by
+  /// the destructor and onRunEnd.
+  void finish();
+
+private:
+  struct PerThread {
+    LockSet Locks;                 ///< held locks incl. dummy join locks
+    std::vector<LockId> RealStack; ///< releasable locks, outer to inner
+    AccessCache ReadCache;
+    AccessCache WriteCache;
+  };
+
+  PerThread &threadState(ThreadId Thread);
+  void drain();
+
+  ShardedRuntimeOptions Opts;
+  ShardPool Pool;
+  OwnershipFilter Ownership;
+  std::vector<std::unique_ptr<PerThread>> Threads;
+  RaceReporter Merged;
+  bool MergedValid = false;
+  uint64_t EventsSeen = 0;
+  uint64_t EventsToDetector = 0; ///< post-cache events (EventsIn serially)
+};
+
+} // namespace herd
+
+#endif // HERD_DETECT_SHARDEDRUNTIME_H

@@ -154,19 +154,37 @@ PipelineResult herd::runPipeline(const Program &Input,
   Result.AnalysisSeconds =
       std::chrono::duration<double>(Clock::now() - T0).count();
 
-  // Phase 3+4: execution with the runtime optimizer and detector.
-  RaceRuntimeOptions RTOpts;
-  RTOpts.UseCache = Config.UseCache;
-  RTOpts.UseOwnership = Config.UseOwnership;
-  RTOpts.FieldsMerged = Config.FieldsMerged;
-  RTOpts.ModelJoin = Config.ModelJoin;
-  RaceRuntime RT(RTOpts);
+  // Phase 3+4: execution with the runtime optimizer and detector.  The
+  // detection runtime is either the serial RaceRuntime or, with
+  // Config.Shards >= 1, the sharded batched runtime (docs/SHARDING.md) —
+  // both produce the identical race-report set for the same schedule.
+  std::unique_ptr<RaceRuntime> Serial;
+  std::unique_ptr<ShardedRuntime> Sharded;
+  RuntimeHooks *Detect = nullptr;
+  if (Config.Shards >= 1) {
+    ShardedRuntimeOptions SOpts;
+    SOpts.NumShards = Config.Shards;
+    SOpts.UseCache = Config.UseCache;
+    SOpts.UseOwnership = Config.UseOwnership;
+    SOpts.FieldsMerged = Config.FieldsMerged;
+    SOpts.ModelJoin = Config.ModelJoin;
+    Sharded = std::make_unique<ShardedRuntime>(SOpts);
+    Detect = Sharded.get();
+  } else {
+    RaceRuntimeOptions RTOpts;
+    RTOpts.UseCache = Config.UseCache;
+    RTOpts.UseOwnership = Config.UseOwnership;
+    RTOpts.FieldsMerged = Config.FieldsMerged;
+    RTOpts.ModelJoin = Config.ModelJoin;
+    Serial = std::make_unique<RaceRuntime>(RTOpts);
+    Detect = Serial.get();
+  }
   DeadlockDetector Deadlocks;
-  FanoutHooks Fanout{&RT, &Deadlocks};
+  FanoutHooks Fanout{Detect, &Deadlocks};
   RuntimeHooks *Hooks = nullptr;
   if (Config.Instrument)
     Hooks = Config.DetectDeadlocks ? static_cast<RuntimeHooks *>(&Fanout)
-                                   : &RT;
+                                   : Detect;
   else if (Config.DetectDeadlocks)
     Hooks = &Deadlocks;
 
@@ -181,8 +199,15 @@ PipelineResult herd::runPipeline(const Program &Input,
   Result.ExecSeconds =
       std::chrono::duration<double>(Clock::now() - T1).count();
 
-  Result.Stats = RT.stats();
-  Result.Reports = RT.reporter();
+  if (Sharded) {
+    Sharded->finish();
+    Result.Stats = Sharded->stats();
+    Result.Reports = Sharded->reporter();
+    Result.ShardBreakdown = Sharded->shardStats();
+  } else {
+    Result.Stats = Serial->stats();
+    Result.Reports = Serial->reporter();
+  }
   for (const RaceRecord &Rec : Result.Reports.records())
     Result.FormattedRaces.push_back(formatRace(P, Interp.heap(), Rec));
 

@@ -23,6 +23,7 @@
 #include "analysis/StaticRace.h"
 #include "detect/DeadlockDetector.h"
 #include "detect/RaceRuntime.h"
+#include "detect/ShardedRuntime.h"
 #include "instr/Instrumenter.h"
 #include "runtime/Interpreter.h"
 
@@ -44,6 +45,12 @@ struct ToolConfig {
   bool UseOwnership = true;    ///< false = "NoOwnership" (Table 3)
   bool FieldsMerged = false;   ///< true  = "FieldsMerged" (Table 3)
   bool ModelJoin = true;       ///< dummy join locks (Section 2.3)
+
+  /// Shard count for the detection runtime: 0 runs the serial
+  /// detect/RaceRuntime; N >= 1 runs detect/ShardedRuntime with N
+  /// location-hashed shard workers (docs/SHARDING.md).  Reports are
+  /// identical either way; only throughput and statistics layout change.
+  uint32_t Shards = 0;
 
   /// Also run the lock-order deadlock detector (the Section 10 extension)
   /// over the same monitor event stream.
@@ -70,6 +77,9 @@ struct PipelineResult {
   InterpResult Run;
   RaceRuntimeStats Stats;
   RaceReporter Reports;
+
+  /// Per-shard counters; empty when the serial runtime ran (Shards == 0).
+  std::vector<ShardStats> ShardBreakdown;
   StaticRaceStats Static;    ///< zeroed when StaticAnalysis was off
   InstrumenterStats Instr;   ///< zeroed when Instrument was off
   double AnalysisSeconds = 0.0; ///< static analysis + instrumentation time

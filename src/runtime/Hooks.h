@@ -76,6 +76,11 @@ public:
     (void)Access;
     (void)Site;
   }
+
+  /// The run is over (normally or by fault); no further events will
+  /// arrive.  Detectors with asynchronous machinery (detect/ShardedRuntime)
+  /// use this to drain their queues before results are read.
+  virtual void onRunEnd() {}
 };
 
 /// Forwards every event to a list of observers, so several detectors can
@@ -112,6 +117,10 @@ public:
                 SiteId Site) override {
     for (RuntimeHooks *H : Sinks)
       H->onAccess(Thread, Location, Access, Site);
+  }
+  void onRunEnd() override {
+    for (RuntimeHooks *H : Sinks)
+      H->onRunEnd();
   }
 
 private:

@@ -629,6 +629,9 @@ InterpResult Interpreter::run() {
     ++Result.ContextSwitches;
   }
 
+  if (Hooks)
+    Hooks->onRunEnd();
+
   if (Faulted) {
     Result.Ok = false;
     return Result;

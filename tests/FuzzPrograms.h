@@ -1,0 +1,147 @@
+//===- tests/FuzzPrograms.h - Random MiniJ program generator ----*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The random multithreaded MiniJ program generator shared by the fuzz
+/// tests and the cross-detector differential tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_TESTS_FUZZPROGRAMS_H
+#define HERD_TESTS_FUZZPROGRAMS_H
+
+#include "ir/IRBuilder.h"
+#include "ir/Program.h"
+#include "support/Rng.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace herd {
+namespace fuzzprogs {
+
+/// Generates a random, always-terminating multithreaded program.
+///
+/// Shape: main allocates D data objects (2 int fields each) and L lock
+/// objects, wires them into 2-3 worker threads, starts all workers, joins
+/// a random subset, and possibly touches data afterwards.  Each worker's
+/// run() does a bounded loop of random field reads/writes, optionally
+/// inside (possibly nested) synchronized regions, with occasional yields.
+///
+/// Only main ever joins a thread, so each dummy join lock S_j has at most
+/// one holder besides thread j itself — the regime where the Section 2.3
+/// join model is exact (see tests/detector_differential_test.cpp).
+inline Program generateProgram(uint64_t Seed) {
+  Rng R(Seed);
+  Program P;
+  IRBuilder B(P);
+
+  ClassId Data = B.makeClass("Data");
+  FieldId F0 = B.makeField(Data, "f0");
+  FieldId F1 = B.makeField(Data, "f1");
+  ClassId LockCls = B.makeClass("Lock");
+
+  size_t NumData = 2 + R.nextBelow(3);   // 2..4
+  size_t NumLocks = 1 + R.nextBelow(2);  // 1..2
+  size_t NumWorkers = 2 + R.nextBelow(2); // 2..3
+
+  ClassId Worker = B.makeClass("Worker");
+  std::vector<FieldId> WData, WLocks;
+  for (size_t I = 0; I != NumData; ++I)
+    WData.push_back(B.makeField(Worker, "d" + std::to_string(I)));
+  for (size_t I = 0; I != NumLocks; ++I)
+    WLocks.push_back(B.makeField(Worker, "l" + std::to_string(I)));
+
+  // Worker.run: random accesses under random (possibly nested) locking.
+  B.startMethod(Worker, "run", 1);
+  {
+    RegId This = B.thisReg();
+    std::vector<RegId> DataRegs, LockRegs;
+    for (FieldId F : WData)
+      DataRegs.push_back(B.emitGetField(This, F));
+    for (FieldId F : WLocks)
+      LockRegs.push_back(B.emitGetField(This, F));
+
+    // One random access.
+    auto EmitAccess = [&] {
+      RegId Obj = DataRegs[R.nextBelow(DataRegs.size())];
+      FieldId F = R.nextChance(1, 2) ? F0 : F1;
+      if (R.nextChance(1, 2)) {
+        RegId Cur = B.emitGetField(Obj, F);
+        B.emitPutField(Obj, F,
+                       B.emitBinOp(BinOpKind::Add, Cur, B.emitConst(1)));
+      } else {
+        B.emitPrint(B.emitGetField(Obj, F));
+      }
+    };
+
+    // A run of 1-3 accesses, possibly wrapped in nested sync regions.
+    // Nested acquisitions respect the global lock order (ascending index):
+    // generated programs must never truly deadlock, or termination tests
+    // become schedule lotteries.  (Deadlock *detection* has its own
+    // dedicated tests with deliberately inverted orders.)
+    std::function<void(size_t)> EmitGroup = [&](size_t MinLock) {
+      if (MinLock < LockRegs.size() && R.nextChance(1, 2)) {
+        size_t Pick = MinLock + R.nextBelow(LockRegs.size() - MinLock);
+        B.sync(LockRegs[Pick], [&] { EmitGroup(Pick + 1); });
+        return;
+      }
+      size_t Count = 1 + R.nextBelow(3);
+      for (size_t I = 0; I != Count; ++I)
+        EmitAccess();
+      if (R.nextChance(1, 3))
+        B.emitYield();
+    };
+
+    RegId Iters = B.emitConst(int64_t(2 + R.nextBelow(5)));
+    B.forLoop(0, Iters, 1, [&](RegId) {
+      size_t Groups = 1 + R.nextBelow(3);
+      for (size_t I = 0; I != Groups; ++I)
+        EmitGroup(0);
+    });
+    B.emitReturn();
+  }
+
+  // main.
+  B.startMain();
+  std::vector<RegId> DataObjs, LockObjs;
+  for (size_t I = 0; I != NumData; ++I) {
+    RegId Obj = B.emitNew(Data);
+    // Random initialization (ownership will absorb these).
+    if (R.nextChance(2, 3))
+      B.emitPutField(Obj, F0, B.emitConst(int64_t(R.nextBelow(100))));
+    DataObjs.push_back(Obj);
+  }
+  for (size_t I = 0; I != NumLocks; ++I)
+    LockObjs.push_back(B.emitNew(LockCls));
+
+  std::vector<RegId> Workers;
+  for (size_t W = 0; W != NumWorkers; ++W) {
+    RegId Wk = B.emitNew(Worker);
+    for (size_t I = 0; I != NumData; ++I)
+      B.emitPutField(Wk, WData[I], DataObjs[R.nextBelow(DataObjs.size())]);
+    for (size_t I = 0; I != NumLocks; ++I)
+      B.emitPutField(Wk, WLocks[I], LockObjs[R.nextBelow(LockObjs.size())]);
+    Workers.push_back(Wk);
+  }
+  for (RegId Wk : Workers)
+    B.emitThreadStart(Wk);
+  // Join a random subset (possibly none, possibly all).
+  for (RegId Wk : Workers)
+    if (R.nextChance(2, 3))
+      B.emitThreadJoin(Wk);
+  // Sometimes touch shared data afterwards (races with unjoined workers).
+  if (R.nextChance(1, 2))
+    B.emitPrint(B.emitGetField(DataObjs[0], F0));
+  B.emitReturn();
+  return P;
+}
+
+} // namespace fuzzprogs
+} // namespace herd
+
+#endif // HERD_TESTS_FUZZPROGRAMS_H

@@ -1,0 +1,195 @@
+//===- tests/stats_test.cpp - DetectorStats observability tests -----------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact-value tests for the observability layer (detect/DetectorStats.h):
+/// every counter on a hand-written event trace, the serial-equals-sharded
+/// aggregation invariant across shard counts, and the consistency of the
+/// per-shard breakdown surfaced by `herd --stats`.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "detect/RaceRuntime.h"
+#include "detect/ShardedRuntime.h"
+#include "herd/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace herd;
+
+namespace {
+
+constexpr AccessKind WR = AccessKind::Write;
+
+/// The hand-written trace all exact-value tests share.  Location L, no
+/// locks held anywhere:
+///
+///   1. T1 writes L   — cache miss; detector sees it; T1 owns L, filtered.
+///   2. T1 writes L   — cache hit; never reaches the detector.
+///   3. T2 writes L   — cache miss; L goes shared, which evicts T1's
+///                      cached entry (the Section 7.2 fix); the event
+///                      enters the trie (root node, no race yet).
+///   4. T1 writes L   — cache miss again (step 3 evicted it); conflicts
+///                      with T2's write, disjoint (empty) locksets: race.
+template <typename Hooks> void playTrace(Hooks &H) {
+  const LocationKey L = LocationKey::forField(ObjectId(5), FieldId(0));
+  const ThreadId T1(1), T2(2);
+  H.onThreadCreate(ThreadId(0), ThreadId::invalid(), ObjectId::invalid());
+  H.onThreadCreate(T1, ThreadId(0), ObjectId(1));
+  H.onThreadCreate(T2, ThreadId(0), ObjectId(2));
+  H.onAccess(T1, L, WR, SiteId());
+  H.onAccess(T1, L, WR, SiteId());
+  H.onAccess(T2, L, WR, SiteId());
+  H.onAccess(T1, L, WR, SiteId());
+}
+
+void expectTraceStats(const RaceRuntimeStats &S) {
+  EXPECT_EQ(S.EventsSeen, 4u);
+  EXPECT_EQ(S.CacheHits, 1u);
+  EXPECT_EQ(S.CacheMisses, 3u);
+  EXPECT_EQ(S.CacheEvictions, 1u);
+  EXPECT_EQ(S.Detector.EventsIn, 3u);
+  EXPECT_EQ(S.Detector.OwnedFiltered, 1u);
+  EXPECT_EQ(S.Detector.WeakerFiltered, 0u);
+  EXPECT_EQ(S.Detector.RacesReported, 1u);
+  EXPECT_EQ(S.Detector.LocationsTracked, 1u);
+  EXPECT_EQ(S.Detector.LocationsShared, 1u);
+  // No program locks are held, but each thread carries its own dummy join
+  // lock S_j (Section 2.3), so the trie is a root plus one node per
+  // thread's singleton lockset {S_1} and {S_2}.
+  EXPECT_EQ(S.Detector.TrieNodes, 3u);
+}
+
+void expectEqualStats(const RaceRuntimeStats &A, const RaceRuntimeStats &B) {
+  EXPECT_EQ(A.EventsSeen, B.EventsSeen);
+  EXPECT_EQ(A.CacheHits, B.CacheHits);
+  EXPECT_EQ(A.CacheMisses, B.CacheMisses);
+  EXPECT_EQ(A.CacheEvictions, B.CacheEvictions);
+  EXPECT_EQ(A.Detector.EventsIn, B.Detector.EventsIn);
+  EXPECT_EQ(A.Detector.OwnedFiltered, B.Detector.OwnedFiltered);
+  EXPECT_EQ(A.Detector.WeakerFiltered, B.Detector.WeakerFiltered);
+  EXPECT_EQ(A.Detector.RacesReported, B.Detector.RacesReported);
+  EXPECT_EQ(A.Detector.LocationsTracked, B.Detector.LocationsTracked);
+  EXPECT_EQ(A.Detector.LocationsShared, B.Detector.LocationsShared);
+  EXPECT_EQ(A.Detector.TrieNodes, B.Detector.TrieNodes);
+}
+
+TEST(StatsTest, SerialCountersExactOnHandWrittenTrace) {
+  RaceRuntime RT;
+  playTrace(RT);
+  expectTraceStats(RT.stats());
+  EXPECT_EQ(RT.reporter().size(), 1u);
+}
+
+TEST(StatsTest, ShardedCountersExactAndEqualToSerial) {
+  RaceRuntime Serial;
+  playTrace(Serial);
+  for (uint32_t Shards : {1u, 2u, 4u}) {
+    ShardedRuntimeOptions Opts;
+    Opts.NumShards = Shards;
+    ShardedRuntime RT(Opts);
+    playTrace(RT);
+    RT.finish();
+    expectTraceStats(RT.stats());
+    expectEqualStats(Serial.stats(), RT.stats());
+
+    // Ingest accounting: exactly the post-cache, post-ownership events
+    // reach the shards (steps 3 and 4), all on the one shard L hashes to.
+    std::vector<ShardStats> Breakdown = RT.shardStats();
+    ASSERT_EQ(Breakdown.size(), size_t(Shards));
+    uint64_t Ingested = 0, Batches = 0;
+    for (const ShardStats &S : Breakdown) {
+      Ingested += S.EventsIngested;
+      Batches += S.BatchesIngested;
+    }
+    EXPECT_EQ(Ingested, 2u);
+    EXPECT_GE(Batches, 1u);
+  }
+}
+
+TEST(StatsTest, CountersMonotonicAsTraceGrows) {
+  RaceRuntime RT;
+  const LocationKey L = LocationKey::forField(ObjectId(5), FieldId(0));
+  RT.onThreadCreate(ThreadId(0), ThreadId::invalid(), ObjectId::invalid());
+  RT.onThreadCreate(ThreadId(1), ThreadId(0), ObjectId(1));
+  RT.onThreadCreate(ThreadId(2), ThreadId(0), ObjectId(2));
+  RaceRuntimeStats Prev = RT.stats();
+  for (int I = 0; I != 20; ++I) {
+    RT.onAccess(ThreadId(1 + uint32_t(I % 2)), L, WR, SiteId());
+    RaceRuntimeStats Now = RT.stats();
+    EXPECT_GE(Now.EventsSeen, Prev.EventsSeen);
+    EXPECT_GE(Now.CacheHits, Prev.CacheHits);
+    EXPECT_GE(Now.CacheMisses, Prev.CacheMisses);
+    EXPECT_GE(Now.Detector.EventsIn, Prev.Detector.EventsIn);
+    EXPECT_GE(Now.Detector.RacesReported, Prev.Detector.RacesReported);
+    EXPECT_GE(Now.Detector.LocationsTracked, Prev.Detector.LocationsTracked);
+    Prev = Now;
+  }
+  EXPECT_EQ(Prev.EventsSeen, 20u);
+}
+
+TEST(StatsTest, PipelineStatsAgreeAcrossShardCounts) {
+  Program P = testprogs::buildCounter(/*Locked=*/false, 25).P;
+  ToolConfig SerialCfg = ToolConfig::full();
+  SerialCfg.Seed = 5;
+  PipelineResult Serial = runPipeline(P, SerialCfg);
+  ASSERT_TRUE(Serial.Run.Ok) << Serial.Run.Error;
+  EXPECT_TRUE(Serial.ShardBreakdown.empty());
+
+  for (uint32_t Shards : {1u, 2u, 4u, 8u}) {
+    ToolConfig Cfg = SerialCfg;
+    Cfg.Shards = Shards;
+    PipelineResult R = runPipeline(P, Cfg);
+    ASSERT_TRUE(R.Run.Ok) << R.Run.Error;
+    expectEqualStats(Serial.Stats, R.Stats);
+    EXPECT_EQ(Serial.Reports.size(), R.Reports.size());
+
+    // The per-shard breakdown must be consistent with the aggregate.
+    ASSERT_EQ(R.ShardBreakdown.size(), size_t(Shards));
+    uint64_t Ingested = 0, Races = 0;
+    size_t TrieNodes = 0;
+    for (const ShardStats &S : R.ShardBreakdown) {
+      Ingested += S.EventsIngested;
+      Races += S.Detector.RacesReported;
+      TrieNodes += S.Detector.TrieNodes;
+    }
+    EXPECT_EQ(Ingested,
+              R.Stats.Detector.EventsIn - R.Stats.Detector.OwnedFiltered);
+    EXPECT_EQ(Races, R.Stats.Detector.RacesReported);
+    EXPECT_EQ(TrieNodes, R.Stats.Detector.TrieNodes);
+    EXPECT_EQ(Races, R.Reports.size());
+  }
+}
+
+TEST(StatsTest, QueueDepthHighWaterMarkIsBounded) {
+  // Tiny batches, no producer-side filtering, and a deep trace: batches
+  // must actually flow, and the queue high-water mark must never exceed
+  // the configured backpressure bound.
+  ShardedRuntimeOptions Opts;
+  Opts.NumShards = 2;
+  Opts.BatchCapacity = 4;
+  Opts.QueueDepthBatches = 3;
+  Opts.UseCache = false;
+  Opts.UseOwnership = false;
+  ShardedRuntime RT(Opts);
+  RT.onThreadCreate(ThreadId(0), ThreadId::invalid(), ObjectId::invalid());
+  RT.onThreadCreate(ThreadId(1), ThreadId(0), ObjectId(1));
+  RT.onThreadCreate(ThreadId(2), ThreadId(0), ObjectId(2));
+  for (int I = 0; I != 400; ++I)
+    RT.onAccess(ThreadId(1 + uint32_t(I % 2)),
+                LocationKey::forField(ObjectId(uint32_t(I % 16)), FieldId(0)),
+                WR, SiteId());
+  RT.finish();
+  uint64_t Batches = 0;
+  for (const ShardStats &S : RT.shardStats()) {
+    EXPECT_LE(S.MaxQueueDepthBatches, Opts.QueueDepthBatches);
+    Batches += S.BatchesIngested;
+  }
+  EXPECT_GT(Batches, 0u);
+}
+
+} // namespace

@@ -40,6 +40,8 @@ void usage() {
       "  --config=<name>   full | nostatic | nodominators | nopeeling |\n"
       "                    nocache | fieldsmerged | noownership | base\n"
       "  --seed=<n>        schedule seed (default 1)\n"
+      "  --shards=<n>      run the sharded detection runtime with n shard\n"
+      "                    workers (default: serial runtime)\n"
       "  --sweep=<n>       run n seeds and summarize the reports\n"
       "  --deadlocks       also run the lock-order deadlock detector\n"
       "  --stats           print pipeline statistics\n"
@@ -93,6 +95,15 @@ void printStats(const PipelineResult &R) {
               (unsigned long long)R.Stats.Detector.WeakerFiltered,
               R.Stats.Detector.LocationsTracked,
               R.Stats.Detector.TrieNodes);
+  for (size_t I = 0; I != R.ShardBreakdown.size(); ++I) {
+    const ShardStats &S = R.ShardBreakdown[I];
+    std::printf("shard %zu:  %llu events in %llu batches, max queue depth "
+                "%zu, %zu trie nodes, %llu races\n",
+                I, (unsigned long long)S.EventsIngested,
+                (unsigned long long)S.BatchesIngested,
+                S.MaxQueueDepthBatches, S.Detector.TrieNodes,
+                (unsigned long long)S.Detector.RacesReported);
+  }
 }
 
 } // namespace
@@ -107,6 +118,7 @@ int main(int argc, char **argv) {
   std::string WorkloadName;
   ToolConfig Config = ToolConfig::full();
   uint64_t Seed = 1;
+  uint32_t Shards = 0;
   int Sweep = 0;
   bool Stats = false;
   bool DumpIR = false;
@@ -122,6 +134,14 @@ int main(int argc, char **argv) {
       }
     } else if (Arg.rfind("--seed=", 0) == 0) {
       Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
+    } else if (Arg.rfind("--shards=", 0) == 0) {
+      char *End = nullptr;
+      Shards = uint32_t(std::strtoul(Arg.c_str() + 9, &End, 10));
+      if (End == Arg.c_str() + 9 || *End != '\0') {
+        std::fprintf(stderr, "herd: --shards expects a number, got '%s'\n",
+                     Arg.c_str() + 9);
+        return 2;
+      }
     } else if (Arg.rfind("--sweep=", 0) == 0) {
       Sweep = std::atoi(Arg.c_str() + 8);
     } else if (Arg.rfind("--workload=", 0) == 0) {
@@ -147,6 +167,7 @@ int main(int argc, char **argv) {
     usage();
     return 2;
   }
+  Config.Shards = Shards;
 
   CompileResult Compiled;
   if (!WorkloadName.empty()) {
