@@ -124,8 +124,9 @@ int main() {
   // Step 4: pure post-mortem from the serialized log.
   std::vector<uint8_t> Bytes = Log.serialize();
   EventLog Restored;
-  if (!EventLog::deserialize(Bytes, Restored)) {
-    std::printf("log corrupt!\n");
+  TraceResult Decoded = EventLog::deserialize(Bytes, Restored);
+  if (!Decoded.Ok) {
+    std::printf("log corrupt: %s\n", Decoded.Error.c_str());
     return 1;
   }
   RaceRuntime Offline;

@@ -78,6 +78,46 @@ void AccessCache::evictKey(LocationKey Key) {
   ++Evictions;
 }
 
+bool AccessCache::checkListIntegrity() const {
+  // Walk every per-lock list once, checking link consistency; count the
+  // entries reached.
+  size_t Linked = 0;
+  for (const auto &[Lock, Head] : ListHead) {
+    if (!Lock.isValid() || Head == None || Head >= NumEntries)
+      return false;
+    if (Entries[Head].Prev != None)
+      return false;
+    size_t Steps = 0;
+    for (uint32_t Index = Head; Index != None;) {
+      if (++Steps > NumEntries)
+        return false; // cycle
+      const Entry &E = Entries[Index];
+      if (!E.Valid || E.ListLock != Lock)
+        return false; // ListHead points at an unlinked or foreign entry
+      if (E.Next != None &&
+          (E.Next >= NumEntries || Entries[E.Next].Prev != Index))
+        return false;
+      ++Linked;
+      Index = E.Next;
+    }
+  }
+  // Every lock-tagged valid entry must be on its lock's list (counting
+  // matches because an entry's single ListLock tag puts it on at most one
+  // list), and unlinked entries must carry no stale list state.
+  size_t Tagged = 0;
+  for (const Entry &E : Entries) {
+    if (E.Valid && E.ListLock.isValid()) {
+      ++Tagged;
+      if (ListHead.find(E.ListLock) == ListHead.end())
+        return false;
+    } else if (E.Prev != None || E.Next != None ||
+               (!E.Valid && E.ListLock.isValid())) {
+      return false;
+    }
+  }
+  return Tagged == Linked;
+}
+
 void AccessCache::clear() {
   for (Entry &E : Entries) {
     E.Valid = false;

@@ -67,6 +67,12 @@ public:
 
   void clear();
 
+  /// Structural invariant check over the eviction lists, for tests: every
+  /// list head refers to a valid, linked entry; Prev/Next are mutually
+  /// consistent and cycle-free; every entry tagged with a lock is reachable
+  /// from exactly that lock's head; invalid entries carry no list state.
+  bool checkListIntegrity() const;
+
   uint64_t hits() const { return Hits; }
   uint64_t misses() const { return Misses; }
   uint64_t evictions() const { return Evictions; }

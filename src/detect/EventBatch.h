@@ -53,14 +53,21 @@ public:
   explicit BoundedBatchQueue(size_t MaxBatches = 16) : Limit(MaxBatches) {}
 
   /// Producer: enqueues a batch, blocking while the queue is full.
-  void push(EventBatch &&Batch) {
+  /// Returns false — without enqueueing — when the queue is (or becomes)
+  /// stopped, so a producer blocked on backpressure can never deadlock
+  /// against a stopped pool or a dead worker; the wait predicate must
+  /// check Stopped for exactly that reason.
+  [[nodiscard]] bool push(EventBatch &&Batch) {
     std::unique_lock<std::mutex> Lock(M);
-    NotFull.wait(Lock, [&] { return Queue.size() < Limit; });
+    NotFull.wait(Lock, [&] { return Queue.size() < Limit || Stopped; });
+    if (Stopped)
+      return false;
     Queue.push_back(std::move(Batch));
     ++InFlight;
     if (Queue.size() > MaxDepth)
       MaxDepth = Queue.size();
     NotEmpty.notify_one();
+    return true;
   }
 
   /// Consumer: dequeues the next batch, blocking until one arrives.
@@ -92,11 +99,13 @@ public:
     IdleCv.wait(Lock, [&] { return InFlight == 0; });
   }
 
-  /// Producer: wakes the consumer so it can exit once the queue is empty.
+  /// Producer: wakes the consumer so it can exit once the queue is empty,
+  /// and any producer blocked on backpressure so its push can fail fast.
   void stop() {
     std::lock_guard<std::mutex> Lock(M);
     Stopped = true;
     NotEmpty.notify_all();
+    NotFull.notify_all();
   }
 
   /// High-water mark of the queue, in batches.  Meaningful once idle.

@@ -9,157 +9,199 @@
 #include "support/Compiler.h"
 
 using namespace herd;
+using namespace herd::tracefmt;
 
-void EventLog::onThreadCreate(ThreadId Child, ThreadId Parent,
-                              ObjectId ThreadObj) {
+//===----------------------------------------------------------------------===
+// Record builders and dispatch
+//===----------------------------------------------------------------------===
+
+EventLog::Record EventLog::Record::threadCreate(ThreadId Child,
+                                                ThreadId Parent,
+                                                ObjectId ThreadObj) {
   Record R;
   R.Kind = RecordKind::ThreadCreate;
   R.Thread = Child;
   R.OtherThread = Parent;
   R.ThreadObj = ThreadObj;
-  Records.push_back(R);
+  return R;
 }
 
-void EventLog::onThreadExit(ThreadId Dying) {
+EventLog::Record EventLog::Record::threadExit(ThreadId Dying) {
   Record R;
   R.Kind = RecordKind::ThreadExit;
   R.Thread = Dying;
-  Records.push_back(R);
+  return R;
 }
 
-void EventLog::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
+EventLog::Record EventLog::Record::threadJoin(ThreadId Joiner,
+                                              ThreadId Joined) {
   Record R;
   R.Kind = RecordKind::ThreadJoin;
   R.Thread = Joiner;
   R.OtherThread = Joined;
-  Records.push_back(R);
+  return R;
 }
 
-void EventLog::onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive) {
+EventLog::Record EventLog::Record::monitorEnter(ThreadId Thread, LockId Lock,
+                                                bool Recursive) {
   Record R;
   R.Kind = RecordKind::MonitorEnter;
   R.Thread = Thread;
   R.Lock = Lock;
   R.Flags = Recursive ? 1 : 0;
-  Records.push_back(R);
+  return R;
 }
 
-void EventLog::onMonitorExit(ThreadId Thread, LockId Lock, bool StillHeld) {
+EventLog::Record EventLog::Record::monitorExit(ThreadId Thread, LockId Lock,
+                                               bool StillHeld) {
   Record R;
   R.Kind = RecordKind::MonitorExit;
   R.Thread = Thread;
   R.Lock = Lock;
   R.Flags = StillHeld ? 1 : 0;
-  Records.push_back(R);
+  return R;
 }
 
-void EventLog::onAccess(ThreadId Thread, LocationKey Location,
-                        AccessKind Access, SiteId Site) {
+EventLog::Record EventLog::Record::access(ThreadId Thread,
+                                          LocationKey Location,
+                                          AccessKind Access, SiteId Site) {
   Record R;
   R.Kind = RecordKind::Access;
   R.Thread = Thread;
   R.Location = Location;
   R.Flags = Access == AccessKind::Write ? 1 : 0;
   R.Site = Site;
-  Records.push_back(R);
+  return R;
+}
+
+void EventLog::Record::dispatch(RuntimeHooks &Sink) const {
+  switch (Kind) {
+  case RecordKind::ThreadCreate:
+    Sink.onThreadCreate(Thread, OtherThread, ThreadObj);
+    break;
+  case RecordKind::ThreadExit:
+    Sink.onThreadExit(Thread);
+    break;
+  case RecordKind::ThreadJoin:
+    Sink.onThreadJoin(Thread, OtherThread);
+    break;
+  case RecordKind::MonitorEnter:
+    Sink.onMonitorEnter(Thread, Lock, Flags != 0);
+    break;
+  case RecordKind::MonitorExit:
+    Sink.onMonitorExit(Thread, Lock, Flags != 0);
+    break;
+  case RecordKind::Access:
+    Sink.onAccess(Thread, Location,
+                  Flags ? AccessKind::Write : AccessKind::Read, Site);
+    break;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Hook recording and replay
+//===----------------------------------------------------------------------===
+
+void EventLog::onThreadCreate(ThreadId Child, ThreadId Parent,
+                              ObjectId ThreadObj) {
+  Records.push_back(Record::threadCreate(Child, Parent, ThreadObj));
+}
+
+void EventLog::onThreadExit(ThreadId Dying) {
+  Records.push_back(Record::threadExit(Dying));
+}
+
+void EventLog::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
+  Records.push_back(Record::threadJoin(Joiner, Joined));
+}
+
+void EventLog::onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive) {
+  Records.push_back(Record::monitorEnter(Thread, Lock, Recursive));
+}
+
+void EventLog::onMonitorExit(ThreadId Thread, LockId Lock, bool StillHeld) {
+  Records.push_back(Record::monitorExit(Thread, Lock, StillHeld));
+}
+
+void EventLog::onAccess(ThreadId Thread, LocationKey Location,
+                        AccessKind Access, SiteId Site) {
+  Records.push_back(Record::access(Thread, Location, Access, Site));
 }
 
 void EventLog::replayInto(RuntimeHooks &Sink) const {
-  for (const Record &R : Records) {
-    switch (R.Kind) {
-    case RecordKind::ThreadCreate:
-      Sink.onThreadCreate(R.Thread, R.OtherThread, R.ThreadObj);
-      break;
-    case RecordKind::ThreadExit:
-      Sink.onThreadExit(R.Thread);
-      break;
-    case RecordKind::ThreadJoin:
-      Sink.onThreadJoin(R.Thread, R.OtherThread);
-      break;
-    case RecordKind::MonitorEnter:
-      Sink.onMonitorEnter(R.Thread, R.Lock, R.Flags != 0);
-      break;
-    case RecordKind::MonitorExit:
-      Sink.onMonitorExit(R.Thread, R.Lock, R.Flags != 0);
-      break;
-    case RecordKind::Access:
-      Sink.onAccess(R.Thread, R.Location,
-                    R.Flags ? AccessKind::Write : AccessKind::Read, R.Site);
-      break;
-    }
-  }
+  for (const Record &R : Records)
+    R.dispatch(Sink);
 }
 
-namespace {
+//===----------------------------------------------------------------------===
+// Serialization (the versioned format of detect/TraceFormat.h)
+//===----------------------------------------------------------------------===
 
-void put32(std::vector<uint8_t> &Out, uint32_t V) {
-  Out.push_back(uint8_t(V));
-  Out.push_back(uint8_t(V >> 8));
-  Out.push_back(uint8_t(V >> 16));
-  Out.push_back(uint8_t(V >> 24));
+void EventLog::encodeRecord(std::vector<uint8_t> &Out, const Record &R) {
+  Out.push_back(uint8_t(R.Kind));
+  Out.push_back(R.Flags);
+  put16(Out, 0); // RecReserved0
+  put32(Out, R.Thread.index());
+  put32(Out, R.OtherThread.index());
+  put32(Out, R.Lock.index());
+  put64(Out, R.Location.raw());
+  put32(Out, R.Site.index());
+  put32(Out, R.ThreadObj.index());
+  put64(Out, 0); // RecReserved1: keeps the record at RecordBytes and gives
+                 // future versions room without a format break
 }
 
-void put64(std::vector<uint8_t> &Out, uint64_t V) {
-  put32(Out, uint32_t(V));
-  put32(Out, uint32_t(V >> 32));
+TraceResult EventLog::decodeRecord(const uint8_t *Bytes, Record &Out) {
+  uint8_t Kind = Bytes[RecKind];
+  if (Kind > uint8_t(RecordKind::Access))
+    return TraceResult::failure("unknown record kind " +
+                                std::to_string(Kind));
+  if (get16(Bytes + RecReserved0) != 0 || get64(Bytes + RecReserved1) != 0)
+    return TraceResult::failure("nonzero reserved record bytes (corrupt "
+                                "trace or future format)");
+  Out.Kind = RecordKind(Kind);
+  Out.Flags = Bytes[RecFlags];
+  Out.Thread = ThreadId(get32(Bytes + RecThread));
+  Out.OtherThread = ThreadId(get32(Bytes + RecOtherThread));
+  Out.Lock = LockId(get32(Bytes + RecLock));
+  Out.Location = LocationKey::fromRaw(get64(Bytes + RecLocation));
+  Out.Site = SiteId(get32(Bytes + RecSite));
+  Out.ThreadObj = ObjectId(get32(Bytes + RecThreadObj));
+  return TraceResult::success();
 }
-
-uint32_t get32(const std::vector<uint8_t> &In, size_t At) {
-  return uint32_t(In[At]) | (uint32_t(In[At + 1]) << 8) |
-         (uint32_t(In[At + 2]) << 16) | (uint32_t(In[At + 3]) << 24);
-}
-
-uint64_t get64(const std::vector<uint8_t> &In, size_t At) {
-  return uint64_t(get32(In, At)) | (uint64_t(get32(In, At + 4)) << 32);
-}
-
-} // namespace
 
 std::vector<uint8_t> EventLog::serialize() const {
   std::vector<uint8_t> Out;
-  Out.reserve(8 + Records.size() * logRecordBytes());
-  put64(Out, Records.size());
-  for (const Record &R : Records) {
-    Out.push_back(uint8_t(R.Kind));
-    Out.push_back(R.Flags);
-    Out.push_back(0);
-    Out.push_back(0);
-    put32(Out, R.Thread.index());
-    put32(Out, R.OtherThread.index());
-    put32(Out, R.Lock.index());
-    put64(Out, R.Location.raw());
-    put32(Out, R.Site.index());
-    put32(Out, R.ThreadObj.index());
-    put64(Out, 0); // reserved padding to logRecordBytes()
-  }
+  Out.reserve(HeaderBytes + Records.size() * RecordBytes);
+  putHeader(Out);
+  for (const Record &R : Records)
+    encodeRecord(Out, R);
   return Out;
 }
 
-bool EventLog::deserialize(const std::vector<uint8_t> &Bytes, EventLog &Out) {
+TraceResult EventLog::deserialize(const std::vector<uint8_t> &Bytes,
+                                  EventLog &Out) {
   Out.clear();
-  if (Bytes.size() < 8)
-    return false;
-  uint64_t Count = get64(Bytes, 0);
-  if (Bytes.size() != 8 + Count * logRecordBytes())
-    return false;
-  size_t At = 8;
-  for (uint64_t I = 0; I != Count; ++I) {
+  if (TraceResult Header = checkHeader(Bytes.data(), Bytes.size()); !Header)
+    return Header;
+  size_t Body = Bytes.size() - HeaderBytes;
+  if (Body % RecordBytes != 0)
+    return TraceResult::failure(
+        "trace body of " + std::to_string(Body) +
+        " bytes is not a whole number of " + std::to_string(RecordBytes) +
+        "-byte records (truncated record or trailing garbage)");
+  size_t Count = Body / RecordBytes;
+  Out.Records.reserve(Count);
+  for (size_t I = 0; I != Count; ++I) {
     Record R;
-    uint8_t Kind = Bytes[At];
-    if (Kind > uint8_t(RecordKind::Access))
-      return false;
-    R.Kind = RecordKind(Kind);
-    R.Flags = Bytes[At + 1];
-    R.Thread = ThreadId(get32(Bytes, At + 4));
-    R.OtherThread = ThreadId(get32(Bytes, At + 8));
-    R.Lock = LockId(get32(Bytes, At + 12));
-    // LocationKey has no raw constructor; rebuild via the packed halves.
-    uint64_t Raw = get64(Bytes, At + 16);
-    R.Location = LocationKey::fromRaw(Raw);
-    R.Site = SiteId(get32(Bytes, At + 24));
-    R.ThreadObj = ObjectId(get32(Bytes, At + 28));
+    if (TraceResult Res =
+            decodeRecord(Bytes.data() + HeaderBytes + I * RecordBytes, R);
+        !Res) {
+      Out.clear();
+      return TraceResult::failure("record " + std::to_string(I) + ": " +
+                                  Res.Error);
+    }
     Out.Records.push_back(R);
-    At += logRecordBytes();
   }
-  return true;
+  return TraceResult::success();
 }

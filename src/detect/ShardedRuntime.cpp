@@ -51,7 +51,9 @@ void ShardPool::submit(AccessEvent Event) {
   S.Open.Events.push_back(std::move(Event));
   if (S.Open.Events.size() >= BatchCapacity) {
     ++S.BatchesIngested;
-    S.Queue.push(std::move(S.Open));
+    bool Pushed = S.Queue.push(std::move(S.Open));
+    (void)Pushed;
+    assert(Pushed && "shard queue stopped while ingesting");
     S.Open.Events.clear();
     S.Open.Events.reserve(BatchCapacity);
   }
@@ -64,7 +66,9 @@ void ShardPool::flush() {
     if (S->Open.Events.empty())
       continue;
     ++S->BatchesIngested;
-    S->Queue.push(std::move(S->Open));
+    bool Pushed = S->Queue.push(std::move(S->Open));
+    (void)Pushed;
+    assert(Pushed && "shard queue stopped while flushing");
     S->Open.Events.clear();
     S->Open.Events.reserve(BatchCapacity);
   }

@@ -68,9 +68,20 @@ public:
 
   /// The shard a location's events are routed to: a hash of the location
   /// key, so the assignment is stable across runs and shard-count-only
-  /// changes of configuration.
+  /// changes of configuration.  The key is mixed explicitly (the SplitMix64
+  /// finalizer, the same family as AccessCache::indexOf's multiplicative
+  /// hash) and the *high* bits feed the modulo: packed (object, field) keys
+  /// stride by small constants, and a raw `key % NumShards` collapses onto
+  /// a few shards whenever the stride shares a factor with the shard count
+  /// (tests/sharded_runtime_test.cpp asserts the spread on strided keys).
   static uint32_t shardOf(LocationKey Key, uint32_t NumShards) {
-    return uint32_t(std::hash<LocationKey>()(Key) % NumShards);
+    uint64_t X = Key.raw();
+    X ^= X >> 30;
+    X *= 0xbf58476d1ce4e5b9ull;
+    X ^= X >> 27;
+    X *= 0x94d049bb133111ebull;
+    X ^= X >> 31;
+    return uint32_t((X >> 32) % NumShards);
   }
 
   uint32_t numShards() const { return uint32_t(Shards.size()); }

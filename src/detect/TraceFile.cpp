@@ -1,0 +1,198 @@
+//===- detect/TraceFile.cpp - Streaming trace file I/O --------------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/TraceFile.h"
+
+#include <cerrno>
+#include <cstring>
+
+using namespace herd;
+using namespace herd::tracefmt;
+
+namespace {
+
+/// Flush the producer-side buffer once it holds this many bytes; one
+/// fwrite per ~1638 records keeps recording overhead off the hot path.
+constexpr size_t FlushThresholdBytes = 64 * 1024;
+
+std::string errnoMessage(const std::string &What, const std::string &Path) {
+  return What + " '" + Path + "': " + std::strerror(errno);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// TraceWriter
+//===----------------------------------------------------------------------===
+
+TraceWriter::~TraceWriter() { close(); }
+
+TraceResult TraceWriter::open(const std::string &ToPath) {
+  if (File)
+    return TraceResult::failure("trace writer is already open on '" + Path +
+                                "'");
+  File = std::fopen(ToPath.c_str(), "wb");
+  if (!File)
+    return TraceResult::failure(errnoMessage("cannot create trace", ToPath));
+  Path = ToPath;
+  Records = 0;
+  Bytes = 0;
+  WriteFailed = false;
+  FirstError.clear();
+  Buffer.clear();
+  Buffer.reserve(FlushThresholdBytes + RecordBytes);
+  putHeader(Buffer);
+  return TraceResult::success();
+}
+
+void TraceWriter::flushBuffer() {
+  if (!File || Buffer.empty())
+    return;
+  if (!WriteFailed &&
+      std::fwrite(Buffer.data(), 1, Buffer.size(), File) != Buffer.size()) {
+    WriteFailed = true;
+    FirstError = errnoMessage("short write to trace", Path);
+  }
+  Bytes += Buffer.size();
+  Buffer.clear();
+}
+
+void TraceWriter::write(const EventLog::Record &R) {
+  if (!File)
+    return;
+  EventLog::encodeRecord(Buffer, R);
+  ++Records;
+  if (Buffer.size() >= FlushThresholdBytes)
+    flushBuffer();
+}
+
+TraceResult TraceWriter::close() {
+  if (!File)
+    return WriteFailed ? TraceResult::failure(FirstError)
+                       : TraceResult::success();
+  flushBuffer();
+  if (std::fclose(File) != 0 && !WriteFailed) {
+    WriteFailed = true;
+    FirstError = errnoMessage("cannot close trace", Path);
+  }
+  File = nullptr;
+  return WriteFailed ? TraceResult::failure(FirstError)
+                     : TraceResult::success();
+}
+
+void TraceWriter::onThreadCreate(ThreadId Child, ThreadId Parent,
+                                 ObjectId ThreadObj) {
+  write(EventLog::Record::threadCreate(Child, Parent, ThreadObj));
+}
+
+void TraceWriter::onThreadExit(ThreadId Dying) {
+  write(EventLog::Record::threadExit(Dying));
+}
+
+void TraceWriter::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
+  write(EventLog::Record::threadJoin(Joiner, Joined));
+}
+
+void TraceWriter::onMonitorEnter(ThreadId Thread, LockId Lock,
+                                 bool Recursive) {
+  write(EventLog::Record::monitorEnter(Thread, Lock, Recursive));
+}
+
+void TraceWriter::onMonitorExit(ThreadId Thread, LockId Lock,
+                                bool StillHeld) {
+  write(EventLog::Record::monitorExit(Thread, Lock, StillHeld));
+}
+
+void TraceWriter::onAccess(ThreadId Thread, LocationKey Location,
+                           AccessKind Access, SiteId Site) {
+  write(EventLog::Record::access(Thread, Location, Access, Site));
+}
+
+void TraceWriter::onRunEnd() { flushBuffer(); }
+
+//===----------------------------------------------------------------------===
+// TraceReader
+//===----------------------------------------------------------------------===
+
+TraceReader::~TraceReader() { close(); }
+
+void TraceReader::close() {
+  if (File) {
+    std::fclose(File);
+    File = nullptr;
+  }
+}
+
+TraceResult TraceReader::open(const std::string &FromPath) {
+  close();
+  Records = 0;
+  File = std::fopen(FromPath.c_str(), "rb");
+  if (!File)
+    return TraceResult::failure(errnoMessage("cannot open trace", FromPath));
+  Path = FromPath;
+  uint8_t Header[HeaderBytes];
+  size_t Got = std::fread(Header, 1, HeaderBytes, File);
+  if (TraceResult Res = checkHeader(Header, Got); !Res) {
+    close();
+    return TraceResult::failure("'" + FromPath + "': " + Res.Error);
+  }
+  return TraceResult::success();
+}
+
+TraceResult TraceReader::replayInto(RuntimeHooks &Sink) {
+  if (!File)
+    return TraceResult::failure("no trace is open");
+  constexpr size_t ChunkRecords = 1024;
+  std::vector<uint8_t> Chunk(ChunkRecords * RecordBytes);
+  for (;;) {
+    size_t Got = std::fread(Chunk.data(), 1, Chunk.size(), File);
+    if (Got == 0)
+      break;
+    if (Got % RecordBytes != 0)
+      return TraceResult::failure(
+          "'" + Path + "': trace ends mid-record after record " +
+          std::to_string(Records + Got / RecordBytes) +
+          " (truncated file or trailing garbage)");
+    for (size_t At = 0; At != Got; At += RecordBytes) {
+      EventLog::Record R;
+      if (TraceResult Res = EventLog::decodeRecord(Chunk.data() + At, R);
+          !Res)
+        return TraceResult::failure("'" + Path + "': record " +
+                                    std::to_string(Records) + ": " +
+                                    Res.Error);
+      R.dispatch(Sink);
+      ++Records;
+    }
+  }
+  if (std::ferror(File))
+    return TraceResult::failure(errnoMessage("read error on trace", Path));
+  return TraceResult::success();
+}
+
+//===----------------------------------------------------------------------===
+// Whole-file convenience
+//===----------------------------------------------------------------------===
+
+TraceResult herd::writeTraceFile(const std::string &Path,
+                                 const EventLog &Log) {
+  TraceWriter Writer;
+  if (TraceResult Res = Writer.open(Path); !Res)
+    return Res;
+  for (const EventLog::Record &R : Log.records())
+    Writer.write(R);
+  return Writer.close();
+}
+
+TraceResult herd::readTraceFile(const std::string &Path, EventLog &Out) {
+  Out.clear();
+  TraceReader Reader;
+  if (TraceResult Res = Reader.open(Path); !Res)
+    return Res;
+  TraceResult Res = Reader.replayInto(Out);
+  if (!Res)
+    Out.clear(); // whole-file reads are atomic: no partial log on failure
+  return Res;
+}

@@ -6,6 +6,7 @@
 
 #include "herd/Pipeline.h"
 
+#include "detect/TraceFile.h"
 #include "ir/Verifier.h"
 
 #include <cassert>
@@ -60,14 +61,16 @@ ToolConfig ToolConfig::noOwnership() {
 
 namespace {
 
-/// Renders one race record using program metadata and the final heap (for
-/// object class names).
-std::string formatRace(const Program &P, const Heap &TheHeap,
+/// Renders one race record using program metadata and, when available, the
+/// final heap (for object class names).  Replay runs have no heap — the
+/// trace carries only event ids — so \p TheHeap may be null, in which case
+/// objects are reported by index alone.
+std::string formatRace(const Program &P, const Heap *TheHeap,
                        const RaceRecord &Rec) {
   std::string Out = "race on ";
   ObjectId Obj = Rec.Location.object();
-  if (Obj.index() < TheHeap.size()) {
-    const HeapObject &H = TheHeap.object(Obj);
+  if (TheHeap && Obj.index() < TheHeap->size()) {
+    const HeapObject &H = TheHeap->object(Obj);
     if (H.IsArray) {
       Out += "array";
     } else if (H.IsClassStatics) {
@@ -123,6 +126,78 @@ std::string formatRace(const Program &P, const Heap &TheHeap,
   return Out;
 }
 
+/// Runs the static half of the deadlock co-analysis over \p Input, reads
+/// the dynamic cycles out of \p Deadlocks, and formats both into
+/// \p Result.  Shared between live runs and trace replay.
+void collectDeadlockResults(const Program &Input, DeadlockDetector &Deadlocks,
+                            PipelineResult &Result) {
+  // Static half of the co-analysis: whole-program candidates.
+  PointsToAnalysis PT(Input);
+  PT.run();
+  SingleInstanceAnalysis SI(Input, PT);
+  SI.run();
+  LockOrderAnalysis LO(Input, PT, SI);
+  LO.run();
+  Result.StaticDeadlockCandidates = LO.findCycles();
+  for (const StaticLockCycle &Cycle : Result.StaticDeadlockCandidates) {
+    std::string Line = "static deadlock candidate: allocation-site cycle";
+    for (AllocSiteId Site : Cycle.Sites) {
+      Line += " -> site #";
+      Line += std::to_string(Site.index());
+      ClassId Cls = Input.allocSite(Site).Class;
+      if (Cls.isValid()) {
+        Line += " (";
+        Line += Input.Names.text(Input.classDecl(Cls).Name);
+        Line += ')';
+      }
+    }
+    if (Cycle.Sites.size() == 1)
+      Line += " [two instances of one site in opposite orders]";
+    Result.FormattedDeadlocks.push_back(std::move(Line));
+  }
+
+  Result.Deadlocks = Deadlocks.findPotentialDeadlocks();
+  for (const DeadlockCycle &Cycle : Result.Deadlocks) {
+    std::string Line = "potential deadlock: lock cycle";
+    for (LockId L : Cycle.Locks) {
+      Line += " -> object #";
+      Line += std::to_string(L.index());
+    }
+    Line += " (threads";
+    for (ThreadId T : Cycle.Threads) {
+      Line += ' ';
+      Line += std::to_string(T.index());
+    }
+    Line += ")";
+    Result.FormattedDeadlocks.push_back(std::move(Line));
+  }
+}
+
+/// Builds the detection runtime \p Config asks for (serial RaceRuntime or
+/// ShardedRuntime) into whichever of \p Serial / \p Sharded applies and
+/// returns the active one as a RuntimeHooks sink.
+RuntimeHooks *makeDetectionRuntime(const ToolConfig &Config,
+                                   std::unique_ptr<RaceRuntime> &Serial,
+                                   std::unique_ptr<ShardedRuntime> &Sharded) {
+  if (Config.Shards >= 1) {
+    ShardedRuntimeOptions SOpts;
+    SOpts.NumShards = Config.Shards;
+    SOpts.UseCache = Config.UseCache;
+    SOpts.UseOwnership = Config.UseOwnership;
+    SOpts.FieldsMerged = Config.FieldsMerged;
+    SOpts.ModelJoin = Config.ModelJoin;
+    Sharded = std::make_unique<ShardedRuntime>(SOpts);
+    return Sharded.get();
+  }
+  RaceRuntimeOptions RTOpts;
+  RTOpts.UseCache = Config.UseCache;
+  RTOpts.UseOwnership = Config.UseOwnership;
+  RTOpts.FieldsMerged = Config.FieldsMerged;
+  RTOpts.ModelJoin = Config.ModelJoin;
+  Serial = std::make_unique<RaceRuntime>(RTOpts);
+  return Serial.get();
+}
+
 } // namespace
 
 PipelineResult herd::runPipeline(const Program &Input,
@@ -160,33 +235,32 @@ PipelineResult herd::runPipeline(const Program &Input,
   // both produce the identical race-report set for the same schedule.
   std::unique_ptr<RaceRuntime> Serial;
   std::unique_ptr<ShardedRuntime> Sharded;
-  RuntimeHooks *Detect = nullptr;
-  if (Config.Shards >= 1) {
-    ShardedRuntimeOptions SOpts;
-    SOpts.NumShards = Config.Shards;
-    SOpts.UseCache = Config.UseCache;
-    SOpts.UseOwnership = Config.UseOwnership;
-    SOpts.FieldsMerged = Config.FieldsMerged;
-    SOpts.ModelJoin = Config.ModelJoin;
-    Sharded = std::make_unique<ShardedRuntime>(SOpts);
-    Detect = Sharded.get();
-  } else {
-    RaceRuntimeOptions RTOpts;
-    RTOpts.UseCache = Config.UseCache;
-    RTOpts.UseOwnership = Config.UseOwnership;
-    RTOpts.FieldsMerged = Config.FieldsMerged;
-    RTOpts.ModelJoin = Config.ModelJoin;
-    Serial = std::make_unique<RaceRuntime>(RTOpts);
-    Detect = Serial.get();
-  }
+  RuntimeHooks *Detect = makeDetectionRuntime(Config, Serial, Sharded);
   DeadlockDetector Deadlocks;
-  FanoutHooks Fanout{Detect, &Deadlocks};
-  RuntimeHooks *Hooks = nullptr;
+  TraceWriter Writer;
+  if (!Config.RecordTracePath.empty()) {
+    Result.Trace = Writer.open(Config.RecordTracePath);
+    if (!Result.Trace.Ok) {
+      Result.Run.Error = "cannot record trace: " + Result.Trace.Error;
+      return Result;
+    }
+  }
+  // The interpreter gets whichever sinks this configuration wants: the
+  // race detector (only when the program is instrumented — "Base" runs
+  // produce no access events anyway but also skip sync tracking), the
+  // deadlock detector, and the trace recorder.
+  std::vector<RuntimeHooks *> SinkList;
   if (Config.Instrument)
-    Hooks = Config.DetectDeadlocks ? static_cast<RuntimeHooks *>(&Fanout)
-                                   : Detect;
-  else if (Config.DetectDeadlocks)
-    Hooks = &Deadlocks;
+    SinkList.push_back(Detect);
+  if (Config.DetectDeadlocks)
+    SinkList.push_back(&Deadlocks);
+  if (Writer.isOpen())
+    SinkList.push_back(&Writer);
+  FanoutHooks Fanout(SinkList);
+  RuntimeHooks *Hooks = SinkList.empty()      ? nullptr
+                        : SinkList.size() == 1 ? SinkList.front()
+                                                : static_cast<RuntimeHooks *>(
+                                                      &Fanout);
 
   InterpOptions IOpts;
   IOpts.Seed = Config.Seed;
@@ -209,49 +283,76 @@ PipelineResult herd::runPipeline(const Program &Input,
     Result.Reports = Serial->reporter();
   }
   for (const RaceRecord &Rec : Result.Reports.records())
-    Result.FormattedRaces.push_back(formatRace(P, Interp.heap(), Rec));
+    Result.FormattedRaces.push_back(formatRace(P, &Interp.heap(), Rec));
 
-  if (Config.DetectDeadlocks) {
-    // Static half of the co-analysis: whole-program candidates.
-    PointsToAnalysis PT(Input);
-    PT.run();
-    SingleInstanceAnalysis SI(Input, PT);
-    SI.run();
-    LockOrderAnalysis LO(Input, PT, SI);
-    LO.run();
-    Result.StaticDeadlockCandidates = LO.findCycles();
-    for (const StaticLockCycle &Cycle : Result.StaticDeadlockCandidates) {
-      std::string Line = "static deadlock candidate: allocation-site cycle";
-      for (AllocSiteId Site : Cycle.Sites) {
-        Line += " -> site #";
-        Line += std::to_string(Site.index());
-        ClassId Cls = Input.allocSite(Site).Class;
-        if (Cls.isValid()) {
-          Line += " (";
-          Line += Input.Names.text(Input.classDecl(Cls).Name);
-          Line += ')';
-        }
-      }
-      if (Cycle.Sites.size() == 1)
-        Line += " [two instances of one site in opposite orders]";
-      Result.FormattedDeadlocks.push_back(std::move(Line));
-    }
-
-    Result.Deadlocks = Deadlocks.findPotentialDeadlocks();
-    for (const DeadlockCycle &Cycle : Result.Deadlocks) {
-      std::string Line = "potential deadlock: lock cycle";
-      for (LockId L : Cycle.Locks) {
-        Line += " -> object #";
-        Line += std::to_string(L.index());
-      }
-      Line += " (threads";
-      for (ThreadId T : Cycle.Threads) {
-        Line += ' ';
-        Line += std::to_string(T.index());
-      }
-      Line += ")";
-      Result.FormattedDeadlocks.push_back(std::move(Line));
-    }
+  if (Writer.isOpen()) {
+    TraceResult Closed = Writer.close();
+    if (Result.Trace.Ok && !Closed.Ok)
+      Result.Trace = Closed;
+    Result.TraceRecords = Writer.recordsWritten();
+    Result.TraceBytes = Writer.bytesWritten();
   }
+
+  if (Config.DetectDeadlocks)
+    collectDeadlockResults(Input, Deadlocks, Result);
+  return Result;
+}
+
+PipelineResult herd::replayTracePipeline(const Program &Input,
+                                         const ToolConfig &Config,
+                                         const std::string &TracePath) {
+  using Clock = std::chrono::steady_clock;
+  PipelineResult Result;
+
+  // Build the same detection runtime a live run with this Config would
+  // use; the trace replaces the interpreter as the event source, so the
+  // compile-time phases are skipped entirely.
+  std::unique_ptr<RaceRuntime> Serial;
+  std::unique_ptr<ShardedRuntime> Sharded;
+  RuntimeHooks *Detect = makeDetectionRuntime(Config, Serial, Sharded);
+  DeadlockDetector Deadlocks;
+  std::vector<RuntimeHooks *> SinkList{Detect};
+  if (Config.DetectDeadlocks)
+    SinkList.push_back(&Deadlocks);
+  FanoutHooks Fanout(SinkList);
+  RuntimeHooks *Sink = SinkList.size() == 1
+                           ? SinkList.front()
+                           : static_cast<RuntimeHooks *>(&Fanout);
+
+  TraceReader Reader;
+  Result.Trace = Reader.open(TracePath);
+  if (Result.Trace.Ok) {
+    Clock::time_point T0 = Clock::now();
+    Result.Trace = Reader.replayInto(*Sink);
+    // Always close out the detectors — a sharded runtime must drain and
+    // join its workers even when the trace turned out to be malformed.
+    Sink->onRunEnd();
+    Result.ExecSeconds =
+        std::chrono::duration<double>(Clock::now() - T0).count();
+    Result.TraceRecords = Reader.recordsRead();
+    Result.TraceBytes =
+        tracefmt::HeaderBytes + Result.TraceRecords * tracefmt::RecordBytes;
+  }
+  Result.Run.Ok = Result.Trace.Ok;
+  if (!Result.Trace.Ok) {
+    Result.Run.Error = "trace replay failed: " + Result.Trace.Error;
+    return Result;
+  }
+  Result.Run.AccessEvents = Result.TraceRecords;
+
+  if (Sharded) {
+    Result.Stats = Sharded->stats();
+    Result.Reports = Sharded->reporter();
+    Result.ShardBreakdown = Sharded->shardStats();
+  } else {
+    Result.Stats = Serial->stats();
+    Result.Reports = Serial->reporter();
+  }
+  // No heap exists in a replay run; formatRace degrades to object indices.
+  for (const RaceRecord &Rec : Result.Reports.records())
+    Result.FormattedRaces.push_back(formatRace(Input, nullptr, Rec));
+
+  if (Config.DetectDeadlocks)
+    collectDeadlockResults(Input, Deadlocks, Result);
   return Result;
 }

@@ -24,6 +24,7 @@
 #include "detect/DeadlockDetector.h"
 #include "detect/RaceRuntime.h"
 #include "detect/ShardedRuntime.h"
+#include "detect/TraceFormat.h"
 #include "instr/Instrumenter.h"
 #include "runtime/Interpreter.h"
 
@@ -55,6 +56,11 @@ struct ToolConfig {
   /// Also run the lock-order deadlock detector (the Section 10 extension)
   /// over the same monitor event stream.
   bool DetectDeadlocks = false;
+
+  /// When non-empty, every runtime event is also streamed to this trace
+  /// file (docs/REPLAY.md) while the run executes.  The trace can later be
+  /// re-detected offline with replayTracePipeline / `herd --replay`.
+  std::string RecordTracePath;
 
   // --- Execution ---
   uint64_t Seed = 1;
@@ -93,11 +99,31 @@ struct PipelineResult {
   std::vector<DeadlockCycle> Deadlocks;
   std::vector<StaticLockCycle> StaticDeadlockCandidates;
   std::vector<std::string> FormattedDeadlocks;
+
+  /// Trace-subsystem outcome: the record/replay status (Ok when no trace
+  /// was involved), and how many records/bytes were written or read.
+  TraceResult Trace;
+  uint64_t TraceRecords = 0;
+  uint64_t TraceBytes = 0;
 };
 
 /// Runs the full pipeline on a copy of \p Input (the input program is not
 /// mutated).
 PipelineResult runPipeline(const Program &Input, const ToolConfig &Config);
+
+/// Re-runs detection over a previously recorded trace (docs/REPLAY.md)
+/// instead of executing the program.  The trace supplies the complete
+/// runtime event stream, so the compile-time knobs of \p Config are
+/// ignored; the runtime knobs (UseCache, UseOwnership, FieldsMerged,
+/// ModelJoin, Shards, DetectDeadlocks) select the detection configuration
+/// exactly as in a live run.  \p Input is only consulted for report
+/// formatting (field/site names) and the static half of the deadlock
+/// co-analysis; pass the same program that was recorded.  On a malformed
+/// or unreadable trace the result carries `Trace.Ok == false` with a
+/// diagnostic and `Run.Ok == false`.
+PipelineResult replayTracePipeline(const Program &Input,
+                                   const ToolConfig &Config,
+                                   const std::string &TracePath);
 
 } // namespace herd
 

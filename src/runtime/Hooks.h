@@ -20,6 +20,7 @@
 #include "support/Ids.h"
 
 #include <initializer_list>
+#include <utility>
 #include <vector>
 
 namespace herd {
@@ -91,6 +92,11 @@ class FanoutHooks : public RuntimeHooks {
 public:
   explicit FanoutHooks(std::initializer_list<RuntimeHooks *> List)
       : Sinks(List) {}
+
+  /// For callers that assemble the sink list at runtime (e.g. the pipeline
+  /// adding a trace recorder next to the detector).
+  explicit FanoutHooks(std::vector<RuntimeHooks *> List)
+      : Sinks(std::move(List)) {}
 
   void onThreadCreate(ThreadId Child, ThreadId Parent,
                       ObjectId ThreadObj) override {

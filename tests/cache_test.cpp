@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "detect/AccessCache.h"
+#include "support/Rng.h"
 
 #include <gtest/gtest.h>
 
@@ -129,6 +130,37 @@ TEST(AccessCacheTest, ClearEmptiesEverything) {
   Cache.clear();
   for (uint32_t Obj = 0; Obj != 100; ++Obj)
     EXPECT_FALSE(Cache.lookup(keyOf(Obj)));
+}
+
+TEST(AccessCacheTest, RandomizedOperationsPreserveListIntegrity) {
+  // Randomized interleavings of every mutating operation, with the full
+  // structural invariant re-checked after each step: list heads reach only
+  // valid entries tagged with that lock, Prev/Next agree, no cycles, no
+  // stale link state on evicted slots.  The key pool is small relative to
+  // the 256 direct-mapped slots so conflict evictions are frequent.
+  for (uint64_t Seed : {1ull, 7ull, 42ull, 1234ull}) {
+    AccessCache Cache;
+    Rng R(Seed);
+    for (int Step = 0; Step != 5000; ++Step) {
+      uint64_t Op = R.nextBelow(100);
+      if (Op < 55) {
+        LockId Lock = R.nextChance(1, 4)
+                          ? LockId::invalid()
+                          : LockId(uint32_t(R.nextBelow(6)));
+        Cache.insert(keyOf(uint32_t(R.nextBelow(512))), Lock);
+      } else if (Op < 70) {
+        Cache.evictLock(LockId(uint32_t(R.nextBelow(6))));
+      } else if (Op < 85) {
+        Cache.evictKey(keyOf(uint32_t(R.nextBelow(512))));
+      } else {
+        Cache.lookup(keyOf(uint32_t(R.nextBelow(512))));
+      }
+      ASSERT_TRUE(Cache.checkListIntegrity())
+          << "seed " << Seed << " step " << Step;
+    }
+    Cache.clear();
+    ASSERT_TRUE(Cache.checkListIntegrity()) << "after clear, seed " << Seed;
+  }
 }
 
 TEST(AccessCacheTest, ManyInsertionsUnderManyLocksStayConsistent) {

@@ -76,10 +76,11 @@ TEST(EventLogTest, SerializeRoundTrips) {
   ASSERT_GT(Log.size(), 0u);
 
   std::vector<uint8_t> Bytes = Log.serialize();
-  EXPECT_EQ(Bytes.size(), 8 + Log.size() * EventLog::logRecordBytes());
+  EXPECT_EQ(Bytes.size(),
+            tracefmt::HeaderBytes + Log.size() * EventLog::logRecordBytes());
 
   EventLog Restored;
-  ASSERT_TRUE(EventLog::deserialize(Bytes, Restored));
+  ASSERT_TRUE(EventLog::deserialize(Bytes, Restored).Ok);
   ASSERT_EQ(Restored.size(), Log.size());
 
   // The restored log drives a detector identically.
@@ -97,14 +98,14 @@ TEST(EventLogTest, DeserializeRejectsCorruptInput) {
 
   EventLog Out;
   std::vector<uint8_t> Truncated(Bytes.begin(), Bytes.end() - 1);
-  EXPECT_FALSE(EventLog::deserialize(Truncated, Out));
+  EXPECT_FALSE(EventLog::deserialize(Truncated, Out).Ok);
 
   std::vector<uint8_t> BadKind = Bytes;
-  BadKind[8] = 0xFF;
-  EXPECT_FALSE(EventLog::deserialize(BadKind, Out));
+  BadKind[tracefmt::HeaderBytes] = 0xFF; // first record's kind byte
+  EXPECT_FALSE(EventLog::deserialize(BadKind, Out).Ok);
 
-  EXPECT_FALSE(EventLog::deserialize({1, 2, 3}, Out));
-  EXPECT_TRUE(EventLog::deserialize(Bytes, Out));
+  EXPECT_FALSE(EventLog::deserialize({1, 2, 3}, Out).Ok);
+  EXPECT_TRUE(EventLog::deserialize(Bytes, Out).Ok);
 }
 
 //===----------------------------------------------------------------------===

@@ -15,8 +15,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "baselines/NaiveDetector.h"
+#include "detect/EventLog.h"
 #include "detect/RaceRuntime.h"
 #include "runtime/Interpreter.h"
+#include "support/Rng.h"
 #include "workloads/Workloads.h"
 #include "TestPrograms.h"
 
@@ -134,6 +136,66 @@ TEST(ReplayTest, EveryWorkloadReplaysExactly) {
     EXPECT_EQ(Replayed.InstructionsExecuted, Original.InstructionsExecuted)
         << W.Name;
   }
+}
+
+TEST(TraceFuzzTest, MutatedBuffersNeverCrashTheDecoder) {
+  // Build a healthy serialized log from a real execution, then hammer the
+  // decoder with random corruptions: byte flips, truncations, extensions.
+  // Every outcome must be a clean accept or a diagnosed reject — never a
+  // crash, sanitizer report, or silent out-of-bounds read.
+  CounterProgram CP = buildCounter(/*Locked=*/false, 10);
+  EventLog Log;
+  InterpOptions Opts;
+  Opts.TraceEveryAccess = true;
+  Interpreter Interp(CP.P, &Log, Opts);
+  ASSERT_TRUE(Interp.run().Ok);
+  ASSERT_GT(Log.size(), 0u);
+  std::vector<uint8_t> Good = Log.serialize();
+
+  Rng R(0xF00Dull);
+  uint64_t Accepted = 0, Rejected = 0;
+  for (int Iter = 0; Iter != 2000; ++Iter) {
+    std::vector<uint8_t> Bytes = Good;
+    if (R.nextChance(1, 4)) {
+      // Structural damage: resize to an arbitrary nearby length.
+      size_t NewSize = R.nextBelow(Good.size() + 64);
+      Bytes.resize(NewSize, uint8_t(R.nextBelow(256)));
+    }
+    uint64_t Flips = 1 + R.nextBelow(8);
+    for (uint64_t F = 0; F != Flips && !Bytes.empty(); ++F) {
+      size_t Pos = size_t(R.nextBelow(Bytes.size()));
+      Bytes[Pos] ^= uint8_t(1 + R.nextBelow(255));
+    }
+
+    EventLog Out;
+    TraceResult TR = EventLog::deserialize(Bytes, Out);
+    if (TR.Ok) {
+      ++Accepted;
+      // Accepted buffers must be in canonical form: re-serializing the
+      // decoded log reproduces the input bytes exactly.
+      EXPECT_EQ(Out.serialize(), Bytes);
+    } else {
+      ++Rejected;
+      EXPECT_FALSE(TR.Error.empty());
+      EXPECT_EQ(Out.size(), 0u) << "failed deserialize must leave no "
+                                   "partial records behind";
+    }
+  }
+  // Random damage to a checksummed-nothing format occasionally leaves a
+  // valid trace (flags/id bytes are free-form), but most mutations must
+  // trip a check.
+  EXPECT_GT(Rejected, 0u);
+  SUCCEED() << Accepted << " accepted, " << Rejected << " rejected";
+}
+
+TEST(TraceFuzzTest, EmptyAndHeaderOnlyBuffers) {
+  EventLog Out;
+  EXPECT_FALSE(EventLog::deserialize({}, Out).Ok);
+
+  // A bare header is a valid, empty trace.
+  EventLog Empty;
+  EXPECT_TRUE(EventLog::deserialize(Empty.serialize(), Out).Ok);
+  EXPECT_EQ(Out.size(), 0u);
 }
 
 TEST(ReplayTest, DivergentTraceIsARuntimeError) {

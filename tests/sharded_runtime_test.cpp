@@ -17,15 +17,19 @@
 #include "FuzzPrograms.h"
 #include "TestPrograms.h"
 #include "detect/Detector.h"
+#include "detect/EventBatch.h"
 #include "detect/ShardedRuntime.h"
 #include "herd/Pipeline.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 
 using namespace herd;
 
@@ -173,6 +177,86 @@ TEST(ShardedRuntimeTest, ShardAssignmentIsStableAndExhaustive) {
       EXPECT_EQ(S, ShardPool::shardOf(Key, Shards));
     }
   }
+}
+
+TEST(ShardedRuntimeTest, ShardAssignmentSpreadsStridedKeys) {
+  // Regression for the unmixed `raw % NumShards` assignment: location keys
+  // produced by real programs are strided (object ids in the high word,
+  // field ids in the low), so any stride sharing a factor with the shard
+  // count piled every key onto a few shards.  With the mixed hash no shard
+  // may receive more than twice its fair share for any strided pattern.
+  constexpr uint32_t NumKeys = 4096;
+  for (uint32_t Shards : {3u, 4u, 8u}) {
+    for (uint64_t Stride : {uint64_t(Shards), uint64_t(2 * Shards),
+                            uint64_t(8), uint64_t(64), uint64_t(1) << 32}) {
+      std::vector<uint32_t> Counts(Shards, 0);
+      for (uint64_t I = 0; I != NumKeys; ++I) {
+        uint32_t S =
+            ShardPool::shardOf(LocationKey::fromRaw(I * Stride), Shards);
+        ASSERT_LT(S, Shards);
+        ++Counts[S];
+      }
+      uint32_t FairShare = NumKeys / Shards;
+      for (uint32_t S = 0; S != Shards; ++S)
+        EXPECT_LE(Counts[S], 2 * FairShare)
+            << "shard " << S << " of " << Shards << ", stride " << Stride;
+    }
+  }
+}
+
+TEST(BoundedBatchQueueTest, StopUnblocksABlockedProducer) {
+  // Regression for the producer deadlock: push() used to wait on NotFull
+  // with a predicate that never checked Stopped, so a producer blocked on
+  // backpressure slept forever once the consumer was gone.
+  BoundedBatchQueue Queue(/*MaxBatches=*/1);
+  EventBatch First;
+  First.Events.resize(1);
+  ASSERT_TRUE(Queue.push(std::move(First))); // fill the queue; no consumer
+
+  std::atomic<bool> SecondPushReturned{false};
+  std::atomic<bool> SecondPushResult{true};
+  std::thread Producer([&] {
+    EventBatch Second;
+    Second.Events.resize(1);
+    SecondPushResult = Queue.push(std::move(Second)); // blocks: queue full
+    SecondPushReturned = true;
+  });
+
+  // Give the producer time to actually block on the full queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(SecondPushReturned);
+
+  Queue.stop();
+  Producer.join(); // without the fix this join hangs (ctest TIMEOUT)
+  EXPECT_TRUE(SecondPushReturned);
+  EXPECT_FALSE(SecondPushResult) << "a stopped push must report rejection";
+}
+
+TEST(BoundedBatchQueueTest, PushAfterStopIsRejectedImmediately) {
+  BoundedBatchQueue Queue(/*MaxBatches=*/4);
+  Queue.stop();
+  EventBatch Batch;
+  Batch.Events.resize(1);
+  EXPECT_FALSE(Queue.push(std::move(Batch)));
+}
+
+TEST(BoundedBatchQueueTest, StopDrainsRemainingBatchesToTheConsumer) {
+  // stop() must not lose batches already queued: the consumer keeps
+  // popping until empty, and only then sees the stop.
+  BoundedBatchQueue Queue(/*MaxBatches=*/8);
+  for (int I = 0; I != 3; ++I) {
+    EventBatch Batch;
+    Batch.Events.resize(size_t(I) + 1);
+    ASSERT_TRUE(Queue.push(std::move(Batch)));
+  }
+  Queue.stop();
+  EventBatch Out;
+  int Popped = 0;
+  while (Queue.pop(Out)) {
+    ++Popped;
+    Queue.completeOne();
+  }
+  EXPECT_EQ(Popped, 3);
 }
 
 TEST(ShardedRuntimeTest, ThroughputBenchPreconditionHolds) {

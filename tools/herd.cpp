@@ -17,6 +17,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "baselines/EraserDetector.h"
+#include "baselines/NaiveDetector.h"
+#include "baselines/VectorClockDetector.h"
+#include "detect/TraceFile.h"
 #include "frontend/Frontend.h"
 #include "herd/Pipeline.h"
 #include "ir/Printer.h"
@@ -43,6 +47,13 @@ void usage() {
       "  --shards=<n>      run the sharded detection runtime with n shard\n"
       "                    workers (default: serial runtime)\n"
       "  --sweep=<n>       run n seeds and summarize the reports\n"
+      "  --record=<file>   also stream the run's events to a trace file\n"
+      "                    (docs/REPLAY.md)\n"
+      "  --replay=<file>   re-detect a recorded trace instead of executing\n"
+      "                    the program (the program is still needed for\n"
+      "                    report formatting)\n"
+      "  --detector=<name> detector fed during --replay: herd (default) |\n"
+      "                    eraser | vectorclock | naive\n"
       "  --deadlocks       also run the lock-order deadlock detector\n"
       "  --stats           print pipeline statistics\n"
       "  --dump-ir         print the lowered MiniJ IR and exit\n"
@@ -104,6 +115,64 @@ void printStats(const PipelineResult &R) {
                 S.MaxQueueDepthBatches, S.Detector.TrieNodes,
                 (unsigned long long)S.Detector.RacesReported);
   }
+  if (R.TraceRecords != 0 || R.TraceBytes != 0)
+    std::printf("trace:    %llu records, %llu bytes\n",
+                (unsigned long long)R.TraceRecords,
+                (unsigned long long)R.TraceBytes);
+}
+
+/// Renders a racy location for the baseline replay report (the baselines
+/// report per-location, not per-access-pair).
+std::string formatLocation(const Program &P, LocationKey Loc) {
+  std::string Out = "race on object #";
+  Out += std::to_string(Loc.object().index());
+  uint32_t FieldBits = uint32_t(Loc.raw() & 0xFFFFFFFF);
+  if (FieldBits < P.numFields()) {
+    Out += " field ";
+    Out += P.Names.text(P.field(FieldId(FieldBits)).Name);
+  }
+  return Out;
+}
+
+/// `herd --replay --detector=<baseline>`: feed the trace to one of the
+/// comparison detectors and report its racy locations.
+int replayBaseline(const Program &P, const std::string &TracePath,
+                   const std::string &Detector) {
+  std::set<LocationKey> Racy;
+  TraceReader Reader;
+  TraceResult TR = Reader.open(TracePath);
+  if (TR.Ok) {
+    if (Detector == "eraser") {
+      EraserDetector D;
+      TR = Reader.replayInto(D);
+      D.onRunEnd();
+      Racy = D.reportedLocations();
+    } else if (Detector == "vectorclock") {
+      VectorClockDetector D;
+      TR = Reader.replayInto(D);
+      D.onRunEnd();
+      Racy = D.reportedLocations();
+    } else { // naive
+      NaiveDetector D;
+      TR = Reader.replayInto(D);
+      D.onRunEnd();
+      Racy = D.racyLocations();
+    }
+  }
+  if (!TR.Ok) {
+    std::fprintf(stderr, "herd: trace replay failed: %s\n", TR.Error.c_str());
+    return 2;
+  }
+  std::printf("replayed %llu trace records through %s\n",
+              (unsigned long long)Reader.recordsRead(), Detector.c_str());
+  if (Racy.empty()) {
+    std::printf("no dataraces reported\n");
+    return 0;
+  }
+  std::printf("-- dataraces --\n");
+  for (LocationKey Loc : Racy)
+    std::printf("%s\n", formatLocation(P, Loc).c_str());
+  return 1;
 }
 
 } // namespace
@@ -116,6 +185,9 @@ int main(int argc, char **argv) {
 
   std::string Path;
   std::string WorkloadName;
+  std::string RecordPath;
+  std::string ReplayPath;
+  std::string Detector = "herd";
   ToolConfig Config = ToolConfig::full();
   uint64_t Seed = 1;
   uint32_t Shards = 0;
@@ -146,6 +218,26 @@ int main(int argc, char **argv) {
       Sweep = std::atoi(Arg.c_str() + 8);
     } else if (Arg.rfind("--workload=", 0) == 0) {
       WorkloadName = Arg.substr(11);
+    } else if (Arg.rfind("--record=", 0) == 0) {
+      RecordPath = Arg.substr(9);
+      if (RecordPath.empty()) {
+        std::fprintf(stderr, "herd: --record expects a file path\n");
+        return 2;
+      }
+    } else if (Arg.rfind("--replay=", 0) == 0) {
+      ReplayPath = Arg.substr(9);
+      if (ReplayPath.empty()) {
+        std::fprintf(stderr, "herd: --replay expects a file path\n");
+        return 2;
+      }
+    } else if (Arg.rfind("--detector=", 0) == 0) {
+      Detector = Arg.substr(11);
+      if (Detector != "herd" && Detector != "eraser" &&
+          Detector != "vectorclock" && Detector != "naive") {
+        std::fprintf(stderr, "herd: unknown detector '%s'\n",
+                     Detector.c_str());
+        return 2;
+      }
     } else if (Arg == "--deadlocks") {
       Deadlocks = true;
     } else if (Arg == "--stats") {
@@ -167,7 +259,21 @@ int main(int argc, char **argv) {
     usage();
     return 2;
   }
+  if (!ReplayPath.empty() && (Sweep > 0 || !RecordPath.empty())) {
+    std::fprintf(stderr,
+                 "herd: --replay cannot be combined with --sweep/--record\n");
+    return 2;
+  }
+  if (!RecordPath.empty() && Sweep > 0) {
+    std::fprintf(stderr, "herd: --record cannot be combined with --sweep\n");
+    return 2;
+  }
+  if (Detector != "herd" && ReplayPath.empty()) {
+    std::fprintf(stderr, "herd: --detector requires --replay\n");
+    return 2;
+  }
   Config.Shards = Shards;
+  Config.RecordTracePath = RecordPath;
 
   CompileResult Compiled;
   if (!WorkloadName.empty()) {
@@ -205,6 +311,37 @@ int main(int argc, char **argv) {
     return 0;
   }
 
+  if (!ReplayPath.empty()) {
+    if (Detector != "herd")
+      return replayBaseline(Compiled.P, ReplayPath, Detector);
+    Config.Seed = Seed;
+    Config.DetectDeadlocks = Deadlocks;
+    PipelineResult R = replayTracePipeline(Compiled.P, Config, ReplayPath);
+    if (!R.Trace.Ok) {
+      std::fprintf(stderr, "herd: trace replay failed: %s\n",
+                   R.Trace.Error.c_str());
+      return 2;
+    }
+    std::printf("replayed %llu trace records\n",
+                (unsigned long long)R.TraceRecords);
+    if (R.FormattedRaces.empty()) {
+      std::printf("no dataraces reported\n");
+    } else {
+      std::printf("-- dataraces --\n");
+      for (const std::string &Line : R.FormattedRaces)
+        std::printf("%s\n", Line.c_str());
+    }
+    if (!R.FormattedDeadlocks.empty()) {
+      std::printf("-- potential deadlocks --\n");
+      for (const std::string &Line : R.FormattedDeadlocks)
+        std::printf("%s\n", Line.c_str());
+    }
+    if (Stats)
+      printStats(R);
+    bool Clean = R.FormattedRaces.empty() && R.FormattedDeadlocks.empty();
+    return Clean ? 0 : 1;
+  }
+
   if (Sweep > 0) {
     std::set<std::string> AllRaces;
     int SchedulesWithReports = 0;
@@ -230,10 +367,19 @@ int main(int argc, char **argv) {
   Config.Seed = Seed;
   Config.DetectDeadlocks = Deadlocks;
   PipelineResult R = runPipeline(Compiled.P, Config);
+  if (!R.Trace.Ok) {
+    std::fprintf(stderr, "herd: trace recording failed: %s\n",
+                 R.Trace.Error.c_str());
+    return 2;
+  }
   if (!R.Run.Ok) {
     std::fprintf(stderr, "herd: runtime error: %s\n", R.Run.Error.c_str());
     return 1;
   }
+  if (!RecordPath.empty())
+    std::printf("recorded %llu trace records (%llu bytes) to %s\n",
+                (unsigned long long)R.TraceRecords,
+                (unsigned long long)R.TraceBytes, RecordPath.c_str());
   if (!R.Run.Output.empty()) {
     std::printf("-- program output --\n");
     for (int64_t V : R.Run.Output)
