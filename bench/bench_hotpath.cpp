@@ -1,0 +1,470 @@
+//===- bench/bench_hotpath.cpp - Detector hot-path regression harness -----==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The allocation/throughput regression harness for the detector hot path
+/// (docs/PERFORMANCE.md).  Records a set of traces once — a synthetic
+/// detector-bound "refhot" stream plus the five benchmark replicas — then
+/// replays each through the serial RaceRuntime and the ShardedRuntime,
+/// measuring events/sec, bytes/event on disk, and allocations/event via a
+/// counting global allocator.  Every trace is replayed three times per
+/// runtime: the cold pass builds the access structures, the warm pass
+/// flushes the ownership filter's first-touch shadow (accesses it absorbed
+/// before their locations went shared), and the steady pass measures the
+/// converged steady state — which the interned/arena'd hot path keeps
+/// allocation-free.  The whole three-pass sequence is repeated --reps
+/// times on a fresh runtime each and the best throughput per pass is
+/// reported: on a shared/1-core box, run-to-run scheduler noise easily
+/// reaches 2x, and best-of-N is the standard way to recover the machine's
+/// actual capability from under it.
+///
+/// The refhot stream is crafted to defeat the per-thread access caches
+/// (every access happens under a lock whose release evicts it) so nearly
+/// every event reaches the trie detector — the paper's dominant cost and
+/// the path this harness guards.
+///
+/// Deliberately restricted to APIs that predate the hot-path rewrite so
+/// the same source measures both sides of an A/B:
+///
+///   git stash; cmake --build build -j --target bench_hotpath
+///   ./build/bench/bench_hotpath --out=/tmp/old.json
+///   git stash pop; cmake --build build -j --target bench_hotpath
+///   ./build/bench/bench_hotpath --out=/tmp/new.json
+///
+/// `--smoke` shrinks every trace for CI; `--reps=N` sets the repetition
+/// count (default 3, 1 under --smoke); `--out=PATH` writes the JSON report
+/// (the checked-in BENCH_hotpath.json is a full run).
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/RaceRuntime.h"
+#include "detect/ShardedRuntime.h"
+#include "detect/TraceFile.h"
+#include "runtime/Interpreter.h"
+#include "workloads/Workloads.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+using namespace herd;
+
+//===----------------------------------------------------------------------===
+// Counting allocator: every global new/delete in the process, including the
+// shard worker threads, lands here.  Counters are relaxed atomics; the
+// measurement windows are bracketed by joins/drains, so totals are exact.
+//===----------------------------------------------------------------------===
+
+namespace {
+std::atomic<uint64_t> GAllocCalls{0};
+std::atomic<uint64_t> GAllocBytes{0};
+
+void *countedAlloc(std::size_t Size) {
+  void *P = std::malloc(Size ? Size : 1);
+  if (!P)
+    std::abort();
+  GAllocCalls.fetch_add(1, std::memory_order_relaxed);
+  GAllocBytes.fetch_add(Size, std::memory_order_relaxed);
+  return P;
+}
+} // namespace
+
+void *operator new(std::size_t Size) { return countedAlloc(Size); }
+void *operator new[](std::size_t Size) { return countedAlloc(Size); }
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+
+void *operator new(std::size_t Size, std::align_val_t Align) {
+  std::size_t A = std::size_t(Align);
+  void *P = std::aligned_alloc(A, (Size + A - 1) / A * A);
+  if (!P)
+    std::abort();
+  GAllocCalls.fetch_add(1, std::memory_order_relaxed);
+  GAllocBytes.fetch_add(Size, std::memory_order_relaxed);
+  return P;
+}
+void *operator new[](std::size_t Size, std::align_val_t Align) {
+  return operator new(Size, Align);
+}
+void operator delete(void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+void operator delete[](void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+//===----------------------------------------------------------------------===
+// The synthetic reference stream
+//===----------------------------------------------------------------------===
+
+/// Shape of the detector-bound reference stream.  Every access happens
+/// under at least one real lock, so the per-lock cache eviction at the
+/// matching monitorexit guarantees the next round misses the cache; the
+/// location window strides through a footprint far larger than the cache,
+/// and threads overlap on the same objects under differing locksets, so
+/// the tries see growth, weaker-than filtering, and genuine races.
+struct RefParams {
+  uint32_t Threads = 8;  ///< worker threads (ids 1..Threads; 0 is main)
+  uint32_t Locks = 16;   ///< real lock universe
+  uint32_t Objects = 4096;
+  uint32_t Fields = 4;
+  uint32_t Window = 64;  ///< accesses per locked region
+  uint32_t Rounds = 3600;
+};
+
+/// Emits the reference stream into \p Sink (a TraceWriter when recording).
+/// Fully deterministic arithmetic — no RNG — so old and new builds replay
+/// the byte-identical trace.
+void emitReferenceStream(RuntimeHooks &Sink, const RefParams &P) {
+  for (uint32_t T = 1; T <= P.Threads; ++T)
+    Sink.onThreadCreate(ThreadId(T), ThreadId(0), ObjectId(T));
+
+  for (uint32_t Round = 0; Round != P.Rounds; ++Round) {
+    for (uint32_t T = 1; T <= P.Threads; ++T) {
+      LockId Outer = LockId((Round + T) % P.Locks);
+      LockId Inner = LockId((Round * 5 + T * 7 + 1) % P.Locks);
+      bool Nest = ((Round + T) % 3 == 0) && Inner != Outer;
+
+      Sink.onMonitorEnter(ThreadId(T), Outer, /*Recursive=*/false);
+      if (Nest)
+        Sink.onMonitorEnter(ThreadId(T), Inner, /*Recursive=*/false);
+
+      for (uint32_t I = 0; I != P.Window; ++I) {
+        uint32_t Obj = (Round * 97 + T * 31 + I * 13) % P.Objects;
+        uint32_t Field = I % P.Fields;
+        AccessKind Kind =
+            (I + T) % 3 == 0 ? AccessKind::Write : AccessKind::Read;
+        Sink.onAccess(ThreadId(T), LocationKey::forField(ObjectId(Obj),
+                                                         FieldId(Field)),
+                      Kind, SiteId(I % 32));
+      }
+
+      if (Nest)
+        Sink.onMonitorExit(ThreadId(T), Inner, /*StillHeld=*/false);
+      Sink.onMonitorExit(ThreadId(T), Outer, /*StillHeld=*/false);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Measurement plumbing
+//===----------------------------------------------------------------------===
+
+struct PassResult {
+  std::string Runtime; ///< "serial" or "sharded<N>"
+  std::string Pass;    ///< "cold", "warm" or "steady"
+  double Seconds = 0;
+  double EventsPerSec = 0;
+  uint64_t Allocs = 0;
+  uint64_t AllocBytes = 0;
+  double AllocsPerEvent = 0;
+  double AllocBytesPerEvent = 0;
+};
+
+struct TraceReport {
+  std::string Name;
+  uint64_t Events = 0;
+  uint64_t FileBytes = 0;
+  double BytesPerEvent = 0;
+  std::vector<PassResult> Passes;
+  bool Agreement = true; ///< all runtimes report the same racy locations
+};
+
+/// Replays \p Path once into \p Sink, timing and alloc-counting the pass.
+/// \p Barrier runs inside the measured window (the sharded drain).
+template <typename Barrier>
+bool measuredReplay(const std::string &Path, RuntimeHooks &Sink,
+                    uint64_t Events, const char *RuntimeName,
+                    const char *PassName, Barrier RunBarrier,
+                    std::vector<PassResult> &Out) {
+  TraceReader Reader;
+  if (TraceResult TR = Reader.open(Path); !TR.Ok) {
+    std::fprintf(stderr, "open %s: %s\n", Path.c_str(), TR.Error.c_str());
+    return false;
+  }
+  uint64_t Allocs0 = GAllocCalls.load(std::memory_order_relaxed);
+  uint64_t Bytes0 = GAllocBytes.load(std::memory_order_relaxed);
+  auto T0 = std::chrono::steady_clock::now();
+  if (TraceResult TR = Reader.replayInto(Sink); !TR.Ok) {
+    std::fprintf(stderr, "replay %s: %s\n", Path.c_str(), TR.Error.c_str());
+    return false;
+  }
+  RunBarrier();
+  double Seconds = secondsSince(T0);
+  uint64_t Allocs = GAllocCalls.load(std::memory_order_relaxed) - Allocs0;
+  uint64_t Bytes = GAllocBytes.load(std::memory_order_relaxed) - Bytes0;
+
+  PassResult R;
+  R.Runtime = RuntimeName;
+  R.Pass = PassName;
+  R.Seconds = Seconds;
+  R.EventsPerSec = Seconds > 0 ? double(Events) / Seconds : 0.0;
+  R.Allocs = Allocs;
+  R.AllocBytes = Bytes;
+  R.AllocsPerEvent = Events ? double(Allocs) / double(Events) : 0.0;
+  R.AllocBytesPerEvent = Events ? double(Bytes) / double(Events) : 0.0;
+  Out.push_back(R);
+  return true;
+}
+
+/// Merges one repetition's passes into the running best-of-N: per pass,
+/// keep the rep with the higher throughput (and its alloc counters — the
+/// structure-building work is identical across reps, so the counters of
+/// the fastest rep are as representative as any).
+void keepBest(std::vector<PassResult> &Best, std::vector<PassResult> &Rep) {
+  if (Best.empty()) {
+    Best = std::move(Rep);
+    return;
+  }
+  for (size_t I = 0; I != Best.size() && I != Rep.size(); ++I)
+    if (Rep[I].EventsPerSec > Best[I].EventsPerSec)
+      Best[I] = Rep[I];
+}
+
+void printPass(const std::string &Trace, const PassResult &R) {
+  std::printf("%-8s %-9s %-5s %12.0f %10.4f %12llu %10.3f %10.1f\n",
+              Trace.c_str(), R.Runtime.c_str(), R.Pass.c_str(),
+              R.EventsPerSec, R.Seconds, (unsigned long long)R.Allocs,
+              R.AllocsPerEvent, R.AllocBytesPerEvent);
+}
+
+void writeJson(std::FILE *F, const std::vector<TraceReport> &Reports,
+               bool Smoke, uint32_t Reps) {
+  std::fprintf(F, "{\n");
+  std::fprintf(F, "  \"schema\": \"herd-bench-hotpath-v1\",\n");
+  std::fprintf(F, "  \"smoke\": %s,\n", Smoke ? "true" : "false");
+  std::fprintf(F, "  \"reps\": %u,\n", Reps);
+  std::fprintf(F, "  \"traces\": [\n");
+  for (size_t I = 0; I != Reports.size(); ++I) {
+    const TraceReport &T = Reports[I];
+    std::fprintf(F, "    {\n");
+    std::fprintf(F, "      \"name\": \"%s\",\n", T.Name.c_str());
+    std::fprintf(F, "      \"events\": %llu,\n",
+                 (unsigned long long)T.Events);
+    std::fprintf(F, "      \"file_bytes\": %llu,\n",
+                 (unsigned long long)T.FileBytes);
+    std::fprintf(F, "      \"bytes_per_event\": %.2f,\n", T.BytesPerEvent);
+    std::fprintf(F, "      \"agreement\": %s,\n",
+                 T.Agreement ? "true" : "false");
+    std::fprintf(F, "      \"passes\": [\n");
+    for (size_t J = 0; J != T.Passes.size(); ++J) {
+      const PassResult &P = T.Passes[J];
+      std::fprintf(F,
+                   "        {\"runtime\": \"%s\", \"pass\": \"%s\", "
+                   "\"seconds\": %.6f, \"events_per_sec\": %.0f, "
+                   "\"allocs\": %llu, \"allocs_per_event\": %.4f, "
+                   "\"alloc_bytes_per_event\": %.2f}%s\n",
+                   P.Runtime.c_str(), P.Pass.c_str(), P.Seconds,
+                   P.EventsPerSec, (unsigned long long)P.Allocs,
+                   P.AllocsPerEvent, P.AllocBytesPerEvent,
+                   J + 1 != T.Passes.size() ? "," : "");
+    }
+    std::fprintf(F, "      ]\n");
+    std::fprintf(F, "    }%s\n", I + 1 != Reports.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n");
+  std::fprintf(F, "}\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  uint32_t Reps = 0; // 0 = default (3, or 1 under --smoke)
+  std::string OutPath;
+  for (int I = 1; I != argc; ++I) {
+    if (std::strcmp(argv[I], "--smoke") == 0) {
+      Smoke = true;
+    } else if (std::strncmp(argv[I], "--out=", 6) == 0) {
+      OutPath = argv[I] + 6;
+    } else if (std::strncmp(argv[I], "--reps=", 7) == 0) {
+      long N = std::atol(argv[I] + 7);
+      if (N < 1 || N > 100) {
+        std::fprintf(stderr, "--reps must be in [1, 100]\n");
+        return 2;
+      }
+      Reps = uint32_t(N);
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--reps=N] [--out=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (Reps == 0)
+    Reps = Smoke ? 1 : 3;
+
+  struct Recorded {
+    std::string Name;
+    std::string Path;
+    uint64_t Events;
+    uint64_t Bytes;
+  };
+  std::vector<Recorded> Traces;
+
+  // Record the synthetic detector-bound reference stream.
+  {
+    RefParams P;
+    if (Smoke)
+      P.Rounds = 150;
+    std::string Path = "/tmp/herd_hotpath_refhot.trace";
+    TraceWriter Writer;
+    if (TraceResult TR = Writer.open(Path); !TR.Ok) {
+      std::fprintf(stderr, "refhot: %s\n", TR.Error.c_str());
+      return 1;
+    }
+    emitReferenceStream(Writer, P);
+    if (TraceResult TR = Writer.close(); !TR.Ok) {
+      std::fprintf(stderr, "refhot: %s\n", TR.Error.c_str());
+      return 1;
+    }
+    Traces.push_back(
+        {"refhot", Path, Writer.recordsWritten(), Writer.bytesWritten()});
+  }
+
+  // Record the five benchmark replicas through the interpreter.
+  for (Workload &W : buildAllWorkloads(Smoke ? 1 : 4)) {
+    std::string Path = "/tmp/herd_hotpath_" + W.Name + ".trace";
+    TraceWriter Writer;
+    if (TraceResult TR = Writer.open(Path); !TR.Ok) {
+      std::fprintf(stderr, "%s: %s\n", W.Name.c_str(), TR.Error.c_str());
+      return 1;
+    }
+    InterpOptions Opts;
+    Opts.TraceEveryAccess = true;
+    Interpreter Interp(W.P, &Writer, Opts);
+    InterpResult R = Interp.run();
+    if (TraceResult TR = Writer.close(); !R.Ok || !TR.Ok) {
+      std::fprintf(stderr, "%s failed: %s%s\n", W.Name.c_str(),
+                   R.Error.c_str(), TR.Error.c_str());
+      return 1;
+    }
+    Traces.push_back(
+        {W.Name, Path, Writer.recordsWritten(), Writer.bytesWritten()});
+  }
+
+  const uint32_t FullShardCounts[] = {2, 4};
+  const uint32_t SmokeShardCounts[] = {2};
+  const uint32_t *ShardCounts = Smoke ? SmokeShardCounts : FullShardCounts;
+  size_t NumShardCounts = Smoke ? 1 : 2;
+
+  std::printf("Detector hot-path regression harness "
+              "(docs/PERFORMANCE.md)%s\n\n",
+              Smoke ? " [smoke]" : "");
+  std::printf("%-8s %-9s %-5s %12s %10s %12s %10s %10s\n", "trace",
+              "runtime", "pass", "events/s", "seconds", "allocs",
+              "allocs/ev", "bytes/ev");
+
+  std::vector<TraceReport> Reports;
+  bool AllAgree = true;
+
+  for (const Recorded &T : Traces) {
+    TraceReport Report;
+    Report.Name = T.Name;
+    Report.Events = T.Events;
+    Report.FileBytes = T.Bytes;
+    Report.BytesPerEvent =
+        T.Events ? double(T.Bytes) / double(T.Events) : 0.0;
+
+    // Serial: the cold pass builds the structures; the warm pass still
+    // discovers the accesses the ownership filter absorbed before their
+    // locations went shared; by the steady pass every event is cache-hit
+    // or weaker-than-filtered — the allocation-free steady state.  Each
+    // rep replays the whole sequence on a fresh runtime; the last rep's
+    // runtime survives for the agreement check below.
+    auto NoBarrier = [] {};
+    std::unique_ptr<RaceRuntime> Serial;
+    {
+      std::vector<PassResult> Best;
+      for (uint32_t Rep = 0; Rep != Reps; ++Rep) {
+        Serial = std::make_unique<RaceRuntime>();
+        std::vector<PassResult> One;
+        if (!measuredReplay(T.Path, *Serial, T.Events, "serial", "cold",
+                            NoBarrier, One) ||
+            !measuredReplay(T.Path, *Serial, T.Events, "serial", "warm",
+                            NoBarrier, One) ||
+            !measuredReplay(T.Path, *Serial, T.Events, "serial", "steady",
+                            NoBarrier, One))
+          return 1;
+        Serial->onRunEnd();
+        keepBest(Best, One);
+      }
+      for (PassResult &P : Best) {
+        printPass(Report.Name, P);
+        Report.Passes.push_back(std::move(P));
+      }
+    }
+
+    for (size_t SI = 0; SI != NumShardCounts; ++SI) {
+      uint32_t Shards = ShardCounts[SI];
+      ShardedRuntimeOptions SOpts;
+      SOpts.NumShards = Shards;
+      std::string Name = "sharded" + std::to_string(Shards);
+      std::vector<PassResult> Best;
+      for (uint32_t Rep = 0; Rep != Reps; ++Rep) {
+        ShardedRuntime Sharded(SOpts);
+        // stats() is the public drain barrier: the measured window covers
+        // every event being fully processed, not just enqueued.
+        auto Drain = [&Sharded] { (void)Sharded.stats(); };
+        std::vector<PassResult> One;
+        if (!measuredReplay(T.Path, Sharded, T.Events, Name.c_str(), "cold",
+                            Drain, One) ||
+            !measuredReplay(T.Path, Sharded, T.Events, Name.c_str(), "warm",
+                            Drain, One) ||
+            !measuredReplay(T.Path, Sharded, T.Events, Name.c_str(),
+                            "steady", Drain, One))
+          return 1;
+        bool Agree = Sharded.reporter().reportedLocations() ==
+                     Serial->reporter().reportedLocations();
+        Report.Agreement = Report.Agreement && Agree;
+        Sharded.onRunEnd();
+        keepBest(Best, One);
+      }
+      for (PassResult &P : Best) {
+        printPass(Report.Name, P);
+        Report.Passes.push_back(std::move(P));
+      }
+    }
+
+    std::printf("%-8s agreement: %s\n", Report.Name.c_str(),
+                Report.Agreement ? "yes" : "NO!");
+    AllAgree = AllAgree && Report.Agreement;
+    Reports.push_back(std::move(Report));
+    std::remove(T.Path.c_str());
+  }
+
+  if (!OutPath.empty()) {
+    std::FILE *F = std::fopen(OutPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot open %s\n", OutPath.c_str());
+      return 1;
+    }
+    writeJson(F, Reports, Smoke, Reps);
+    std::fclose(F);
+    std::printf("\nwrote %s\n", OutPath.c_str());
+  }
+
+  if (!AllAgree) {
+    std::fprintf(stderr, "FAIL: runtimes disagree on reported races\n");
+    return 1;
+  }
+  return 0;
+}

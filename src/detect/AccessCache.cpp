@@ -16,12 +16,8 @@ void AccessCache::unlink(uint32_t Index) {
     Entries[E.Prev].Next = E.Next;
   else {
     auto It = ListHead.find(E.ListLock);
-    if (It != ListHead.end()) {
-      if (E.Next == None)
-        ListHead.erase(It);
-      else
-        It->second = E.Next;
-    }
+    if (It != ListHead.end())
+      It->second = E.Next; // possibly None: the head entry stays resident
   }
   if (E.Next != None)
     Entries[E.Next].Prev = E.Prev;
@@ -42,10 +38,16 @@ void AccessCache::insert(LocationKey Key, LockId InnermostLock) {
   E.Valid = true;
   if (InnermostLock.isValid()) {
     E.ListLock = InnermostLock;
+    // The map entry for a lock is created once and then kept resident with
+    // a None head when its list empties (eviction tombstone, not erase):
+    // after every lock has been seen once, inserts and evictions stop
+    // touching the allocator — the cache's steady state is allocation-free.
     auto [It, Inserted] = ListHead.try_emplace(InnermostLock, Index);
     if (!Inserted) {
-      E.Next = It->second;
-      Entries[It->second].Prev = Index;
+      if (It->second != None) {
+        E.Next = It->second;
+        Entries[It->second].Prev = Index;
+      }
       It->second = Index;
     }
   }
@@ -53,10 +55,10 @@ void AccessCache::insert(LocationKey Key, LockId InnermostLock) {
 
 void AccessCache::evictLock(LockId Lock) {
   auto It = ListHead.find(Lock);
-  if (It == ListHead.end())
+  if (It == ListHead.end() || It->second == None)
     return;
   uint32_t Index = It->second;
-  ListHead.erase(It);
+  It->second = None;
   while (Index != None) {
     Entry &E = Entries[Index];
     uint32_t Next = E.Next;
@@ -83,19 +85,23 @@ bool AccessCache::checkListIntegrity() const {
   // entries reached.
   size_t Linked = 0;
   for (const auto &[Lock, Head] : ListHead) {
-    if (!Lock.isValid() || Head == None || Head >= NumEntries)
+    if (!Lock.isValid())
+      return false;
+    if (Head == None)
+      continue; // resident tombstone: the lock's list is currently empty
+    if (Head >= Entries.size())
       return false;
     if (Entries[Head].Prev != None)
       return false;
     size_t Steps = 0;
     for (uint32_t Index = Head; Index != None;) {
-      if (++Steps > NumEntries)
+      if (++Steps > Entries.size())
         return false; // cycle
       const Entry &E = Entries[Index];
       if (!E.Valid || E.ListLock != Lock)
         return false; // ListHead points at an unlinked or foreign entry
       if (E.Next != None &&
-          (E.Next >= NumEntries || Entries[E.Next].Prev != Index))
+          (E.Next >= Entries.size() || Entries[E.Next].Prev != Index))
         return false;
       ++Linked;
       Index = E.Next;

@@ -20,6 +20,10 @@
 /// released.  (Dummy join locks are never released while the cache is live,
 /// so they are excluded from the tagging — see detect/RaceRuntime.)
 ///
+/// The entry count is configurable per instance (power of two; the paper's
+/// Section 4.3 experiments sweep cache sizes the same way) and defaults to
+/// the paper's 256.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HERD_DETECT_ACCESSCACHE_H
@@ -27,19 +31,25 @@
 
 #include "support/Ids.h"
 
-#include <array>
+#include <cassert>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 namespace herd {
 
-/// A 256-entry direct-mapped cache indexed by memory location, with
-/// per-lock doubly-linked eviction lists threaded through the entries.
+/// A direct-mapped cache indexed by memory location, with per-lock
+/// doubly-linked eviction lists threaded through the entries.
 class AccessCache {
 public:
-  static constexpr uint32_t NumEntries = 256;
+  static constexpr uint32_t DefaultEntries = 256;
 
-  AccessCache() { clear(); }
+  /// \p NumEntries must be a power of two.
+  explicit AccessCache(uint32_t NumEntries = DefaultEntries)
+      : Entries(NumEntries), Shift(shiftFor(NumEntries)) {
+    assert(NumEntries != 0 && (NumEntries & (NumEntries - 1)) == 0 &&
+           "cache size must be a power of two");
+  }
 
   /// Returns true when \p Key is present (a guaranteed-redundant access).
   bool lookup(LocationKey Key) {
@@ -68,10 +78,14 @@ public:
   void clear();
 
   /// Structural invariant check over the eviction lists, for tests: every
-  /// list head refers to a valid, linked entry; Prev/Next are mutually
-  /// consistent and cycle-free; every entry tagged with a lock is reachable
-  /// from exactly that lock's head; invalid entries carry no list state.
+  /// non-empty list head refers to a valid, linked entry; Prev/Next are
+  /// mutually consistent and cycle-free; every entry tagged with a lock is
+  /// reachable from exactly that lock's head; invalid entries carry no list
+  /// state.  (Emptied lists keep their map entry with a None head so the
+  /// steady state never touches the allocator.)
   bool checkListIntegrity() const;
+
+  uint32_t capacity() const { return uint32_t(Entries.size()); }
 
   uint64_t hits() const { return Hits; }
   uint64_t misses() const { return Misses; }
@@ -88,16 +102,31 @@ private:
     uint32_t Next = None;
   };
 
-  static uint32_t indexOf(LocationKey Key) {
+  static uint32_t shiftFor(uint32_t NumEntries) {
+    uint32_t Shift = 64;
+    while (NumEntries > 1) {
+      NumEntries >>= 1;
+      --Shift;
+    }
+    return Shift;
+  }
+
+  uint32_t indexOf(LocationKey Key) const {
     // Multiplicative hash, taking high bits — the same shape as the paper's
     // "multiply by a constant, take the upper bits" function (Section 4.3).
-    return uint32_t((Key.raw() * 0x9e3779b97f4a7c15ull) >> 56);
+    // Shift keeps exactly log2(capacity) high bits; a one-entry cache would
+    // shift by 64, which C++ leaves undefined, hence the guard.
+    if (Shift >= 64)
+      return 0;
+    return uint32_t((Key.raw() * 0x9e3779b97f4a7c15ull) >> Shift);
   }
 
   void unlink(uint32_t Index);
 
-  std::array<Entry, NumEntries> Entries;
+  std::vector<Entry> Entries;
+  uint32_t Shift;
   std::unordered_map<LockId, uint32_t> ListHead; ///< lock -> first entry
+                                                 ///< (None when emptied)
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t Evictions = 0;

@@ -104,6 +104,19 @@ struct AccessEvent {
   SiteId Site;
 };
 
+/// The hot-path form of an access event: identical to AccessEvent except
+/// the lockset is an interned LockSetId (4 bytes, trivially copyable)
+/// instead of an owning SortedIdSet.  This is what flows through
+/// EventBatch, the sharded runtime's queues, and Detector::handleEvent;
+/// the id resolves against the runtime's LockSetInterner.
+struct DetectorEvent {
+  LocationKey Location;
+  ThreadId Thread;
+  LockSetId Locks;
+  AccessKind Access = AccessKind::Read;
+  SiteId Site;
+};
+
 /// IsRace(e_i, e_j) from Section 2.4: same location, different threads,
 /// disjoint locksets, at least one write.
 inline bool isRace(const AccessEvent &A, const AccessEvent &B) {

@@ -10,181 +10,275 @@
 
 using namespace herd;
 
-/// A trie node.  Children are kept sorted by edge label so that a lockset's
-/// canonical path visits labels in ascending order.
-struct AccessTrie::Node {
-  ThreadLattice Thread = ThreadLattice::top();
-  AccessKind Access = AccessKind::Read;
-  std::vector<std::pair<LockId, std::unique_ptr<Node>>> Children;
+AccessTrie::~AccessTrie() {
+  // Tries on a shared store give their slots back so the arena's live()
+  // count (the Detector's trie-node stat) stays exact even if a trie dies
+  // before the store does.  A privately-owned store dies with the trie.
+  if (!Owned && Store && Root != None)
+    releaseSubtree();
+}
 
-  bool hasInfo() const { return !Thread.isTop(); }
+AccessTrie::AccessTrie(AccessTrie &&Other) noexcept
+    : Owned(std::move(Other.Owned)), Store(Other.Store), Root(Other.Root),
+      NumNodes(Other.NumNodes) {
+  if (Owned)
+    Other.Store = nullptr;
+  Other.Root = None;
+  Other.NumNodes = 0;
+}
 
-  Node *findChild(LockId Label) const {
-    auto It = std::lower_bound(
-        Children.begin(), Children.end(), Label,
-        [](const auto &Entry, LockId L) { return Entry.first < L; });
-    return (It != Children.end() && It->first == Label) ? It->second.get()
-                                                        : nullptr;
+AccessTrie &AccessTrie::operator=(AccessTrie &&Other) noexcept {
+  if (this != &Other) {
+    if (!Owned && Store && Root != None)
+      releaseSubtree();
+    Owned = std::move(Other.Owned);
+    Store = Other.Store;
+    Root = Other.Root;
+    NumNodes = Other.NumNodes;
+    if (Owned)
+      Other.Store = nullptr;
+    Other.Root = None;
+    Other.NumNodes = 0;
   }
+  return *this;
+}
 
-  Node *getOrCreateChild(LockId Label, size_t &NumNodes) {
-    auto It = std::lower_bound(
-        Children.begin(), Children.end(), Label,
-        [](const auto &Entry, LockId L) { return Entry.first < L; });
-    if (It != Children.end() && It->first == Label)
-      return It->second.get();
-    It = Children.emplace(It, Label, std::make_unique<Node>());
-    ++NumNodes;
-    return It->second.get();
+void AccessTrie::releaseSubtree() {
+  std::vector<uint32_t> Stack = {Root};
+  while (!Stack.empty()) {
+    uint32_t N = Stack.back();
+    Stack.pop_back();
+    TrieNode &Node = Store->Nodes[N];
+    if (Node.Edges != TrieEdgePool::None) {
+      const TrieEdge *E = Store->Edges.at(Node.Edges);
+      for (uint32_t I = 0; I != Node.EdgeCount; ++I)
+        Stack.push_back(E[I].Child);
+      Store->Edges.release(Node.Edges, Node.EdgeClass);
+    }
+    Store->Nodes.release(N);
   }
-};
+  Root = None;
+  NumNodes = 0;
+}
 
-AccessTrie::AccessTrie() : Root(std::make_unique<Node>()) {}
-AccessTrie::~AccessTrie() = default;
-AccessTrie::AccessTrie(AccessTrie &&) noexcept = default;
-AccessTrie &AccessTrie::operator=(AccessTrie &&) noexcept = default;
-
-bool AccessTrie::findWeaker(const Node &N, const std::vector<LockId> &Locks,
+bool AccessTrie::findWeaker(uint32_t NIdx, const std::vector<LockId> &Locks,
                             size_t From, ThreadLattice Thread,
                             AccessKind Access) const {
+  const TrieNode &N = Store->Nodes[NIdx];
   // This node's lockset (its root path) is a subset of the event's lockset
   // by construction of the traversal, so Definition 2 reduces to the thread
   // and access-kind orders.
   if (N.hasInfo() && isWeakerOrEqual(N.Thread, Thread) &&
       isWeakerOrEqual(N.Access, Access))
     return true;
-  // Descend only along edges labeled with locks the event holds.  Children
-  // and the lockset are both sorted, so merge-walk them.
+  if (N.EdgeCount == 0)
+    return false;
+  // Descend only along edges labeled with locks the event holds.  Edges
+  // and the lockset are both sorted, so merge-walk them; the label scan
+  // stays inside this node's contiguous edge block and a child is only
+  // loaded when its label matches.
+  const TrieEdge *E = Store->Edges.at(N.Edges);
   size_t LockIdx = From;
-  for (const auto &[Label, Child] : N.Children) {
+  for (uint32_t I = 0; I != N.EdgeCount; ++I) {
+    LockId Label = E[I].Label;
     while (LockIdx < Locks.size() && Locks[LockIdx] < Label)
       ++LockIdx;
     if (LockIdx == Locks.size())
       break;
     if (Locks[LockIdx] == Label &&
-        findWeaker(*Child, Locks, LockIdx + 1, Thread, Access))
+        findWeaker(E[I].Child, Locks, LockIdx + 1, Thread, Access))
       return true;
   }
   return false;
 }
 
-const AccessTrie::Node *
-AccessTrie::findRace(const Node &N, const LockSet &Locks,
-                     ThreadLattice Thread, AccessKind Access,
-                     std::vector<LockId> &Path,
-                     std::vector<LockId> &RacePath) const {
+uint32_t AccessTrie::findRace(uint32_t NIdx, const LockSet &Locks,
+                              ThreadLattice Thread, AccessKind Access,
+                              std::vector<LockId> &Path,
+                              std::vector<LockId> &RacePath) const {
+  const TrieNode &N = Store->Nodes[NIdx];
   // Case II: the stored accesses at this node involve a different thread
   // (meet goes to t_⊥) and at least one side wrote.  The traversal has
   // already established (by pruning in Case I) that no lock is shared.
   if (N.hasInfo() && meet(N.Thread, Thread).isBottom() &&
       meet(N.Access, Access) == AccessKind::Write) {
     RacePath = Path;
-    return &N;
+    return NIdx;
   }
   // Case III: recurse, except into children reached via a lock the event
   // holds (Case I: a shared lock protects the whole subtree).
-  for (const auto &[Label, Child] : N.Children) {
-    if (Locks.contains(Label))
+  for (uint32_t I = 0; I != N.EdgeCount; ++I) {
+    const TrieEdge &Edge = Store->Edges.at(N.Edges)[I];
+    if (Locks.contains(Edge.Label))
       continue;
-    Path.push_back(Label);
-    if (const Node *Hit = findRace(*Child, Locks, Thread, Access, Path,
-                                   RacePath))
+    Path.push_back(Edge.Label);
+    uint32_t Hit = findRace(Edge.Child, Locks, Thread, Access, Path, RacePath);
+    if (Hit != None)
       return Hit;
     Path.pop_back();
   }
-  return nullptr;
+  return None;
 }
 
-AccessTrie::Node *AccessTrie::updateNode(const LockSet &Locks,
-                                         ThreadLattice Thread,
-                                         AccessKind Access) {
-  Node *N = Root.get();
+uint32_t AccessTrie::getOrCreateChild(uint32_t Parent, LockId Label) {
+  TrieNode &P = Store->Nodes[Parent];
+  TrieEdge *E =
+      P.Edges == TrieEdgePool::None ? nullptr : Store->Edges.at(P.Edges);
+  uint32_t I = 0;
+  while (I != P.EdgeCount && E[I].Label < Label)
+    ++I;
+  if (I != P.EdgeCount && E[I].Label == Label)
+    return E[I].Child;
+
+  if (P.Edges == TrieEdgePool::None) {
+    P.Edges = Store->Edges.allocate(0);
+    P.EdgeClass = 0;
+    E = Store->Edges.at(P.Edges);
+  } else if (P.EdgeCount == (1u << P.EdgeClass)) {
+    uint32_t Grown = Store->Edges.allocate(P.EdgeClass + 1);
+    TrieEdge *NE = Store->Edges.at(Grown);
+    std::copy(E, E + P.EdgeCount, NE);
+    Store->Edges.release(P.Edges, P.EdgeClass);
+    P.Edges = Grown;
+    ++P.EdgeClass;
+    E = NE;
+  }
+  uint32_t Fresh = Store->Nodes.allocate();
+  std::move_backward(E + I, E + P.EdgeCount, E + P.EdgeCount + 1);
+  E[I].Label = Label;
+  E[I].Child = Fresh;
+  ++P.EdgeCount;
+  ++NumNodes;
+  return Fresh;
+}
+
+uint32_t AccessTrie::updateNode(const LockSet &Locks, ThreadLattice Thread,
+                                AccessKind Access) {
+  uint32_t NIdx = Root;
   for (LockId Lock : Locks)
-    N = N->getOrCreateChild(Lock, NumNodes);
-  N->Thread = meet(N->Thread, Thread);
-  N->Access = meet(N->Access, Access);
-  return N;
+    NIdx = getOrCreateChild(NIdx, Lock);
+  TrieNode &N = Store->Nodes[NIdx];
+  N.Thread = meet(N.Thread, Thread);
+  N.Access = meet(N.Access, Access);
+  return NIdx;
 }
 
-void AccessTrie::pruneStronger(Node &N, const std::vector<LockId> &Locks,
+void AccessTrie::pruneStronger(uint32_t NIdx, const std::vector<LockId> &Locks,
                                size_t Matched, ThreadLattice Thread,
-                               AccessKind Access, const Node *Keep) {
+                               AccessKind Access, uint32_t Keep) {
   // A stored access q at node N is stronger than the new access p when
   // p.L ⊆ q.L (all of Locks matched on the path) and p.t ⊑ q.t ∧ p.a ⊑ q.a.
-  if (&N != Keep && N.hasInfo() && Matched == Locks.size() &&
-      isWeakerOrEqual(Thread, N.Thread) && isWeakerOrEqual(Access, N.Access)) {
-    N.Thread = ThreadLattice::top();
-    N.Access = AccessKind::Read;
+  {
+    TrieNode &N = Store->Nodes[NIdx];
+    if (NIdx != Keep && N.hasInfo() && Matched == Locks.size() &&
+        isWeakerOrEqual(Thread, N.Thread) &&
+        isWeakerOrEqual(Access, N.Access)) {
+      N.Thread = ThreadLattice::top();
+      N.Access = AccessKind::Read;
+    }
   }
-  for (auto &[Label, Child] : N.Children) {
+  // Visit children; after each visit, remove its edge if the child carries
+  // no information and has no descendants (node and edge block return to
+  // their free lists).  Recursion only mutates descendants' edge arrays,
+  // never this node's block, so the edge pointer stays valid between the
+  // removals we perform ourselves.
+  TrieNode &N = Store->Nodes[NIdx];
+  uint32_t I = 0;
+  while (I < N.EdgeCount) {
+    TrieEdge *E = Store->Edges.at(N.Edges);
+    LockId Label = E[I].Label;
     size_t NextMatched = Matched;
+    bool Descend = true;
     if (Matched < Locks.size()) {
       if (Label == Locks[Matched]) {
         NextMatched = Matched + 1;
       } else if (Locks[Matched] < Label) {
         // Canonical paths are ascending: once an edge label exceeds the next
         // required lock, no descendant's lockset can contain it.
-        continue;
+        Descend = false;
       }
     }
-    pruneStronger(*Child, Locks, NextMatched, Thread, Access, Keep);
+    uint32_t ChildIdx = E[I].Child;
+    if (Descend)
+      pruneStronger(ChildIdx, Locks, NextMatched, Thread, Access, Keep);
+    TrieNode &Child = Store->Nodes[ChildIdx];
+    if (!Child.hasInfo() && Child.EdgeCount == 0) {
+      if (Child.Edges != TrieEdgePool::None)
+        Store->Edges.release(Child.Edges, Child.EdgeClass);
+      Store->Nodes.release(ChildIdx);
+      --NumNodes;
+      E = Store->Edges.at(N.Edges);
+      std::move(E + I + 1, E + N.EdgeCount, E + I);
+      --N.EdgeCount;
+    } else {
+      ++I;
+    }
   }
-  // Drop children that carry no information and have no descendants.
-  auto NewEnd = std::remove_if(N.Children.begin(), N.Children.end(),
-                               [this](const auto &Entry) {
-                                 Node &C = *Entry.second;
-                                 if (C.hasInfo() || !C.Children.empty())
-                                   return false;
-                                 --NumNodes;
-                                 return true;
-                               });
-  N.Children.erase(NewEnd, N.Children.end());
 }
 
 AccessTrie::Outcome AccessTrie::process(ThreadId Thread, const LockSet &Locks,
-                                        AccessKind Access) {
+                                        AccessKind Access, Scratch &S) {
   Outcome Result;
   ThreadLattice EventThread(Thread);
 
+  if (!Store) {
+    Owned = std::make_unique<TrieStore>();
+    Store = Owned.get();
+  }
+  if (Root == None) {
+    Root = Store->Nodes.allocate();
+    NumNodes = 1;
+  }
+
   // 1. Weakness check: the vast majority of events are filtered here.
-  if (findWeaker(*Root, Locks.items(), 0, EventThread, Access)) {
+  if (findWeaker(Root, Locks.items(), 0, EventThread, Access)) {
     Result.Filtered = true;
     return Result;
   }
 
   // 2. Race check (Cases I-III).
-  std::vector<LockId> Path, RacePath;
-  if (const Node *Hit =
-          findRace(*Root, Locks, EventThread, Access, Path, RacePath)) {
+  S.Path.clear();
+  S.RacePath.clear();
+  uint32_t Hit = findRace(Root, Locks, EventThread, Access, S.Path, S.RacePath);
+  if (Hit != None) {
+    const TrieNode &HitNode = Store->Nodes[Hit];
     Result.Raced = true;
-    Result.PriorThreadKnown = Hit->Thread.isConcrete();
+    Result.PriorThreadKnown = HitNode.Thread.isConcrete();
     if (Result.PriorThreadKnown)
-      Result.PriorThread = Hit->Thread.concrete();
-    Result.PriorAccess = Hit->Access;
-    for (LockId Lock : RacePath)
+      Result.PriorThread = HitNode.Thread.concrete();
+    Result.PriorAccess = HitNode.Access;
+    for (LockId Lock : S.RacePath)
       Result.PriorLocks.insert(Lock);
   }
 
   // 3. Update the node for the event's exact lockset.
-  Node *Updated = updateNode(Locks, EventThread, Access);
+  uint32_t Updated = updateNode(Locks, EventThread, Access);
 
   // 4. Remove stored accesses the new event is weaker than.
-  pruneStronger(*Root, Locks.items(), 0, EventThread, Access, Updated);
+  pruneStronger(Root, Locks.items(), 0, EventThread, Access, Updated);
 
   return Result;
 }
 
+AccessTrie::Outcome AccessTrie::process(ThreadId Thread, const LockSet &Locks,
+                                        AccessKind Access) {
+  Scratch Local;
+  return process(Thread, Locks, Access, Local);
+}
+
 size_t AccessTrie::storedAccessCount() const {
+  if (Root == None)
+    return 0;
   size_t Count = 0;
-  // Iterative DFS to avoid a second recursive helper on Node (kept private).
-  std::vector<const Node *> Stack = {Root.get()};
+  std::vector<uint32_t> Stack = {Root};
   while (!Stack.empty()) {
-    const Node *N = Stack.back();
+    uint32_t N = Stack.back();
     Stack.pop_back();
-    if (N->hasInfo())
+    const TrieNode &Node = Store->Nodes[N];
+    if (Node.hasInfo())
       ++Count;
-    for (const auto &[Label, Child] : N->Children)
-      Stack.push_back(Child.get());
+    for (uint32_t I = 0; I != Node.EdgeCount; ++I)
+      Stack.push_back(Store->Edges.at(Node.Edges)[I].Child);
   }
   return Count;
 }

@@ -9,41 +9,53 @@
 using namespace herd;
 
 void Detector::handleAccess(const AccessEvent &Event) {
+  DetectorEvent E;
+  E.Location = Event.Location;
+  E.Thread = Event.Thread;
+  E.Locks = Interner->intern(Event.Locks);
+  E.Access = Event.Access;
+  E.Site = Event.Site;
+  handleEvent(E);
+}
+
+void Detector::handleEvent(const DetectorEvent &Event) {
   ++Stats.EventsIn;
 
   LocationKey Key =
       Opts.FieldsMerged ? Event.Location.withFieldsMerged() : Event.Location;
 
-  auto [It, Inserted] = Table.try_emplace(Key);
-  LocationState &State = It->second;
-  if (Inserted)
+  auto [State, Inserted] = Table.tryEmplace(Key);
+  if (Inserted) {
     ++Stats.LocationsTracked;
+    State->Trie = AccessTrie(Tries);
+  }
 
-  if (Opts.UseOwnership && !State.Shared) {
-    if (Inserted || !State.Owner.isValid()) {
+  if (Opts.UseOwnership && !State->Shared) {
+    if (Inserted || !State->Owner.isValid()) {
       // First access: the accessing thread becomes the owner (Section 7.1).
-      State.Owner = Event.Thread;
+      State->Owner = Event.Thread;
       ++Stats.OwnedFiltered;
       return;
     }
-    if (State.Owner == Event.Thread) {
+    if (State->Owner == Event.Thread) {
       ++Stats.OwnedFiltered;
       return;
     }
     // A second thread touched the location: it becomes shared, and this
     // access and all subsequent ones flow to the trie.
-    State.Shared = true;
-    State.Owner = ThreadId::invalid();
+    State->Shared = true;
+    State->Owner = ThreadId::invalid();
     ++Stats.LocationsShared;
     if (OnShared)
       OnShared(Key);
-  } else if (!State.Shared) {
-    State.Shared = true;
+  } else if (!State->Shared) {
+    State->Shared = true;
     ++Stats.LocationsShared;
   }
 
+  const LockSet &Locks = Interner->resolve(Event.Locks);
   AccessTrie::Outcome Outcome =
-      State.Trie.process(Event.Thread, Event.Locks, Event.Access);
+      State->Trie.process(Event.Thread, Locks, Event.Access, Scratch);
   if (Outcome.Filtered) {
     ++Stats.WeakerFiltered;
     return;
@@ -56,19 +68,11 @@ void Detector::handleAccess(const AccessEvent &Event) {
   Record.Location = Key;
   Record.CurrentThread = Event.Thread;
   Record.CurrentAccess = Event.Access;
-  Record.CurrentLocks = Event.Locks;
+  Record.CurrentLocks = Locks;
   Record.CurrentSite = Event.Site;
   Record.PriorThreadKnown = Outcome.PriorThreadKnown;
   Record.PriorThread = Outcome.PriorThread;
   Record.PriorAccess = Outcome.PriorAccess;
   Record.PriorLocks = Outcome.PriorLocks;
   Reporter.report(std::move(Record));
-}
-
-DetectorStats Detector::stats() const {
-  Stats.TrieNodes = 0;
-  for (const auto &[Key, State] : Table)
-    if (State.Shared)
-      Stats.TrieNodes += State.Trie.nodeCount();
-  return Stats;
 }

@@ -16,6 +16,14 @@
 /// the cache layer forcibly evict it from every thread's cache — the sound
 /// run-time fix of Section 7.2.
 ///
+/// Hot-path layout: the location table is an open-addressed LocationTable
+/// (one probe, no node allocations), all tries share one TrieStore
+/// (per-Detector, hence per-shard), and events arrive as DetectorEvents
+/// whose lockset is an interned LockSetId resolved against the runtime's
+/// shared LockSetInterner.  Together these make the steady-state per-event
+/// cost allocation-free; stats() is O(1) because the trie-node total is the
+/// arena's live count and every other counter is maintained incrementally.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HERD_DETECT_DETECTOR_H
@@ -25,9 +33,11 @@
 #include "detect/AccessTrie.h"
 #include "detect/DetectorStats.h"
 #include "detect/RaceReport.h"
+#include "support/FlatTable.h"
+#include "support/LockSetInterner.h"
 
 #include <functional>
-#include <unordered_map>
+#include <memory>
 
 namespace herd {
 
@@ -44,12 +54,28 @@ public:
     bool FieldsMerged = false;
   };
 
-  Detector(RaceReporter &Reporter, Options Opts)
-      : Reporter(Reporter), Opts(Opts) {}
+  /// \p Locksets is the interner DetectorEvent lockset ids resolve against.
+  /// When null (standalone detectors in tests and benches) the detector
+  /// owns a private one, fed through handleAccess().  Runtimes pass their
+  /// shared interner so producer-side ids resolve here.
+  Detector(RaceReporter &Reporter, Options Opts,
+           LockSetInterner *Locksets = nullptr)
+      : Reporter(Reporter), Opts(Opts), Interner(Locksets) {
+    if (!Interner) {
+      OwnedInterner = std::make_unique<LockSetInterner>();
+      Interner = OwnedInterner.get();
+    }
+  }
 
-  /// Processes one access event.  The event's lockset must already include
-  /// any dummy join locks (the caller maintains per-thread locksets).
+  /// Processes one access event, interning its lockset.  The event's
+  /// lockset must already include any dummy join locks (the caller
+  /// maintains per-thread locksets).
   void handleAccess(const AccessEvent &Event);
+
+  /// Processes one pre-interned event: the steady-state hot path (no
+  /// lockset copy, no allocation).  \p Event.Locks must come from this
+  /// detector's interner.
+  void handleEvent(const DetectorEvent &Event);
 
   /// Invoked when a location transitions from owned to shared, before the
   /// triggering access is processed.  The cache layer uses this to evict
@@ -58,8 +84,17 @@ public:
     OnShared = std::move(Callback);
   }
 
-  /// Returns the current statistics (recomputes the trie-node total).
-  DetectorStats stats() const;
+  /// Returns the current statistics.  O(1): every counter, including the
+  /// trie-node total (the arena's live count), is maintained incrementally.
+  DetectorStats stats() const {
+    DetectorStats S = Stats;
+    S.TrieNodes = Tries.Nodes.live();
+    return S;
+  }
+
+  /// The interner this detector resolves lockset ids against.
+  LockSetInterner &interner() { return *Interner; }
+  const LockSetInterner &interner() const { return *Interner; }
 
 private:
   struct LocationState {
@@ -71,8 +106,12 @@ private:
   RaceReporter &Reporter;
   Options Opts;
   std::function<void(LocationKey)> OnShared;
-  std::unordered_map<LocationKey, LocationState> Table;
-  mutable DetectorStats Stats;
+  std::unique_ptr<LockSetInterner> OwnedInterner;
+  LockSetInterner *Interner; ///< never null
+  TrieStore Tries;           ///< node arena + edge pool for Table's tries
+  LocationTable<LocationState> Table;
+  AccessTrie::Scratch Scratch; ///< reusable race-check path vectors
+  DetectorStats Stats;
 };
 
 } // namespace herd

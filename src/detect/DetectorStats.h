@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace herd {
 
@@ -35,6 +36,21 @@ struct DetectorStats {
   size_t TrieNodes = 0;
 };
 
+/// Per-thread access-cache counters (Section 4.3 reports hit rates per
+/// benchmark; this exposes them per thread for `herd --stats`).
+struct ThreadCacheStats {
+  uint32_t Thread = 0; ///< the thread's dense index
+  uint64_t ReadHits = 0;
+  uint64_t ReadMisses = 0;
+  uint64_t WriteHits = 0;
+  uint64_t WriteMisses = 0;
+
+  uint64_t hits() const { return ReadHits + WriteHits; }
+  uint64_t lookups() const {
+    return ReadHits + ReadMisses + WriteHits + WriteMisses;
+  }
+};
+
 /// Aggregate counters for one run (serial or sharded).
 struct RaceRuntimeStats {
   uint64_t EventsSeen = 0;   ///< accesses arriving from the program
@@ -42,6 +58,7 @@ struct RaceRuntimeStats {
   uint64_t CacheMisses = 0;
   uint64_t CacheEvictions = 0;
   DetectorStats Detector;
+  std::vector<ThreadCacheStats> PerThreadCache; ///< one entry per thread seen
 };
 
 /// Per-shard counters of the sharded runtime.  Ingest counters are written

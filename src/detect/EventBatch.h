@@ -12,10 +12,11 @@
 ///
 /// Batching amortizes the queue synchronization over many events; the
 /// bound applies backpressure so a slow shard cannot let the event backlog
-/// grow without limit.  The queue uses a mutex and condition variables —
-/// the per-batch cost is amortized over EventBatch::DefaultCapacity events,
-/// and a lock-free ring can replace this class later without touching the
-/// runtime above it.
+/// grow without limit.  Batches carry DetectorEvents (trivially copyable,
+/// interned lockset ids), the queue stores them in a fixed ring sized by
+/// the bound, and consumed batch buffers are recycled back to the producer
+/// through completeOne()/takeSpare() — so in steady state the whole
+/// producer-to-worker path performs no allocation at all.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,7 +26,6 @@
 #include "detect/AccessEvent.h"
 
 #include <condition_variable>
-#include <deque>
 #include <mutex>
 #include <vector>
 
@@ -37,7 +37,7 @@ namespace herd {
 struct EventBatch {
   static constexpr size_t DefaultCapacity = 128;
 
-  std::vector<AccessEvent> Events;
+  std::vector<DetectorEvent> Events;
 
   bool empty() const { return Events.empty(); }
   size_t size() const { return Events.size(); }
@@ -50,7 +50,8 @@ struct EventBatch {
 /// guarantee rests on.
 class BoundedBatchQueue {
 public:
-  explicit BoundedBatchQueue(size_t MaxBatches = 16) : Limit(MaxBatches) {}
+  explicit BoundedBatchQueue(size_t MaxBatches = 16)
+      : Ring(MaxBatches == 0 ? 1 : MaxBatches) {}
 
   /// Producer: enqueues a batch, blocking while the queue is full.
   /// Returns false — without enqueueing — when the queue is (or becomes)
@@ -59,13 +60,14 @@ public:
   /// check Stopped for exactly that reason.
   [[nodiscard]] bool push(EventBatch &&Batch) {
     std::unique_lock<std::mutex> Lock(M);
-    NotFull.wait(Lock, [&] { return Queue.size() < Limit || Stopped; });
+    NotFull.wait(Lock, [&] { return Count < Ring.size() || Stopped; });
     if (Stopped)
       return false;
-    Queue.push_back(std::move(Batch));
+    Ring[(Head + Count) % Ring.size()] = std::move(Batch);
+    ++Count;
     ++InFlight;
-    if (Queue.size() > MaxDepth)
-      MaxDepth = Queue.size();
+    if (Count > MaxDepth)
+      MaxDepth = Count;
     NotEmpty.notify_one();
     return true;
   }
@@ -74,21 +76,44 @@ public:
   /// Returns false when the queue was stopped and fully emptied.
   bool pop(EventBatch &Out) {
     std::unique_lock<std::mutex> Lock(M);
-    NotEmpty.wait(Lock, [&] { return !Queue.empty() || Stopped; });
-    if (Queue.empty())
+    NotEmpty.wait(Lock, [&] { return Count != 0 || Stopped; });
+    if (Count == 0)
       return false;
-    Out = std::move(Queue.front());
-    Queue.pop_front();
+    Out = std::move(Ring[Head]);
+    Head = (Head + 1) % Ring.size();
+    --Count;
     NotFull.notify_one();
     return true;
   }
 
   /// Consumer: acknowledges that the batch returned by the last pop() has
-  /// been fully processed.
+  /// been fully processed.  Pass the batch back to recycle its buffer: the
+  /// producer reclaims it via takeSpare(), closing the allocation loop.
+  void completeOne(EventBatch &&Spent) {
+    std::lock_guard<std::mutex> Lock(M);
+    Spent.Events.clear();
+    Spares.push_back(std::move(Spent));
+    if (--InFlight == 0)
+      IdleCv.notify_all();
+  }
+
+  /// Consumer: acknowledge without recycling (keeps the old contract for
+  /// callers that reuse their own batch buffer).
   void completeOne() {
     std::lock_guard<std::mutex> Lock(M);
     if (--InFlight == 0)
       IdleCv.notify_all();
+  }
+
+  /// Producer: reclaims a consumed batch buffer if one is available.  The
+  /// returned batch is empty but keeps its capacity.
+  bool takeSpare(EventBatch &Out) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Spares.empty())
+      return false;
+    Out = std::move(Spares.back());
+    Spares.pop_back();
+    return true;
   }
 
   /// Producer: blocks until every pushed batch has been processed.  The
@@ -117,8 +142,10 @@ public:
 private:
   mutable std::mutex M;
   std::condition_variable NotFull, NotEmpty, IdleCv;
-  std::deque<EventBatch> Queue;
-  size_t Limit;
+  std::vector<EventBatch> Ring; ///< fixed-size circular buffer
+  std::vector<EventBatch> Spares; ///< consumed buffers awaiting reuse
+  size_t Head = 0;  ///< index of the oldest queued batch
+  size_t Count = 0; ///< queued (pushed, not yet popped) batches
   size_t InFlight = 0; ///< pushed but not yet completeOne()'d
   size_t MaxDepth = 0;
   bool Stopped = false;

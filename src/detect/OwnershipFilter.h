@@ -23,10 +23,10 @@
 #ifndef HERD_DETECT_OWNERSHIPFILTER_H
 #define HERD_DETECT_OWNERSHIPFILTER_H
 
+#include "support/FlatTable.h"
 #include "support/Ids.h"
 
 #include <functional>
-#include <unordered_map>
 
 namespace herd {
 
@@ -43,8 +43,8 @@ public:
   /// Returns true when the access must flow on to the detector; false when
   /// the location is (still) owned by \p Thread and the event is dropped.
   bool passes(ThreadId Thread, LocationKey Key) {
-    auto [It, Inserted] = Table.try_emplace(Key);
-    State &S = It->second;
+    auto [SlotPtr, Inserted] = Table.tryEmplace(Key);
+    State &S = *SlotPtr;
     if (Inserted)
       ++LocationsTracked;
     if (S.Shared)
@@ -77,7 +77,7 @@ private:
   };
 
   std::function<void(LocationKey)> OnShared;
-  std::unordered_map<LocationKey, State> Table;
+  LocationTable<State> Table; ///< open-addressed, insert-only (FlatTable.h)
   uint64_t OwnedFiltered = 0;
   size_t LocationsTracked = 0;
   size_t LocationsShared = 0;

@@ -15,8 +15,8 @@ RaceRuntime::RaceRuntime(RaceRuntimeOptions Opts)
       // Field merging is applied here (before the cache) so that the cache
       // and the detector index the same keys; the detector's own option
       // stays off to avoid re-merging.
-      Det(Reporter,
-          Detector::Options{Opts.UseOwnership, /*FieldsMerged=*/false}) {
+      Det(Reporter, Detector::Options{Opts.UseOwnership, /*FieldsMerged=*/false},
+          &Interner) {
   Det.setOnShared([this](LocationKey Key) {
     if (!this->Opts.UseCache)
       return;
@@ -39,7 +39,7 @@ RaceRuntime::PerThread &RaceRuntime::threadState(ThreadId Thread) {
   if (Index >= Threads.size())
     Threads.resize(Index + 1);
   if (!Threads[Index])
-    Threads[Index] = std::make_unique<PerThread>();
+    Threads[Index] = std::make_unique<PerThread>(Opts.CacheEntries);
   return *Threads[Index];
 }
 
@@ -61,6 +61,7 @@ void RaceRuntime::onThreadCreate(ThreadId Child, ThreadId Parent,
     // (Section 2.3).  The dummy lock is not releasable during the thread's
     // life, so it is not tagged for cache eviction (see AccessCache docs).
     T.Locks.insert(dummyLockOf(Child));
+    T.LocksDirty = true;
   }
 }
 
@@ -68,7 +69,9 @@ void RaceRuntime::onThreadExit(ThreadId Dying) {
   if (!Opts.ModelJoin)
     return;
   // The dummy mon-exit(S_dying) at the end of the thread's execution.
-  threadState(Dying).Locks.erase(dummyLockOf(Dying));
+  PerThread &T = threadState(Dying);
+  T.Locks.erase(dummyLockOf(Dying));
+  T.LocksDirty = true;
 }
 
 void RaceRuntime::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
@@ -77,7 +80,9 @@ void RaceRuntime::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
   // A dummy mon-enter(S_joined) after the join completes: everything the
   // joiner does from now on is ordered after the joined thread, which held
   // S_joined for its entire execution.  The dummy lock is held forever.
-  threadState(Joiner).Locks.insert(dummyLockOf(Joined));
+  PerThread &T = threadState(Joiner);
+  T.Locks.insert(dummyLockOf(Joined));
+  T.LocksDirty = true;
 }
 
 void RaceRuntime::onMonitorEnter(ThreadId Thread, LockId Lock,
@@ -86,6 +91,7 @@ void RaceRuntime::onMonitorEnter(ThreadId Thread, LockId Lock,
     return; // nested acquisitions are invisible to the detector (Sec 4.2)
   PerThread &T = threadState(Thread);
   T.Locks.insert(Lock);
+  T.LocksDirty = true;
   T.RealStack.push_back(Lock);
 }
 
@@ -95,6 +101,7 @@ void RaceRuntime::onMonitorExit(ThreadId Thread, LockId Lock,
     return; // only the final monitorexit releases (Section 4.2)
   PerThread &T = threadState(Thread);
   T.Locks.erase(Lock);
+  T.LocksDirty = true;
   assert(!T.RealStack.empty() && T.RealStack.back() == Lock &&
          "monitor releases must be LIFO (Java structured locking)");
   T.RealStack.pop_back();
@@ -118,13 +125,18 @@ void RaceRuntime::onAccess(ThreadId Thread, LocationKey Location,
       return; // guaranteed redundant: a weaker access is already recorded
   }
 
-  AccessEvent Event;
+  if (T.LocksDirty) {
+    T.LocksId = Interner.intern(T.Locks);
+    T.LocksDirty = false;
+  }
+
+  DetectorEvent Event;
   Event.Location = Key;
   Event.Thread = Thread;
-  Event.Locks = T.Locks;
+  Event.Locks = T.LocksId;
   Event.Access = Access;
   Event.Site = Site;
-  Det.handleAccess(Event);
+  Det.handleEvent(Event);
 
   if (Cache) {
     LockId Innermost =
@@ -136,12 +148,20 @@ void RaceRuntime::onAccess(ThreadId Thread, LocationKey Location,
 RaceRuntimeStats RaceRuntime::stats() const {
   RaceRuntimeStats S;
   S.EventsSeen = EventsSeen;
-  for (const auto &T : Threads) {
+  for (size_t Index = 0; Index < Threads.size(); ++Index) {
+    const auto &T = Threads[Index];
     if (!T)
       continue;
     S.CacheHits += T->ReadCache.hits() + T->WriteCache.hits();
     S.CacheMisses += T->ReadCache.misses() + T->WriteCache.misses();
     S.CacheEvictions += T->ReadCache.evictions() + T->WriteCache.evictions();
+    ThreadCacheStats TC;
+    TC.Thread = uint32_t(Index);
+    TC.ReadHits = T->ReadCache.hits();
+    TC.ReadMisses = T->ReadCache.misses();
+    TC.WriteHits = T->WriteCache.hits();
+    TC.WriteMisses = T->WriteCache.misses();
+    S.PerThreadCache.push_back(TC);
   }
   S.Detector = Det.stats();
   return S;

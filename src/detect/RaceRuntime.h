@@ -25,6 +25,7 @@
 #include "detect/DetectorStats.h"
 #include "detect/RaceReport.h"
 #include "runtime/Hooks.h"
+#include "support/LockSetInterner.h"
 
 #include <memory>
 #include <vector>
@@ -46,6 +47,10 @@ struct RaceRuntimeOptions {
   /// Model join ordering with dummy locks S_j (Section 2.3).  Disabling
   /// reproduces Eraser's behaviour on the mtrt join idiom (Section 8.3).
   bool ModelJoin = true;
+
+  /// Entries per (thread, kind) access cache; must be a power of two
+  /// (`herd --cache-size=N`).  The paper's experiments use 256.
+  uint32_t CacheEntries = 256;
 };
 
 /// The runtime detection pipeline.
@@ -80,16 +85,26 @@ public:
 
 private:
   struct PerThread {
+    explicit PerThread(uint32_t CacheEntries)
+        : ReadCache(CacheEntries), WriteCache(CacheEntries) {}
+
     LockSet Locks;                    ///< held locks incl. dummy join locks
     std::vector<LockId> RealStack;    ///< releasable locks, outer to inner
     AccessCache ReadCache;
     AccessCache WriteCache;
+
+    /// Interned id of Locks, refreshed lazily: locksets only change at
+    /// monitor/thread events, so the per-access cost is a dirty-bit test
+    /// instead of a SortedIdSet copy.
+    LockSetId LocksId = LockSetInterner::emptySet();
+    bool LocksDirty = false;
   };
 
   PerThread &threadState(ThreadId Thread);
 
   RaceRuntimeOptions Opts;
   RaceReporter Reporter;
+  LockSetInterner Interner; ///< declared before Det, which resolves into it
   Detector Det;
   std::vector<std::unique_ptr<PerThread>> Threads;
   uint64_t EventsSeen = 0;

@@ -17,15 +17,19 @@ using namespace herd;
 //===----------------------------------------------------------------------===
 
 ShardPool::ShardPool(uint32_t NumShards, size_t BatchCapacity,
-                     size_t QueueDepth)
-    : BatchCapacity(BatchCapacity == 0 ? 1 : BatchCapacity) {
+                     size_t QueueDepth, LockSetInterner *Locksets)
+    : Locksets(Locksets), BatchCapacity(BatchCapacity == 0 ? 1 : BatchCapacity) {
+  if (!this->Locksets) {
+    OwnedInterner = std::make_unique<LockSetInterner>();
+    this->Locksets = OwnedInterner.get();
+  }
   if (NumShards == 0)
     NumShards = 1;
   if (QueueDepth == 0)
     QueueDepth = 1;
   Shards.reserve(NumShards);
   for (uint32_t I = 0; I != NumShards; ++I) {
-    Shards.push_back(std::make_unique<Shard>(QueueDepth));
+    Shards.push_back(std::make_unique<Shard>(QueueDepth, *this->Locksets));
     Shards.back()->Open.Events.reserve(this->BatchCapacity);
   }
   for (auto &S : Shards)
@@ -37,26 +41,43 @@ ShardPool::~ShardPool() { finish(); }
 void ShardPool::workerLoop(Shard &S) {
   EventBatch Batch;
   while (S.Queue.pop(Batch)) {
-    for (const AccessEvent &Event : Batch.Events)
-      S.Det.handleAccess(Event);
-    Batch.Events.clear();
-    S.Queue.completeOne();
+    for (const DetectorEvent &Event : Batch.Events)
+      S.Det.handleEvent(Event);
+    // Hand the emptied buffer back through the queue so the producer can
+    // reuse it: steady-state transport allocates nothing.
+    S.Queue.completeOne(std::move(Batch));
+    Batch = EventBatch();
   }
 }
 
-void ShardPool::submit(AccessEvent Event) {
+void ShardPool::pushOpen(Shard &S) {
+  ++S.BatchesIngested;
+  bool Pushed = S.Queue.push(std::move(S.Open));
+  (void)Pushed;
+  assert(Pushed && "shard queue stopped while ingesting");
+  if (!S.Queue.takeSpare(S.Open)) {
+    S.Open = EventBatch();
+    S.Open.Events.reserve(BatchCapacity);
+  }
+}
+
+void ShardPool::submit(const DetectorEvent &Event) {
   assert(!Finished && "submit after finish");
   Shard &S = *Shards[shardOf(Event.Location, numShards())];
   ++S.EventsIngested;
-  S.Open.Events.push_back(std::move(Event));
-  if (S.Open.Events.size() >= BatchCapacity) {
-    ++S.BatchesIngested;
-    bool Pushed = S.Queue.push(std::move(S.Open));
-    (void)Pushed;
-    assert(Pushed && "shard queue stopped while ingesting");
-    S.Open.Events.clear();
-    S.Open.Events.reserve(BatchCapacity);
-  }
+  S.Open.Events.push_back(Event);
+  if (S.Open.Events.size() >= BatchCapacity)
+    pushOpen(S);
+}
+
+void ShardPool::submit(const AccessEvent &Event) {
+  DetectorEvent E;
+  E.Location = Event.Location;
+  E.Thread = Event.Thread;
+  E.Locks = Locksets->intern(Event.Locks);
+  E.Access = Event.Access;
+  E.Site = Event.Site;
+  submit(E);
 }
 
 void ShardPool::flush() {
@@ -65,12 +86,7 @@ void ShardPool::flush() {
   for (auto &S : Shards) {
     if (S->Open.Events.empty())
       continue;
-    ++S->BatchesIngested;
-    bool Pushed = S->Queue.push(std::move(S->Open));
-    (void)Pushed;
-    assert(Pushed && "shard queue stopped while flushing");
-    S->Open.Events.clear();
-    S->Open.Events.reserve(BatchCapacity);
+    pushOpen(*S);
   }
 }
 
@@ -158,7 +174,7 @@ ShardedRuntime::PerThread &ShardedRuntime::threadState(ThreadId Thread) {
   if (Index >= Threads.size())
     Threads.resize(Index + 1);
   if (!Threads[Index])
-    Threads[Index] = std::make_unique<PerThread>();
+    Threads[Index] = std::make_unique<PerThread>(Opts.CacheEntries);
   return *Threads[Index];
 }
 
@@ -167,19 +183,26 @@ void ShardedRuntime::onThreadCreate(ThreadId Child, ThreadId Parent,
   (void)Parent;
   (void)ThreadObj;
   PerThread &T = threadState(Child);
-  if (Opts.ModelJoin)
+  if (Opts.ModelJoin) {
     T.Locks.insert(RaceRuntime::dummyLockOf(Child));
+    T.LocksDirty = true;
+  }
 }
 
 void ShardedRuntime::onThreadExit(ThreadId Dying) {
   if (!Opts.ModelJoin)
     return;
-  threadState(Dying).Locks.erase(RaceRuntime::dummyLockOf(Dying));
+  PerThread &T = threadState(Dying);
+  T.Locks.erase(RaceRuntime::dummyLockOf(Dying));
+  T.LocksDirty = true;
 }
 
 void ShardedRuntime::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
-  if (Opts.ModelJoin)
-    threadState(Joiner).Locks.insert(RaceRuntime::dummyLockOf(Joined));
+  if (Opts.ModelJoin) {
+    PerThread &T = threadState(Joiner);
+    T.Locks.insert(RaceRuntime::dummyLockOf(Joined));
+    T.LocksDirty = true;
+  }
   // Join points are drain barriers: every event from before the join is
   // fully processed before execution continues, which bounds queue skew
   // and makes mid-run statistics snapshots deterministic.
@@ -192,6 +215,7 @@ void ShardedRuntime::onMonitorEnter(ThreadId Thread, LockId Lock,
     return; // nested acquisitions are invisible to the detector (Sec 4.2)
   PerThread &T = threadState(Thread);
   T.Locks.insert(Lock);
+  T.LocksDirty = true;
   T.RealStack.push_back(Lock);
 }
 
@@ -201,6 +225,7 @@ void ShardedRuntime::onMonitorExit(ThreadId Thread, LockId Lock,
     return; // only the final monitorexit releases (Section 4.2)
   PerThread &T = threadState(Thread);
   T.Locks.erase(Lock);
+  T.LocksDirty = true;
   assert(!T.RealStack.empty() && T.RealStack.back() == Lock &&
          "monitor releases must be LIFO (Java structured locking)");
   T.RealStack.pop_back();
@@ -229,13 +254,17 @@ void ShardedRuntime::onAccess(ThreadId Thread, LocationKey Location,
   // The ownership filter runs before the cache insert, mirroring the
   // serial runtime where the shared-transition eviction precedes it.
   if (!Opts.UseOwnership || Ownership.passes(Thread, Key)) {
-    AccessEvent Event;
+    if (T.LocksDirty) {
+      T.LocksId = Pool.interner().intern(T.Locks);
+      T.LocksDirty = false;
+    }
+    DetectorEvent Event;
     Event.Location = Key;
     Event.Thread = Thread;
-    Event.Locks = T.Locks;
+    Event.Locks = T.LocksId;
     Event.Access = Access;
     Event.Site = Site;
-    Pool.submit(std::move(Event));
+    Pool.submit(Event);
   }
 
   if (Cache) {
@@ -268,12 +297,20 @@ RaceRuntimeStats ShardedRuntime::stats() {
   drain();
   RaceRuntimeStats S;
   S.EventsSeen = EventsSeen;
-  for (const auto &T : Threads) {
+  for (size_t Index = 0; Index < Threads.size(); ++Index) {
+    const auto &T = Threads[Index];
     if (!T)
       continue;
     S.CacheHits += T->ReadCache.hits() + T->WriteCache.hits();
     S.CacheMisses += T->ReadCache.misses() + T->WriteCache.misses();
     S.CacheEvictions += T->ReadCache.evictions() + T->WriteCache.evictions();
+    ThreadCacheStats TC;
+    TC.Thread = uint32_t(Index);
+    TC.ReadHits = T->ReadCache.hits();
+    TC.ReadMisses = T->ReadCache.misses();
+    TC.WriteHits = T->WriteCache.hits();
+    TC.WriteMisses = T->WriteCache.misses();
+    S.PerThreadCache.push_back(TC);
   }
   DetectorStats Agg = Pool.aggregateDetectorStats();
   S.Detector.EventsIn = EventsToDetector;

@@ -37,6 +37,7 @@
 #include "detect/OwnershipFilter.h"
 #include "detect/RaceReport.h"
 #include "runtime/Hooks.h"
+#include "support/LockSetInterner.h"
 
 #include <memory>
 #include <thread>
@@ -55,6 +56,10 @@ struct ShardedRuntimeOptions {
   bool UseOwnership = true;
   bool FieldsMerged = false;
   bool ModelJoin = true;
+
+  /// Entries per (thread, kind) access cache; must be a power of two
+  /// (`herd --cache-size=N`).  The paper's experiments use 256.
+  uint32_t CacheEntries = 256;
 };
 
 /// The shard engine: N trie detectors on worker threads behind bounded
@@ -63,7 +68,12 @@ struct ShardedRuntimeOptions {
 /// submit/flush/drain are producer-thread-only.
 class ShardPool {
 public:
-  ShardPool(uint32_t NumShards, size_t BatchCapacity, size_t QueueDepth);
+  /// \p Locksets is the interner batched lockset ids resolve against; when
+  /// null the pool owns a private one (standalone pools in tests/benches).
+  /// Interning happens producer-side only; workers call resolve(), which
+  /// is safe for ids published through the batch queues.
+  ShardPool(uint32_t NumShards, size_t BatchCapacity, size_t QueueDepth,
+            LockSetInterner *Locksets = nullptr);
   ~ShardPool();
 
   /// The shard a location's events are routed to: a hash of the location
@@ -86,9 +96,16 @@ public:
 
   uint32_t numShards() const { return uint32_t(Shards.size()); }
 
-  /// Routes one event to its shard, batching; blocks only when the shard's
-  /// queue is full (backpressure).
-  void submit(AccessEvent Event);
+  /// Routes one pre-interned event to its shard, batching; blocks only
+  /// when the shard's queue is full (backpressure).  The hot path.
+  void submit(const DetectorEvent &Event);
+
+  /// Convenience overload interning the event's lockset (producer-thread
+  /// only; tests and benches that build AccessEvents directly).
+  void submit(const AccessEvent &Event);
+
+  /// The interner this pool's shard detectors resolve lockset ids against.
+  LockSetInterner &interner() { return *Locksets; }
 
   /// Pushes every partially filled batch to its queue.
   void flush();
@@ -125,14 +142,19 @@ private:
     uint64_t EventsIngested = 0;
     uint64_t BatchesIngested = 0;
 
-    Shard(size_t QueueDepth)
+    Shard(size_t QueueDepth, LockSetInterner &Interner)
         : Queue(QueueDepth),
-          Det(Reporter, Detector::Options{/*UseOwnership=*/false,
-                                          /*FieldsMerged=*/false}) {}
+          Det(Reporter,
+              Detector::Options{/*UseOwnership=*/false,
+                                /*FieldsMerged=*/false},
+              &Interner) {}
   };
 
   void workerLoop(Shard &S);
+  void pushOpen(Shard &S);
 
+  std::unique_ptr<LockSetInterner> OwnedInterner; ///< set iff none shared
+  LockSetInterner *Locksets = nullptr;            ///< never null
   std::vector<std::unique_ptr<Shard>> Shards;
   size_t BatchCapacity;
   bool Finished = false;
@@ -173,10 +195,18 @@ public:
 
 private:
   struct PerThread {
+    explicit PerThread(uint32_t CacheEntries)
+        : ReadCache(CacheEntries), WriteCache(CacheEntries) {}
+
     LockSet Locks;                 ///< held locks incl. dummy join locks
     std::vector<LockId> RealStack; ///< releasable locks, outer to inner
     AccessCache ReadCache;
     AccessCache WriteCache;
+
+    /// Interned id of Locks, refreshed lazily on the first access after a
+    /// lockset change (see RaceRuntime::PerThread).
+    LockSetId LocksId = LockSetInterner::emptySet();
+    bool LocksDirty = false;
   };
 
   PerThread &threadState(ThreadId Thread);

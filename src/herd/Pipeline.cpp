@@ -183,6 +183,7 @@ RuntimeHooks *makeDetectionRuntime(const ToolConfig &Config,
     ShardedRuntimeOptions SOpts;
     SOpts.NumShards = Config.Shards;
     SOpts.UseCache = Config.UseCache;
+    SOpts.CacheEntries = Config.CacheEntries;
     SOpts.UseOwnership = Config.UseOwnership;
     SOpts.FieldsMerged = Config.FieldsMerged;
     SOpts.ModelJoin = Config.ModelJoin;
@@ -191,6 +192,7 @@ RuntimeHooks *makeDetectionRuntime(const ToolConfig &Config,
   }
   RaceRuntimeOptions RTOpts;
   RTOpts.UseCache = Config.UseCache;
+  RTOpts.CacheEntries = Config.CacheEntries;
   RTOpts.UseOwnership = Config.UseOwnership;
   RTOpts.FieldsMerged = Config.FieldsMerged;
   RTOpts.ModelJoin = Config.ModelJoin;

@@ -47,6 +47,11 @@ struct ToolConfig {
   bool FieldsMerged = false;   ///< true  = "FieldsMerged" (Table 3)
   bool ModelJoin = true;       ///< dummy join locks (Section 2.3)
 
+  /// Entries per (thread, kind) access cache (`herd --cache-size=N`);
+  /// must be a power of two.  The paper's Section 4.3 sweeps this; its
+  /// experiments settle on 256.
+  uint32_t CacheEntries = 256;
+
   /// Shard count for the detection runtime: 0 runs the serial
   /// detect/RaceRuntime; N >= 1 runs detect/ShardedRuntime with N
   /// location-hashed shard workers (docs/SHARDING.md).  Reports are

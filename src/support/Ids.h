@@ -107,6 +107,13 @@ struct ObjectId : StrongId<ObjectId> {
   using StrongId::StrongId;
 };
 
+/// Identifies a canonical (interned) lockset in a LockSetInterner.  Id 0 is
+/// always the empty set.  Passing this 4-byte id per event instead of a
+/// SortedIdSet copy is what keeps the detector hot path allocation-free.
+struct LockSetId : StrongId<LockSetId> {
+  using StrongId::StrongId;
+};
+
 /// A logical memory location: a (object, field) pair, or the whole array for
 /// array element accesses (the paper associates one location with all
 /// elements of an array, Section 2.1 footnote 1).
@@ -196,6 +203,7 @@ HERD_DEFINE_ID_HASH(SiteId);
 HERD_DEFINE_ID_HASH(ThreadId);
 HERD_DEFINE_ID_HASH(LockId);
 HERD_DEFINE_ID_HASH(ObjectId);
+HERD_DEFINE_ID_HASH(LockSetId);
 
 #undef HERD_DEFINE_ID_HASH
 } // namespace std

@@ -51,10 +51,19 @@ inline Program generateProgram(uint64_t Seed) {
 
   ClassId Worker = B.makeClass("Worker");
   std::vector<FieldId> WData, WLocks;
-  for (size_t I = 0; I != NumData; ++I)
-    WData.push_back(B.makeField(Worker, "d" + std::to_string(I)));
-  for (size_t I = 0; I != NumLocks; ++I)
-    WLocks.push_back(B.makeField(Worker, "l" + std::to_string(I)));
+  // Built with += rather than operator+: the string-concat rvalue overloads
+  // trip GCC 12's -Wrestrict false positive (PR105651) under -Werror at
+  // some inlining depths.
+  for (size_t I = 0; I != NumData; ++I) {
+    std::string Name = "d";
+    Name += std::to_string(I);
+    WData.push_back(B.makeField(Worker, Name));
+  }
+  for (size_t I = 0; I != NumLocks; ++I) {
+    std::string Name = "l";
+    Name += std::to_string(I);
+    WLocks.push_back(B.makeField(Worker, Name));
+  }
 
   // Worker.run: random accesses under random (possibly nested) locking.
   B.startMethod(Worker, "run", 1);

@@ -1,0 +1,395 @@
+//===- tests/hotpath_test.cpp - Hot-path building blocks ------------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the allocation-lean detector hot path (docs/PERFORMANCE.md):
+/// the LockSetInterner against a SortedIdSet oracle (including the >64-lock
+/// inexact path), Arena index stability and recycling, the TrieEdgePool,
+/// and differential replays proving the interned/sharded paths produce the
+/// identical RaceReport stream as the original handleAccess path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "FuzzPrograms.h"
+#include "TestPrograms.h"
+#include "detect/AccessTrie.h"
+#include "detect/Detector.h"
+#include "detect/RaceRuntime.h"
+#include "detect/ShardedRuntime.h"
+#include "detect/TraceFile.h"
+#include "runtime/Interpreter.h"
+#include "support/Arena.h"
+#include "support/LockSetInterner.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <tuple>
+#include <vector>
+
+using namespace herd;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// LockSetInterner vs the SortedIdSet oracle
+//===----------------------------------------------------------------------===
+
+LockSet makeSet(std::initializer_list<uint32_t> Locks) {
+  LockSet S;
+  for (uint32_t L : Locks)
+    S.insert(LockId(L));
+  return S;
+}
+
+TEST(LockSetInterner, CanonicalIds) {
+  LockSetInterner I;
+  EXPECT_EQ(I.intern(LockSet()), LockSetInterner::emptySet());
+
+  LockSetId A = I.intern(makeSet({3, 7}));
+  LockSetId B = I.intern(makeSet({7, 3})); // same set, insertion order moot
+  LockSetId C = I.intern(makeSet({3}));
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(I.size(), 3u); // empty, {3,7}, {3}
+
+  // resolve() returns the canonical sorted set.
+  const LockSet &Back = I.resolve(A);
+  ASSERT_EQ(Back.size(), 2u);
+  EXPECT_TRUE(Back.contains(LockId(3)));
+  EXPECT_TRUE(Back.contains(LockId(7)));
+}
+
+TEST(LockSetInterner, EmptySetQueries) {
+  LockSetInterner I;
+  LockSetId E = LockSetInterner::emptySet();
+  LockSetId A = I.intern(makeSet({1}));
+  EXPECT_TRUE(I.isSubsetOf(E, A));
+  EXPECT_TRUE(I.isSubsetOf(E, E));
+  EXPECT_FALSE(I.isSubsetOf(A, E));
+  EXPECT_FALSE(I.intersects(E, A));
+  EXPECT_FALSE(I.intersects(E, E));
+}
+
+/// Randomized subset/intersect agreement with the SortedIdSet oracle.
+/// \p Universe controls whether sets stay inside the 64-dense-lock fast
+/// path or spill into the memoized inexact path.
+void checkAgainstOracle(uint32_t Universe, uint64_t Seed) {
+  Rng R(Seed);
+  LockSetInterner I;
+  std::vector<std::pair<LockSetId, LockSet>> Sets;
+  for (int N = 0; N != 200; ++N) {
+    LockSet S;
+    size_t Size = R.nextBelow(6);
+    for (size_t J = 0; J != Size; ++J)
+      S.insert(LockId(uint32_t(R.nextBelow(Universe))));
+    Sets.push_back({I.intern(S), S});
+  }
+  for (int N = 0; N != 2000; ++N) {
+    auto &[IdA, SetA] = Sets[R.nextBelow(Sets.size())];
+    auto &[IdB, SetB] = Sets[R.nextBelow(Sets.size())];
+    EXPECT_EQ(I.isSubsetOf(IdA, IdB), SetA.isSubsetOf(SetB));
+    EXPECT_EQ(I.intersects(IdA, IdB), SetA.intersects(SetB));
+    // Memoized answers must be stable on repeat queries.
+    EXPECT_EQ(I.isSubsetOf(IdA, IdB), SetA.isSubsetOf(SetB));
+  }
+}
+
+TEST(LockSetInterner, OracleSmallUniverse) {
+  checkAgainstOracle(/*Universe=*/16, /*Seed=*/1);
+}
+
+TEST(LockSetInterner, OracleExactly64) {
+  checkAgainstOracle(/*Universe=*/64, /*Seed=*/2);
+}
+
+TEST(LockSetInterner, OracleSpillsPast64Locks) {
+  // 200 lock ids: most sets contain locks whose dense index lands >= 64,
+  // exercising the inexact masks and the memoized fallback.
+  checkAgainstOracle(/*Universe=*/200, /*Seed=*/3);
+}
+
+TEST(LockSetInterner, MixedExactAndInexact) {
+  LockSetInterner I;
+  // Fill the 64-slot dense universe first with 64 singleton sets.
+  for (uint32_t L = 0; L != 64; ++L)
+    I.intern(makeSet({L}));
+  EXPECT_EQ(I.lockUniverse(), 64u);
+  LockSetId Exact = I.intern(makeSet({1, 2}));
+  LockSetId Inexact = I.intern(makeSet({1, 2, 900})); // 900 -> index 64
+  LockSetId Other = I.intern(makeSet({900}));
+  EXPECT_TRUE(I.isSubsetOf(Exact, Inexact));
+  EXPECT_FALSE(I.isSubsetOf(Inexact, Exact));
+  EXPECT_TRUE(I.intersects(Inexact, Other));
+  EXPECT_FALSE(I.intersects(Exact, Other));
+}
+
+//===----------------------------------------------------------------------===
+// Arena: index stability, recycling, reset
+//===----------------------------------------------------------------------===
+
+TEST(Arena, IndicesStableAcrossGrowth) {
+  Arena<uint64_t> A;
+  // Far more than one chunk, and keep checking early slots as it grows.
+  const uint32_t N = Arena<uint64_t>::ChunkSize * 3 + 17;
+  std::vector<uint32_t> Indices;
+  for (uint32_t I = 0; I != N; ++I) {
+    uint32_t Idx = A.allocate();
+    A[Idx] = uint64_t(I) * 0x9E3779B9u;
+    Indices.push_back(Idx);
+  }
+  EXPECT_EQ(A.live(), N);
+  for (uint32_t I = 0; I != N; ++I)
+    EXPECT_EQ(A[Indices[I]], uint64_t(I) * 0x9E3779B9u);
+}
+
+TEST(Arena, ReleaseRecyclesAndRedefaults) {
+  Arena<uint64_t> A;
+  uint32_t X = A.allocate();
+  uint32_t Y = A.allocate();
+  A[X] = 111;
+  A[Y] = 222;
+  A.release(X);
+  EXPECT_EQ(A.live(), 1u);
+  uint32_t Z = A.allocate(); // LIFO free list hands X back
+  EXPECT_EQ(Z, X);
+  EXPECT_EQ(A[Z], 0u); // recycled slot is re-defaulted
+  EXPECT_EQ(A[Y], 222u);
+  EXPECT_EQ(A.live(), 2u);
+  EXPECT_EQ(A.capacityUsed(), 2u);
+}
+
+TEST(Arena, ResetKeepsStorageButDropsSlots) {
+  Arena<uint64_t> A;
+  for (int I = 0; I != 100; ++I)
+    A[A.allocate()] = 7;
+  A.reset();
+  EXPECT_EQ(A.live(), 0u);
+  EXPECT_EQ(A.capacityUsed(), 0u);
+  uint32_t X = A.allocate();
+  EXPECT_EQ(X, 0u);
+  EXPECT_EQ(A[X], 0u); // stale chunk slot was re-defaulted
+}
+
+//===----------------------------------------------------------------------===
+// TrieEdgePool: block recycling, aliasing, large blocks
+//===----------------------------------------------------------------------===
+
+TEST(TrieEdgePool, BlocksDoNotAlias) {
+  TrieEdgePool P;
+  std::vector<uint32_t> Blocks;
+  for (uint32_t I = 0; I != 64; ++I) {
+    uint32_t B = P.allocate(2); // capacity-4 blocks
+    for (uint32_t J = 0; J != 4; ++J) {
+      P.at(B)[J].Label = LockId(I * 4 + J);
+      P.at(B)[J].Child = I * 4 + J;
+    }
+    Blocks.push_back(B);
+  }
+  for (uint32_t I = 0; I != 64; ++I)
+    for (uint32_t J = 0; J != 4; ++J) {
+      EXPECT_EQ(P.at(Blocks[I])[J].Label, LockId(I * 4 + J));
+      EXPECT_EQ(P.at(Blocks[I])[J].Child, I * 4 + J);
+    }
+}
+
+TEST(TrieEdgePool, ReleaseRecyclesPerClass) {
+  TrieEdgePool P;
+  uint32_t A = P.allocate(3);
+  uint32_t B = P.allocate(3);
+  P.release(A, 3);
+  P.release(B, 3);
+  // LIFO per-class free list: B then A, and no fresh storage.
+  EXPECT_EQ(P.allocate(3), B);
+  EXPECT_EQ(P.allocate(3), A);
+  // A different class does not poach from class 3's free list.
+  uint32_t C = P.allocate(1);
+  EXPECT_NE(C, A);
+  EXPECT_NE(C, B);
+}
+
+TEST(TrieEdgePool, BlocksNeverStraddleChunks) {
+  TrieEdgePool P;
+  // Mixed-class allocation pattern; every block must stay inside one
+  // chunk, i.e. start/end land in the same ChunkSize window.
+  Rng R(7);
+  for (int I = 0; I != 500; ++I) {
+    uint8_t Class = uint8_t(R.nextBelow(8));
+    uint32_t B = P.allocate(Class);
+    uint32_t Cap = 1u << Class;
+    EXPECT_EQ(B / TrieEdgePool::ChunkSize,
+              (B + Cap - 1) / TrieEdgePool::ChunkSize);
+    // Touch both ends: would fault or corrupt a neighbour if misplaced.
+    P.at(B)[0].Child = I;
+    P.at(B)[Cap - 1].Child = I;
+  }
+}
+
+TEST(TrieEdgePool, LargeBlocks) {
+  TrieEdgePool P;
+  uint8_t Class = TrieEdgePool::MaxInlineClass + 1;
+  uint32_t Cap = 1u << Class;
+  uint32_t A = P.allocate(Class);
+  for (uint32_t J = 0; J != Cap; ++J)
+    P.at(A)[J].Child = J;
+  uint32_t B = P.allocate(Class);
+  P.at(B)[0].Child = 0xABCD;
+  EXPECT_EQ(P.at(A)[0].Child, 0u);
+  EXPECT_EQ(P.at(A)[Cap - 1].Child, Cap - 1);
+  P.release(A, Class);
+  EXPECT_EQ(P.allocate(Class), A); // recycled, not refreshed
+  P.release(B, Class);
+  P.release(A, Class);
+}
+
+//===----------------------------------------------------------------------===
+// Differential replays: one event stream, identical race reports
+//===----------------------------------------------------------------------===
+
+/// A RaceRecord as a comparable value (locksets flattened to index lists).
+using RecordKey =
+    std::tuple<uint64_t, uint32_t, int, std::vector<uint32_t>, uint32_t,
+               bool, uint32_t, int, std::vector<uint32_t>>;
+
+RecordKey keyOf(const RaceRecord &R) {
+  std::vector<uint32_t> Cur, Prior;
+  for (LockId L : R.CurrentLocks)
+    Cur.push_back(L.index());
+  for (LockId L : R.PriorLocks)
+    Prior.push_back(L.index());
+  return {R.Location.raw(),
+          R.CurrentThread.index(),
+          int(R.CurrentAccess),
+          std::move(Cur),
+          R.CurrentSite.index(),
+          R.PriorThreadKnown,
+          R.PriorThreadKnown ? R.PriorThread.index() : 0,
+          int(R.PriorAccess),
+          std::move(Prior)};
+}
+
+std::vector<RecordKey> keysOf(const RaceReporter &Reporter) {
+  std::vector<RecordKey> Keys;
+  for (const RaceRecord &R : Reporter.records())
+    Keys.push_back(keyOf(R));
+  return Keys;
+}
+
+/// Executes \p P once, streaming every event both to a live serial runtime
+/// and to a trace file; then replays the trace through a second serial
+/// runtime and through sharded runtimes.  The live run and the serial
+/// replay must produce the byte-identical report stream (same records,
+/// same order); the sharded runtimes must produce the same multiset of
+/// records (shards interleave report emission, but each location's
+/// detector sees the identical ordered event sequence).
+void checkDifferential(const Program &P, uint64_t Seed,
+                       const std::string &TracePath) {
+  RaceRuntime Live;
+  TraceWriter Writer;
+  ASSERT_TRUE(Writer.open(TracePath).Ok);
+  FanoutHooks Fanout{&Writer, &Live};
+
+  InterpOptions Opts;
+  Opts.Seed = Seed;
+  Opts.TraceEveryAccess = true;
+  Interpreter Interp(P, &Fanout, Opts);
+  InterpResult R = Interp.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(Writer.close().Ok);
+
+  std::vector<RecordKey> LiveKeys = keysOf(Live.reporter());
+
+  {
+    RaceRuntime Replayed;
+    TraceReader Reader;
+    ASSERT_TRUE(Reader.open(TracePath).Ok);
+    ASSERT_TRUE(Reader.replayInto(Replayed).Ok);
+    Replayed.onRunEnd();
+    EXPECT_EQ(keysOf(Replayed.reporter()), LiveKeys)
+        << "serial replay diverged from the live run";
+  }
+
+  std::vector<RecordKey> SortedLive = LiveKeys;
+  std::sort(SortedLive.begin(), SortedLive.end());
+  for (uint32_t Shards : {1u, 2u, 4u}) {
+    ShardedRuntimeOptions SOpts;
+    SOpts.NumShards = Shards;
+    ShardedRuntime Sharded(SOpts);
+    TraceReader Reader;
+    ASSERT_TRUE(Reader.open(TracePath).Ok);
+    ASSERT_TRUE(Reader.replayInto(Sharded).Ok);
+    Sharded.onRunEnd();
+    std::vector<RecordKey> Keys = keysOf(Sharded.reporter());
+    std::sort(Keys.begin(), Keys.end());
+    EXPECT_EQ(Keys, SortedLive)
+        << "sharded replay (" << Shards << " shards) diverged";
+  }
+
+  std::remove(TracePath.c_str());
+}
+
+TEST(HotPathDifferential, HandWrittenPrograms) {
+  // Figure 2 in both flavours (distinct locks = racy, same lock = clean)
+  // and the Figure 3 loop.
+  checkDifferential(testprogs::buildFigure2(/*SamePQ=*/false), 1,
+                    "/tmp/herd_hotpath_diff_fig2racy.trace");
+  checkDifferential(testprogs::buildFigure2(/*SamePQ=*/true), 1,
+                    "/tmp/herd_hotpath_diff_fig2clean.trace");
+  checkDifferential(testprogs::buildFig3Loop(16), 1,
+                    "/tmp/herd_hotpath_diff_fig3.trace");
+}
+
+TEST(HotPathDifferential, FuzzedPrograms) {
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    Program P = fuzzprogs::generateProgram(Seed);
+    checkDifferential(P, Seed,
+                      "/tmp/herd_hotpath_diff_fuzz" + std::to_string(Seed) +
+                          ".trace");
+  }
+}
+
+/// handleAccess (owning lockset) against handleEvent (pre-interned id):
+/// the two ingestion paths of the standalone Detector must agree record
+/// for record.
+TEST(HotPathDifferential, HandleAccessVsHandleEvent) {
+  Rng R(42);
+  std::vector<AccessEvent> Events;
+  for (int I = 0; I != 4000; ++I) {
+    AccessEvent E;
+    E.Location =
+        LocationKey::forField(ObjectId(uint32_t(R.nextBelow(32))),
+                              FieldId(uint32_t(R.nextBelow(2))));
+    E.Thread = ThreadId(uint32_t(1 + R.nextBelow(4)));
+    size_t Locks = R.nextBelow(3);
+    for (size_t J = 0; J != Locks; ++J)
+      E.Locks.insert(LockId(uint32_t(R.nextBelow(6))));
+    E.Access = R.nextChance(1, 3) ? AccessKind::Write : AccessKind::Read;
+    E.Site = SiteId(uint32_t(R.nextBelow(8)));
+    Events.push_back(std::move(E));
+  }
+
+  RaceReporter ViaAccess, ViaEvent;
+  Detector A(ViaAccess, {});
+  Detector B(ViaEvent, {});
+  for (const AccessEvent &E : Events) {
+    A.handleAccess(E);
+    DetectorEvent D;
+    D.Location = E.Location;
+    D.Thread = E.Thread;
+    D.Locks = B.interner().intern(E.Locks);
+    D.Access = E.Access;
+    D.Site = E.Site;
+    B.handleEvent(D);
+  }
+  EXPECT_EQ(keysOf(ViaAccess), keysOf(ViaEvent));
+  EXPECT_EQ(A.stats().RacesReported, B.stats().RacesReported);
+  EXPECT_EQ(A.stats().TrieNodes, B.stats().TrieNodes);
+}
+
+} // namespace

@@ -46,6 +46,8 @@ void usage() {
       "  --seed=<n>        schedule seed (default 1)\n"
       "  --shards=<n>      run the sharded detection runtime with n shard\n"
       "                    workers (default: serial runtime)\n"
+      "  --cache-size=<n>  entries per per-thread access cache; power of\n"
+      "                    two (default 256, the paper's Section 4.3)\n"
       "  --sweep=<n>       run n seeds and summarize the reports\n"
       "  --record=<file>   also stream the run's events to a trace file\n"
       "                    (docs/REPLAY.md)\n"
@@ -106,6 +108,19 @@ void printStats(const PipelineResult &R) {
               (unsigned long long)R.Stats.Detector.WeakerFiltered,
               R.Stats.Detector.LocationsTracked,
               R.Stats.Detector.TrieNodes);
+  for (const ThreadCacheStats &TC : R.Stats.PerThreadCache) {
+    double Rate = TC.lookups()
+                      ? 100.0 * double(TC.hits()) / double(TC.lookups())
+                      : 0.0;
+    std::printf("cache t%-2u %llu/%llu hits (%.1f%%), read %llu/%llu, "
+                "write %llu/%llu\n",
+                TC.Thread, (unsigned long long)TC.hits(),
+                (unsigned long long)TC.lookups(), Rate,
+                (unsigned long long)TC.ReadHits,
+                (unsigned long long)(TC.ReadHits + TC.ReadMisses),
+                (unsigned long long)TC.WriteHits,
+                (unsigned long long)(TC.WriteHits + TC.WriteMisses));
+  }
   for (size_t I = 0; I != R.ShardBreakdown.size(); ++I) {
     const ShardStats &S = R.ShardBreakdown[I];
     std::printf("shard %zu:  %llu events in %llu batches, max queue depth "
@@ -191,6 +206,7 @@ int main(int argc, char **argv) {
   ToolConfig Config = ToolConfig::full();
   uint64_t Seed = 1;
   uint32_t Shards = 0;
+  uint32_t CacheSize = 0; // 0 = keep the config's default
   int Sweep = 0;
   bool Stats = false;
   bool DumpIR = false;
@@ -214,6 +230,18 @@ int main(int argc, char **argv) {
                      Arg.c_str() + 9);
         return 2;
       }
+    } else if (Arg.rfind("--cache-size=", 0) == 0) {
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Arg.c_str() + 13, &End, 10);
+      if (End == Arg.c_str() + 13 || *End != '\0' || N == 0 ||
+          N > (1u << 20) || (N & (N - 1)) != 0) {
+        std::fprintf(stderr,
+                     "herd: --cache-size expects a power of two in "
+                     "[1, 2^20], got '%s'\n",
+                     Arg.c_str() + 13);
+        return 2;
+      }
+      CacheSize = uint32_t(N);
     } else if (Arg.rfind("--sweep=", 0) == 0) {
       Sweep = std::atoi(Arg.c_str() + 8);
     } else if (Arg.rfind("--workload=", 0) == 0) {
@@ -274,6 +302,8 @@ int main(int argc, char **argv) {
   }
   Config.Shards = Shards;
   Config.RecordTracePath = RecordPath;
+  if (CacheSize != 0) // after --config: presets must not clobber the flag
+    Config.CacheEntries = CacheSize;
 
   CompileResult Compiled;
   if (!WorkloadName.empty()) {
