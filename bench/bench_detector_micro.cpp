@@ -214,7 +214,9 @@ void BM_ShardedEventStream(benchmark::State &State) {
                    /*QueueDepth=*/16);
     State.ResumeTiming();
     for (const AccessEvent &E : Events)
-      Pool.submit(E);
+      Pool.submit(DetectorEvent{E.Location, E.Thread,
+                                Pool.interner().intern(E.Locks), E.Access,
+                                E.Site});
     Pool.drain();
     State.PauseTiming();
     Pool.finish();

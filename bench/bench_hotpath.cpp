@@ -26,13 +26,21 @@
 /// every event reaches the trie detector — the paper's dominant cost and
 /// the path this harness guards.
 ///
-/// Deliberately restricted to APIs that predate the hot-path rewrite so
-/// the same source measures both sides of an A/B:
+/// Two sections beyond the plain pass grid:
 ///
-///   git stash; cmake --build build -j --target bench_hotpath
-///   ./build/bench/bench_hotpath --out=/tmp/old.json
-///   git stash pop; cmake --build build -j --target bench_hotpath
-///   ./build/bench/bench_hotpath --out=/tmp/new.json
+///  * A cold-pass A/B — each trace is additionally replayed through a
+///    serial runtime pre-sized by a DetectorPlan ("serial+plan"): the
+///    replicas use the analysis-driven planner (exactly what the pipeline's
+///    `--plan=auto` computes), refhot synthesizes its plan from the stream
+///    parameters (there is no program to analyze).  The cold rows of the
+///    two serial runtimes are the before/after of analysis-driven
+///    pre-sizing; the JSON carries them as `cold_ab`.
+///
+///  * A live-vs-replay comparison — each replica also runs live
+///    (interpreter driving the serial runtime directly) and the best live
+///    throughput is reported against the replay cold pass.  Replay strips
+///    the interpretation cost, so the ratio bounds how much of a live run
+///    the detector itself accounts for.
 ///
 /// `--smoke` shrinks every trace for CI; `--reps=N` sets the repetition
 /// count (default 3, 1 under --smoke); `--out=PATH` writes the JSON report
@@ -40,6 +48,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/DetectorPlanner.h"
+#include "analysis/StaticRace.h"
 #include "detect/RaceRuntime.h"
 #include "detect/ShardedRuntime.h"
 #include "detect/TraceFile.h"
@@ -165,6 +175,30 @@ void emitReferenceStream(RuntimeHooks &Sink, const RefParams &P) {
   }
 }
 
+/// Synthesizes the capacity plan for the reference stream from its own
+/// parameters — the stand-in for `--plan=auto` on a trace that has no
+/// program behind it.  The location count is exact (every (object, field)
+/// pair is touched); the trie sizing uses the measured full-run density of
+/// ~54 nodes per location, rounded up to 64.
+DetectorPlan refhotPlan(const RefParams &P) {
+  DetectorPlan Plan;
+  Plan.ExpectedLocations = uint64_t(P.Objects) * P.Fields;
+  Plan.ExpectedSharedLocations = Plan.ExpectedLocations;
+  Plan.ExpectedTrieNodes = Plan.ExpectedLocations * 64;
+  Plan.ExpectedTrieEdges = Plan.ExpectedTrieNodes;
+  Plan.ExpectedThreads = P.Threads;
+  // Locksets: {S_t, outer} and {S_t, outer, inner} per (thread, lock)
+  // combination, plus transients — 8*16 + 8*16*16 ≈ 2.2k for the default
+  // shape; the next power of two covers it.
+  Plan.ExpectedLocksets = 4096;
+  for (uint32_t T = 1; T <= P.Threads; ++T) {
+    SortedIdSet<LockId> Dummy;
+    Dummy.insert(RaceRuntime::dummyLockOf(ThreadId(T)));
+    Plan.PreinternLocksets.push_back(std::move(Dummy));
+  }
+  return Plan;
+}
+
 //===----------------------------------------------------------------------===
 // Measurement plumbing
 //===----------------------------------------------------------------------===
@@ -180,6 +214,17 @@ struct PassResult {
   double AllocBytesPerEvent = 0;
 };
 
+/// The live-execution counterpart of one replica trace: the interpreter
+/// driving the serial runtime directly, no trace file in between.
+struct LiveResult {
+  bool Present = false;
+  double Seconds = 0;
+  double EventsPerSec = 0;
+  uint64_t Allocs = 0;
+  double AllocsPerEvent = 0;
+  double RatioVsReplayCold = 0; ///< live events/s ÷ replay cold events/s
+};
+
 struct TraceReport {
   std::string Name;
   uint64_t Events = 0;
@@ -187,6 +232,11 @@ struct TraceReport {
   double BytesPerEvent = 0;
   std::vector<PassResult> Passes;
   bool Agreement = true; ///< all runtimes report the same racy locations
+  /// Cold-pass A/B: allocations per event on the first (structure-building)
+  /// pass, unplanned serial vs plan-pre-sized serial.
+  double ColdAllocsPerEvent = 0;
+  double ColdAllocsPerEventPlanned = 0;
+  LiveResult Live;
 };
 
 /// Replays \p Path once into \p Sink, timing and alloc-counting the pass.
@@ -250,7 +300,7 @@ void printPass(const std::string &Trace, const PassResult &R) {
 void writeJson(std::FILE *F, const std::vector<TraceReport> &Reports,
                bool Smoke, uint32_t Reps) {
   std::fprintf(F, "{\n");
-  std::fprintf(F, "  \"schema\": \"herd-bench-hotpath-v1\",\n");
+  std::fprintf(F, "  \"schema\": \"herd-bench-hotpath-v2\",\n");
   std::fprintf(F, "  \"smoke\": %s,\n", Smoke ? "true" : "false");
   std::fprintf(F, "  \"reps\": %u,\n", Reps);
   std::fprintf(F, "  \"traces\": [\n");
@@ -265,6 +315,17 @@ void writeJson(std::FILE *F, const std::vector<TraceReport> &Reports,
     std::fprintf(F, "      \"bytes_per_event\": %.2f,\n", T.BytesPerEvent);
     std::fprintf(F, "      \"agreement\": %s,\n",
                  T.Agreement ? "true" : "false");
+    std::fprintf(F,
+                 "      \"cold_ab\": {\"allocs_per_event\": %.4f, "
+                 "\"allocs_per_event_planned\": %.4f},\n",
+                 T.ColdAllocsPerEvent, T.ColdAllocsPerEventPlanned);
+    if (T.Live.Present)
+      std::fprintf(F,
+                   "      \"live\": {\"seconds\": %.6f, "
+                   "\"events_per_sec\": %.0f, \"allocs_per_event\": %.4f, "
+                   "\"ratio_vs_replay_cold\": %.3f},\n",
+                   T.Live.Seconds, T.Live.EventsPerSec,
+                   T.Live.AllocsPerEvent, T.Live.RatioVsReplayCold);
     std::fprintf(F, "      \"passes\": [\n");
     for (size_t J = 0; J != T.Passes.size(); ++J) {
       const PassResult &P = T.Passes[J];
@@ -315,8 +376,10 @@ int main(int argc, char **argv) {
   struct Recorded {
     std::string Name;
     std::string Path;
-    uint64_t Events;
-    uint64_t Bytes;
+    uint64_t Events = 0;
+    uint64_t Bytes = 0;
+    DetectorPlan Plan;             ///< pre-sizing for the "serial+plan" A/B
+    const Program *Prog = nullptr; ///< non-null for replicas: live re-run
   };
   std::vector<Recorded> Traces;
 
@@ -336,12 +399,20 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "refhot: %s\n", TR.Error.c_str());
       return 1;
     }
-    Traces.push_back(
-        {"refhot", Path, Writer.recordsWritten(), Writer.bytesWritten()});
+    Recorded R;
+    R.Name = "refhot";
+    R.Path = Path;
+    R.Events = Writer.recordsWritten();
+    R.Bytes = Writer.bytesWritten();
+    R.Plan = refhotPlan(P);
+    Traces.push_back(std::move(R));
   }
 
-  // Record the five benchmark replicas through the interpreter.
-  for (Workload &W : buildAllWorkloads(Smoke ? 1 : 4)) {
+  // Record the five benchmark replicas through the interpreter.  The
+  // workloads vector outlives the measurement loop so the live section can
+  // re-run each program.
+  std::vector<Workload> Workloads = buildAllWorkloads(Smoke ? 1 : 4);
+  for (Workload &W : Workloads) {
     std::string Path = "/tmp/herd_hotpath_" + W.Name + ".trace";
     TraceWriter Writer;
     if (TraceResult TR = Writer.open(Path); !TR.Ok) {
@@ -357,8 +428,18 @@ int main(int argc, char **argv) {
                    R.Error.c_str(), TR.Error.c_str());
       return 1;
     }
-    Traces.push_back(
-        {W.Name, Path, Writer.recordsWritten(), Writer.bytesWritten()});
+    Recorded Rec;
+    Rec.Name = W.Name;
+    Rec.Path = Path;
+    Rec.Events = Writer.recordsWritten();
+    Rec.Bytes = Writer.bytesWritten();
+    // The analysis-driven plan — the same computation `--plan=auto` runs
+    // inside the pipeline's analysis phase.
+    StaticRaceAnalysis Races(W.P);
+    Races.run();
+    Rec.Plan = planDetector(W.P, Races);
+    Rec.Prog = &W.P;
+    Traces.push_back(std::move(Rec));
   }
 
   const uint32_t FullShardCounts[] = {2, 4};
@@ -408,6 +489,40 @@ int main(int argc, char **argv) {
         keepBest(Best, One);
       }
       for (PassResult &P : Best) {
+        if (P.Pass == "cold")
+          Report.ColdAllocsPerEvent = P.AllocsPerEvent;
+        printPass(Report.Name, P);
+        Report.Passes.push_back(std::move(P));
+      }
+    }
+
+    // Serial pre-sized by the DetectorPlan: the cold-pass A/B against the
+    // unplanned serial rows above.  The last rep's runtime joins the
+    // agreement check — plans must never change what is reported.
+    {
+      std::vector<PassResult> Best;
+      std::unique_ptr<RaceRuntime> Planned;
+      for (uint32_t Rep = 0; Rep != Reps; ++Rep) {
+        RaceRuntimeOptions POpts;
+        POpts.Plan = T.Plan;
+        Planned = std::make_unique<RaceRuntime>(POpts);
+        std::vector<PassResult> One;
+        if (!measuredReplay(T.Path, *Planned, T.Events, "serial+plan",
+                            "cold", NoBarrier, One) ||
+            !measuredReplay(T.Path, *Planned, T.Events, "serial+plan",
+                            "warm", NoBarrier, One) ||
+            !measuredReplay(T.Path, *Planned, T.Events, "serial+plan",
+                            "steady", NoBarrier, One))
+          return 1;
+        Planned->onRunEnd();
+        keepBest(Best, One);
+      }
+      bool Agree = Planned->reporter().reportedLocations() ==
+                   Serial->reporter().reportedLocations();
+      Report.Agreement = Report.Agreement && Agree;
+      for (PassResult &P : Best) {
+        if (P.Pass == "cold")
+          Report.ColdAllocsPerEventPlanned = P.AllocsPerEvent;
         printPass(Report.Name, P);
         Report.Passes.push_back(std::move(P));
       }
@@ -442,6 +557,59 @@ int main(int argc, char **argv) {
         printPass(Report.Name, P);
         Report.Passes.push_back(std::move(P));
       }
+    }
+
+    // Live serial: the interpreter drives the planned runtime directly —
+    // the path a real `herd` invocation takes.  Compare against the replay
+    // cold pass (same structure-building work, minus interpretation).
+    // The interpreter is deterministic, so the live run emits exactly the
+    // recorded event stream and must report the same racy locations.
+    if (T.Prog) {
+      std::unique_ptr<RaceRuntime> LiveRT;
+      for (uint32_t Rep = 0; Rep != Reps; ++Rep) {
+        RaceRuntimeOptions LOpts;
+        LOpts.Plan = T.Plan;
+        LiveRT = std::make_unique<RaceRuntime>(LOpts);
+        InterpOptions IOpts;
+        IOpts.TraceEveryAccess = true;
+        Interpreter Interp(*T.Prog, LiveRT.get(), IOpts);
+        uint64_t Allocs0 = GAllocCalls.load(std::memory_order_relaxed);
+        auto T0 = std::chrono::steady_clock::now();
+        InterpResult R = Interp.run();
+        double Seconds = secondsSince(T0);
+        uint64_t Allocs =
+            GAllocCalls.load(std::memory_order_relaxed) - Allocs0;
+        LiveRT->onRunEnd();
+        if (!R.Ok) {
+          std::fprintf(stderr, "%s live: %s\n", Report.Name.c_str(),
+                       R.Error.c_str());
+          return 1;
+        }
+        double Eps = Seconds > 0 ? double(T.Events) / Seconds : 0.0;
+        if (!Report.Live.Present || Eps > Report.Live.EventsPerSec) {
+          Report.Live.Present = true;
+          Report.Live.Seconds = Seconds;
+          Report.Live.EventsPerSec = Eps;
+          Report.Live.Allocs = Allocs;
+          Report.Live.AllocsPerEvent =
+              T.Events ? double(Allocs) / double(T.Events) : 0.0;
+        }
+      }
+      // Passes[0] is the serial cold row.
+      double ReplayColdEps =
+          Report.Passes.empty() ? 0.0 : Report.Passes[0].EventsPerSec;
+      Report.Live.RatioVsReplayCold =
+          ReplayColdEps > 0 ? Report.Live.EventsPerSec / ReplayColdEps : 0.0;
+      bool Agree = LiveRT->reporter().reportedLocations() ==
+                   Serial->reporter().reportedLocations();
+      Report.Agreement = Report.Agreement && Agree;
+      std::printf("%-8s %-9s %-5s %12.0f %10.4f %12llu %10.3f %10s  "
+                  "(%.2fx of replay cold)\n",
+                  Report.Name.c_str(), "live", "cold",
+                  Report.Live.EventsPerSec, Report.Live.Seconds,
+                  (unsigned long long)Report.Live.Allocs,
+                  Report.Live.AllocsPerEvent, "-",
+                  Report.Live.RatioVsReplayCold);
     }
 
     std::printf("%-8s agreement: %s\n", Report.Name.c_str(),

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Cold-pass allocation regression gate for CI.
+
+Compares a fresh bench_hotpath smoke run (herd-bench-hotpath-v2 JSON)
+against the checked-in smoke baseline and fails when any trace's
+cold-pass allocations/event regressed by more than the threshold, or
+when the planned cold pass exceeds the absolute ceiling the capacity
+planner is supposed to guarantee.
+
+Alloc counts on the serial replay path are deterministic (the counting
+allocator measures structure growth, not timing), so a modest threshold
+only has to absorb allocator-library differences between environments,
+not run-to-run noise.
+
+Usage: check_cold_allocs.py CURRENT.json BASELINE.json
+"""
+
+import json
+import sys
+
+# Fail when cold allocs/event exceed baseline by more than this factor.
+REGRESSION_FACTOR = 1.25
+# Tiny traces divide a handful of fixed allocations by a small event
+# count; allow this much absolute slack so a single extra allocation in
+# a 300-event trace does not trip the gate.
+ABSOLUTE_SLACK = 0.02
+# The planner's contract on the detector-bound reference stream.
+PLANNED_CEILING = 0.2
+
+
+def cold_ab(report):
+    return {t["name"]: t["cold_ab"] for t in report["traces"]}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        current = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+    for report, arg in ((current, sys.argv[1]), (baseline, sys.argv[2])):
+        if report.get("schema") != "herd-bench-hotpath-v2":
+            print(f"{arg}: unexpected schema {report.get('schema')!r}",
+                  file=sys.stderr)
+            return 2
+
+    cur, base = cold_ab(current), cold_ab(baseline)
+    failed = False
+    for name, b in base.items():
+        if name not in cur:
+            print(f"FAIL {name}: missing from current run", file=sys.stderr)
+            failed = True
+            continue
+        c = cur[name]
+        for key in ("allocs_per_event", "allocs_per_event_planned"):
+            limit = b[key] * REGRESSION_FACTOR + ABSOLUTE_SLACK
+            status = "ok" if c[key] <= limit else "FAIL"
+            print(f"{status:4} {name:10} {key:26} "
+                  f"{c[key]:.4f} (baseline {b[key]:.4f}, limit {limit:.4f})")
+            if c[key] > limit:
+                failed = True
+
+    refhot = cur.get("refhot")
+    if refhot is None:
+        print("FAIL refhot: missing from current run", file=sys.stderr)
+        failed = True
+    elif refhot["allocs_per_event_planned"] > PLANNED_CEILING:
+        print(f"FAIL refhot: planned cold pass "
+              f"{refhot['allocs_per_event_planned']:.4f} allocs/event "
+              f"exceeds the {PLANNED_CEILING} ceiling", file=sys.stderr)
+        failed = True
+
+    if failed:
+        print("cold-pass allocation regression detected", file=sys.stderr)
+        return 1
+    print("cold-pass allocations within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+//===- analysis/DetectorPlanner.h - Race set -> DetectorPlan ----*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derives a DetectorPlan from the static datarace analysis.  The race set
+/// (Section 5) bounds which access statements are instrumented, and the
+/// points-to and single-instance analyses bound how many runtime locations
+/// each statement can touch — so the detector's location table, tries and
+/// interner can be sized before the first event instead of growing through
+/// the cold pass.  The plan is a hint, never a limit: an under-estimate
+/// only re-enables on-demand growth (see detect/DetectorPlan.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_ANALYSIS_DETECTORPLANNER_H
+#define HERD_ANALYSIS_DETECTORPLANNER_H
+
+#include "analysis/StaticRace.h"
+#include "detect/DetectorPlan.h"
+#include "ir/Program.h"
+
+namespace herd {
+
+/// Tunables for the static-to-dynamic extrapolation.
+struct DetectorPlannerOptions {
+  /// Runtime instances assumed per non-single-instance allocation site.
+  /// Sites proven single-instance contribute exactly 1; loop-allocated
+  /// sites are unbounded statically, and 8 matches the mid-scale workload
+  /// replicas without over-reserving on the small test programs.
+  uint64_t InstanceFanOut = 8;
+
+  /// Trie nodes (and edge slots) assumed per shared location.  Histories
+  /// stay shallow when programs hold 0-2 locks (Section 4.2); every
+  /// measured workload stays under 2 nodes per shared location.
+  uint64_t TrieNodesPerLocation = 2;
+};
+
+/// Computes capacity hints for running \p P under the detector, from the
+/// results of \p Races (which must have been run()).  Also pre-interns the
+/// locksets the analysis proves will occur: the per-thread dummy join
+/// locks (Section 2.3) every thread's lockset starts from.
+DetectorPlan planDetector(const Program &P, const StaticRaceAnalysis &Races,
+                          const DetectorPlannerOptions &Opts = {});
+
+} // namespace herd
+
+#endif // HERD_ANALYSIS_DETECTORPLANNER_H

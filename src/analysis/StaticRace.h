@@ -74,6 +74,8 @@ public:
 
   const PointsToAnalysis &pointsTo() const { return *PT; }
   const EscapeAnalysis &escape() const { return *Esc; }
+  const SyncAnalysis &sync() const { return *Sync; }
+  const SingleInstanceAnalysis &singleInstance() const { return *SI; }
 
 private:
   const Program &P;

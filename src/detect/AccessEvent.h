@@ -25,12 +25,20 @@
 
 #include "ir/Instr.h"
 #include "support/Ids.h"
+#include "support/SmallSortedIdSet.h"
 #include "support/SortedIdSet.h"
 
 namespace herd {
 
 /// A set of locks held during an access.
 using LockSet = SortedIdSet<LockId>;
+
+/// The lockset type carried by race records and trie outcomes.  Section 4.2
+/// observes that programs hold 0-2 locks at a time, so an inline capacity of
+/// 4 keeps race reporting allocation-free in practice even on adversarial
+/// nesting (the cold-pass wall in BENCH_hotpath.json was almost entirely
+/// lockset copies into RaceRecord/Outcome, ~2 allocs per racing event).
+using RaceLockSet = SmallSortedIdSet<LockId, 4>;
 
 /// The thread lattice used by the detector's stored state:
 ///   top ("no threads")  ⊒  concrete thread  ⊒  bottom ("≥2 threads").

@@ -105,6 +105,21 @@ public:
     FreeHeads[Class] = Block;
   }
 
+  /// Pre-allocates chunk storage so at least \p Edges more inline edges can
+  /// be bump-allocated without touching the global allocator.  Requests are
+  /// clamped to the 31-bit inline address space.
+  void reserveEdges(size_t Edges) {
+    size_t Limit = size_t(LargeBit) - 1;
+    if (Edges > Limit - Bump)
+      Edges = Limit - Bump;
+    size_t WantChunks = (size_t(Bump) + Edges + ChunkSize - 1) / ChunkSize;
+    while (Chunks.size() < WantChunks)
+      Chunks.push_back(std::make_unique<TrieEdge[]>(ChunkSize));
+  }
+
+  /// Inline edges backed by already-allocated chunk storage.
+  size_t reservedEdges() const { return Chunks.size() * size_t(ChunkSize); }
+
   TrieEdge *at(uint32_t Block) {
     if (Block & LargeBit)
       return Large[Block & ~LargeBit].get();
@@ -163,7 +178,7 @@ public:
     bool PriorThreadKnown = false;
     ThreadId PriorThread;
     AccessKind PriorAccess = AccessKind::Read;
-    LockSet PriorLocks;
+    RaceLockSet PriorLocks;
   };
 
   /// Reusable traversal scratch.  The Detector keeps one per instance so

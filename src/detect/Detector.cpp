@@ -8,6 +8,18 @@
 
 using namespace herd;
 
+void Detector::applyPlan(const DetectorPlan &Plan) {
+  DetectorPlan P = Plan.clamped();
+  if (P.empty())
+    return;
+  Table.reserve(P.ExpectedLocations);
+  Tries.Nodes.reserve(P.ExpectedTrieNodes);
+  Tries.Edges.reserveEdges(P.ExpectedTrieEdges);
+  Interner->reserve(P.ExpectedLocksets);
+  for (const LockSet &Set : P.PreinternLocksets)
+    Interner->intern(Set);
+}
+
 void Detector::handleAccess(const AccessEvent &Event) {
   DetectorEvent E;
   E.Location = Event.Location;
@@ -68,11 +80,11 @@ void Detector::handleEvent(const DetectorEvent &Event) {
   Record.Location = Key;
   Record.CurrentThread = Event.Thread;
   Record.CurrentAccess = Event.Access;
-  Record.CurrentLocks = Locks;
+  Record.CurrentLocks.assign(Locks);
   Record.CurrentSite = Event.Site;
   Record.PriorThreadKnown = Outcome.PriorThreadKnown;
   Record.PriorThread = Outcome.PriorThread;
   Record.PriorAccess = Outcome.PriorAccess;
-  Record.PriorLocks = Outcome.PriorLocks;
+  Record.PriorLocks = std::move(Outcome.PriorLocks);
   Reporter.report(std::move(Record));
 }

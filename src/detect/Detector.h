@@ -31,6 +31,7 @@
 
 #include "detect/AccessEvent.h"
 #include "detect/AccessTrie.h"
+#include "detect/DetectorPlan.h"
 #include "detect/DetectorStats.h"
 #include "detect/RaceReport.h"
 #include "support/FlatTable.h"
@@ -67,6 +68,12 @@ public:
     }
   }
 
+  /// Applies capacity hints before the run: pre-sizes the location table,
+  /// trie arena, edge pool and interner, and pre-interns the plan's
+  /// locksets.  Hints, not limits — an undersized plan only re-enables
+  /// on-demand growth.  Must run before the first event to be useful.
+  void applyPlan(const DetectorPlan &Plan);
+
   /// Processes one access event, interning its lockset.  The event's
   /// lockset must already include any dummy join locks (the caller
   /// maintains per-thread locksets).
@@ -89,6 +96,9 @@ public:
   DetectorStats stats() const {
     DetectorStats S = Stats;
     S.TrieNodes = Tries.Nodes.live();
+    S.LocksetMemoHits = Interner->memoHits();
+    S.LocksetMemoMisses = Interner->memoMisses();
+    S.LocksetMemoEvictions = Interner->memoEvictions();
     return S;
   }
 

@@ -34,6 +34,13 @@ struct DetectorStats {
 
   /// Trie nodes currently allocated across all shared locations.
   size_t TrieNodes = 0;
+
+  // Bounded subset/intersect memo of the LockSetInterner the detector
+  // resolves against.  In the sharded runtime the interner is shared, so
+  // aggregation copies these once instead of summing per shard.
+  uint64_t LocksetMemoHits = 0;
+  uint64_t LocksetMemoMisses = 0;
+  uint64_t LocksetMemoEvictions = 0;
 };
 
 /// Per-thread access-cache counters (Section 4.3 reports hit rates per

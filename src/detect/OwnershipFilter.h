@@ -66,6 +66,11 @@ public:
     return true;
   }
 
+  /// Pre-sizes the location table for \p Expected locations (DetectorPlan
+  /// plumbing: the filter sees every instrumented location, so it shares
+  /// the detector's ExpectedLocations hint).
+  void reserve(size_t Expected) { Table.reserve(Expected); }
+
   uint64_t ownedFiltered() const { return OwnedFiltered; }
   size_t locationsTracked() const { return LocationsTracked; }
   size_t locationsShared() const { return LocationsShared; }

@@ -31,14 +31,14 @@ struct RaceRecord {
   // occurs, so a debugger could suspend the program here — Section 2.6).
   ThreadId CurrentThread;
   AccessKind CurrentAccess = AccessKind::Read;
-  LockSet CurrentLocks;
+  RaceLockSet CurrentLocks;
   SiteId CurrentSite;
 
   // What is known about the earlier conflicting access.
   bool PriorThreadKnown = false;
   ThreadId PriorThread;           ///< valid iff PriorThreadKnown
   AccessKind PriorAccess = AccessKind::Read;
-  LockSet PriorLocks;
+  RaceLockSet PriorLocks;
 };
 
 /// Collects race records and answers the counting queries used by the

@@ -17,6 +17,9 @@ RaceRuntime::RaceRuntime(RaceRuntimeOptions Opts)
       // stays off to avoid re-merging.
       Det(Reporter, Detector::Options{Opts.UseOwnership, /*FieldsMerged=*/false},
           &Interner) {
+  Det.applyPlan(Opts.Plan);
+  if (uint64_t N = Opts.Plan.clamped().ExpectedThreads)
+    Threads.reserve(size_t(N) + 1); // +1: thread ids are 1-based, slot 0 main
   Det.setOnShared([this](LocationKey Key) {
     if (!this->Opts.UseCache)
       return;

@@ -51,6 +51,11 @@ struct RaceRuntimeOptions {
   /// Entries per (thread, kind) access cache; must be a power of two
   /// (`herd --cache-size=N`).  The paper's experiments use 256.
   uint32_t CacheEntries = 256;
+
+  /// Capacity hints from static analysis (`herd --plan=auto|off|N`).
+  /// Applied to the detector and thread table at construction; an empty
+  /// plan means on-demand growth exactly as before.
+  DetectorPlan Plan;
 };
 
 /// The runtime detection pipeline.

@@ -17,7 +17,8 @@ using namespace herd;
 //===----------------------------------------------------------------------===
 
 ShardPool::ShardPool(uint32_t NumShards, size_t BatchCapacity,
-                     size_t QueueDepth, LockSetInterner *Locksets)
+                     size_t QueueDepth, LockSetInterner *Locksets,
+                     const DetectorPlan &Plan)
     : Locksets(Locksets), BatchCapacity(BatchCapacity == 0 ? 1 : BatchCapacity) {
   if (!this->Locksets) {
     OwnedInterner = std::make_unique<LockSetInterner>();
@@ -27,9 +28,17 @@ ShardPool::ShardPool(uint32_t NumShards, size_t BatchCapacity,
     NumShards = 1;
   if (QueueDepth == 0)
     QueueDepth = 1;
+  // Interner-scoped hints apply once here, before any worker exists (intern
+  // and reserve are producer-thread-only); the per-shard slice that each
+  // detector applies below carries only location-scaled fields.
+  DetectorPlan Clamped = Plan.clamped();
+  this->Locksets->reserve(Clamped.ExpectedLocksets);
+  for (const LockSet &Set : Clamped.PreinternLocksets)
+    this->Locksets->intern(Set);
   Shards.reserve(NumShards);
   for (uint32_t I = 0; I != NumShards; ++I) {
     Shards.push_back(std::make_unique<Shard>(QueueDepth, *this->Locksets));
+    Shards.back()->Det.applyPlan(Clamped.forShard(I, NumShards));
     Shards.back()->Open.Events.reserve(this->BatchCapacity);
   }
   for (auto &S : Shards)
@@ -68,16 +77,6 @@ void ShardPool::submit(const DetectorEvent &Event) {
   S.Open.Events.push_back(Event);
   if (S.Open.Events.size() >= BatchCapacity)
     pushOpen(S);
-}
-
-void ShardPool::submit(const AccessEvent &Event) {
-  DetectorEvent E;
-  E.Location = Event.Location;
-  E.Thread = Event.Thread;
-  E.Locks = Locksets->intern(Event.Locks);
-  E.Access = Event.Access;
-  E.Site = Event.Site;
-  submit(E);
 }
 
 void ShardPool::flush() {
@@ -141,6 +140,11 @@ DetectorStats ShardPool::aggregateDetectorStats() const {
     Sum.LocationsShared += D.LocationsShared;
     Sum.TrieNodes += D.TrieNodes;
   }
+  // The interner (and so its memo) is shared across shards: copy its
+  // counters once rather than summing the same numbers N times.
+  Sum.LocksetMemoHits = Locksets->memoHits();
+  Sum.LocksetMemoMisses = Locksets->memoMisses();
+  Sum.LocksetMemoEvictions = Locksets->memoEvictions();
   return Sum;
 }
 
@@ -150,7 +154,12 @@ DetectorStats ShardPool::aggregateDetectorStats() const {
 
 ShardedRuntime::ShardedRuntime(ShardedRuntimeOptions Opts)
     : Opts(Opts),
-      Pool(Opts.NumShards, Opts.BatchCapacity, Opts.QueueDepthBatches) {
+      Pool(Opts.NumShards, Opts.BatchCapacity, Opts.QueueDepthBatches,
+           /*Locksets=*/nullptr, Opts.Plan) {
+  DetectorPlan Plan = Opts.Plan.clamped();
+  Ownership.reserve(Plan.ExpectedLocations);
+  if (Plan.ExpectedThreads)
+    Threads.reserve(size_t(Plan.ExpectedThreads) + 1); // ids are 1-based
   Ownership.setOnShared([this](LocationKey Key) {
     if (!this->Opts.UseCache)
       return;
@@ -317,6 +326,9 @@ RaceRuntimeStats ShardedRuntime::stats() {
   S.Detector.WeakerFiltered = Agg.WeakerFiltered;
   S.Detector.RacesReported = Agg.RacesReported;
   S.Detector.TrieNodes = Agg.TrieNodes;
+  S.Detector.LocksetMemoHits = Agg.LocksetMemoHits;
+  S.Detector.LocksetMemoMisses = Agg.LocksetMemoMisses;
+  S.Detector.LocksetMemoEvictions = Agg.LocksetMemoEvictions;
   if (Opts.UseOwnership) {
     // The shard detectors only ever see post-ownership events; the global
     // ownership picture lives in the producer-side filter.

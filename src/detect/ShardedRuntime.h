@@ -60,6 +60,11 @@ struct ShardedRuntimeOptions {
   /// Entries per (thread, kind) access cache; must be a power of two
   /// (`herd --cache-size=N`).  The paper's experiments use 256.
   uint32_t CacheEntries = 256;
+
+  /// Capacity hints from static analysis (`herd --plan=auto|off|N`).
+  /// Location-scaled fields are sliced per shard; the shared interner is
+  /// planned once at pool level.
+  DetectorPlan Plan;
 };
 
 /// The shard engine: N trie detectors on worker threads behind bounded
@@ -71,9 +76,12 @@ public:
   /// \p Locksets is the interner batched lockset ids resolve against; when
   /// null the pool owns a private one (standalone pools in tests/benches).
   /// Interning happens producer-side only; workers call resolve(), which
-  /// is safe for ids published through the batch queues.
+  /// is safe for ids published through the batch queues.  \p Plan pre-sizes
+  /// each shard's detector (location-scaled fields sliced per shard) and
+  /// the interner (reserved and pre-interned once, before workers start).
   ShardPool(uint32_t NumShards, size_t BatchCapacity, size_t QueueDepth,
-            LockSetInterner *Locksets = nullptr);
+            LockSetInterner *Locksets = nullptr,
+            const DetectorPlan &Plan = {});
   ~ShardPool();
 
   /// The shard a location's events are routed to: a hash of the location
@@ -97,12 +105,11 @@ public:
   uint32_t numShards() const { return uint32_t(Shards.size()); }
 
   /// Routes one pre-interned event to its shard, batching; blocks only
-  /// when the shard's queue is full (backpressure).  The hot path.
+  /// when the shard's queue is full (backpressure).  The hot path — and
+  /// the only ingest entry point: callers holding an owning AccessEvent
+  /// intern its lockset through interner() first, so EventBatch queues
+  /// carry nothing but trivially-copyable records.
   void submit(const DetectorEvent &Event);
-
-  /// Convenience overload interning the event's lockset (producer-thread
-  /// only; tests and benches that build AccessEvents directly).
-  void submit(const AccessEvent &Event);
 
   /// The interner this pool's shard detectors resolve lockset ids against.
   LockSetInterner &interner() { return *Locksets; }

@@ -6,6 +6,7 @@
 
 #include "herd/Pipeline.h"
 
+#include "analysis/DetectorPlanner.h"
 #include "detect/TraceFile.h"
 #include "ir/Verifier.h"
 
@@ -175,8 +176,10 @@ void collectDeadlockResults(const Program &Input, DeadlockDetector &Deadlocks,
 
 /// Builds the detection runtime \p Config asks for (serial RaceRuntime or
 /// ShardedRuntime) into whichever of \p Serial / \p Sharded applies and
-/// returns the active one as a RuntimeHooks sink.
+/// returns the active one as a RuntimeHooks sink.  \p Plan carries the
+/// capacity hints the caller resolved for this run (empty = no pre-sizing).
 RuntimeHooks *makeDetectionRuntime(const ToolConfig &Config,
+                                   const DetectorPlan &Plan,
                                    std::unique_ptr<RaceRuntime> &Serial,
                                    std::unique_ptr<ShardedRuntime> &Sharded) {
   if (Config.Shards >= 1) {
@@ -187,6 +190,7 @@ RuntimeHooks *makeDetectionRuntime(const ToolConfig &Config,
     SOpts.UseOwnership = Config.UseOwnership;
     SOpts.FieldsMerged = Config.FieldsMerged;
     SOpts.ModelJoin = Config.ModelJoin;
+    SOpts.Plan = Plan;
     Sharded = std::make_unique<ShardedRuntime>(SOpts);
     return Sharded.get();
   }
@@ -196,8 +200,19 @@ RuntimeHooks *makeDetectionRuntime(const ToolConfig &Config,
   RTOpts.UseOwnership = Config.UseOwnership;
   RTOpts.FieldsMerged = Config.FieldsMerged;
   RTOpts.ModelJoin = Config.ModelJoin;
+  RTOpts.Plan = Plan;
   Serial = std::make_unique<RaceRuntime>(RTOpts);
   return Serial.get();
+}
+
+/// Resolves the plan the non-Auto modes can provide without analysis
+/// results: Explicit sizes from the CLI; Off and (analysis-less) Auto are
+/// empty.  runPipeline overrides Auto with planDetector when the static
+/// phase ran.
+DetectorPlan configuredPlan(const ToolConfig &Config) {
+  if (Config.Plan == ToolConfig::PlanMode::Explicit)
+    return DetectorPlan::sized(Config.PlanLocations);
+  return DetectorPlan();
 }
 
 } // namespace
@@ -212,6 +227,7 @@ PipelineResult herd::runPipeline(const Program &Input,
 
   // Phase 1+2: static analysis and instrumentation, on a private copy.
   Program P = Input;
+  DetectorPlan Plan = configuredPlan(Config);
   Clock::time_point T0 = Clock::now();
   if (Config.Instrument) {
     std::unique_ptr<StaticRaceAnalysis> Races;
@@ -219,6 +235,12 @@ PipelineResult herd::runPipeline(const Program &Input,
       Races = std::make_unique<StaticRaceAnalysis>(P);
       Races->run();
       Result.Static = Races->stats();
+      // The race set bounds what the runtime can see: turn it into
+      // capacity hints so the detector pre-sizes instead of growing
+      // through the cold pass (charged to analysis time, where it
+      // belongs — it is the analysis paying for runtime efficiency).
+      if (Config.Plan == ToolConfig::PlanMode::Auto)
+        Plan = planDetector(P, *Races);
     }
     InstrumenterOptions Opts;
     Opts.UseStaticRaceSet = Config.StaticAnalysis;
@@ -237,7 +259,7 @@ PipelineResult herd::runPipeline(const Program &Input,
   // both produce the identical race-report set for the same schedule.
   std::unique_ptr<RaceRuntime> Serial;
   std::unique_ptr<ShardedRuntime> Sharded;
-  RuntimeHooks *Detect = makeDetectionRuntime(Config, Serial, Sharded);
+  RuntimeHooks *Detect = makeDetectionRuntime(Config, Plan, Serial, Sharded);
   DeadlockDetector Deadlocks;
   TraceWriter Writer;
   if (!Config.RecordTracePath.empty()) {
@@ -308,10 +330,12 @@ PipelineResult herd::replayTracePipeline(const Program &Input,
 
   // Build the same detection runtime a live run with this Config would
   // use; the trace replaces the interpreter as the event source, so the
-  // compile-time phases are skipped entirely.
+  // compile-time phases are skipped entirely.  Auto planning needs those
+  // phases, so replay only honours an Explicit plan (`--plan=N`).
   std::unique_ptr<RaceRuntime> Serial;
   std::unique_ptr<ShardedRuntime> Sharded;
-  RuntimeHooks *Detect = makeDetectionRuntime(Config, Serial, Sharded);
+  RuntimeHooks *Detect =
+      makeDetectionRuntime(Config, configuredPlan(Config), Serial, Sharded);
   DeadlockDetector Deadlocks;
   std::vector<RuntimeHooks *> SinkList{Detect};
   if (Config.DetectDeadlocks)

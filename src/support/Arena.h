@@ -88,6 +88,30 @@ public:
     return Chunks[Index / ChunkSize][Index % ChunkSize];
   }
 
+  /// Number of chunks needed to hold \p Slots slots, with the request
+  /// clamped to the 32-bit index space (None is reserved, so the largest
+  /// addressable slot count is 0xFFFFFFFE).
+  static size_t chunksFor(size_t Slots) {
+    const size_t MaxSlots = 0xFFFFFFFE;
+    if (Slots > MaxSlots)
+      Slots = MaxSlots;
+    return (Slots + ChunkSize - 1) / ChunkSize;
+  }
+
+  /// Pre-allocates chunk storage for at least \p Slots slots so that many
+  /// allocate() calls proceed without touching the global allocator.
+  /// allocate() already re-defaults slots in pre-existing chunks, so the
+  /// reserved storage needs no further initialization.
+  void reserve(size_t Slots) {
+    size_t Want = chunksFor(Slots);
+    FreeLinks.reserve(Want * size_t(ChunkSize));
+    while (Chunks.size() < Want)
+      Chunks.push_back(std::make_unique<T[]>(ChunkSize));
+  }
+
+  /// Slots backed by already-allocated chunk storage.
+  size_t reservedSlots() const { return Chunks.size() * size_t(ChunkSize); }
+
   /// Slots currently allocated (allocate() minus release()).  The detector
   /// reports this as its trie-node count, O(1) instead of the old
   /// walk-every-location recomputation.

@@ -1,0 +1,105 @@
+//===- support/ByteRle.h - Byte-oriented RLE codec --------------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny packbits-style run-length codec for the checked-in trace corpus
+/// (tests/corpus/).  Trace files are fixed-width binary records whose high
+/// bytes are overwhelmingly zero, so plain byte RLE recovers most of the
+/// redundancy without pulling a compression library into the build (the
+/// repo deliberately has no zlib dependency).
+///
+/// Format: a stream of tokens.  A token byte T encodes
+///
+///   T < 128   — literal run: the next T + 1 bytes are copied verbatim.
+///   T >= 128  — repeat run: the next byte is repeated (T - 128) + 2 times
+///               (runs of 2..129).
+///
+/// The encoder emits repeat runs only for runs of length >= 3 (a 2-run
+/// costs the same encoded either way, and folding it into a literal run
+/// avoids breaking surrounding literals), so decode(encode(x)) == x for
+/// every input and the encoded size never exceeds input + ceil(input/128).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_SUPPORT_BYTERLE_H
+#define HERD_SUPPORT_BYTERLE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace herd {
+
+/// Compresses \p Size bytes at \p Data.  Never fails.
+inline std::vector<uint8_t> rleCompress(const uint8_t *Data, size_t Size) {
+  std::vector<uint8_t> Out;
+  Out.reserve(Size / 4 + 16);
+  size_t I = 0;
+  size_t LitStart = 0; // first byte of the pending literal run
+  auto flushLiterals = [&](size_t End) {
+    while (LitStart < End) {
+      size_t N = End - LitStart;
+      if (N > 128)
+        N = 128;
+      Out.push_back(uint8_t(N - 1));
+      Out.insert(Out.end(), Data + LitStart, Data + LitStart + N);
+      LitStart += N;
+    }
+  };
+  while (I < Size) {
+    size_t Run = 1;
+    while (I + Run < Size && Data[I + Run] == Data[I] && Run < 129)
+      ++Run;
+    if (Run >= 3) {
+      flushLiterals(I);
+      Out.push_back(uint8_t(128 + (Run - 2)));
+      Out.push_back(Data[I]);
+      I += Run;
+      LitStart = I;
+    } else {
+      I += Run; // short run: leave it to the literal accumulator
+    }
+  }
+  flushLiterals(Size);
+  return Out;
+}
+
+inline std::vector<uint8_t> rleCompress(const std::vector<uint8_t> &In) {
+  return rleCompress(In.data(), In.size());
+}
+
+/// Decompresses \p In into \p Out (overwritten).  Returns false on a
+/// truncated stream (a token promising more bytes than remain).
+inline bool rleDecompress(const uint8_t *Data, size_t Size,
+                          std::vector<uint8_t> &Out) {
+  Out.clear();
+  size_t I = 0;
+  while (I < Size) {
+    uint8_t T = Data[I++];
+    if (T < 128) {
+      size_t N = size_t(T) + 1;
+      if (Size - I < N)
+        return false;
+      Out.insert(Out.end(), Data + I, Data + I + N);
+      I += N;
+    } else {
+      if (I == Size)
+        return false;
+      size_t N = size_t(T - 128) + 2;
+      Out.insert(Out.end(), N, Data[I++]);
+    }
+  }
+  return true;
+}
+
+inline bool rleDecompress(const std::vector<uint8_t> &In,
+                          std::vector<uint8_t> &Out) {
+  return rleDecompress(In.data(), In.size(), Out);
+}
+
+} // namespace herd
+
+#endif // HERD_SUPPORT_BYTERLE_H

@@ -85,6 +85,30 @@ public:
   bool empty() const { return Count == 0; }
   size_t capacity() const { return Slots.size(); }
 
+  /// Smallest valid slot-array capacity that holds \p Expected entries
+  /// without triggering growth: power of two, at least the 64-slot floor,
+  /// load factor kept under the 3/4 growth threshold.  Saturates at the
+  /// largest power-of-two capacity instead of overflowing for absurd
+  /// requests.
+  static size_t capacityFor(size_t Expected) {
+    const size_t MaxCapacity = ~(~size_t(0) >> 1); // largest power of two
+    size_t Capacity = 64;
+    while (Expected > (Capacity / 4) * 3) {
+      if (Capacity >= MaxCapacity)
+        return MaxCapacity;
+      Capacity *= 2;
+    }
+    return Capacity;
+  }
+
+  /// Pre-sizes the table for \p Expected entries so inserting that many
+  /// keys never rehashes.  Never shrinks; safe to call on a live table.
+  void reserve(size_t Expected) {
+    size_t Target = capacityFor(Expected);
+    if (Target > Slots.size())
+      rehash(Target);
+  }
+
 private:
   struct Slot {
     LocationKey Key; ///< default-constructed (all-ones raw) == empty
@@ -104,8 +128,9 @@ private:
     return size_t(X) & (Slots.size() - 1);
   }
 
-  void grow() {
-    size_t NewCapacity = Slots.empty() ? 64 : Slots.size() * 2;
+  void grow() { rehash(Slots.empty() ? 64 : Slots.size() * 2); }
+
+  void rehash(size_t NewCapacity) {
     std::vector<Slot> Old = std::move(Slots);
     Slots = std::vector<Slot>();
     Slots.resize(NewCapacity); // default-inserts; Value may be move-only

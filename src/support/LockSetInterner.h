@@ -16,8 +16,13 @@
 /// distinct locks seen (dense-remapped), making subset and intersection
 /// queries single AND/ANDN instructions whenever both sets live inside that
 /// universe — which covers every workload in this repo.  Sets that spill past
-/// the 64-lock universe fall back to the SortedIdSet merge walk with a
-/// memo table keyed by the id pair.
+/// the 64-lock universe fall back to the SortedIdSet merge walk, memoized in
+/// a fixed-size 2-way set-associative table keyed by the id pair.  The memo
+/// is bounded by construction (MemoSets * 2 entries per query kind): on a
+/// set conflict the older way is evicted round-robin, so a long run with a
+/// churning lockset population can never grow the memo without bound
+/// (previously an unbounded unordered_map — see ROADMAP).  Eviction only
+/// costs a recompute on the next repeat query, never correctness.
 ///
 /// Thread-safety contract (mirrors BoundedBatchQueue's producer contract):
 /// intern(), isSubsetOf() and intersects() are producer-thread-only.
@@ -150,6 +155,25 @@ public:
   /// Number of distinct locks seen across all interned sets.
   size_t lockUniverse() const { return DenseLocks.size(); }
 
+  /// Memo observability for DetectorStats: hits, misses (computed and
+  /// cached), and entries evicted by the 2-way replacement.
+  uint64_t memoHits() const { return MemoHitCount; }
+  uint64_t memoMisses() const { return MemoMissCount; }
+  uint64_t memoEvictions() const { return MemoEvictionCount; }
+
+  /// Pre-sizes the lookup structures for \p ExpectedSets distinct locksets
+  /// so a plan-sized run interns without rehashing or chunk allocation.
+  /// Producer-thread-only, like intern().
+  void reserve(size_t ExpectedSets) {
+    Lookup.reserve(ExpectedSets);
+    size_t WantChunks = (ExpectedSets + ChunkSize - 1) / ChunkSize;
+    if (WantChunks > MaxChunks)
+      WantChunks = MaxChunks;
+    for (size_t Chunk = 0; Chunk != WantChunks; ++Chunk)
+      if (!Chunks[Chunk])
+        Chunks[Chunk] = std::make_unique<Entry[]>(ChunkSize);
+  }
+
 private:
   struct Entry {
     LockSet Set;
@@ -174,22 +198,64 @@ private:
     return H;
   }
 
+  /// Sets per memo table (power of two).  512 sets * 2 ways bounds each
+  /// table at 1024 cached verdicts — far above the live inexact-pair
+  /// population any workload here produces, and ~16 KB total.
+  static constexpr size_t MemoSets = 512;
+
+  /// Bounded memo for one query kind: 2-way set-associative over the id
+  /// pair, MemoSets * 2 entries, round-robin victim within a set.  The
+  /// all-ones key never arises from real id pairs (it would need both ids
+  /// >= 2^32 - 1), so it doubles as the empty-entry sentinel.
+  struct MemoTable {
+    static constexpr uint64_t EmptyKey = ~uint64_t(0);
+    struct Way {
+      uint64_t Key = EmptyKey;
+      bool Result = false;
+    };
+    struct Set {
+      std::array<Way, 2> Ways;
+      uint8_t NextVictim = 0;
+    };
+    std::array<Set, MemoSets> Sets{};
+  };
+
   template <typename Fn>
-  bool memoQuery(std::unordered_map<uint64_t, bool> &Memo, LockSetId A,
-                 LockSetId B, Fn Compute) const {
+  bool memoQuery(MemoTable &Memo, LockSetId A, LockSetId B,
+                 Fn Compute) const {
     uint64_t Key = (uint64_t(A.index()) << 32) | B.index();
-    auto [It, Inserted] = Memo.try_emplace(Key, false);
-    if (Inserted)
-      It->second = Compute();
-    return It->second;
+    // SplitMix64 finalizer: adjacent interner ids otherwise map to
+    // adjacent sets and thrash under sequential churn.
+    uint64_t H = Key;
+    H ^= H >> 30;
+    H *= 0xbf58476d1ce4e5b9ull;
+    H ^= H >> 27;
+    typename MemoTable::Set &S = Memo.Sets[size_t(H) & (MemoSets - 1)];
+    for (auto &W : S.Ways)
+      if (W.Key == Key) {
+        ++MemoHitCount;
+        return W.Result;
+      }
+    ++MemoMissCount;
+    bool Result = Compute();
+    auto &Victim = S.Ways[S.NextVictim];
+    if (Victim.Key != MemoTable::EmptyKey)
+      ++MemoEvictionCount;
+    Victim.Key = Key;
+    Victim.Result = Result;
+    S.NextVictim ^= 1;
+    return Result;
   }
 
   std::array<std::unique_ptr<Entry[]>, MaxChunks> Chunks;
   std::atomic<uint32_t> NumSets{0};
   std::unordered_map<uint64_t, std::vector<uint32_t>> Lookup;
   std::unordered_map<uint32_t, uint32_t> DenseLocks; ///< LockId -> dense
-  mutable std::unordered_map<uint64_t, bool> SubsetMemo;
-  mutable std::unordered_map<uint64_t, bool> IntersectMemo;
+  mutable MemoTable SubsetMemo;
+  mutable MemoTable IntersectMemo;
+  mutable uint64_t MemoHitCount = 0;
+  mutable uint64_t MemoMissCount = 0;
+  mutable uint64_t MemoEvictionCount = 0;
 };
 
 } // namespace herd

@@ -1,0 +1,111 @@
+//===- support/SmallSortedIdSet.h - Inline-buffer sorted set ----*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sorted id set with an inline small buffer: the first InlineCapacity
+/// elements live inside the object, and only larger sets spill to the heap.
+/// Race records carry two locksets each, and Section 4.2's observation that
+/// programs hold 0-2 locks at a time means virtually every reported lockset
+/// fits inline — so building and copying race records stops touching the
+/// allocator, which profiling showed was the entire cold-pass allocation
+/// wall (race-heavy streams paid ~2 allocations per event just copying
+/// SortedIdSets into RaceRecord and AccessTrie::Outcome).
+///
+/// The API is the read-side subset of SortedIdSet (insert / contains /
+/// iteration) that race reporting needs; it is not a drop-in replacement
+/// for the full set type, which the detector's per-thread lockset
+/// maintenance still uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_SUPPORT_SMALLSORTEDIDSET_H
+#define HERD_SUPPORT_SMALLSORTEDIDSET_H
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace herd {
+
+/// A sorted, duplicate-free set of \p Id with inline storage for up to
+/// \p InlineCapacity elements.  Invariant: while size() <= InlineCapacity
+/// every element lives in the inline array; once a set outgrows it, all
+/// elements move to the heap vector (and stay there until clear()).
+template <typename Id, uint32_t InlineCapacity> class SmallSortedIdSet {
+public:
+  using value_type = Id;
+  using const_iterator = const Id *;
+
+  SmallSortedIdSet() = default;
+
+  /// Inserts \p Value, keeping the set sorted; no-op if already present.
+  void insert(Id Value) {
+    Id *First = data();
+    Id *Last = First + Count;
+    Id *Pos = std::lower_bound(First, Last, Value);
+    if (Pos != Last && *Pos == Value)
+      return;
+    if (Count < InlineCapacity) {
+      std::move_backward(Pos, Last, Last + 1);
+      *Pos = Value;
+      ++Count;
+      return;
+    }
+    if (Count == InlineCapacity)
+      Spill.assign(Inline.begin(), Inline.end());
+    Spill.insert(Spill.begin() + (Pos - First), Value);
+    ++Count;
+  }
+
+  bool contains(Id Value) const {
+    const Id *First = data();
+    const Id *Last = First + Count;
+    const Id *Pos = std::lower_bound(First, Last, Value);
+    return Pos != Last && *Pos == Value;
+  }
+
+  /// Replaces the contents with sorted range \p R (any container of Id
+  /// iterated in ascending order, e.g. a SortedIdSet).
+  template <typename Range> void assign(const Range &R) {
+    clear();
+    for (Id Value : R)
+      insert(Value);
+  }
+
+  void clear() {
+    Count = 0;
+    Spill.clear();
+  }
+
+  bool empty() const { return Count == 0; }
+  size_t size() const { return Count; }
+
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + Count; }
+
+  friend bool operator==(const SmallSortedIdSet &A, const SmallSortedIdSet &B) {
+    return A.Count == B.Count && std::equal(A.begin(), A.end(), B.begin());
+  }
+  friend bool operator!=(const SmallSortedIdSet &A, const SmallSortedIdSet &B) {
+    return !(A == B);
+  }
+
+private:
+  const Id *data() const {
+    return Count <= InlineCapacity ? Inline.data() : Spill.data();
+  }
+  Id *data() { return Count <= InlineCapacity ? Inline.data() : Spill.data(); }
+
+  std::array<Id, InlineCapacity> Inline{};
+  std::vector<Id> Spill; ///< holds all elements once Count > InlineCapacity
+  uint32_t Count = 0;
+};
+
+} // namespace herd
+
+#endif // HERD_SUPPORT_SMALLSORTEDIDSET_H

@@ -149,7 +149,11 @@ TEST(ShardedRuntimeTest, ShardPoolMatchesSerialDetectorOnRawEvents) {
         E.Locks.insert(LockId(uint32_t(R.nextBelow(3))));
       E.Access = R.nextChance(1, 3) ? AccessKind::Write : AccessKind::Read;
       Serial.handleAccess(E);
-      Pool.submit(E);
+      // The pool ingests only pre-interned DetectorEvents (the live path's
+      // contract); interning here plays the producer's role.
+      Pool.submit(DetectorEvent{E.Location, E.Thread,
+                                Pool.interner().intern(E.Locks), E.Access,
+                                E.Site});
     }
     Pool.finish();
 
@@ -264,9 +268,10 @@ TEST(ShardedRuntimeTest, ThroughputBenchPreconditionHolds) {
   // directly; sanity-check here that a drained pool saw every event.
   ShardPool Pool(4, /*BatchCapacity=*/16, /*QueueDepth=*/8);
   for (int I = 0; I != 1000; ++I) {
-    AccessEvent E;
+    DetectorEvent E;
     E.Location = LocationKey::forField(ObjectId(uint32_t(I % 64)), FieldId(0));
     E.Thread = ThreadId(uint32_t(I % 2));
+    E.Locks = LockSetInterner::emptySet();
     E.Access = AccessKind::Write;
     Pool.submit(E);
   }

@@ -48,6 +48,10 @@ void usage() {
       "                    workers (default: serial runtime)\n"
       "  --cache-size=<n>  entries per per-thread access cache; power of\n"
       "                    two (default 256, the paper's Section 4.3)\n"
+      "  --plan=<mode>     detector capacity planning: auto (default;\n"
+      "                    pre-size from the static race set) | off (grow\n"
+      "                    on demand, for A/B) | <n> (size for n expected\n"
+      "                    locations; the only mode --replay can honour)\n"
       "  --sweep=<n>       run n seeds and summarize the reports\n"
       "  --record=<file>   also stream the run's events to a trace file\n"
       "                    (docs/REPLAY.md)\n"
@@ -108,6 +112,11 @@ void printStats(const PipelineResult &R) {
               (unsigned long long)R.Stats.Detector.WeakerFiltered,
               R.Stats.Detector.LocationsTracked,
               R.Stats.Detector.TrieNodes);
+  if (R.Stats.Detector.LocksetMemoHits || R.Stats.Detector.LocksetMemoMisses)
+    std::printf("interner: %llu memo hits, %llu misses, %llu evictions\n",
+                (unsigned long long)R.Stats.Detector.LocksetMemoHits,
+                (unsigned long long)R.Stats.Detector.LocksetMemoMisses,
+                (unsigned long long)R.Stats.Detector.LocksetMemoEvictions);
   for (const ThreadCacheStats &TC : R.Stats.PerThreadCache) {
     double Rate = TC.lookups()
                       ? 100.0 * double(TC.hits()) / double(TC.lookups())
@@ -207,6 +216,7 @@ int main(int argc, char **argv) {
   uint64_t Seed = 1;
   uint32_t Shards = 0;
   uint32_t CacheSize = 0; // 0 = keep the config's default
+  std::string PlanArg;    // empty = keep the config's default (auto)
   int Sweep = 0;
   bool Stats = false;
   bool DumpIR = false;
@@ -242,6 +252,20 @@ int main(int argc, char **argv) {
         return 2;
       }
       CacheSize = uint32_t(N);
+    } else if (Arg.rfind("--plan=", 0) == 0) {
+      PlanArg = Arg.substr(7);
+      if (PlanArg != "auto" && PlanArg != "off") {
+        char *End = nullptr;
+        unsigned long long N = std::strtoull(PlanArg.c_str(), &End, 10);
+        if (PlanArg.empty() || End == PlanArg.c_str() || *End != '\0' ||
+            N == 0) {
+          std::fprintf(stderr,
+                       "herd: --plan expects auto, off, or a positive "
+                       "location count, got '%s'\n",
+                       PlanArg.c_str());
+          return 2;
+        }
+      }
     } else if (Arg.rfind("--sweep=", 0) == 0) {
       Sweep = std::atoi(Arg.c_str() + 8);
     } else if (Arg.rfind("--workload=", 0) == 0) {
@@ -304,6 +328,16 @@ int main(int argc, char **argv) {
   Config.RecordTracePath = RecordPath;
   if (CacheSize != 0) // after --config: presets must not clobber the flag
     Config.CacheEntries = CacheSize;
+  if (!PlanArg.empty()) { // after --config, like --cache-size
+    if (PlanArg == "auto") {
+      Config.Plan = ToolConfig::PlanMode::Auto;
+    } else if (PlanArg == "off") {
+      Config.Plan = ToolConfig::PlanMode::Off;
+    } else {
+      Config.Plan = ToolConfig::PlanMode::Explicit;
+      Config.PlanLocations = std::strtoull(PlanArg.c_str(), nullptr, 10);
+    }
+  }
 
   CompileResult Compiled;
   if (!WorkloadName.empty()) {
