@@ -35,6 +35,22 @@ uint64_t packStaticTarget(ClassId Class, FieldId Field) {
 
 } // namespace
 
+uint64_t
+herd::trieNodesPerLocationForDepth(uint64_t MaxMustSyncDepth,
+                                   const DetectorPlannerOptions &Opts) {
+  // +1: every spawned thread holds its dummy join lock S_j (Section 2.3)
+  // on top of whatever the must-sync analysis proves, so runtime locksets
+  // run one deeper than the static depth.
+  uint64_t Nodes = MaxMustSyncDepth >= 62
+                       ? UINT64_MAX
+                       : (uint64_t(1) << (MaxMustSyncDepth + 1));
+  if (Nodes < Opts.TrieNodesPerLocation)
+    Nodes = Opts.TrieNodesPerLocation;
+  if (Nodes > Opts.MaxTrieNodesPerLocation)
+    Nodes = Opts.MaxTrieNodesPerLocation;
+  return Nodes;
+}
+
 DetectorPlan herd::planDetector(const Program &P,
                                 const StaticRaceAnalysis &Races,
                                 const DetectorPlannerOptions &Opts) {
@@ -84,9 +100,6 @@ DetectorPlan herd::planDetector(const Program &P,
   // can in principle become shared; sizing tries for all of them is what
   // makes the cold pass flat.
   Plan.ExpectedSharedLocations = Plan.ExpectedLocations;
-  Plan.ExpectedTrieNodes =
-      Plan.ExpectedSharedLocations * Opts.TrieNodesPerLocation;
-  Plan.ExpectedTrieEdges = Plan.ExpectedTrieNodes;
 
   // --- Threads: thread objects reachable through some ThreadStart, scaled
   // like any other allocation site, plus the main thread.
@@ -101,16 +114,29 @@ DetectorPlan herd::planDetector(const Program &P,
   // race set as the real-lock variety, and assume each can combine with
   // each thread's dummy baseline (plus the empty set and transients).
   std::unordered_set<uint64_t> SyncShapes;
+  uint64_t MaxMustSyncDepth = 0;
   const SyncAnalysis &Sync = Races.sync();
   for (const InstrRef &Ref : Races.raceSet()) {
+    const ObjSet &Must = Sync.mustSync(Ref);
+    if (Must.size() > MaxMustSyncDepth)
+      MaxMustSyncDepth = Must.size();
     uint64_t H = 0xcbf29ce484222325ull;
-    for (AllocSiteId Obj : Sync.mustSync(Ref)) {
+    for (AllocSiteId Obj : Must) {
       H ^= Obj.index();
       H *= 0x100000001b3ull;
     }
     SyncShapes.insert(H);
   }
   Plan.ExpectedLocksets = (SyncShapes.size() + 2) * (Threads + 2);
+
+  // --- Tries: the deeper the must-held locksets around the racing
+  // accesses, the more distinct-lockset branches each location's history
+  // trie can grow.  Scale the per-location budget by that nesting depth
+  // instead of assuming every program is shallow.
+  Plan.ExpectedTrieNodes =
+      Plan.ExpectedSharedLocations *
+      trieNodesPerLocationForDepth(MaxMustSyncDepth, Opts);
+  Plan.ExpectedTrieEdges = Plan.ExpectedTrieNodes;
 
   // --- Pre-intern what is provably coming: every started thread begins
   // life holding exactly its dummy join lock S_j (Section 2.3), so those

@@ -32,11 +32,29 @@ struct DetectorPlannerOptions {
   /// replicas without over-reserving on the small test programs.
   uint64_t InstanceFanOut = 8;
 
-  /// Trie nodes (and edge slots) assumed per shared location.  Histories
-  /// stay shallow when programs hold 0-2 locks (Section 4.2); every
-  /// measured workload stays under 2 nodes per shared location.
+  /// Minimum trie nodes (and edge slots) assumed per shared location.
+  /// Histories stay shallow when programs hold 0-2 locks (Section 4.2);
+  /// every measured workload stays under 2 nodes per shared location.
+  /// The planner scales this up from the SyncAnalysis nesting depth — see
+  /// trieNodesPerLocationForDepth.
   uint64_t TrieNodesPerLocation = 2;
+
+  /// Ceiling for the depth-scaled per-location trie budget.  A trie over
+  /// a lockset of depth D can branch into at most 2^D distinct-prefix
+  /// histories, but beyond ~6 held locks pre-reserving that much per
+  /// location over-commits memory faster than it saves cold-pass growth.
+  uint64_t MaxTrieNodesPerLocation = 64;
 };
+
+/// The per-location trie-node budget for a program whose deepest must-held
+/// lockset (max over the race set of |SyncAnalysis::mustSync|) is
+/// \p MaxMustSyncDepth: 2^(depth+1) — the +1 is the per-thread dummy join
+/// lock (Section 2.3) every spawned thread adds on top of the analysed
+/// locks — clamped to [TrieNodesPerLocation, MaxTrieNodesPerLocation].
+/// Shallow programs keep the default 2; deeply nested ones get the full 64
+/// (tests/plan_test.cpp pins the curve).
+uint64_t trieNodesPerLocationForDepth(uint64_t MaxMustSyncDepth,
+                                      const DetectorPlannerOptions &Opts = {});
 
 /// Computes capacity hints for running \p P under the detector, from the
 /// results of \p Races (which must have been run()).  Also pre-interns the

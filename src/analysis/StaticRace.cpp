@@ -7,6 +7,7 @@
 #include "analysis/StaticRace.h"
 
 #include "analysis/CFG.h"
+#include "support/Metrics.h"
 
 using namespace herd;
 
@@ -47,17 +48,33 @@ bool accMayConflict(const AccessStmt &X, const AccessStmt &Y) {
 StaticRaceAnalysis::StaticRaceAnalysis(const Program &P) : P(P) {}
 StaticRaceAnalysis::~StaticRaceAnalysis() = default;
 
-void StaticRaceAnalysis::run() {
-  PT = std::make_unique<PointsToAnalysis>(P);
-  PT->run();
-  SI = std::make_unique<SingleInstanceAnalysis>(P, *PT);
-  SI->run();
-  Threads = std::make_unique<ThreadAnalysis>(P, *PT, *SI);
-  Threads->run();
-  Sync = std::make_unique<SyncAnalysis>(P, *PT, *SI);
-  Sync->run();
-  Esc = std::make_unique<EscapeAnalysis>(P, *PT);
-  Esc->run();
+void StaticRaceAnalysis::run(MetricsRegistry *Metrics) {
+  {
+    Span S(Metrics, "points-to", "analysis");
+    PT = std::make_unique<PointsToAnalysis>(P);
+    PT->run();
+  }
+  {
+    Span S(Metrics, "single-instance", "analysis");
+    SI = std::make_unique<SingleInstanceAnalysis>(P, *PT);
+    SI->run();
+  }
+  {
+    Span S(Metrics, "thread-analysis", "analysis");
+    Threads = std::make_unique<ThreadAnalysis>(P, *PT, *SI);
+    Threads->run();
+  }
+  {
+    Span S(Metrics, "sync-analysis", "analysis");
+    Sync = std::make_unique<SyncAnalysis>(P, *PT, *SI);
+    Sync->run();
+  }
+  {
+    Span S(Metrics, "escape", "analysis");
+    Esc = std::make_unique<EscapeAnalysis>(P, *PT);
+    Esc->run();
+  }
+  Span PairSpan(Metrics, "race-pairs", "analysis");
 
   // Collect reachable access statements, applying the Section 5.4 filters.
   std::vector<AccessStmt> Accesses;

@@ -38,6 +38,8 @@
 
 namespace herd {
 
+class MetricsRegistry;
+
 /// Statistics from one static analysis run, reported by the Table 2
 /// harness to show how much instrumentation the static phase removes.
 struct StaticRaceStats {
@@ -57,7 +59,10 @@ public:
   explicit StaticRaceAnalysis(const Program &P);
   ~StaticRaceAnalysis();
 
-  void run();
+  /// With a registry, each constituent pass records an "analysis" span
+  /// ("points-to", "single-instance", ..., "race-pairs") for
+  /// `herd --trace-json`; a null registry records nothing.
+  void run(MetricsRegistry *Metrics = nullptr);
 
   /// True when the access statement may participate in a race and must be
   /// instrumented.

@@ -139,6 +139,14 @@ public:
     return MaxDepth;
   }
 
+  /// Batches currently queued (pushed, not yet popped) — an instantaneous
+  /// reading, already stale by the time the caller uses it; meant for
+  /// observability sampling (per-shard queue-depth counter tracks).
+  size_t depth() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Count;
+  }
+
 private:
   mutable std::mutex M;
   std::condition_variable NotFull, NotEmpty, IdleCv;

@@ -7,6 +7,8 @@
 #include "detect/ShardedRuntime.h"
 
 #include "detect/RaceRuntime.h"
+#include "support/Compiler.h"
+#include "support/Metrics.h"
 
 #include <cassert>
 
@@ -18,8 +20,9 @@ using namespace herd;
 
 ShardPool::ShardPool(uint32_t NumShards, size_t BatchCapacity,
                      size_t QueueDepth, LockSetInterner *Locksets,
-                     const DetectorPlan &Plan)
-    : Locksets(Locksets), BatchCapacity(BatchCapacity == 0 ? 1 : BatchCapacity) {
+                     const DetectorPlan &Plan, MetricsRegistry *Metrics)
+    : Locksets(Locksets), Metrics(Metrics),
+      BatchCapacity(BatchCapacity == 0 ? 1 : BatchCapacity) {
   if (!this->Locksets) {
     OwnedInterner = std::make_unique<LockSetInterner>();
     this->Locksets = OwnedInterner.get();
@@ -40,6 +43,12 @@ ShardPool::ShardPool(uint32_t NumShards, size_t BatchCapacity,
     Shards.push_back(std::make_unique<Shard>(QueueDepth, *this->Locksets));
     Shards.back()->Det.applyPlan(Clamped.forShard(I, NumShards));
     Shards.back()->Open.Events.reserve(this->BatchCapacity);
+    // Row 0 is the pipeline (producer) thread; shards get 1..N.
+    Shards.back()->Tid = 1 + I;
+    Shards.back()->QueueDepthName =
+        "shard" + std::to_string(I) + ".queue_depth";
+    if (Metrics)
+      Metrics->nameThread(1 + I, "shard " + std::to_string(I));
   }
   for (auto &S : Shards)
     S->Worker = std::thread([this, Raw = S.get()] { workerLoop(*Raw); });
@@ -50,8 +59,13 @@ ShardPool::~ShardPool() { finish(); }
 void ShardPool::workerLoop(Shard &S) {
   EventBatch Batch;
   while (S.Queue.pop(Batch)) {
-    for (const DetectorEvent &Event : Batch.Events)
-      S.Det.handleEvent(Event);
+    {
+      // One span per processed batch on this shard's trace row; a null
+      // registry makes the Span a no-op without branching here.
+      Span BatchSpan(Metrics, "batch", "shard", S.Tid);
+      for (const DetectorEvent &Event : Batch.Events)
+        S.Det.handleEvent(Event);
+    }
     // Hand the emptied buffer back through the queue so the producer can
     // reuse it: steady-state transport allocates nothing.
     S.Queue.completeOne(std::move(Batch));
@@ -64,6 +78,9 @@ void ShardPool::pushOpen(Shard &S) {
   bool Pushed = S.Queue.push(std::move(S.Open));
   (void)Pushed;
   assert(Pushed && "shard queue stopped while ingesting");
+  if (HERD_UNLIKELY(Metrics != nullptr))
+    Metrics->recordCounterSample(S.QueueDepthName, S.Tid,
+                                 int64_t(S.Queue.depth()));
   if (!S.Queue.takeSpare(S.Open)) {
     S.Open = EventBatch();
     S.Open.Events.reserve(BatchCapacity);
@@ -155,7 +172,7 @@ DetectorStats ShardPool::aggregateDetectorStats() const {
 ShardedRuntime::ShardedRuntime(ShardedRuntimeOptions Opts)
     : Opts(Opts),
       Pool(Opts.NumShards, Opts.BatchCapacity, Opts.QueueDepthBatches,
-           /*Locksets=*/nullptr, Opts.Plan) {
+           /*Locksets=*/nullptr, Opts.Plan, Opts.Metrics) {
   DetectorPlan Plan = Opts.Plan.clamped();
   Ownership.reserve(Plan.ExpectedLocations);
   if (Plan.ExpectedThreads)

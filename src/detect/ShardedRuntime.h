@@ -45,6 +45,8 @@
 
 namespace herd {
 
+class MetricsRegistry;
+
 /// Configuration of the sharded runtime.  The detection flags mirror
 /// RaceRuntimeOptions so every ablation runs sharded as well.
 struct ShardedRuntimeOptions {
@@ -65,6 +67,11 @@ struct ShardedRuntimeOptions {
   /// Location-scaled fields are sliced per shard; the shared interner is
   /// planned once at pool level.
   DetectorPlan Plan;
+
+  /// Observability sink (`herd --trace-json`): per-shard batch spans and
+  /// queue-depth samples land here.  Null (the default) records nothing
+  /// and keeps the ingest path free of clock reads.
+  MetricsRegistry *Metrics = nullptr;
 };
 
 /// The shard engine: N trie detectors on worker threads behind bounded
@@ -79,9 +86,14 @@ public:
   /// is safe for ids published through the batch queues.  \p Plan pre-sizes
   /// each shard's detector (location-scaled fields sliced per shard) and
   /// the interner (reserved and pre-interned once, before workers start).
+  /// \p Metrics, when set, receives one trace row per shard (tid = 1 +
+  /// shard index, named "shard N"), a "batch" span for every batch a
+  /// worker processes, and "shardN.queue_depth" counter samples at every
+  /// producer push.
   ShardPool(uint32_t NumShards, size_t BatchCapacity, size_t QueueDepth,
             LockSetInterner *Locksets = nullptr,
-            const DetectorPlan &Plan = {});
+            const DetectorPlan &Plan = {},
+            MetricsRegistry *Metrics = nullptr);
   ~ShardPool();
 
   /// The shard a location's events are routed to: a hash of the location
@@ -149,6 +161,12 @@ private:
     uint64_t EventsIngested = 0;
     uint64_t BatchesIngested = 0;
 
+    // Observability identity: the trace row this shard's spans land on
+    // (1 + shard index; row 0 is the pipeline thread) and the cached
+    // queue-depth counter name, so sampling never builds strings.
+    uint32_t Tid = 0;
+    std::string QueueDepthName;
+
     Shard(size_t QueueDepth, LockSetInterner &Interner)
         : Queue(QueueDepth),
           Det(Reporter,
@@ -162,6 +180,7 @@ private:
 
   std::unique_ptr<LockSetInterner> OwnedInterner; ///< set iff none shared
   LockSetInterner *Locksets = nullptr;            ///< never null
+  MetricsRegistry *Metrics = nullptr;             ///< null = no recording
   std::vector<std::unique_ptr<Shard>> Shards;
   size_t BatchCapacity;
   bool Finished = false;

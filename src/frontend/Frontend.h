@@ -27,6 +27,8 @@
 
 namespace herd {
 
+class MetricsRegistry;
+
 struct CompileResult {
   bool Ok = false;
   Program P;                      ///< valid only when Ok
@@ -34,8 +36,10 @@ struct CompileResult {
 };
 
 /// Compiles MiniJ source; on success the returned program passes
-/// verifyProgram().
-CompileResult compileMiniJ(std::string_view Source);
+/// verifyProgram().  With a registry, records "parse" / "lower" / "verify"
+/// phase spans (`herd --trace-json`); null costs nothing.
+CompileResult compileMiniJ(std::string_view Source,
+                           MetricsRegistry *Metrics = nullptr);
 
 } // namespace herd
 

@@ -25,6 +25,7 @@
 #include "frontend/Parser.h"
 #include "ir/IRBuilder.h"
 #include "ir/Verifier.h"
+#include "support/Metrics.h"
 
 #include <map>
 #include <optional>
@@ -802,18 +803,27 @@ TypedValue Lowering::lowerCall(const Expr &E) {
 
 } // namespace
 
-CompileResult herd::compileMiniJ(std::string_view Source) {
+CompileResult herd::compileMiniJ(std::string_view Source,
+                                 MetricsRegistry *Metrics) {
   CompileResult Result;
   Parser P(Source, Result.Diags);
-  ProgramAst Ast = P.parseProgram();
+  ProgramAst Ast;
+  {
+    Span ParseSpan(Metrics, "parse", "frontend");
+    Ast = P.parseProgram();
+  }
   if (!Result.Diags.empty())
     return Result;
 
   Lowering Lower(Result.P, Result.Diags);
-  Lower.run(Ast);
+  {
+    Span LowerSpan(Metrics, "lower", "frontend");
+    Lower.run(Ast);
+  }
   if (!Result.Diags.empty())
     return Result;
 
+  Span VerifySpan(Metrics, "verify", "frontend");
   std::vector<std::string> Problems = verifyProgram(Result.P);
   for (const std::string &Problem : Problems) {
     Diagnostic D;

@@ -9,6 +9,7 @@
 #include "analysis/DetectorPlanner.h"
 #include "detect/TraceFile.h"
 #include "ir/Verifier.h"
+#include "support/Metrics.h"
 
 #include <cassert>
 #include <chrono>
@@ -191,6 +192,7 @@ RuntimeHooks *makeDetectionRuntime(const ToolConfig &Config,
     SOpts.FieldsMerged = Config.FieldsMerged;
     SOpts.ModelJoin = Config.ModelJoin;
     SOpts.Plan = Plan;
+    SOpts.Metrics = Config.Metrics;
     Sharded = std::make_unique<ShardedRuntime>(SOpts);
     return Sharded.get();
   }
@@ -227,21 +229,28 @@ PipelineResult herd::runPipeline(const Program &Input,
 
   // Phase 1+2: static analysis and instrumentation, on a private copy.
   Program P = Input;
+  MetricsRegistry *Metrics = Config.Metrics;
   DetectorPlan Plan = configuredPlan(Config);
   Clock::time_point T0 = Clock::now();
   if (Config.Instrument) {
     std::unique_ptr<StaticRaceAnalysis> Races;
     if (Config.StaticAnalysis) {
-      Races = std::make_unique<StaticRaceAnalysis>(P);
-      Races->run();
-      Result.Static = Races->stats();
+      {
+        Span AnalysisSpan(Metrics, "static-race");
+        Races = std::make_unique<StaticRaceAnalysis>(P);
+        Races->run(Metrics);
+        Result.Static = Races->stats();
+      }
       // The race set bounds what the runtime can see: turn it into
       // capacity hints so the detector pre-sizes instead of growing
       // through the cold pass (charged to analysis time, where it
       // belongs — it is the analysis paying for runtime efficiency).
-      if (Config.Plan == ToolConfig::PlanMode::Auto)
+      if (Config.Plan == ToolConfig::PlanMode::Auto) {
+        Span PlanSpan(Metrics, "plan");
         Plan = planDetector(P, *Races);
+      }
     }
+    Span InstrSpan(Metrics, "instrument");
     InstrumenterOptions Opts;
     Opts.UseStaticRaceSet = Config.StaticAnalysis;
     Opts.StaticWeakerThan = Config.StaticWeakerThan;
@@ -290,24 +299,40 @@ PipelineResult herd::runPipeline(const Program &Input,
   IOpts.Seed = Config.Seed;
   IOpts.MaxQuantum = Config.MaxQuantum;
   IOpts.MaxInstructions = Config.MaxInstructions;
+  IOpts.Profiler = Config.Profiler;
   Interpreter Interp(P, Hooks, IOpts);
 
   Clock::time_point T1 = Clock::now();
-  Result.Run = Interp.run();
+  {
+    Span ExecSpan(Metrics, "execute");
+    Result.Run = Interp.run();
+  }
   Result.ExecSeconds =
       std::chrono::duration<double>(Clock::now() - T1).count();
 
-  if (Sharded) {
-    Sharded->finish();
-    Result.Stats = Sharded->stats();
-    Result.Reports = Sharded->reporter();
-    Result.ShardBreakdown = Sharded->shardStats();
-  } else {
-    Result.Stats = Serial->stats();
-    Result.Reports = Serial->reporter();
+  {
+    Span DrainSpan(Metrics, "detect-drain");
+    if (Sharded) {
+      Sharded->finish();
+      Result.Stats = Sharded->stats();
+      Result.Reports = Sharded->reporter();
+      Result.ShardBreakdown = Sharded->shardStats();
+    } else {
+      Result.Stats = Serial->stats();
+      Result.Reports = Serial->reporter();
+    }
   }
-  for (const RaceRecord &Rec : Result.Reports.records())
-    Result.FormattedRaces.push_back(formatRace(P, &Interp.heap(), Rec));
+  {
+    Span FormatSpan(Metrics, "format-reports");
+    for (const RaceRecord &Rec : Result.Reports.records())
+      Result.FormattedRaces.push_back(formatRace(P, &Interp.heap(), Rec));
+  }
+  if (Metrics) {
+    Metrics->counter("run.instructions").add(Result.Run.InstructionsExecuted);
+    Metrics->counter("run.access_events").add(Result.Run.AccessEvents);
+    Metrics->counter("run.context_switches").add(Result.Run.ContextSwitches);
+    Metrics->counter("run.races").add(Result.Reports.records().size());
+  }
 
   if (Writer.isOpen()) {
     TraceResult Closed = Writer.close();
@@ -345,14 +370,21 @@ PipelineResult herd::replayTracePipeline(const Program &Input,
                            ? SinkList.front()
                            : static_cast<RuntimeHooks *>(&Fanout);
 
+  MetricsRegistry *Metrics = Config.Metrics;
   TraceReader Reader;
   Result.Trace = Reader.open(TracePath);
   if (Result.Trace.Ok) {
     Clock::time_point T0 = Clock::now();
-    Result.Trace = Reader.replayInto(*Sink);
+    {
+      Span ReplaySpan(Metrics, "replay");
+      Result.Trace = Reader.replayInto(*Sink);
+    }
     // Always close out the detectors — a sharded runtime must drain and
     // join its workers even when the trace turned out to be malformed.
-    Sink->onRunEnd();
+    {
+      Span DrainSpan(Metrics, "detect-drain");
+      Sink->onRunEnd();
+    }
     Result.ExecSeconds =
         std::chrono::duration<double>(Clock::now() - T0).count();
     Result.TraceRecords = Reader.recordsRead();
@@ -375,8 +407,11 @@ PipelineResult herd::replayTracePipeline(const Program &Input,
     Result.Reports = Serial->reporter();
   }
   // No heap exists in a replay run; formatRace degrades to object indices.
-  for (const RaceRecord &Rec : Result.Reports.records())
-    Result.FormattedRaces.push_back(formatRace(Input, nullptr, Rec));
+  {
+    Span FormatSpan(Metrics, "format-reports");
+    for (const RaceRecord &Rec : Result.Reports.records())
+      Result.FormattedRaces.push_back(formatRace(Input, nullptr, Rec));
+  }
 
   if (Config.DetectDeadlocks)
     collectDeadlockResults(Input, Deadlocks, Result);

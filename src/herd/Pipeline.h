@@ -82,6 +82,19 @@ struct ToolConfig {
   uint32_t MaxQuantum = 40;
   uint64_t MaxInstructions = 500'000'000;
 
+  // --- Observability (docs/OBSERVABILITY.md) ---
+  /// When set, every phase records a span here (parse/lower happen in the
+  /// caller; this covers static analysis passes, planning, instrumentation,
+  /// execution, detection drain, report formatting) and the sharded runtime
+  /// adds per-shard batch spans and queue-depth samples.  Null records
+  /// nothing; race reports are byte-identical either way.
+  MetricsRegistry *Metrics = nullptr;
+
+  /// When set, the interpreter counts every dispatch into this profiler and
+  /// times a 1-in-N sample (`herd --profile`).  Null costs one predictable
+  /// branch per step and never changes execution.
+  InterpProfiler *Profiler = nullptr;
+
   /// Named presets for the experiment tables.
   static ToolConfig base();
   static ToolConfig full();

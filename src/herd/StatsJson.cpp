@@ -1,0 +1,219 @@
+//===- herd/StatsJson.cpp - Machine-readable run statistics ---------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "herd/StatsJson.h"
+
+#include "runtime/InterpProfiler.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
+
+using namespace herd;
+
+namespace {
+
+void writeDetectorStats(JsonWriter &W, const DetectorStats &D) {
+  W.beginObject();
+  W.member("events_in", D.EventsIn);
+  W.member("owned_filtered", D.OwnedFiltered);
+  W.member("weaker_filtered", D.WeakerFiltered);
+  W.member("races_reported", D.RacesReported);
+  W.member("locations_tracked", uint64_t(D.LocationsTracked));
+  W.member("locations_shared", uint64_t(D.LocationsShared));
+  W.member("trie_nodes", uint64_t(D.TrieNodes));
+  W.member("lockset_memo_hits", D.LocksetMemoHits);
+  W.member("lockset_memo_misses", D.LocksetMemoMisses);
+  W.member("lockset_memo_evictions", D.LocksetMemoEvictions);
+  W.endObject();
+}
+
+void writeRuntimeStats(JsonWriter &W, const RaceRuntimeStats &S) {
+  W.beginObject();
+  W.member("events_seen", S.EventsSeen);
+  W.member("cache_hits", S.CacheHits);
+  W.member("cache_misses", S.CacheMisses);
+  W.member("cache_evictions", S.CacheEvictions);
+  W.key("detector");
+  writeDetectorStats(W, S.Detector);
+  W.key("per_thread_cache");
+  W.beginArray();
+  for (const ThreadCacheStats &T : S.PerThreadCache) {
+    W.beginObject();
+    W.member("thread", T.Thread);
+    W.member("read_hits", T.ReadHits);
+    W.member("read_misses", T.ReadMisses);
+    W.member("write_hits", T.WriteHits);
+    W.member("write_misses", T.WriteMisses);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
+void writeMetrics(JsonWriter &W, const MetricsRegistry &Reg) {
+  W.beginObject();
+  W.key("counters");
+  W.beginObject();
+  for (const auto &[Name, Value] : Reg.counterValues())
+    W.member(Name, Value);
+  W.endObject();
+  W.key("gauges");
+  W.beginObject();
+  for (const auto &G : Reg.gaugeValues()) {
+    W.key(G.Name);
+    W.beginObject();
+    W.member("value", G.Value);
+    W.member("max", G.Max);
+    W.endObject();
+  }
+  W.endObject();
+  W.key("histograms");
+  W.beginObject();
+  for (const auto &H : Reg.histogramValues()) {
+    W.key(H.Name);
+    W.beginObject();
+    W.member("count", H.Count);
+    W.member("sum", H.Sum);
+    W.member("min", H.Min);
+    W.member("max", H.Max);
+    W.key("log2_buckets");
+    W.beginArray();
+    for (const auto &[Bucket, N] : H.Buckets) {
+      W.beginObject();
+      W.member("bucket", Bucket);
+      W.member("count", N);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
+}
+
+void writeProfile(JsonWriter &W, const InterpProfiler &Prof) {
+  W.beginObject();
+  W.member("sample_every", Prof.sampleEvery());
+  W.member("total_dispatches", Prof.totalDispatches());
+  W.member("instrumented_dispatches", Prof.instrumentedDispatches());
+  W.member("total_samples", Prof.totalSamples());
+  W.member("sampled_nanos", Prof.totalSampledNanos());
+  W.member("hook_nanos", Prof.totalHookNanos());
+  W.key("opcodes");
+  W.beginArray();
+  for (const InterpProfiler::Row &R : Prof.rankedRows()) {
+    W.beginObject();
+    W.member("opcode", opcodeName(R.Op));
+    W.member("dispatches", R.Dispatches);
+    W.member("samples", R.Samples);
+    W.member("sampled_nanos", R.SampledNanos);
+    W.member("hook_nanos", R.HookNanos);
+    W.member("estimated_nanos", R.EstimatedNanos);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
+} // namespace
+
+std::string herd::renderStatsJson(const PipelineResult &Result,
+                                  const MetricsRegistry *Metrics,
+                                  const InterpProfiler *Prof) {
+  std::string Out;
+  JsonWriter W(Out);
+  W.beginObject();
+  W.member("schema", StatsSchemaName);
+  W.member("version", StatsSchemaVersion);
+
+  W.key("run");
+  W.beginObject();
+  W.member("ok", Result.Run.Ok);
+  W.member("error", Result.Run.Error);
+  W.member("instructions", Result.Run.InstructionsExecuted);
+  W.member("access_events", Result.Run.AccessEvents);
+  W.member("context_switches", Result.Run.ContextSwitches);
+  W.member("threads_created", Result.Run.ThreadsCreated);
+  W.member("output_values", uint64_t(Result.Run.Output.size()));
+  W.endObject();
+
+  W.key("timings");
+  W.beginObject();
+  W.member("analysis_seconds", Result.AnalysisSeconds);
+  W.member("exec_seconds", Result.ExecSeconds);
+  W.endObject();
+
+  W.key("static");
+  W.beginObject();
+  W.member("reachable_access_statements",
+           uint64_t(Result.Static.ReachableAccessStatements));
+  W.member("thread_local_filtered",
+           uint64_t(Result.Static.ThreadLocalFiltered));
+  W.member("thread_specific_filtered",
+           uint64_t(Result.Static.ThreadSpecificFiltered));
+  W.member("same_thread_filtered",
+           uint64_t(Result.Static.SameThreadFiltered));
+  W.member("common_sync_filtered",
+           uint64_t(Result.Static.CommonSyncFiltered));
+  W.member("race_set_size", uint64_t(Result.Static.RaceSetSize));
+  W.member("may_race_pairs", uint64_t(Result.Static.MayRacePairs));
+  W.endObject();
+
+  W.key("instrumentation");
+  W.beginObject();
+  W.member("traces_inserted", uint64_t(Result.Instr.TracesInserted));
+  W.member("traces_removed", uint64_t(Result.Instr.TracesRemoved));
+  W.member("loops_peeled", uint64_t(Result.Instr.LoopsPeeled));
+  W.endObject();
+
+  W.key("runtime");
+  writeRuntimeStats(W, Result.Stats);
+
+  W.key("shards");
+  W.beginArray();
+  for (const ShardStats &S : Result.ShardBreakdown) {
+    W.beginObject();
+    W.member("events_ingested", S.EventsIngested);
+    W.member("batches_ingested", S.BatchesIngested);
+    W.member("max_queue_depth_batches", uint64_t(S.MaxQueueDepthBatches));
+    W.key("detector");
+    writeDetectorStats(W, S.Detector);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("races");
+  W.beginArray();
+  for (const std::string &Race : Result.FormattedRaces)
+    W.value(Race);
+  W.endArray();
+
+  W.key("deadlocks");
+  W.beginArray();
+  for (const std::string &Line : Result.FormattedDeadlocks)
+    W.value(Line);
+  W.endArray();
+
+  W.key("trace");
+  W.beginObject();
+  W.member("ok", Result.Trace.Ok);
+  W.member("error", Result.Trace.Error);
+  W.member("records", Result.TraceRecords);
+  W.member("bytes", Result.TraceBytes);
+  W.endObject();
+
+  if (Metrics) {
+    W.key("metrics");
+    writeMetrics(W, *Metrics);
+  }
+  if (Prof) {
+    W.key("profile");
+    writeProfile(W, *Prof);
+  }
+
+  W.endObject();
+  Out += '\n';
+  return Out;
+}

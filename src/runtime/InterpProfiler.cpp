@@ -1,0 +1,129 @@
+//===- runtime/InterpProfiler.cpp - Interpreter sampling profiler ---------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/InterpProfiler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace herd;
+
+static SteadyClock &profilerSteadyClock() {
+  static SteadyClock C;
+  return C;
+}
+
+InterpProfiler::InterpProfiler(MetricsClock *Clock, uint32_t SampleEvery)
+    : Clock(Clock ? Clock : &profilerSteadyClock()),
+      SampleMask(SampleEvery - 1) {
+  assert(SampleEvery != 0 && (SampleEvery & (SampleEvery - 1)) == 0 &&
+         "sample period must be a power of two");
+}
+
+uint64_t InterpProfiler::totalSamples() const {
+  uint64_t N = 0;
+  for (const OpcodeCounts &C : Ops)
+    N += C.Samples;
+  return N;
+}
+
+uint64_t InterpProfiler::totalSampledNanos() const {
+  uint64_t N = 0;
+  for (const OpcodeCounts &C : Ops)
+    N += C.StepNanos;
+  return N;
+}
+
+uint64_t InterpProfiler::totalHookNanos() const {
+  uint64_t N = 0;
+  for (const OpcodeCounts &C : Ops)
+    N += C.HookNanos;
+  return N;
+}
+
+std::vector<InterpProfiler::Row> InterpProfiler::rankedRows() const {
+  std::vector<Row> Rows;
+  for (size_t I = 0; I != NumOpcodes; ++I) {
+    const OpcodeCounts &C = Ops[I];
+    if (C.Dispatches == 0)
+      continue;
+    Row R;
+    R.Op = Opcode(I);
+    R.Dispatches = C.Dispatches;
+    R.Samples = C.Samples;
+    R.SampledNanos = C.StepNanos;
+    R.HookNanos = C.HookNanos;
+    R.EstimatedNanos = C.StepNanos * sampleEvery();
+    Rows.push_back(R);
+  }
+  std::sort(Rows.begin(), Rows.end(), [](const Row &A, const Row &B) {
+    if (A.SampledNanos != B.SampledNanos)
+      return A.SampledNanos > B.SampledNanos;
+    if (A.Dispatches != B.Dispatches)
+      return A.Dispatches > B.Dispatches;
+    return size_t(A.Op) < size_t(B.Op);
+  });
+  return Rows;
+}
+
+std::string herd::renderProfileTable(const InterpProfiler &Prof) {
+  std::string Out;
+  char Line[256];
+  auto Emit = [&Out, &Line] { Out += Line; };
+
+  uint64_t Total = Prof.totalDispatches();
+  uint64_t Instrumented = Prof.instrumentedDispatches();
+  uint64_t SampledNanos = Prof.totalSampledNanos();
+  uint64_t HookNanos = Prof.totalHookNanos();
+  double InstrPct = Total ? 100.0 * double(Instrumented) / double(Total) : 0.0;
+  double HookPct =
+      SampledNanos ? 100.0 * double(HookNanos) / double(SampledNanos) : 0.0;
+
+  std::snprintf(Line, sizeof(Line), "-- interpreter profile --\n");
+  Emit();
+  std::snprintf(Line, sizeof(Line),
+                "dispatches: %llu total, %llu instrumented traces (%.1f%%), "
+                "%llu uninstrumented\n",
+                (unsigned long long)Total, (unsigned long long)Instrumented,
+                InstrPct, (unsigned long long)(Total - Instrumented));
+  Emit();
+  std::snprintf(Line, sizeof(Line),
+                "sampling:   1/%u dispatches timed (%llu samples, %.3f ms "
+                "sampled; est. total %.3f ms)\n",
+                Prof.sampleEvery(), (unsigned long long)Prof.totalSamples(),
+                double(SampledNanos) / 1e6,
+                double(SampledNanos) * Prof.sampleEvery() / 1e6);
+  Emit();
+  std::snprintf(Line, sizeof(Line),
+                "attribution: hooks (detector feed) %.3f ms of sampled time "
+                "(%.1f%%), interpretation %.3f ms\n",
+                double(HookNanos) / 1e6, HookPct,
+                double(SampledNanos - HookNanos) / 1e6);
+  Emit();
+  std::snprintf(Line, sizeof(Line),
+                "%4s %-13s %12s %7s %10s %7s %10s\n", "rank", "opcode",
+                "dispatches", "disp%", "est.ms", "time%", "hook.ms");
+  Emit();
+
+  std::vector<InterpProfiler::Row> Rows = Prof.rankedRows();
+  int Rank = 0;
+  for (const InterpProfiler::Row &R : Rows) {
+    ++Rank;
+    double DispPct =
+        Total ? 100.0 * double(R.Dispatches) / double(Total) : 0.0;
+    double TimePct = SampledNanos
+                         ? 100.0 * double(R.SampledNanos) / double(SampledNanos)
+                         : 0.0;
+    std::snprintf(Line, sizeof(Line),
+                  "%4d %-13s %12llu %6.1f%% %10.3f %6.1f%% %10.3f\n", Rank,
+                  opcodeName(R.Op), (unsigned long long)R.Dispatches, DispPct,
+                  double(R.EstimatedNanos) / 1e6, TimePct,
+                  double(R.HookNanos) * Prof.sampleEvery() / 1e6);
+    Emit();
+  }
+  return Out;
+}

@@ -6,6 +6,7 @@
 
 #include "runtime/Interpreter.h"
 
+#include "runtime/InterpProfiler.h"
 #include "support/Compiler.h"
 
 using namespace herd;
@@ -41,7 +42,8 @@ struct Interpreter::SimThread {
 
 Interpreter::Interpreter(const Program &P, RuntimeHooks *Hooks,
                          InterpOptions Opts)
-    : P(P), Hooks(Hooks), Opts(Opts), TheHeap(P), ScheduleRng(Opts.Seed) {}
+    : P(P), Hooks(Hooks), Prof(Opts.Profiler), Opts(Opts), TheHeap(P),
+      ScheduleRng(Opts.Seed) {}
 
 Interpreter::~Interpreter() = default;
 
@@ -89,8 +91,17 @@ bool Interpreter::requireInt(SimThread &Thread, RegId Reg, int64_t &Out,
 void Interpreter::emitAccess(ThreadId Thread, LocationKey Loc,
                              AccessKind Kind, SiteId Site) {
   ++Result.AccessEvents;
-  if (Hooks)
+  if (!Hooks)
+    return;
+  if (HERD_UNLIKELY(Prof != nullptr) && Prof->samplingActive()) {
+    // Time the detector feed so the profile splits "interpreting the
+    // program" from "running the hooks" (onAccess dominates hook time).
+    uint64_t Begin = Prof->now();
     Hooks->onAccess(Thread, Loc, Kind, Site);
+    Prof->addHookNanos(Prof->now() - Begin);
+    return;
+  }
+  Hooks->onAccess(Thread, Loc, Kind, Site);
 }
 
 bool Interpreter::tryAcquireMonitor(SimThread &Thread, ObjectId Obj,
@@ -169,6 +180,25 @@ Interpreter::StepResult Interpreter::step(SimThread &Thread) {
   assert(F.Ip < Block.Instrs.size() && "pc ran off the end of a block");
   const Instr &I = Block.Instrs[F.Ip];
 
+  if (HERD_UNLIKELY(Prof != nullptr)) {
+    // Opcode captured up front: executeInstr can grow Thread.Stack, but
+    // never mutates the method body I points into.
+    Opcode Op = I.Op;
+    if (Prof->onDispatch(Op)) {
+      Prof->beginSample();
+      uint64_t Begin = Prof->now();
+      StepResult R = executeInstr(Thread, F, I);
+      uint64_t End = Prof->now();
+      Prof->endSample(Op, End - Begin);
+      return R;
+    }
+    return executeInstr(Thread, F, I);
+  }
+  return executeInstr(Thread, F, I);
+}
+
+Interpreter::StepResult Interpreter::executeInstr(SimThread &Thread, Frame &F,
+                                                  const Instr &I) {
   auto Advance = [&] { ++Thread.Stack.back().Ip; };
   auto JumpTo = [&](BlockId Target) {
     Frame &Top = Thread.Stack.back();

@@ -35,6 +35,8 @@
 
 namespace herd {
 
+class InterpProfiler;
+
 /// A recorded schedule: the exact sequence of (thread, retired
 /// instructions) slices of one run.  Plays the role of the DejaVu
 /// record/replay tool in the paper's debugging workflow (Section 2.6):
@@ -74,6 +76,11 @@ struct InterpOptions {
   /// program must be the same one that was recorded; divergence is a
   /// runtime error.
   const ScheduleTrace *Replay = nullptr;
+
+  /// When set, every dispatch is counted and a 1-in-N sample of them is
+  /// timed (`herd --profile`).  Profiling never changes execution
+  /// semantics; a null profiler costs one predictable branch per step.
+  InterpProfiler *Profiler = nullptr;
 };
 
 /// The outcome of a run.
@@ -115,6 +122,7 @@ private:
   };
 
   StepResult step(SimThread &Thread);
+  StepResult executeInstr(SimThread &Thread, Frame &F, const Instr &I);
   StepResult enterSynchronizedFrame(SimThread &Thread, Frame &F);
 
   bool tryAcquireMonitor(SimThread &Thread, ObjectId Obj, bool &Recursive);
@@ -134,6 +142,7 @@ private:
 
   const Program &P;
   RuntimeHooks *Hooks;
+  InterpProfiler *Prof;
   InterpOptions Opts;
   Heap TheHeap;
   Rng ScheduleRng;

@@ -1,0 +1,176 @@
+//===- support/Json.h - Minimal deterministic JSON writer -------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny streaming JSON writer used by the observability layer (`herd
+/// --stats=json`, `--trace-json`).  No reflection, no DOM: callers open
+/// objects/arrays and emit members in order, and the writer inserts commas
+/// and escapes strings.  Output is deterministic byte-for-byte for a
+/// deterministic call sequence, which is what the golden-file tests pin.
+///
+/// Doubles are printed with "%.17g"-free shortest-round-trip formatting is
+/// deliberately avoided: observability values are either integers or
+/// fixed-precision seconds, so value(double) uses "%.6f" with trailing-zero
+/// trimming — stable across libc versions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_SUPPORT_JSON_H
+#define HERD_SUPPORT_JSON_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace herd {
+
+/// Streaming JSON writer building into a std::string.
+class JsonWriter {
+public:
+  explicit JsonWriter(std::string &Out) : Out(Out) {}
+
+  void beginObject() {
+    preValue();
+    Out += '{';
+    Stack.push_back(State::ObjectFirst);
+  }
+  void endObject() {
+    assert(!Stack.empty() && (Stack.back() == State::ObjectFirst ||
+                              Stack.back() == State::ObjectNext));
+    Stack.pop_back();
+    Out += '}';
+  }
+  void beginArray() {
+    preValue();
+    Out += '[';
+    Stack.push_back(State::ArrayFirst);
+  }
+  void endArray() {
+    assert(!Stack.empty() && (Stack.back() == State::ArrayFirst ||
+                              Stack.back() == State::ArrayNext));
+    Stack.pop_back();
+    Out += ']';
+  }
+
+  /// Emits `"Name":`; the next value() / begin*() call supplies the value.
+  void key(std::string_view Name) {
+    assert(!Stack.empty() && (Stack.back() == State::ObjectFirst ||
+                              Stack.back() == State::ObjectNext) &&
+           "key() outside an object");
+    if (Stack.back() == State::ObjectNext)
+      Out += ',';
+    Stack.back() = State::ObjectNext;
+    appendEscaped(Name);
+    Out += ':';
+    PendingKey = true;
+  }
+
+  void value(std::string_view S) {
+    preValue();
+    appendEscaped(S);
+  }
+  void value(const char *S) { value(std::string_view(S)); }
+  void value(uint64_t V) {
+    preValue();
+    char Buf[24];
+    std::snprintf(Buf, sizeof(Buf), "%llu", (unsigned long long)V);
+    Out += Buf;
+  }
+  void value(int64_t V) {
+    preValue();
+    char Buf[24];
+    std::snprintf(Buf, sizeof(Buf), "%lld", (long long)V);
+    Out += Buf;
+  }
+  void value(uint32_t V) { value(uint64_t(V)); }
+  void value(int V) { value(int64_t(V)); }
+  void value(bool B) {
+    preValue();
+    Out += B ? "true" : "false";
+  }
+  /// Fixed six-decimal formatting with trailing zeros trimmed ("0.125",
+  /// "3.0", "0.000001"): stable across platforms, enough resolution for
+  /// second-valued timings.
+  void value(double V) {
+    preValue();
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+    std::string S(Buf);
+    while (S.size() > 1 && S.back() == '0' &&
+           S[S.size() - 2] != '.') // keep one digit after the point
+      S.pop_back();
+    Out += S;
+  }
+
+  /// key() + value() in one call, for scalar members.
+  template <typename T> void member(std::string_view Name, T V) {
+    key(Name);
+    value(V);
+  }
+
+  bool done() const { return Stack.empty(); }
+
+private:
+  enum class State : uint8_t { ObjectFirst, ObjectNext, ArrayFirst, ArrayNext };
+
+  void preValue() {
+    if (PendingKey) { // value directly after key(): comma already emitted
+      PendingKey = false;
+      return;
+    }
+    if (Stack.empty())
+      return; // the root value
+    assert((Stack.back() == State::ArrayFirst ||
+            Stack.back() == State::ArrayNext) &&
+           "object members need key() first");
+    if (Stack.back() == State::ArrayNext)
+      Out += ',';
+    Stack.back() = State::ArrayNext;
+  }
+
+  void appendEscaped(std::string_view S) {
+    Out += '"';
+    for (char C : S) {
+      switch (C) {
+      case '"':
+        Out += "\\\"";
+        break;
+      case '\\':
+        Out += "\\\\";
+        break;
+      case '\n':
+        Out += "\\n";
+        break;
+      case '\r':
+        Out += "\\r";
+        break;
+      case '\t':
+        Out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(C) < 0x20) {
+          char Buf[8];
+          std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+          Out += Buf;
+        } else {
+          Out += C;
+        }
+      }
+    }
+    Out += '"';
+  }
+
+  std::string &Out;
+  std::vector<State> Stack;
+  bool PendingKey = false;
+};
+
+} // namespace herd
+
+#endif // HERD_SUPPORT_JSON_H

@@ -1,0 +1,250 @@
+//===- tests/cli_test.cpp - herd command-line parsing tests ---------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the `herd` tool's argument grammar (herd/HerdOptions.h):
+/// every flag's happy path, every validation message, the cross-flag
+/// conflict rules, and the preset-vs-flag ordering guarantees that the
+/// CLI integration tests cannot pin without spawning one process per case.
+///
+//===----------------------------------------------------------------------===//
+
+#include "herd/HerdOptions.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace herd;
+
+namespace {
+
+HerdParse parse(std::vector<std::string> Args) {
+  return parseHerdCommandLine(Args);
+}
+
+/// Expects an Error outcome carrying exactly \p Message.
+void expectError(const HerdParse &P, const std::string &Message) {
+  EXPECT_EQ(P.St, HerdParse::Status::Error);
+  EXPECT_EQ(P.Error, Message);
+}
+
+//===----------------------------------------------------------------------===
+// Happy paths
+//===----------------------------------------------------------------------===
+
+TEST(CliTest, DefaultsForPlainRun) {
+  HerdParse P = parse({"prog.mj"});
+  ASSERT_EQ(P.St, HerdParse::Status::Run);
+  EXPECT_EQ(P.Opts.Path, "prog.mj");
+  EXPECT_TRUE(P.Opts.WorkloadName.empty());
+  EXPECT_EQ(P.Opts.Seed, 1u);
+  EXPECT_EQ(P.Opts.Sweep, 0);
+  EXPECT_EQ(P.Opts.Detector, "herd");
+  EXPECT_EQ(P.Opts.Config.Shards, 0u);
+  EXPECT_EQ(P.Opts.Config.CacheEntries, 256u);
+  EXPECT_EQ(P.Opts.Config.Plan, ToolConfig::PlanMode::Auto);
+  EXPECT_FALSE(P.Opts.Stats);
+  EXPECT_FALSE(P.Opts.StatsJson);
+  EXPECT_FALSE(P.Opts.Profile);
+  EXPECT_FALSE(P.Opts.Deadlocks);
+  EXPECT_FALSE(P.Opts.DumpIR);
+  EXPECT_TRUE(P.Opts.TraceJsonPath.empty());
+}
+
+TEST(CliTest, AllFlagsLand) {
+  HerdParse P = parse({"--workload=mtrt", "--seed=9", "--shards=4",
+                       "--cache-size=512", "--plan=1000", "--deadlocks",
+                       "--stats", "--trace-json=t.json", "--profile"});
+  ASSERT_EQ(P.St, HerdParse::Status::Run) << P.Error;
+  EXPECT_EQ(P.Opts.WorkloadName, "mtrt");
+  EXPECT_EQ(P.Opts.Seed, 9u);
+  EXPECT_EQ(P.Opts.Config.Seed, 9u);
+  EXPECT_EQ(P.Opts.Config.Shards, 4u);
+  EXPECT_EQ(P.Opts.Config.CacheEntries, 512u);
+  EXPECT_EQ(P.Opts.Config.Plan, ToolConfig::PlanMode::Explicit);
+  EXPECT_EQ(P.Opts.Config.PlanLocations, 1000u);
+  EXPECT_TRUE(P.Opts.Config.DetectDeadlocks);
+  EXPECT_TRUE(P.Opts.Stats);
+  EXPECT_EQ(P.Opts.TraceJsonPath, "t.json");
+  EXPECT_TRUE(P.Opts.Profile);
+}
+
+TEST(CliTest, StatsVariants) {
+  EXPECT_TRUE(parse({"p.mj", "--stats"}).Opts.Stats);
+  EXPECT_TRUE(parse({"p.mj", "--stats=human"}).Opts.Stats);
+  HerdParse Json = parse({"p.mj", "--stats=json"});
+  ASSERT_EQ(Json.St, HerdParse::Status::Run);
+  EXPECT_TRUE(Json.Opts.StatsJson);
+  EXPECT_FALSE(Json.Opts.Stats);
+  expectError(parse({"p.mj", "--stats=csv"}),
+              "herd: --stats expects human or json, got 'csv'");
+}
+
+TEST(CliTest, HelpShortCircuits) {
+  EXPECT_EQ(parse({"--help"}).St, HerdParse::Status::Help);
+  EXPECT_EQ(parse({"-h"}).St, HerdParse::Status::Help);
+  // --help wins even on an otherwise-broken command line.
+  EXPECT_EQ(parse({"--plan=bogus", "--help"}).St, HerdParse::Status::Error);
+  EXPECT_EQ(parse({"--help", "--plan=bogus"}).St, HerdParse::Status::Help);
+}
+
+TEST(CliTest, UsageTextMentionsEveryFlag) {
+  std::string Usage = herdUsageText();
+  for (const char *Flag :
+       {"--config=", "--seed=", "--shards=", "--cache-size=", "--plan=",
+        "--sweep=", "--record=", "--replay=", "--detector=", "--deadlocks",
+        "--stats", "--trace-json=", "--profile", "--dump-ir", "--workload="})
+    EXPECT_NE(Usage.find(Flag), std::string::npos) << Flag;
+}
+
+//===----------------------------------------------------------------------===
+// Preset-vs-flag ordering
+//===----------------------------------------------------------------------===
+
+TEST(CliTest, PresetAfterFlagDoesNotClobber) {
+  // --config resets the whole ToolConfig; explicit --shards/--cache-size/
+  // --plan must survive no matter where the preset sits.
+  HerdParse P = parse({"p.mj", "--shards=3", "--cache-size=64", "--plan=off",
+                       "--config=nocache"});
+  ASSERT_EQ(P.St, HerdParse::Status::Run) << P.Error;
+  EXPECT_EQ(P.Opts.Config.Shards, 3u);
+  EXPECT_EQ(P.Opts.Config.CacheEntries, 64u);
+  EXPECT_EQ(P.Opts.Config.Plan, ToolConfig::PlanMode::Off);
+  EXPECT_FALSE(P.Opts.Config.UseCache); // the preset still applied
+}
+
+TEST(CliTest, EveryPresetNameResolves) {
+  for (const char *Name : {"full", "nostatic", "nodominators", "nopeeling",
+                           "nocache", "fieldsmerged", "noownership", "base"}) {
+    ToolConfig C;
+    EXPECT_TRUE(pickToolConfig(Name, C)) << Name;
+  }
+  ToolConfig C;
+  EXPECT_FALSE(pickToolConfig("notaconfig", C));
+  expectError(parse({"p.mj", "--config=notaconfig"}),
+              "herd: unknown config 'notaconfig'");
+}
+
+//===----------------------------------------------------------------------===
+// Per-flag validation
+//===----------------------------------------------------------------------===
+
+TEST(CliTest, MissingInputShowsUsage) {
+  HerdParse P = parse({"--stats"});
+  EXPECT_EQ(P.St, HerdParse::Status::Error);
+  EXPECT_TRUE(P.Error.empty());
+  EXPECT_TRUE(P.ShowUsage);
+}
+
+TEST(CliTest, UnknownOptionShowsUsage) {
+  HerdParse P = parse({"p.mj", "--frobnicate"});
+  expectError(P, "herd: unknown option '--frobnicate'");
+  EXPECT_TRUE(P.ShowUsage);
+}
+
+TEST(CliTest, BadShards) {
+  expectError(parse({"p.mj", "--shards=abc"}),
+              "herd: --shards expects a number, got 'abc'");
+  expectError(parse({"p.mj", "--shards="}),
+              "herd: --shards expects a number, got ''");
+  expectError(parse({"p.mj", "--shards=4x"}),
+              "herd: --shards expects a number, got '4x'");
+}
+
+TEST(CliTest, BadCacheSize) {
+  const std::string Msg =
+      "herd: --cache-size expects a power of two in [1, 2^20], got '";
+  expectError(parse({"p.mj", "--cache-size=0"}), Msg + "0'");
+  expectError(parse({"p.mj", "--cache-size=3"}), Msg + "3'");
+  expectError(parse({"p.mj", "--cache-size=2097152"}), Msg + "2097152'");
+  expectError(parse({"p.mj", "--cache-size=abc"}), Msg + "abc'");
+  EXPECT_EQ(parse({"p.mj", "--cache-size=1"}).St, HerdParse::Status::Run);
+  EXPECT_EQ(parse({"p.mj", "--cache-size=1048576"}).St,
+            HerdParse::Status::Run);
+}
+
+TEST(CliTest, BadPlan) {
+  const std::string Msg =
+      "herd: --plan expects auto, off, or a positive location count, got '";
+  expectError(parse({"p.mj", "--plan=maybe"}), Msg + "maybe'");
+  expectError(parse({"p.mj", "--plan=0"}), Msg + "0'");
+  expectError(parse({"p.mj", "--plan="}), Msg + "'");
+  expectError(parse({"p.mj", "--plan=12x"}), Msg + "12x'");
+  EXPECT_EQ(parse({"p.mj", "--plan=auto"}).Opts.Config.Plan,
+            ToolConfig::PlanMode::Auto);
+  EXPECT_EQ(parse({"p.mj", "--plan=off"}).Opts.Config.Plan,
+            ToolConfig::PlanMode::Off);
+}
+
+TEST(CliTest, EmptyPathFlags) {
+  expectError(parse({"p.mj", "--record="}),
+              "herd: --record expects a file path");
+  expectError(parse({"p.mj", "--replay="}),
+              "herd: --replay expects a file path");
+  expectError(parse({"p.mj", "--trace-json="}),
+              "herd: --trace-json expects a file path");
+}
+
+TEST(CliTest, UnknownDetector) {
+  expectError(parse({"p.mj", "--detector=tsan"}),
+              "herd: unknown detector 'tsan'");
+}
+
+//===----------------------------------------------------------------------===
+// Cross-flag conflicts
+//===----------------------------------------------------------------------===
+
+TEST(CliTest, ReplayExcludesSweepAndRecord) {
+  expectError(parse({"p.mj", "--replay=t.trace", "--sweep=5"}),
+              "herd: --replay cannot be combined with --sweep/--record");
+  expectError(parse({"p.mj", "--replay=t.trace", "--record=u.trace"}),
+              "herd: --replay cannot be combined with --sweep/--record");
+  expectError(parse({"p.mj", "--record=t.trace", "--sweep=5"}),
+              "herd: --record cannot be combined with --sweep");
+}
+
+TEST(CliTest, DetectorRequiresReplay) {
+  expectError(parse({"p.mj", "--detector=eraser"}),
+              "herd: --detector requires --replay");
+  EXPECT_EQ(parse({"p.mj", "--detector=eraser", "--replay=t.trace"}).St,
+            HerdParse::Status::Run);
+}
+
+TEST(CliTest, ObservabilityExcludesSweep) {
+  const std::string Msg =
+      "herd: --profile/--stats=json/--trace-json cannot be combined with "
+      "--sweep";
+  expectError(parse({"p.mj", "--sweep=5", "--profile"}), Msg);
+  expectError(parse({"p.mj", "--sweep=5", "--stats=json"}), Msg);
+  expectError(parse({"p.mj", "--sweep=5", "--trace-json=t.json"}), Msg);
+  // Human stats still sweep fine.
+  EXPECT_EQ(parse({"p.mj", "--sweep=5", "--stats"}).St,
+            HerdParse::Status::Run);
+}
+
+TEST(CliTest, ProfileRequiresLiveRun) {
+  expectError(parse({"p.mj", "--replay=t.trace", "--profile"}),
+              "herd: --profile requires a live run, not --replay");
+}
+
+TEST(CliTest, BaselineDetectorsHaveNoJsonOutputs) {
+  const std::string Msg =
+      "herd: --stats=json/--trace-json only apply to the herd detector";
+  expectError(
+      parse({"p.mj", "--replay=t.trace", "--detector=naive", "--stats=json"}),
+      Msg);
+  expectError(parse({"p.mj", "--replay=t.trace", "--detector=vectorclock",
+                     "--trace-json=t.json"}),
+              Msg);
+  // The herd detector replay supports both.
+  EXPECT_EQ(
+      parse({"p.mj", "--replay=t.trace", "--stats=json"}).St,
+      HerdParse::Status::Run);
+}
+
+} // namespace

@@ -23,6 +23,7 @@
 
 #include "FuzzPrograms.h"
 #include "TestPrograms.h"
+#include "analysis/DetectorPlanner.h"
 #include "herd/Pipeline.h"
 #include "support/Arena.h"
 #include "support/FlatTable.h"
@@ -31,6 +32,7 @@
 #include "gtest/gtest.h"
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -299,6 +301,126 @@ TEST(DetectorPlanTest, ForShardSlicesWithHeadroom) {
   EXPECT_TRUE(P.forShard(0, 0).empty());
   DetectorPlan One = P.forShard(0, 1);
   EXPECT_GE(One.ExpectedLocations, P.ExpectedLocations);
+}
+
+//===----------------------------------------------------------------------===
+// Lockset-depth heuristic: deep must-sync nesting widens the trie budget
+//===----------------------------------------------------------------------===
+
+TEST(PlannerDepthTest, TrieNodesPerLocationCurve) {
+  // 2^(depth+1) — the +1 is the per-thread dummy join lock — clamped to
+  // [TrieNodesPerLocation=2, MaxTrieNodesPerLocation=64].
+  EXPECT_EQ(trieNodesPerLocationForDepth(0), 2u);
+  EXPECT_EQ(trieNodesPerLocationForDepth(1), 4u);
+  EXPECT_EQ(trieNodesPerLocationForDepth(2), 8u);
+  EXPECT_EQ(trieNodesPerLocationForDepth(3), 16u);
+  EXPECT_EQ(trieNodesPerLocationForDepth(4), 32u);
+  EXPECT_EQ(trieNodesPerLocationForDepth(5), 64u);
+  EXPECT_EQ(trieNodesPerLocationForDepth(6), 64u);
+  EXPECT_EQ(trieNodesPerLocationForDepth(100), 64u);
+  EXPECT_EQ(trieNodesPerLocationForDepth(UINT64_MAX), 64u); // no overflow
+  // The clamp ends are tunable.
+  DetectorPlannerOptions Wide;
+  Wide.TrieNodesPerLocation = 16;
+  Wide.MaxTrieNodesPerLocation = 1 << 10;
+  EXPECT_EQ(trieNodesPerLocationForDepth(0, Wide), 16u);
+  EXPECT_EQ(trieNodesPerLocationForDepth(8, Wide), 512u);
+  EXPECT_EQ(trieNodesPerLocationForDepth(20, Wide), 1u << 10);
+}
+
+/// Two workers race on Shared.count; the first wraps its access in
+/// \p Depth nested synchronized blocks (each on a distinct single-instance
+/// lock object), the second accesses bare — so the pair survives the
+/// common-sync filter while the deepest must-held lockset over the race
+/// set is exactly \p Depth.
+Program buildNestedSyncRace(uint64_t Depth) {
+  Program P;
+  IRBuilder B(P);
+  ClassId Shared = B.makeClass("Shared");
+  FieldId Count = B.makeField(Shared, "count");
+  ClassId LockCls = B.makeClass("LockObj");
+
+  ClassId Deep = B.makeClass("DeepWorker");
+  FieldId DeepTarget = B.makeField(Deep, "target");
+  std::vector<FieldId> LockFields;
+  for (uint64_t I = 0; I != Depth; ++I)
+    LockFields.push_back(
+        B.makeField(Deep, ("lock" + std::to_string(I)).c_str()));
+  B.startMethod(Deep, "run", 1);
+  {
+    RegId Obj = B.emitGetField(B.thisReg(), DeepTarget);
+    std::function<void(uint64_t)> Nest = [&](uint64_t I) {
+      if (I == Depth) {
+        B.site("DEEP");
+        RegId Cur = B.emitGetField(Obj, Count);
+        RegId One = B.emitConst(1);
+        B.emitPutField(Obj, Count,
+                       B.emitBinOp(BinOpKind::Add, Cur, One));
+        return;
+      }
+      RegId L = B.emitGetField(B.thisReg(), LockFields[I]);
+      B.sync(L, [&] { Nest(I + 1); });
+    };
+    Nest(0);
+    B.emitReturn();
+  }
+
+  ClassId Bare = B.makeClass("BareWorker");
+  FieldId BareTarget = B.makeField(Bare, "target");
+  B.startMethod(Bare, "run", 1);
+  {
+    RegId Obj = B.emitGetField(B.thisReg(), BareTarget);
+    B.site("BARE");
+    B.emitPutField(Obj, Count, B.emitConst(5));
+    B.emitReturn();
+  }
+
+  B.startMain();
+  RegId SharedObj = B.emitNew(Shared);
+  RegId W1 = B.emitNew(Deep);
+  RegId W2 = B.emitNew(Bare);
+  B.emitPutField(W1, DeepTarget, SharedObj);
+  B.emitPutField(W2, BareTarget, SharedObj);
+  for (uint64_t I = 0; I != Depth; ++I)
+    B.emitPutField(W1, LockFields[I], B.emitNew(LockCls));
+  B.emitThreadStart(W1);
+  B.emitThreadStart(W2);
+  B.emitThreadJoin(W1);
+  B.emitThreadJoin(W2);
+  B.emitReturn();
+  return P;
+}
+
+TEST(PlannerDepthTest, NestedSyncScalesPlannedTrieBudget) {
+  // End to end through SyncAnalysis: the per-location trie budget the
+  // planner charges must follow the program's deepest must-held lockset.
+  for (uint64_t Depth : {0ull, 1ull, 2ull, 3ull}) {
+    SCOPED_TRACE("depth " + std::to_string(Depth));
+    Program P = buildNestedSyncRace(Depth);
+    StaticRaceAnalysis SRA(P);
+    SRA.run();
+    ASSERT_GT(SRA.raceSet().size(), 0u);
+    DetectorPlan Plan = planDetector(P, SRA);
+    ASSERT_GT(Plan.ExpectedSharedLocations, 0u);
+    EXPECT_EQ(Plan.ExpectedTrieNodes,
+              Plan.ExpectedSharedLocations *
+                  trieNodesPerLocationForDepth(Depth));
+    EXPECT_EQ(Plan.ExpectedTrieEdges, Plan.ExpectedTrieNodes);
+  }
+  // And a deep-lockset program really does get the 64-node ceiling.
+  Program P = buildNestedSyncRace(6);
+  StaticRaceAnalysis SRA(P);
+  SRA.run();
+  DetectorPlan Plan = planDetector(P, SRA);
+  ASSERT_GT(Plan.ExpectedSharedLocations, 0u);
+  EXPECT_EQ(Plan.ExpectedTrieNodes, Plan.ExpectedSharedLocations * 64);
+}
+
+TEST(PlannerDepthTest, DeepNestingStillReportsIdentically) {
+  // The wider budget is a hint: plans must not change reports.
+  Program P = buildNestedSyncRace(4);
+  ToolConfig Config = ToolConfig::full();
+  expectPlanInvariantLive(P, Config);
 }
 
 //===----------------------------------------------------------------------===

@@ -5,10 +5,17 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Exact-value tests for the observability layer (detect/DetectorStats.h):
-/// every counter on a hand-written event trace, the serial-equals-sharded
-/// aggregation invariant across shard counts, and the consistency of the
-/// per-shard breakdown surfaced by `herd --stats`.
+/// Exact-value tests for the observability layer: every DetectorStats
+/// counter on a hand-written event trace, the serial-equals-sharded
+/// aggregation invariant across shard counts, the consistency of the
+/// per-shard breakdown surfaced by `herd --stats`, the metrics registry
+/// (support/Metrics.h) and interpreter profiler, golden-file tests for the
+/// Chrome trace JSON and `--stats=json` serializations under a virtual
+/// clock, and the reports-are-byte-identical guarantee with observability
+/// on vs off.
+///
+/// Golden files live in tests/golden/; regenerate with
+/// `HERD_UPDATE_GOLDEN=1 ./stats_test` after an intentional format change.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,8 +23,17 @@
 #include "detect/RaceRuntime.h"
 #include "detect/ShardedRuntime.h"
 #include "herd/Pipeline.h"
+#include "herd/StatsJson.h"
+#include "runtime/InterpProfiler.h"
+#include "support/Metrics.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
 
 using namespace herd;
 
@@ -190,6 +206,377 @@ TEST(StatsTest, QueueDepthHighWaterMarkIsBounded) {
     Batches += S.BatchesIngested;
   }
   EXPECT_GT(Batches, 0u);
+}
+
+//===----------------------------------------------------------------------===
+// Metrics registry: exact values
+//===----------------------------------------------------------------------===
+
+TEST(MetricsTest, CounterExactValues) {
+  MetricsRegistry Reg;
+  Counter &C = Reg.counter("events");
+  EXPECT_EQ(C.value(), 0u);
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+  // Same name -> same counter; new name -> fresh counter.
+  Reg.counter("events").add(8);
+  EXPECT_EQ(C.value(), 50u);
+  EXPECT_EQ(Reg.counter("other").value(), 0u);
+}
+
+TEST(MetricsTest, GaugeValueAndHighWaterMark) {
+  MetricsRegistry Reg;
+  Gauge &G = Reg.gauge("depth");
+  G.set(5);
+  G.set(9);
+  G.set(3);
+  EXPECT_EQ(G.value(), 3);
+  EXPECT_EQ(G.maxSeen(), 9);
+  G.add(-10);
+  EXPECT_EQ(G.value(), -7);
+  EXPECT_EQ(G.maxSeen(), 9); // negatives never move the high-water mark
+}
+
+TEST(MetricsTest, HistogramLog2BucketEdges) {
+  // Bucket 0 holds {0}; bucket B>0 holds [2^(B-1), 2^B).
+  EXPECT_EQ(Histogram::log2Bucket(0), 0u);
+  EXPECT_EQ(Histogram::log2Bucket(1), 1u);
+  EXPECT_EQ(Histogram::log2Bucket(2), 2u);
+  EXPECT_EQ(Histogram::log2Bucket(3), 2u);
+  EXPECT_EQ(Histogram::log2Bucket(4), 3u);
+  EXPECT_EQ(Histogram::log2Bucket(7), 3u);
+  EXPECT_EQ(Histogram::log2Bucket(8), 4u);
+  EXPECT_EQ(Histogram::log2Bucket(1023), 10u);
+  EXPECT_EQ(Histogram::log2Bucket(1024), 11u);
+  EXPECT_EQ(Histogram::log2Bucket(uint64_t(1) << 63), 64u);
+  EXPECT_EQ(Histogram::log2Bucket(UINT64_MAX), 64u);
+}
+
+TEST(MetricsTest, HistogramExactValues) {
+  MetricsRegistry Reg;
+  Histogram &H = Reg.histogram("batch_size");
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), 0u); // empty histogram reports 0, not UINT64_MAX
+  for (uint64_t V : {0ull, 1ull, 3ull, 3ull, 8ull})
+    H.record(V);
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_EQ(H.sum(), 15u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 8u);
+  EXPECT_EQ(H.bucket(0), 1u); // {0}
+  EXPECT_EQ(H.bucket(1), 1u); // {1}
+  EXPECT_EQ(H.bucket(2), 2u); // {2,3}
+  EXPECT_EQ(H.bucket(3), 0u); // [4,8)
+  EXPECT_EQ(H.bucket(4), 1u); // [8,16)
+}
+
+TEST(MetricsTest, SnapshotsAreNameSorted) {
+  MetricsRegistry Reg;
+  Reg.counter("zebra").add(1);
+  Reg.counter("alpha").add(2);
+  Reg.gauge("mid").set(7);
+  Reg.histogram("hist").record(3);
+  auto Counters = Reg.counterValues();
+  ASSERT_EQ(Counters.size(), 2u);
+  EXPECT_EQ(Counters[0].first, "alpha");
+  EXPECT_EQ(Counters[0].second, 2u);
+  EXPECT_EQ(Counters[1].first, "zebra");
+  auto Gauges = Reg.gaugeValues();
+  ASSERT_EQ(Gauges.size(), 1u);
+  EXPECT_EQ(Gauges[0].Name, "mid");
+  EXPECT_EQ(Gauges[0].Value, 7);
+  auto Hists = Reg.histogramValues();
+  ASSERT_EQ(Hists.size(), 1u);
+  EXPECT_EQ(Hists[0].Count, 1u);
+  ASSERT_EQ(Hists[0].Buckets.size(), 1u);
+  EXPECT_EQ(Hists[0].Buckets[0].first, 2u);
+  EXPECT_EQ(Hists[0].Buckets[0].second, 1u);
+}
+
+TEST(MetricsTest, SpanRecordsVirtualTime) {
+  VirtualClock Clock(/*TickNanos=*/7);
+  MetricsRegistry Reg(&Clock);
+  {
+    Span S(&Reg, "phase-a", "phase");
+    // ctor read 0 (now 7); dtor reads 7 (now 14).
+  }
+  {
+    Span S(&Reg, "phase-b", "analysis", /*Tid=*/3);
+    S.end();
+    S.end(); // idempotent: must not record a second event
+  }
+  auto Events = Reg.traceEvents();
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_EQ(Events[0].Name, "phase-a");
+  EXPECT_EQ(Events[0].Phase, 'X');
+  EXPECT_EQ(Events[0].StartNanos, 0u);
+  EXPECT_EQ(Events[0].DurNanos, 7u);
+  EXPECT_EQ(Events[0].Tid, 0u);
+  EXPECT_EQ(Events[1].Name, "phase-b");
+  EXPECT_EQ(Events[1].Category, "analysis");
+  EXPECT_EQ(Events[1].Tid, 3u);
+  EXPECT_EQ(Events[1].StartNanos, 14u);
+}
+
+TEST(MetricsTest, NullRegistrySpanIsANoOp) {
+  Span S(nullptr, "nothing");
+  S.end(); // must not dereference anything
+}
+
+TEST(MetricsTest, CounterSamplesAndThreadNames) {
+  VirtualClock Clock(/*TickNanos=*/10);
+  MetricsRegistry Reg(&Clock);
+  Reg.nameThread(1, "shard 0");
+  Reg.recordCounterSample("queue_depth", 1, 2);
+  Reg.recordCounterSample("queue_depth", 1, 5);
+  auto Events = Reg.traceEvents();
+  ASSERT_EQ(Events.size(), 3u);
+  EXPECT_EQ(Events[0].Phase, 'M');
+  EXPECT_EQ(Events[0].Name, "shard 0");
+  EXPECT_EQ(Events[1].Phase, 'C');
+  EXPECT_EQ(Events[1].Value, 2);
+  EXPECT_EQ(Events[1].StartNanos, 0u);
+  EXPECT_EQ(Events[2].Value, 5);
+  EXPECT_EQ(Events[2].StartNanos, 10u);
+}
+
+//===----------------------------------------------------------------------===
+// Interpreter profiler
+//===----------------------------------------------------------------------===
+
+TEST(ProfilerTest, DispatchCountsExactAndSamplingCadence) {
+  VirtualClock Clock;
+  InterpProfiler Prof(&Clock, /*SampleEvery=*/4);
+  int Sampled = 0;
+  for (int I = 0; I != 10; ++I)
+    if (Prof.onDispatch(Opcode::GetField))
+      ++Sampled;
+  EXPECT_EQ(Sampled, 2); // dispatches 4 and 8
+  EXPECT_EQ(Prof.totalDispatches(), 10u);
+  EXPECT_EQ(Prof.counts(Opcode::GetField).Dispatches, 10u);
+  Prof.onDispatch(Opcode::Trace);
+  EXPECT_EQ(Prof.instrumentedDispatches(), 1u);
+}
+
+TEST(ProfilerTest, SampleAttributionSplitsHookTime) {
+  VirtualClock Clock;
+  InterpProfiler Prof(&Clock, /*SampleEvery=*/1); // sample everything
+  ASSERT_TRUE(Prof.onDispatch(Opcode::PutField));
+  Prof.beginSample();
+  EXPECT_TRUE(Prof.samplingActive());
+  Prof.addHookNanos(30);
+  Prof.endSample(Opcode::PutField, /*StepNanos=*/100);
+  EXPECT_FALSE(Prof.samplingActive());
+  const InterpProfiler::OpcodeCounts &C = Prof.counts(Opcode::PutField);
+  EXPECT_EQ(C.Samples, 1u);
+  EXPECT_EQ(C.StepNanos, 100u);
+  EXPECT_EQ(C.HookNanos, 30u);
+  EXPECT_EQ(Prof.totalSampledNanos(), 100u);
+  EXPECT_EQ(Prof.totalHookNanos(), 30u);
+}
+
+TEST(ProfilerTest, RankedRowsOrderBySampledTime) {
+  VirtualClock Clock;
+  InterpProfiler Prof(&Clock, /*SampleEvery=*/1);
+  auto Feed = [&](Opcode Op, uint64_t Nanos) {
+    Prof.onDispatch(Op);
+    Prof.beginSample();
+    Prof.endSample(Op, Nanos);
+  };
+  Feed(Opcode::GetField, 10);
+  Feed(Opcode::PutField, 200);
+  Feed(Opcode::Call, 50);
+  auto Rows = Prof.rankedRows();
+  ASSERT_EQ(Rows.size(), 3u);
+  EXPECT_EQ(Rows[0].Op, Opcode::PutField);
+  EXPECT_EQ(Rows[1].Op, Opcode::Call);
+  EXPECT_EQ(Rows[2].Op, Opcode::GetField);
+  EXPECT_EQ(Rows[0].EstimatedNanos, 200u); // SampleEvery=1: estimate == raw
+  std::string Table = renderProfileTable(Prof);
+  EXPECT_NE(Table.find("putfield"), std::string::npos);
+  EXPECT_NE(Table.find("getfield"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===
+// Golden files: trace JSON and stats JSON under a virtual clock
+//===----------------------------------------------------------------------===
+
+/// Compares \p Actual against tests/golden/<name>; HERD_UPDATE_GOLDEN=1
+/// rewrites the file instead (then check the diff in).
+void expectMatchesGolden(const std::string &Name, const std::string &Actual) {
+  std::string Path = std::string(HERD_GOLDEN_DIR) + "/" + Name;
+  if (std::getenv("HERD_UPDATE_GOLDEN")) {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out << Actual;
+    ASSERT_TRUE(Out.good()) << "cannot write " << Path;
+    return;
+  }
+  std::ifstream In(Path, std::ios::binary);
+  ASSERT_TRUE(In.good()) << "missing golden file " << Path
+                         << " (run with HERD_UPDATE_GOLDEN=1 to create)";
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  EXPECT_EQ(Buffer.str(), Actual)
+      << "golden mismatch for " << Path
+      << "; regenerate with HERD_UPDATE_GOLDEN=1 if intentional";
+}
+
+TEST(GoldenTest, ChromeTraceJson) {
+  VirtualClock Clock(/*TickNanos=*/500);
+  MetricsRegistry Reg(&Clock);
+  Reg.nameThread(1, "shard 0");
+  {
+    Span Parse(&Reg, "parse", "frontend");
+    Span Inner(&Reg, "lex", "frontend");
+  }
+  {
+    Span Batch(&Reg, "batch", "shard", /*Tid=*/1);
+  }
+  Reg.recordCounterSample("shard0.queue_depth", 1, 3);
+  Reg.counter("run.instructions").add(1234);
+  Reg.gauge("live_threads").set(4);
+  expectMatchesGolden("trace_timeline.json", renderChromeTraceJson(Reg));
+}
+
+TEST(GoldenTest, StatsJsonDocument) {
+  // A hand-built PipelineResult with every section populated, so the
+  // golden pins the envelope, the key order and the number formats
+  // without depending on wall-clock timings.
+  PipelineResult R;
+  R.Run.Ok = true;
+  R.Run.InstructionsExecuted = 1000;
+  R.Run.AccessEvents = 64;
+  R.Run.ContextSwitches = 12;
+  R.Run.ThreadsCreated = 3;
+  R.Run.Output = {7, -2};
+  R.AnalysisSeconds = 0.125;
+  R.ExecSeconds = 0.5;
+  R.Static.ReachableAccessStatements = 20;
+  R.Static.ThreadLocalFiltered = 4;
+  R.Static.SameThreadFiltered = 3;
+  R.Static.CommonSyncFiltered = 2;
+  R.Static.RaceSetSize = 11;
+  R.Static.MayRacePairs = 9;
+  R.Instr.TracesInserted = 11;
+  R.Instr.TracesRemoved = 1;
+  R.Instr.LoopsPeeled = 2;
+  R.Stats.EventsSeen = 64;
+  R.Stats.CacheHits = 40;
+  R.Stats.CacheMisses = 24;
+  R.Stats.Detector.EventsIn = 24;
+  R.Stats.Detector.RacesReported = 1;
+  R.Stats.Detector.LocationsTracked = 5;
+  R.Stats.Detector.LocationsShared = 2;
+  R.Stats.Detector.TrieNodes = 7;
+  ThreadCacheStats TC;
+  TC.Thread = 1;
+  TC.ReadHits = 10;
+  TC.ReadMisses = 2;
+  TC.WriteHits = 30;
+  TC.WriteMisses = 22;
+  R.Stats.PerThreadCache.push_back(TC);
+  ShardStats Shard;
+  Shard.EventsIngested = 24;
+  Shard.BatchesIngested = 2;
+  Shard.MaxQueueDepthBatches = 1;
+  Shard.Detector.EventsIn = 24;
+  Shard.Detector.RacesReported = 1;
+  R.ShardBreakdown.push_back(Shard);
+  R.FormattedRaces.push_back("race on \"quoted\" field");
+  R.Trace.Ok = true;
+
+  VirtualClock Clock(/*TickNanos=*/100);
+  MetricsRegistry Reg(&Clock);
+  Reg.counter("run.instructions").add(1000);
+  Reg.gauge("shard0.queue_depth").set(2);
+  Reg.histogram("batch_events").record(24);
+
+  InterpProfiler Prof(&Clock, /*SampleEvery=*/4);
+  for (int I = 0; I != 8; ++I)
+    if (Prof.onDispatch(Opcode::PutField)) {
+      Prof.beginSample();
+      Prof.addHookNanos(25);
+      Prof.endSample(Opcode::PutField, 75);
+    }
+  Prof.onDispatch(Opcode::Trace);
+
+  expectMatchesGolden("stats_document.json",
+                      renderStatsJson(R, &Reg, &Prof));
+}
+
+TEST(GoldenTest, StatsJsonSchemaEnvelopeIsStable) {
+  // The schema pair is a compatibility contract with
+  // scripts/check_stats_schema.py — bumping it is an intentional act.
+  EXPECT_STREQ(StatsSchemaName, "herd-stats");
+  EXPECT_EQ(StatsSchemaVersion, 1);
+  PipelineResult Empty;
+  std::string Doc = renderStatsJson(Empty);
+  EXPECT_EQ(Doc.find("{\"schema\":\"herd-stats\",\"version\":1,"), 0u);
+  EXPECT_EQ(Doc.back(), '\n');
+}
+
+//===----------------------------------------------------------------------===
+// Observability must not change results
+//===----------------------------------------------------------------------===
+
+TEST(ObservabilityTest, ReportsByteIdenticalOnVsOff) {
+  Program P = testprogs::buildFigure2(/*SamePQ=*/false);
+  for (uint32_t Shards : {0u, 3u}) {
+    SCOPED_TRACE(std::to_string(Shards) + " shards");
+    ToolConfig Off = ToolConfig::full();
+    Off.Seed = 11;
+    Off.Shards = Shards;
+    PipelineResult ROff = runPipeline(P, Off);
+    ASSERT_TRUE(ROff.Run.Ok) << ROff.Run.Error;
+
+    MetricsRegistry Reg;
+    InterpProfiler Prof;
+    ToolConfig On = Off;
+    On.Metrics = &Reg;
+    On.Profiler = &Prof;
+    PipelineResult ROn = runPipeline(P, On);
+    ASSERT_TRUE(ROn.Run.Ok) << ROn.Run.Error;
+
+    EXPECT_EQ(ROff.FormattedRaces, ROn.FormattedRaces);
+    EXPECT_EQ(ROff.FormattedDeadlocks, ROn.FormattedDeadlocks);
+    EXPECT_EQ(ROff.Run.Output, ROn.Run.Output);
+    EXPECT_EQ(ROff.Run.InstructionsExecuted, ROn.Run.InstructionsExecuted);
+    EXPECT_EQ(ROff.Run.ContextSwitches, ROn.Run.ContextSwitches);
+    expectEqualStats(ROff.Stats, ROn.Stats);
+
+    // And the observability run actually observed something.
+    EXPECT_EQ(Prof.totalDispatches(), ROn.Run.InstructionsExecuted);
+    EXPECT_FALSE(Reg.traceEvents().empty());
+    EXPECT_EQ(Reg.counter("run.instructions").value(),
+              ROn.Run.InstructionsExecuted);
+    if (Shards != 0) {
+      // Per-shard rows: a batch span on some shard tid >= 1.
+      bool SawShardSpan = false;
+      for (const TraceEvent &E : Reg.traceEvents())
+        if (E.Phase == 'X' && E.Tid >= 1 && E.Name == "batch")
+          SawShardSpan = true;
+      EXPECT_TRUE(SawShardSpan);
+    }
+  }
+}
+
+TEST(ObservabilityTest, PipelinePhaseSpansAllPresent) {
+  Program P = testprogs::buildFigure2(/*SamePQ=*/false);
+  MetricsRegistry Reg;
+  ToolConfig Config = ToolConfig::full();
+  Config.Metrics = &Reg;
+  PipelineResult R = runPipeline(P, Config);
+  ASSERT_TRUE(R.Run.Ok) << R.Run.Error;
+  std::set<std::string> Names;
+  for (const TraceEvent &E : Reg.traceEvents())
+    if (E.Phase == 'X')
+      Names.insert(E.Name);
+  for (const char *Phase :
+       {"static-race", "points-to", "single-instance", "thread-analysis",
+        "sync-analysis", "escape", "race-pairs", "plan", "instrument",
+        "execute", "detect-drain", "format-reports"})
+    EXPECT_TRUE(Names.count(Phase)) << Phase;
 }
 
 } // namespace

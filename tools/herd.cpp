@@ -12,8 +12,15 @@
 ///   herd prog.mj --seed=7           # a different schedule
 ///   herd prog.mj --config=nocache   # a Table 2 ablation
 ///   herd prog.mj --stats            # pipeline statistics
+///   herd prog.mj --stats=json       # machine-readable statistics
+///   herd prog.mj --trace-json=t.json# Chrome trace_event timeline
+///   herd prog.mj --profile          # interpreter opcode profile
 ///   herd prog.mj --dump-ir          # print the MiniJ IR and exit
 ///   herd prog.mj --sweep=20         # run 20 seeds; summarize reports
+///
+/// Argument parsing lives in herd/HerdOptions.{h,cpp} so the flag grammar
+/// and its error paths are unit-tested (tests/cli_test.cpp); this file is
+/// only the I/O shell around the pipeline.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,12 +29,15 @@
 #include "baselines/VectorClockDetector.h"
 #include "detect/TraceFile.h"
 #include "frontend/Frontend.h"
+#include "herd/HerdOptions.h"
 #include "herd/Pipeline.h"
+#include "herd/StatsJson.h"
 #include "ir/Printer.h"
+#include "runtime/InterpProfiler.h"
+#include "support/Metrics.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -36,58 +46,6 @@
 using namespace herd;
 
 namespace {
-
-void usage() {
-  std::fprintf(
-      stderr,
-      "usage: herd <file.mj> [options]\n"
-      "  --config=<name>   full | nostatic | nodominators | nopeeling |\n"
-      "                    nocache | fieldsmerged | noownership | base\n"
-      "  --seed=<n>        schedule seed (default 1)\n"
-      "  --shards=<n>      run the sharded detection runtime with n shard\n"
-      "                    workers (default: serial runtime)\n"
-      "  --cache-size=<n>  entries per per-thread access cache; power of\n"
-      "                    two (default 256, the paper's Section 4.3)\n"
-      "  --plan=<mode>     detector capacity planning: auto (default;\n"
-      "                    pre-size from the static race set) | off (grow\n"
-      "                    on demand, for A/B) | <n> (size for n expected\n"
-      "                    locations; the only mode --replay can honour)\n"
-      "  --sweep=<n>       run n seeds and summarize the reports\n"
-      "  --record=<file>   also stream the run's events to a trace file\n"
-      "                    (docs/REPLAY.md)\n"
-      "  --replay=<file>   re-detect a recorded trace instead of executing\n"
-      "                    the program (the program is still needed for\n"
-      "                    report formatting)\n"
-      "  --detector=<name> detector fed during --replay: herd (default) |\n"
-      "                    eraser | vectorclock | naive\n"
-      "  --deadlocks       also run the lock-order deadlock detector\n"
-      "  --stats           print pipeline statistics\n"
-      "  --dump-ir         print the lowered MiniJ IR and exit\n"
-      "  --workload=<name> analyse a built-in benchmark replica instead\n"
-      "                    of a file: mtrt | tsp | sor2 | elevator | hedc\n");
-}
-
-bool pickConfig(const std::string &Name, ToolConfig &Out) {
-  if (Name == "full")
-    Out = ToolConfig::full();
-  else if (Name == "nostatic")
-    Out = ToolConfig::noStatic();
-  else if (Name == "nodominators")
-    Out = ToolConfig::noDominators();
-  else if (Name == "nopeeling")
-    Out = ToolConfig::noPeeling();
-  else if (Name == "nocache")
-    Out = ToolConfig::noCache();
-  else if (Name == "fieldsmerged")
-    Out = ToolConfig::fieldsMerged();
-  else if (Name == "noownership")
-    Out = ToolConfig::noOwnership();
-  else if (Name == "base")
-    Out = ToolConfig::base();
-  else
-    return false;
-  return true;
-}
 
 void printStats(const PipelineResult &R) {
   std::printf("-- statistics --\n");
@@ -199,151 +157,55 @@ int replayBaseline(const Program &P, const std::string &TracePath,
   return 1;
 }
 
+/// Writes the Chrome trace JSON behind `--trace-json=`.  IO failure is a
+/// usage-class error (exit 2), like an unreadable input file.
+bool writeTraceJson(const MetricsRegistry &Registry,
+                    const std::string &Path) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (Out)
+    Out << renderChromeTraceJson(Registry);
+  if (!Out) {
+    std::fprintf(stderr, "herd: cannot write trace JSON to '%s'\n",
+                 Path.c_str());
+    return false;
+  }
+  return true;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  if (argc < 2) {
-    usage();
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  HerdParse Parse = parseHerdCommandLine(Args);
+  if (Parse.St == HerdParse::Status::Help) {
+    std::fprintf(stderr, "%s", herdUsageText());
+    return 0;
+  }
+  if (Parse.St == HerdParse::Status::Error) {
+    if (!Parse.Error.empty())
+      std::fprintf(stderr, "%s\n", Parse.Error.c_str());
+    if (Parse.ShowUsage || Parse.Error.empty())
+      std::fprintf(stderr, "%s", herdUsageText());
     return 2;
   }
+  HerdOptions &Opts = Parse.Opts;
+  ToolConfig &Config = Opts.Config;
 
-  std::string Path;
-  std::string WorkloadName;
-  std::string RecordPath;
-  std::string ReplayPath;
-  std::string Detector = "herd";
-  ToolConfig Config = ToolConfig::full();
-  uint64_t Seed = 1;
-  uint32_t Shards = 0;
-  uint32_t CacheSize = 0; // 0 = keep the config's default
-  std::string PlanArg;    // empty = keep the config's default (auto)
-  int Sweep = 0;
-  bool Stats = false;
-  bool DumpIR = false;
-  bool Deadlocks = false;
-
-  for (int I = 1; I != argc; ++I) {
-    std::string Arg = argv[I];
-    if (Arg.rfind("--config=", 0) == 0) {
-      if (!pickConfig(Arg.substr(9), Config)) {
-        std::fprintf(stderr, "herd: unknown config '%s'\n",
-                     Arg.substr(9).c_str());
-        return 2;
-      }
-    } else if (Arg.rfind("--seed=", 0) == 0) {
-      Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
-    } else if (Arg.rfind("--shards=", 0) == 0) {
-      char *End = nullptr;
-      Shards = uint32_t(std::strtoul(Arg.c_str() + 9, &End, 10));
-      if (End == Arg.c_str() + 9 || *End != '\0') {
-        std::fprintf(stderr, "herd: --shards expects a number, got '%s'\n",
-                     Arg.c_str() + 9);
-        return 2;
-      }
-    } else if (Arg.rfind("--cache-size=", 0) == 0) {
-      char *End = nullptr;
-      unsigned long N = std::strtoul(Arg.c_str() + 13, &End, 10);
-      if (End == Arg.c_str() + 13 || *End != '\0' || N == 0 ||
-          N > (1u << 20) || (N & (N - 1)) != 0) {
-        std::fprintf(stderr,
-                     "herd: --cache-size expects a power of two in "
-                     "[1, 2^20], got '%s'\n",
-                     Arg.c_str() + 13);
-        return 2;
-      }
-      CacheSize = uint32_t(N);
-    } else if (Arg.rfind("--plan=", 0) == 0) {
-      PlanArg = Arg.substr(7);
-      if (PlanArg != "auto" && PlanArg != "off") {
-        char *End = nullptr;
-        unsigned long long N = std::strtoull(PlanArg.c_str(), &End, 10);
-        if (PlanArg.empty() || End == PlanArg.c_str() || *End != '\0' ||
-            N == 0) {
-          std::fprintf(stderr,
-                       "herd: --plan expects auto, off, or a positive "
-                       "location count, got '%s'\n",
-                       PlanArg.c_str());
-          return 2;
-        }
-      }
-    } else if (Arg.rfind("--sweep=", 0) == 0) {
-      Sweep = std::atoi(Arg.c_str() + 8);
-    } else if (Arg.rfind("--workload=", 0) == 0) {
-      WorkloadName = Arg.substr(11);
-    } else if (Arg.rfind("--record=", 0) == 0) {
-      RecordPath = Arg.substr(9);
-      if (RecordPath.empty()) {
-        std::fprintf(stderr, "herd: --record expects a file path\n");
-        return 2;
-      }
-    } else if (Arg.rfind("--replay=", 0) == 0) {
-      ReplayPath = Arg.substr(9);
-      if (ReplayPath.empty()) {
-        std::fprintf(stderr, "herd: --replay expects a file path\n");
-        return 2;
-      }
-    } else if (Arg.rfind("--detector=", 0) == 0) {
-      Detector = Arg.substr(11);
-      if (Detector != "herd" && Detector != "eraser" &&
-          Detector != "vectorclock" && Detector != "naive") {
-        std::fprintf(stderr, "herd: unknown detector '%s'\n",
-                     Detector.c_str());
-        return 2;
-      }
-    } else if (Arg == "--deadlocks") {
-      Deadlocks = true;
-    } else if (Arg == "--stats") {
-      Stats = true;
-    } else if (Arg == "--dump-ir") {
-      DumpIR = true;
-    } else if (Arg == "--help" || Arg == "-h") {
-      usage();
-      return 0;
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr, "herd: unknown option '%s'\n", Arg.c_str());
-      usage();
-      return 2;
-    } else {
-      Path = Arg;
-    }
-  }
-  if (Path.empty() && WorkloadName.empty()) {
-    usage();
-    return 2;
-  }
-  if (!ReplayPath.empty() && (Sweep > 0 || !RecordPath.empty())) {
-    std::fprintf(stderr,
-                 "herd: --replay cannot be combined with --sweep/--record\n");
-    return 2;
-  }
-  if (!RecordPath.empty() && Sweep > 0) {
-    std::fprintf(stderr, "herd: --record cannot be combined with --sweep\n");
-    return 2;
-  }
-  if (Detector != "herd" && ReplayPath.empty()) {
-    std::fprintf(stderr, "herd: --detector requires --replay\n");
-    return 2;
-  }
-  Config.Shards = Shards;
-  Config.RecordTracePath = RecordPath;
-  if (CacheSize != 0) // after --config: presets must not clobber the flag
-    Config.CacheEntries = CacheSize;
-  if (!PlanArg.empty()) { // after --config, like --cache-size
-    if (PlanArg == "auto") {
-      Config.Plan = ToolConfig::PlanMode::Auto;
-    } else if (PlanArg == "off") {
-      Config.Plan = ToolConfig::PlanMode::Off;
-    } else {
-      Config.Plan = ToolConfig::PlanMode::Explicit;
-      Config.PlanLocations = std::strtoull(PlanArg.c_str(), nullptr, 10);
-    }
-  }
+  // Observability: one registry per process when any consumer wants it,
+  // otherwise the pipeline sees nullptr and records nothing.
+  MetricsRegistry Registry;
+  MetricsRegistry *Metrics =
+      (!Opts.TraceJsonPath.empty() || Opts.StatsJson) ? &Registry : nullptr;
+  InterpProfiler Profiler;
+  InterpProfiler *Prof = Opts.Profile ? &Profiler : nullptr;
+  Config.Metrics = Metrics;
+  Config.Profiler = Prof;
 
   CompileResult Compiled;
-  if (!WorkloadName.empty()) {
+  if (!Opts.WorkloadName.empty()) {
     bool Found = false;
     for (Workload &W : buildAllWorkloads())
-      if (W.Name == WorkloadName) {
+      if (W.Name == Opts.WorkloadName) {
         Compiled.Ok = true;
         Compiled.P = std::move(W.P);
         Found = true;
@@ -351,40 +213,47 @@ int main(int argc, char **argv) {
       }
     if (!Found) {
       std::fprintf(stderr, "herd: unknown workload '%s'\n",
-                   WorkloadName.c_str());
+                   Opts.WorkloadName.c_str());
       return 2;
     }
   } else {
-    std::ifstream File(Path);
+    std::ifstream File(Opts.Path);
     if (!File) {
-      std::fprintf(stderr, "herd: cannot open '%s'\n", Path.c_str());
+      std::fprintf(stderr, "herd: cannot open '%s'\n", Opts.Path.c_str());
       return 2;
     }
     std::stringstream Buffer;
     Buffer << File.rdbuf();
-    Compiled = compileMiniJ(Buffer.str());
+    Compiled = compileMiniJ(Buffer.str(), Metrics);
     if (!Compiled.Ok) {
       for (const Diagnostic &D : Compiled.Diags)
-        std::fprintf(stderr, "%s: %s\n", Path.c_str(), D.str().c_str());
+        std::fprintf(stderr, "%s: %s\n", Opts.Path.c_str(), D.str().c_str());
       return 1;
     }
   }
 
-  if (DumpIR) {
+  if (Opts.DumpIR) {
     std::printf("%s", printProgram(Compiled.P).c_str());
     return 0;
   }
 
-  if (!ReplayPath.empty()) {
-    if (Detector != "herd")
-      return replayBaseline(Compiled.P, ReplayPath, Detector);
-    Config.Seed = Seed;
-    Config.DetectDeadlocks = Deadlocks;
-    PipelineResult R = replayTracePipeline(Compiled.P, Config, ReplayPath);
+  if (!Opts.ReplayPath.empty()) {
+    if (Opts.Detector != "herd")
+      return replayBaseline(Compiled.P, Opts.ReplayPath, Opts.Detector);
+    PipelineResult R =
+        replayTracePipeline(Compiled.P, Config, Opts.ReplayPath);
     if (!R.Trace.Ok) {
       std::fprintf(stderr, "herd: trace replay failed: %s\n",
                    R.Trace.Error.c_str());
       return 2;
+    }
+    if (!Opts.TraceJsonPath.empty() &&
+        !writeTraceJson(Registry, Opts.TraceJsonPath))
+      return 2;
+    bool Clean = R.FormattedRaces.empty() && R.FormattedDeadlocks.empty();
+    if (Opts.StatsJson) {
+      std::printf("%s", renderStatsJson(R, Metrics, Prof).c_str());
+      return Clean ? 0 : 1;
     }
     std::printf("replayed %llu trace records\n",
                 (unsigned long long)R.TraceRecords);
@@ -400,17 +269,16 @@ int main(int argc, char **argv) {
       for (const std::string &Line : R.FormattedDeadlocks)
         std::printf("%s\n", Line.c_str());
     }
-    if (Stats)
+    if (Opts.Stats)
       printStats(R);
-    bool Clean = R.FormattedRaces.empty() && R.FormattedDeadlocks.empty();
     return Clean ? 0 : 1;
   }
 
-  if (Sweep > 0) {
+  if (Opts.Sweep > 0) {
     std::set<std::string> AllRaces;
     int SchedulesWithReports = 0;
-    for (int I = 0; I != Sweep; ++I) {
-      Config.Seed = Seed + uint64_t(I);
+    for (int I = 0; I != Opts.Sweep; ++I) {
+      Config.Seed = Opts.Seed + uint64_t(I);
       PipelineResult R = runPipeline(Compiled.P, Config);
       if (!R.Run.Ok) {
         std::fprintf(stderr, "herd: seed %llu: %s\n",
@@ -422,14 +290,12 @@ int main(int argc, char **argv) {
       AllRaces.insert(R.FormattedRaces.begin(), R.FormattedRaces.end());
     }
     std::printf("%d/%d schedules produced reports; distinct reports:\n",
-                SchedulesWithReports, Sweep);
+                SchedulesWithReports, Opts.Sweep);
     for (const std::string &Line : AllRaces)
       std::printf("  %s\n", Line.c_str());
     return AllRaces.empty() ? 0 : 1;
   }
 
-  Config.Seed = Seed;
-  Config.DetectDeadlocks = Deadlocks;
   PipelineResult R = runPipeline(Compiled.P, Config);
   if (!R.Trace.Ok) {
     std::fprintf(stderr, "herd: trace recording failed: %s\n",
@@ -440,10 +306,19 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "herd: runtime error: %s\n", R.Run.Error.c_str());
     return 1;
   }
-  if (!RecordPath.empty())
+  if (!Opts.TraceJsonPath.empty() &&
+      !writeTraceJson(Registry, Opts.TraceJsonPath))
+    return 2;
+  bool Clean = R.FormattedRaces.empty() && R.FormattedDeadlocks.empty();
+  if (Opts.StatsJson) {
+    // JSON-only stdout: scripts pipe this straight into a parser.
+    std::printf("%s", renderStatsJson(R, Metrics, Prof).c_str());
+    return Clean ? 0 : 1;
+  }
+  if (!Opts.RecordPath.empty())
     std::printf("recorded %llu trace records (%llu bytes) to %s\n",
                 (unsigned long long)R.TraceRecords,
-                (unsigned long long)R.TraceBytes, RecordPath.c_str());
+                (unsigned long long)R.TraceBytes, Opts.RecordPath.c_str());
   if (!R.Run.Output.empty()) {
     std::printf("-- program output --\n");
     for (int64_t V : R.Run.Output)
@@ -461,8 +336,9 @@ int main(int argc, char **argv) {
     for (const std::string &Line : R.FormattedDeadlocks)
       std::printf("%s\n", Line.c_str());
   }
-  if (Stats)
+  if (Opts.Stats)
     printStats(R);
-  bool Clean = R.FormattedRaces.empty() && R.FormattedDeadlocks.empty();
+  if (Prof)
+    std::printf("%s", renderProfileTable(Profiler).c_str());
   return Clean ? 0 : 1;
 }
