@@ -40,7 +40,13 @@
 ///    (interpreter driving the serial runtime directly) and the best live
 ///    throughput is reported against the replay cold pass.  Replay strips
 ///    the interpretation cost, so the ratio bounds how much of a live run
-///    the detector itself accounts for.
+///    the detector itself accounts for.  The live run happens once per
+///    dispatch mode (docs/INTERPRETER.md): `switch` is the reference
+///    interpreter, `threaded` is computed-goto dispatch over the
+///    superinstruction shadow code.  The JSON keys the per-mode results
+///    as `live_by_dispatch` and keeps `live` as the threaded entry;
+///    scripts/check_dispatch_gate.py gates the smoke run against the
+///    checked-in baseline.
 ///
 /// `--smoke` shrinks every trace for CI; `--reps=N` sets the repetition
 /// count (default 3, 1 under --smoke); `--out=PATH` writes the JSON report
@@ -53,6 +59,7 @@
 #include "detect/RaceRuntime.h"
 #include "detect/ShardedRuntime.h"
 #include "detect/TraceFile.h"
+#include "instr/Superinstr.h"
 #include "runtime/Interpreter.h"
 #include "workloads/Workloads.h"
 
@@ -236,7 +243,11 @@ struct TraceReport {
   /// pass, unplanned serial vs plan-pre-sized serial.
   double ColdAllocsPerEvent = 0;
   double ColdAllocsPerEventPlanned = 0;
+  /// The threaded-dispatch live run — the default `herd` hot path.
   LiveResult Live;
+  /// Live runs keyed by dispatch mode ("switch", "threaded"); Live above
+  /// duplicates the threaded entry so older consumers keep working.
+  std::vector<std::pair<std::string, LiveResult>> LiveModes;
 };
 
 /// Replays \p Path once into \p Sink, timing and alloc-counting the pass.
@@ -326,6 +337,20 @@ void writeJson(std::FILE *F, const std::vector<TraceReport> &Reports,
                    "\"ratio_vs_replay_cold\": %.3f},\n",
                    T.Live.Seconds, T.Live.EventsPerSec,
                    T.Live.AllocsPerEvent, T.Live.RatioVsReplayCold);
+    if (!T.LiveModes.empty()) {
+      std::fprintf(F, "      \"live_by_dispatch\": {\n");
+      for (size_t J = 0; J != T.LiveModes.size(); ++J) {
+        const LiveResult &L = T.LiveModes[J].second;
+        std::fprintf(F,
+                     "        \"%s\": {\"seconds\": %.6f, "
+                     "\"events_per_sec\": %.0f, \"allocs_per_event\": %.4f, "
+                     "\"ratio_vs_replay_cold\": %.3f}%s\n",
+                     T.LiveModes[J].first.c_str(), L.Seconds, L.EventsPerSec,
+                     L.AllocsPerEvent, L.RatioVsReplayCold,
+                     J + 1 != T.LiveModes.size() ? "," : "");
+      }
+      std::fprintf(F, "      },\n");
+    }
     std::fprintf(F, "      \"passes\": [\n");
     for (size_t J = 0; J != T.Passes.size(); ++J) {
       const PassResult &P = T.Passes[J];
@@ -562,54 +587,74 @@ int main(int argc, char **argv) {
     // Live serial: the interpreter drives the planned runtime directly —
     // the path a real `herd` invocation takes.  Compare against the replay
     // cold pass (same structure-building work, minus interpretation).
-    // The interpreter is deterministic, so the live run emits exactly the
-    // recorded event stream and must report the same racy locations.
+    // The interpreter is deterministic and dispatch never changes behavior
+    // (docs/INTERPRETER.md), so every live run — either mode — emits
+    // exactly the recorded event stream and must report the same racy
+    // locations.  Both modes run so the JSON carries the switch/threaded
+    // live A/B; `live` stays the threaded (default fast path) entry.
     if (T.Prog) {
-      std::unique_ptr<RaceRuntime> LiveRT;
-      for (uint32_t Rep = 0; Rep != Reps; ++Rep) {
-        RaceRuntimeOptions LOpts;
-        LOpts.Plan = T.Plan;
-        LiveRT = std::make_unique<RaceRuntime>(LOpts);
-        InterpOptions IOpts;
-        IOpts.TraceEveryAccess = true;
-        Interpreter Interp(*T.Prog, LiveRT.get(), IOpts);
-        uint64_t Allocs0 = GAllocCalls.load(std::memory_order_relaxed);
-        auto T0 = std::chrono::steady_clock::now();
-        InterpResult R = Interp.run();
-        double Seconds = secondsSince(T0);
-        uint64_t Allocs =
-            GAllocCalls.load(std::memory_order_relaxed) - Allocs0;
-        LiveRT->onRunEnd();
-        if (!R.Ok) {
-          std::fprintf(stderr, "%s live: %s\n", Report.Name.c_str(),
-                       R.Error.c_str());
-          return 1;
-        }
-        double Eps = Seconds > 0 ? double(T.Events) / Seconds : 0.0;
-        if (!Report.Live.Present || Eps > Report.Live.EventsPerSec) {
-          Report.Live.Present = true;
-          Report.Live.Seconds = Seconds;
-          Report.Live.EventsPerSec = Eps;
-          Report.Live.Allocs = Allocs;
-          Report.Live.AllocsPerEvent =
-              T.Events ? double(Allocs) / double(T.Events) : 0.0;
-        }
-      }
       // Passes[0] is the serial cold row.
       double ReplayColdEps =
           Report.Passes.empty() ? 0.0 : Report.Passes[0].EventsPerSec;
-      Report.Live.RatioVsReplayCold =
-          ReplayColdEps > 0 ? Report.Live.EventsPerSec / ReplayColdEps : 0.0;
-      bool Agree = LiveRT->reporter().reportedLocations() ==
-                   Serial->reporter().reportedLocations();
-      Report.Agreement = Report.Agreement && Agree;
-      std::printf("%-8s %-9s %-5s %12.0f %10.4f %12llu %10.3f %10s  "
-                  "(%.2fx of replay cold)\n",
-                  Report.Name.c_str(), "live", "cold",
-                  Report.Live.EventsPerSec, Report.Live.Seconds,
-                  (unsigned long long)Report.Live.Allocs,
-                  Report.Live.AllocsPerEvent, "-",
-                  Report.Live.RatioVsReplayCold);
+      ThreadedCode Fused = buildThreadedCode(*T.Prog);
+      struct LiveMode {
+        const char *Name;
+        const char *Row;
+        DispatchMode Mode;
+      };
+      const LiveMode Modes[] = {
+          {"switch", "live[sw]", DispatchMode::Switch},
+          {"threaded", "live[th]", DispatchMode::Threaded},
+      };
+      for (const LiveMode &M : Modes) {
+        LiveResult Live;
+        std::unique_ptr<RaceRuntime> LiveRT;
+        for (uint32_t Rep = 0; Rep != Reps; ++Rep) {
+          RaceRuntimeOptions LOpts;
+          LOpts.Plan = T.Plan;
+          LiveRT = std::make_unique<RaceRuntime>(LOpts);
+          InterpOptions IOpts;
+          IOpts.TraceEveryAccess = true;
+          IOpts.Dispatch = M.Mode;
+          IOpts.Fused =
+              M.Mode == DispatchMode::Threaded ? &Fused : nullptr;
+          Interpreter Interp(*T.Prog, LiveRT.get(), IOpts);
+          uint64_t Allocs0 = GAllocCalls.load(std::memory_order_relaxed);
+          auto T0 = std::chrono::steady_clock::now();
+          InterpResult R = Interp.run();
+          double Seconds = secondsSince(T0);
+          uint64_t Allocs =
+              GAllocCalls.load(std::memory_order_relaxed) - Allocs0;
+          LiveRT->onRunEnd();
+          if (!R.Ok) {
+            std::fprintf(stderr, "%s live (%s): %s\n", Report.Name.c_str(),
+                         M.Name, R.Error.c_str());
+            return 1;
+          }
+          double Eps = Seconds > 0 ? double(T.Events) / Seconds : 0.0;
+          if (!Live.Present || Eps > Live.EventsPerSec) {
+            Live.Present = true;
+            Live.Seconds = Seconds;
+            Live.EventsPerSec = Eps;
+            Live.Allocs = Allocs;
+            Live.AllocsPerEvent =
+                T.Events ? double(Allocs) / double(T.Events) : 0.0;
+          }
+        }
+        Live.RatioVsReplayCold =
+            ReplayColdEps > 0 ? Live.EventsPerSec / ReplayColdEps : 0.0;
+        bool Agree = LiveRT->reporter().reportedLocations() ==
+                     Serial->reporter().reportedLocations();
+        Report.Agreement = Report.Agreement && Agree;
+        std::printf("%-8s %-9s %-5s %12.0f %10.4f %12llu %10.3f %10s  "
+                    "(%.2fx of replay cold)\n",
+                    Report.Name.c_str(), M.Row, "cold", Live.EventsPerSec,
+                    Live.Seconds, (unsigned long long)Live.Allocs,
+                    Live.AllocsPerEvent, "-", Live.RatioVsReplayCold);
+        if (M.Mode == DispatchMode::Threaded)
+          Report.Live = Live;
+        Report.LiveModes.emplace_back(M.Name, Live);
+      }
     }
 
     std::printf("%-8s agreement: %s\n", Report.Name.c_str(),

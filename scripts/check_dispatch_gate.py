@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Dispatch-mode live-vs-replay regression gate for CI.
+
+Compares a fresh bench_hotpath smoke run (herd-bench-hotpath-v2 JSON)
+against the checked-in smoke baseline and fails when the threaded fast
+path (docs/INTERPRETER.md) lost ground:
+
+ * every trace the baseline measured live must carry both dispatch modes
+   ("switch" and "threaded") in `live_by_dispatch`, and the legacy
+   `live` entry must be the threaded one;
+ * the threaded live-vs-replay ratio must not fall below the baseline's
+   by more than the leniency factor — the ratio divides two timings from
+   the same process on the same box, so it absorbs machine speed but not
+   a dispatch-loop regression;
+ * threaded live throughput must stay above the floor fraction of switch
+   live throughput in the current run — the fast path is allowed to tie
+   the reference interpreter on tiny smoke traces, not to lose to it
+   outright.
+
+Timing on shared CI runners is noisy even after best-of-N, hence the
+deliberately loose constants: this gate catches "the fast path stopped
+being fast", not single-digit-percent drift.
+
+Usage: check_dispatch_gate.py CURRENT.json BASELINE.json
+"""
+
+import json
+import sys
+
+# Current threaded ratio_vs_replay_cold may be this fraction of the
+# baseline's before the gate trips.
+RATIO_LENIENCY = 0.4
+# Threaded live events/sec must be at least this fraction of switch's.
+THREADED_VS_SWITCH_FLOOR = 0.5
+
+MODES = ("switch", "threaded")
+LIVE_KEYS = ("seconds", "events_per_sec", "allocs_per_event",
+             "ratio_vs_replay_cold")
+
+
+def live_traces(report):
+    return {t["name"]: t for t in report["traces"]
+            if "live_by_dispatch" in t}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        current = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+    for report, arg in ((current, sys.argv[1]), (baseline, sys.argv[2])):
+        if report.get("schema") != "herd-bench-hotpath-v2":
+            print(f"{arg}: unexpected schema {report.get('schema')!r}",
+                  file=sys.stderr)
+            return 2
+
+    cur, base = live_traces(current), live_traces(baseline)
+    failed = False
+    for name, b in base.items():
+        t = cur.get(name)
+        if t is None:
+            print(f"FAIL {name}: no live_by_dispatch in current run",
+                  file=sys.stderr)
+            failed = True
+            continue
+        lbd = t["live_by_dispatch"]
+        shape_ok = True
+        for mode in MODES:
+            missing = [k for k in LIVE_KEYS if k not in lbd.get(mode, {})]
+            if missing:
+                print(f"FAIL {name}: live_by_dispatch[{mode!r}] missing "
+                      f"{missing}", file=sys.stderr)
+                failed = True
+                shape_ok = False
+        if not shape_ok:
+            continue
+        if t.get("live") != lbd["threaded"]:
+            print(f"FAIL {name}: legacy 'live' entry is not the threaded "
+                  f"result", file=sys.stderr)
+            failed = True
+        if not t.get("agreement", False):
+            print(f"FAIL {name}: runtimes disagreed on reported races",
+                  file=sys.stderr)
+            failed = True
+
+        cur_ratio = lbd["threaded"]["ratio_vs_replay_cold"]
+        base_ratio = b["live_by_dispatch"]["threaded"]["ratio_vs_replay_cold"]
+        limit = base_ratio * RATIO_LENIENCY
+        status = "ok" if cur_ratio >= limit else "FAIL"
+        print(f"{status:4} {name:10} threaded ratio_vs_replay_cold "
+              f"{cur_ratio:.3f} (baseline {base_ratio:.3f}, "
+              f"floor {limit:.3f})")
+        if cur_ratio < limit:
+            failed = True
+
+        th_eps = lbd["threaded"]["events_per_sec"]
+        sw_eps = lbd["switch"]["events_per_sec"]
+        floor = sw_eps * THREADED_VS_SWITCH_FLOOR
+        status = "ok" if th_eps >= floor else "FAIL"
+        print(f"{status:4} {name:10} threaded live {th_eps:.0f} ev/s vs "
+              f"switch {sw_eps:.0f} (floor {floor:.0f})")
+        if th_eps < floor:
+            failed = True
+
+    if not base:
+        print("FAIL: baseline has no live_by_dispatch traces",
+              file=sys.stderr)
+        failed = True
+    if failed:
+        print("dispatch-mode live regression detected", file=sys.stderr)
+        return 1
+    print("dispatch-mode live performance within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

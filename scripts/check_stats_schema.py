@@ -45,6 +45,7 @@ TOP_LEVEL_KEYS = {
     "timings": dict,
     "static": dict,
     "instrumentation": dict,
+    "dispatch": dict,
     "runtime": dict,
     "shards": list,
     "races": list,
@@ -77,6 +78,11 @@ SECTION_KEYS = {
         "traces_inserted": int,
         "traces_removed": int,
         "loops_peeled": int,
+    },
+    "dispatch": {
+        "mode": str,
+        "fused_sites": dict,
+        "fused_exec": dict,
     },
     "runtime": {
         "events_seen": int,
@@ -120,6 +126,17 @@ def check_stats(doc):
     for section, spec in SECTION_KEYS.items():
         if isinstance(doc.get(section), dict):
             check_keys(doc[section], spec, section)
+    dispatch = doc.get("dispatch", {})
+    if isinstance(dispatch, dict):
+        if dispatch.get("mode") not in ("switch", "threaded"):
+            fail(f"dispatch.mode: expected 'switch' or 'threaded', got "
+                 f"{dispatch.get('mode')!r}")
+        for sub in ("fused_sites", "fused_exec"):
+            if isinstance(dispatch.get(sub), dict):
+                check_keys(dispatch[sub],
+                           {"const_binop": int, "const_putfield": int,
+                            "get_binop_put": int, "total": int},
+                           f"dispatch.{sub}")
     runtime = doc.get("runtime", {})
     if isinstance(runtime.get("detector"), dict):
         check_keys(runtime["detector"], DETECTOR_KEYS, "runtime.detector")

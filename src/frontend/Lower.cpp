@@ -650,8 +650,20 @@ TypedValue Lowering::lowerExpr(const Expr &E) {
 }
 
 TypedValue Lowering::lowerBinary(const Expr &E) {
-  TypedValue L = lowerExpr(*E.LHS);
-  TypedValue R = lowerExpr(*E.RHS);
+  // An integer-literal RHS is materialized before the LHS.  A literal is
+  // pure, so evaluation order is unobservable — but this leaves the LHS's
+  // final instruction (often a field load) directly adjacent to the BinOp,
+  // the shape the superinstruction peephole fuses (instr/Superinstr.cpp):
+  // `x.f + 1` lowers to Const; GetField; BinOp instead of the unfusible
+  // GetField; Const; BinOp.
+  TypedValue L, R;
+  if (E.RHS->K == Expr::Kind::IntLit) {
+    R = lowerExpr(*E.RHS);
+    L = lowerExpr(*E.LHS);
+  } else {
+    L = lowerExpr(*E.LHS);
+    R = lowerExpr(*E.RHS);
+  }
   if (!L.Ok || !R.Ok)
     return TypedValue::invalid();
 

@@ -41,6 +41,10 @@ const char *herd::herdUsageText() {
       "                    chrome://tracing or Perfetto)\n"
       "  --profile         sample the interpreter's dispatch loop and print\n"
       "                    a ranked per-opcode time table\n"
+      "  --dispatch=<mode> interpreter dispatch strategy: threaded (default;\n"
+      "                    computed-goto over superinstruction shadow code,\n"
+      "                    docs/INTERPRETER.md) | switch (the reference\n"
+      "                    interpreter); reports are identical either way\n"
       "  --dump-ir         print the lowered MiniJ IR and exit\n"
       "  --workload=<name> analyse a built-in benchmark replica instead\n"
       "                    of a file: mtrt | tsp | sor2 | elevator | hedc\n";
@@ -90,6 +94,8 @@ HerdParse herd::parseHerdCommandLine(const std::vector<std::string> &Args) {
   uint32_t Shards = 0;    // 0 = serial runtime
   uint32_t CacheSize = 0; // 0 = keep the config's default
   std::string PlanArg;    // empty = keep the config's default (auto)
+  bool HaveDispatch = false;
+  DispatchMode Dispatch = DispatchMode::Threaded;
 
   for (const std::string &Arg : Args) {
     if (Arg.rfind("--config=", 0) == 0) {
@@ -153,6 +159,16 @@ HerdParse herd::parseHerdCommandLine(const std::vector<std::string> &Args) {
     } else if (Arg.rfind("--stats=", 0) == 0) {
       return fail("herd: --stats expects human or json, got '" +
                   Arg.substr(8) + "'");
+    } else if (Arg.rfind("--dispatch=", 0) == 0) {
+      std::string Mode = Arg.substr(11);
+      HaveDispatch = true;
+      if (Mode == "switch")
+        Dispatch = DispatchMode::Switch;
+      else if (Mode == "threaded")
+        Dispatch = DispatchMode::Threaded;
+      else
+        return fail("herd: --dispatch expects switch or threaded, got '" +
+                    Mode + "'");
     } else if (Arg == "--profile") {
       O.Profile = true;
     } else if (Arg == "--dump-ir") {
@@ -200,6 +216,8 @@ HerdParse herd::parseHerdCommandLine(const std::vector<std::string> &Args) {
       O.Config.PlanLocations = std::strtoull(PlanArg.c_str(), nullptr, 10);
     }
   }
+  if (HaveDispatch)
+    O.Config.Dispatch = Dispatch;
   O.Config.Seed = O.Seed;
   O.Config.DetectDeadlocks = O.Deadlocks;
 

@@ -8,6 +8,7 @@
 
 #include "analysis/DetectorPlanner.h"
 #include "detect/TraceFile.h"
+#include "instr/Superinstr.h"
 #include "ir/Verifier.h"
 #include "support/Metrics.h"
 
@@ -259,6 +260,20 @@ PipelineResult herd::runPipeline(const Program &Input,
     assert(verifyProgram(P).empty() &&
            "instrumentation must preserve well-formedness");
   }
+  // Superinstruction shadow code for the threaded fast path, built from
+  // the program's final (post-instrumentation) form at plan time.  The
+  // verified IR is never rewritten; the interpreter runs the shadow
+  // blocks (docs/INTERPRETER.md).  Charged to analysis time: it is the
+  // plan paying for runtime efficiency, like detector pre-sizing.
+  std::unique_ptr<ThreadedCode> Shadow;
+  Result.Dispatch = Config.Dispatch;
+  if (Config.Dispatch == DispatchMode::Threaded) {
+    Span FuseSpan(Metrics, "fuse");
+    SuperinstrOptions FuseOpts;
+    FuseOpts.Fuse = Config.Superinstructions;
+    Shadow = std::make_unique<ThreadedCode>(buildThreadedCode(P, FuseOpts));
+    Result.Fusion = Shadow->Stats;
+  }
   Result.AnalysisSeconds =
       std::chrono::duration<double>(Clock::now() - T0).count();
 
@@ -300,6 +315,8 @@ PipelineResult herd::runPipeline(const Program &Input,
   IOpts.MaxQuantum = Config.MaxQuantum;
   IOpts.MaxInstructions = Config.MaxInstructions;
   IOpts.Profiler = Config.Profiler;
+  IOpts.Dispatch = Config.Dispatch;
+  IOpts.Fused = Shadow.get();
   Interpreter Interp(P, Hooks, IOpts);
 
   Clock::time_point T1 = Clock::now();
@@ -371,6 +388,7 @@ PipelineResult herd::replayTracePipeline(const Program &Input,
                            : static_cast<RuntimeHooks *>(&Fanout);
 
   MetricsRegistry *Metrics = Config.Metrics;
+  Result.Dispatch = Config.Dispatch; // no interpretation: fusion stays zero
   TraceReader Reader;
   Result.Trace = Reader.open(TracePath);
   if (Result.Trace.Ok) {

@@ -82,6 +82,21 @@ struct ToolConfig {
   uint32_t MaxQuantum = 40;
   uint64_t MaxInstructions = 500'000'000;
 
+  /// Interpreter dispatch strategy (`herd --dispatch=switch|threaded`,
+  /// docs/INTERPRETER.md).  Threaded is the fast path: computed-goto
+  /// dispatch over superinstruction shadow code with a compiled-out
+  /// no-hook lane.  Switch is the reference interpreter.  Race reports,
+  /// schedules and output are byte-identical across modes.
+#ifdef HERD_DEFAULT_DISPATCH_SWITCH
+  DispatchMode Dispatch = DispatchMode::Switch;
+#else
+  DispatchMode Dispatch = DispatchMode::Threaded;
+#endif
+
+  /// Superinstruction fusion for threaded dispatch (A/B lever; no CLI
+  /// flag).  Ignored under switch dispatch.
+  bool Superinstructions = true;
+
   // --- Observability (docs/OBSERVABILITY.md) ---
   /// When set, every phase records a span here (parse/lower happen in the
   /// caller; this covers static analysis passes, planning, instrumentation,
@@ -133,6 +148,12 @@ struct PipelineResult {
   TraceResult Trace;
   uint64_t TraceRecords = 0;
   uint64_t TraceBytes = 0;
+
+  /// Which dispatch strategy executed the run, and what the plan-time
+  /// superinstruction pass fused (zeroed under switch dispatch; runtime
+  /// fused-execution counts live in Run.Fused).
+  DispatchMode Dispatch = DispatchMode::Switch;
+  FusionStats Fusion;
 };
 
 /// Runs the full pipeline on a copy of \p Input (the input program is not

@@ -168,6 +168,25 @@ std::string herd::renderStatsJson(const PipelineResult &Result,
   W.member("loops_peeled", uint64_t(Result.Instr.LoopsPeeled));
   W.endObject();
 
+  W.key("dispatch");
+  W.beginObject();
+  W.member("mode", dispatchModeName(Result.Dispatch));
+  W.key("fused_sites");
+  W.beginObject();
+  W.member("const_binop", Result.Fusion.ConstBinOpSites);
+  W.member("const_putfield", Result.Fusion.ConstPutFieldSites);
+  W.member("get_binop_put", Result.Fusion.GetBinPutSites);
+  W.member("total", Result.Fusion.sites());
+  W.endObject();
+  W.key("fused_exec");
+  W.beginObject();
+  W.member("const_binop", Result.Run.Fused.ConstBinOp);
+  W.member("const_putfield", Result.Run.Fused.ConstPutField);
+  W.member("get_binop_put", Result.Run.Fused.GetBinPut);
+  W.member("total", Result.Run.Fused.total());
+  W.endObject();
+  W.endObject();
+
   W.key("runtime");
   writeRuntimeStats(W, Result.Stats);
 

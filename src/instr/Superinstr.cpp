@@ -1,0 +1,102 @@
+//===- instr/Superinstr.cpp - Superinstruction peephole pass --------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "instr/Superinstr.h"
+
+using namespace herd;
+
+namespace {
+
+/// True when \p Def's result register feeds \p Use as a BinOp operand.
+bool feedsBinOp(const Instr &Def, const Instr &Use) {
+  return Use.A == Def.Dst || Use.B == Def.Dst;
+}
+
+/// True for the PEI arithmetic (division by zero): these never fuse, so
+/// the exception boundary stays a dispatch boundary.
+bool isPeiBinOp(const Instr &I) {
+  return I.BinKind == BinOpKind::Div || I.BinKind == BinOpKind::Mod;
+}
+
+/// True when the instruction after \p Idx in \p Instrs is the Trace that
+/// instruments the access at \p Idx (instrumentation inserts traces
+/// immediately after the access they observe).
+bool accessIsInstrumented(const std::vector<Instr> &Instrs, size_t Idx) {
+  return Idx + 1 < Instrs.size() && Instrs[Idx + 1].Op == Opcode::Trace;
+}
+
+/// Tries to match a fusible sequence headed at \p Idx; returns the fused
+/// opcode and sets \p Len, or Opcode::Trace (sentinel: never a valid head
+/// rewrite) when nothing matches.
+Opcode matchAt(const std::vector<Instr> &Instrs, size_t Idx, uint32_t &Len) {
+  const Instr &A = Instrs[Idx];
+
+  // GetField, BinOp, PutField — the read-modify-write triple.
+  if (A.Op == Opcode::GetField && Idx + 2 < Instrs.size()) {
+    const Instr &B = Instrs[Idx + 1];
+    const Instr &C = Instrs[Idx + 2];
+    if (B.Op == Opcode::BinOp && !isPeiBinOp(B) && feedsBinOp(A, B) &&
+        C.Op == Opcode::PutField && C.B == B.Dst &&
+        !accessIsInstrumented(Instrs, Idx + 2)) {
+      Len = 3;
+      return OpFusedGetBinPut;
+    }
+  }
+
+  if (A.Op == Opcode::Const && Idx + 1 < Instrs.size()) {
+    const Instr &B = Instrs[Idx + 1];
+    // Const, BinOp — loop/index arithmetic.
+    if (B.Op == Opcode::BinOp && !isPeiBinOp(B) && feedsBinOp(A, B)) {
+      Len = 2;
+      return OpFusedConstBinOp;
+    }
+    // Const, PutField — constant stores.
+    if (B.Op == Opcode::PutField && B.B == A.Dst &&
+        !accessIsInstrumented(Instrs, Idx + 1)) {
+      Len = 2;
+      return OpFusedConstPutField;
+    }
+  }
+
+  return Opcode::Trace;
+}
+
+} // namespace
+
+ThreadedCode herd::buildThreadedCode(const Program &P,
+                                     const SuperinstrOptions &Opts) {
+  ThreadedCode TC;
+  TC.MethodBlocks.resize(P.numMethods());
+  for (size_t M = 0; M != P.numMethods(); ++M) {
+    TC.MethodBlocks[M] = P.method(MethodId(uint32_t(M))).Blocks;
+    if (!Opts.Fuse)
+      continue;
+    for (BasicBlock &Block : TC.MethodBlocks[M]) {
+      std::vector<Instr> &Instrs = Block.Instrs;
+      // The terminator can never head a sequence, and matchAt never looks
+      // past the block, so patterns cannot straddle a control edge.
+      for (size_t Idx = 0; Idx + 1 < Instrs.size();) {
+        uint32_t Len = 0;
+        Opcode Fused = matchAt(Instrs, Idx, Len);
+        if (Fused == Opcode::Trace) {
+          ++Idx;
+          continue;
+        }
+        Instrs[Idx].Op = Fused;
+        if (Fused == OpFusedConstBinOp)
+          ++TC.Stats.ConstBinOpSites;
+        else if (Fused == OpFusedConstPutField)
+          ++TC.Stats.ConstPutFieldSites;
+        else
+          ++TC.Stats.GetBinPutSites;
+        // Constituents can never also head another sequence: overlapping
+        // superinstructions would execute shared constituents twice.
+        Idx += Len;
+      }
+    }
+  }
+  return TC;
+}

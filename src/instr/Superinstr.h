@@ -1,0 +1,65 @@
+//===- instr/Superinstr.h - Superinstruction peephole pass ------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The plan-time peephole pass that builds superinstruction shadow code
+/// (runtime/ThreadedCode.h) for the threaded interpreter.
+///
+/// The pass scans each basic block of the instrumented program for the
+/// three hot sequences the `--profile` histograms surface and rewrites the
+/// head instruction's opcode in a shadow copy of the block:
+///
+///   Const, BinOp                  -> FusedConstBinOp      (len 2)
+///   Const, PutField               -> FusedConstPutField   (len 2)
+///   GetField, BinOp, PutField     -> FusedGetBinPut       (len 3)
+///
+/// Fusion rules (pinned by tests/instr_test.cpp):
+///
+///  * Straight-line only: patterns never span blocks, and MiniJ jumps
+///    target blocks, never intra-block positions, so no fused constituent
+///    can be a branch target.
+///  * Dataflow-fed: the Const/GetField result must feed the next
+///    constituent (BinOp operand / PutField stored value), so a
+///    superinstruction is a real dependent sequence, not two unrelated
+///    neighbors.
+///  * Exception boundary: Div/Mod BinOps (the PEI arithmetic) never fuse.
+///    Heap-access constituents are PEIs by nature and MAY fuse: the
+///    threaded interpreter executes constituents sequentially with full
+///    per-instruction accounting, so a mid-sequence fault leaves exactly
+///    the state the unfused code would.
+///  * Instrumented-access boundary: a sequence whose trailing heap access
+///    is followed by a Trace instruction is left unfused.  The Trace is
+///    the instrumentation for that access (Section 6.1 inserts traces
+///    AFTER the access); keeping the access unfused keeps the
+///    instrumented pair intact as the unit every event-order invariant
+///    was written against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_INSTR_SUPERINSTR_H
+#define HERD_INSTR_SUPERINSTR_H
+
+#include "ir/Program.h"
+#include "runtime/ThreadedCode.h"
+
+namespace herd {
+
+/// Options for shadow-code construction.
+struct SuperinstrOptions {
+  /// When false, the shadow copy is built without any fusion (threaded
+  /// dispatch over verbatim code) — the A/B ablation lever.
+  bool Fuse = true;
+};
+
+/// Builds threaded-dispatch shadow code for \p P (which must already be
+/// in its final, post-instrumentation form).  The returned object must
+/// outlive every Interpreter run that uses it.
+ThreadedCode buildThreadedCode(const Program &P,
+                               const SuperinstrOptions &Opts = {});
+
+} // namespace herd
+
+#endif // HERD_INSTR_SUPERINSTR_H

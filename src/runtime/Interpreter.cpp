@@ -3,6 +3,27 @@
 // Part of the HERD project (PLDI 2002 datarace-detector reproduction).
 //
 //===----------------------------------------------------------------------===//
+//
+// Two dispatch strategies share one set of per-opcode executors
+// (docs/INTERPRETER.md):
+//
+//  * Switch (reference): step() is called once per instruction and
+//    dispatches through one switch over the original program.
+//
+//  * Threaded: runSliceThreaded() executes a whole scheduling quantum
+//    without returning to the scheduler, jumping handler-to-handler via
+//    computed goto (portable fallback: a dense jump table the compiler
+//    derives from a switch).  It runs superinstruction shadow code
+//    (runtime/ThreadedCode.h) and is instantiated four ways over
+//    <EmitAll, Profiled> so the no-hook lane compiles the access-hook
+//    plumbing out of the common path entirely.
+//
+// Equivalence invariant: for the same program, options and seed, both
+// strategies retire the same instructions in the same order with the same
+// per-step accounting, so schedules, hook streams, race reports and
+// output are byte-identical (tests/dispatch_differential_test.cpp).
+//
+//===----------------------------------------------------------------------===//
 
 #include "runtime/Interpreter.h"
 
@@ -12,6 +33,10 @@
 using namespace herd;
 
 RuntimeHooks::~RuntimeHooks() = default;
+
+const char *herd::dispatchModeName(DispatchMode Mode) {
+  return Mode == DispatchMode::Switch ? "switch" : "threaded";
+}
 
 /// A call frame.
 struct Interpreter::Frame {
@@ -167,6 +192,418 @@ Interpreter::enterSynchronizedFrame(SimThread &Thread, Frame &F) {
   return StepResult::Continue;
 }
 
+//===----------------------------------------------------------------------===//
+// Per-opcode executors.
+//
+// Each executor performs exactly one instruction: operand checks, effect,
+// pc advance.  Both dispatch strategies call these same functions, so a
+// semantic change here changes both modes at once — there is no second
+// copy of the semantics to drift.
+//===----------------------------------------------------------------------===//
+
+Interpreter::StepResult Interpreter::execConst(SimThread &Thread,
+                                               const Instr &I) {
+  reg(Thread, I.Dst) = Value::makeInt(I.Imm);
+  ++Thread.Stack.back().Ip;
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execMove(SimThread &Thread,
+                                              const Instr &I) {
+  reg(Thread, I.Dst) = reg(Thread, I.A);
+  ++Thread.Stack.back().Ip;
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execBinOp(SimThread &Thread,
+                                               const Instr &I) {
+  const Value &AV = reg(Thread, I.A);
+  const Value &BV = reg(Thread, I.B);
+  // Eq/Ne compare values of either kind; all other operators require
+  // integers.
+  if (I.BinKind == BinOpKind::CmpEq || I.BinKind == BinOpKind::CmpNe) {
+    bool Eq = AV == BV;
+    reg(Thread, I.Dst) =
+        Value::makeInt((I.BinKind == BinOpKind::CmpEq) == Eq ? 1 : 0);
+    ++Thread.Stack.back().Ip;
+    return StepResult::Continue;
+  }
+  int64_t A = 0, B = 0;
+  if (!requireInt(Thread, I.A, A, "binop") ||
+      !requireInt(Thread, I.B, B, "binop"))
+    return StepResult::Fault;
+  int64_t R = 0;
+  switch (I.BinKind) {
+  case BinOpKind::Add:
+    R = A + B;
+    break;
+  case BinOpKind::Sub:
+    R = A - B;
+    break;
+  case BinOpKind::Mul:
+    R = A * B;
+    break;
+  case BinOpKind::Div:
+  case BinOpKind::Mod:
+    if (B == 0) {
+      fault("division by zero");
+      return StepResult::Fault;
+    }
+    R = I.BinKind == BinOpKind::Div ? A / B : A % B;
+    break;
+  case BinOpKind::And:
+    R = A & B;
+    break;
+  case BinOpKind::Or:
+    R = A | B;
+    break;
+  case BinOpKind::Xor:
+    R = A ^ B;
+    break;
+  case BinOpKind::CmpLt:
+    R = A < B;
+    break;
+  case BinOpKind::CmpLe:
+    R = A <= B;
+    break;
+  case BinOpKind::CmpGt:
+    R = A > B;
+    break;
+  case BinOpKind::CmpGe:
+    R = A >= B;
+    break;
+  case BinOpKind::CmpEq:
+  case BinOpKind::CmpNe:
+    HERD_UNREACHABLE("handled above");
+  }
+  reg(Thread, I.Dst) = Value::makeInt(R);
+  ++Thread.Stack.back().Ip;
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execNew(SimThread &Thread,
+                                             const Instr &I) {
+  reg(Thread, I.Dst) = Value::makeRef(TheHeap.allocate(I.Class, I.AllocSite));
+  ++Thread.Stack.back().Ip;
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execNewArray(SimThread &Thread,
+                                                  const Instr &I) {
+  int64_t Len = 0;
+  if (!requireInt(Thread, I.A, Len, "newarray length"))
+    return StepResult::Fault;
+  if (Len < 0) {
+    fault("negative array size");
+    return StepResult::Fault;
+  }
+  reg(Thread, I.Dst) = Value::makeRef(TheHeap.allocateArray(Len, I.AllocSite));
+  ++Thread.Stack.back().Ip;
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execArrayLen(SimThread &Thread,
+                                                  const Instr &I) {
+  ObjectId Arr;
+  if (!requireRef(Thread, I.A, Arr, "arraylen"))
+    return StepResult::Fault;
+  reg(Thread, I.Dst) =
+      Value::makeInt(int64_t(TheHeap.object(Arr).Slots.size()));
+  ++Thread.Stack.back().Ip;
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execGetField(SimThread &Thread,
+                                                  const Instr &I,
+                                                  bool EmitAll) {
+  ObjectId Obj;
+  if (!requireRef(Thread, I.A, Obj, "getfield"))
+    return StepResult::Fault;
+  reg(Thread, I.Dst) = TheHeap.object(Obj).Slots[P.field(I.Field).SlotIndex];
+  if (EmitAll)
+    emitAccess(Thread.Id, LocationKey::forField(Obj, I.Field),
+               AccessKind::Read, I.Site);
+  ++Thread.Stack.back().Ip;
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execPutField(SimThread &Thread,
+                                                  const Instr &I,
+                                                  bool EmitAll) {
+  ObjectId Obj;
+  if (!requireRef(Thread, I.A, Obj, "putfield"))
+    return StepResult::Fault;
+  TheHeap.object(Obj).Slots[P.field(I.Field).SlotIndex] = reg(Thread, I.B);
+  if (EmitAll)
+    emitAccess(Thread.Id, LocationKey::forField(Obj, I.Field),
+               AccessKind::Write, I.Site);
+  ++Thread.Stack.back().Ip;
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execGetStatic(SimThread &Thread,
+                                                   const Instr &I,
+                                                   bool EmitAll) {
+  ObjectId Statics = TheHeap.classStatics(I.Class);
+  reg(Thread, I.Dst) =
+      TheHeap.object(Statics).Slots[P.field(I.Field).SlotIndex];
+  if (EmitAll)
+    emitAccess(Thread.Id, LocationKey::forStatic(Statics, I.Field),
+               AccessKind::Read, I.Site);
+  ++Thread.Stack.back().Ip;
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execPutStatic(SimThread &Thread,
+                                                   const Instr &I,
+                                                   bool EmitAll) {
+  ObjectId Statics = TheHeap.classStatics(I.Class);
+  TheHeap.object(Statics).Slots[P.field(I.Field).SlotIndex] =
+      reg(Thread, I.A);
+  if (EmitAll)
+    emitAccess(Thread.Id, LocationKey::forStatic(Statics, I.Field),
+               AccessKind::Write, I.Site);
+  ++Thread.Stack.back().Ip;
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execALoad(SimThread &Thread,
+                                               const Instr &I, bool EmitAll) {
+  ObjectId Arr;
+  int64_t Idx = 0;
+  if (!requireRef(Thread, I.A, Arr, "aload") ||
+      !requireInt(Thread, I.B, Idx, "aload index"))
+    return StepResult::Fault;
+  HeapObject &ArrObj = TheHeap.object(Arr);
+  if (Idx < 0 || size_t(Idx) >= ArrObj.Slots.size()) {
+    fault("array index out of bounds");
+    return StepResult::Fault;
+  }
+  reg(Thread, I.Dst) = ArrObj.Slots[size_t(Idx)];
+  if (EmitAll)
+    emitAccess(Thread.Id, LocationKey::forArray(Arr), AccessKind::Read,
+               I.Site);
+  ++Thread.Stack.back().Ip;
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execAStore(SimThread &Thread,
+                                                const Instr &I, bool EmitAll) {
+  ObjectId Arr;
+  int64_t Idx = 0;
+  if (!requireRef(Thread, I.A, Arr, "astore") ||
+      !requireInt(Thread, I.B, Idx, "astore index"))
+    return StepResult::Fault;
+  HeapObject &ArrObj = TheHeap.object(Arr);
+  if (Idx < 0 || size_t(Idx) >= ArrObj.Slots.size()) {
+    fault("array index out of bounds");
+    return StepResult::Fault;
+  }
+  ArrObj.Slots[size_t(Idx)] = reg(Thread, I.C);
+  if (EmitAll)
+    emitAccess(Thread.Id, LocationKey::forArray(Arr), AccessKind::Write,
+               I.Site);
+  ++Thread.Stack.back().Ip;
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execCall(SimThread &Thread,
+                                              const Instr &I) {
+  const Method &Callee = P.method(I.Callee);
+  Frame NewFrame;
+  NewFrame.Method = I.Callee;
+  NewFrame.Regs.resize(Callee.NumRegs);
+  for (size_t N = 0; N != I.Args.size(); ++N)
+    NewFrame.Regs[N] = reg(Thread, I.Args[N]);
+  NewFrame.RetDst = I.Dst;
+  if (Callee.IsSynchronized) {
+    if (NewFrame.Regs.empty() || !NewFrame.Regs[0].isRef() ||
+        NewFrame.Regs[0].isNull()) {
+      fault("synchronized call on null receiver");
+      return StepResult::Fault;
+    }
+    NewFrame.NeedsMonEnter = true;
+  }
+  ++Thread.Stack.back().Ip; // the caller resumes after the call
+  Thread.Stack.push_back(std::move(NewFrame));
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execBranch(SimThread &Thread,
+                                                const Instr &I) {
+  bool Taken = reg(Thread, I.A).isTruthy();
+  Frame &Top = Thread.Stack.back();
+  Top.Block = Taken ? I.Target : I.AltTarget;
+  Top.Ip = 0;
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execJump(SimThread &Thread,
+                                              const Instr &I) {
+  Frame &Top = Thread.Stack.back();
+  Top.Block = I.Target;
+  Top.Ip = 0;
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execReturn(SimThread &Thread,
+                                                const Instr &I) {
+  Value Ret = I.A.isValid() ? reg(Thread, I.A) : Value();
+  Frame &F = Thread.Stack.back();
+  ObjectId SyncSelf = F.SyncSelf;
+  RegId RetDst = F.RetDst;
+  Thread.Stack.pop_back();
+  if (SyncSelf.isValid())
+    exitMonitorOnce(Thread, SyncSelf);
+  if (Faulted)
+    return StepResult::Fault;
+  if (Thread.Stack.empty()) {
+    Thread.St = SimThread::State::Finished;
+    if (Hooks)
+      Hooks->onThreadExit(Thread.Id);
+    if (Thread.ThreadObj.isValid())
+      wakeJoiners(Thread.ThreadObj);
+    return StepResult::Finished;
+  }
+  if (RetDst.isValid())
+    reg(Thread, RetDst) = Ret;
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execMonitorEnter(SimThread &Thread,
+                                                      const Instr &I) {
+  ObjectId Obj;
+  if (!requireRef(Thread, I.A, Obj, "monitorenter"))
+    return StepResult::Fault;
+  bool Recursive = false;
+  if (!tryAcquireMonitor(Thread, Obj, Recursive)) {
+    Thread.St = SimThread::State::BlockedOnMonitor;
+    Thread.WaitObj = Obj;
+    return StepResult::Blocked;
+  }
+  if (Hooks)
+    Hooks->onMonitorEnter(Thread.Id, Heap::lockOf(Obj), Recursive);
+  ++Thread.Stack.back().Ip;
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execMonitorExit(SimThread &Thread,
+                                                     const Instr &I) {
+  ObjectId Obj;
+  if (!requireRef(Thread, I.A, Obj, "monitorexit"))
+    return StepResult::Fault;
+  exitMonitorOnce(Thread, Obj);
+  if (Faulted)
+    return StepResult::Fault;
+  ++Thread.Stack.back().Ip;
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execThreadStart(SimThread &Thread,
+                                                     const Instr &I) {
+  ObjectId Obj;
+  if (!requireRef(Thread, I.A, Obj, "thread start"))
+    return StepResult::Fault;
+  HeapObject &ThreadObj = TheHeap.object(Obj);
+  if (!ThreadObj.Class.isValid() ||
+      !P.classDecl(ThreadObj.Class).RunMethod.isValid()) {
+    fault("start on an object whose class has no run() method");
+    return StepResult::Fault;
+  }
+  if (ThreadByObject.count(Obj)) {
+    fault("thread object started twice");
+    return StepResult::Fault;
+  }
+  MethodId Run = P.classDecl(ThreadObj.Class).RunMethod;
+  const Method &RunM = P.method(Run);
+  auto Child = std::make_unique<SimThread>();
+  Child->Id = ThreadId(uint32_t(Threads.size()));
+  Child->ThreadObj = Obj;
+  Frame RunFrame;
+  RunFrame.Method = Run;
+  RunFrame.Regs.resize(RunM.NumRegs);
+  RunFrame.Regs[0] = Value::makeRef(Obj);
+  RunFrame.NeedsMonEnter = RunM.IsSynchronized;
+  Child->Stack.push_back(std::move(RunFrame));
+  ThreadByObject.emplace(Obj, Child->Id);
+  ++Result.ThreadsCreated;
+  if (Hooks)
+    Hooks->onThreadCreate(Child->Id, Thread.Id, Obj);
+  Threads.push_back(std::move(Child));
+  ++Thread.Stack.back().Ip;
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execThreadJoin(SimThread &Thread,
+                                                    const Instr &I) {
+  ObjectId Obj;
+  if (!requireRef(Thread, I.A, Obj, "thread join"))
+    return StepResult::Fault;
+  auto It = ThreadByObject.find(Obj);
+  if (It == ThreadByObject.end()) {
+    // Joining a never-started thread returns immediately (Java semantics);
+    // no ordering is established.
+    ++Thread.Stack.back().Ip;
+    return StepResult::Continue;
+  }
+  SimThread &Target = *Threads[It->second.index()];
+  if (Target.St != SimThread::State::Finished) {
+    Thread.St = SimThread::State::BlockedOnJoin;
+    Thread.WaitObj = Obj;
+    return StepResult::Blocked;
+  }
+  if (Hooks)
+    Hooks->onThreadJoin(Thread.Id, Target.Id);
+  ++Thread.Stack.back().Ip;
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execPrint(SimThread &Thread,
+                                               const Instr &I) {
+  const Value &V = reg(Thread, I.A);
+  Result.Output.push_back(V.isRef() ? int64_t(V.asRef().index()) : V.asInt());
+  ++Thread.Stack.back().Ip;
+  return StepResult::Continue;
+}
+
+Interpreter::StepResult Interpreter::execYield(SimThread &Thread,
+                                               const Instr &I) {
+  (void)I;
+  ++Thread.Stack.back().Ip;
+  return StepResult::Switched;
+}
+
+Interpreter::StepResult Interpreter::execTrace(SimThread &Thread,
+                                               const Instr &I) {
+  LocationKey Loc;
+  switch (I.TraceWhat) {
+  case TraceWhatKind::Field: {
+    ObjectId Obj;
+    if (!requireRef(Thread, I.A, Obj, "trace"))
+      return StepResult::Fault;
+    Loc = LocationKey::forField(Obj, I.Field);
+    break;
+  }
+  case TraceWhatKind::Array: {
+    ObjectId Obj;
+    if (!requireRef(Thread, I.A, Obj, "trace"))
+      return StepResult::Fault;
+    Loc = LocationKey::forArray(Obj);
+    break;
+  }
+  case TraceWhatKind::Static:
+    Loc = LocationKey::forStatic(TheHeap.classStatics(I.Class), I.Field);
+    break;
+  }
+  emitAccess(Thread.Id, Loc, I.Access, I.Site);
+  ++Thread.Stack.back().Ip;
+  return StepResult::Continue;
+}
+
+//===----------------------------------------------------------------------===//
+// Switch (reference) dispatch.
+//===----------------------------------------------------------------------===//
+
 Interpreter::StepResult Interpreter::step(SimThread &Thread) {
   Frame &F = Thread.Stack.back();
   if (F.NeedsMonEnter) {
@@ -199,379 +636,421 @@ Interpreter::StepResult Interpreter::step(SimThread &Thread) {
 
 Interpreter::StepResult Interpreter::executeInstr(SimThread &Thread, Frame &F,
                                                   const Instr &I) {
-  auto Advance = [&] { ++Thread.Stack.back().Ip; };
-  auto JumpTo = [&](BlockId Target) {
-    Frame &Top = Thread.Stack.back();
-    Top.Block = Target;
-    Top.Ip = 0;
-  };
-
+  (void)F;
   switch (I.Op) {
   case Opcode::Const:
-    reg(Thread, I.Dst) = Value::makeInt(I.Imm);
-    Advance();
-    return StepResult::Continue;
-
+    return execConst(Thread, I);
   case Opcode::Move:
-    reg(Thread, I.Dst) = reg(Thread, I.A);
-    Advance();
-    return StepResult::Continue;
-
-  case Opcode::BinOp: {
-    const Value &AV = reg(Thread, I.A);
-    const Value &BV = reg(Thread, I.B);
-    // Eq/Ne compare values of either kind; all other operators require
-    // integers.
-    if (I.BinKind == BinOpKind::CmpEq || I.BinKind == BinOpKind::CmpNe) {
-      bool Eq = AV == BV;
-      reg(Thread, I.Dst) =
-          Value::makeInt((I.BinKind == BinOpKind::CmpEq) == Eq ? 1 : 0);
-      Advance();
-      return StepResult::Continue;
-    }
-    int64_t A = 0, B = 0;
-    if (!requireInt(Thread, I.A, A, "binop") ||
-        !requireInt(Thread, I.B, B, "binop"))
-      return StepResult::Fault;
-    int64_t R = 0;
-    switch (I.BinKind) {
-    case BinOpKind::Add:
-      R = A + B;
-      break;
-    case BinOpKind::Sub:
-      R = A - B;
-      break;
-    case BinOpKind::Mul:
-      R = A * B;
-      break;
-    case BinOpKind::Div:
-    case BinOpKind::Mod:
-      if (B == 0) {
-        fault("division by zero");
-        return StepResult::Fault;
-      }
-      R = I.BinKind == BinOpKind::Div ? A / B : A % B;
-      break;
-    case BinOpKind::And:
-      R = A & B;
-      break;
-    case BinOpKind::Or:
-      R = A | B;
-      break;
-    case BinOpKind::Xor:
-      R = A ^ B;
-      break;
-    case BinOpKind::CmpLt:
-      R = A < B;
-      break;
-    case BinOpKind::CmpLe:
-      R = A <= B;
-      break;
-    case BinOpKind::CmpGt:
-      R = A > B;
-      break;
-    case BinOpKind::CmpGe:
-      R = A >= B;
-      break;
-    case BinOpKind::CmpEq:
-    case BinOpKind::CmpNe:
-      HERD_UNREACHABLE("handled above");
-    }
-    reg(Thread, I.Dst) = Value::makeInt(R);
-    Advance();
-    return StepResult::Continue;
-  }
-
+    return execMove(Thread, I);
+  case Opcode::BinOp:
+    return execBinOp(Thread, I);
   case Opcode::New:
-    reg(Thread, I.Dst) =
-        Value::makeRef(TheHeap.allocate(I.Class, I.AllocSite));
-    Advance();
-    return StepResult::Continue;
-
-  case Opcode::NewArray: {
-    int64_t Len = 0;
-    if (!requireInt(Thread, I.A, Len, "newarray length"))
-      return StepResult::Fault;
-    if (Len < 0) {
-      fault("negative array size");
-      return StepResult::Fault;
-    }
-    reg(Thread, I.Dst) = Value::makeRef(TheHeap.allocateArray(Len, I.AllocSite));
-    Advance();
-    return StepResult::Continue;
-  }
-
-  case Opcode::ArrayLen: {
-    ObjectId Arr;
-    if (!requireRef(Thread, I.A, Arr, "arraylen"))
-      return StepResult::Fault;
-    reg(Thread, I.Dst) =
-        Value::makeInt(int64_t(TheHeap.object(Arr).Slots.size()));
-    Advance();
-    return StepResult::Continue;
-  }
-
-  case Opcode::GetField: {
-    ObjectId Obj;
-    if (!requireRef(Thread, I.A, Obj, "getfield"))
-      return StepResult::Fault;
-    reg(Thread, I.Dst) = TheHeap.object(Obj).Slots[P.field(I.Field).SlotIndex];
-    if (Opts.TraceEveryAccess)
-      emitAccess(Thread.Id, LocationKey::forField(Obj, I.Field),
-                 AccessKind::Read, I.Site);
-    Advance();
-    return StepResult::Continue;
-  }
-
-  case Opcode::PutField: {
-    ObjectId Obj;
-    if (!requireRef(Thread, I.A, Obj, "putfield"))
-      return StepResult::Fault;
-    TheHeap.object(Obj).Slots[P.field(I.Field).SlotIndex] = reg(Thread, I.B);
-    if (Opts.TraceEveryAccess)
-      emitAccess(Thread.Id, LocationKey::forField(Obj, I.Field),
-                 AccessKind::Write, I.Site);
-    Advance();
-    return StepResult::Continue;
-  }
-
-  case Opcode::GetStatic: {
-    ObjectId Statics = TheHeap.classStatics(I.Class);
-    reg(Thread, I.Dst) =
-        TheHeap.object(Statics).Slots[P.field(I.Field).SlotIndex];
-    if (Opts.TraceEveryAccess)
-      emitAccess(Thread.Id, LocationKey::forStatic(Statics, I.Field),
-                 AccessKind::Read, I.Site);
-    Advance();
-    return StepResult::Continue;
-  }
-
-  case Opcode::PutStatic: {
-    ObjectId Statics = TheHeap.classStatics(I.Class);
-    TheHeap.object(Statics).Slots[P.field(I.Field).SlotIndex] =
-        reg(Thread, I.A);
-    if (Opts.TraceEveryAccess)
-      emitAccess(Thread.Id, LocationKey::forStatic(Statics, I.Field),
-                 AccessKind::Write, I.Site);
-    Advance();
-    return StepResult::Continue;
-  }
-
-  case Opcode::ALoad: {
-    ObjectId Arr;
-    int64_t Idx = 0;
-    if (!requireRef(Thread, I.A, Arr, "aload") ||
-        !requireInt(Thread, I.B, Idx, "aload index"))
-      return StepResult::Fault;
-    HeapObject &ArrObj = TheHeap.object(Arr);
-    if (Idx < 0 || size_t(Idx) >= ArrObj.Slots.size()) {
-      fault("array index out of bounds");
-      return StepResult::Fault;
-    }
-    reg(Thread, I.Dst) = ArrObj.Slots[size_t(Idx)];
-    if (Opts.TraceEveryAccess)
-      emitAccess(Thread.Id, LocationKey::forArray(Arr), AccessKind::Read,
-                 I.Site);
-    Advance();
-    return StepResult::Continue;
-  }
-
-  case Opcode::AStore: {
-    ObjectId Arr;
-    int64_t Idx = 0;
-    if (!requireRef(Thread, I.A, Arr, "astore") ||
-        !requireInt(Thread, I.B, Idx, "astore index"))
-      return StepResult::Fault;
-    HeapObject &ArrObj = TheHeap.object(Arr);
-    if (Idx < 0 || size_t(Idx) >= ArrObj.Slots.size()) {
-      fault("array index out of bounds");
-      return StepResult::Fault;
-    }
-    ArrObj.Slots[size_t(Idx)] = reg(Thread, I.C);
-    if (Opts.TraceEveryAccess)
-      emitAccess(Thread.Id, LocationKey::forArray(Arr), AccessKind::Write,
-                 I.Site);
-    Advance();
-    return StepResult::Continue;
-  }
-
-  case Opcode::Call: {
-    const Method &Callee = P.method(I.Callee);
-    Frame NewFrame;
-    NewFrame.Method = I.Callee;
-    NewFrame.Regs.resize(Callee.NumRegs);
-    for (size_t N = 0; N != I.Args.size(); ++N)
-      NewFrame.Regs[N] = reg(Thread, I.Args[N]);
-    NewFrame.RetDst = I.Dst;
-    if (Callee.IsSynchronized) {
-      if (NewFrame.Regs.empty() || !NewFrame.Regs[0].isRef() ||
-          NewFrame.Regs[0].isNull()) {
-        fault("synchronized call on null receiver");
-        return StepResult::Fault;
-      }
-      NewFrame.NeedsMonEnter = true;
-    }
-    Advance(); // the caller resumes after the call
-    Thread.Stack.push_back(std::move(NewFrame));
-    return StepResult::Continue;
-  }
-
-  case Opcode::Branch: {
-    bool Taken = reg(Thread, I.A).isTruthy();
-    JumpTo(Taken ? I.Target : I.AltTarget);
-    return StepResult::Continue;
-  }
-
+    return execNew(Thread, I);
+  case Opcode::NewArray:
+    return execNewArray(Thread, I);
+  case Opcode::ArrayLen:
+    return execArrayLen(Thread, I);
+  case Opcode::GetField:
+    return execGetField(Thread, I, Opts.TraceEveryAccess);
+  case Opcode::PutField:
+    return execPutField(Thread, I, Opts.TraceEveryAccess);
+  case Opcode::GetStatic:
+    return execGetStatic(Thread, I, Opts.TraceEveryAccess);
+  case Opcode::PutStatic:
+    return execPutStatic(Thread, I, Opts.TraceEveryAccess);
+  case Opcode::ALoad:
+    return execALoad(Thread, I, Opts.TraceEveryAccess);
+  case Opcode::AStore:
+    return execAStore(Thread, I, Opts.TraceEveryAccess);
+  case Opcode::Call:
+    return execCall(Thread, I);
+  case Opcode::Branch:
+    return execBranch(Thread, I);
   case Opcode::Jump:
-    JumpTo(I.Target);
-    return StepResult::Continue;
-
-  case Opcode::Return: {
-    Value Ret = I.A.isValid() ? reg(Thread, I.A) : Value();
-    ObjectId SyncSelf = F.SyncSelf;
-    RegId RetDst = F.RetDst;
-    Thread.Stack.pop_back();
-    if (SyncSelf.isValid())
-      exitMonitorOnce(Thread, SyncSelf);
-    if (Faulted)
-      return StepResult::Fault;
-    if (Thread.Stack.empty()) {
-      Thread.St = SimThread::State::Finished;
-      if (Hooks)
-        Hooks->onThreadExit(Thread.Id);
-      if (Thread.ThreadObj.isValid())
-        wakeJoiners(Thread.ThreadObj);
-      return StepResult::Finished;
-    }
-    if (RetDst.isValid())
-      reg(Thread, RetDst) = Ret;
-    return StepResult::Continue;
-  }
-
-  case Opcode::MonitorEnter: {
-    ObjectId Obj;
-    if (!requireRef(Thread, I.A, Obj, "monitorenter"))
-      return StepResult::Fault;
-    bool Recursive = false;
-    if (!tryAcquireMonitor(Thread, Obj, Recursive)) {
-      Thread.St = SimThread::State::BlockedOnMonitor;
-      Thread.WaitObj = Obj;
-      return StepResult::Blocked;
-    }
-    if (Hooks)
-      Hooks->onMonitorEnter(Thread.Id, Heap::lockOf(Obj), Recursive);
-    Advance();
-    return StepResult::Continue;
-  }
-
-  case Opcode::MonitorExit: {
-    ObjectId Obj;
-    if (!requireRef(Thread, I.A, Obj, "monitorexit"))
-      return StepResult::Fault;
-    exitMonitorOnce(Thread, Obj);
-    if (Faulted)
-      return StepResult::Fault;
-    Advance();
-    return StepResult::Continue;
-  }
-
-  case Opcode::ThreadStart: {
-    ObjectId Obj;
-    if (!requireRef(Thread, I.A, Obj, "thread start"))
-      return StepResult::Fault;
-    HeapObject &ThreadObj = TheHeap.object(Obj);
-    if (!ThreadObj.Class.isValid() ||
-        !P.classDecl(ThreadObj.Class).RunMethod.isValid()) {
-      fault("start on an object whose class has no run() method");
-      return StepResult::Fault;
-    }
-    if (ThreadByObject.count(Obj)) {
-      fault("thread object started twice");
-      return StepResult::Fault;
-    }
-    MethodId Run = P.classDecl(ThreadObj.Class).RunMethod;
-    const Method &RunM = P.method(Run);
-    auto Child = std::make_unique<SimThread>();
-    Child->Id = ThreadId(uint32_t(Threads.size()));
-    Child->ThreadObj = Obj;
-    Frame RunFrame;
-    RunFrame.Method = Run;
-    RunFrame.Regs.resize(RunM.NumRegs);
-    RunFrame.Regs[0] = Value::makeRef(Obj);
-    RunFrame.NeedsMonEnter = RunM.IsSynchronized;
-    Child->Stack.push_back(std::move(RunFrame));
-    ThreadByObject.emplace(Obj, Child->Id);
-    ++Result.ThreadsCreated;
-    if (Hooks)
-      Hooks->onThreadCreate(Child->Id, Thread.Id, Obj);
-    Threads.push_back(std::move(Child));
-    Advance();
-    return StepResult::Continue;
-  }
-
-  case Opcode::ThreadJoin: {
-    ObjectId Obj;
-    if (!requireRef(Thread, I.A, Obj, "thread join"))
-      return StepResult::Fault;
-    auto It = ThreadByObject.find(Obj);
-    if (It == ThreadByObject.end()) {
-      // Joining a never-started thread returns immediately (Java semantics);
-      // no ordering is established.
-      Advance();
-      return StepResult::Continue;
-    }
-    SimThread &Target = *Threads[It->second.index()];
-    if (Target.St != SimThread::State::Finished) {
-      Thread.St = SimThread::State::BlockedOnJoin;
-      Thread.WaitObj = Obj;
-      return StepResult::Blocked;
-    }
-    if (Hooks)
-      Hooks->onThreadJoin(Thread.Id, Target.Id);
-    Advance();
-    return StepResult::Continue;
-  }
-
-  case Opcode::Print: {
-    const Value &V = reg(Thread, I.A);
-    Result.Output.push_back(V.isRef() ? int64_t(V.asRef().index())
-                                      : V.asInt());
-    Advance();
-    return StepResult::Continue;
-  }
-
+    return execJump(Thread, I);
+  case Opcode::Return:
+    return execReturn(Thread, I);
+  case Opcode::MonitorEnter:
+    return execMonitorEnter(Thread, I);
+  case Opcode::MonitorExit:
+    return execMonitorExit(Thread, I);
+  case Opcode::ThreadStart:
+    return execThreadStart(Thread, I);
+  case Opcode::ThreadJoin:
+    return execThreadJoin(Thread, I);
+  case Opcode::Print:
+    return execPrint(Thread, I);
   case Opcode::Yield:
-    Advance();
-    return StepResult::Switched;
-
-  case Opcode::Trace: {
-    LocationKey Loc;
-    switch (I.TraceWhat) {
-    case TraceWhatKind::Field: {
-      ObjectId Obj;
-      if (!requireRef(Thread, I.A, Obj, "trace"))
-        return StepResult::Fault;
-      Loc = LocationKey::forField(Obj, I.Field);
-      break;
-    }
-    case TraceWhatKind::Array: {
-      ObjectId Obj;
-      if (!requireRef(Thread, I.A, Obj, "trace"))
-        return StepResult::Fault;
-      Loc = LocationKey::forArray(Obj);
-      break;
-    }
-    case TraceWhatKind::Static:
-      Loc = LocationKey::forStatic(TheHeap.classStatics(I.Class), I.Field);
-      break;
-    }
-    emitAccess(Thread.Id, Loc, I.Access, I.Site);
-    Advance();
-    return StepResult::Continue;
-  }
+    return execYield(Thread, I);
+  case Opcode::Trace:
+    return execTrace(Thread, I);
   }
   HERD_UNREACHABLE("unknown opcode in interpreter");
 }
+
+//===----------------------------------------------------------------------===//
+// Threaded dispatch.
+//
+// One function body compiles two ways (support/Compiler.h):
+//
+//   HERD_COMPUTED_GOTO=1   handlers are labels; dispatch is
+//                          `goto *Table[op]` — each handler's tail jump is
+//                          a separate indirect branch the predictor can
+//                          correlate with the opcode stream.
+//   HERD_COMPUTED_GOTO=0   handlers are cases of a dense switch inside a
+//                          loop — the portable jump-table fallback.
+//
+// Accounting contract (must mirror run()'s switch-mode inner loop):
+//   * quantum check, then one InstructionsExecuted increment + budget
+//     check per instruction, BEFORE it executes;
+//   * every step that does not Fault increments Retired — including a
+//     step that merely blocked;
+//   * Blocked/Switched/Finished/Fault end the slice.
+// Superinstructions run their constituents back-to-back with this exact
+// per-constituent accounting; the only thing fusion removes is the
+// dispatch between them.
+//===----------------------------------------------------------------------===//
+
+#if HERD_COMPUTED_GOTO
+#define HERD_OP(Name) Lbl_##Name:
+#define HERD_FUSED_OP(Name) Lbl_##Name:
+#else
+#define HERD_OP(Name) case size_t(Opcode::Name):
+#define HERD_FUSED_OP(Name) case size_t(Op##Name):
+#endif
+
+/// One instruction's fuel: charge the global budget before executing.
+#define HERD_ACCOUNT_STEP()                                                    \
+  do {                                                                         \
+    if (HERD_UNLIKELY(++Result.InstructionsExecuted > Opts.MaxInstructions)) { \
+      fault("instruction budget exhausted (runaway workload?)");               \
+      return;                                                                  \
+    }                                                                          \
+  } while (false)
+
+/// Common step epilogue: a Fault retires nothing; any other non-Continue
+/// outcome retires the step and ends the slice.
+#define HERD_FINISH_STEP()                                                     \
+  do {                                                                         \
+    if (HERD_UNLIKELY(R != StepResult::Continue)) {                            \
+      if (R != StepResult::Fault)                                              \
+        ++Retired;                                                             \
+      return;                                                                  \
+    }                                                                          \
+    ++Retired;                                                                 \
+    --Remaining;                                                               \
+  } while (false)
+
+/// Executes one instruction with switch-mode-identical profiling: count
+/// the dispatch under the CONSTITUENT opcode (never a fused one) and time
+/// the sampled executions.  Compiles to a bare call when !Profiled.
+#define HERD_EXEC(Name, Call)                                                  \
+  do {                                                                         \
+    if constexpr (Profiled) {                                                  \
+      if (Prof->onDispatch(Opcode::Name)) {                                    \
+        Prof->beginSample();                                                   \
+        uint64_t ProfBegin_ = Prof->now();                                     \
+        R = (Call);                                                            \
+        Prof->endSample(Opcode::Name, Prof->now() - ProfBegin_);               \
+      } else {                                                                 \
+        R = (Call);                                                            \
+      }                                                                        \
+    } else {                                                                   \
+      R = (Call);                                                              \
+    }                                                                          \
+  } while (false)
+
+template <bool EmitAll, bool Profiled>
+void Interpreter::runSliceThreaded(SimThread &Thread, uint64_t Quantum,
+                                   uint32_t &Retired) {
+  // The profiled variant runs the ORIGINAL blocks: per-opcode dispatch
+  // counts must be exact per constituent, so fusion is compiled out of
+  // the histogram's world entirely (docs/INTERPRETER.md).
+  const ThreadedCode *Shadow = Profiled ? nullptr : Opts.Fused;
+
+  Frame *F = nullptr;
+  const std::vector<Instr> *Code = nullptr;
+  const Instr *I = nullptr;
+  uint64_t Remaining = Quantum;
+  StepResult R = StepResult::Continue;
+
+  // Re-resolve the frame and code pointers after any control transfer
+  // (Thread.Stack may reallocate on Call; Branch/Jump change blocks).
+  auto Refresh = [&] {
+    F = &Thread.Stack.back();
+    Code = Shadow
+               ? &Shadow->MethodBlocks[F->Method.index()][F->Block.index()]
+                      .Instrs
+               : &P.method(F->Method).block(F->Block).Instrs;
+  };
+  Refresh();
+
+#if HERD_COMPUTED_GOTO
+  static const void *const DispatchTable[NumDispatchOpcodes] = {
+      &&Lbl_Const,        &&Lbl_Move,         &&Lbl_BinOp,
+      &&Lbl_New,          &&Lbl_NewArray,     &&Lbl_ArrayLen,
+      &&Lbl_GetField,     &&Lbl_PutField,     &&Lbl_GetStatic,
+      &&Lbl_PutStatic,    &&Lbl_ALoad,        &&Lbl_AStore,
+      &&Lbl_Call,         &&Lbl_Branch,       &&Lbl_Jump,
+      &&Lbl_Return,       &&Lbl_MonitorEnter, &&Lbl_MonitorExit,
+      &&Lbl_ThreadStart,  &&Lbl_ThreadJoin,   &&Lbl_Print,
+      &&Lbl_Yield,        &&Lbl_Trace,        &&Lbl_FusedConstBinOp,
+      &&Lbl_FusedConstPutField, &&Lbl_FusedGetBinPut};
+#endif
+
+  // A slice begins like a step that may first have to enter a
+  // synchronized frame (thread entry into a synchronized run(), or a
+  // retry after blocking on it).
+  goto EntryStep;
+
+EntryStep:
+  // First step of a frame: a pending synchronized-method entry acquires
+  // the monitor within the same step as the first instruction (or blocks,
+  // which retires the step without advancing the pc) — exactly what
+  // step() does when F.NeedsMonEnter is set.
+  if (Remaining == 0)
+    return;
+  HERD_ACCOUNT_STEP();
+  if (HERD_UNLIKELY(F->NeedsMonEnter)) {
+    R = enterSynchronizedFrame(Thread, *F);
+    if (R != StepResult::Continue) {
+      ++Retired; // a blocked entry attempt still consumed this step
+      return;
+    }
+  }
+  goto DispatchCurrent;
+
+NextStep:
+  if (Remaining == 0)
+    return;
+  HERD_ACCOUNT_STEP();
+  // Fallthrough.
+
+DispatchCurrent:
+  I = &(*Code)[F->Ip];
+#if HERD_COMPUTED_GOTO
+  goto *DispatchTable[size_t(I->Op)];
+#else
+  switch (size_t(I->Op)) {
+#endif
+
+  HERD_OP(Const)
+PlainConst : {
+    HERD_EXEC(Const, execConst(Thread, *I));
+    HERD_FINISH_STEP();
+    goto NextStep;
+  }
+
+  HERD_OP(Move) {
+    HERD_EXEC(Move, execMove(Thread, *I));
+    HERD_FINISH_STEP();
+    goto NextStep;
+  }
+
+  HERD_OP(BinOp) {
+    HERD_EXEC(BinOp, execBinOp(Thread, *I));
+    HERD_FINISH_STEP();
+    goto NextStep;
+  }
+
+  HERD_OP(New) {
+    HERD_EXEC(New, execNew(Thread, *I));
+    HERD_FINISH_STEP();
+    goto NextStep;
+  }
+
+  HERD_OP(NewArray) {
+    HERD_EXEC(NewArray, execNewArray(Thread, *I));
+    HERD_FINISH_STEP();
+    goto NextStep;
+  }
+
+  HERD_OP(ArrayLen) {
+    HERD_EXEC(ArrayLen, execArrayLen(Thread, *I));
+    HERD_FINISH_STEP();
+    goto NextStep;
+  }
+
+  HERD_OP(GetField)
+PlainGetField : {
+    HERD_EXEC(GetField, execGetField(Thread, *I, EmitAll));
+    HERD_FINISH_STEP();
+    goto NextStep;
+  }
+
+  HERD_OP(PutField) {
+    HERD_EXEC(PutField, execPutField(Thread, *I, EmitAll));
+    HERD_FINISH_STEP();
+    goto NextStep;
+  }
+
+  HERD_OP(GetStatic) {
+    HERD_EXEC(GetStatic, execGetStatic(Thread, *I, EmitAll));
+    HERD_FINISH_STEP();
+    goto NextStep;
+  }
+
+  HERD_OP(PutStatic) {
+    HERD_EXEC(PutStatic, execPutStatic(Thread, *I, EmitAll));
+    HERD_FINISH_STEP();
+    goto NextStep;
+  }
+
+  HERD_OP(ALoad) {
+    HERD_EXEC(ALoad, execALoad(Thread, *I, EmitAll));
+    HERD_FINISH_STEP();
+    goto NextStep;
+  }
+
+  HERD_OP(AStore) {
+    HERD_EXEC(AStore, execAStore(Thread, *I, EmitAll));
+    HERD_FINISH_STEP();
+    goto NextStep;
+  }
+
+  HERD_OP(Call) {
+    HERD_EXEC(Call, execCall(Thread, *I));
+    HERD_FINISH_STEP();
+    Refresh();
+    goto EntryStep; // the callee may be synchronized
+  }
+
+  HERD_OP(Branch) {
+    HERD_EXEC(Branch, execBranch(Thread, *I));
+    HERD_FINISH_STEP();
+    Refresh();
+    goto NextStep;
+  }
+
+  HERD_OP(Jump) {
+    HERD_EXEC(Jump, execJump(Thread, *I));
+    HERD_FINISH_STEP();
+    Refresh();
+    goto NextStep;
+  }
+
+  HERD_OP(Return) {
+    HERD_EXEC(Return, execReturn(Thread, *I));
+    HERD_FINISH_STEP();
+    Refresh(); // back in the caller's frame
+    goto NextStep;
+  }
+
+  HERD_OP(MonitorEnter) {
+    HERD_EXEC(MonitorEnter, execMonitorEnter(Thread, *I));
+    HERD_FINISH_STEP();
+    goto NextStep;
+  }
+
+  HERD_OP(MonitorExit) {
+    HERD_EXEC(MonitorExit, execMonitorExit(Thread, *I));
+    HERD_FINISH_STEP();
+    goto NextStep;
+  }
+
+  HERD_OP(ThreadStart) {
+    HERD_EXEC(ThreadStart, execThreadStart(Thread, *I));
+    HERD_FINISH_STEP();
+    goto NextStep;
+  }
+
+  HERD_OP(ThreadJoin) {
+    HERD_EXEC(ThreadJoin, execThreadJoin(Thread, *I));
+    HERD_FINISH_STEP();
+    goto NextStep;
+  }
+
+  HERD_OP(Print) {
+    HERD_EXEC(Print, execPrint(Thread, *I));
+    HERD_FINISH_STEP();
+    goto NextStep;
+  }
+
+  HERD_OP(Yield) {
+    HERD_EXEC(Yield, execYield(Thread, *I));
+    HERD_FINISH_STEP();
+    goto NextStep;
+  }
+
+  HERD_OP(Trace) {
+    HERD_EXEC(Trace, execTrace(Thread, *I));
+    HERD_FINISH_STEP();
+    goto NextStep;
+  }
+
+  // --- Superinstructions (shadow code only; never under Profiled) ---
+  // When the remaining quantum cannot cover the whole sequence, only the
+  // head constituent runs via its plain handler: the shadow block keeps
+  // constituents at ip+1.., so the tail executes as ordinary code in the
+  // thread's next slice.
+
+  HERD_FUSED_OP(FusedConstBinOp) {
+    if constexpr (Profiled)
+      HERD_UNREACHABLE("fused opcode under profiling (shadow code leaked)");
+    if (HERD_UNLIKELY(Remaining < 2))
+      goto PlainConst;
+    execConst(Thread, *I); // cannot fault
+    ++Retired;
+    --Remaining;
+    HERD_ACCOUNT_STEP();
+    I = &(*Code)[F->Ip];
+    R = execBinOp(Thread, *I);
+    HERD_FINISH_STEP();
+    ++Result.Fused.ConstBinOp;
+    goto NextStep;
+  }
+
+  HERD_FUSED_OP(FusedConstPutField) {
+    if constexpr (Profiled)
+      HERD_UNREACHABLE("fused opcode under profiling (shadow code leaked)");
+    if (HERD_UNLIKELY(Remaining < 2))
+      goto PlainConst;
+    execConst(Thread, *I); // cannot fault
+    ++Retired;
+    --Remaining;
+    HERD_ACCOUNT_STEP();
+    I = &(*Code)[F->Ip];
+    R = execPutField(Thread, *I, EmitAll);
+    HERD_FINISH_STEP();
+    ++Result.Fused.ConstPutField;
+    goto NextStep;
+  }
+
+  HERD_FUSED_OP(FusedGetBinPut) {
+    if constexpr (Profiled)
+      HERD_UNREACHABLE("fused opcode under profiling (shadow code leaked)");
+    if (HERD_UNLIKELY(Remaining < 3))
+      goto PlainGetField;
+    R = execGetField(Thread, *I, EmitAll);
+    HERD_FINISH_STEP();
+    HERD_ACCOUNT_STEP();
+    I = &(*Code)[F->Ip];
+    R = execBinOp(Thread, *I);
+    HERD_FINISH_STEP();
+    HERD_ACCOUNT_STEP();
+    I = &(*Code)[F->Ip];
+    R = execPutField(Thread, *I, EmitAll);
+    HERD_FINISH_STEP();
+    ++Result.Fused.GetBinPut;
+    goto NextStep;
+  }
+
+#if !HERD_COMPUTED_GOTO
+  default:
+    HERD_UNREACHABLE("invalid opcode in threaded dispatch");
+  }
+#endif
+}
+
+#undef HERD_OP
+#undef HERD_FUSED_OP
+#undef HERD_ACCOUNT_STEP
+#undef HERD_FINISH_STEP
+#undef HERD_EXEC
+
+//===----------------------------------------------------------------------===//
+// The scheduler loop.
+//===----------------------------------------------------------------------===//
 
 InterpResult Interpreter::run() {
   Result = InterpResult();
@@ -579,6 +1058,9 @@ InterpResult Interpreter::run() {
   Faulted = false;
 
   assert(P.MainMethod.isValid() && "program has no main");
+  assert((!Opts.Fused ||
+          Opts.Fused->MethodBlocks.size() == P.numMethods()) &&
+         "shadow code was built from a different program");
   const Method &Main = P.method(P.MainMethod);
 
   auto MainThread = std::make_unique<SimThread>();
@@ -594,6 +1076,18 @@ InterpResult Interpreter::run() {
   if (Hooks)
     Hooks->onThreadCreate(ThreadId(0), ThreadId::invalid(),
                           ObjectId::invalid());
+
+  // Resolve the threaded slice runner once: the no-hook lane (EmitAll =
+  // false) and the profiler are per-run constants, so the hot loop never
+  // re-tests them.
+  using SliceFn = void (Interpreter::*)(SimThread &, uint64_t, uint32_t &);
+  const bool UseThreaded = Opts.Dispatch == DispatchMode::Threaded;
+  SliceFn ThreadedSlice =
+      Opts.TraceEveryAccess
+          ? (Prof ? &Interpreter::runSliceThreaded<true, true>
+                  : &Interpreter::runSliceThreaded<true, false>)
+          : (Prof ? &Interpreter::runSliceThreaded<false, true>
+                  : &Interpreter::runSliceThreaded<false, false>);
 
   size_t Cursor = 0;
   size_t ReplayIndex = 0;
@@ -639,17 +1133,21 @@ InterpResult Interpreter::run() {
     }
 
     uint32_t Retired = 0;
-    for (uint64_t Step = 0; Step != Quantum; ++Step) {
-      if (++Result.InstructionsExecuted > Opts.MaxInstructions) {
-        fault("instruction budget exhausted (runaway workload?)");
-        break;
+    if (UseThreaded) {
+      (this->*ThreadedSlice)(*Current, Quantum, Retired);
+    } else {
+      for (uint64_t Step = 0; Step != Quantum; ++Step) {
+        if (++Result.InstructionsExecuted > Opts.MaxInstructions) {
+          fault("instruction budget exhausted (runaway workload?)");
+          break;
+        }
+        StepResult R = step(*Current);
+        if (R == StepResult::Fault)
+          break;
+        ++Retired;
+        if (R != StepResult::Continue)
+          break; // Blocked / Switched / Finished: end the quantum
       }
-      StepResult R = step(*Current);
-      if (R == StepResult::Fault)
-        break;
-      ++Retired;
-      if (R != StepResult::Continue)
-        break; // Blocked / Switched / Finished: end the quantum
     }
     if (Faulted)
       break;

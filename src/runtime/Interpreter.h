@@ -25,6 +25,7 @@
 #include "ir/Program.h"
 #include "runtime/Heap.h"
 #include "runtime/Hooks.h"
+#include "runtime/ThreadedCode.h"
 #include "runtime/Value.h"
 #include "support/Rng.h"
 
@@ -36,6 +37,21 @@
 namespace herd {
 
 class InterpProfiler;
+
+/// How the inner loop dispatches instructions (`herd --dispatch=...`,
+/// docs/INTERPRETER.md).  Switch is the reference semantics: one switch
+/// per step over the original program.  Threaded runs whole scheduling
+/// quanta handler-to-handler (computed goto where available) over shadow
+/// code with superinstructions and a compiled-out no-hook lane.  Both
+/// modes execute byte-identical semantics — schedules, race reports and
+/// output match exactly (pinned by tests/dispatch_differential_test.cpp).
+enum class DispatchMode : uint8_t {
+  Switch,   ///< reference: per-step switch over original code
+  Threaded, ///< fast path: threaded dispatch + superinstructions
+};
+
+/// Printable name for a dispatch mode ("switch" / "threaded").
+const char *dispatchModeName(DispatchMode Mode);
 
 /// A recorded schedule: the exact sequence of (thread, retired
 /// instructions) slices of one run.  Plays the role of the DejaVu
@@ -80,7 +96,24 @@ struct InterpOptions {
   /// When set, every dispatch is counted and a 1-in-N sample of them is
   /// timed (`herd --profile`).  Profiling never changes execution
   /// semantics; a null profiler costs one predictable branch per step.
+  /// Under threaded dispatch the profiled variant runs the original
+  /// (unfused) code so per-opcode counts stay exact per constituent.
   InterpProfiler *Profiler = nullptr;
+
+  /// Inner-loop dispatch strategy.  The default is the threaded fast
+  /// path; builds configured with -DHERD_DEFAULT_DISPATCH_SWITCH=ON (the
+  /// CI reference leg) default to the switch interpreter instead.
+#ifdef HERD_DEFAULT_DISPATCH_SWITCH
+  DispatchMode Dispatch = DispatchMode::Switch;
+#else
+  DispatchMode Dispatch = DispatchMode::Threaded;
+#endif
+
+  /// Optional superinstruction shadow code (instr/Superinstr.h), built
+  /// from the SAME program after instrumentation.  Used only by threaded
+  /// dispatch without a profiler; null runs threaded dispatch over the
+  /// original blocks.  The caller keeps it alive for the whole run.
+  const ThreadedCode *Fused = nullptr;
 };
 
 /// The outcome of a run.
@@ -92,6 +125,12 @@ struct InterpResult {
   uint64_t AccessEvents = 0;        ///< events delivered to hooks
   uint64_t ContextSwitches = 0;
   uint32_t ThreadsCreated = 0;
+
+  /// How often each superinstruction ran its full sequence (threaded
+  /// dispatch with shadow code only; always zero under switch dispatch).
+  /// Excluded from cross-mode equivalence: it describes how the work was
+  /// dispatched, not what the program did.
+  FusedExecCounts Fused;
 };
 
 /// Interprets one program once.  Construct, call run(), inspect the result;
@@ -124,6 +163,42 @@ private:
   StepResult step(SimThread &Thread);
   StepResult executeInstr(SimThread &Thread, Frame &F, const Instr &I);
   StepResult enterSynchronizedFrame(SimThread &Thread, Frame &F);
+
+  // Per-opcode executors: the single source of semantic truth, shared by
+  // the switch (reference) interpreter and every threaded-dispatch
+  // variant.  Heap-access executors take EmitAll (= TraceEveryAccess) as
+  // a plain parameter; the threaded loop passes a template constant so
+  // the no-hook instantiations compile the hook plumbing out entirely.
+  StepResult execConst(SimThread &Thread, const Instr &I);
+  StepResult execMove(SimThread &Thread, const Instr &I);
+  StepResult execBinOp(SimThread &Thread, const Instr &I);
+  StepResult execNew(SimThread &Thread, const Instr &I);
+  StepResult execNewArray(SimThread &Thread, const Instr &I);
+  StepResult execArrayLen(SimThread &Thread, const Instr &I);
+  StepResult execGetField(SimThread &Thread, const Instr &I, bool EmitAll);
+  StepResult execPutField(SimThread &Thread, const Instr &I, bool EmitAll);
+  StepResult execGetStatic(SimThread &Thread, const Instr &I, bool EmitAll);
+  StepResult execPutStatic(SimThread &Thread, const Instr &I, bool EmitAll);
+  StepResult execALoad(SimThread &Thread, const Instr &I, bool EmitAll);
+  StepResult execAStore(SimThread &Thread, const Instr &I, bool EmitAll);
+  StepResult execCall(SimThread &Thread, const Instr &I);
+  StepResult execBranch(SimThread &Thread, const Instr &I);
+  StepResult execJump(SimThread &Thread, const Instr &I);
+  StepResult execReturn(SimThread &Thread, const Instr &I);
+  StepResult execMonitorEnter(SimThread &Thread, const Instr &I);
+  StepResult execMonitorExit(SimThread &Thread, const Instr &I);
+  StepResult execThreadStart(SimThread &Thread, const Instr &I);
+  StepResult execThreadJoin(SimThread &Thread, const Instr &I);
+  StepResult execPrint(SimThread &Thread, const Instr &I);
+  StepResult execYield(SimThread &Thread, const Instr &I);
+  StepResult execTrace(SimThread &Thread, const Instr &I);
+
+  /// Runs up to \p Quantum steps of \p Thread under threaded dispatch,
+  /// mirroring the switch loop's accounting exactly (one budget check and
+  /// one Retired increment per constituent instruction).
+  template <bool EmitAll, bool Profiled>
+  void runSliceThreaded(SimThread &Thread, uint64_t Quantum,
+                        uint32_t &Retired);
 
   bool tryAcquireMonitor(SimThread &Thread, ObjectId Obj, bool &Recursive);
   void exitMonitorOnce(SimThread &Thread, ObjectId Obj);

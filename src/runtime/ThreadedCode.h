@@ -1,0 +1,113 @@
+//===- runtime/ThreadedCode.h - Superinstruction shadow code ----*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shadow code for the threaded interpreter (docs/INTERPRETER.md).
+///
+/// Superinstruction fusion never rewrites the verified IR.  Instead the
+/// peephole pass (instr/Superinstr.h) produces a per-run *shadow copy* of
+/// every method's blocks in which the head instruction of each fusible
+/// sequence has its opcode replaced by a fused pseudo-opcode; the
+/// constituent instructions stay at ip+1.. with all operand fields intact.
+/// The threaded dispatch loop executes the shadow blocks; the switch
+/// (reference) interpreter, the verifier, the printer and every analysis
+/// keep seeing the original program, so fused opcodes can never leak into
+/// IR, traces or reports.
+///
+/// Keeping constituents in place is also what makes partial execution
+/// trivial: when a quantum ends (or a fault hits) mid-sequence, the thread
+/// resumes at ip+k, which holds an ordinary instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_RUNTIME_THREADEDCODE_H
+#define HERD_RUNTIME_THREADEDCODE_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace herd {
+
+// Fused pseudo-opcodes.  Deliberately NOT members of the Opcode enum:
+// every exhaustive switch over Opcode in the analyses stays exhaustive,
+// and the verifier never has to reject values that cannot be constructed
+// from a frontend.  The values extend the enum's underlying range just
+// past Opcode::Trace; only shadow code ever stores them, and only the
+// threaded dispatch table ever indexes by them.
+static_assert(uint8_t(Opcode::Trace) == 22,
+              "dispatch-table layout depends on the opcode numbering; "
+              "update the fused constants and the threaded dispatch table");
+
+/// Const feeding a BinOp (loop arithmetic: `i + 1`, `x * 2`).
+constexpr Opcode OpFusedConstBinOp = Opcode(uint8_t(Opcode::Trace) + 1);
+/// Const feeding a PutField (field initialization: `o.f = k`).
+constexpr Opcode OpFusedConstPutField = Opcode(uint8_t(Opcode::Trace) + 2);
+/// GetField; BinOp; PutField read-modify-write (`o.f = o.f + n`).
+constexpr Opcode OpFusedGetBinPut = Opcode(uint8_t(Opcode::Trace) + 3);
+
+/// Size of the threaded dispatch table: all real opcodes plus the three
+/// fused pseudo-opcodes.
+constexpr size_t NumDispatchOpcodes = size_t(Opcode::Trace) + 4;
+
+/// Returns true for a fused pseudo-opcode (shadow code only).
+constexpr bool isFusedOpcode(Opcode Op) {
+  return uint8_t(Op) > uint8_t(Opcode::Trace);
+}
+
+/// How many constituent instructions a fused opcode covers.
+constexpr uint32_t fusedLength(Opcode Op) {
+  return Op == OpFusedGetBinPut ? 3 : 2;
+}
+
+/// Printable mnemonic for a fused pseudo-opcode (stats output).
+inline const char *fusedOpcodeName(Opcode Op) {
+  if (Op == OpFusedConstBinOp)
+    return "fused.const+binop";
+  if (Op == OpFusedConstPutField)
+    return "fused.const+putfield";
+  if (Op == OpFusedGetBinPut)
+    return "fused.get+binop+put";
+  return "?";
+}
+
+/// Plan-time fusion statistics: how many sequence heads the peephole pass
+/// rewrote, per superinstruction kind (`herd --stats=json` "dispatch").
+struct FusionStats {
+  uint64_t ConstBinOpSites = 0;
+  uint64_t ConstPutFieldSites = 0;
+  uint64_t GetBinPutSites = 0;
+
+  uint64_t sites() const {
+    return ConstBinOpSites + ConstPutFieldSites + GetBinPutSites;
+  }
+};
+
+/// Run-time fusion counters: how often each superinstruction executed its
+/// full sequence without an intervening dispatch.  Zero under the switch
+/// interpreter and under `--profile` (the profiled threaded variant runs
+/// unfused so per-opcode dispatch counts stay exact).
+struct FusedExecCounts {
+  uint64_t ConstBinOp = 0;
+  uint64_t ConstPutField = 0;
+  uint64_t GetBinPut = 0;
+
+  uint64_t total() const { return ConstBinOp + ConstPutField + GetBinPut; }
+};
+
+/// The shadow program: one vector of blocks per method, mirroring the
+/// Program it was built from instruction-for-instruction except for fused
+/// head opcodes.  Build with buildThreadedCode (instr/Superinstr.h) AFTER
+/// instrumentation, and keep it alive for the interpreter's whole run.
+struct ThreadedCode {
+  std::vector<std::vector<BasicBlock>> MethodBlocks; ///< [method][block]
+  FusionStats Stats;
+};
+
+} // namespace herd
+
+#endif // HERD_RUNTIME_THREADEDCODE_H

@@ -98,8 +98,36 @@ TEST(CliTest, UsageTextMentionsEveryFlag) {
   for (const char *Flag :
        {"--config=", "--seed=", "--shards=", "--cache-size=", "--plan=",
         "--sweep=", "--record=", "--replay=", "--detector=", "--deadlocks",
-        "--stats", "--trace-json=", "--profile", "--dump-ir", "--workload="})
+        "--stats", "--trace-json=", "--profile", "--dispatch=", "--dump-ir",
+        "--workload="})
     EXPECT_NE(Usage.find(Flag), std::string::npos) << Flag;
+}
+
+TEST(CliTest, DispatchModes) {
+  // The build's default stands when the flag is absent...
+#ifdef HERD_DEFAULT_DISPATCH_SWITCH
+  EXPECT_EQ(parse({"p.mj"}).Opts.Config.Dispatch, DispatchMode::Switch);
+#else
+  EXPECT_EQ(parse({"p.mj"}).Opts.Config.Dispatch, DispatchMode::Threaded);
+#endif
+  // ...and both explicit spellings override it.
+  EXPECT_EQ(parse({"p.mj", "--dispatch=switch"}).Opts.Config.Dispatch,
+            DispatchMode::Switch);
+  EXPECT_EQ(parse({"p.mj", "--dispatch=threaded"}).Opts.Config.Dispatch,
+            DispatchMode::Threaded);
+  expectError(parse({"p.mj", "--dispatch=goto"}),
+              "herd: --dispatch expects switch or threaded, got 'goto'");
+  expectError(parse({"p.mj", "--dispatch="}),
+              "herd: --dispatch expects switch or threaded, got ''");
+}
+
+TEST(CliTest, DispatchSurvivesPreset) {
+  // Like --shards/--plan, an explicit --dispatch must survive a later
+  // --config preset (which rebuilds the whole ToolConfig).
+  HerdParse P = parse({"p.mj", "--dispatch=switch", "--config=base"});
+  ASSERT_EQ(P.St, HerdParse::Status::Run) << P.Error;
+  EXPECT_EQ(P.Opts.Config.Dispatch, DispatchMode::Switch);
+  EXPECT_FALSE(P.Opts.Config.Instrument); // the preset still applied
 }
 
 //===----------------------------------------------------------------------===

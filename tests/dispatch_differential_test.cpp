@@ -1,0 +1,340 @@
+//===- tests/dispatch_differential_test.cpp - Switch vs threaded ----------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The equivalence lockdown for the interpreter fast path
+/// (docs/INTERPRETER.md): switch dispatch is the reference semantics, and
+/// threaded dispatch — computed goto, superinstruction shadow code, the
+/// compiled-out no-hook lane — must be observationally indistinguishable
+/// from it.  Every program in the shared corpus (TestPrograms.h plus the
+/// fuzz generator) runs under both modes and must produce byte-identical
+/// race reports, output, instruction counts, context switches and runtime
+/// event streams, with hooks on and off, serial and sharded, across
+/// schedule seeds.  Record/replay must also interoperate: a schedule
+/// recorded under one mode replays exactly under the other.
+///
+//===----------------------------------------------------------------------===//
+
+#include "FuzzPrograms.h"
+#include "TestPrograms.h"
+#include "herd/Pipeline.h"
+#include "instr/Instrumenter.h"
+#include "instr/Superinstr.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace herd;
+using fuzzprogs::generateProgram;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// Corpus
+//===----------------------------------------------------------------------===
+
+/// Every named program the repo's unit tests exercise, plus a slice of the
+/// fuzz generator's space (the full range runs in the fuzz-level test
+/// below).
+std::vector<std::pair<std::string, Program>> namedCorpus() {
+  std::vector<std::pair<std::string, Program>> Out;
+  Out.emplace_back("counter-unlocked",
+                   testprogs::buildCounter(/*Locked=*/false, 25).P);
+  Out.emplace_back("counter-locked",
+                   testprogs::buildCounter(/*Locked=*/true, 25).P);
+  Out.emplace_back("figure2", testprogs::buildFigure2(/*SamePQ=*/false));
+  Out.emplace_back("figure2-samepq",
+                   testprogs::buildFigure2(/*SamePQ=*/true));
+  Out.emplace_back("fig3-loop", testprogs::buildFig3Loop(40));
+  return Out;
+}
+
+//===----------------------------------------------------------------------===
+// Pipeline-level equivalence
+//===----------------------------------------------------------------------===
+
+/// Asserts that two pipeline results describe the same execution.  The
+/// fused-execution counters are deliberately NOT compared: they describe
+/// how the work was dispatched, not what the program did.
+void expectSameRun(const PipelineResult &Ref, const PipelineResult &Got,
+                   const std::string &What) {
+  SCOPED_TRACE(What);
+  ASSERT_EQ(Ref.Run.Ok, Got.Run.Ok) << Got.Run.Error;
+  EXPECT_EQ(Ref.Run.Error, Got.Run.Error);
+  EXPECT_EQ(Ref.FormattedRaces, Got.FormattedRaces);
+  EXPECT_EQ(Ref.FormattedDeadlocks, Got.FormattedDeadlocks);
+  EXPECT_EQ(Ref.Run.Output, Got.Run.Output);
+  EXPECT_EQ(Ref.Run.InstructionsExecuted, Got.Run.InstructionsExecuted);
+  EXPECT_EQ(Ref.Run.AccessEvents, Got.Run.AccessEvents);
+  EXPECT_EQ(Ref.Run.ContextSwitches, Got.Run.ContextSwitches);
+  EXPECT_EQ(Ref.Run.ThreadsCreated, Got.Run.ThreadsCreated);
+  EXPECT_EQ(Ref.Stats.EventsSeen, Got.Stats.EventsSeen);
+  EXPECT_EQ(Ref.Stats.CacheHits, Got.Stats.CacheHits);
+  EXPECT_EQ(Ref.Stats.Detector.EventsIn, Got.Stats.Detector.EventsIn);
+  EXPECT_EQ(Ref.Stats.Detector.RacesReported,
+            Got.Stats.Detector.RacesReported);
+}
+
+/// Runs \p P under switch and threaded dispatch with otherwise-identical
+/// configs and asserts equivalence; also pins that fusion itself is
+/// transparent (threaded with Superinstructions off matches too).
+void runBothModes(const Program &P, ToolConfig Config,
+                  const std::string &What) {
+  Config.Dispatch = DispatchMode::Switch;
+  PipelineResult Ref = runPipeline(P, Config);
+
+  Config.Dispatch = DispatchMode::Threaded;
+  PipelineResult Thr = runPipeline(P, Config);
+  expectSameRun(Ref, Thr, What + " [threaded]");
+  EXPECT_EQ(Thr.Dispatch, DispatchMode::Threaded);
+
+  Config.Superinstructions = false;
+  PipelineResult NoFuse = runPipeline(P, Config);
+  expectSameRun(Ref, NoFuse, What + " [threaded, no fusion]");
+  EXPECT_EQ(NoFuse.Fusion.sites(), 0u);
+  EXPECT_EQ(NoFuse.Run.Fused.total(), 0u);
+}
+
+TEST(DispatchDifferentialTest, NamedProgramsAllConfigs) {
+  for (auto &[Name, P] : namedCorpus()) {
+    for (uint64_t Seed : {1u, 13u}) {
+      for (uint32_t Shards : {0u, 3u}) {
+        // Full pipeline: Trace-instrumented hooks (the production path).
+        ToolConfig Full = ToolConfig::full();
+        Full.Seed = Seed;
+        Full.Shards = Shards;
+        runBothModes(P, Full,
+                     Name + " full seed=" + std::to_string(Seed) +
+                         " shards=" + std::to_string(Shards));
+      }
+      // Base: uninstrumented, so the no-hook lane carries every step.
+      ToolConfig Base = ToolConfig::base();
+      Base.Seed = Seed;
+      runBothModes(P, Base, Name + " base seed=" + std::to_string(Seed));
+    }
+  }
+}
+
+class DispatchFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DispatchFuzzTest, GeneratedProgramsAgree) {
+  Program P = generateProgram(GetParam());
+  for (uint64_t Seed : {1u, 13u}) {
+    ToolConfig Full = ToolConfig::full();
+    Full.Seed = Seed;
+    runBothModes(P, Full, "fuzz full seed=" + std::to_string(Seed));
+  }
+  ToolConfig Sharded = ToolConfig::full();
+  Sharded.Seed = 7;
+  Sharded.Shards = 3;
+  runBothModes(P, Sharded, "fuzz sharded");
+  ToolConfig Base = ToolConfig::base();
+  Base.Seed = 7;
+  runBothModes(P, Base, "fuzz base");
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, DispatchFuzzTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+//===----------------------------------------------------------------------===
+// Raw-interpreter equivalence: the exact hook event stream
+//===----------------------------------------------------------------------===
+
+/// Serializes every RuntimeHooks callback into one line, so two runs can
+/// be compared event-for-event (order included).
+class EventLog : public RuntimeHooks {
+public:
+  void onThreadCreate(ThreadId Child, ThreadId Parent,
+                      ObjectId Obj) override {
+    add("create", Child.index(), Parent.isValid() ? Parent.index() : ~0u,
+        Obj.isValid() ? Obj.index() : ~0u);
+  }
+  void onThreadExit(ThreadId Dying) override {
+    add("exit", Dying.index(), 0, 0);
+  }
+  void onThreadJoin(ThreadId Joiner, ThreadId Joined) override {
+    add("join", Joiner.index(), Joined.index(), 0);
+  }
+  void onMonitorEnter(ThreadId T, LockId L, bool Recursive) override {
+    add("enter", T.index(), L.index(), Recursive);
+  }
+  void onMonitorExit(ThreadId T, LockId L, bool StillHeld) override {
+    add("leave", T.index(), L.index(), StillHeld);
+  }
+  void onAccess(ThreadId T, LocationKey Loc, AccessKind Kind,
+                SiteId Site) override {
+    std::ostringstream S;
+    S << "access t" << T.index() << " loc" << Loc.raw()
+      << (Kind == AccessKind::Write ? " W" : " R") << " s"
+      << (Site.isValid() ? int64_t(Site.index()) : -1);
+    Lines.push_back(S.str());
+  }
+  void onRunEnd() override { Lines.push_back("end"); }
+
+  const std::vector<std::string> &lines() const { return Lines; }
+
+private:
+  void add(const char *Kind, uint64_t A, uint64_t B, uint64_t C) {
+    std::ostringstream S;
+    S << Kind << ' ' << A << ' ' << B << ' ' << C;
+    Lines.push_back(S.str());
+  }
+  std::vector<std::string> Lines;
+};
+
+struct RawRun {
+  InterpResult R;
+  std::vector<std::string> Events;
+  std::string HeapDigest;
+  ScheduleTrace Recorded;
+};
+
+/// Renders the final heap — every object's identity and slot values — as
+/// text, so cross-mode runs can assert end-state equality.
+std::string digestHeap(const Heap &H) {
+  std::ostringstream S;
+  for (uint32_t Id = 0; Id != H.size(); ++Id) {
+    const HeapObject &O = H.object(ObjectId(Id));
+    S << 'o' << Id << (O.IsArray ? " arr" : "") << ':';
+    for (const Value &V : O.Slots) {
+      if (V.isRef())
+        S << " r" << (V.isNull() ? -1 : int64_t(V.asRef().index()));
+      else
+        S << ' ' << V.asInt();
+    }
+    S << '\n';
+  }
+  return S.str();
+}
+
+RawRun runRaw(const Program &P, DispatchMode Mode, uint64_t Seed,
+              bool TraceEveryAccess, const ThreadedCode *Fused,
+              const ScheduleTrace *Replay = nullptr) {
+  RawRun Out;
+  EventLog Log;
+  InterpOptions Opts;
+  Opts.Seed = Seed;
+  Opts.TraceEveryAccess = TraceEveryAccess;
+  Opts.Dispatch = Mode;
+  Opts.Fused = Mode == DispatchMode::Threaded ? Fused : nullptr;
+  Opts.Record = Replay ? nullptr : &Out.Recorded;
+  Opts.Replay = Replay;
+  Interpreter Interp(P, &Log, Opts);
+  Out.R = Interp.run();
+  Out.Events = Log.lines();
+  Out.HeapDigest = digestHeap(Interp.heap());
+  return Out;
+}
+
+TEST(DispatchDifferentialTest, EventStreamsAndHeapsIdentical) {
+  for (auto &[Name, Plain] : namedCorpus()) {
+    // Instrumented variant: Trace instructions drive the hooks, and the
+    // superinstruction pass must respect the instrumented-access
+    // boundaries the instrumenter created.
+    Program Instrumented = Plain;
+    InstrumenterOptions IOpts;
+    IOpts.UseStaticRaceSet = false;
+    IOpts.StaticWeakerThan = false;
+    IOpts.LoopPeeling = false;
+    instrumentProgram(Instrumented, IOpts, nullptr);
+    ASSERT_TRUE(verifyProgram(Instrumented).empty());
+
+    struct Variant {
+      const char *Label;
+      const Program *P;
+      bool EmitAll;
+    } Variants[] = {
+        {"no hooks", &Plain, false},
+        {"trace-every-access", &Plain, true},
+        {"instrumented", &Instrumented, false},
+    };
+    for (const Variant &V : Variants) {
+      ThreadedCode TC = buildThreadedCode(*V.P);
+      for (uint64_t Seed : {1u, 13u, 21u}) {
+        SCOPED_TRACE(Name + " " + V.Label + " seed=" +
+                     std::to_string(Seed));
+        RawRun Ref = runRaw(*V.P, DispatchMode::Switch, Seed, V.EmitAll,
+                            nullptr);
+        RawRun Thr = runRaw(*V.P, DispatchMode::Threaded, Seed, V.EmitAll,
+                            &TC);
+        ASSERT_EQ(Ref.R.Ok, Thr.R.Ok) << Thr.R.Error;
+        EXPECT_EQ(Ref.Events, Thr.Events);
+        EXPECT_EQ(Ref.HeapDigest, Thr.HeapDigest);
+        EXPECT_EQ(Ref.R.Output, Thr.R.Output);
+        EXPECT_EQ(Ref.R.InstructionsExecuted, Thr.R.InstructionsExecuted);
+        EXPECT_EQ(Ref.R.ContextSwitches, Thr.R.ContextSwitches);
+
+        // The scheduler's decisions — slice by slice — must be identical:
+        // this is what keeps seeds, recordings and reports portable
+        // across dispatch modes.
+        ASSERT_EQ(Ref.Recorded.Slices.size(), Thr.Recorded.Slices.size());
+        for (size_t I = 0; I != Ref.Recorded.Slices.size(); ++I) {
+          EXPECT_EQ(Ref.Recorded.Slices[I].ThreadIndex,
+                    Thr.Recorded.Slices[I].ThreadIndex)
+              << "slice " << I;
+          EXPECT_EQ(Ref.Recorded.Slices[I].Steps,
+                    Thr.Recorded.Slices[I].Steps)
+              << "slice " << I;
+        }
+      }
+    }
+  }
+}
+
+TEST(DispatchDifferentialTest, RecordReplayInteroperates) {
+  // A schedule recorded under one dispatch mode must replay exactly under
+  // the other — in both directions.
+  for (auto &[Name, P] : namedCorpus()) {
+    ThreadedCode TC = buildThreadedCode(P);
+    RawRun RecSwitch =
+        runRaw(P, DispatchMode::Switch, 21, /*TraceEveryAccess=*/true,
+               nullptr);
+    RawRun RecThreaded =
+        runRaw(P, DispatchMode::Threaded, 21, /*TraceEveryAccess=*/true,
+               &TC);
+    ASSERT_TRUE(RecSwitch.R.Ok) << RecSwitch.R.Error;
+
+    RawRun ReplayThr =
+        runRaw(P, DispatchMode::Threaded, 99, /*TraceEveryAccess=*/true,
+               &TC, &RecSwitch.Recorded);
+    RawRun ReplaySw =
+        runRaw(P, DispatchMode::Switch, 99, /*TraceEveryAccess=*/true,
+               nullptr, &RecThreaded.Recorded);
+    SCOPED_TRACE(Name);
+    ASSERT_TRUE(ReplayThr.R.Ok) << ReplayThr.R.Error;
+    ASSERT_TRUE(ReplaySw.R.Ok) << ReplaySw.R.Error;
+    EXPECT_EQ(RecSwitch.Events, ReplayThr.Events);
+    EXPECT_EQ(RecSwitch.HeapDigest, ReplayThr.HeapDigest);
+    EXPECT_EQ(RecSwitch.Events, ReplaySw.Events);
+    EXPECT_EQ(RecSwitch.HeapDigest, ReplaySw.HeapDigest);
+    EXPECT_EQ(RecSwitch.R.Output, ReplayThr.R.Output);
+    EXPECT_EQ(RecSwitch.R.Output, ReplaySw.R.Output);
+  }
+}
+
+TEST(DispatchDifferentialTest, FusionActuallyFires) {
+  // Guard against the differential suite silently passing because nothing
+  // fused: the counter program's increment is the canonical
+  // GetField;Const;BinOp;PutField sequence.
+  Program P = testprogs::buildCounter(/*Locked=*/false, 25).P;
+  ThreadedCode TC = buildThreadedCode(P);
+  EXPECT_GT(TC.Stats.sites(), 0u);
+  RawRun Thr = runRaw(P, DispatchMode::Threaded, 1,
+                      /*TraceEveryAccess=*/false, &TC);
+  ASSERT_TRUE(Thr.R.Ok) << Thr.R.Error;
+  EXPECT_GT(Thr.R.Fused.total(), 0u);
+
+  // And under switch dispatch the counters stay zero.
+  RawRun Ref = runRaw(P, DispatchMode::Switch, 1,
+                      /*TraceEveryAccess=*/false, &TC);
+  EXPECT_EQ(Ref.R.Fused.total(), 0u);
+}
+
+} // namespace

@@ -27,6 +27,7 @@
 #include "detect/RaceRuntime.h"
 #include "herd/Pipeline.h"
 #include "instr/Instrumenter.h"
+#include "instr/Superinstr.h"
 #include "ir/IRBuilder.h"
 #include "ir/Verifier.h"
 #include "support/Rng.h"
@@ -159,6 +160,56 @@ TEST_P(FuzzTest, DeterministicPerSeed) {
   EXPECT_EQ(A.Run.InstructionsExecuted, B.Run.InstructionsExecuted);
   EXPECT_EQ(A.Reports.reportedLocations(), B.Reports.reportedLocations());
   EXPECT_EQ(A.Run.Output, B.Run.Output);
+}
+
+TEST_P(FuzzTest, DispatchModesAgree) {
+  // Switch vs threaded dispatch (docs/INTERPRETER.md): same reports, same
+  // output, same final heap — dispatch is an implementation detail, never
+  // an observable one.  The full cross-product lives in
+  // dispatch_differential_test.cpp; this is the fuzz-level cross-check.
+  Program P = generateProgram(GetParam());
+  ToolConfig Switch = ToolConfig::full();
+  Switch.Seed = 7;
+  Switch.Dispatch = DispatchMode::Switch;
+  ToolConfig Threaded = Switch;
+  Threaded.Dispatch = DispatchMode::Threaded;
+  PipelineResult A = runPipeline(P, Switch);
+  PipelineResult B = runPipeline(P, Threaded);
+  ASSERT_TRUE(A.Run.Ok) << A.Run.Error;
+  ASSERT_TRUE(B.Run.Ok) << B.Run.Error;
+  EXPECT_EQ(A.FormattedRaces, B.FormattedRaces);
+  EXPECT_EQ(A.Run.Output, B.Run.Output);
+  EXPECT_EQ(A.Run.InstructionsExecuted, B.Run.InstructionsExecuted);
+  EXPECT_EQ(A.Run.AccessEvents, B.Run.AccessEvents);
+  EXPECT_EQ(A.Run.ContextSwitches, B.Run.ContextSwitches);
+
+  // Final heap state, compared through the raw interpreter (the pipeline
+  // does not expose its heap): every object's every slot must match.
+  auto FinalHeap = [&](DispatchMode Mode) {
+    Program Copy = P;
+    InterpOptions Opts;
+    Opts.Seed = 7;
+    Opts.Dispatch = Mode;
+    SuperinstrOptions FuseOpts;
+    ThreadedCode TC = buildThreadedCode(Copy, FuseOpts);
+    Opts.Fused = Mode == DispatchMode::Threaded ? &TC : nullptr;
+    Interpreter Interp(Copy, nullptr, Opts);
+    InterpResult R = Interp.run();
+    EXPECT_TRUE(R.Ok) << R.Error;
+    std::vector<std::vector<Value>> Slots;
+    for (uint32_t Id = 0; Id != Interp.heap().size(); ++Id)
+      Slots.push_back(Interp.heap().object(ObjectId(Id)).Slots);
+    return Slots;
+  };
+  auto SwitchHeap = FinalHeap(DispatchMode::Switch);
+  auto ThreadedHeap = FinalHeap(DispatchMode::Threaded);
+  ASSERT_EQ(SwitchHeap.size(), ThreadedHeap.size());
+  for (size_t Obj = 0; Obj != SwitchHeap.size(); ++Obj) {
+    ASSERT_EQ(SwitchHeap[Obj].size(), ThreadedHeap[Obj].size()) << Obj;
+    for (size_t Slot = 0; Slot != SwitchHeap[Obj].size(); ++Slot)
+      EXPECT_TRUE(SwitchHeap[Obj][Slot] == ThreadedHeap[Obj][Slot])
+          << "object " << Obj << " slot " << Slot;
+  }
 }
 
 TEST_P(FuzzTest, InstrumentationPreservesWellFormedness) {

@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "instr/Instrumenter.h"
+#include "instr/Superinstr.h"
 #include "ir/IRBuilder.h"
 #include "ir/Verifier.h"
 #include "runtime/Interpreter.h"
@@ -373,6 +374,232 @@ TEST(InstrumenterTest, InstrumentationPreservesCounterSemantics) {
     // with correct locking the result must still be exact.
     EXPECT_EQ(runForOutput(Instrumented.P, Seed), Expected);
   }
+}
+
+//===----------------------------------------------------------------------===
+// Superinstruction fusion (instr/Superinstr.h, docs/INTERPRETER.md)
+//===----------------------------------------------------------------------===
+
+/// Counts fused pseudo-opcodes of \p Kind across the shadow code.
+size_t countFused(const ThreadedCode &TC, Opcode Kind) {
+  size_t Count = 0;
+  for (const auto &Blocks : TC.MethodBlocks)
+    for (const BasicBlock &Block : Blocks)
+      for (const Instr &I : Block.Instrs)
+        if (I.Op == Kind)
+          ++Count;
+  return Count;
+}
+
+TEST(SuperinstrTest, CounterIncrementFusesReadModifyWrite) {
+  // `o.count = o.count + 1` lowers to GetField; Const; BinOp; PutField —
+  // the Const;BinOp pair fuses (greedy, left to right), and the pass
+  // records each site exactly once.
+  Program P = buildCounter(/*Locked=*/false, 10).P;
+  ThreadedCode TC = buildThreadedCode(P);
+  EXPECT_GT(TC.Stats.sites(), 0u);
+  EXPECT_EQ(countFused(TC, OpFusedConstBinOp), TC.Stats.ConstBinOpSites);
+  EXPECT_EQ(countFused(TC, OpFusedConstPutField),
+            TC.Stats.ConstPutFieldSites);
+  EXPECT_EQ(countFused(TC, OpFusedGetBinPut), TC.Stats.GetBinPutSites);
+}
+
+TEST(SuperinstrTest, ShadowNeverMutatesTheProgram) {
+  // The verified IR is untouchable: the shadow is a copy, the original
+  // still verifies, and the shadow's constituents keep their opcodes and
+  // operands at ip+1.. (what makes mid-sequence resumption work).
+  Program P = buildCounter(/*Locked=*/true, 10).P;
+  ThreadedCode TC = buildThreadedCode(P);
+  ASSERT_TRUE(verifyProgram(P).empty());
+  for (size_t M = 0; M != P.numMethods(); ++M) {
+    const auto &Orig = P.method(MethodId(uint32_t(M))).Blocks;
+    const auto &Shadow = TC.MethodBlocks[M];
+    ASSERT_EQ(Orig.size(), Shadow.size());
+    for (size_t BI = 0; BI != Orig.size(); ++BI) {
+      ASSERT_EQ(Orig[BI].Instrs.size(), Shadow[BI].Instrs.size());
+      for (size_t II = 0; II != Orig[BI].Instrs.size(); ++II) {
+        const Instr &O = Orig[BI].Instrs[II];
+        const Instr &S = Shadow[BI].Instrs[II];
+        EXPECT_FALSE(isFusedOpcode(O.Op)) << "fused opcode leaked into IR";
+        if (isFusedOpcode(S.Op)) {
+          // A rewritten head keeps everything but the opcode, and every
+          // constituent after it is verbatim.
+          EXPECT_EQ(S.Dst, O.Dst);
+          EXPECT_EQ(S.A, O.A);
+          for (uint32_t K = 1; K != fusedLength(S.Op); ++K)
+            EXPECT_EQ(Shadow[BI].Instrs[II + K].Op,
+                      Orig[BI].Instrs[II + K].Op);
+        } else {
+          EXPECT_EQ(S.Op, O.Op);
+        }
+      }
+    }
+  }
+}
+
+TEST(SuperinstrTest, DivAndModNeverFuse) {
+  // Division faults (the PEI); the exception boundary must stay a
+  // dispatch boundary, so Const feeding Div/Mod does not fuse.
+  for (BinOpKind Kind : {BinOpKind::Div, BinOpKind::Mod}) {
+    Program P;
+    IRBuilder B(P);
+    B.startMain();
+    RegId X = B.emitConst(100);
+    RegId D = B.emitConst(3);
+    B.emitPrint(B.emitBinOp(Kind, X, D)); // Const; BinOp(div/mod)
+    B.emitReturn();
+    ThreadedCode TC = buildThreadedCode(P);
+    EXPECT_EQ(TC.Stats.ConstBinOpSites, 0u);
+  }
+  // The same shape with Add does fuse — the guard is the PEI, not the
+  // pattern.
+  Program P;
+  IRBuilder B(P);
+  B.startMain();
+  RegId X = B.emitConst(100);
+  RegId D = B.emitConst(3);
+  B.emitPrint(B.emitBinOp(BinOpKind::Add, X, D));
+  B.emitReturn();
+  EXPECT_EQ(buildThreadedCode(P).Stats.ConstBinOpSites, 1u);
+}
+
+TEST(SuperinstrTest, UnfedAdjacencyDoesNotFuse) {
+  // Const directly before a BinOp that does not consume its result: the
+  // pair is adjacent but not dataflow-fed, so it must not fuse.
+  Program P;
+  IRBuilder B(P);
+  B.startMain();
+  RegId A = B.emitConst(1);
+  RegId C = B.emitConst(2);
+  (void)C; // adjacent to the BinOp below, but feeds nothing
+  B.emitPrint(B.emitBinOp(BinOpKind::Add, A, A));
+  B.emitReturn();
+  EXPECT_EQ(buildThreadedCode(P).Stats.ConstBinOpSites, 0u);
+}
+
+TEST(SuperinstrTest, SequencesNeverCrossBlockBoundaries) {
+  // Const at the end of one block, the BinOp it feeds at the start of the
+  // jump target: a branch target must begin at an ordinary instruction,
+  // so nothing may fuse across the edge.
+  Program P;
+  IRBuilder B(P);
+  B.startMain();
+  RegId X = B.emitConst(7);
+  BlockId Next = B.newBlock();
+  B.emitJump(Next);
+  B.setBlock(Next);
+  B.emitPrint(B.emitBinOp(BinOpKind::Add, X, X));
+  B.emitReturn();
+  ThreadedCode TC = buildThreadedCode(P);
+  EXPECT_EQ(TC.Stats.sites(), 0u);
+}
+
+TEST(SuperinstrTest, InstrumentedAccessBlocksFusion) {
+  // Instrumentation inserts the Trace AFTER the access it observes; a
+  // sequence whose trailing instruction is such an access must not fuse,
+  // or the access and its Trace would land in different dispatch steps.
+  auto Build = [] {
+    Program P;
+    IRBuilder B(P);
+    ClassId C = B.makeClass("Box");
+    FieldId F = B.makeField(C, "f");
+    ClassId W = B.makeClass("W");
+    FieldId T = B.makeField(W, "t");
+    // A second thread shares Box.f so the access is in the race set.
+    B.startMethod(W, "run", 1);
+    RegId Obj = B.emitGetField(B.thisReg(), T);
+    B.emitPutField(Obj, F, B.emitConst(9)); // Const; PutField
+    B.emitReturn();
+    B.startMain();
+    RegId Box = B.emitNew(C);
+    RegId Worker = B.emitNew(W);
+    B.emitPutField(Worker, T, Box);
+    B.emitThreadStart(Worker);
+    B.emitPutField(Box, F, B.emitConst(5)); // Const; PutField
+    B.emitReturn();
+    return P;
+  };
+
+  Program Plain = Build();
+  EXPECT_GE(buildThreadedCode(Plain).Stats.ConstPutFieldSites, 2u);
+
+  Program Instrumented = Build();
+  instrumentAll(Instrumented, /*WeakerThan=*/false, /*Peeling=*/false);
+  ThreadedCode TC = buildThreadedCode(Instrumented);
+  // Every Const;PutField tail is now Trace-instrumented: zero fusions of
+  // that kind survive...
+  EXPECT_EQ(TC.Stats.ConstPutFieldSites, 0u);
+  EXPECT_EQ(TC.Stats.GetBinPutSites, 0u);
+  // ...and no fused sequence anywhere covers an instruction whose
+  // successor is the Trace observing it.
+  for (const auto &Blocks : TC.MethodBlocks)
+    for (const BasicBlock &Block : Blocks)
+      for (size_t I = 0; I != Block.Instrs.size(); ++I)
+        if (isFusedOpcode(Block.Instrs[I].Op)) {
+          size_t Last = I + fusedLength(Block.Instrs[I].Op) - 1;
+          const Instr &Tail = Block.Instrs[Last];
+          bool TailIsAccess = Tail.Op == Opcode::PutField ||
+                              Tail.Op == Opcode::GetField;
+          if (TailIsAccess && Last + 1 < Block.Instrs.size()) {
+            EXPECT_NE(Block.Instrs[Last + 1].Op, Opcode::Trace)
+                << "fused over an instrumented access";
+          }
+        }
+}
+
+TEST(SuperinstrTest, FusionDisabledYieldsVerbatimShadow) {
+  Program P = buildCounter(/*Locked=*/false, 10).P;
+  SuperinstrOptions Opts;
+  Opts.Fuse = false;
+  ThreadedCode TC = buildThreadedCode(P, Opts);
+  EXPECT_EQ(TC.Stats.sites(), 0u);
+  for (size_t M = 0; M != P.numMethods(); ++M) {
+    const auto &Orig = P.method(MethodId(uint32_t(M))).Blocks;
+    ASSERT_EQ(Orig.size(), TC.MethodBlocks[M].size());
+    for (size_t BI = 0; BI != Orig.size(); ++BI) {
+      ASSERT_EQ(Orig[BI].Instrs.size(), TC.MethodBlocks[M][BI].Instrs.size());
+      for (size_t II = 0; II != Orig[BI].Instrs.size(); ++II)
+        EXPECT_EQ(TC.MethodBlocks[M][BI].Instrs[II].Op,
+                  Orig[BI].Instrs[II].Op);
+    }
+  }
+}
+
+TEST(SuperinstrTest, GreedyMatchingNeverOverlaps) {
+  // GetField; BinOp; PutField; Const; BinOp: the triple claims the first
+  // three, and the following pair fuses independently — constituents are
+  // never shared between sequences.
+  Program P;
+  IRBuilder B(P);
+  ClassId C = B.makeClass("Box");
+  FieldId F = B.makeField(C, "f");
+  B.startMain();
+  RegId Obj = B.emitNew(C);
+  RegId Cur = B.emitGetField(Obj, F);
+  RegId One = B.emitConst(1);
+  B.emitPutField(Obj, F, B.emitBinOp(BinOpKind::Add, Cur, One));
+  B.emitPrint(B.emitGetField(Obj, F));
+  B.emitReturn();
+  ThreadedCode TC = buildThreadedCode(P);
+  // GetField; Const; BinOp; PutField: the GetField cannot head a triple
+  // (a Const sits between it and the BinOp), so the Const;BinOp pair
+  // fuses instead.  Fused heads never overlap: walking the shadow,
+  // every constituent of one sequence is skipped before the next match.
+  EXPECT_EQ(TC.Stats.ConstBinOpSites, 1u);
+  for (const auto &Blocks : TC.MethodBlocks)
+    for (const BasicBlock &Block : Blocks) {
+      size_t I = 0;
+      while (I != Block.Instrs.size()) {
+        if (isFusedOpcode(Block.Instrs[I].Op)) {
+          for (uint32_t K = 1; K != fusedLength(Block.Instrs[I].Op); ++K)
+            EXPECT_FALSE(isFusedOpcode(Block.Instrs[I + K].Op))
+                << "overlapping fusion";
+          I += fusedLength(Block.Instrs[I].Op);
+        } else {
+          ++I;
+        }
+      }
+    }
 }
 
 } // namespace

@@ -4,8 +4,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "instr/Superinstr.h"
 #include "ir/IRBuilder.h"
 #include "ir/Verifier.h"
+#include "runtime/InterpProfiler.h"
 #include "runtime/Interpreter.h"
 
 #include <gtest/gtest.h>
@@ -409,6 +411,57 @@ TEST(InterpreterTest, TraceEveryAccessEmitsEvents) {
   ASSERT_TRUE(R.Ok) << R.Error;
   EXPECT_GT(Hooks.Accesses, 40u); // 2 threads x 10 iters x (read+write) + setup
   EXPECT_EQ(Hooks.Accesses, R.AccessEvents);
+}
+
+TEST(InterpreterTest, ProfilerCountsExactAcrossDispatchModes) {
+  // The profiler contract (docs/INTERPRETER.md): per-opcode dispatch
+  // counts are exact per *constituent* instruction in every dispatch
+  // mode.  The profiled threaded variant runs the original unfused code,
+  // so its counts must equal the switch interpreter's to the last
+  // dispatch — superinstructions never blur the profile.
+  Program P = buildTwoThreadCounter(/*Locked=*/true, 20);
+  ThreadedCode TC = buildThreadedCode(P);
+  ASSERT_GT(TC.Stats.sites(), 0u); // the fused path genuinely exists
+
+  auto ProfiledRun = [&](DispatchMode Mode, InterpProfiler &Prof) {
+    InterpOptions Opts;
+    Opts.Seed = 5;
+    Opts.Dispatch = Mode;
+    Opts.Fused = &TC;
+    Opts.Profiler = &Prof;
+    Interpreter Interp(P, nullptr, Opts);
+    InterpResult R = Interp.run();
+    EXPECT_TRUE(R.Ok) << R.Error;
+    return R;
+  };
+
+  InterpProfiler SwitchProf, ThreadedProf;
+  InterpResult SwitchRun = ProfiledRun(DispatchMode::Switch, SwitchProf);
+  InterpResult ThreadedRun =
+      ProfiledRun(DispatchMode::Threaded, ThreadedProf);
+
+  EXPECT_EQ(SwitchRun.InstructionsExecuted, ThreadedRun.InstructionsExecuted);
+  EXPECT_EQ(SwitchProf.totalDispatches(), SwitchRun.InstructionsExecuted);
+  EXPECT_EQ(ThreadedProf.totalDispatches(),
+            ThreadedRun.InstructionsExecuted);
+  for (uint8_t Op = 0; Op <= uint8_t(Opcode::Trace); ++Op)
+    EXPECT_EQ(SwitchProf.counts(Opcode(Op)).Dispatches,
+              ThreadedProf.counts(Opcode(Op)).Dispatches)
+        << opcodeName(Opcode(Op));
+  // Profiled threaded runs unfused: the fused counters must stay zero.
+  EXPECT_EQ(ThreadedRun.Fused.total(), 0u);
+
+  // The unprofiled threaded run does fuse — and still executes the same
+  // number of constituent instructions.
+  InterpOptions Opts;
+  Opts.Seed = 5;
+  Opts.Dispatch = DispatchMode::Threaded;
+  Opts.Fused = &TC;
+  Interpreter Fast(P, nullptr, Opts);
+  InterpResult FastRun = Fast.run();
+  ASSERT_TRUE(FastRun.Ok) << FastRun.Error;
+  EXPECT_GT(FastRun.Fused.total(), 0u);
+  EXPECT_EQ(FastRun.InstructionsExecuted, SwitchRun.InstructionsExecuted);
 }
 
 TEST(InterpreterTest, JoinOnUnstartedThreadReturnsImmediately) {

@@ -485,6 +485,13 @@ TEST(GoldenTest, StatsJsonDocument) {
   R.ShardBreakdown.push_back(Shard);
   R.FormattedRaces.push_back("race on \"quoted\" field");
   R.Trace.Ok = true;
+  R.Dispatch = DispatchMode::Threaded;
+  R.Fusion.ConstBinOpSites = 3;
+  R.Fusion.ConstPutFieldSites = 1;
+  R.Fusion.GetBinPutSites = 2;
+  R.Run.Fused.ConstBinOp = 30;
+  R.Run.Fused.ConstPutField = 5;
+  R.Run.Fused.GetBinPut = 12;
 
   VirtualClock Clock(/*TickNanos=*/100);
   MetricsRegistry Reg(&Clock);
@@ -566,6 +573,9 @@ TEST(ObservabilityTest, PipelinePhaseSpansAllPresent) {
   MetricsRegistry Reg;
   ToolConfig Config = ToolConfig::full();
   Config.Metrics = &Reg;
+  // The "fuse" span is a threaded-dispatch phase; pin the mode so this
+  // holds in builds that default to switch dispatch.
+  Config.Dispatch = DispatchMode::Threaded;
   PipelineResult R = runPipeline(P, Config);
   ASSERT_TRUE(R.Run.Ok) << R.Run.Error;
   std::set<std::string> Names;
@@ -575,7 +585,7 @@ TEST(ObservabilityTest, PipelinePhaseSpansAllPresent) {
   for (const char *Phase :
        {"static-race", "points-to", "single-instance", "thread-analysis",
         "sync-analysis", "escape", "race-pairs", "plan", "instrument",
-        "execute", "detect-drain", "format-reports"})
+        "fuse", "execute", "detect-drain", "format-reports"})
     EXPECT_TRUE(Names.count(Phase)) << Phase;
 }
 

@@ -57,6 +57,15 @@ void printStats(const PipelineResult &R) {
               "peeled\n",
               R.Instr.TracesInserted, R.Instr.TracesRemoved,
               R.Instr.LoopsPeeled);
+  std::printf("dispatch: %s, %llu fused sites "
+              "(%llu const+binop, %llu const+putfield, %llu get+binop+put), "
+              "%llu fused executions\n",
+              dispatchModeName(R.Dispatch),
+              (unsigned long long)R.Fusion.sites(),
+              (unsigned long long)R.Fusion.ConstBinOpSites,
+              (unsigned long long)R.Fusion.ConstPutFieldSites,
+              (unsigned long long)R.Fusion.GetBinPutSites,
+              (unsigned long long)R.Run.Fused.total());
   std::printf("run:      %llu instructions, %u threads, %.4fs\n",
               (unsigned long long)R.Run.InstructionsExecuted,
               R.Run.ThreadsCreated, R.ExecSeconds);
