@@ -61,6 +61,7 @@
 #include "detect/TraceFile.h"
 #include "instr/Superinstr.h"
 #include "runtime/Interpreter.h"
+#include "support/Metrics.h"
 #include "workloads/Workloads.h"
 
 #include <atomic>
@@ -230,6 +231,13 @@ struct LiveResult {
   uint64_t Allocs = 0;
   double AllocsPerEvent = 0;
   double RatioVsReplayCold = 0; ///< live events/s ÷ replay cold events/s
+  /// Dispatch-mechanics counters from the run (InterpResult): how many
+  /// superinstructions ran their full sequence and how the batched
+  /// quantum retirement behaved.  Deterministic per (program, mode) —
+  /// identical across reps — and zero under switch dispatch.
+  uint64_t FusedExecs = 0;
+  uint64_t BlockRetireHits = 0;
+  uint64_t BlockRetiredSteps = 0;
 };
 
 struct TraceReport {
@@ -309,11 +317,23 @@ void printPass(const std::string &Trace, const PassResult &R) {
 }
 
 void writeJson(std::FILE *F, const std::vector<TraceReport> &Reports,
-               bool Smoke, uint32_t Reps) {
+               const MetricsRegistry &Metrics, bool Smoke, uint32_t Reps) {
   std::fprintf(F, "{\n");
-  std::fprintf(F, "  \"schema\": \"herd-bench-hotpath-v2\",\n");
+  std::fprintf(F, "  \"schema\": \"herd-bench-hotpath-v3\",\n");
   std::fprintf(F, "  \"smoke\": %s,\n", Smoke ? "true" : "false");
   std::fprintf(F, "  \"reps\": %u,\n", Reps);
+  // The run's metrics-registry counters (support/Metrics.h), name-sorted:
+  // one `live.<trace>.<mode>.*` triple per live run, describing how the
+  // work was dispatched (fused executions, batched quantum retirement).
+  {
+    auto Counters = Metrics.counterValues();
+    std::fprintf(F, "  \"metrics\": {\n");
+    for (size_t I = 0; I != Counters.size(); ++I)
+      std::fprintf(F, "    \"%s\": %llu%s\n", Counters[I].first.c_str(),
+                   (unsigned long long)Counters[I].second,
+                   I + 1 != Counters.size() ? "," : "");
+    std::fprintf(F, "  },\n");
+  }
   std::fprintf(F, "  \"traces\": [\n");
   for (size_t I = 0; I != Reports.size(); ++I) {
     const TraceReport &T = Reports[I];
@@ -334,9 +354,14 @@ void writeJson(std::FILE *F, const std::vector<TraceReport> &Reports,
       std::fprintf(F,
                    "      \"live\": {\"seconds\": %.6f, "
                    "\"events_per_sec\": %.0f, \"allocs_per_event\": %.4f, "
-                   "\"ratio_vs_replay_cold\": %.3f},\n",
+                   "\"ratio_vs_replay_cold\": %.3f, "
+                   "\"fused_execs\": %llu, \"block_retire_hits\": %llu, "
+                   "\"block_retired_steps\": %llu},\n",
                    T.Live.Seconds, T.Live.EventsPerSec,
-                   T.Live.AllocsPerEvent, T.Live.RatioVsReplayCold);
+                   T.Live.AllocsPerEvent, T.Live.RatioVsReplayCold,
+                   (unsigned long long)T.Live.FusedExecs,
+                   (unsigned long long)T.Live.BlockRetireHits,
+                   (unsigned long long)T.Live.BlockRetiredSteps);
     if (!T.LiveModes.empty()) {
       std::fprintf(F, "      \"live_by_dispatch\": {\n");
       for (size_t J = 0; J != T.LiveModes.size(); ++J) {
@@ -344,9 +369,14 @@ void writeJson(std::FILE *F, const std::vector<TraceReport> &Reports,
         std::fprintf(F,
                      "        \"%s\": {\"seconds\": %.6f, "
                      "\"events_per_sec\": %.0f, \"allocs_per_event\": %.4f, "
-                     "\"ratio_vs_replay_cold\": %.3f}%s\n",
+                     "\"ratio_vs_replay_cold\": %.3f, "
+                     "\"fused_execs\": %llu, \"block_retire_hits\": %llu, "
+                     "\"block_retired_steps\": %llu}%s\n",
                      T.LiveModes[J].first.c_str(), L.Seconds, L.EventsPerSec,
                      L.AllocsPerEvent, L.RatioVsReplayCold,
+                     (unsigned long long)L.FusedExecs,
+                     (unsigned long long)L.BlockRetireHits,
+                     (unsigned long long)L.BlockRetiredSteps,
                      J + 1 != T.LiveModes.size() ? "," : "");
       }
       std::fprintf(F, "      },\n");
@@ -480,6 +510,7 @@ int main(int argc, char **argv) {
               "allocs/ev", "bytes/ev");
 
   std::vector<TraceReport> Reports;
+  MetricsRegistry Metrics;
   bool AllAgree = true;
 
   for (const Recorded &T : Traces) {
@@ -639,10 +670,22 @@ int main(int argc, char **argv) {
             Live.Allocs = Allocs;
             Live.AllocsPerEvent =
                 T.Events ? double(Allocs) / double(T.Events) : 0.0;
+            Live.FusedExecs = R.Fused.total();
+            Live.BlockRetireHits = R.BlockRetireHits;
+            Live.BlockRetiredSteps = R.BlockRetiredSteps;
           }
         }
         Live.RatioVsReplayCold =
             ReplayColdEps > 0 ? Live.EventsPerSec / ReplayColdEps : 0.0;
+        // Feed the dispatch-mechanics counters through the metrics
+        // registry (support/Metrics.h) so the JSON's `metrics` section is
+        // the same named-counter surface `--stats=json` exposes.
+        std::string Prefix = "live." + Report.Name + "." + M.Name + ".";
+        Metrics.counter(Prefix + "fused_execs").add(Live.FusedExecs);
+        Metrics.counter(Prefix + "block_retire_hits")
+            .add(Live.BlockRetireHits);
+        Metrics.counter(Prefix + "block_retired_steps")
+            .add(Live.BlockRetiredSteps);
         bool Agree = LiveRT->reporter().reportedLocations() ==
                      Serial->reporter().reportedLocations();
         Report.Agreement = Report.Agreement && Agree;
@@ -670,7 +713,7 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "cannot open %s\n", OutPath.c_str());
       return 1;
     }
-    writeJson(F, Reports, Smoke, Reps);
+    writeJson(F, Reports, Metrics, Smoke, Reps);
     std::fclose(F);
     std::printf("\nwrote %s\n", OutPath.c_str());
   }

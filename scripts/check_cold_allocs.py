@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Cold-pass allocation regression gate for CI.
 
-Compares a fresh bench_hotpath smoke run (herd-bench-hotpath-v2 JSON)
+Compares a fresh bench_hotpath smoke run (herd-bench-hotpath-v3 JSON)
 against the checked-in smoke baseline and fails when any trace's
 cold-pass allocations/event regressed by more than the threshold, or
 when the planned cold pass exceeds the absolute ceiling the capacity
@@ -41,7 +41,7 @@ def main():
     with open(sys.argv[2]) as f:
         baseline = json.load(f)
     for report, arg in ((current, sys.argv[1]), (baseline, sys.argv[2])):
-        if report.get("schema") != "herd-bench-hotpath-v2":
+        if report.get("schema") != "herd-bench-hotpath-v3":
             print(f"{arg}: unexpected schema {report.get('schema')!r}",
                   file=sys.stderr)
             return 2

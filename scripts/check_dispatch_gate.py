@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Dispatch-mode live-vs-replay regression gate for CI.
 
-Compares a fresh bench_hotpath smoke run (herd-bench-hotpath-v2 JSON)
+Compares a fresh bench_hotpath smoke run (herd-bench-hotpath-v3 JSON)
 against the checked-in smoke baseline and fails when the threaded fast
 path (docs/INTERPRETER.md) lost ground:
 
@@ -15,7 +15,14 @@ path (docs/INTERPRETER.md) lost ground:
  * threaded live throughput must stay above the floor fraction of switch
    live throughput in the current run — the fast path is allowed to tie
    the reference interpreter on tiny smoke traces, not to lose to it
-   outright.
+   outright;
+ * threaded live throughput must stay above the leniency fraction of the
+   baseline's absolute threaded throughput — unlike the two ratio gates
+   this compares across runs, so the factor is loose enough to absorb a
+   slower runner but still trips on the fast path falling off a cliff;
+ * the dispatch-mechanics counters must be coherent: switch dispatch
+   reports zero fused executions and zero batch retirement, threaded
+   dispatch on the fused-heavy replicas reports fused executions > 0.
 
 Timing on shared CI runners is noisy even after best-of-N, hence the
 deliberately loose constants: this gate catches "the fast path stopped
@@ -32,10 +39,16 @@ import sys
 RATIO_LENIENCY = 0.4
 # Threaded live events/sec must be at least this fraction of switch's.
 THREADED_VS_SWITCH_FLOOR = 0.5
+# Current threaded live events/sec may be this fraction of the
+# baseline's before the gate trips.  Cross-run absolute timing absorbs
+# machine-speed differences, so this is the loosest constant here.
+THREADED_LIVE_LENIENCY = 0.4
 
 MODES = ("switch", "threaded")
 LIVE_KEYS = ("seconds", "events_per_sec", "allocs_per_event",
-             "ratio_vs_replay_cold")
+             "ratio_vs_replay_cold", "fused_execs", "block_retire_hits",
+             "block_retired_steps")
+COUNTER_KEYS = ("fused_execs", "block_retire_hits", "block_retired_steps")
 
 
 def live_traces(report):
@@ -52,7 +65,7 @@ def main():
     with open(sys.argv[2]) as f:
         baseline = json.load(f)
     for report, arg in ((current, sys.argv[1]), (baseline, sys.argv[2])):
-        if report.get("schema") != "herd-bench-hotpath-v2":
+        if report.get("schema") != "herd-bench-hotpath-v3":
             print(f"{arg}: unexpected schema {report.get('schema')!r}",
                   file=sys.stderr)
             return 2
@@ -103,6 +116,27 @@ def main():
         print(f"{status:4} {name:10} threaded live {th_eps:.0f} ev/s vs "
               f"switch {sw_eps:.0f} (floor {floor:.0f})")
         if th_eps < floor:
+            failed = True
+
+        base_eps = b["live_by_dispatch"]["threaded"]["events_per_sec"]
+        floor = base_eps * THREADED_LIVE_LENIENCY
+        status = "ok" if th_eps >= floor else "FAIL"
+        print(f"{status:4} {name:10} threaded live {th_eps:.0f} ev/s vs "
+              f"baseline {base_eps:.0f} (floor {floor:.0f})")
+        if th_eps < floor:
+            failed = True
+
+        # Dispatch-mechanics counters: switch must report none, and the
+        # replicas are fused-heavy by construction, so a threaded run
+        # with zero fused executions means the shadow code went missing.
+        for key in COUNTER_KEYS:
+            if lbd["switch"][key] != 0:
+                print(f"FAIL {name}: switch dispatch reports nonzero "
+                      f"{key} ({lbd['switch'][key]})", file=sys.stderr)
+                failed = True
+        if lbd["threaded"]["fused_execs"] == 0:
+            print(f"FAIL {name}: threaded dispatch executed no "
+                  f"superinstructions", file=sys.stderr)
             failed = True
 
     if not base:

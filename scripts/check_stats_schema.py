@@ -83,6 +83,7 @@ SECTION_KEYS = {
         "mode": str,
         "fused_sites": dict,
         "fused_exec": dict,
+        "batch_retirement": dict,
     },
     "runtime": {
         "events_seen": int,
@@ -135,8 +136,15 @@ def check_stats(doc):
             if isinstance(dispatch.get(sub), dict):
                 check_keys(dispatch[sub],
                            {"const_binop": int, "const_putfield": int,
-                            "get_binop_put": int, "total": int},
+                            "get_binop_put": int, "binop_branch": int,
+                            "getfield_binop": int, "binop_putfield": int,
+                            "binop_move": int, "total": int},
                            f"dispatch.{sub}")
+        if isinstance(dispatch.get("batch_retirement"), dict):
+            check_keys(dispatch["batch_retirement"],
+                       {"planned_blocks": int, "planned_steps": int,
+                        "hits": int, "retired_steps": int},
+                       "dispatch.batch_retirement")
     runtime = doc.get("runtime", {})
     if isinstance(runtime.get("detector"), dict):
         check_keys(runtime["detector"], DETECTOR_KEYS, "runtime.detector")
@@ -163,8 +171,13 @@ def check_stats(doc):
         check_keys(doc["profile"],
                    {"sample_every": int, "total_dispatches": int,
                     "instrumented_dispatches": int, "total_samples": int,
-                    "sampled_nanos": int, "hook_nanos": int, "opcodes": list},
+                    "sampled_nanos": int, "hook_nanos": int, "opcodes": list,
+                    "pairs": list},
                    "profile")
+        for i, pair in enumerate(doc["profile"].get("pairs", [])):
+            if isinstance(pair, dict):
+                check_keys(pair, {"first": str, "second": str, "count": int},
+                           f"profile.pairs[{i}]")
 
 
 def check_trace(doc):

@@ -6,6 +6,7 @@
 
 #include "herd/HerdOptions.h"
 
+#include <cctype>
 #include <cstdlib>
 
 using namespace herd;
@@ -102,7 +103,13 @@ HerdParse herd::parseHerdCommandLine(const std::vector<std::string> &Args) {
       if (!pickToolConfig(Arg.substr(9), O.Config))
         return fail("herd: unknown config '" + Arg.substr(9) + "'");
     } else if (Arg.rfind("--seed=", 0) == 0) {
-      O.Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
+      // strtoull silently skips whitespace and wraps negatives; only a
+      // plain digit string is a seed.
+      char *End = nullptr;
+      O.Seed = std::strtoull(Arg.c_str() + 7, &End, 10);
+      if (!std::isdigit(uint8_t(Arg[7])) || *End != '\0')
+        return fail("herd: --seed expects a non-negative number, got '" +
+                    Arg.substr(7) + "'");
     } else if (Arg.rfind("--shards=", 0) == 0) {
       char *End = nullptr;
       Shards = uint32_t(std::strtoul(Arg.c_str() + 9, &End, 10));
@@ -130,7 +137,17 @@ HerdParse herd::parseHerdCommandLine(const std::vector<std::string> &Args) {
                       PlanArg + "'");
       }
     } else if (Arg.rfind("--sweep=", 0) == 0) {
-      O.Sweep = std::atoi(Arg.c_str() + 8);
+      // atoi would fold '--sweep=5x' to 5 and '--sweep=-3' or garbage to
+      // a dead sweep of 0 — every malformed count must be an error, not a
+      // silently different run.
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Arg.c_str() + 8, &End, 10);
+      if (!std::isdigit(uint8_t(Arg[8])) || *End != '\0' || N == 0 ||
+          N > 1'000'000)
+        return fail("herd: --sweep expects a seed count in [1, 1000000], "
+                    "got '" +
+                    Arg.substr(8) + "'");
+      O.Sweep = int(N);
     } else if (Arg.rfind("--workload=", 0) == 0) {
       O.WorkloadName = Arg.substr(11);
     } else if (Arg.rfind("--record=", 0) == 0) {

@@ -114,6 +114,16 @@ void writeProfile(JsonWriter &W, const InterpProfiler &Prof) {
     W.endObject();
   }
   W.endArray();
+  W.key("pairs");
+  W.beginArray();
+  for (const InterpProfiler::PairRow &R : Prof.rankedPairs()) {
+    W.beginObject();
+    W.member("first", opcodeName(R.First));
+    W.member("second", opcodeName(R.Second));
+    W.member("count", R.Count);
+    W.endObject();
+  }
+  W.endArray();
   W.endObject();
 }
 
@@ -176,6 +186,10 @@ std::string herd::renderStatsJson(const PipelineResult &Result,
   W.member("const_binop", Result.Fusion.ConstBinOpSites);
   W.member("const_putfield", Result.Fusion.ConstPutFieldSites);
   W.member("get_binop_put", Result.Fusion.GetBinPutSites);
+  W.member("binop_branch", Result.Fusion.BinOpBranchSites);
+  W.member("getfield_binop", Result.Fusion.GetFieldBinOpSites);
+  W.member("binop_putfield", Result.Fusion.BinOpPutFieldSites);
+  W.member("binop_move", Result.Fusion.BinOpMoveSites);
   W.member("total", Result.Fusion.sites());
   W.endObject();
   W.key("fused_exec");
@@ -183,7 +197,18 @@ std::string herd::renderStatsJson(const PipelineResult &Result,
   W.member("const_binop", Result.Run.Fused.ConstBinOp);
   W.member("const_putfield", Result.Run.Fused.ConstPutField);
   W.member("get_binop_put", Result.Run.Fused.GetBinPut);
+  W.member("binop_branch", Result.Run.Fused.BinOpBranch);
+  W.member("getfield_binop", Result.Run.Fused.GetFieldBinOp);
+  W.member("binop_putfield", Result.Run.Fused.BinOpPutField);
+  W.member("binop_move", Result.Run.Fused.BinOpMove);
   W.member("total", Result.Run.Fused.total());
+  W.endObject();
+  W.key("batch_retirement");
+  W.beginObject();
+  W.member("planned_blocks", Result.Fusion.BatchBlocks);
+  W.member("planned_steps", Result.Fusion.BatchSteps);
+  W.member("hits", Result.Run.BlockRetireHits);
+  W.member("retired_steps", Result.Run.BlockRetiredSteps);
   W.endObject();
   W.endObject();
 

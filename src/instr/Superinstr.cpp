@@ -46,6 +46,18 @@ Opcode matchAt(const std::vector<Instr> &Instrs, size_t Idx, uint32_t &Len) {
     }
   }
 
+  // GetField, BinOp — field read feeding arithmetic with no PutField
+  // tail (checked after the 3-length triple so the greedy matcher always
+  // prefers the longer sequence).  An instrumented GetField can never
+  // match: its following instruction is the Trace, not a BinOp.
+  if (A.Op == Opcode::GetField && Idx + 1 < Instrs.size()) {
+    const Instr &B = Instrs[Idx + 1];
+    if (B.Op == Opcode::BinOp && !isPeiBinOp(B) && feedsBinOp(A, B)) {
+      Len = 2;
+      return OpFusedGetFieldBinOp;
+    }
+  }
+
   if (A.Op == Opcode::Const && Idx + 1 < Instrs.size()) {
     const Instr &B = Instrs[Idx + 1];
     // Const, BinOp — loop/index arithmetic.
@@ -61,7 +73,105 @@ Opcode matchAt(const std::vector<Instr> &Instrs, size_t Idx, uint32_t &Len) {
     }
   }
 
+  if (A.Op == Opcode::BinOp && !isPeiBinOp(A) && Idx + 1 < Instrs.size()) {
+    const Instr &B = Instrs[Idx + 1];
+    // BinOp, Branch — the compare-and-branch back-edge of every counted
+    // loop; the dominant pair in all replica histograms.
+    if (B.Op == Opcode::Branch && B.A == A.Dst) {
+      Len = 2;
+      return OpFusedBinOpBranch;
+    }
+    // BinOp, PutField — computed stores (`o.f = a + b`).
+    if (B.Op == Opcode::PutField && B.B == A.Dst &&
+        !accessIsInstrumented(Instrs, Idx + 1)) {
+      Len = 2;
+      return OpFusedBinOpPutField;
+    }
+    // BinOp, Move — arithmetic result copied to a named local.
+    if (B.Op == Opcode::Move && B.A == A.Dst) {
+      Len = 2;
+      return OpFusedBinOpMove;
+    }
+  }
+
   return Opcode::Trace;
+}
+
+/// True for a heap access whose following Trace (if any) marks it as
+/// instrumented — instrumented accesses retire per step so the hook event
+/// lands at exactly the per-step accounting point.
+bool isHeapAccess(Opcode Op) {
+  switch (Op) {
+  case Opcode::GetField:
+  case Opcode::PutField:
+  case Opcode::GetStatic:
+  case Opcode::PutStatic:
+  case Opcode::ALoad:
+  case Opcode::AStore:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True when one dynamic execution of \p Op always advances the pc by one
+/// and can only Continue or Fault — never block, yield, finish, or
+/// transfer control.  Only such instructions may join a retirement batch:
+/// a fault refunds the unexecuted tail, and nothing else about the
+/// scheduler's view of the slice can differ from per-step accounting.
+bool isBatchable(Opcode Op) {
+  switch (Op) {
+  case Opcode::Const:
+  case Opcode::Move:
+  case Opcode::BinOp: // Div/Mod fault via the refund path
+  case Opcode::New:
+  case Opcode::NewArray:
+  case Opcode::ArrayLen:
+  case Opcode::GetField:
+  case Opcode::PutField:
+  case Opcode::GetStatic:
+  case Opcode::PutStatic:
+  case Opcode::ALoad:
+  case Opcode::AStore:
+  case Opcode::Print:
+    return true;
+  default:
+    // Call/Branch/Jump/Return transfer control; monitors, thread ops and
+    // Yield can end the slice; Trace is instrumentation and stays a
+    // per-step unit with the access it observes.
+    return false;
+  }
+}
+
+/// True when every constituent of the fused opcode is batchable.
+/// FusedBinOpBranch carries a control transfer in its tail, so it can
+/// never join a batch; every other superinstruction's constituents are
+/// straight-line and uninstrumented by the fusion rules.
+bool fusedIsBatchable(Opcode Op) { return Op != OpFusedBinOpBranch; }
+
+/// Length of the block's batchable prefix (see ThreadedCode::BatchLens).
+/// Prefixes shorter than \p MinLen are reported as 0: derived accounting
+/// already retires per-step runs at the hot path's floor cost, so a
+/// short batch cannot recoup its block-entry test
+/// (SuperinstrOptions::MinBatchLen).
+uint32_t batchablePrefixLen(const std::vector<Instr> &Instrs,
+                            uint32_t MinLen) {
+  size_t N = 0;
+  while (N < Instrs.size()) {
+    const Instr &I = Instrs[N];
+    if (isFusedOpcode(I.Op)) {
+      if (!fusedIsBatchable(I.Op))
+        break;
+      N += fusedLength(I.Op);
+      continue;
+    }
+    if (!isBatchable(I.Op))
+      break;
+    if (isHeapAccess(I.Op) && accessIsInstrumented(Instrs, N))
+      break;
+    ++N;
+  }
+  return N >= MinLen && N >= 2 ? uint32_t(N) : 0;
 }
 
 } // namespace
@@ -70,31 +180,56 @@ ThreadedCode herd::buildThreadedCode(const Program &P,
                                      const SuperinstrOptions &Opts) {
   ThreadedCode TC;
   TC.MethodBlocks.resize(P.numMethods());
+  TC.BatchLens.resize(P.numMethods());
   for (size_t M = 0; M != P.numMethods(); ++M) {
     TC.MethodBlocks[M] = P.method(MethodId(uint32_t(M))).Blocks;
-    if (!Opts.Fuse)
-      continue;
-    for (BasicBlock &Block : TC.MethodBlocks[M]) {
-      std::vector<Instr> &Instrs = Block.Instrs;
-      // The terminator can never head a sequence, and matchAt never looks
-      // past the block, so patterns cannot straddle a control edge.
-      for (size_t Idx = 0; Idx + 1 < Instrs.size();) {
-        uint32_t Len = 0;
-        Opcode Fused = matchAt(Instrs, Idx, Len);
-        if (Fused == Opcode::Trace) {
-          ++Idx;
-          continue;
+    if (Opts.Fuse) {
+      for (BasicBlock &Block : TC.MethodBlocks[M]) {
+        std::vector<Instr> &Instrs = Block.Instrs;
+        // The terminator can never head a sequence, and matchAt never
+        // looks past the block, so patterns cannot straddle a control
+        // edge.
+        for (size_t Idx = 0; Idx + 1 < Instrs.size();) {
+          uint32_t Len = 0;
+          Opcode Fused = matchAt(Instrs, Idx, Len);
+          if (Fused == Opcode::Trace) {
+            ++Idx;
+            continue;
+          }
+          Instrs[Idx].Op = Fused;
+          if (Fused == OpFusedConstBinOp)
+            ++TC.Stats.ConstBinOpSites;
+          else if (Fused == OpFusedConstPutField)
+            ++TC.Stats.ConstPutFieldSites;
+          else if (Fused == OpFusedGetBinPut)
+            ++TC.Stats.GetBinPutSites;
+          else if (Fused == OpFusedBinOpBranch)
+            ++TC.Stats.BinOpBranchSites;
+          else if (Fused == OpFusedGetFieldBinOp)
+            ++TC.Stats.GetFieldBinOpSites;
+          else if (Fused == OpFusedBinOpPutField)
+            ++TC.Stats.BinOpPutFieldSites;
+          else
+            ++TC.Stats.BinOpMoveSites;
+          // Constituents can never also head another sequence:
+          // overlapping superinstructions would execute shared
+          // constituents twice.
+          Idx += Len;
         }
-        Instrs[Idx].Op = Fused;
-        if (Fused == OpFusedConstBinOp)
-          ++TC.Stats.ConstBinOpSites;
-        else if (Fused == OpFusedConstPutField)
-          ++TC.Stats.ConstPutFieldSites;
-        else
-          ++TC.Stats.GetBinPutSites;
-        // Constituents can never also head another sequence: overlapping
-        // superinstructions would execute shared constituents twice.
-        Idx += Len;
+      }
+    }
+    // Batch planning runs over the FUSED shadow so fused heads count all
+    // their constituents and a batch never ends mid-sequence.
+    std::vector<uint32_t> &Lens = TC.BatchLens[M];
+    Lens.assign(TC.MethodBlocks[M].size(), 0);
+    if (Opts.Batch) {
+      for (size_t B = 0; B != TC.MethodBlocks[M].size(); ++B) {
+        Lens[B] = batchablePrefixLen(TC.MethodBlocks[M][B].Instrs,
+                                     Opts.MinBatchLen);
+        if (Lens[B] > 0) {
+          ++TC.Stats.BatchBlocks;
+          TC.Stats.BatchSteps += Lens[B];
+        }
       }
     }
   }

@@ -9,12 +9,20 @@
 /// (runtime/ThreadedCode.h) for the threaded interpreter.
 ///
 /// The pass scans each basic block of the instrumented program for the
-/// three hot sequences the `--profile` histograms surface and rewrites the
-/// head instruction's opcode in a shadow copy of the block:
+/// hot sequences the `--profile` adjacent-pair histograms surface and
+/// rewrites the head instruction's opcode in a shadow copy of the block:
 ///
 ///   Const, BinOp                  -> FusedConstBinOp      (len 2)
 ///   Const, PutField               -> FusedConstPutField   (len 2)
 ///   GetField, BinOp, PutField     -> FusedGetBinPut       (len 3)
+///   BinOp, Branch                 -> FusedBinOpBranch     (len 2)
+///   GetField, BinOp               -> FusedGetFieldBinOp   (len 2)
+///   BinOp, PutField               -> FusedBinOpPutField   (len 2)
+///   BinOp, Move                   -> FusedBinOpMove       (len 2)
+///
+/// The greedy matcher tries longer patterns first at each head (the
+/// GetField triple before the GetField pair) and never lets sequences
+/// overlap, so each constituent executes exactly once.
 ///
 /// Fusion rules (pinned by tests/instr_test.cpp):
 ///
@@ -37,6 +45,16 @@
 ///    instrumented pair intact as the unit every event-order invariant
 ///    was written against.
 ///
+/// The pass also plans *batched quantum retirement*: for every shadow
+/// block it records the length of the leading straight-line run the
+/// threaded loop may retire against the scheduler quantum as one unit,
+/// skipping the per-step quantum test until the prefix ends
+/// (ThreadedCode::BatchLens).  Instructions that can end a
+/// slice or transfer control, Trace instructions, and accesses a Trace
+/// instruments are never part of a batch, so per-step accounting — and
+/// with it the byte-identical schedule — is preserved exactly where it
+/// is observable.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HERD_INSTR_SUPERINSTR_H
@@ -52,6 +70,20 @@ struct SuperinstrOptions {
   /// When false, the shadow copy is built without any fusion (threaded
   /// dispatch over verbatim code) — the A/B ablation lever.
   bool Fuse = true;
+
+  /// When false, every block's batchable-prefix length is left at zero,
+  /// so the threaded loop accounts the scheduler quantum per step even
+  /// for straight-line code — the batch-retirement ablation lever.
+  bool Batch = true;
+
+  /// Minimum batchable-prefix length worth planning; shorter prefixes
+  /// are reported as zero.  The threaded loop's derived accounting
+  /// already retires a per-step run at one compare + one decrement per
+  /// instruction, so entering a batch only pays for itself when the
+  /// prefix is long enough to amortize the block-entry batch test;
+  /// short-block loops must fail that test on its first compare.
+  /// Measured crossover on the hotpath suite sits around a dozen steps.
+  uint32_t MinBatchLen = 12;
 };
 
 /// Builds threaded-dispatch shadow code for \p P (which must already be

@@ -70,6 +70,26 @@ std::vector<InterpProfiler::Row> InterpProfiler::rankedRows() const {
   return Rows;
 }
 
+std::vector<InterpProfiler::PairRow>
+InterpProfiler::rankedPairs(size_t MaxRows) const {
+  std::vector<PairRow> Rows;
+  for (size_t A = 0; A != NumOpcodes; ++A)
+    for (size_t B = 0; B != NumOpcodes; ++B)
+      if (Pairs[A][B] != 0)
+        Rows.push_back({Opcode(A), Opcode(B), Pairs[A][B]});
+  std::sort(Rows.begin(), Rows.end(),
+            [](const PairRow &A, const PairRow &B) {
+              if (A.Count != B.Count)
+                return A.Count > B.Count;
+              if (A.First != B.First)
+                return size_t(A.First) < size_t(B.First);
+              return size_t(A.Second) < size_t(B.Second);
+            });
+  if (Rows.size() > MaxRows)
+    Rows.resize(MaxRows);
+  return Rows;
+}
+
 std::string herd::renderProfileTable(const InterpProfiler &Prof) {
   std::string Out;
   char Line[256];
@@ -124,6 +144,27 @@ std::string herd::renderProfileTable(const InterpProfiler &Prof) {
                   double(R.EstimatedNanos) / 1e6, TimePct,
                   double(R.HookNanos) * Prof.sampleEvery() / 1e6);
     Emit();
+  }
+
+  // The adjacent-pair ranking drives superinstruction selection
+  // (docs/INTERPRETER.md).  Profiled runs execute unfused code, so the
+  // ranking shows the raw instruction stream: already-fused pairs appear
+  // alongside fusion candidates, making coverage directly comparable.
+  std::vector<InterpProfiler::PairRow> PairRows = Prof.rankedPairs();
+  if (!PairRows.empty()) {
+    std::snprintf(Line, sizeof(Line),
+                  "%4s %-13s %-13s %12s %7s\n", "rank", "first", "second",
+                  "pairs", "disp%");
+    Emit();
+    int PairRank = 0;
+    for (const InterpProfiler::PairRow &R : PairRows) {
+      ++PairRank;
+      double PairPct = Total ? 100.0 * double(R.Count) / double(Total) : 0.0;
+      std::snprintf(Line, sizeof(Line), "%4d %-13s %-13s %12llu %6.1f%%\n",
+                    PairRank, opcodeName(R.First), opcodeName(R.Second),
+                    (unsigned long long)R.Count, PairPct);
+      Emit();
+    }
   }
   return Out;
 }

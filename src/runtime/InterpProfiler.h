@@ -63,12 +63,21 @@ public:
   explicit InterpProfiler(MetricsClock *Clock = nullptr,
                           uint32_t SampleEvery = DefaultSampleEvery);
 
-  /// Hot-path entry: counts one dispatch of \p Op and returns true when
-  /// this dispatch should be timed (every SampleEvery-th overall).
+  /// Hot-path entry: counts one dispatch of \p Op (and the adjacent
+  /// opcode pair it completes) and returns true when this dispatch should
+  /// be timed (every SampleEvery-th overall).
   bool onDispatch(Opcode Op) {
     ++Ops[size_t(Op)].Dispatches;
+    if (PrevOp != NoPrev)
+      ++Pairs[PrevOp][size_t(Op)];
+    PrevOp = size_t(Op);
     return ((++TotalDispatches) & SampleMask) == 0;
   }
+
+  /// Called by the scheduler at the start of every slice: adjacent-pair
+  /// counts never span a context switch, so the pair histogram describes
+  /// sequences a superinstruction could actually fuse.
+  void onSliceStart() { PrevOp = NoPrev; }
 
   uint64_t now() { return Clock->nowNanos(); }
 
@@ -125,13 +134,28 @@ public:
   /// (dispatch count breaks ties), descending.
   std::vector<Row> rankedRows() const;
 
+  /// One adjacent-dispatch pair (First executed, then Second, within one
+  /// scheduling slice) — the raw material for superinstruction selection.
+  struct PairRow {
+    Opcode First;
+    Opcode Second;
+    uint64_t Count;
+  };
+
+  /// The \p MaxRows most frequent adjacent pairs, descending by count.
+  std::vector<PairRow> rankedPairs(size_t MaxRows = 16) const;
+
 private:
+  static constexpr size_t NoPrev = NumOpcodes;
+
   MetricsClock *Clock;
   uint32_t SampleMask;
   uint64_t TotalDispatches = 0;
   bool SampleActive = false;
   uint64_t PendingHookNanos = 0;
+  size_t PrevOp = NoPrev;
   OpcodeCounts Ops[NumOpcodes];
+  uint64_t Pairs[NumOpcodes][NumOpcodes] = {};
 };
 
 /// Renders the `herd --profile` report: a ranked opcode table plus the

@@ -72,11 +72,13 @@ Interpreter::Interpreter(const Program &P, RuntimeHooks *Hooks,
 
 Interpreter::~Interpreter() = default;
 
-Value &Interpreter::reg(SimThread &Thread, RegId Reg) {
-  Frame &F = Thread.Stack.back();
-  assert(Reg.isValid() && Reg.index() < F.Regs.size() &&
-         "register out of range (verifier should have caught this)");
-  return F.Regs[Reg.index()];
+/// Register access against a cached register file (the pinned
+/// `Regs = F.Regs.data()` parameter of the executor calling convention).
+/// Range validity is the verifier's invariant; the assert documents it.
+static inline Value &rg(Value *Regs, RegId Reg) {
+  assert(Reg.isValid() &&
+         "invalid register (verifier should have caught this)");
+  return Regs[Reg.index()];
 }
 
 void Interpreter::fault(const std::string &Message) {
@@ -87,9 +89,8 @@ void Interpreter::fault(const std::string &Message) {
   Result.Error = Message;
 }
 
-bool Interpreter::requireRef(SimThread &Thread, RegId Reg, ObjectId &Out,
+bool Interpreter::requireRef(const Value &V, ObjectId &Out,
                              const char *What) {
-  const Value &V = reg(Thread, Reg);
   if (!V.isRef()) {
     fault(std::string("type error: expected a reference for ") + What);
     return false;
@@ -102,9 +103,8 @@ bool Interpreter::requireRef(SimThread &Thread, RegId Reg, ObjectId &Out,
   return true;
 }
 
-bool Interpreter::requireInt(SimThread &Thread, RegId Reg, int64_t &Out,
+bool Interpreter::requireInt(const Value &V, int64_t &Out,
                              const char *What) {
-  const Value &V = reg(Thread, Reg);
   if (V.isRef()) {
     fault(std::string("type error: expected an integer for ") + What);
     return false;
@@ -195,42 +195,43 @@ Interpreter::enterSynchronizedFrame(SimThread &Thread, Frame &F) {
 //===----------------------------------------------------------------------===//
 // Per-opcode executors.
 //
-// Each executor performs exactly one instruction: operand checks, effect,
-// pc advance.  Both dispatch strategies call these same functions, so a
+// Each executor performs exactly one instruction: operand checks and
+// effect.  Both dispatch strategies call these same functions, so a
 // semantic change here changes both modes at once — there is no second
 // copy of the semantics to drift.
+//
+// The pc split: straight-line executors (Const..AStore, Print, Trace)
+// never touch F.Ip — the CALLER advances the pc on Continue, which lets
+// the threaded loop keep the pc in a register for whole straight-line
+// runs.  Executors that transfer control, can block, or must publish the
+// pc (Call, Branch, Jump, Return, monitors, thread ops, Yield) still own
+// F.Ip themselves, and their callers flush the cached pc before invoking
+// any of them that reads it.
 //===----------------------------------------------------------------------===//
 
-Interpreter::StepResult Interpreter::execConst(SimThread &Thread,
-                                               const Instr &I) {
-  reg(Thread, I.Dst) = Value::makeInt(I.Imm);
-  ++Thread.Stack.back().Ip;
+Interpreter::StepResult Interpreter::execConst(Value *Regs, const Instr &I) {
+  rg(Regs, I.Dst) = Value::makeInt(I.Imm);
   return StepResult::Continue;
 }
 
-Interpreter::StepResult Interpreter::execMove(SimThread &Thread,
-                                              const Instr &I) {
-  reg(Thread, I.Dst) = reg(Thread, I.A);
-  ++Thread.Stack.back().Ip;
+Interpreter::StepResult Interpreter::execMove(Value *Regs, const Instr &I) {
+  rg(Regs, I.Dst) = rg(Regs, I.A);
   return StepResult::Continue;
 }
 
-Interpreter::StepResult Interpreter::execBinOp(SimThread &Thread,
-                                               const Instr &I) {
-  const Value &AV = reg(Thread, I.A);
-  const Value &BV = reg(Thread, I.B);
+Interpreter::StepResult Interpreter::execBinOp(Value *Regs, const Instr &I) {
+  const Value &AV = rg(Regs, I.A);
+  const Value &BV = rg(Regs, I.B);
   // Eq/Ne compare values of either kind; all other operators require
   // integers.
   if (I.BinKind == BinOpKind::CmpEq || I.BinKind == BinOpKind::CmpNe) {
     bool Eq = AV == BV;
-    reg(Thread, I.Dst) =
+    rg(Regs, I.Dst) =
         Value::makeInt((I.BinKind == BinOpKind::CmpEq) == Eq ? 1 : 0);
-    ++Thread.Stack.back().Ip;
     return StepResult::Continue;
   }
   int64_t A = 0, B = 0;
-  if (!requireInt(Thread, I.A, A, "binop") ||
-      !requireInt(Thread, I.B, B, "binop"))
+  if (!requireInt(AV, A, "binop") || !requireInt(BV, B, "binop"))
     return StepResult::Fault;
   int64_t R = 0;
   switch (I.BinKind) {
@@ -276,145 +277,131 @@ Interpreter::StepResult Interpreter::execBinOp(SimThread &Thread,
   case BinOpKind::CmpNe:
     HERD_UNREACHABLE("handled above");
   }
-  reg(Thread, I.Dst) = Value::makeInt(R);
-  ++Thread.Stack.back().Ip;
+  rg(Regs, I.Dst) = Value::makeInt(R);
   return StepResult::Continue;
 }
 
-Interpreter::StepResult Interpreter::execNew(SimThread &Thread,
-                                             const Instr &I) {
-  reg(Thread, I.Dst) = Value::makeRef(TheHeap.allocate(I.Class, I.AllocSite));
-  ++Thread.Stack.back().Ip;
+Interpreter::StepResult Interpreter::execNew(Value *Regs, const Instr &I) {
+  rg(Regs, I.Dst) = Value::makeRef(TheHeap.allocate(I.Class, I.AllocSite));
   return StepResult::Continue;
 }
 
-Interpreter::StepResult Interpreter::execNewArray(SimThread &Thread,
+Interpreter::StepResult Interpreter::execNewArray(Value *Regs,
                                                   const Instr &I) {
   int64_t Len = 0;
-  if (!requireInt(Thread, I.A, Len, "newarray length"))
+  if (!requireInt(rg(Regs, I.A), Len, "newarray length"))
     return StepResult::Fault;
   if (Len < 0) {
     fault("negative array size");
     return StepResult::Fault;
   }
-  reg(Thread, I.Dst) = Value::makeRef(TheHeap.allocateArray(Len, I.AllocSite));
-  ++Thread.Stack.back().Ip;
+  rg(Regs, I.Dst) = Value::makeRef(TheHeap.allocateArray(Len, I.AllocSite));
   return StepResult::Continue;
 }
 
-Interpreter::StepResult Interpreter::execArrayLen(SimThread &Thread,
+Interpreter::StepResult Interpreter::execArrayLen(Value *Regs,
                                                   const Instr &I) {
   ObjectId Arr;
-  if (!requireRef(Thread, I.A, Arr, "arraylen"))
+  if (!requireRef(rg(Regs, I.A), Arr, "arraylen"))
     return StepResult::Fault;
-  reg(Thread, I.Dst) =
-      Value::makeInt(int64_t(TheHeap.object(Arr).Slots.size()));
-  ++Thread.Stack.back().Ip;
+  rg(Regs, I.Dst) = Value::makeInt(int64_t(TheHeap.object(Arr).Slots.size()));
   return StepResult::Continue;
 }
 
 Interpreter::StepResult Interpreter::execGetField(SimThread &Thread,
-                                                  const Instr &I,
+                                                  Value *Regs, const Instr &I,
                                                   bool EmitAll) {
   ObjectId Obj;
-  if (!requireRef(Thread, I.A, Obj, "getfield"))
+  if (!requireRef(rg(Regs, I.A), Obj, "getfield"))
     return StepResult::Fault;
-  reg(Thread, I.Dst) = TheHeap.object(Obj).Slots[P.field(I.Field).SlotIndex];
+  rg(Regs, I.Dst) = TheHeap.object(Obj).Slots[P.field(I.Field).SlotIndex];
   if (EmitAll)
     emitAccess(Thread.Id, LocationKey::forField(Obj, I.Field),
                AccessKind::Read, I.Site);
-  ++Thread.Stack.back().Ip;
   return StepResult::Continue;
 }
 
 Interpreter::StepResult Interpreter::execPutField(SimThread &Thread,
-                                                  const Instr &I,
+                                                  Value *Regs, const Instr &I,
                                                   bool EmitAll) {
   ObjectId Obj;
-  if (!requireRef(Thread, I.A, Obj, "putfield"))
+  if (!requireRef(rg(Regs, I.A), Obj, "putfield"))
     return StepResult::Fault;
-  TheHeap.object(Obj).Slots[P.field(I.Field).SlotIndex] = reg(Thread, I.B);
+  TheHeap.object(Obj).Slots[P.field(I.Field).SlotIndex] = rg(Regs, I.B);
   if (EmitAll)
     emitAccess(Thread.Id, LocationKey::forField(Obj, I.Field),
                AccessKind::Write, I.Site);
-  ++Thread.Stack.back().Ip;
   return StepResult::Continue;
 }
 
 Interpreter::StepResult Interpreter::execGetStatic(SimThread &Thread,
-                                                   const Instr &I,
+                                                   Value *Regs, const Instr &I,
                                                    bool EmitAll) {
   ObjectId Statics = TheHeap.classStatics(I.Class);
-  reg(Thread, I.Dst) =
-      TheHeap.object(Statics).Slots[P.field(I.Field).SlotIndex];
+  rg(Regs, I.Dst) = TheHeap.object(Statics).Slots[P.field(I.Field).SlotIndex];
   if (EmitAll)
     emitAccess(Thread.Id, LocationKey::forStatic(Statics, I.Field),
                AccessKind::Read, I.Site);
-  ++Thread.Stack.back().Ip;
   return StepResult::Continue;
 }
 
 Interpreter::StepResult Interpreter::execPutStatic(SimThread &Thread,
-                                                   const Instr &I,
+                                                   Value *Regs, const Instr &I,
                                                    bool EmitAll) {
   ObjectId Statics = TheHeap.classStatics(I.Class);
-  TheHeap.object(Statics).Slots[P.field(I.Field).SlotIndex] =
-      reg(Thread, I.A);
+  TheHeap.object(Statics).Slots[P.field(I.Field).SlotIndex] = rg(Regs, I.A);
   if (EmitAll)
     emitAccess(Thread.Id, LocationKey::forStatic(Statics, I.Field),
                AccessKind::Write, I.Site);
-  ++Thread.Stack.back().Ip;
   return StepResult::Continue;
 }
 
-Interpreter::StepResult Interpreter::execALoad(SimThread &Thread,
+Interpreter::StepResult Interpreter::execALoad(SimThread &Thread, Value *Regs,
                                                const Instr &I, bool EmitAll) {
   ObjectId Arr;
   int64_t Idx = 0;
-  if (!requireRef(Thread, I.A, Arr, "aload") ||
-      !requireInt(Thread, I.B, Idx, "aload index"))
+  if (!requireRef(rg(Regs, I.A), Arr, "aload") ||
+      !requireInt(rg(Regs, I.B), Idx, "aload index"))
     return StepResult::Fault;
   HeapObject &ArrObj = TheHeap.object(Arr);
   if (Idx < 0 || size_t(Idx) >= ArrObj.Slots.size()) {
     fault("array index out of bounds");
     return StepResult::Fault;
   }
-  reg(Thread, I.Dst) = ArrObj.Slots[size_t(Idx)];
+  rg(Regs, I.Dst) = ArrObj.Slots[size_t(Idx)];
   if (EmitAll)
     emitAccess(Thread.Id, LocationKey::forArray(Arr), AccessKind::Read,
                I.Site);
-  ++Thread.Stack.back().Ip;
   return StepResult::Continue;
 }
 
-Interpreter::StepResult Interpreter::execAStore(SimThread &Thread,
+Interpreter::StepResult Interpreter::execAStore(SimThread &Thread, Value *Regs,
                                                 const Instr &I, bool EmitAll) {
   ObjectId Arr;
   int64_t Idx = 0;
-  if (!requireRef(Thread, I.A, Arr, "astore") ||
-      !requireInt(Thread, I.B, Idx, "astore index"))
+  if (!requireRef(rg(Regs, I.A), Arr, "astore") ||
+      !requireInt(rg(Regs, I.B), Idx, "astore index"))
     return StepResult::Fault;
   HeapObject &ArrObj = TheHeap.object(Arr);
   if (Idx < 0 || size_t(Idx) >= ArrObj.Slots.size()) {
     fault("array index out of bounds");
     return StepResult::Fault;
   }
-  ArrObj.Slots[size_t(Idx)] = reg(Thread, I.C);
+  ArrObj.Slots[size_t(Idx)] = rg(Regs, I.C);
   if (EmitAll)
     emitAccess(Thread.Id, LocationKey::forArray(Arr), AccessKind::Write,
                I.Site);
-  ++Thread.Stack.back().Ip;
   return StepResult::Continue;
 }
 
-Interpreter::StepResult Interpreter::execCall(SimThread &Thread,
-                                              const Instr &I) {
+Interpreter::StepResult Interpreter::execCall(SimThread &Thread, Frame &F,
+                                              Value *Regs, const Instr &I) {
   const Method &Callee = P.method(I.Callee);
   Frame NewFrame;
   NewFrame.Method = I.Callee;
   NewFrame.Regs.resize(Callee.NumRegs);
   for (size_t N = 0; N != I.Args.size(); ++N)
-    NewFrame.Regs[N] = reg(Thread, I.Args[N]);
+    NewFrame.Regs[N] = rg(Regs, I.Args[N]);
   NewFrame.RetDst = I.Dst;
   if (Callee.IsSynchronized) {
     if (NewFrame.Regs.empty() || !NewFrame.Regs[0].isRef() ||
@@ -424,35 +411,31 @@ Interpreter::StepResult Interpreter::execCall(SimThread &Thread,
     }
     NewFrame.NeedsMonEnter = true;
   }
-  ++Thread.Stack.back().Ip; // the caller resumes after the call
+  ++F.Ip; // the caller resumes after the call; push_back invalidates F
   Thread.Stack.push_back(std::move(NewFrame));
   return StepResult::Continue;
 }
 
-Interpreter::StepResult Interpreter::execBranch(SimThread &Thread,
+Interpreter::StepResult Interpreter::execBranch(Frame &F, Value *Regs,
                                                 const Instr &I) {
-  bool Taken = reg(Thread, I.A).isTruthy();
-  Frame &Top = Thread.Stack.back();
-  Top.Block = Taken ? I.Target : I.AltTarget;
-  Top.Ip = 0;
+  bool Taken = rg(Regs, I.A).isTruthy();
+  F.Block = Taken ? I.Target : I.AltTarget;
+  F.Ip = 0;
   return StepResult::Continue;
 }
 
-Interpreter::StepResult Interpreter::execJump(SimThread &Thread,
-                                              const Instr &I) {
-  Frame &Top = Thread.Stack.back();
-  Top.Block = I.Target;
-  Top.Ip = 0;
+Interpreter::StepResult Interpreter::execJump(Frame &F, const Instr &I) {
+  F.Block = I.Target;
+  F.Ip = 0;
   return StepResult::Continue;
 }
 
-Interpreter::StepResult Interpreter::execReturn(SimThread &Thread,
-                                                const Instr &I) {
-  Value Ret = I.A.isValid() ? reg(Thread, I.A) : Value();
-  Frame &F = Thread.Stack.back();
+Interpreter::StepResult Interpreter::execReturn(SimThread &Thread, Frame &F,
+                                                Value *Regs, const Instr &I) {
+  Value Ret = I.A.isValid() ? rg(Regs, I.A) : Value();
   ObjectId SyncSelf = F.SyncSelf;
   RegId RetDst = F.RetDst;
-  Thread.Stack.pop_back();
+  Thread.Stack.pop_back(); // F and Regs are dangling from here on
   if (SyncSelf.isValid())
     exitMonitorOnce(Thread, SyncSelf);
   if (Faulted)
@@ -466,14 +449,15 @@ Interpreter::StepResult Interpreter::execReturn(SimThread &Thread,
     return StepResult::Finished;
   }
   if (RetDst.isValid())
-    reg(Thread, RetDst) = Ret;
+    rg(Thread.Stack.back().Regs.data(), RetDst) = Ret;
   return StepResult::Continue;
 }
 
 Interpreter::StepResult Interpreter::execMonitorEnter(SimThread &Thread,
+                                                      Frame &F, Value *Regs,
                                                       const Instr &I) {
   ObjectId Obj;
-  if (!requireRef(Thread, I.A, Obj, "monitorenter"))
+  if (!requireRef(rg(Regs, I.A), Obj, "monitorenter"))
     return StepResult::Fault;
   bool Recursive = false;
   if (!tryAcquireMonitor(Thread, Obj, Recursive)) {
@@ -483,26 +467,28 @@ Interpreter::StepResult Interpreter::execMonitorEnter(SimThread &Thread,
   }
   if (Hooks)
     Hooks->onMonitorEnter(Thread.Id, Heap::lockOf(Obj), Recursive);
-  ++Thread.Stack.back().Ip;
+  ++F.Ip;
   return StepResult::Continue;
 }
 
 Interpreter::StepResult Interpreter::execMonitorExit(SimThread &Thread,
+                                                     Frame &F, Value *Regs,
                                                      const Instr &I) {
   ObjectId Obj;
-  if (!requireRef(Thread, I.A, Obj, "monitorexit"))
+  if (!requireRef(rg(Regs, I.A), Obj, "monitorexit"))
     return StepResult::Fault;
   exitMonitorOnce(Thread, Obj);
   if (Faulted)
     return StepResult::Fault;
-  ++Thread.Stack.back().Ip;
+  ++F.Ip;
   return StepResult::Continue;
 }
 
 Interpreter::StepResult Interpreter::execThreadStart(SimThread &Thread,
+                                                     Frame &F, Value *Regs,
                                                      const Instr &I) {
   ObjectId Obj;
-  if (!requireRef(Thread, I.A, Obj, "thread start"))
+  if (!requireRef(rg(Regs, I.A), Obj, "thread start"))
     return StepResult::Fault;
   HeapObject &ThreadObj = TheHeap.object(Obj);
   if (!ThreadObj.Class.isValid() ||
@@ -530,20 +516,21 @@ Interpreter::StepResult Interpreter::execThreadStart(SimThread &Thread,
   if (Hooks)
     Hooks->onThreadCreate(Child->Id, Thread.Id, Obj);
   Threads.push_back(std::move(Child));
-  ++Thread.Stack.back().Ip;
+  ++F.Ip;
   return StepResult::Continue;
 }
 
 Interpreter::StepResult Interpreter::execThreadJoin(SimThread &Thread,
+                                                    Frame &F, Value *Regs,
                                                     const Instr &I) {
   ObjectId Obj;
-  if (!requireRef(Thread, I.A, Obj, "thread join"))
+  if (!requireRef(rg(Regs, I.A), Obj, "thread join"))
     return StepResult::Fault;
   auto It = ThreadByObject.find(Obj);
   if (It == ThreadByObject.end()) {
     // Joining a never-started thread returns immediately (Java semantics);
     // no ordering is established.
-    ++Thread.Stack.back().Ip;
+    ++F.Ip;
     return StepResult::Continue;
   }
   SimThread &Target = *Threads[It->second.index()];
@@ -554,39 +541,36 @@ Interpreter::StepResult Interpreter::execThreadJoin(SimThread &Thread,
   }
   if (Hooks)
     Hooks->onThreadJoin(Thread.Id, Target.Id);
-  ++Thread.Stack.back().Ip;
+  ++F.Ip;
   return StepResult::Continue;
 }
 
-Interpreter::StepResult Interpreter::execPrint(SimThread &Thread,
-                                               const Instr &I) {
-  const Value &V = reg(Thread, I.A);
+Interpreter::StepResult Interpreter::execPrint(Value *Regs, const Instr &I) {
+  const Value &V = rg(Regs, I.A);
   Result.Output.push_back(V.isRef() ? int64_t(V.asRef().index()) : V.asInt());
-  ++Thread.Stack.back().Ip;
   return StepResult::Continue;
 }
 
-Interpreter::StepResult Interpreter::execYield(SimThread &Thread,
-                                               const Instr &I) {
+Interpreter::StepResult Interpreter::execYield(Frame &F, const Instr &I) {
   (void)I;
-  ++Thread.Stack.back().Ip;
+  ++F.Ip;
   return StepResult::Switched;
 }
 
-Interpreter::StepResult Interpreter::execTrace(SimThread &Thread,
+Interpreter::StepResult Interpreter::execTrace(SimThread &Thread, Value *Regs,
                                                const Instr &I) {
   LocationKey Loc;
   switch (I.TraceWhat) {
   case TraceWhatKind::Field: {
     ObjectId Obj;
-    if (!requireRef(Thread, I.A, Obj, "trace"))
+    if (!requireRef(rg(Regs, I.A), Obj, "trace"))
       return StepResult::Fault;
     Loc = LocationKey::forField(Obj, I.Field);
     break;
   }
   case TraceWhatKind::Array: {
     ObjectId Obj;
-    if (!requireRef(Thread, I.A, Obj, "trace"))
+    if (!requireRef(rg(Regs, I.A), Obj, "trace"))
       return StepResult::Fault;
     Loc = LocationKey::forArray(Obj);
     break;
@@ -596,7 +580,6 @@ Interpreter::StepResult Interpreter::execTrace(SimThread &Thread,
     break;
   }
   emitAccess(Thread.Id, Loc, I.Access, I.Site);
-  ++Thread.Stack.back().Ip;
   return StepResult::Continue;
 }
 
@@ -616,6 +599,7 @@ Interpreter::StepResult Interpreter::step(SimThread &Thread) {
   const BasicBlock &Block = M.block(F.Block);
   assert(F.Ip < Block.Instrs.size() && "pc ran off the end of a block");
   const Instr &I = Block.Instrs[F.Ip];
+  Value *Regs = F.Regs.data();
 
   if (HERD_UNLIKELY(Prof != nullptr)) {
     // Opcode captured up front: executeInstr can grow Thread.Stack, but
@@ -624,68 +608,89 @@ Interpreter::StepResult Interpreter::step(SimThread &Thread) {
     if (Prof->onDispatch(Op)) {
       Prof->beginSample();
       uint64_t Begin = Prof->now();
-      StepResult R = executeInstr(Thread, F, I);
+      StepResult R = executeInstr(Thread, F, Regs, I);
       uint64_t End = Prof->now();
       Prof->endSample(Op, End - Begin);
       return R;
     }
-    return executeInstr(Thread, F, I);
+    return executeInstr(Thread, F, Regs, I);
   }
-  return executeInstr(Thread, F, I);
+  return executeInstr(Thread, F, Regs, I);
 }
 
 Interpreter::StepResult Interpreter::executeInstr(SimThread &Thread, Frame &F,
+                                                  Value *Regs,
                                                   const Instr &I) {
-  (void)F;
+  // Straight-line executors no longer advance the pc themselves (see the
+  // section comment); this reference path advances it here on Continue.
+  StepResult R;
   switch (I.Op) {
   case Opcode::Const:
-    return execConst(Thread, I);
+    R = execConst(Regs, I);
+    break;
   case Opcode::Move:
-    return execMove(Thread, I);
+    R = execMove(Regs, I);
+    break;
   case Opcode::BinOp:
-    return execBinOp(Thread, I);
+    R = execBinOp(Regs, I);
+    break;
   case Opcode::New:
-    return execNew(Thread, I);
+    R = execNew(Regs, I);
+    break;
   case Opcode::NewArray:
-    return execNewArray(Thread, I);
+    R = execNewArray(Regs, I);
+    break;
   case Opcode::ArrayLen:
-    return execArrayLen(Thread, I);
+    R = execArrayLen(Regs, I);
+    break;
   case Opcode::GetField:
-    return execGetField(Thread, I, Opts.TraceEveryAccess);
+    R = execGetField(Thread, Regs, I, Opts.TraceEveryAccess);
+    break;
   case Opcode::PutField:
-    return execPutField(Thread, I, Opts.TraceEveryAccess);
+    R = execPutField(Thread, Regs, I, Opts.TraceEveryAccess);
+    break;
   case Opcode::GetStatic:
-    return execGetStatic(Thread, I, Opts.TraceEveryAccess);
+    R = execGetStatic(Thread, Regs, I, Opts.TraceEveryAccess);
+    break;
   case Opcode::PutStatic:
-    return execPutStatic(Thread, I, Opts.TraceEveryAccess);
+    R = execPutStatic(Thread, Regs, I, Opts.TraceEveryAccess);
+    break;
   case Opcode::ALoad:
-    return execALoad(Thread, I, Opts.TraceEveryAccess);
+    R = execALoad(Thread, Regs, I, Opts.TraceEveryAccess);
+    break;
   case Opcode::AStore:
-    return execAStore(Thread, I, Opts.TraceEveryAccess);
-  case Opcode::Call:
-    return execCall(Thread, I);
-  case Opcode::Branch:
-    return execBranch(Thread, I);
-  case Opcode::Jump:
-    return execJump(Thread, I);
-  case Opcode::Return:
-    return execReturn(Thread, I);
-  case Opcode::MonitorEnter:
-    return execMonitorEnter(Thread, I);
-  case Opcode::MonitorExit:
-    return execMonitorExit(Thread, I);
-  case Opcode::ThreadStart:
-    return execThreadStart(Thread, I);
-  case Opcode::ThreadJoin:
-    return execThreadJoin(Thread, I);
+    R = execAStore(Thread, Regs, I, Opts.TraceEveryAccess);
+    break;
   case Opcode::Print:
-    return execPrint(Thread, I);
-  case Opcode::Yield:
-    return execYield(Thread, I);
+    R = execPrint(Regs, I);
+    break;
   case Opcode::Trace:
-    return execTrace(Thread, I);
+    R = execTrace(Thread, Regs, I);
+    break;
+  case Opcode::Call:
+    return execCall(Thread, F, Regs, I);
+  case Opcode::Branch:
+    return execBranch(F, Regs, I);
+  case Opcode::Jump:
+    return execJump(F, I);
+  case Opcode::Return:
+    return execReturn(Thread, F, Regs, I);
+  case Opcode::MonitorEnter:
+    return execMonitorEnter(Thread, F, Regs, I);
+  case Opcode::MonitorExit:
+    return execMonitorExit(Thread, F, Regs, I);
+  case Opcode::ThreadStart:
+    return execThreadStart(Thread, F, Regs, I);
+  case Opcode::ThreadJoin:
+    return execThreadJoin(Thread, F, Regs, I);
+  case Opcode::Yield:
+    return execYield(F, I);
+  default:
+    HERD_UNREACHABLE("unknown opcode in interpreter");
   }
-  HERD_UNREACHABLE("unknown opcode in interpreter");
+  if (HERD_LIKELY(R == StepResult::Continue))
+    ++F.Ip;
+  return R;
 }
 
 //===----------------------------------------------------------------------===//
@@ -709,6 +714,40 @@ Interpreter::StepResult Interpreter::executeInstr(SimThread &Thread, Frame &F,
 // Superinstructions run their constituents back-to-back with this exact
 // per-constituent accounting; the only thing fusion removes is the
 // dispatch between them.
+//
+// The threaded loop produces those exact counts WITHOUT maintaining them
+// per step (derived accounting).  The instruction budget folds into the
+// slice entry: the effective quantum is min(Quantum, budget left), so a
+// per-step budget comparison is redundant — when the effective quantum
+// runs dry and the real quantum did not, the next step's charge is
+// exactly the one that trips the budget, and the slice faults there with
+// the same pc, count (MaxInstructions + 1) and retired steps as charging
+// each instruction individually would have produced.  Within the slice
+// the only hot-path bookkeeping is one counter decrement; at every exit
+// HERD_COMMIT reconstructs InstructionsExecuted and Retired from the
+// quantum consumed:
+//   * normal end:        consumed charged, consumed retired;
+//   * blocked/switched/
+//     finished:          the slice-ending step never decremented, so
+//                        consumed + 1 charged and retired;
+//   * fault:             the faulting instruction stays charged but
+//                        retires nothing — consumed + 1 charged,
+//                        consumed retired (batches never pre-consume,
+//                        so this holds inside one too).
+//
+// Batched quantum retirement (ThreadedCode::BatchLens): on entering a
+// block whose batchable prefix of N instructions fits the effective
+// quantum, the loop records where the prefix ends (BatchFloor =
+// Remaining - N) and the quantum test stops the slice only at that
+// floor — the whole prefix is retired against one block-entry decision,
+// and because the test is a compare against the floor it degenerates to
+// the ordinary Remaining == 0 check when no batch is active.  This is
+// unobservable by construction: nothing in a batch can block, yield,
+// finish, or transfer control (instr/Superinstr.cpp isBatchable), so
+// the slice cannot end inside it.  When the batch does not fit, the
+// block falls back to per-step checks, so quantum-edge behavior
+// (including partial superinstruction retirement) is bit-identical to
+// switch mode.
 //===----------------------------------------------------------------------===//
 
 #if HERD_COMPUTED_GOTO
@@ -719,25 +758,33 @@ Interpreter::StepResult Interpreter::executeInstr(SimThread &Thread, Frame &F,
 #define HERD_FUSED_OP(Name) case size_t(Op##Name):
 #endif
 
-/// One instruction's fuel: charge the global budget before executing.
-#define HERD_ACCOUNT_STEP()                                                    \
+/// The once-per-exit accounting commit (derived accounting, see the
+/// header comment above): reconstructs the per-step counts from the
+/// effective quantum consumed.  The adjustments are the slice-ending
+/// step's contribution, signed so a fault can refund a pre-charged batch
+/// tail; unsigned wraparound makes the negative case exact.
+#define HERD_COMMIT(InstrAdj, RetAdj)                                          \
   do {                                                                         \
-    if (HERD_UNLIKELY(++Result.InstructionsExecuted > Opts.MaxInstructions)) { \
-      fault("instruction budget exhausted (runaway workload?)");               \
-      return;                                                                  \
-    }                                                                          \
+    const uint64_t Consumed_ = EffRem0 - Remaining;                            \
+    Result.InstructionsExecuted += Consumed_ + uint64_t(int64_t(InstrAdj));    \
+    Retired += uint32_t(Consumed_ + uint64_t(int64_t(RetAdj)));                \
+    Result.BlockRetireHits += BatchHits;                                       \
+    Result.BlockRetiredSteps += BatchSteps;                                    \
   } while (false)
 
-/// Common step epilogue: a Fault retires nothing; any other non-Continue
-/// outcome retires the step and ends the slice.
+/// Common step epilogue: a Fault ends the slice retiring nothing (the
+/// commit keeps the faulting instruction charged); any other
+/// non-Continue outcome retires the step and ends the slice.  In-batch
+/// and per-step execution share the single quantum decrement — a batch
+/// changes only where the NextStep test stops (BatchFloor), so this is
+/// one register op per step in every mode.  The slice-end commits live
+/// behind shared labels so every handler's cold tail is a
+/// two-instruction jump, not an inline commit sequence — keeping the
+/// hot handlers dense in the instruction cache.
 #define HERD_FINISH_STEP()                                                     \
   do {                                                                         \
-    if (HERD_UNLIKELY(R != StepResult::Continue)) {                            \
-      if (R != StepResult::Fault)                                              \
-        ++Retired;                                                             \
-      return;                                                                  \
-    }                                                                          \
-    ++Retired;                                                                 \
+    if (HERD_UNLIKELY(R != StepResult::Continue))                              \
+      goto SliceEnd;                                                           \
     --Remaining;                                                               \
   } while (false)
 
@@ -764,24 +811,68 @@ template <bool EmitAll, bool Profiled>
 void Interpreter::runSliceThreaded(SimThread &Thread, uint64_t Quantum,
                                    uint32_t &Retired) {
   // The profiled variant runs the ORIGINAL blocks: per-opcode dispatch
-  // counts must be exact per constituent, so fusion is compiled out of
-  // the histogram's world entirely (docs/INTERPRETER.md).
+  // counts must be exact per constituent, so fusion (and with it batched
+  // retirement) is compiled out of the histogram's world entirely
+  // (docs/INTERPRETER.md).
   const ThreadedCode *Shadow = Profiled ? nullptr : Opts.Fused;
 
+  // The cached execution state: top frame, its register file, the
+  // current block's instruction array, the method's batch plan, and the
+  // program counter.  Everything the common path touches lives in these
+  // locals; executors receive F/Regs as pinned parameters instead of
+  // re-deriving them from Thread.Stack.back() per operand (the
+  // "stack-top cache").
+  //
+  // The pc cache (Ip) shadows F->Ip for the whole slice: straight-line
+  // executors never touch the frame's pc (Interpreter.h), so the loop
+  // advances Ip in a register and publishes it to F->Ip only where the
+  // frame's copy is observable — before an executor that reads it
+  // (Call, monitors, thread ops, Yield), at slice exits that leave the
+  // thread mid-block, and on a budget fault.  Branch/Jump overwrite
+  // F->Ip and Return pops the frame, so those need no flush; Refresh()
+  // re-syncs the cache afterwards.  HERD_FINISH_STEP never flushes: on
+  // Finished the frame has been popped and F dangles, and a faulted
+  // run's frame pc is unobservable (the run aborts).
   Frame *F = nullptr;
-  const std::vector<Instr> *Code = nullptr;
+  Value *Regs = nullptr;
+  const Instr *CodeBase = nullptr;
+  const uint32_t *BatchLens = nullptr; // per-block batchable prefix lengths
   const Instr *I = nullptr;
-  uint64_t Remaining = Quantum;
+  uint32_t Ip = 0; // cached F->Ip; see flush discipline above
+  // The Remaining value at which the current batch ends (0 when no batch
+  // is active).  The quantum check compares Remaining against this, so
+  // outside a batch it degenerates to the plain Remaining == 0 test —
+  // batch support costs the non-batch hot path nothing.
+  uint64_t BatchFloor = 0;
+  uint64_t BatchHits = 0, BatchSteps = 0; // stats, committed at slice end
   StepResult R = StepResult::Continue;
 
-  // Re-resolve the frame and code pointers after any control transfer
-  // (Thread.Stack may reallocate on Call; Branch/Jump change blocks).
+  // Derived accounting (see the header comment): the instruction budget
+  // folds into the slice's effective quantum, so the loop keeps ONE hot
+  // down-counter and every exit path reconstructs the per-step
+  // InstructionsExecuted/Retired deltas with HERD_COMMIT.  When the
+  // effective quantum was clipped by the budget (BudgetLimited) and runs
+  // dry, the next charge is the one that would have tripped the per-step
+  // budget check, and the Exhausted exit faults with identical counts.
+  const uint64_t BudgetLeft =
+      Opts.MaxInstructions - Result.InstructionsExecuted;
+  const bool BudgetLimited = Quantum > BudgetLeft;
+  uint64_t Remaining = BudgetLimited ? BudgetLeft : Quantum;
+  const uint64_t EffRem0 = Remaining;
+
+  // Re-resolve the cache after any control transfer (Thread.Stack may
+  // reallocate on Call; Branch/Jump change blocks).
   auto Refresh = [&] {
     F = &Thread.Stack.back();
-    Code = Shadow
-               ? &Shadow->MethodBlocks[F->Method.index()][F->Block.index()]
-                      .Instrs
-               : &P.method(F->Method).block(F->Block).Instrs;
+    Regs = F->Regs.data();
+    Ip = F->Ip;
+    if (Shadow) {
+      CodeBase = Shadow->MethodBlocks[F->Method.index()][F->Block.index()]
+                     .Instrs.data();
+      BatchLens = Shadow->BatchLens[F->Method.index()].data();
+    } else {
+      CodeBase = P.method(F->Method).block(F->Block).Instrs.data();
+    }
   };
   Refresh();
 
@@ -795,7 +886,9 @@ void Interpreter::runSliceThreaded(SimThread &Thread, uint64_t Quantum,
       &&Lbl_Return,       &&Lbl_MonitorEnter, &&Lbl_MonitorExit,
       &&Lbl_ThreadStart,  &&Lbl_ThreadJoin,   &&Lbl_Print,
       &&Lbl_Yield,        &&Lbl_Trace,        &&Lbl_FusedConstBinOp,
-      &&Lbl_FusedConstPutField, &&Lbl_FusedGetBinPut};
+      &&Lbl_FusedConstPutField,  &&Lbl_FusedGetBinPut,
+      &&Lbl_FusedBinOpBranch,    &&Lbl_FusedGetFieldBinOp,
+      &&Lbl_FusedBinOpPutField,  &&Lbl_FusedBinOpMove};
 #endif
 
   // A slice begins like a step that may first have to enter a
@@ -807,27 +900,54 @@ EntryStep:
   // First step of a frame: a pending synchronized-method entry acquires
   // the monitor within the same step as the first instruction (or blocks,
   // which retires the step without advancing the pc) — exactly what
-  // step() does when F.NeedsMonEnter is set.
-  if (Remaining == 0)
-    return;
-  HERD_ACCOUNT_STEP();
+  // step() does when F.NeedsMonEnter is set.  Monitor entry is never part
+  // of a batch; the ordinary case falls through to TryBatch.
   if (HERD_UNLIKELY(F->NeedsMonEnter)) {
+    if (HERD_UNLIKELY(Remaining == 0))
+      goto Exhausted;
     R = enterSynchronizedFrame(Thread, *F);
-    if (R != StepResult::Continue) {
-      ++Retired; // a blocked entry attempt still consumed this step
-      return;
+    if (R != StepResult::Continue)
+      goto SliceEnd; // a blocked entry attempt still retires this step
+    goto DispatchCurrent; // first instruction shares the charged step
+  }
+  // Fallthrough.
+
+TryBatch:
+  // Block entry (and slice start): when the block's batchable prefix
+  // fits the effective quantum (which already encodes the instruction
+  // budget), mark where it ends — the quantum test will not stop the
+  // slice before Remaining reaches that floor, so the whole prefix is
+  // retired against one planning decision.  The prefix property is
+  // suffix-closed, so a thread resuming mid-prefix batches the rest.
+  if (BatchLens) {
+    uint64_t BatchLen = BatchLens[F->Block.index()];
+    if (Ip < BatchLen) {
+      uint64_t N = BatchLen - Ip;
+      if (Remaining >= N) {
+        BatchFloor = Remaining - N;
+        ++BatchHits;
+        BatchSteps += N;
+        goto DispatchCurrent;
+      }
     }
   }
-  goto DispatchCurrent;
+  // Fallthrough.
 
 NextStep:
-  if (Remaining == 0)
-    return;
-  HERD_ACCOUNT_STEP();
+  // The quantum test: outside a batch BatchFloor is 0 and this is the
+  // plain exhaustion check; inside one it fires first at the batch
+  // boundary (where the floor resets and per-step checking resumes —
+  // Remaining == BatchFloor > 0 implies steps are left).  A batch whose
+  // floor is 0 ends exactly when the quantum does.
+  if (HERD_UNLIKELY(Remaining == BatchFloor)) {
+    if (BatchFloor == 0)
+      goto Exhausted; // quantum or budget dry (the latter faults there)
+    BatchFloor = 0;
+  }
   // Fallthrough.
 
 DispatchCurrent:
-  I = &(*Code)[F->Ip];
+  I = CodeBase + Ip;
 #if HERD_COMPUTED_GOTO
   goto *DispatchTable[size_t(I->Op)];
 #else
@@ -836,202 +956,297 @@ DispatchCurrent:
 
   HERD_OP(Const)
 PlainConst : {
-    HERD_EXEC(Const, execConst(Thread, *I));
+    HERD_EXEC(Const, execConst(Regs, *I));
     HERD_FINISH_STEP();
+    ++Ip;
     goto NextStep;
   }
 
   HERD_OP(Move) {
-    HERD_EXEC(Move, execMove(Thread, *I));
+    HERD_EXEC(Move, execMove(Regs, *I));
     HERD_FINISH_STEP();
+    ++Ip;
     goto NextStep;
   }
 
-  HERD_OP(BinOp) {
-    HERD_EXEC(BinOp, execBinOp(Thread, *I));
+  HERD_OP(BinOp)
+PlainBinOp : {
+    HERD_EXEC(BinOp, execBinOp(Regs, *I));
     HERD_FINISH_STEP();
+    ++Ip;
     goto NextStep;
   }
 
   HERD_OP(New) {
-    HERD_EXEC(New, execNew(Thread, *I));
+    HERD_EXEC(New, execNew(Regs, *I));
     HERD_FINISH_STEP();
+    ++Ip;
     goto NextStep;
   }
 
   HERD_OP(NewArray) {
-    HERD_EXEC(NewArray, execNewArray(Thread, *I));
+    HERD_EXEC(NewArray, execNewArray(Regs, *I));
     HERD_FINISH_STEP();
+    ++Ip;
     goto NextStep;
   }
 
   HERD_OP(ArrayLen) {
-    HERD_EXEC(ArrayLen, execArrayLen(Thread, *I));
+    HERD_EXEC(ArrayLen, execArrayLen(Regs, *I));
     HERD_FINISH_STEP();
+    ++Ip;
     goto NextStep;
   }
 
   HERD_OP(GetField)
 PlainGetField : {
-    HERD_EXEC(GetField, execGetField(Thread, *I, EmitAll));
+    HERD_EXEC(GetField, execGetField(Thread, Regs, *I, EmitAll));
     HERD_FINISH_STEP();
+    ++Ip;
     goto NextStep;
   }
 
   HERD_OP(PutField) {
-    HERD_EXEC(PutField, execPutField(Thread, *I, EmitAll));
+    HERD_EXEC(PutField, execPutField(Thread, Regs, *I, EmitAll));
     HERD_FINISH_STEP();
+    ++Ip;
     goto NextStep;
   }
 
   HERD_OP(GetStatic) {
-    HERD_EXEC(GetStatic, execGetStatic(Thread, *I, EmitAll));
+    HERD_EXEC(GetStatic, execGetStatic(Thread, Regs, *I, EmitAll));
     HERD_FINISH_STEP();
+    ++Ip;
     goto NextStep;
   }
 
   HERD_OP(PutStatic) {
-    HERD_EXEC(PutStatic, execPutStatic(Thread, *I, EmitAll));
+    HERD_EXEC(PutStatic, execPutStatic(Thread, Regs, *I, EmitAll));
     HERD_FINISH_STEP();
+    ++Ip;
     goto NextStep;
   }
 
   HERD_OP(ALoad) {
-    HERD_EXEC(ALoad, execALoad(Thread, *I, EmitAll));
+    HERD_EXEC(ALoad, execALoad(Thread, Regs, *I, EmitAll));
     HERD_FINISH_STEP();
+    ++Ip;
     goto NextStep;
   }
 
   HERD_OP(AStore) {
-    HERD_EXEC(AStore, execAStore(Thread, *I, EmitAll));
+    HERD_EXEC(AStore, execAStore(Thread, Regs, *I, EmitAll));
     HERD_FINISH_STEP();
+    ++Ip;
     goto NextStep;
   }
 
   HERD_OP(Call) {
-    HERD_EXEC(Call, execCall(Thread, *I));
+    F->Ip = Ip; // execCall advances the caller's pc past the call
+    HERD_EXEC(Call, execCall(Thread, *F, Regs, *I));
     HERD_FINISH_STEP();
     Refresh();
     goto EntryStep; // the callee may be synchronized
   }
 
   HERD_OP(Branch) {
-    HERD_EXEC(Branch, execBranch(Thread, *I));
+    HERD_EXEC(Branch, execBranch(*F, Regs, *I));
     HERD_FINISH_STEP();
     Refresh();
-    goto NextStep;
+    goto TryBatch; // block entry: a new batch may start
   }
 
   HERD_OP(Jump) {
-    HERD_EXEC(Jump, execJump(Thread, *I));
+    HERD_EXEC(Jump, execJump(*F, *I));
     HERD_FINISH_STEP();
     Refresh();
-    goto NextStep;
+    goto TryBatch; // block entry: a new batch may start
   }
 
   HERD_OP(Return) {
-    HERD_EXEC(Return, execReturn(Thread, *I));
+    HERD_EXEC(Return, execReturn(Thread, *F, Regs, *I));
     HERD_FINISH_STEP();
     Refresh(); // back in the caller's frame
-    goto NextStep;
+    goto TryBatch;
   }
 
   HERD_OP(MonitorEnter) {
-    HERD_EXEC(MonitorEnter, execMonitorEnter(Thread, *I));
+    F->Ip = Ip; // executor reads and advances the frame's pc
+    HERD_EXEC(MonitorEnter, execMonitorEnter(Thread, *F, Regs, *I));
     HERD_FINISH_STEP();
+    Ip = F->Ip;
     goto NextStep;
   }
 
   HERD_OP(MonitorExit) {
-    HERD_EXEC(MonitorExit, execMonitorExit(Thread, *I));
+    F->Ip = Ip; // executor reads and advances the frame's pc
+    HERD_EXEC(MonitorExit, execMonitorExit(Thread, *F, Regs, *I));
     HERD_FINISH_STEP();
+    Ip = F->Ip;
     goto NextStep;
   }
 
   HERD_OP(ThreadStart) {
-    HERD_EXEC(ThreadStart, execThreadStart(Thread, *I));
+    F->Ip = Ip; // executor reads and advances the frame's pc
+    HERD_EXEC(ThreadStart, execThreadStart(Thread, *F, Regs, *I));
     HERD_FINISH_STEP();
+    Ip = F->Ip;
     goto NextStep;
   }
 
   HERD_OP(ThreadJoin) {
-    HERD_EXEC(ThreadJoin, execThreadJoin(Thread, *I));
+    F->Ip = Ip; // executor reads and advances the frame's pc
+    HERD_EXEC(ThreadJoin, execThreadJoin(Thread, *F, Regs, *I));
     HERD_FINISH_STEP();
+    Ip = F->Ip;
     goto NextStep;
   }
 
   HERD_OP(Print) {
-    HERD_EXEC(Print, execPrint(Thread, *I));
+    HERD_EXEC(Print, execPrint(Regs, *I));
     HERD_FINISH_STEP();
+    ++Ip;
     goto NextStep;
   }
 
   HERD_OP(Yield) {
-    HERD_EXEC(Yield, execYield(Thread, *I));
+    F->Ip = Ip; // executor advances the frame's pc before yielding
+    HERD_EXEC(Yield, execYield(*F, *I));
     HERD_FINISH_STEP();
+    Ip = F->Ip;
     goto NextStep;
   }
 
   HERD_OP(Trace) {
-    HERD_EXEC(Trace, execTrace(Thread, *I));
+    HERD_EXEC(Trace, execTrace(Thread, Regs, *I));
     HERD_FINISH_STEP();
+    ++Ip;
     goto NextStep;
   }
 
   // --- Superinstructions (shadow code only; never under Profiled) ---
-  // When the remaining quantum cannot cover the whole sequence, only the
-  // head constituent runs via its plain handler: the shadow block keeps
-  // constituents at ip+1.., so the tail executes as ordinary code in the
-  // thread's next slice.
+  // When the remaining quantum cannot cover the whole sequence (only
+  // possible outside a batch: a batch always spans whole sequences), only
+  // the head constituent runs via its plain handler: the shadow block
+  // keeps constituents at ip+1.., so the tail executes as ordinary code
+  // in the thread's next slice.
 
   HERD_FUSED_OP(FusedConstBinOp) {
     if constexpr (Profiled)
       HERD_UNREACHABLE("fused opcode under profiling (shadow code leaked)");
-    if (HERD_UNLIKELY(Remaining < 2))
+    if (HERD_UNLIKELY(Remaining - BatchFloor < 2))
       goto PlainConst;
-    execConst(Thread, *I); // cannot fault
-    ++Retired;
+    execConst(Regs, *I); // cannot fault
     --Remaining;
-    HERD_ACCOUNT_STEP();
-    I = &(*Code)[F->Ip];
-    R = execBinOp(Thread, *I);
+    ++Ip;
+    I = CodeBase + Ip;
+    R = execBinOp(Regs, *I);
     HERD_FINISH_STEP();
     ++Result.Fused.ConstBinOp;
+    ++Ip;
     goto NextStep;
   }
 
   HERD_FUSED_OP(FusedConstPutField) {
     if constexpr (Profiled)
       HERD_UNREACHABLE("fused opcode under profiling (shadow code leaked)");
-    if (HERD_UNLIKELY(Remaining < 2))
+    if (HERD_UNLIKELY(Remaining - BatchFloor < 2))
       goto PlainConst;
-    execConst(Thread, *I); // cannot fault
-    ++Retired;
+    execConst(Regs, *I); // cannot fault
     --Remaining;
-    HERD_ACCOUNT_STEP();
-    I = &(*Code)[F->Ip];
-    R = execPutField(Thread, *I, EmitAll);
+    ++Ip;
+    I = CodeBase + Ip;
+    R = execPutField(Thread, Regs, *I, EmitAll);
     HERD_FINISH_STEP();
     ++Result.Fused.ConstPutField;
+    ++Ip;
     goto NextStep;
   }
 
   HERD_FUSED_OP(FusedGetBinPut) {
     if constexpr (Profiled)
       HERD_UNREACHABLE("fused opcode under profiling (shadow code leaked)");
-    if (HERD_UNLIKELY(Remaining < 3))
+    if (HERD_UNLIKELY(Remaining - BatchFloor < 3))
       goto PlainGetField;
-    R = execGetField(Thread, *I, EmitAll);
+    R = execGetField(Thread, Regs, *I, EmitAll);
     HERD_FINISH_STEP();
-    HERD_ACCOUNT_STEP();
-    I = &(*Code)[F->Ip];
-    R = execBinOp(Thread, *I);
+    ++Ip;
+    I = CodeBase + Ip;
+    R = execBinOp(Regs, *I);
     HERD_FINISH_STEP();
-    HERD_ACCOUNT_STEP();
-    I = &(*Code)[F->Ip];
-    R = execPutField(Thread, *I, EmitAll);
+    ++Ip;
+    I = CodeBase + Ip;
+    R = execPutField(Thread, Regs, *I, EmitAll);
     HERD_FINISH_STEP();
     ++Result.Fused.GetBinPut;
+    ++Ip;
+    goto NextStep;
+  }
+
+  HERD_FUSED_OP(FusedBinOpBranch) {
+    if constexpr (Profiled)
+      HERD_UNREACHABLE("fused opcode under profiling (shadow code leaked)");
+    // The tail transfers control, so this head is never part of a batch
+    // (instr/Superinstr.cpp fusedIsBatchable) — no BatchFloor is active.
+    assert(BatchFloor == 0 && "control-flow superinstruction inside a batch");
+    if (HERD_UNLIKELY(Remaining < 2))
+      goto PlainBinOp;
+    R = execBinOp(Regs, *I);
+    HERD_FINISH_STEP();
+    ++Ip;
+    I = CodeBase + Ip;
+    R = execBranch(*F, Regs, *I); // overwrites F->Ip; Refresh re-syncs
+    HERD_FINISH_STEP();
+    ++Result.Fused.BinOpBranch;
+    Refresh();
+    goto TryBatch; // block entry: a new batch may start
+  }
+
+  HERD_FUSED_OP(FusedGetFieldBinOp) {
+    if constexpr (Profiled)
+      HERD_UNREACHABLE("fused opcode under profiling (shadow code leaked)");
+    if (HERD_UNLIKELY(Remaining - BatchFloor < 2))
+      goto PlainGetField;
+    R = execGetField(Thread, Regs, *I, EmitAll);
+    HERD_FINISH_STEP();
+    ++Ip;
+    I = CodeBase + Ip;
+    R = execBinOp(Regs, *I);
+    HERD_FINISH_STEP();
+    ++Result.Fused.GetFieldBinOp;
+    ++Ip;
+    goto NextStep;
+  }
+
+  HERD_FUSED_OP(FusedBinOpPutField) {
+    if constexpr (Profiled)
+      HERD_UNREACHABLE("fused opcode under profiling (shadow code leaked)");
+    if (HERD_UNLIKELY(Remaining - BatchFloor < 2))
+      goto PlainBinOp;
+    R = execBinOp(Regs, *I);
+    HERD_FINISH_STEP();
+    ++Ip;
+    I = CodeBase + Ip;
+    R = execPutField(Thread, Regs, *I, EmitAll);
+    HERD_FINISH_STEP();
+    ++Result.Fused.BinOpPutField;
+    ++Ip;
+    goto NextStep;
+  }
+
+  HERD_FUSED_OP(FusedBinOpMove) {
+    if constexpr (Profiled)
+      HERD_UNREACHABLE("fused opcode under profiling (shadow code leaked)");
+    if (HERD_UNLIKELY(Remaining - BatchFloor < 2))
+      goto PlainBinOp;
+    R = execBinOp(Regs, *I);
+    HERD_FINISH_STEP();
+    ++Ip;
+    I = CodeBase + Ip;
+    execMove(Regs, *I); // cannot fault
+    --Remaining;
+    ++Result.Fused.BinOpMove;
+    ++Ip;
     goto NextStep;
   }
 
@@ -1040,11 +1255,39 @@ PlainGetField : {
     HERD_UNREACHABLE("invalid opcode in threaded dispatch");
   }
 #endif
+
+SliceEnd:
+  // A step ended the slice (R != Continue).  Only executed steps ever
+  // decremented Remaining — a batch moves the quantum test's stopping
+  // point, not the decrements — so the consumed count is exact even for
+  // a fault inside a batch: the faulting instruction stays charged
+  // (+1) and retires nothing; every other outcome retires the
+  // slice-ending step (which never reached its decrement).
+  if (R == StepResult::Fault) {
+    HERD_COMMIT(1, 0);
+  } else {
+    assert(BatchFloor == 0 && "slice-ending step inside a batch");
+    HERD_COMMIT(1, 1);
+  }
+  return;
+
+Exhausted:
+  // The effective quantum is dry.  If the budget clipped it, the step we
+  // are about to NOT take is exactly the one per-step accounting would
+  // have charged and faulted on: publish its pc, charge it, fault.
+  // Otherwise this is an ordinary end of slice.
+  F->Ip = Ip; // slice ends mid-block: publish the resume point
+  if (HERD_UNLIKELY(BudgetLimited)) {
+    HERD_COMMIT(1, 0);
+    fault("instruction budget exhausted (runaway workload?)");
+    return;
+  }
+  HERD_COMMIT(0, 0);
 }
 
 #undef HERD_OP
 #undef HERD_FUSED_OP
-#undef HERD_ACCOUNT_STEP
+#undef HERD_COMMIT
 #undef HERD_FINISH_STEP
 #undef HERD_EXEC
 
@@ -1059,7 +1302,8 @@ InterpResult Interpreter::run() {
 
   assert(P.MainMethod.isValid() && "program has no main");
   assert((!Opts.Fused ||
-          Opts.Fused->MethodBlocks.size() == P.numMethods()) &&
+          (Opts.Fused->MethodBlocks.size() == P.numMethods() &&
+           Opts.Fused->BatchLens.size() == P.numMethods())) &&
          "shadow code was built from a different program");
   const Method &Main = P.method(P.MainMethod);
 
@@ -1131,6 +1375,10 @@ InterpResult Interpreter::run() {
       }
       Quantum = 1 + ScheduleRng.nextBelow(Opts.MaxQuantum);
     }
+
+    // Pair counts never chain across a context switch, in either mode.
+    if (HERD_UNLIKELY(Prof != nullptr))
+      Prof->onSliceStart();
 
     uint32_t Retired = 0;
     if (UseThreaded) {

@@ -131,6 +131,13 @@ struct InterpResult {
   /// Excluded from cross-mode equivalence: it describes how the work was
   /// dispatched, not what the program did.
   FusedExecCounts Fused;
+
+  /// Batched quantum retirement counters (threaded dispatch with shadow
+  /// code only; zero under switch dispatch).  Like Fused, these describe
+  /// how accounting was performed, not what the program did, and are
+  /// excluded from cross-mode equivalence.
+  uint64_t BlockRetireHits = 0;   ///< straight-line batches entered
+  uint64_t BlockRetiredSteps = 0; ///< instructions retired through batches
 };
 
 /// Interprets one program once.  Construct, call run(), inspect the result;
@@ -161,41 +168,80 @@ private:
   };
 
   StepResult step(SimThread &Thread);
-  StepResult executeInstr(SimThread &Thread, Frame &F, const Instr &I);
+  StepResult executeInstr(SimThread &Thread, Frame &F, Value *Regs,
+                          const Instr &I);
   StepResult enterSynchronizedFrame(SimThread &Thread, Frame &F);
 
   // Per-opcode executors: the single source of semantic truth, shared by
   // the switch (reference) interpreter and every threaded-dispatch
-  // variant.  Heap-access executors take EmitAll (= TraceEveryAccess) as
-  // a plain parameter; the threaded loop passes a template constant so
-  // the no-hook instantiations compile the hook plumbing out entirely.
-  StepResult execConst(SimThread &Thread, const Instr &I);
-  StepResult execMove(SimThread &Thread, const Instr &I);
-  StepResult execBinOp(SimThread &Thread, const Instr &I);
-  StepResult execNew(SimThread &Thread, const Instr &I);
-  StepResult execNewArray(SimThread &Thread, const Instr &I);
-  StepResult execArrayLen(SimThread &Thread, const Instr &I);
-  StepResult execGetField(SimThread &Thread, const Instr &I, bool EmitAll);
-  StepResult execPutField(SimThread &Thread, const Instr &I, bool EmitAll);
-  StepResult execGetStatic(SimThread &Thread, const Instr &I, bool EmitAll);
-  StepResult execPutStatic(SimThread &Thread, const Instr &I, bool EmitAll);
-  StepResult execALoad(SimThread &Thread, const Instr &I, bool EmitAll);
-  StepResult execAStore(SimThread &Thread, const Instr &I, bool EmitAll);
-  StepResult execCall(SimThread &Thread, const Instr &I);
-  StepResult execBranch(SimThread &Thread, const Instr &I);
-  StepResult execJump(SimThread &Thread, const Instr &I);
-  StepResult execReturn(SimThread &Thread, const Instr &I);
-  StepResult execMonitorEnter(SimThread &Thread, const Instr &I);
-  StepResult execMonitorExit(SimThread &Thread, const Instr &I);
-  StepResult execThreadStart(SimThread &Thread, const Instr &I);
-  StepResult execThreadJoin(SimThread &Thread, const Instr &I);
-  StepResult execPrint(SimThread &Thread, const Instr &I);
-  StepResult execYield(SimThread &Thread, const Instr &I);
-  StepResult execTrace(SimThread &Thread, const Instr &I);
+  // variant.
+  //
+  // The cached-top calling convention (docs/INTERPRETER.md): every
+  // executor receives the thread's top frame's register file \p Regs
+  // (= F.Regs.data()) — and, where needed, the frame \p F itself — as
+  // pinned parameters instead of re-deriving them from
+  // Thread.Stack.back() per operand.  The dispatch loops own the cache
+  // and re-resolve it only after a control transfer, so the common
+  // Const/BinOp/GetField path never round-trips through the SimThread
+  // frame.
+  //
+  // The pc split: straight-line executors (no Frame parameter) never
+  // touch F.Ip — the caller advances the pc on Continue, which lets the
+  // threaded loop keep the pc in a register across whole straight-line
+  // runs.  Executors that transfer control, can block, or must publish
+  // the pc (Call/Branch/Jump/Return, monitors, thread ops, Yield) still
+  // own F.Ip; callers flush the cached pc before invoking one that
+  // reads it.  Executors that pop or push frames (Call/Return) go back
+  // to Thread.Stack for the *new* top.
+  //
+  // Heap-access executors take EmitAll (= TraceEveryAccess) as a plain
+  // parameter; the threaded loop passes a template constant so the
+  // no-hook instantiations compile the hook plumbing out entirely.
+  StepResult execConst(Value *Regs, const Instr &I);
+  StepResult execMove(Value *Regs, const Instr &I);
+  StepResult execBinOp(Value *Regs, const Instr &I);
+  StepResult execNew(Value *Regs, const Instr &I);
+  StepResult execNewArray(Value *Regs, const Instr &I);
+  StepResult execArrayLen(Value *Regs, const Instr &I);
+  StepResult execGetField(SimThread &Thread, Value *Regs, const Instr &I,
+                          bool EmitAll);
+  StepResult execPutField(SimThread &Thread, Value *Regs, const Instr &I,
+                          bool EmitAll);
+  StepResult execGetStatic(SimThread &Thread, Value *Regs, const Instr &I,
+                           bool EmitAll);
+  StepResult execPutStatic(SimThread &Thread, Value *Regs, const Instr &I,
+                           bool EmitAll);
+  StepResult execALoad(SimThread &Thread, Value *Regs, const Instr &I,
+                       bool EmitAll);
+  StepResult execAStore(SimThread &Thread, Value *Regs, const Instr &I,
+                        bool EmitAll);
+  StepResult execCall(SimThread &Thread, Frame &F, Value *Regs,
+                      const Instr &I);
+  StepResult execBranch(Frame &F, Value *Regs, const Instr &I);
+  StepResult execJump(Frame &F, const Instr &I);
+  StepResult execReturn(SimThread &Thread, Frame &F, Value *Regs,
+                        const Instr &I);
+  StepResult execMonitorEnter(SimThread &Thread, Frame &F, Value *Regs,
+                              const Instr &I);
+  StepResult execMonitorExit(SimThread &Thread, Frame &F, Value *Regs,
+                             const Instr &I);
+  StepResult execThreadStart(SimThread &Thread, Frame &F, Value *Regs,
+                             const Instr &I);
+  StepResult execThreadJoin(SimThread &Thread, Frame &F, Value *Regs,
+                            const Instr &I);
+  StepResult execPrint(Value *Regs, const Instr &I);
+  StepResult execYield(Frame &F, const Instr &I);
+  StepResult execTrace(SimThread &Thread, Value *Regs, const Instr &I);
 
   /// Runs up to \p Quantum steps of \p Thread under threaded dispatch,
-  /// mirroring the switch loop's accounting exactly (one budget check and
-  /// one Retired increment per constituent instruction).
+  /// reproducing the switch loop's accounting exactly without doing it
+  /// per step: the instruction budget folds into the slice's effective
+  /// quantum, a block's batchable prefix (ThreadedCode::BatchLens) is
+  /// consumed in one decrement, and every exit reconstructs the
+  /// InstructionsExecuted/Retired deltas from the quantum consumed —
+  /// provably identical because the quantum only ever counts steps that
+  /// actually executed and nothing inside a batch can end the slice (see
+  /// the derived-accounting comment in Interpreter.cpp).
   template <bool EmitAll, bool Profiled>
   void runSliceThreaded(SimThread &Thread, uint64_t Quantum,
                         uint32_t &Retired);
@@ -209,11 +255,8 @@ private:
   void emitAccess(ThreadId Thread, LocationKey Loc, AccessKind Kind,
                   SiteId Site);
 
-  Value &reg(SimThread &Thread, RegId Reg);
-  bool requireRef(SimThread &Thread, RegId Reg, ObjectId &Out,
-                  const char *What);
-  bool requireInt(SimThread &Thread, RegId Reg, int64_t &Out,
-                  const char *What);
+  bool requireRef(const Value &V, ObjectId &Out, const char *What);
+  bool requireInt(const Value &V, int64_t &Out, const char *What);
 
   const Program &P;
   RuntimeHooks *Hooks;

@@ -49,10 +49,18 @@ constexpr Opcode OpFusedConstBinOp = Opcode(uint8_t(Opcode::Trace) + 1);
 constexpr Opcode OpFusedConstPutField = Opcode(uint8_t(Opcode::Trace) + 2);
 /// GetField; BinOp; PutField read-modify-write (`o.f = o.f + n`).
 constexpr Opcode OpFusedGetBinPut = Opcode(uint8_t(Opcode::Trace) + 3);
+/// BinOp feeding a conditional Branch (`if (i < n)` loop back-edges).
+constexpr Opcode OpFusedBinOpBranch = Opcode(uint8_t(Opcode::Trace) + 4);
+/// GetField feeding a BinOp (`o.f + n` without a PutField tail).
+constexpr Opcode OpFusedGetFieldBinOp = Opcode(uint8_t(Opcode::Trace) + 5);
+/// BinOp feeding a PutField (`o.f = a + b` computed stores).
+constexpr Opcode OpFusedBinOpPutField = Opcode(uint8_t(Opcode::Trace) + 6);
+/// BinOp feeding a Move (`x = a + b` into a named local).
+constexpr Opcode OpFusedBinOpMove = Opcode(uint8_t(Opcode::Trace) + 7);
 
-/// Size of the threaded dispatch table: all real opcodes plus the three
+/// Size of the threaded dispatch table: all real opcodes plus the seven
 /// fused pseudo-opcodes.
-constexpr size_t NumDispatchOpcodes = size_t(Opcode::Trace) + 4;
+constexpr size_t NumDispatchOpcodes = size_t(Opcode::Trace) + 8;
 
 /// Returns true for a fused pseudo-opcode (shadow code only).
 constexpr bool isFusedOpcode(Opcode Op) {
@@ -72,18 +80,41 @@ inline const char *fusedOpcodeName(Opcode Op) {
     return "fused.const+putfield";
   if (Op == OpFusedGetBinPut)
     return "fused.get+binop+put";
+  if (Op == OpFusedBinOpBranch)
+    return "fused.binop+branch";
+  if (Op == OpFusedGetFieldBinOp)
+    return "fused.getfield+binop";
+  if (Op == OpFusedBinOpPutField)
+    return "fused.binop+putfield";
+  if (Op == OpFusedBinOpMove)
+    return "fused.binop+move";
   return "?";
 }
 
 /// Plan-time fusion statistics: how many sequence heads the peephole pass
-/// rewrote, per superinstruction kind (`herd --stats=json` "dispatch").
+/// rewrote, per superinstruction kind (`herd --stats=json` "dispatch"),
+/// plus the batch-retirement plan (how much straight-line code the
+/// threaded loop may retire against the scheduler quantum in one go).
 struct FusionStats {
   uint64_t ConstBinOpSites = 0;
   uint64_t ConstPutFieldSites = 0;
   uint64_t GetBinPutSites = 0;
+  uint64_t BinOpBranchSites = 0;
+  uint64_t GetFieldBinOpSites = 0;
+  uint64_t BinOpPutFieldSites = 0;
+  uint64_t BinOpMoveSites = 0;
+
+  /// Blocks whose leading straight-line run qualifies for batched quantum
+  /// retirement (length >= SuperinstrOptions::MinBatchLen; see
+  /// ThreadedCode::BatchLens).
+  uint64_t BatchBlocks = 0;
+  /// Total instructions covered by those batchable prefixes.
+  uint64_t BatchSteps = 0;
 
   uint64_t sites() const {
-    return ConstBinOpSites + ConstPutFieldSites + GetBinPutSites;
+    return ConstBinOpSites + ConstPutFieldSites + GetBinPutSites +
+           BinOpBranchSites + GetFieldBinOpSites + BinOpPutFieldSites +
+           BinOpMoveSites;
   }
 };
 
@@ -95,8 +126,15 @@ struct FusedExecCounts {
   uint64_t ConstBinOp = 0;
   uint64_t ConstPutField = 0;
   uint64_t GetBinPut = 0;
+  uint64_t BinOpBranch = 0;
+  uint64_t GetFieldBinOp = 0;
+  uint64_t BinOpPutField = 0;
+  uint64_t BinOpMove = 0;
 
-  uint64_t total() const { return ConstBinOp + ConstPutField + GetBinPut; }
+  uint64_t total() const {
+    return ConstBinOp + ConstPutField + GetBinPut + BinOpBranch +
+           GetFieldBinOp + BinOpPutField + BinOpMove;
+  }
 };
 
 /// The shadow program: one vector of blocks per method, mirroring the
@@ -105,6 +143,21 @@ struct FusedExecCounts {
 /// instrumentation, and keep it alive for the interpreter's whole run.
 struct ThreadedCode {
   std::vector<std::vector<BasicBlock>> MethodBlocks; ///< [method][block]
+
+  /// BatchLens[method][block] is the length of the block's *batchable
+  /// prefix*: the maximal leading run of straight-line instructions that
+  /// provably cannot end a slice, which the threaded loop retires
+  /// against the scheduler quantum as one unit — it marks where the
+  /// prefix ends and skips the per-step quantum test until then
+  /// (docs/INTERPRETER.md).  The prefix stops at the first instruction
+  /// that can end a slice or transfer control (calls, branches,
+  /// monitors, thread ops, Yield), at any Trace, and at any heap access
+  /// a Trace instruments — those always retire per step, so schedules
+  /// stay byte-identical.  A fused head counts all its constituents.
+  /// Prefixes shorter than SuperinstrOptions::MinBatchLen are reported
+  /// as zero; zero means "no batch for this block".
+  std::vector<std::vector<uint32_t>> BatchLens; ///< [method][block]
+
   FusionStats Stats;
 };
 

@@ -209,6 +209,42 @@ TEST(CliTest, BadPlan) {
             ToolConfig::PlanMode::Off);
 }
 
+TEST(CliTest, BadSweep) {
+  // --sweep went through raw atoi for five PRs: '--sweep=5x' silently ran
+  // 5 seeds and '--sweep=-3' / '--sweep=abc' silently ran NO sweep at
+  // all.  Every malformed count is now a hard CLI error.
+  const std::string Msg =
+      "herd: --sweep expects a seed count in [1, 1000000], got '";
+  expectError(parse({"p.mj", "--sweep=5x"}), Msg + "5x'");
+  expectError(parse({"p.mj", "--sweep=-3"}), Msg + "-3'");
+  expectError(parse({"p.mj", "--sweep=abc"}), Msg + "abc'");
+  expectError(parse({"p.mj", "--sweep="}), Msg + "'");
+  expectError(parse({"p.mj", "--sweep=0"}), Msg + "0'");
+  expectError(parse({"p.mj", "--sweep= 5"}), Msg + " 5'");
+  expectError(parse({"p.mj", "--sweep=+5"}), Msg + "+5'");
+  expectError(parse({"p.mj", "--sweep=1000001"}), Msg + "1000001'");
+  HerdParse Ok = parse({"p.mj", "--sweep=17"});
+  ASSERT_EQ(Ok.St, HerdParse::Status::Run) << Ok.Error;
+  EXPECT_EQ(Ok.Opts.Sweep, 17);
+  EXPECT_EQ(parse({"p.mj", "--sweep=1000000"}).St, HerdParse::Status::Run);
+}
+
+TEST(CliTest, BadSeed) {
+  // Same sweep for --seed, which used an unchecked strtoull: junk became
+  // seed 0, and a negative wrapped to a huge value — both silently
+  // changed which schedule ran.
+  const std::string Msg = "herd: --seed expects a non-negative number, got '";
+  expectError(parse({"p.mj", "--seed=abc"}), Msg + "abc'");
+  expectError(parse({"p.mj", "--seed=7q"}), Msg + "7q'");
+  expectError(parse({"p.mj", "--seed=-1"}), Msg + "-1'");
+  expectError(parse({"p.mj", "--seed="}), Msg + "'");
+  HerdParse Ok = parse({"p.mj", "--seed=0"});
+  ASSERT_EQ(Ok.St, HerdParse::Status::Run) << Ok.Error;
+  EXPECT_EQ(Ok.Opts.Seed, 0u);
+  EXPECT_EQ(parse({"p.mj", "--seed=18446744073709551615"}).Opts.Seed,
+            18446744073709551615ull);
+}
+
 TEST(CliTest, EmptyPathFlags) {
   expectError(parse({"p.mj", "--record="}),
               "herd: --record expects a file path");

@@ -216,11 +216,13 @@ std::string digestHeap(const Heap &H) {
 
 RawRun runRaw(const Program &P, DispatchMode Mode, uint64_t Seed,
               bool TraceEveryAccess, const ThreadedCode *Fused,
-              const ScheduleTrace *Replay = nullptr) {
+              const ScheduleTrace *Replay = nullptr,
+              uint32_t MaxQuantum = 40) {
   RawRun Out;
   EventLog Log;
   InterpOptions Opts;
   Opts.Seed = Seed;
+  Opts.MaxQuantum = MaxQuantum;
   Opts.TraceEveryAccess = TraceEveryAccess;
   Opts.Dispatch = Mode;
   Opts.Fused = Mode == DispatchMode::Threaded ? Fused : nullptr;
@@ -317,6 +319,86 @@ TEST(DispatchDifferentialTest, RecordReplayInteroperates) {
     EXPECT_EQ(RecSwitch.R.Output, ReplayThr.R.Output);
     EXPECT_EQ(RecSwitch.R.Output, ReplaySw.R.Output);
   }
+}
+
+/// Compares a switch run and a threaded run step-for-step: events, heap,
+/// output, counts, and the recorded schedule slice by slice.
+void expectRawEqual(const RawRun &Ref, const RawRun &Thr) {
+  ASSERT_EQ(Ref.R.Ok, Thr.R.Ok) << Thr.R.Error;
+  EXPECT_EQ(Ref.R.Error, Thr.R.Error);
+  EXPECT_EQ(Ref.Events, Thr.Events);
+  EXPECT_EQ(Ref.HeapDigest, Thr.HeapDigest);
+  EXPECT_EQ(Ref.R.Output, Thr.R.Output);
+  EXPECT_EQ(Ref.R.InstructionsExecuted, Thr.R.InstructionsExecuted);
+  EXPECT_EQ(Ref.R.ContextSwitches, Thr.R.ContextSwitches);
+  ASSERT_EQ(Ref.Recorded.Slices.size(), Thr.Recorded.Slices.size());
+  for (size_t I = 0; I != Ref.Recorded.Slices.size(); ++I) {
+    EXPECT_EQ(Ref.Recorded.Slices[I].ThreadIndex,
+              Thr.Recorded.Slices[I].ThreadIndex)
+        << "slice " << I;
+    EXPECT_EQ(Ref.Recorded.Slices[I].Steps, Thr.Recorded.Slices[I].Steps)
+        << "slice " << I;
+  }
+}
+
+TEST(DispatchDifferentialTest, QuantumEdgesStayIdentical) {
+  // MaxQuantum=1 and 2 are the nastiest cases for the fast path: every
+  // superinstruction has more constituents than the remaining quantum, so
+  // the threaded loop must take the fall-back-to-plain lane on virtually
+  // every fused site, and block batches can almost never fit.  The
+  // schedule, events and accounting must still match the per-step switch
+  // interpreter byte for byte.
+  uint64_t FusedSites = 0;
+  for (auto &[Name, P] : namedCorpus()) {
+    ThreadedCode TC = buildThreadedCode(P);
+    FusedSites += TC.Stats.sites();
+    for (uint32_t MaxQ : {1u, 2u}) {
+      for (uint64_t Seed : {1u, 13u}) {
+        SCOPED_TRACE(Name + " maxq=" + std::to_string(MaxQ) +
+                     " seed=" + std::to_string(Seed));
+        RawRun Ref = runRaw(P, DispatchMode::Switch, Seed,
+                            /*TraceEveryAccess=*/true, nullptr, nullptr,
+                            MaxQ);
+        RawRun Thr = runRaw(P, DispatchMode::Threaded, Seed,
+                            /*TraceEveryAccess=*/true, &TC, nullptr, MaxQ);
+        expectRawEqual(Ref, Thr);
+      }
+    }
+  }
+  EXPECT_GT(FusedSites, 0u) << "corpus must exercise fused fall-back lanes";
+}
+
+TEST(DispatchDifferentialTest, ForcedBatchesStayIdentical) {
+  // The default MinBatchLen leaves short blocks unbatched, so the batch
+  // runtime path would go untested on small corpus programs.  Force it:
+  // with MinBatchLen=2 every eligible prefix is planned, and the threaded
+  // run must both take the batch path (hits > 0) and stay byte-identical
+  // to switch dispatch — including at quantum edges where batches only
+  // sometimes fit in the remaining quantum.
+  SuperinstrOptions SOpts;
+  SOpts.MinBatchLen = 2;
+  bool SawBatches = false;
+  for (auto &[Name, P] : namedCorpus()) {
+    ThreadedCode TC = buildThreadedCode(P, SOpts);
+    for (uint32_t MaxQ : {1u, 2u, 5u, 40u}) {
+      for (uint64_t Seed : {1u, 13u}) {
+        SCOPED_TRACE(Name + " maxq=" + std::to_string(MaxQ) +
+                     " seed=" + std::to_string(Seed));
+        RawRun Ref = runRaw(P, DispatchMode::Switch, Seed,
+                            /*TraceEveryAccess=*/true, nullptr, nullptr,
+                            MaxQ);
+        RawRun Thr = runRaw(P, DispatchMode::Threaded, Seed,
+                            /*TraceEveryAccess=*/true, &TC, nullptr, MaxQ);
+        expectRawEqual(Ref, Thr);
+        if (Thr.R.BlockRetireHits > 0) {
+          SawBatches = true;
+          EXPECT_GE(Thr.R.BlockRetiredSteps, Thr.R.BlockRetireHits);
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(SawBatches)
+      << "no run ever entered a batch; the batch path went untested";
 }
 
 TEST(DispatchDifferentialTest, FusionActuallyFires) {

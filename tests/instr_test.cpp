@@ -602,4 +602,229 @@ TEST(SuperinstrTest, GreedyMatchingNeverOverlaps) {
     }
 }
 
+//===----------------------------------------------------------------------===
+// Widened fusion pairs + batched quantum retirement plan
+//===----------------------------------------------------------------------===
+
+/// Asserts the batch-retirement plan is internally consistent: BatchLens
+/// mirrors the shadow's shape, every planned prefix honors \p MinLen and
+/// fits its block, and Stats.BatchBlocks/BatchSteps are exactly the
+/// count and sum of the nonzero entries.
+void expectBatchPlanConsistent(const ThreadedCode &TC, uint32_t MinLen) {
+  uint64_t Blocks = 0, Steps = 0;
+  ASSERT_EQ(TC.BatchLens.size(), TC.MethodBlocks.size());
+  for (size_t M = 0; M != TC.BatchLens.size(); ++M) {
+    ASSERT_EQ(TC.BatchLens[M].size(), TC.MethodBlocks[M].size());
+    for (size_t BI = 0; BI != TC.BatchLens[M].size(); ++BI) {
+      uint32_t Len = TC.BatchLens[M][BI];
+      if (Len == 0)
+        continue;
+      EXPECT_GE(Len, MinLen);
+      EXPECT_LE(Len, TC.MethodBlocks[M][BI].Instrs.size());
+      ++Blocks;
+      Steps += Len;
+    }
+  }
+  EXPECT_EQ(Blocks, TC.Stats.BatchBlocks);
+  EXPECT_EQ(Steps, TC.Stats.BatchSteps);
+}
+
+TEST(SuperinstrTest, BinOpFeedingBranchFuses) {
+  // `if (a + a) ...` with the BinOp directly conditioning the branch.
+  // The preceding Const feeds nothing adjacent, so Const;BinOp cannot
+  // claim the BinOp first.
+  Program P;
+  IRBuilder B(P);
+  B.startMain();
+  RegId A = B.emitConst(1);
+  RegId Unused = B.emitConst(2);
+  (void)Unused;
+  RegId Cond = B.emitBinOp(BinOpKind::Add, A, A);
+  BlockId T = B.newBlock();
+  BlockId F = B.newBlock();
+  B.emitBranch(Cond, T, F);
+  B.setBlock(T);
+  B.emitReturn();
+  B.setBlock(F);
+  B.emitReturn();
+
+  ThreadedCode TC = buildThreadedCode(P);
+  EXPECT_EQ(TC.Stats.BinOpBranchSites, 1u);
+  EXPECT_EQ(countFused(TC, OpFusedBinOpBranch), TC.Stats.BinOpBranchSites);
+
+  // The fused pair carries a control transfer in its tail, so it can
+  // never join a retirement batch — even with the plan threshold at its
+  // floor, the entry block's prefix stops before the fused head.
+  SuperinstrOptions Low;
+  Low.MinBatchLen = 2;
+  ThreadedCode TCLow = buildThreadedCode(P, Low);
+  EXPECT_EQ(TCLow.BatchLens[0][0], 2u); // Const; Const only
+  expectBatchPlanConsistent(TCLow, Low.MinBatchLen);
+}
+
+TEST(SuperinstrTest, GetFieldFeedingBinOpFuses) {
+  // `o.f + o.f` with no PutField tail: the triple cannot match, the
+  // GetField;BinOp pair does.
+  Program P;
+  IRBuilder B(P);
+  ClassId C = B.makeClass("Box");
+  FieldId F = B.makeField(C, "f");
+  B.startMain();
+  RegId Obj = B.emitNew(C);
+  RegId Cur = B.emitGetField(Obj, F);
+  B.emitPrint(B.emitBinOp(BinOpKind::Add, Cur, Cur));
+  B.emitReturn();
+
+  ThreadedCode TC = buildThreadedCode(P);
+  EXPECT_EQ(TC.Stats.GetFieldBinOpSites, 1u);
+  EXPECT_EQ(TC.Stats.GetBinPutSites, 0u);
+  EXPECT_EQ(countFused(TC, OpFusedGetFieldBinOp),
+            TC.Stats.GetFieldBinOpSites);
+}
+
+TEST(SuperinstrTest, BinOpFeedingPutFieldFuses) {
+  // `o.f = a + a` where the BinOp is not itself fed by an adjacent Const
+  // or GetField — the computed-store pair fuses.
+  Program P;
+  IRBuilder B(P);
+  ClassId C = B.makeClass("Box");
+  FieldId F = B.makeField(C, "f");
+  B.startMain();
+  RegId Obj = B.emitNew(C);
+  RegId A = B.emitConst(1);
+  RegId Unused = B.emitConst(2);
+  (void)Unused;
+  RegId Sum = B.emitBinOp(BinOpKind::Add, A, A);
+  B.emitPutField(Obj, F, Sum);
+  B.emitReturn();
+
+  ThreadedCode TC = buildThreadedCode(P);
+  EXPECT_EQ(TC.Stats.BinOpPutFieldSites, 1u);
+  EXPECT_EQ(countFused(TC, OpFusedBinOpPutField),
+            TC.Stats.BinOpPutFieldSites);
+}
+
+TEST(SuperinstrTest, BinOpFeedingMoveFuses) {
+  // `x = a + a` into a named local via Move.
+  Program P;
+  IRBuilder B(P);
+  B.startMain();
+  RegId A = B.emitConst(1);
+  RegId Unused = B.emitConst(2);
+  (void)Unused;
+  RegId Sum = B.emitBinOp(BinOpKind::Add, A, A);
+  B.emitPrint(B.emitMove(Sum));
+  B.emitReturn();
+
+  ThreadedCode TC = buildThreadedCode(P);
+  EXPECT_EQ(TC.Stats.BinOpMoveSites, 1u);
+  EXPECT_EQ(countFused(TC, OpFusedBinOpMove), TC.Stats.BinOpMoveSites);
+}
+
+/// A single straight-line block: Const; 14x BinOp; Print; Return.
+/// 16 batchable instructions ahead of the terminator.
+Program buildLongStraightLine() {
+  Program P;
+  IRBuilder B(P);
+  B.startMain();
+  RegId X = B.emitConst(1);
+  for (int I = 0; I != 14; ++I)
+    X = B.emitBinOp(BinOpKind::Add, X, X);
+  B.emitPrint(X);
+  B.emitReturn();
+  return P;
+}
+
+TEST(SuperinstrTest, BatchPlanCoversLongStraightLineBlocks) {
+  Program P = buildLongStraightLine();
+  ThreadedCode TC = buildThreadedCode(P); // default MinBatchLen = 12
+  // The prefix covers everything up to the Return, counted in
+  // constituent instructions (the fused Const;BinOp head counts 2).
+  EXPECT_EQ(TC.BatchLens[0][0], 16u);
+  EXPECT_EQ(TC.Stats.BatchBlocks, 1u);
+  EXPECT_EQ(TC.Stats.BatchSteps, 16u);
+  expectBatchPlanConsistent(TC, SuperinstrOptions{}.MinBatchLen);
+}
+
+TEST(SuperinstrTest, ShortBlocksFallBelowTheDefaultThreshold) {
+  // Const; Const; BinOp; Print (4 batchable steps): far below the
+  // default MinBatchLen, so the plan reports zero — the per-step derived
+  // accounting already handles short runs at its floor cost.  Lowering
+  // the threshold to 2 plans the same prefix.
+  Program P;
+  IRBuilder B(P);
+  B.startMain();
+  RegId A = B.emitConst(1);
+  RegId C = B.emitConst(2);
+  B.emitPrint(B.emitBinOp(BinOpKind::Add, A, C));
+  B.emitReturn();
+
+  ThreadedCode Default = buildThreadedCode(P);
+  EXPECT_EQ(Default.BatchLens[0][0], 0u);
+  EXPECT_EQ(Default.Stats.BatchBlocks, 0u);
+  EXPECT_EQ(Default.Stats.BatchSteps, 0u);
+
+  SuperinstrOptions Low;
+  Low.MinBatchLen = 2;
+  ThreadedCode Planned = buildThreadedCode(P, Low);
+  EXPECT_EQ(Planned.BatchLens[0][0], 4u);
+  expectBatchPlanConsistent(Planned, Low.MinBatchLen);
+}
+
+TEST(SuperinstrTest, BatchDisabledZeroesThePlan) {
+  // The ablation lever: Batch = false leaves every BatchLens entry at
+  // zero while fusion keeps working.
+  Program P = buildLongStraightLine();
+  SuperinstrOptions Opts;
+  Opts.Batch = false;
+  ThreadedCode TC = buildThreadedCode(P, Opts);
+  EXPECT_GT(TC.Stats.sites(), 0u);
+  EXPECT_EQ(TC.Stats.BatchBlocks, 0u);
+  EXPECT_EQ(TC.Stats.BatchSteps, 0u);
+  for (const auto &Lens : TC.BatchLens)
+    for (uint32_t Len : Lens)
+      EXPECT_EQ(Len, 0u);
+}
+
+TEST(SuperinstrTest, BatchPrefixStopsAtInstrumentedAccess) {
+  // New; Const; 12x BinOp; PutField; 12x BinOp; Print; Return.  Plain,
+  // the whole straight-line run batches (uninstrumented accesses cannot
+  // end a slice).  Instrumented, the PutField gains a Trace and the
+  // prefix must stop in front of it so the access and its Trace retire
+  // per step with the schedule intact.
+  auto Build = [] {
+    Program P;
+    IRBuilder B(P);
+    ClassId C = B.makeClass("Box");
+    FieldId F = B.makeField(C, "f");
+    B.startMain();
+    RegId Obj = B.emitNew(C);
+    RegId X = B.emitConst(1);
+    for (int I = 0; I != 12; ++I)
+      X = B.emitBinOp(BinOpKind::Add, X, X);
+    B.emitPutField(Obj, F, X);
+    for (int I = 0; I != 12; ++I)
+      X = B.emitBinOp(BinOpKind::Add, X, X);
+    B.emitPrint(X);
+    B.emitReturn();
+    return P;
+  };
+
+  Program Plain = Build();
+  ThreadedCode TCPlain = buildThreadedCode(Plain);
+  EXPECT_EQ(TCPlain.BatchLens[0][0], 28u); // everything but the Return
+
+  Program Instrumented = Build();
+  instrumentAll(Instrumented, /*WeakerThan=*/false, /*Peeling=*/false);
+  ThreadedCode TC = buildThreadedCode(Instrumented);
+  ASSERT_LT(TC.BatchLens[0][0], TCPlain.BatchLens[0][0]);
+  // The prefix ends exactly at the instrumented access: New + Const +
+  // 12 BinOps = 14 steps, then the PutField/Trace pair.
+  ASSERT_EQ(TC.BatchLens[0][0], 14u);
+  const std::vector<Instr> &Instrs = TC.MethodBlocks[0][0].Instrs;
+  EXPECT_EQ(Instrs[14].Op, Opcode::PutField);
+  EXPECT_EQ(Instrs[15].Op, Opcode::Trace);
+  expectBatchPlanConsistent(TC, SuperinstrOptions{}.MinBatchLen);
+}
+
 } // namespace

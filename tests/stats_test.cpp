@@ -489,9 +489,21 @@ TEST(GoldenTest, StatsJsonDocument) {
   R.Fusion.ConstBinOpSites = 3;
   R.Fusion.ConstPutFieldSites = 1;
   R.Fusion.GetBinPutSites = 2;
+  R.Fusion.BinOpBranchSites = 4;
+  R.Fusion.GetFieldBinOpSites = 2;
+  R.Fusion.BinOpPutFieldSites = 1;
+  R.Fusion.BinOpMoveSites = 1;
+  R.Fusion.BatchBlocks = 6;
+  R.Fusion.BatchSteps = 21;
   R.Run.Fused.ConstBinOp = 30;
   R.Run.Fused.ConstPutField = 5;
   R.Run.Fused.GetBinPut = 12;
+  R.Run.Fused.BinOpBranch = 40;
+  R.Run.Fused.GetFieldBinOp = 8;
+  R.Run.Fused.BinOpPutField = 3;
+  R.Run.Fused.BinOpMove = 2;
+  R.Run.BlockRetireHits = 9;
+  R.Run.BlockRetiredSteps = 27;
 
   VirtualClock Clock(/*TickNanos=*/100);
   MetricsRegistry Reg(&Clock);
