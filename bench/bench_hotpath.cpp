@@ -48,6 +48,15 @@
 ///    scripts/check_dispatch_gate.py gates the smoke run against the
 ///    checked-in baseline.
 ///
+///  * A hook-path A/B (docs/HOOKPATH.md) — the threaded live run repeats
+///    with the hook fast path engaged: the interpreter delivers access
+///    events through the devirtualized sink with the inline L0 filter in
+///    front, exactly what a default `herd` invocation does.  The JSON's
+///    per-trace `hook_path` section carries the unfiltered and filtered
+///    live throughputs, the L0 hit rate, and the counter-reconciliation
+///    identity (access_events == filter_hits + events_delivered);
+///    scripts/check_hook_gate.py gates both.
+///
 /// `--smoke` shrinks every trace for CI; `--reps=N` sets the repetition
 /// count (default 3, 1 under --smoke); `--out=PATH` writes the JSON report
 /// (the checked-in BENCH_hotpath.json is a full run).
@@ -60,6 +69,7 @@
 #include "detect/ShardedRuntime.h"
 #include "detect/TraceFile.h"
 #include "instr/Superinstr.h"
+#include "ir/IRBuilder.h"
 #include "runtime/Interpreter.h"
 #include "support/Metrics.h"
 #include "workloads/Workloads.h"
@@ -208,6 +218,43 @@ DetectorPlan refhotPlan(const RefParams &P) {
 }
 
 //===----------------------------------------------------------------------===
+// The hook-bound synthetic workload (docs/HOOKPATH.md)
+//===----------------------------------------------------------------------===
+
+/// `hotfield` — a tight single-threaded loop whose body is sixteen accesses
+/// to the same field.  After the first iteration every access is a
+/// detector-side cache hit, so under the fused threaded dispatch the
+/// per-event interpretation cost is a few nanoseconds and the hook path is
+/// what dominates a live run.  That makes this the trace where the L0
+/// filter's benefit is directly visible: the five replicas are
+/// interpretation-bound (live-vs-replay ratios well below 1), so their
+/// filtered/unfiltered live A/B hovers near 1.0x no matter how cheap the
+/// probe is; hotfield isolates the quantity this PR optimizes.
+Workload buildHotField(uint32_t Scale) {
+  Workload W;
+  W.Name = "hotfield";
+  W.Description = "hook-bound synthetic: tight redundant same-field loop";
+  W.DynamicThreads = 1;
+  W.ExpectedRacyObjectsFull = 0;
+  IRBuilder B(W.P);
+  ClassId Box = B.makeClass("Box");
+  FieldId F = B.makeField(Box, "f");
+  B.startMain();
+  RegId Obj = B.emitNew(Box);
+  B.emitPutField(Obj, F, B.emitConst(1));
+  RegId N = B.emitConst(int64_t(20000) * Scale);
+  B.forLoop(0, N, 1, [&](RegId) {
+    // Eight read/write pairs: enough straight-line accesses that the loop
+    // bookkeeping amortizes away and the stream is ~100% L0 hits.
+    for (int K = 0; K != 8; ++K)
+      B.emitPutField(Obj, F, B.emitGetField(Obj, F));
+  });
+  B.emitPrint(B.emitGetField(Obj, F));
+  B.emitReturn();
+  return W;
+}
+
+//===----------------------------------------------------------------------===
 // Measurement plumbing
 //===----------------------------------------------------------------------===
 
@@ -240,6 +287,23 @@ struct LiveResult {
   uint64_t BlockRetiredSteps = 0;
 };
 
+/// The hook-path A/B for one replica: the threaded live run with the
+/// legacy virtual hook path ("unfiltered") against the devirtualized
+/// L0-filtered fast path ("filtered"), plus the filter's own counters.
+struct HookPathResult {
+  bool Present = false;
+  double UnfilteredEventsPerSec = 0; ///< virtual dispatch, no L0 probe
+  double FilteredEventsPerSec = 0;   ///< devirtualized sink + L0 filter
+  double Speedup = 0;                ///< filtered ÷ unfiltered
+  uint64_t AccessEvents = 0;         ///< interpreter-side emit count
+  uint64_t FilterHits = 0;
+  uint64_t FilterMisses = 0;
+  double FilterHitRate = 0;          ///< hits ÷ (hits + misses)
+  uint64_t EventsDelivered = 0;      ///< runtime-side events_seen
+  /// access_events == filter_hits + events_delivered, exactly.
+  bool CountersReconcile = false;
+};
+
 struct TraceReport {
   std::string Name;
   uint64_t Events = 0;
@@ -256,6 +320,8 @@ struct TraceReport {
   /// Live runs keyed by dispatch mode ("switch", "threaded"); Live above
   /// duplicates the threaded entry so older consumers keep working.
   std::vector<std::pair<std::string, LiveResult>> LiveModes;
+  /// The hook-path filtered-vs-unfiltered live A/B (docs/HOOKPATH.md).
+  HookPathResult HookPath;
 };
 
 /// Replays \p Path once into \p Sink, timing and alloc-counting the pass.
@@ -319,7 +385,7 @@ void printPass(const std::string &Trace, const PassResult &R) {
 void writeJson(std::FILE *F, const std::vector<TraceReport> &Reports,
                const MetricsRegistry &Metrics, bool Smoke, uint32_t Reps) {
   std::fprintf(F, "{\n");
-  std::fprintf(F, "  \"schema\": \"herd-bench-hotpath-v3\",\n");
+  std::fprintf(F, "  \"schema\": \"herd-bench-hotpath-v4\",\n");
   std::fprintf(F, "  \"smoke\": %s,\n", Smoke ? "true" : "false");
   std::fprintf(F, "  \"reps\": %u,\n", Reps);
   // The run's metrics-registry counters (support/Metrics.h), name-sorted:
@@ -381,6 +447,22 @@ void writeJson(std::FILE *F, const std::vector<TraceReport> &Reports,
       }
       std::fprintf(F, "      },\n");
     }
+    if (T.HookPath.Present)
+      std::fprintf(F,
+                   "      \"hook_path\": {\"live_unfiltered_events_per_sec\":"
+                   " %.0f, \"live_filtered_events_per_sec\": %.0f, "
+                   "\"speedup\": %.3f, \"access_events\": %llu, "
+                   "\"filter_hits\": %llu, \"filter_misses\": %llu, "
+                   "\"filter_hit_rate\": %.4f, \"events_delivered\": %llu, "
+                   "\"counters_reconcile\": %s},\n",
+                   T.HookPath.UnfilteredEventsPerSec,
+                   T.HookPath.FilteredEventsPerSec, T.HookPath.Speedup,
+                   (unsigned long long)T.HookPath.AccessEvents,
+                   (unsigned long long)T.HookPath.FilterHits,
+                   (unsigned long long)T.HookPath.FilterMisses,
+                   T.HookPath.FilterHitRate,
+                   (unsigned long long)T.HookPath.EventsDelivered,
+                   T.HookPath.CountersReconcile ? "true" : "false");
     std::fprintf(F, "      \"passes\": [\n");
     for (size_t J = 0; J != T.Passes.size(); ++J) {
       const PassResult &P = T.Passes[J];
@@ -467,6 +549,10 @@ int main(int argc, char **argv) {
   // workloads vector outlives the measurement loop so the live section can
   // re-run each program.
   std::vector<Workload> Workloads = buildAllWorkloads(Smoke ? 1 : 4);
+  // Plus the hook-bound synthetic (docs/HOOKPATH.md): the trace whose live
+  // run is dominated by hook cost rather than interpretation, where the L0
+  // filter's speedup is actually measurable.
+  Workloads.push_back(buildHotField(Smoke ? 1 : 4));
   for (Workload &W : Workloads) {
     std::string Path = "/tmp/herd_hotpath_" + W.Name + ".trace";
     TraceWriter Writer;
@@ -697,6 +783,69 @@ int main(int argc, char **argv) {
         if (M.Mode == DispatchMode::Threaded)
           Report.Live = Live;
         Report.LiveModes.emplace_back(M.Name, Live);
+      }
+
+      // Hook-path A/B (docs/HOOKPATH.md): the threaded live run again,
+      // now with the hook fast path engaged — the interpreter delivers
+      // access events through the devirtualized serial sink with the
+      // inline L0 filter in front, exactly what a default `herd`
+      // invocation runs.  Same program, same schedule, same reports; the
+      // only difference is how redundant events die.
+      {
+        HookPathResult HP;
+        HP.UnfilteredEventsPerSec = Report.Live.EventsPerSec;
+        std::unique_ptr<RaceRuntime> FastRT;
+        uint64_t AccessEvents = 0;
+        for (uint32_t Rep = 0; Rep != Reps; ++Rep) {
+          RaceRuntimeOptions LOpts;
+          LOpts.Plan = T.Plan;
+          LOpts.HookFilter = true;
+          FastRT = std::make_unique<RaceRuntime>(LOpts);
+          InterpOptions IOpts;
+          IOpts.TraceEveryAccess = true;
+          IOpts.Dispatch = DispatchMode::Threaded;
+          IOpts.Fused = &Fused;
+          IOpts.SerialSink = FastRT.get();
+          Interpreter Interp(*T.Prog, FastRT.get(), IOpts);
+          auto T0 = std::chrono::steady_clock::now();
+          InterpResult R = Interp.run();
+          double Seconds = secondsSince(T0);
+          FastRT->onRunEnd();
+          if (!R.Ok) {
+            std::fprintf(stderr, "%s live (filtered): %s\n",
+                         Report.Name.c_str(), R.Error.c_str());
+            return 1;
+          }
+          double Eps = Seconds > 0 ? double(T.Events) / Seconds : 0.0;
+          if (!HP.Present || Eps > HP.FilteredEventsPerSec) {
+            HP.Present = true;
+            HP.FilteredEventsPerSec = Eps;
+          }
+          AccessEvents = R.AccessEvents;
+        }
+        RaceRuntimeStats S = FastRT->stats();
+        HP.AccessEvents = AccessEvents;
+        HP.FilterHits = S.Hook.FilterHits;
+        HP.FilterMisses = S.Hook.FilterMisses;
+        uint64_t Probes = HP.FilterHits + HP.FilterMisses;
+        HP.FilterHitRate =
+            Probes ? double(HP.FilterHits) / double(Probes) : 0.0;
+        HP.EventsDelivered = S.EventsSeen;
+        HP.CountersReconcile =
+            AccessEvents == HP.FilterHits + S.EventsSeen;
+        HP.Speedup = HP.UnfilteredEventsPerSec > 0
+                         ? HP.FilteredEventsPerSec /
+                               HP.UnfilteredEventsPerSec
+                         : 0.0;
+        bool Agree = FastRT->reporter().reportedLocations() ==
+                     Serial->reporter().reportedLocations();
+        Report.Agreement = Report.Agreement && Agree;
+        std::printf("%-8s %-9s %-5s %12.0f %10s %12s %10s %10s  "
+                    "(%.2fx of unfiltered, %.0f%% L0 hits)\n",
+                    Report.Name.c_str(), "live[L0]", "cold",
+                    HP.FilteredEventsPerSec, "-", "-", "-", "-",
+                    HP.Speedup, 100.0 * HP.FilterHitRate);
+        Report.HookPath = HP;
       }
     }
 

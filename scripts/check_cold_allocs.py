@@ -41,7 +41,10 @@ def main():
     with open(sys.argv[2]) as f:
         baseline = json.load(f)
     for report, arg in ((current, sys.argv[1]), (baseline, sys.argv[2])):
-        if report.get("schema") != "herd-bench-hotpath-v3":
+        # v4 added the per-trace hook_path section (docs/HOOKPATH.md);
+        # the cold-pass surface this gate reads is unchanged from v3.
+        if report.get("schema") not in ("herd-bench-hotpath-v3",
+                                        "herd-bench-hotpath-v4"):
             print(f"{arg}: unexpected schema {report.get('schema')!r}",
                   file=sys.stderr)
             return 2

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Dispatch-mode live-vs-replay regression gate for CI.
 
-Compares a fresh bench_hotpath smoke run (herd-bench-hotpath-v3 JSON)
-against the checked-in smoke baseline and fails when the threaded fast
-path (docs/INTERPRETER.md) lost ground:
+Compares a fresh bench_hotpath smoke run (herd-bench-hotpath-v3 or -v4
+JSON) against the checked-in smoke baseline and fails when the threaded
+fast path (docs/INTERPRETER.md) lost ground:
 
  * every trace the baseline measured live must carry both dispatch modes
    ("switch" and "threaded") in `live_by_dispatch`, and the legacy
@@ -65,7 +65,11 @@ def main():
     with open(sys.argv[2]) as f:
         baseline = json.load(f)
     for report, arg in ((current, sys.argv[1]), (baseline, sys.argv[2])):
-        if report.get("schema") != "herd-bench-hotpath-v3":
+        # v4 added the per-trace hook_path section (docs/HOOKPATH.md,
+        # gated by check_hook_gate.py); everything this gate reads is
+        # unchanged from v3, so both versions are accepted.
+        if report.get("schema") not in ("herd-bench-hotpath-v3",
+                                        "herd-bench-hotpath-v4"):
             print(f"{arg}: unexpected schema {report.get('schema')!r}",
                   file=sys.stderr)
             return 2

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Hook-path fast-path regression gate for CI (docs/HOOKPATH.md).
+
+Validates the `hook_path` section that schema herd-bench-hotpath-v4 added
+to every live-measured trace, comparing a fresh bench_hotpath run against
+the checked-in baseline:
+
+ * every trace the baseline measured live must carry a complete
+   `hook_path` object in the current run;
+ * the counter-reconciliation identity must hold, recomputed here rather
+   than trusted: every access event either died in the L0 filter or was
+   delivered to the detector, so
+       access_events == filter_hits + events_delivered
+   exactly, and the probe counters can never exceed the event count
+   (filter_hits + filter_misses <= access_events — probes are skipped
+   for a thread's first-ever event, before its state exists);
+ * the unfiltered live path must not regress vs the baseline's absolute
+   throughput (loose factor: cross-run timing absorbs machine speed);
+ * on the hook-bound synthetic trace (`hotfield`, the one workload whose
+   live run is dominated by hook cost rather than interpretation) the
+   filtered/unfiltered speedup must stay near the baseline's and above an
+   absolute floor — the filter doing strictly less work than the
+   unfiltered path makes a speedup below 1.0 a correctness smell, not
+   noise;
+ * a full (non-smoke) run must demonstrate the headline >= 1.3x speedup
+   on the hook-bound trace — this is the acceptance bar the checked-in
+   BENCH_hotpath.json proves; smoke runs on shared CI runners are only
+   held to the loose clauses above.
+
+Usage: check_hook_gate.py CURRENT.json BASELINE.json
+"""
+
+import json
+import sys
+
+# Current unfiltered live events/sec may be this fraction of the
+# baseline's before the gate trips (same spirit as check_dispatch_gate's
+# THREADED_LIVE_LENIENCY: loose enough for a slower runner, tight enough
+# to catch the hook path falling off a cliff).
+UNFILTERED_LENIENCY = 0.4
+# The hook-bound trace's speedup may be this fraction of the baseline's.
+SPEEDUP_LENIENCY = 0.6
+# ... but never below this absolute floor on any run.
+SPEEDUP_FLOOR = 0.95
+# Full (non-smoke) runs must demonstrate the headline speedup here.
+HOOKBOUND_TRACE = "hotfield"
+FULL_RUN_SPEEDUP = 1.3
+
+HOOK_KEYS = ("live_unfiltered_events_per_sec", "live_filtered_events_per_sec",
+             "speedup", "access_events", "filter_hits", "filter_misses",
+             "filter_hit_rate", "events_delivered", "counters_reconcile")
+
+
+def hook_traces(report):
+    return {t["name"]: t for t in report["traces"] if "hook_path" in t}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        current = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+    for report, arg in ((current, sys.argv[1]), (baseline, sys.argv[2])):
+        if report.get("schema") != "herd-bench-hotpath-v4":
+            print(f"{arg}: unexpected schema {report.get('schema')!r}",
+                  file=sys.stderr)
+            return 2
+
+    cur, base = hook_traces(current), hook_traces(baseline)
+    failed = False
+    for name, b in base.items():
+        t = cur.get(name)
+        if t is None:
+            print(f"FAIL {name}: no hook_path in current run",
+                  file=sys.stderr)
+            failed = True
+            continue
+        hp = t["hook_path"]
+        missing = [k for k in HOOK_KEYS if k not in hp]
+        if missing:
+            print(f"FAIL {name}: hook_path missing {missing}",
+                  file=sys.stderr)
+            failed = True
+            continue
+
+        # Counter coherence, recomputed from the raw counters.
+        events = hp["access_events"]
+        hits, misses = hp["filter_hits"], hp["filter_misses"]
+        delivered = hp["events_delivered"]
+        if events != hits + delivered:
+            print(f"FAIL {name}: access_events {events} != filter_hits "
+                  f"{hits} + events_delivered {delivered}", file=sys.stderr)
+            failed = True
+        elif hits + misses > events:
+            print(f"FAIL {name}: probe counters exceed the event count "
+                  f"({hits} + {misses} > {events})", file=sys.stderr)
+            failed = True
+        elif not hp["counters_reconcile"]:
+            print(f"FAIL {name}: harness reported counters_reconcile false",
+                  file=sys.stderr)
+            failed = True
+        else:
+            print(f"ok   {name:10} counters reconcile "
+                  f"({events} == {hits} + {delivered})")
+
+        unf = hp["live_unfiltered_events_per_sec"]
+        base_unf = b["hook_path"]["live_unfiltered_events_per_sec"]
+        floor = base_unf * UNFILTERED_LENIENCY
+        status = "ok" if unf >= floor else "FAIL"
+        print(f"{status:4} {name:10} unfiltered live {unf:.0f} ev/s vs "
+              f"baseline {base_unf:.0f} (floor {floor:.0f})")
+        if unf < floor:
+            failed = True
+
+        if name == HOOKBOUND_TRACE:
+            speedup = hp["speedup"]
+            base_speedup = b["hook_path"]["speedup"]
+            floor = max(SPEEDUP_FLOOR, base_speedup * SPEEDUP_LENIENCY)
+            status = "ok" if speedup >= floor else "FAIL"
+            print(f"{status:4} {name:10} filtered speedup {speedup:.2f}x "
+                  f"(baseline {base_speedup:.2f}x, floor {floor:.2f}x)")
+            if speedup < floor:
+                failed = True
+            if not current.get("smoke", True):
+                status = "ok" if speedup >= FULL_RUN_SPEEDUP else "FAIL"
+                print(f"{status:4} {name:10} full-run headline speedup "
+                      f"{speedup:.2f}x (required {FULL_RUN_SPEEDUP:.1f}x)")
+                if speedup < FULL_RUN_SPEEDUP:
+                    failed = True
+
+    if HOOKBOUND_TRACE not in base:
+        print(f"FAIL: baseline has no hook_path for {HOOKBOUND_TRACE}",
+              file=sys.stderr)
+        failed = True
+    if failed:
+        print("hook-path regression detected", file=sys.stderr)
+        return 1
+    print("hook-path fast path within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -90,6 +90,7 @@ SECTION_KEYS = {
         "cache_hits": int,
         "cache_misses": int,
         "cache_evictions": int,
+        "hook": dict,
         "detector": dict,
         "per_thread_cache": list,
     },
@@ -148,6 +149,13 @@ def check_stats(doc):
     runtime = doc.get("runtime", {})
     if isinstance(runtime.get("detector"), dict):
         check_keys(runtime["detector"], DETECTOR_KEYS, "runtime.detector")
+    if isinstance(runtime.get("hook"), dict):
+        check_keys(runtime["hook"],
+                   {"filter_enabled": bool, "filter_hits": int,
+                    "filter_misses": int, "epoch_bumps": int,
+                    "key_invalidations": int, "batch_flushes": int,
+                    "batched_events": int},
+                   "runtime.hook")
     for i, shard in enumerate(doc.get("shards", [])):
         where = f"shards[{i}]"
         if not isinstance(shard, dict):

@@ -25,14 +25,18 @@ void AccessCache::unlink(uint32_t Index) {
   E.ListLock = LockId::invalid();
 }
 
-void AccessCache::insert(LocationKey Key, LockId InnermostLock) {
+std::optional<LocationKey> AccessCache::insert(LocationKey Key,
+                                               LockId InnermostLock) {
   uint32_t Index = indexOf(Key);
   Entry &E = Entries[Index];
+  std::optional<LocationKey> Displaced;
   if (E.Valid) {
     // Conflict eviction: the doubly-linked list makes removal O(1)
     // (Section 4.2, last paragraph).
     ++Evictions;
     unlink(Index);
+    if (E.Key != Key)
+      Displaced = E.Key;
   }
   E.Key = Key;
   E.Valid = true;
@@ -51,6 +55,7 @@ void AccessCache::insert(LocationKey Key, LockId InnermostLock) {
       It->second = Index;
     }
   }
+  return Displaced;
 }
 
 void AccessCache::evictLock(LockId Lock) {

@@ -33,6 +33,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -53,8 +54,7 @@ public:
 
   /// Returns true when \p Key is present (a guaranteed-redundant access).
   bool lookup(LocationKey Key) {
-    const Entry &E = Entries[indexOf(Key)];
-    if (E.Valid && E.Key == Key) {
+    if (provesRedundant(Key)) {
       ++Hits;
       return true;
     }
@@ -62,10 +62,26 @@ public:
     return false;
   }
 
+  /// The cache's redundancy invariant as a side-effect-free predicate: a
+  /// resident entry proves that an access to \p Key by this cache's thread
+  /// with this cache's access kind is weaker-or-equal to an event the
+  /// detector has already processed (Section 4.2) — same thread and kind by
+  /// cache identity, lockset-subset by the per-lock eviction lists, and no
+  /// intervening shared-transition by evictKey.  Unlike lookup(), no
+  /// counters move, so layered filters (the hook-path L0 filter) can use it
+  /// as their differential oracle without perturbing stats.
+  bool provesRedundant(LocationKey Key) const {
+    const Entry &E = Entries[indexOf(Key)];
+    return E.Valid && E.Key == Key;
+  }
+
   /// Inserts \p Key, replacing whatever occupied its slot.  \p InnermostLock
   /// is the most recently acquired releasable lock currently held (invalid
   /// when none): the entry will be evicted when that lock is released.
-  void insert(LocationKey Key, LockId InnermostLock);
+  /// Returns the key a conflict eviction displaced, if any, so layered
+  /// filters can drop their own entry for it and stay a subset of this
+  /// cache.
+  std::optional<LocationKey> insert(LocationKey Key, LockId InnermostLock);
 
   /// Evicts every entry inserted under \p Lock (called on the final, i.e.
   /// non-nested, monitorexit of \p Lock).

@@ -11,7 +11,7 @@
 using namespace herd;
 
 RaceRuntime::RaceRuntime(RaceRuntimeOptions Opts)
-    : Opts(Opts),
+    : Opts(Opts), FilterOn(Opts.HookFilter && Opts.UseCache),
       // Field merging is applied here (before the cache) so that the cache
       // and the detector index the same keys; the detector's own option
       // stays off to avoid re-merging.
@@ -25,12 +25,15 @@ RaceRuntime::RaceRuntime(RaceRuntimeOptions Opts)
       return;
     // Section 7.2: a location entering the shared state must leave every
     // thread's cache, otherwise a cache hit could suppress the first
-    // post-sharing access.
+    // post-sharing access.  The L0 filter mirrors the caches, so it must
+    // drop the key everywhere too (docs/HOOKPATH.md).
     for (auto &T : Threads) {
       if (!T)
         continue;
       T->ReadCache.evictKey(Key);
       T->WriteCache.evictKey(Key);
+      if (FilterOn)
+        T->Filter.invalidateKey(Key);
     }
   });
 }
@@ -65,6 +68,8 @@ void RaceRuntime::onThreadCreate(ThreadId Child, ThreadId Parent,
     // life, so it is not tagged for cache eviction (see AccessCache docs).
     T.Locks.insert(dummyLockOf(Child));
     T.LocksDirty = true;
+    if (FilterOn)
+      T.Filter.bumpEpoch();
   }
 }
 
@@ -75,6 +80,8 @@ void RaceRuntime::onThreadExit(ThreadId Dying) {
   PerThread &T = threadState(Dying);
   T.Locks.erase(dummyLockOf(Dying));
   T.LocksDirty = true;
+  if (FilterOn)
+    T.Filter.bumpEpoch();
 }
 
 void RaceRuntime::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
@@ -86,6 +93,8 @@ void RaceRuntime::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
   PerThread &T = threadState(Joiner);
   T.Locks.insert(dummyLockOf(Joined));
   T.LocksDirty = true;
+  if (FilterOn)
+    T.Filter.bumpEpoch();
 }
 
 void RaceRuntime::onMonitorEnter(ThreadId Thread, LockId Lock,
@@ -96,6 +105,8 @@ void RaceRuntime::onMonitorEnter(ThreadId Thread, LockId Lock,
   T.Locks.insert(Lock);
   T.LocksDirty = true;
   T.RealStack.push_back(Lock);
+  if (FilterOn)
+    T.Filter.bumpEpoch();
 }
 
 void RaceRuntime::onMonitorExit(ThreadId Thread, LockId Lock,
@@ -112,6 +123,8 @@ void RaceRuntime::onMonitorExit(ThreadId Thread, LockId Lock,
     T.ReadCache.evictLock(Lock);
     T.WriteCache.evictLock(Lock);
   }
+  if (FilterOn)
+    T.Filter.bumpEpoch();
 }
 
 void RaceRuntime::onAccess(ThreadId Thread, LocationKey Location,
@@ -124,8 +137,14 @@ void RaceRuntime::onAccess(ThreadId Thread, LocationKey Location,
   AccessCache *Cache = nullptr;
   if (Opts.UseCache) {
     Cache = Access == AccessKind::Read ? &T.ReadCache : &T.WriteCache;
-    if (Cache->lookup(Key))
-      return; // guaranteed redundant: a weaker access is already recorded
+    if (Cache->lookup(Key)) {
+      // Guaranteed redundant: a weaker access is already recorded.  Seed
+      // the L0 filter so the next same-epoch repeat short-circuits at the
+      // instrumentation site (the hit is backed by this cache entry).
+      if (FilterOn)
+        T.Filter.insert(Key, Access);
+      return;
+    }
   }
 
   if (T.LocksDirty) {
@@ -144,13 +163,21 @@ void RaceRuntime::onAccess(ThreadId Thread, LocationKey Location,
   if (Cache) {
     LockId Innermost =
         T.RealStack.empty() ? LockId::invalid() : T.RealStack.back();
-    Cache->insert(Key, Innermost);
+    std::optional<LocationKey> Displaced = Cache->insert(Key, Innermost);
+    if (FilterOn) {
+      // A conflict eviction removed another key's backing cache entry; the
+      // L0 filter must not keep proving that key redundant.
+      if (Displaced)
+        T.Filter.invalidateKey(*Displaced);
+      T.Filter.insert(Key, Access);
+    }
   }
 }
 
 RaceRuntimeStats RaceRuntime::stats() const {
   RaceRuntimeStats S;
   S.EventsSeen = EventsSeen;
+  S.Hook.FilterEnabled = FilterOn;
   for (size_t Index = 0; Index < Threads.size(); ++Index) {
     const auto &T = Threads[Index];
     if (!T)
@@ -158,6 +185,10 @@ RaceRuntimeStats RaceRuntime::stats() const {
     S.CacheHits += T->ReadCache.hits() + T->WriteCache.hits();
     S.CacheMisses += T->ReadCache.misses() + T->WriteCache.misses();
     S.CacheEvictions += T->ReadCache.evictions() + T->WriteCache.evictions();
+    S.Hook.FilterHits += T->Filter.hits();
+    S.Hook.FilterMisses += T->Filter.misses();
+    S.Hook.EpochBumps += T->Filter.epochBumps();
+    S.Hook.KeyInvalidations += T->Filter.keyInvalidations();
     ThreadCacheStats TC;
     TC.Thread = uint32_t(Index);
     TC.ReadHits = T->ReadCache.hits();

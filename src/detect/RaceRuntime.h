@@ -21,12 +21,14 @@
 #define HERD_DETECT_RACERUNTIME_H
 
 #include "detect/AccessCache.h"
+#include "detect/AccessFilter.h"
 #include "detect/Detector.h"
 #include "detect/DetectorStats.h"
 #include "detect/RaceReport.h"
 #include "runtime/Hooks.h"
 #include "support/LockSetInterner.h"
 
+#include <cassert>
 #include <memory>
 #include <vector>
 
@@ -52,6 +54,12 @@ struct RaceRuntimeOptions {
   /// (`herd --cache-size=N`).  The paper's experiments use 256.
   uint32_t CacheEntries = 256;
 
+  /// Enable the hook-path L0 filter consulted by onAccessFast
+  /// (`herd --hook-filter=on|off`, docs/HOOKPATH.md).  Only effective
+  /// together with UseCache: the filter's differential oracle is the
+  /// detector-side cache, so without it the fast path stays off.
+  bool HookFilter = false;
+
   /// Capacity hints from static analysis (`herd --plan=auto|off|N`).
   /// Applied to the detector and thread table at construction; an empty
   /// plan means on-demand growth exactly as before.
@@ -72,6 +80,64 @@ public:
   void onMonitorExit(ThreadId Thread, LockId Lock, bool StillHeld) override;
   void onAccess(ThreadId Thread, LocationKey Location, AccessKind Access,
                 SiteId Site) override;
+
+  /// The devirtualized hook-path entry (docs/HOOKPATH.md): probes the
+  /// thread's L0 filter inline and only falls through to the full onAccess
+  /// path on a miss.  The interpreter calls this through a concrete
+  /// RaceRuntime pointer when the single-detector fast path is active, so
+  /// the probe inlines into the dispatch loop with no virtual hop.
+  void onAccessFast(ThreadId Thread, LocationKey Location, AccessKind Access,
+                    SiteId Site) {
+    if (FilterOn) {
+      // Thread state is fetched with an inline bounds-checked load rather
+      // than the out-of-line threadState(): a null slot (first event from
+      // this thread) falls through to onAccess, which creates it.
+      size_t Index = Thread.index();
+      PerThread *T = Index < Threads.size() ? Threads[Index].get() : nullptr;
+      if (T) {
+        LocationKey Key =
+            Opts.FieldsMerged ? Location.withFieldsMerged() : Location;
+        if (T->Filter.probe(Key, Access)) {
+          // The differential oracle: an L0 hit must be backed by a resident
+          // detector-side cache entry, i.e. the full path would have proven
+          // the same access redundant (see docs/HOOKPATH.md).
+          assert((Access == AccessKind::Read ? T->ReadCache : T->WriteCache)
+                     .provesRedundant(Key) &&
+                 "L0 filter hit not backed by the detector-side cache");
+          return;
+        }
+      }
+    }
+    RaceRuntime::onAccess(Thread, Location, Access, Site);
+  }
+
+  /// The interpreter's per-quantum probe handle (docs/HOOKPATH.md): the
+  /// running thread's L0 filter, hoisted into the dispatch loop so the
+  /// per-access probe is one register-resident pointer instead of a walk
+  /// through the runtime's thread table.  Null when the probe cannot be
+  /// hoisted — filter off, or FieldsMerged, whose key transform the
+  /// onAccessFast fallback performs.  Creates the thread's state on first
+  /// use; the returned address is stable for the thread's lifetime (state
+  /// is heap-allocated) and every invalidation channel mutates the
+  /// pointed-to filter in place.
+  AccessFilter *filterHandle(ThreadId Thread) {
+    if (!FilterOn || Opts.FieldsMerged)
+      return nullptr;
+    return &threadState(Thread).Filter;
+  }
+
+  /// The differential oracle behind the interpreter-side inline probe
+  /// (debug builds assert this on every hoisted L0 hit): the detector-side
+  /// cache must prove the same access redundant.
+  bool oracleHolds(ThreadId Thread, LocationKey Key,
+                   AccessKind Access) const {
+    size_t Index = Thread.index();
+    if (Index >= Threads.size() || !Threads[Index])
+      return false;
+    const PerThread &T = *Threads[Index];
+    return (Access == AccessKind::Read ? T.ReadCache : T.WriteCache)
+        .provesRedundant(Key);
+  }
 
   RaceReporter &reporter() { return Reporter; }
   const RaceReporter &reporter() const { return Reporter; }
@@ -97,6 +163,7 @@ private:
     std::vector<LockId> RealStack;    ///< releasable locks, outer to inner
     AccessCache ReadCache;
     AccessCache WriteCache;
+    AccessFilter Filter;              ///< hook-path L0 filter (HookFilter)
 
     /// Interned id of Locks, refreshed lazily: locksets only change at
     /// monitor/thread events, so the per-access cost is a dirty-bit test
@@ -108,6 +175,7 @@ private:
   PerThread &threadState(ThreadId Thread);
 
   RaceRuntimeOptions Opts;
+  bool FilterOn; ///< Opts.HookFilter gated on Opts.UseCache (the oracle)
   RaceReporter Reporter;
   LockSetInterner Interner; ///< declared before Det, which resolves into it
   Detector Det;

@@ -170,13 +170,16 @@ DetectorStats ShardPool::aggregateDetectorStats() const {
 //===----------------------------------------------------------------------===
 
 ShardedRuntime::ShardedRuntime(ShardedRuntimeOptions Opts)
-    : Opts(Opts),
+    : Opts(Opts), FastOn(Opts.HookFilter),
+      FilterOn(Opts.HookFilter && Opts.UseCache),
       Pool(Opts.NumShards, Opts.BatchCapacity, Opts.QueueDepthBatches,
            /*Locksets=*/nullptr, Opts.Plan, Opts.Metrics) {
   DetectorPlan Plan = Opts.Plan.clamped();
   Ownership.reserve(Plan.ExpectedLocations);
   if (Plan.ExpectedThreads)
     Threads.reserve(size_t(Plan.ExpectedThreads) + 1); // ids are 1-based
+  if (FastOn)
+    Staged.Events.reserve(Opts.BatchCapacity == 0 ? 1 : Opts.BatchCapacity);
   Ownership.setOnShared([this](LocationKey Key) {
     if (!this->Opts.UseCache)
       return;
@@ -184,11 +187,14 @@ ShardedRuntime::ShardedRuntime(ShardedRuntimeOptions Opts)
     // thread's cache, otherwise a cache hit could suppress the first
     // post-sharing access.  Ownership runs on the producer thread, so this
     // eviction is synchronous with ingest exactly as in the serial runtime.
+    // The L0 filter mirrors the caches, so it drops the key everywhere too.
     for (auto &T : Threads) {
       if (!T)
         continue;
       T->ReadCache.evictKey(Key);
       T->WriteCache.evictKey(Key);
+      if (FilterOn)
+        T->Filter.invalidateKey(Key);
     }
   });
 }
@@ -212,15 +218,23 @@ void ShardedRuntime::onThreadCreate(ThreadId Child, ThreadId Parent,
   if (Opts.ModelJoin) {
     T.Locks.insert(RaceRuntime::dummyLockOf(Child));
     T.LocksDirty = true;
+    if (FilterOn)
+      T.Filter.bumpEpoch();
   }
+  if (FastOn)
+    flushStaged(); // sync operations are batch flush points
 }
 
 void ShardedRuntime::onThreadExit(ThreadId Dying) {
+  if (FastOn)
+    flushStaged();
   if (!Opts.ModelJoin)
     return;
   PerThread &T = threadState(Dying);
   T.Locks.erase(RaceRuntime::dummyLockOf(Dying));
   T.LocksDirty = true;
+  if (FilterOn)
+    T.Filter.bumpEpoch();
 }
 
 void ShardedRuntime::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
@@ -228,10 +242,13 @@ void ShardedRuntime::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
     PerThread &T = threadState(Joiner);
     T.Locks.insert(RaceRuntime::dummyLockOf(Joined));
     T.LocksDirty = true;
+    if (FilterOn)
+      T.Filter.bumpEpoch();
   }
   // Join points are drain barriers: every event from before the join is
   // fully processed before execution continues, which bounds queue skew
-  // and makes mid-run statistics snapshots deterministic.
+  // and makes mid-run statistics snapshots deterministic.  drain() flushes
+  // the staging batch first.
   drain();
 }
 
@@ -243,6 +260,10 @@ void ShardedRuntime::onMonitorEnter(ThreadId Thread, LockId Lock,
   T.Locks.insert(Lock);
   T.LocksDirty = true;
   T.RealStack.push_back(Lock);
+  if (FilterOn)
+    T.Filter.bumpEpoch();
+  if (FastOn)
+    flushStaged();
 }
 
 void ShardedRuntime::onMonitorExit(ThreadId Thread, LockId Lock,
@@ -259,6 +280,10 @@ void ShardedRuntime::onMonitorExit(ThreadId Thread, LockId Lock,
     T.ReadCache.evictLock(Lock);
     T.WriteCache.evictLock(Lock);
   }
+  if (FilterOn)
+    T.Filter.bumpEpoch();
+  if (FastOn)
+    flushStaged();
 }
 
 void ShardedRuntime::onAccess(ThreadId Thread, LocationKey Location,
@@ -272,8 +297,14 @@ void ShardedRuntime::onAccess(ThreadId Thread, LocationKey Location,
   AccessCache *Cache = nullptr;
   if (Opts.UseCache) {
     Cache = Access == AccessKind::Read ? &T.ReadCache : &T.WriteCache;
-    if (Cache->lookup(Key))
-      return; // guaranteed redundant: a weaker access is already recorded
+    if (Cache->lookup(Key)) {
+      // Guaranteed redundant: a weaker access is already recorded.  Seed
+      // the L0 filter so the next same-epoch repeat short-circuits at the
+      // instrumentation site (the hit is backed by this cache entry).
+      if (FilterOn)
+        T.Filter.insert(Key, Access);
+      return;
+    }
   }
 
   ++EventsToDetector;
@@ -290,21 +321,61 @@ void ShardedRuntime::onAccess(ThreadId Thread, LocationKey Location,
     Event.Locks = T.LocksId;
     Event.Access = Access;
     Event.Site = Site;
-    Pool.submit(Event);
+    if (FastOn)
+      stage(Event);
+    else
+      Pool.submit(Event);
   }
 
   if (Cache) {
     LockId Innermost =
         T.RealStack.empty() ? LockId::invalid() : T.RealStack.back();
-    Cache->insert(Key, Innermost);
+    std::optional<LocationKey> Displaced = Cache->insert(Key, Innermost);
+    if (FilterOn) {
+      // A conflict eviction removed another key's backing cache entry; the
+      // L0 filter must not keep proving that key redundant.
+      if (Displaced)
+        T.Filter.invalidateKey(*Displaced);
+      T.Filter.insert(Key, Access);
+    }
   }
+}
+
+void ShardedRuntime::stage(const DetectorEvent &Event) {
+  if (!Staged.Events.empty() && StagedThread != Event.Thread)
+    flushStaged(); // thread switch: keep the global submit order exact
+  StagedThread = Event.Thread;
+  Staged.Events.push_back(Event);
+  if (Staged.Events.size() >= (Opts.BatchCapacity == 0 ? 1
+                                                       : Opts.BatchCapacity))
+    flushStaged();
+}
+
+void ShardedRuntime::flushStaged() {
+  if (Staged.Events.empty())
+    return;
+  for (const DetectorEvent &Event : Staged.Events)
+    Pool.submit(Event);
+  ++BatchFlushes;
+  BatchedEvents += Staged.Events.size();
+  Staged.Events.clear();
+}
+
+void ShardedRuntime::onQuantumEnd(ThreadId Thread) {
+  (void)Thread;
+  if (FastOn)
+    flushStaged();
 }
 
 void ShardedRuntime::onRunEnd() { finish(); }
 
-void ShardedRuntime::drain() { Pool.drain(); }
+void ShardedRuntime::drain() {
+  flushStaged();
+  Pool.drain();
+}
 
 void ShardedRuntime::finish() {
+  flushStaged();
   Pool.finish();
 }
 
@@ -323,6 +394,9 @@ RaceRuntimeStats ShardedRuntime::stats() {
   drain();
   RaceRuntimeStats S;
   S.EventsSeen = EventsSeen;
+  S.Hook.FilterEnabled = FilterOn;
+  S.Hook.BatchFlushes = BatchFlushes;
+  S.Hook.BatchedEvents = BatchedEvents;
   for (size_t Index = 0; Index < Threads.size(); ++Index) {
     const auto &T = Threads[Index];
     if (!T)
@@ -330,6 +404,10 @@ RaceRuntimeStats ShardedRuntime::stats() {
     S.CacheHits += T->ReadCache.hits() + T->WriteCache.hits();
     S.CacheMisses += T->ReadCache.misses() + T->WriteCache.misses();
     S.CacheEvictions += T->ReadCache.evictions() + T->WriteCache.evictions();
+    S.Hook.FilterHits += T->Filter.hits();
+    S.Hook.FilterMisses += T->Filter.misses();
+    S.Hook.EpochBumps += T->Filter.epochBumps();
+    S.Hook.KeyInvalidations += T->Filter.keyInvalidations();
     ThreadCacheStats TC;
     TC.Thread = uint32_t(Index);
     TC.ReadHits = T->ReadCache.hits();

@@ -31,6 +31,7 @@
 #define HERD_DETECT_SHARDEDRUNTIME_H
 
 #include "detect/AccessCache.h"
+#include "detect/AccessFilter.h"
 #include "detect/Detector.h"
 #include "detect/DetectorStats.h"
 #include "detect/EventBatch.h"
@@ -39,6 +40,7 @@
 #include "runtime/Hooks.h"
 #include "support/LockSetInterner.h"
 
+#include <cassert>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -62,6 +64,13 @@ struct ShardedRuntimeOptions {
   /// Entries per (thread, kind) access cache; must be a power of two
   /// (`herd --cache-size=N`).  The paper's experiments use 256.
   uint32_t CacheEntries = 256;
+
+  /// Enable the hook-path fast path (`herd --hook-filter=on|off`,
+  /// docs/HOOKPATH.md): the per-thread L0 filter consulted by onAccessFast
+  /// (effective only with UseCache, whose entries back the filter's hits)
+  /// and per-thread staged event batches flushed at sync operations,
+  /// quantum ends and run end.
+  bool HookFilter = false;
 
   /// Capacity hints from static analysis (`herd --plan=auto|off|N`).
   /// Location-scaled fields are sliced per shard; the shared interner is
@@ -201,7 +210,56 @@ public:
   void onMonitorExit(ThreadId Thread, LockId Lock, bool StillHeld) override;
   void onAccess(ThreadId Thread, LocationKey Location, AccessKind Access,
                 SiteId Site) override;
+  void onQuantumEnd(ThreadId Thread) override;
   void onRunEnd() override;
+
+  /// The devirtualized hook-path entry (docs/HOOKPATH.md): probes the
+  /// thread's L0 filter inline and only falls through to the full onAccess
+  /// path on a miss.  The interpreter calls this through a concrete
+  /// ShardedRuntime pointer when the single-detector fast path is active.
+  void onAccessFast(ThreadId Thread, LocationKey Location, AccessKind Access,
+                    SiteId Site) {
+    if (FilterOn) {
+      // Inline bounds-checked thread-state load (see RaceRuntime's twin):
+      // a null slot falls through to onAccess, which creates it.
+      size_t Index = Thread.index();
+      PerThread *T = Index < Threads.size() ? Threads[Index].get() : nullptr;
+      if (T) {
+        LocationKey Key =
+            Opts.FieldsMerged ? Location.withFieldsMerged() : Location;
+        if (T->Filter.probe(Key, Access)) {
+          // The differential oracle: an L0 hit must be backed by a resident
+          // detector-side cache entry (see docs/HOOKPATH.md).
+          assert((Access == AccessKind::Read ? T->ReadCache : T->WriteCache)
+                     .provesRedundant(Key) &&
+                 "L0 filter hit not backed by the detector-side cache");
+          return;
+        }
+      }
+    }
+    ShardedRuntime::onAccess(Thread, Location, Access, Site);
+  }
+
+  /// The interpreter's per-quantum probe handle (see RaceRuntime's twin
+  /// and docs/HOOKPATH.md): null when the inline probe cannot be hoisted
+  /// (filter off, or FieldsMerged).
+  AccessFilter *filterHandle(ThreadId Thread) {
+    if (!FilterOn || Opts.FieldsMerged)
+      return nullptr;
+    return &threadState(Thread).Filter;
+  }
+
+  /// The differential oracle behind the interpreter-side inline probe
+  /// (debug builds assert this on every hoisted L0 hit).
+  bool oracleHolds(ThreadId Thread, LocationKey Key,
+                   AccessKind Access) const {
+    size_t Index = Thread.index();
+    if (Index >= Threads.size() || !Threads[Index])
+      return false;
+    const PerThread &T = *Threads[Index];
+    return (Access == AccessKind::Read ? T.ReadCache : T.WriteCache)
+        .provesRedundant(Key);
+  }
 
   /// Drains the shards and returns the merged reporter (shard order, then
   /// per-shard program order).
@@ -228,6 +286,7 @@ private:
     std::vector<LockId> RealStack; ///< releasable locks, outer to inner
     AccessCache ReadCache;
     AccessCache WriteCache;
+    AccessFilter Filter;           ///< hook-path L0 filter (HookFilter)
 
     /// Interned id of Locks, refreshed lazily on the first access after a
     /// lockset change (see RaceRuntime::PerThread).
@@ -238,7 +297,15 @@ private:
   PerThread &threadState(ThreadId Thread);
   void drain();
 
+  /// Staged-batch submission (HookFilter): appends to the staging batch,
+  /// flushing first when the producing thread changed — per-shard event
+  /// order stays exactly the unstaged order, so reports are byte-identical.
+  void stage(const DetectorEvent &Event);
+  void flushStaged();
+
   ShardedRuntimeOptions Opts;
+  bool FastOn;   ///< Opts.HookFilter: staged batching + devirt lane
+  bool FilterOn; ///< FastOn gated on Opts.UseCache (the filter's oracle)
   ShardPool Pool;
   OwnershipFilter Ownership;
   std::vector<std::unique_ptr<PerThread>> Threads;
@@ -246,6 +313,15 @@ private:
   bool MergedValid = false;
   uint64_t EventsSeen = 0;
   uint64_t EventsToDetector = 0; ///< post-cache events (EventsIn serially)
+
+  // The per-thread staging batch (docs/HOOKPATH.md).  One buffer suffices:
+  // the interpreter produces events from one program thread at a time, so
+  // tagging the buffer with its thread and flushing on a thread switch is
+  // equivalent to one buffer per thread, without the footprint.
+  EventBatch Staged;
+  ThreadId StagedThread;
+  uint64_t BatchFlushes = 0;
+  uint64_t BatchedEvents = 0;
 };
 
 } // namespace herd

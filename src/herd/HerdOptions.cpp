@@ -46,6 +46,11 @@ const char *herd::herdUsageText() {
       "                    computed-goto over superinstruction shadow code,\n"
       "                    docs/INTERPRETER.md) | switch (the reference\n"
       "                    interpreter); reports are identical either way\n"
+      "  --hook-filter=<m> hook-path fast path: on (default; inline L0\n"
+      "                    access filter, devirtualized delivery, batched\n"
+      "                    submission, docs/HOOKPATH.md) | off (the legacy\n"
+      "                    virtual hook path, for A/B measurement); reports\n"
+      "                    and traces are byte-identical either way\n"
       "  --dump-ir         print the lowered MiniJ IR and exit\n"
       "  --workload=<name> analyse a built-in benchmark replica instead\n"
       "                    of a file: mtrt | tsp | sor2 | elevator | hedc\n";
@@ -97,6 +102,8 @@ HerdParse herd::parseHerdCommandLine(const std::vector<std::string> &Args) {
   std::string PlanArg;    // empty = keep the config's default (auto)
   bool HaveDispatch = false;
   DispatchMode Dispatch = DispatchMode::Threaded;
+  bool HaveHookFilter = false;
+  bool HookFilterOn = true;
 
   for (const std::string &Arg : Args) {
     if (Arg.rfind("--config=", 0) == 0) {
@@ -186,6 +193,16 @@ HerdParse herd::parseHerdCommandLine(const std::vector<std::string> &Args) {
       else
         return fail("herd: --dispatch expects switch or threaded, got '" +
                     Mode + "'");
+    } else if (Arg.rfind("--hook-filter=", 0) == 0) {
+      std::string Mode = Arg.substr(14);
+      HaveHookFilter = true;
+      if (Mode == "on")
+        HookFilterOn = true;
+      else if (Mode == "off")
+        HookFilterOn = false;
+      else
+        return fail("herd: --hook-filter expects on or off, got '" + Mode +
+                    "'");
     } else if (Arg == "--profile") {
       O.Profile = true;
     } else if (Arg == "--dump-ir") {
@@ -235,6 +252,8 @@ HerdParse herd::parseHerdCommandLine(const std::vector<std::string> &Args) {
   }
   if (HaveDispatch)
     O.Config.Dispatch = Dispatch;
+  if (HaveHookFilter)
+    O.Config.HookFilter = HookFilterOn;
   O.Config.Seed = O.Seed;
   O.Config.DetectDeadlocks = O.Deadlocks;
 

@@ -14,6 +14,7 @@
 
 #include <cassert>
 #include <chrono>
+#include <optional>
 
 using namespace herd;
 
@@ -192,6 +193,7 @@ RuntimeHooks *makeDetectionRuntime(const ToolConfig &Config,
     SOpts.UseOwnership = Config.UseOwnership;
     SOpts.FieldsMerged = Config.FieldsMerged;
     SOpts.ModelJoin = Config.ModelJoin;
+    SOpts.HookFilter = Config.HookFilter;
     SOpts.Plan = Plan;
     SOpts.Metrics = Config.Metrics;
     Sharded = std::make_unique<ShardedRuntime>(SOpts);
@@ -203,6 +205,7 @@ RuntimeHooks *makeDetectionRuntime(const ToolConfig &Config,
   RTOpts.UseOwnership = Config.UseOwnership;
   RTOpts.FieldsMerged = Config.FieldsMerged;
   RTOpts.ModelJoin = Config.ModelJoin;
+  RTOpts.HookFilter = Config.HookFilter;
   RTOpts.Plan = Plan;
   Serial = std::make_unique<RaceRuntime>(RTOpts);
   return Serial.get();
@@ -304,11 +307,17 @@ PipelineResult herd::runPipeline(const Program &Input,
     SinkList.push_back(&Deadlocks);
   if (Writer.isOpen())
     SinkList.push_back(&Writer);
-  FanoutHooks Fanout(SinkList);
-  RuntimeHooks *Hooks = SinkList.empty()      ? nullptr
-                        : SinkList.size() == 1 ? SinkList.front()
-                                                : static_cast<RuntimeHooks *>(
-                                                      &Fanout);
+  // FanoutHooks is only materialized when several sinks actually watch the
+  // run; the common single-sink configuration passes the sink directly and
+  // pays no forwarding loop.
+  std::optional<FanoutHooks> Fanout;
+  RuntimeHooks *Hooks = nullptr;
+  if (SinkList.size() == 1) {
+    Hooks = SinkList.front();
+  } else if (SinkList.size() > 1) {
+    Fanout.emplace(SinkList);
+    Hooks = &*Fanout;
+  }
 
   InterpOptions IOpts;
   IOpts.Seed = Config.Seed;
@@ -317,6 +326,16 @@ PipelineResult herd::runPipeline(const Program &Input,
   IOpts.Profiler = Config.Profiler;
   IOpts.Dispatch = Config.Dispatch;
   IOpts.Fused = Shadow.get();
+  // Devirtualized delivery (docs/HOOKPATH.md): when the detection runtime
+  // is the *sole* sink — no recorder, no deadlock detector — and no
+  // profiler wants to time hook calls, the interpreter delivers access
+  // events straight to the concrete runtime (inline L0 filter included).
+  // Any extra sink disables it so recorded traces keep every event.
+  if (Config.HookFilter && !Config.Profiler && SinkList.size() == 1 &&
+      Hooks == Detect) {
+    IOpts.SerialSink = Serial.get();
+    IOpts.ShardedSink = Sharded.get();
+  }
   Interpreter Interp(P, Hooks, IOpts);
 
   Clock::time_point T1 = Clock::now();
@@ -382,10 +401,12 @@ PipelineResult herd::replayTracePipeline(const Program &Input,
   std::vector<RuntimeHooks *> SinkList{Detect};
   if (Config.DetectDeadlocks)
     SinkList.push_back(&Deadlocks);
-  FanoutHooks Fanout(SinkList);
-  RuntimeHooks *Sink = SinkList.size() == 1
-                           ? SinkList.front()
-                           : static_cast<RuntimeHooks *>(&Fanout);
+  std::optional<FanoutHooks> Fanout;
+  RuntimeHooks *Sink = SinkList.front();
+  if (SinkList.size() > 1) {
+    Fanout.emplace(SinkList);
+    Sink = &*Fanout;
+  }
 
   MetricsRegistry *Metrics = Config.Metrics;
   Result.Dispatch = Config.Dispatch; // no interpretation: fusion stays zero

@@ -52,6 +52,15 @@ struct ToolConfig {
   /// experiments settle on 256.
   uint32_t CacheEntries = 256;
 
+  /// Hook-path fast path (`herd --hook-filter=on|off`, docs/HOOKPATH.md):
+  /// the per-thread inline L0 access filter, devirtualized event delivery
+  /// into the detection runtime, and (sharded) batched submission.  Purely
+  /// an optimization — reports, traces, and schedules are byte-identical
+  /// either way; `off` reproduces the legacy virtual hook path for A/B
+  /// measurement.  The L0 filter additionally requires UseCache (the
+  /// detector-side cache is the invariant it borrows).
+  bool HookFilter = true;
+
   /// Shard count for the detection runtime: 0 runs the serial
   /// detect/RaceRuntime; N >= 1 runs detect/ShardedRuntime with N
   /// location-hashed shard workers (docs/SHARDING.md).  Reports are

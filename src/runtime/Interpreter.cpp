@@ -27,6 +27,8 @@
 
 #include "runtime/Interpreter.h"
 
+#include "detect/RaceRuntime.h"
+#include "detect/ShardedRuntime.h"
 #include "runtime/InterpProfiler.h"
 #include "support/Compiler.h"
 
@@ -67,8 +69,14 @@ struct Interpreter::SimThread {
 
 Interpreter::Interpreter(const Program &P, RuntimeHooks *Hooks,
                          InterpOptions Opts)
-    : P(P), Hooks(Hooks), Prof(Opts.Profiler), Opts(Opts), TheHeap(P),
-      ScheduleRng(Opts.Seed) {}
+    : P(P), Hooks(Hooks), Prof(Opts.Profiler), SerialSink(Opts.SerialSink),
+      ShardedSink(Opts.ShardedSink), Opts(Opts), TheHeap(P),
+      ScheduleRng(Opts.Seed) {
+  assert(!(SerialSink && ShardedSink) &&
+         "at most one devirtualized access sink");
+  assert((!Prof || (!SerialSink && !ShardedSink)) &&
+         "direct sinks bypass the profiler's hook timing");
+}
 
 Interpreter::~Interpreter() = default;
 
@@ -116,6 +124,41 @@ bool Interpreter::requireInt(const Value &V, int64_t &Out,
 void Interpreter::emitAccess(ThreadId Thread, LocationKey Loc,
                              AccessKind Kind, SiteId Site) {
   ++Result.AccessEvents;
+  // Hoisted L0 probe (docs/HOOKPATH.md): CurFilter is the running
+  // thread's filter, refreshed at quantum start, so the common case — a
+  // guaranteed-redundant access — costs one hash and one slot compare
+  // through a register-resident pointer.  A hit must be backed by the
+  // detector-side cache (the differential oracle, asserted in debug
+  // builds); a miss falls through to the full delivery path, which is
+  // what seeds the filter.
+  if (CurFilter) {
+    if (CurFilter->probe(Loc, Kind)) {
+      assert((SerialSink ? SerialSink->oracleHolds(Thread, Loc, Kind)
+                         : ShardedSink->oracleHolds(Thread, Loc, Kind)) &&
+             "hoisted L0 filter hit not backed by the detector-side cache");
+      return;
+    }
+    // Qualified calls: the sink type is concrete, so the miss path stays
+    // devirtualized too.
+    if (SerialSink) {
+      SerialSink->RaceRuntime::onAccess(Thread, Loc, Kind, Site);
+      return;
+    }
+    ShardedSink->ShardedRuntime::onAccess(Thread, Loc, Kind, Site);
+    return;
+  }
+  // Devirtualized delivery without a hoistable filter (filter off, or
+  // FieldsMerged): onAccessFast performs the key transform and the probe
+  // itself.  The pipeline only sets a sink when no profiler is active, so
+  // the profiled hook-timing path below stays exact when profiling.
+  if (SerialSink) {
+    SerialSink->onAccessFast(Thread, Loc, Kind, Site);
+    return;
+  }
+  if (ShardedSink) {
+    ShardedSink->onAccessFast(Thread, Loc, Kind, Site);
+    return;
+  }
   if (!Hooks)
     return;
   if (HERD_UNLIKELY(Prof != nullptr) && Prof->samplingActive()) {
@@ -1376,6 +1419,18 @@ InterpResult Interpreter::run() {
       Quantum = 1 + ScheduleRng.nextBelow(Opts.MaxQuantum);
     }
 
+    // Hoisted hook-path probe (docs/HOOKPATH.md): cache the running
+    // thread's L0 filter for the quantum.  The handle's address is stable
+    // (the runtimes heap-allocate per-thread state) and every
+    // invalidation channel — epoch bumps on the thread's own sync ops,
+    // cross-thread shared-transition evictions, cache-conflict
+    // displacement — mutates the pointed-to filter in place, so a
+    // quantum-long cache of the pointer can never serve a stale hit.
+    if (SerialSink)
+      CurFilter = SerialSink->filterHandle(Current->Id);
+    else if (ShardedSink)
+      CurFilter = ShardedSink->filterHandle(Current->Id);
+
     // Pair counts never chain across a context switch, in either mode.
     if (HERD_UNLIKELY(Prof != nullptr))
       Prof->onSliceStart();
@@ -1401,6 +1456,12 @@ InterpResult Interpreter::run() {
       break;
     if (Opts.Record && Retired > 0)
       Opts.Record->Slices.push_back({Current->Id.index(), Retired});
+    // Quantum boundary: a pacing signal for sinks that stage work (the
+    // sharded runtime flushes its per-thread event batch here,
+    // docs/HOOKPATH.md).  Purely observational — scheduling has already
+    // been decided, so batching can never change the schedule.
+    if (Hooks)
+      Hooks->onQuantumEnd(Current->Id);
     Cursor = (Cursor + 1) % Threads.size();
     ++Result.ContextSwitches;
   }

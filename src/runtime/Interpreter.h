@@ -37,6 +37,9 @@
 namespace herd {
 
 class InterpProfiler;
+class AccessFilter;
+class RaceRuntime;
+class ShardedRuntime;
 
 /// How the inner loop dispatches instructions (`herd --dispatch=...`,
 /// docs/INTERPRETER.md).  Switch is the reference semantics: one switch
@@ -114,6 +117,17 @@ struct InterpOptions {
   /// dispatch without a profiler; null runs threaded dispatch over the
   /// original blocks.  The caller keeps it alive for the whole run.
   const ThreadedCode *Fused = nullptr;
+
+  /// Devirtualized delivery (docs/HOOKPATH.md): when one of these is set,
+  /// traced accesses bypass the virtual RuntimeHooks::onAccess hop and
+  /// call the concrete runtime's onAccessFast — which probes the inline
+  /// L0 filter — directly.  The pipeline sets at most one, and only when
+  /// the detection runtime is the sole access sink (no recorder, no
+  /// deadlock detector, no profiler): every other sink would miss events
+  /// the filter suppresses.  All non-access events still flow through the
+  /// normal Hooks pointer, which must reference the same runtime.
+  RaceRuntime *SerialSink = nullptr;
+  ShardedRuntime *ShardedSink = nullptr;
 };
 
 /// The outcome of a run.
@@ -261,6 +275,13 @@ private:
   const Program &P;
   RuntimeHooks *Hooks;
   InterpProfiler *Prof;
+  RaceRuntime *SerialSink;   ///< devirtualized delivery (InterpOptions)
+  ShardedRuntime *ShardedSink;
+  /// The running thread's L0 filter, refreshed at each quantum start from
+  /// the active sink's filterHandle (docs/HOOKPATH.md).  Non-null only on
+  /// the devirtualized path with the filter hoistable; emitAccess probes
+  /// it through this one pointer before any call into the runtime.
+  AccessFilter *CurFilter = nullptr;
   InterpOptions Opts;
   Heap TheHeap;
   Rng ScheduleRng;

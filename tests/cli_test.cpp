@@ -98,8 +98,8 @@ TEST(CliTest, UsageTextMentionsEveryFlag) {
   for (const char *Flag :
        {"--config=", "--seed=", "--shards=", "--cache-size=", "--plan=",
         "--sweep=", "--record=", "--replay=", "--detector=", "--deadlocks",
-        "--stats", "--trace-json=", "--profile", "--dispatch=", "--dump-ir",
-        "--workload="})
+        "--stats", "--trace-json=", "--profile", "--dispatch=",
+        "--hook-filter=", "--dump-ir", "--workload="})
     EXPECT_NE(Usage.find(Flag), std::string::npos) << Flag;
 }
 
@@ -128,6 +128,28 @@ TEST(CliTest, DispatchSurvivesPreset) {
   ASSERT_EQ(P.St, HerdParse::Status::Run) << P.Error;
   EXPECT_EQ(P.Opts.Config.Dispatch, DispatchMode::Switch);
   EXPECT_FALSE(P.Opts.Config.Instrument); // the preset still applied
+}
+
+TEST(CliTest, HookFilterModes) {
+  // Default is on; both spellings parse; anything else is an error, not a
+  // silently different run.
+  EXPECT_TRUE(parse({"p.mj"}).Opts.Config.HookFilter);
+  EXPECT_TRUE(parse({"p.mj", "--hook-filter=on"}).Opts.Config.HookFilter);
+  EXPECT_FALSE(parse({"p.mj", "--hook-filter=off"}).Opts.Config.HookFilter);
+  expectError(parse({"p.mj", "--hook-filter=maybe"}),
+              "herd: --hook-filter expects on or off, got 'maybe'");
+  expectError(parse({"p.mj", "--hook-filter="}),
+              "herd: --hook-filter expects on or off, got ''");
+  expectError(parse({"p.mj", "--hook-filter=ON"}),
+              "herd: --hook-filter expects on or off, got 'ON'");
+}
+
+TEST(CliTest, HookFilterSurvivesPreset) {
+  // An explicit --hook-filter must survive a later --config preset (which
+  // rebuilds the whole ToolConfig), like --dispatch/--shards/--plan.
+  HerdParse P = parse({"p.mj", "--hook-filter=off", "--config=full"});
+  ASSERT_EQ(P.St, HerdParse::Status::Run) << P.Error;
+  EXPECT_FALSE(P.Opts.Config.HookFilter);
 }
 
 //===----------------------------------------------------------------------===

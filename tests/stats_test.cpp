@@ -464,6 +464,13 @@ TEST(GoldenTest, StatsJsonDocument) {
   R.Stats.EventsSeen = 64;
   R.Stats.CacheHits = 40;
   R.Stats.CacheMisses = 24;
+  R.Stats.Hook.FilterEnabled = true;
+  R.Stats.Hook.FilterHits = 30;
+  R.Stats.Hook.FilterMisses = 64;
+  R.Stats.Hook.EpochBumps = 6;
+  R.Stats.Hook.KeyInvalidations = 2;
+  R.Stats.Hook.BatchFlushes = 4;
+  R.Stats.Hook.BatchedEvents = 24;
   R.Stats.Detector.EventsIn = 24;
   R.Stats.Detector.RacesReported = 1;
   R.Stats.Detector.LocationsTracked = 5;
