@@ -11,11 +11,16 @@
 ///   - the trie weakness check that filters the vast majority of events;
 ///   - full trie processing (check + update + prune);
 ///   - the exact O(N²) oracle, for contrast with the trie's incremental
-///     cost.
+///     cost;
+///   - the epoch backend's O(1) same-epoch path against the vector-clock
+///     baseline's O(T) comparison at increasing thread counts
+///     (docs/DETECTORS.md).
 ///
 //===----------------------------------------------------------------------===//
 
+#include "baselines/EpochDetector.h"
 #include "baselines/NaiveDetector.h"
+#include "baselines/VectorClockDetector.h"
 #include "detect/AccessCache.h"
 #include "detect/AccessTrie.h"
 #include "detect/Detector.h"
@@ -160,6 +165,100 @@ void BM_TrieSameStreamLinear(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_TrieSameStreamLinear)->Arg(256)->Arg(1024)->Arg(4096);
+
+//===----------------------------------------------------------------------===
+// Epoch backend vs vector-clock baseline (docs/DETECTORS.md).
+//
+// The same happens-before relation, two shadow-state representations.
+// The same-epoch benchmark times the one-compare fast path that retires
+// the overwhelmingly common repeated access; the lock-handoff pair times
+// a fully ordered cross-thread write stream at increasing thread counts,
+// where the vector-clock baseline pays O(T) per access and the epoch
+// backend stays O(1).
+//===----------------------------------------------------------------------===
+
+void BM_EpochSameEpochAccess(benchmark::State &State) {
+  // A thread re-accessing a location with no intervening sync: one
+  // 64-bit compare per event, the detector's dominant path.
+  EpochDetector Det;
+  Det.onAccess(ThreadId(1), keyOf(1), AccessKind::Write, SiteId());
+  for (auto _ : State)
+    Det.onAccess(ThreadId(1), keyOf(1), AccessKind::Write, SiteId());
+}
+BENCHMARK(BM_EpochSameEpochAccess);
+
+void BM_VectorClockSameLocationAccess(benchmark::State &State) {
+  // The same stream through the vector-clock baseline: every event walks
+  // the location's clock state even though nothing changed.
+  VectorClockDetector Det;
+  Det.onAccess(ThreadId(1), keyOf(1), AccessKind::Write, SiteId());
+  for (auto _ : State)
+    Det.onAccess(ThreadId(1), keyOf(1), AccessKind::Write, SiteId());
+}
+BENCHMARK(BM_VectorClockSameLocationAccess);
+
+// One round of a fully ordered write relay: each thread takes the lock,
+// writes the hot location, and hands the lock on.  No races; every write
+// is ordered after the previous one through the lock's clock.
+template <typename Detector>
+void lockHandoffRound(Detector &Det, uint32_t NumThreads) {
+  for (uint32_t T = 0; T != NumThreads; ++T) {
+    Det.onMonitorEnter(ThreadId(T), LockId(1), /*Recursive=*/false);
+    Det.onAccess(ThreadId(T), keyOf(1), AccessKind::Write, SiteId());
+    Det.onMonitorExit(ThreadId(T), LockId(1), /*StillHeld=*/false);
+  }
+}
+
+void BM_EpochLockHandoffWrites(benchmark::State &State) {
+  uint32_t NumThreads = uint32_t(State.range(0));
+  EpochDetector Det;
+  lockHandoffRound(Det, NumThreads); // populate thread + lock state
+  for (auto _ : State)
+    lockHandoffRound(Det, NumThreads);
+  State.SetItemsProcessed(int64_t(State.iterations()) * NumThreads);
+}
+BENCHMARK(BM_EpochLockHandoffWrites)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_VectorClockLockHandoffWrites(benchmark::State &State) {
+  uint32_t NumThreads = uint32_t(State.range(0));
+  VectorClockDetector Det;
+  lockHandoffRound(Det, NumThreads);
+  for (auto _ : State)
+    lockHandoffRound(Det, NumThreads);
+  State.SetItemsProcessed(int64_t(State.iterations()) * NumThreads);
+}
+BENCHMARK(BM_VectorClockLockHandoffWrites)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_EpochReadInflationCycle(benchmark::State &State) {
+  // The adaptive read state's worst case, exercised on purpose: two
+  // concurrent readers inflate the location into a pooled vector clock;
+  // a later ordered write collapses it back to an epoch and recycles the
+  // ClockStore row, so the cycle is allocation-free in the steady state.
+  EpochDetector Det;
+  Det.onThreadCreate(ThreadId(1), ThreadId(0), ObjectId(1));
+  Det.onThreadCreate(ThreadId(2), ThreadId(0), ObjectId(2));
+  auto Sync = [&](uint32_t T) {
+    Det.onMonitorEnter(ThreadId(T), LockId(1), false);
+    Det.onMonitorExit(ThreadId(T), LockId(1), false);
+  };
+  for (auto _ : State) {
+    // Each reader first syncs with the previous round's write, then
+    // reads at a not-yet-published clock — the two reads are mutually
+    // concurrent but race with nothing.
+    Sync(1);
+    Det.onAccess(ThreadId(1), keyOf(1), AccessKind::Read, SiteId());
+    Sync(2);
+    Det.onAccess(ThreadId(2), keyOf(1), AccessKind::Read, SiteId());
+    // Publish both reads, then write ordered after them: the shared
+    // read state collapses and its ClockStore row recycles.
+    Sync(1);
+    Sync(2);
+    Det.onMonitorEnter(ThreadId(0), LockId(1), false);
+    Det.onAccess(ThreadId(0), keyOf(1), AccessKind::Write, SiteId());
+    Det.onMonitorExit(ThreadId(0), LockId(1), false);
+  }
+}
+BENCHMARK(BM_EpochReadInflationCycle);
 
 //===----------------------------------------------------------------------===
 // Serial vs sharded event throughput (docs/SHARDING.md).

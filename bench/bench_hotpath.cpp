@@ -57,6 +57,17 @@
 ///    identity (access_events == filter_hits + events_delivered);
 ///    scripts/check_hook_gate.py gates both.
 ///
+///  * An epoch-vs-vector-clock A/B (docs/DETECTORS.md) — each trace also
+///    replays through the epoch happens-before backend (`--detector=epoch`)
+///    and the vector-clock baseline it optimizes: one timed cold replay
+///    per detector, plus a second replay into the same epoch instance for
+///    the converged steady state (where every structure exists and the
+///    pooled ClockStore recycles rows, so allocs/event is ~0).  The two
+///    must report identical racy-location sets — that feeds the trace's
+///    `agreement` flag — and the JSON's per-trace `epoch_ab` section
+///    carries both throughputs, the cold speedup, and the steady
+///    allocation rate; scripts/check_epoch_gate.py gates all of it.
+///
 /// `--smoke` shrinks every trace for CI; `--reps=N` sets the repetition
 /// count (default 3, 1 under --smoke); `--out=PATH` writes the JSON report
 /// (the checked-in BENCH_hotpath.json is a full run).
@@ -65,6 +76,8 @@
 
 #include "analysis/DetectorPlanner.h"
 #include "analysis/StaticRace.h"
+#include "baselines/EpochDetector.h"
+#include "baselines/VectorClockDetector.h"
 #include "detect/RaceRuntime.h"
 #include "detect/ShardedRuntime.h"
 #include "detect/TraceFile.h"
@@ -304,6 +317,20 @@ struct HookPathResult {
   bool CountersReconcile = false;
 };
 
+/// The epoch-vs-vector-clock A/B for one trace (docs/DETECTORS.md): both
+/// happens-before detectors replay the same stream; the epoch backend's
+/// O(1) common-case checks are the quantity under test.
+struct EpochAbResult {
+  bool Present = false;
+  double VcEventsPerSec = 0;       ///< vector-clock baseline, cold replay
+  double EpochColdEventsPerSec = 0;
+  double EpochSteadyEventsPerSec = 0;
+  double Speedup = 0;              ///< epoch cold ÷ vector-clock cold
+  double SteadyAllocsPerEvent = 0; ///< second replay, same instance
+  uint64_t RacyLocations = 0;
+  bool Agreement = false; ///< identical racy-location sets
+};
+
 struct TraceReport {
   std::string Name;
   uint64_t Events = 0;
@@ -322,6 +349,8 @@ struct TraceReport {
   std::vector<std::pair<std::string, LiveResult>> LiveModes;
   /// The hook-path filtered-vs-unfiltered live A/B (docs/HOOKPATH.md).
   HookPathResult HookPath;
+  /// The epoch-vs-vector-clock happens-before A/B (docs/DETECTORS.md).
+  EpochAbResult EpochAb;
 };
 
 /// Replays \p Path once into \p Sink, timing and alloc-counting the pass.
@@ -385,7 +414,7 @@ void printPass(const std::string &Trace, const PassResult &R) {
 void writeJson(std::FILE *F, const std::vector<TraceReport> &Reports,
                const MetricsRegistry &Metrics, bool Smoke, uint32_t Reps) {
   std::fprintf(F, "{\n");
-  std::fprintf(F, "  \"schema\": \"herd-bench-hotpath-v4\",\n");
+  std::fprintf(F, "  \"schema\": \"herd-bench-hotpath-v5\",\n");
   std::fprintf(F, "  \"smoke\": %s,\n", Smoke ? "true" : "false");
   std::fprintf(F, "  \"reps\": %u,\n", Reps);
   // The run's metrics-registry counters (support/Metrics.h), name-sorted:
@@ -463,6 +492,18 @@ void writeJson(std::FILE *F, const std::vector<TraceReport> &Reports,
                    T.HookPath.FilterHitRate,
                    (unsigned long long)T.HookPath.EventsDelivered,
                    T.HookPath.CountersReconcile ? "true" : "false");
+    if (T.EpochAb.Present)
+      std::fprintf(F,
+                   "      \"epoch_ab\": {\"vc_events_per_sec\": %.0f, "
+                   "\"epoch_cold_events_per_sec\": %.0f, "
+                   "\"epoch_steady_events_per_sec\": %.0f, "
+                   "\"speedup\": %.3f, \"steady_allocs_per_event\": %.4f, "
+                   "\"racy_locations\": %llu, \"agreement\": %s},\n",
+                   T.EpochAb.VcEventsPerSec, T.EpochAb.EpochColdEventsPerSec,
+                   T.EpochAb.EpochSteadyEventsPerSec, T.EpochAb.Speedup,
+                   T.EpochAb.SteadyAllocsPerEvent,
+                   (unsigned long long)T.EpochAb.RacyLocations,
+                   T.EpochAb.Agreement ? "true" : "false");
     std::fprintf(F, "      \"passes\": [\n");
     for (size_t J = 0; J != T.Passes.size(); ++J) {
       const PassResult &P = T.Passes[J];
@@ -699,6 +740,70 @@ int main(int argc, char **argv) {
         printPass(Report.Name, P);
         Report.Passes.push_back(std::move(P));
       }
+    }
+
+    // Epoch-vs-vector-clock A/B (docs/DETECTORS.md): the same trace
+    // through both happens-before backends.  The vector-clock baseline
+    // gets one timed cold replay per rep on a fresh detector; the epoch
+    // backend gets a timed cold replay on a fresh plan-pre-sized detector
+    // plus a second timed replay into the SAME instance — the converged
+    // steady state, where the same-epoch fast paths dominate and the
+    // pooled ClockStore hands back recycled rows, so the allocation rate
+    // must sit at ~0.  The two detectors implement the same
+    // happens-before relation and must report identical racy-location
+    // sets (their race notion differs from the lockset runtimes above,
+    // so they are compared against each other, not against Serial).
+    {
+      std::unique_ptr<VectorClockDetector> VC;
+      std::vector<PassResult> BestVc;
+      for (uint32_t Rep = 0; Rep != Reps; ++Rep) {
+        VC = std::make_unique<VectorClockDetector>();
+        std::vector<PassResult> One;
+        if (!measuredReplay(T.Path, *VC, T.Events, "vclock", "cold",
+                            NoBarrier, One))
+          return 1;
+        keepBest(BestVc, One);
+      }
+
+      std::unique_ptr<EpochDetector> Epoch;
+      std::vector<PassResult> BestEpoch;
+      for (uint32_t Rep = 0; Rep != Reps; ++Rep) {
+        Epoch = std::make_unique<EpochDetector>(T.Plan);
+        std::vector<PassResult> One;
+        if (!measuredReplay(T.Path, *Epoch, T.Events, "epoch", "cold",
+                            NoBarrier, One) ||
+            !measuredReplay(T.Path, *Epoch, T.Events, "epoch", "steady",
+                            NoBarrier, One))
+          return 1;
+        keepBest(BestEpoch, One);
+      }
+
+      EpochAbResult AB;
+      AB.Present = true;
+      AB.Agreement = Epoch->reportedLocations() == VC->reportedLocations();
+      AB.VcEventsPerSec = BestVc[0].EventsPerSec;
+      AB.EpochColdEventsPerSec = BestEpoch[0].EventsPerSec;
+      AB.EpochSteadyEventsPerSec = BestEpoch[1].EventsPerSec;
+      AB.SteadyAllocsPerEvent = BestEpoch[1].AllocsPerEvent;
+      AB.Speedup = AB.VcEventsPerSec > 0
+                       ? AB.EpochColdEventsPerSec / AB.VcEventsPerSec
+                       : 0.0;
+      AB.RacyLocations = Epoch->reportedLocations().size();
+      Report.Agreement = Report.Agreement && AB.Agreement;
+      Report.EpochAb = AB;
+      for (PassResult &P : BestVc) {
+        printPass(Report.Name, P);
+        Report.Passes.push_back(std::move(P));
+      }
+      for (PassResult &P : BestEpoch) {
+        printPass(Report.Name, P);
+        Report.Passes.push_back(std::move(P));
+      }
+      std::printf("%-8s epoch A/B: %.2fx vs vclock cold, steady %.4f "
+                  "allocs/ev, %llu racy location(s), agreement %s\n",
+                  Report.Name.c_str(), AB.Speedup, AB.SteadyAllocsPerEvent,
+                  (unsigned long long)AB.RacyLocations,
+                  AB.Agreement ? "yes" : "NO!");
     }
 
     // Live serial: the interpreter drives the planned runtime directly —

@@ -9,7 +9,9 @@
 /// distinct objects reported by Full / FieldsMerged / NoOwnership on all
 /// five benchmarks, extended with the related-work baselines implemented
 /// from scratch (Eraser and object-granularity detection run on the full
-/// event stream) and the Section 8.3 join-idiom comparison.
+/// event stream), the happens-before pair (the vector-clock baseline and
+/// the epoch-optimized backend, which must agree exactly — see
+/// docs/DETECTORS.md), and the Section 8.3 join-idiom comparison.
 ///
 /// Paper values: mtrt 2/2/12; tsp 5/20/241; sor2 4/4/1009; elevator
 /// 0/0/16; hedc 5/10/29.  Shape to check: Full is small and corresponds
@@ -19,7 +21,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "baselines/EpochDetector.h"
 #include "baselines/EraserDetector.h"
+#include "baselines/VectorClockDetector.h"
 #include "herd/Pipeline.h"
 #include "workloads/Workloads.h"
 
@@ -43,6 +47,29 @@ size_t eraserObjects(const Program &P, bool ObjectGranularity) {
   return Eraser.countDistinctObjects();
 }
 
+size_t distinctObjects(const std::set<LocationKey> &Reported) {
+  std::set<ObjectId> Objects;
+  for (LocationKey Loc : Reported)
+    Objects.insert(Loc.object());
+  return Objects.size();
+}
+
+/// Runs the full event stream through a happens-before hook
+/// implementation (VectorClockDetector or EpochDetector) and counts the
+/// distinct objects among its racy locations.
+size_t hbObjects(const Program &P, RuntimeHooks &Hooks,
+                 const std::set<LocationKey> &Reported) {
+  InterpOptions Opts;
+  Opts.TraceEveryAccess = true;
+  Interpreter Interp(P, &Hooks, Opts);
+  InterpResult R = Interp.run();
+  if (!R.Ok) {
+    std::fprintf(stderr, "happens-before run failed: %s\n", R.Error.c_str());
+    std::exit(1);
+  }
+  return distinctObjects(Reported);
+}
+
 size_t objectsOf(const Program &P, ToolConfig Config) {
   PipelineResult R = runPipeline(P, Config);
   if (!R.Run.Ok) {
@@ -58,23 +85,38 @@ int main() {
   std::printf("Table 3: number of objects with dataraces reported\n");
   std::printf("(paper: mtrt 2/2/12; tsp 5/20/241; sor2 4/4/1009;"
               " elevator 0/0/16; hedc 5/10/29)\n\n");
-  std::printf("%-10s %6s %14s %13s | %8s %10s\n", "program", "Full",
-              "FieldsMerged", "NoOwnership", "Eraser", "ObjGranul");
+  std::printf("%-10s %6s %14s %13s | %8s %10s | %7s %6s\n", "program",
+              "Full", "FieldsMerged", "NoOwnership", "Eraser", "ObjGranul",
+              "VClock", "Epoch");
 
+  bool HbAgree = true;
   for (Workload &W : buildAllWorkloads()) {
     size_t Full = objectsOf(W.P, ToolConfig::full());
     size_t Merged = objectsOf(W.P, ToolConfig::fieldsMerged());
     size_t NoOwn = objectsOf(W.P, ToolConfig::noOwnership());
     size_t Eraser = eraserObjects(W.P, /*ObjectGranularity=*/false);
     size_t ObjGran = eraserObjects(W.P, /*ObjectGranularity=*/true);
-    std::printf("%-10s %6zu %14zu %13zu | %8zu %10zu\n", W.Name.c_str(),
-                Full, Merged, NoOwn, Eraser, ObjGran);
+    VectorClockDetector Vc;
+    size_t VClock = hbObjects(W.P, Vc, Vc.reportedLocations());
+    EpochDetector Ep;
+    size_t Epoch = hbObjects(W.P, Ep, Ep.reportedLocations());
+    HbAgree = HbAgree && Vc.reportedLocations() == Ep.reportedLocations();
+    std::printf("%-10s %6zu %14zu %13zu | %8zu %10zu | %7zu %6zu\n",
+                W.Name.c_str(), Full, Merged, NoOwn, Eraser, ObjGran, VClock,
+                Epoch);
   }
+
+  std::printf("\nHappens-before columns: one interpreter run per detector,\n"
+              "so each sees one concrete schedule and both see the same\n"
+              "deterministic one; the epoch backend must reproduce the\n"
+              "vector-clock racy-location set exactly (docs/DETECTORS.md) "
+              "— %s.\n",
+              HbAgree ? "they agree" : "THEY DIVERGE");
 
   std::printf("\nSection 8.3 join idiom on mtrt: the parent reads the I/O\n"
               "statistics lock-free after join(); our dummy join locks make\n"
               "the three locksets mutually intersecting (no report), while\n"
               "Eraser's single-common-lock rule reports the object — see\n"
               "the Eraser column exceeding Full on mtrt above.\n");
-  return 0;
+  return HbAgree ? 0 : 1;
 }

@@ -44,7 +44,8 @@ def main():
         # v4 added the per-trace hook_path section (docs/HOOKPATH.md);
         # the cold-pass surface this gate reads is unchanged from v3.
         if report.get("schema") not in ("herd-bench-hotpath-v3",
-                                        "herd-bench-hotpath-v4"):
+                                        "herd-bench-hotpath-v4",
+                                        "herd-bench-hotpath-v5"):
             print(f"{arg}: unexpected schema {report.get('schema')!r}",
                   file=sys.stderr)
             return 2

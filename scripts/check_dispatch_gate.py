@@ -69,7 +69,8 @@ def main():
         # gated by check_hook_gate.py); everything this gate reads is
         # unchanged from v3, so both versions are accepted.
         if report.get("schema") not in ("herd-bench-hotpath-v3",
-                                        "herd-bench-hotpath-v4"):
+                                        "herd-bench-hotpath-v4",
+                                        "herd-bench-hotpath-v5"):
             print(f"{arg}: unexpected schema {report.get('schema')!r}",
                   file=sys.stderr)
             return 2

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Epoch-backend regression gate for CI (docs/DETECTORS.md).
+
+Validates the `epoch_ab` section that schema herd-bench-hotpath-v5 added
+to every bench_hotpath trace, comparing a fresh run against the
+checked-in baseline:
+
+ * every trace the baseline measured must carry a complete `epoch_ab`
+   object in the current run;
+ * `agreement` must be true on every trace — the epoch backend and the
+   vector-clock baseline implement the same happens-before relation, so
+   any divergence in their racy-location sets is a correctness bug, not
+   noise, and fails the gate unconditionally;
+ * the epoch backend must not fall behind the vector-clock baseline:
+   both detectors are timed inside the same process on the same trace,
+   so their ratio is robust to machine speed and only a small noise
+   floor is allowed;
+ * the steady-state allocation rate (second replay into the same
+   detector instance, pooled ClockStore recycling rows) must stay near
+   zero;
+ * a full (non-smoke) run must demonstrate the headline >= 3x speedup
+   over the vector-clock baseline on the detector-bound synthetic trace
+   (`refhot`) with steady allocs/event <= 0.001 — the acceptance bar the
+   checked-in BENCH_hotpath.json proves; smoke runs on shared CI runners
+   are only held to the loose clauses above.
+
+Usage: check_epoch_gate.py CURRENT.json BASELINE.json
+"""
+
+import json
+import sys
+
+# Epoch cold / vector-clock cold are measured in the same run, so the
+# ratio is machine-independent; still allow a noise floor for the tiny
+# smoke traces (a handful of microseconds per replay).
+SPEEDUP_FLOOR = 0.9
+# ... and the current speedup may be this fraction of the baseline's.
+SPEEDUP_LENIENCY = 0.5
+# Steady allocs/event ceiling on any run: the smoke traces are small
+# enough that the TraceReader's own handful of allocations registers.
+STEADY_ALLOCS_CEILING = 0.02
+# Full (non-smoke) runs must demonstrate the headline numbers here.
+DETECTOR_BOUND_TRACE = "refhot"
+FULL_RUN_SPEEDUP = 3.0
+FULL_RUN_STEADY_ALLOCS = 0.001
+
+AB_KEYS = ("vc_events_per_sec", "epoch_cold_events_per_sec",
+           "epoch_steady_events_per_sec", "speedup",
+           "steady_allocs_per_event", "racy_locations", "agreement")
+
+
+def ab_traces(report):
+    return {t["name"]: t for t in report["traces"] if "epoch_ab" in t}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        current = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+    for report, arg in ((current, sys.argv[1]), (baseline, sys.argv[2])):
+        if report.get("schema") != "herd-bench-hotpath-v5":
+            print(f"{arg}: unexpected schema {report.get('schema')!r}",
+                  file=sys.stderr)
+            return 2
+
+    cur, base = ab_traces(current), ab_traces(baseline)
+    failed = False
+    for name, b in base.items():
+        t = cur.get(name)
+        if t is None:
+            print(f"FAIL {name}: no epoch_ab in current run",
+                  file=sys.stderr)
+            failed = True
+            continue
+        ab = t["epoch_ab"]
+        missing = [k for k in AB_KEYS if k not in ab]
+        if missing:
+            print(f"FAIL {name}: epoch_ab missing {missing}",
+                  file=sys.stderr)
+            failed = True
+            continue
+
+        # Race-set agreement is correctness, not performance: no leniency.
+        if not ab["agreement"]:
+            print(f"FAIL {name}: epoch and vector-clock disagree on the "
+                  f"racy-location set", file=sys.stderr)
+            failed = True
+        else:
+            print(f"ok   {name:10} race sets agree "
+                  f"({ab['racy_locations']} racy location(s))")
+
+        speedup = ab["speedup"]
+        base_speedup = b["epoch_ab"]["speedup"]
+        floor = max(SPEEDUP_FLOOR, base_speedup * SPEEDUP_LENIENCY)
+        status = "ok" if speedup >= floor else "FAIL"
+        print(f"{status:4} {name:10} epoch {speedup:.2f}x vs vclock "
+              f"(baseline {base_speedup:.2f}x, floor {floor:.2f}x)")
+        if speedup < floor:
+            failed = True
+
+        steady = ab["steady_allocs_per_event"]
+        status = "ok" if steady <= STEADY_ALLOCS_CEILING else "FAIL"
+        print(f"{status:4} {name:10} steady {steady:.4f} allocs/event "
+              f"(ceiling {STEADY_ALLOCS_CEILING})")
+        if steady > STEADY_ALLOCS_CEILING:
+            failed = True
+
+        if name == DETECTOR_BOUND_TRACE and not current.get("smoke", True):
+            status = "ok" if speedup >= FULL_RUN_SPEEDUP else "FAIL"
+            print(f"{status:4} {name:10} full-run headline speedup "
+                  f"{speedup:.2f}x (required {FULL_RUN_SPEEDUP:.1f}x)")
+            if speedup < FULL_RUN_SPEEDUP:
+                failed = True
+            status = "ok" if steady <= FULL_RUN_STEADY_ALLOCS else "FAIL"
+            print(f"{status:4} {name:10} full-run steady allocs/event "
+                  f"{steady:.4f} (required <= {FULL_RUN_STEADY_ALLOCS})")
+            if steady > FULL_RUN_STEADY_ALLOCS:
+                failed = True
+
+    if DETECTOR_BOUND_TRACE not in base:
+        print(f"FAIL: baseline has no epoch_ab for {DETECTOR_BOUND_TRACE}",
+              file=sys.stderr)
+        failed = True
+    if failed:
+        print("epoch-backend regression detected", file=sys.stderr)
+        return 1
+    print("epoch gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,7 +64,8 @@ def main():
     with open(sys.argv[2]) as f:
         baseline = json.load(f)
     for report, arg in ((current, sys.argv[1]), (baseline, sys.argv[2])):
-        if report.get("schema") != "herd-bench-hotpath-v4":
+        if report.get("schema") not in ("herd-bench-hotpath-v4",
+                                        "herd-bench-hotpath-v5"):
             print(f"{arg}: unexpected schema {report.get('schema')!r}",
                   file=sys.stderr)
             return 2

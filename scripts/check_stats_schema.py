@@ -171,6 +171,15 @@ def check_stats(doc):
             if not isinstance(entry, str):
                 fail(f"{section}[{i}]: expected string report")
     # Optional sections, validated when present.
+    if "epoch" in doc:
+        check_keys(doc["epoch"],
+                   {"events": int, "reads": int, "writes": int,
+                    "same_epoch_reads": int, "same_epoch_writes": int,
+                    "read_inflations": int, "shared_collapses": int,
+                    "races_reported": int, "locations_tracked": int,
+                    "threads_seen": int, "clock_rows_fresh": int,
+                    "clock_rows_reused": int},
+                   "epoch")
     if "metrics" in doc:
         m = doc["metrics"]
         check_keys(m, {"counters": dict, "gauges": dict, "histograms": dict},

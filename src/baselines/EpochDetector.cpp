@@ -1,0 +1,230 @@
+//===- baselines/EpochDetector.cpp - Epoch happens-before detector --------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synchronization modelling mirrors VectorClockDetector exactly — create
+/// joins the parent's clock into the child then ticks both, exit snapshots
+/// the dying thread's clock, join merges the snapshot, release publishes
+/// into the lock's clock then ticks, acquire joins the lock's clock — so
+/// the two backends induce the same happens-before relation and differ
+/// only in how per-location access history is represented and compared.
+///
+/// The same-epoch fast paths rely on this codebase's tick discipline:
+/// every channel that publishes a thread's current clock component
+/// (monitor exit, thread create) ticks the thread immediately afterwards,
+/// and thread exit is terminal.  Hence no other thread can observe clock
+/// component c while the owner is still at epoch (t, c), so an access
+/// that repeats at an unchanged epoch cannot have raced with anything the
+/// previous same-epoch access did not already check — any intervening
+/// conflicting access was flagged at its own check (docs/DETECTORS.md
+/// spells out the argument).
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/EpochDetector.h"
+
+#include <algorithm>
+
+using namespace herd;
+
+void EpochDetector::reserve(const DetectorPlan &PlanIn) {
+  DetectorPlan Plan = PlanIn.clamped();
+  if (Plan.ExpectedLocations)
+    Table.reserve(Plan.ExpectedLocations);
+  uint64_t ThreadsHint = std::max<uint64_t>(Plan.ExpectedThreads, 16);
+  // Rows: a clock and an exit snapshot per thread, a clock per lock (the
+  // lockset hint is the best in-plan proxy for distinct locks), and an
+  // inflated read clock per shared location.
+  size_t Rows = size_t(ThreadsHint) * 2 + size_t(Plan.ExpectedLocksets) +
+                size_t(Plan.ExpectedSharedLocations);
+  Store.reserve(Rows, uint32_t(std::min<uint64_t>(
+                          ThreadsHint, uint64_t(1) << SlotBits)));
+  if (Plan.ExpectedThreads) {
+    SlotByThread.reserve(Plan.ExpectedThreads);
+    Threads.reserve(Plan.ExpectedThreads);
+  }
+  if (Plan.ExpectedLocksets)
+    LockClocks.reserve(Plan.ExpectedLocksets);
+}
+
+EpochDetector::PerThread &EpochDetector::threadState(ThreadId Thread) {
+  size_t Index = Thread.index();
+  if (Index >= SlotByThread.size())
+    SlotByThread.resize(Index + 1, ClockStore::None);
+  uint32_t Slot = SlotByThread[Index];
+  if (Slot == ClockStore::None) {
+    Slot = uint32_t(Threads.size());
+    assert(Slot < (uint32_t(1) << SlotBits) && "thread-slot space exhausted");
+    SlotByThread[Index] = Slot;
+    Store.ensureSlots(Slot + 1);
+    PerThread T;
+    T.Slot = Slot;
+    T.VC = Store.alloc();
+    T.Epoch = packEpoch(Slot, 0);
+    Threads.push_back(T);
+  }
+  return Threads[Slot];
+}
+
+void EpochDetector::onThreadCreate(ThreadId Child, ThreadId Parent,
+                                   ObjectId ThreadObj) {
+  (void)ThreadObj;
+  // Materialize both states before taking references: threadState may
+  // grow the Threads vector.
+  uint32_t ChildSlot = threadState(Child).Slot;
+  if (Parent.isValid()) {
+    uint32_t ParentSlot = threadState(Parent).Slot;
+    PerThread &P = Threads[ParentSlot];
+    // Everything the parent did before start() happens-before the child.
+    Store.joinInto(Threads[ChildSlot].VC, P.VC);
+    uint64_t PClock = Store.get(P.VC, P.Slot) + 1;
+    Store.set(P.VC, P.Slot, PClock);
+    P.Epoch = packEpoch(P.Slot, PClock);
+  }
+  // The child's own component starts positive so its events are visibly
+  // unordered with other fresh threads.
+  PerThread &C = Threads[ChildSlot];
+  uint64_t CClock = Store.get(C.VC, C.Slot) + 1;
+  Store.set(C.VC, C.Slot, CClock);
+  C.Epoch = packEpoch(C.Slot, CClock);
+}
+
+void EpochDetector::onThreadExit(ThreadId Dying) {
+  PerThread &T = threadState(Dying);
+  if (T.ExitVC == ClockStore::None)
+    T.ExitVC = Store.alloc();
+  Store.assign(T.ExitVC, T.VC);
+}
+
+void EpochDetector::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
+  uint32_t JoinerSlot = threadState(Joiner).Slot;
+  // A join on a thread never seen or never exited merges nothing — the
+  // vector-clock baseline's snapshot would be the empty (all-zero) clock.
+  size_t JoinedIndex = Joined.index();
+  uint32_t JoinedSlot = JoinedIndex < SlotByThread.size()
+                            ? SlotByThread[JoinedIndex]
+                            : ClockStore::None;
+  if (JoinedSlot == ClockStore::None)
+    return;
+  const PerThread &D = Threads[JoinedSlot];
+  if (D.ExitVC == ClockStore::None)
+    return;
+  PerThread &J = Threads[JoinerSlot];
+  // Everything the joined thread did happens-before the joiner's
+  // continuation.
+  Store.joinInto(J.VC, D.ExitVC);
+  J.Epoch = packEpoch(J.Slot, Store.get(J.VC, J.Slot));
+}
+
+void EpochDetector::onMonitorEnter(ThreadId Thread, LockId Lock,
+                                   bool Recursive) {
+  if (Recursive)
+    return;
+  PerThread &T = threadState(Thread);
+  uint32_t LockRow = LockClocks.find(Lock.index());
+  if (LockRow == ClockStore::None)
+    return;
+  Store.joinInto(T.VC, LockRow);
+  T.Epoch = packEpoch(T.Slot, Store.get(T.VC, T.Slot));
+}
+
+void EpochDetector::onMonitorExit(ThreadId Thread, LockId Lock,
+                                  bool StillHeld) {
+  if (StillHeld)
+    return;
+  PerThread &T = threadState(Thread);
+  uint32_t LockRow = LockClocks.find(Lock.index());
+  if (LockRow == ClockStore::None) {
+    LockRow = Store.alloc();
+    LockClocks.insert(Lock.index(), LockRow);
+  }
+  Store.assign(LockRow, T.VC);
+  uint64_t Clock = Store.get(T.VC, T.Slot) + 1;
+  Store.set(T.VC, T.Slot, Clock);
+  T.Epoch = packEpoch(T.Slot, Clock);
+}
+
+void EpochDetector::onAccess(ThreadId Thread, LocationKey Location,
+                             AccessKind Access, SiteId Site) {
+  (void)Site;
+  PerThread &T = threadState(Thread);
+  ++Counters.Events;
+  VarState *V = Table.tryEmplace(Location).first;
+  const uint64_t E = T.Epoch;
+
+  if (Access == AccessKind::Read) {
+    ++Counters.Reads;
+    if (V->Read == E) {
+      // Same-epoch read: the previous read at this exact epoch already
+      // performed the write check, and any write landing in between was
+      // flagged at its own read check (see the file comment).
+      ++Counters.SameEpochReads;
+      return;
+    }
+    if (V->Read & SharedBit) {
+      uint32_t Row = uint32_t(V->Read);
+      if (Store.get(Row, T.Slot) == epochClock(E)) {
+        ++Counters.SameEpochReads; // same-epoch repeat inside a shared clock
+        return;
+      }
+      Store.set(Row, T.Slot, epochClock(E));
+      if (!epochOrderedBefore(V->WriteEpoch, T))
+        report(Location);
+      return;
+    }
+    bool Raced = !epochOrderedBefore(V->WriteEpoch, T);
+    if (epochOrderedBefore(V->Read, T)) {
+      V->Read = E; // reads still totally ordered: the new one subsumes
+    } else {
+      // Genuinely concurrent reads: inflate to a pooled vector clock
+      // holding both readers.
+      uint32_t Row = Store.alloc();
+      Store.set(Row, epochSlot(V->Read), epochClock(V->Read));
+      Store.set(Row, T.Slot, epochClock(E));
+      V->Read = SharedBit | Row;
+      ++Counters.ReadInflations;
+    }
+    if (Raced)
+      report(Location);
+    return;
+  }
+
+  ++Counters.Writes;
+  if (V->WriteEpoch == E) {
+    // Same-epoch write: an intervening foreign write would have changed
+    // the epoch, and an intervening foreign read was flagged at its own
+    // write check if unordered.
+    ++Counters.SameEpochWrites;
+    return;
+  }
+  bool Raced = !epochOrderedBefore(V->WriteEpoch, T);
+  if (V->Read & SharedBit) {
+    uint32_t Row = uint32_t(V->Read);
+    // One full-width check against the inflated read clock, then collapse
+    // back to the bottom epoch: every surviving read is ordered before
+    // this write, so any later access conflicting with one of them also
+    // conflicts with this write and is caught by the epoch alone.
+    Raced = Raced || !Store.orderedBefore(Row, T.VC);
+    Store.release(Row);
+    V->Read = 0;
+    ++Counters.SharedCollapses;
+  } else {
+    Raced = Raced || !epochOrderedBefore(V->Read, T);
+  }
+  V->WriteEpoch = E;
+  if (Raced)
+    report(Location);
+}
+
+EpochStats EpochDetector::stats() const {
+  EpochStats S = Counters;
+  S.RacesReported = Races;
+  S.LocationsTracked = Table.size();
+  S.ThreadsSeen = Threads.size();
+  S.ClockRowsFresh = Store.freshAllocs();
+  S.ClockRowsReused = Store.reusedAllocs();
+  return S;
+}

@@ -31,8 +31,11 @@ const char *herd::herdUsageText() {
       "  --replay=<file>   re-detect a recorded trace instead of executing\n"
       "                    the program (the program is still needed for\n"
       "                    report formatting)\n"
-      "  --detector=<name> detector fed during --replay: herd (default) |\n"
-      "                    eraser | vectorclock | naive\n"
+      "  --detector=<name> detection backend: herd (default; the paper's\n"
+      "                    lockset/trie pipeline) | epoch (FastTrack-style\n"
+      "                    happens-before, O(1) common case, serial live or\n"
+      "                    replay; docs/DETECTORS.md) | eraser | vectorclock\n"
+      "                    | naive (comparison baselines, --replay only)\n"
       "  --deadlocks       also run the lock-order deadlock detector\n"
       "  --stats[=json]    print pipeline statistics; =json emits one\n"
       "                    machine-readable herd-stats document instead of\n"
@@ -167,9 +170,13 @@ HerdParse herd::parseHerdCommandLine(const std::vector<std::string> &Args) {
         return fail("herd: --replay expects a file path");
     } else if (Arg.rfind("--detector=", 0) == 0) {
       O.Detector = Arg.substr(11);
-      if (O.Detector != "herd" && O.Detector != "eraser" &&
-          O.Detector != "vectorclock" && O.Detector != "naive")
-        return fail("herd: unknown detector '" + O.Detector + "'");
+      // Reject unknown backends here, at parse time, with the accepted
+      // list — nothing downstream may silently fall back to a default.
+      if (O.Detector != "herd" && O.Detector != "epoch" &&
+          O.Detector != "eraser" && O.Detector != "vectorclock" &&
+          O.Detector != "naive")
+        return fail("herd: unknown detector '" + O.Detector +
+                    "' (accepted: herd, epoch, eraser, vectorclock, naive)");
     } else if (Arg.rfind("--trace-json=", 0) == 0) {
       O.TraceJsonPath = Arg.substr(13);
       if (O.TraceJsonPath.empty())
@@ -223,8 +230,13 @@ HerdParse herd::parseHerdCommandLine(const std::vector<std::string> &Args) {
     return fail("herd: --replay cannot be combined with --sweep/--record");
   if (!O.RecordPath.empty() && O.Sweep > 0)
     return fail("herd: --record cannot be combined with --sweep");
-  if (O.Detector != "herd" && O.ReplayPath.empty())
+  // The epoch backend runs through the pipeline (live serial or replay);
+  // the other baselines are trace consumers only.
+  if (O.Detector != "herd" && O.Detector != "epoch" && O.ReplayPath.empty())
     return fail("herd: --detector requires --replay");
+  if (O.Detector == "epoch" && Shards != 0)
+    return fail("herd: --detector=epoch runs the serial happens-before "
+                "backend and cannot be combined with --shards");
   // Observability is per-run: a sweep aggregates many runs, and the
   // baseline replays bypass the pipeline entirely.
   if (O.Sweep > 0 && (O.Profile || O.StatsJson || !O.TraceJsonPath.empty()))
@@ -232,11 +244,14 @@ HerdParse herd::parseHerdCommandLine(const std::vector<std::string> &Args) {
                 "combined with --sweep");
   if (O.Profile && !O.ReplayPath.empty())
     return fail("herd: --profile requires a live run, not --replay");
-  if (O.Detector != "herd" && (O.StatsJson || !O.TraceJsonPath.empty()))
+  if (O.Detector != "herd" && O.Detector != "epoch" &&
+      (O.StatsJson || !O.TraceJsonPath.empty()))
     return fail("herd: --stats=json/--trace-json only apply to the herd "
                 "detector");
 
   O.Config.Shards = Shards;
+  if (O.Detector == "epoch")
+    O.Config.Backend = ToolConfig::DetectorBackend::Epoch;
   O.Config.RecordTracePath = O.RecordPath;
   if (CacheSize != 0)
     O.Config.CacheEntries = CacheSize;

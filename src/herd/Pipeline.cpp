@@ -130,6 +130,37 @@ std::string formatRace(const Program &P, const Heap *TheHeap,
   return Out;
 }
 
+/// Renders one racy location the way formatRace renders its location part.
+/// The epoch backend reports locations, not full race records, so its lines
+/// carry no thread/site attribution.
+std::string formatRacyLocation(const Program &P, const Heap *TheHeap,
+                               LocationKey Location) {
+  std::string Out = "race on ";
+  ObjectId Obj = Location.object();
+  if (TheHeap && Obj.index() < TheHeap->size()) {
+    const HeapObject &H = TheHeap->object(Obj);
+    if (H.IsArray) {
+      Out += "array";
+    } else if (H.IsClassStatics) {
+      Out += "statics";
+    } else if (H.Class.isValid()) {
+      Out += P.Names.text(P.classDecl(H.Class).Name);
+    } else {
+      Out += "object";
+    }
+  } else {
+    Out += "object";
+  }
+  Out += " #";
+  Out += std::to_string(Obj.index());
+  uint32_t FieldBits = uint32_t(Location.raw() & 0xFFFFFFFF);
+  if (FieldBits < P.numFields()) {
+    Out += " field ";
+    Out += P.Names.text(P.field(FieldId(FieldBits)).Name);
+  }
+  return Out;
+}
+
 /// Runs the static half of the deadlock co-analysis over \p Input, reads
 /// the dynamic cycles out of \p Deadlocks, and formats both into
 /// \p Result.  Shared between live runs and trace replay.
@@ -177,14 +208,22 @@ void collectDeadlockResults(const Program &Input, DeadlockDetector &Deadlocks,
   }
 }
 
-/// Builds the detection runtime \p Config asks for (serial RaceRuntime or
-/// ShardedRuntime) into whichever of \p Serial / \p Sharded applies and
-/// returns the active one as a RuntimeHooks sink.  \p Plan carries the
-/// capacity hints the caller resolved for this run (empty = no pre-sizing).
+/// Builds the detection runtime \p Config asks for (serial RaceRuntime,
+/// ShardedRuntime, or the epoch backend) into whichever of \p Serial /
+/// \p Sharded / \p Epoch applies and returns the active one as a
+/// RuntimeHooks sink.  \p Plan carries the capacity hints the caller
+/// resolved for this run (empty = no pre-sizing).
 RuntimeHooks *makeDetectionRuntime(const ToolConfig &Config,
                                    const DetectorPlan &Plan,
                                    std::unique_ptr<RaceRuntime> &Serial,
-                                   std::unique_ptr<ShardedRuntime> &Sharded) {
+                                   std::unique_ptr<ShardedRuntime> &Sharded,
+                                   std::unique_ptr<EpochDetector> &Epoch) {
+  if (Config.Backend == ToolConfig::DetectorBackend::Epoch) {
+    // Serial only (HerdOptions rejects epoch + --shards); the plan's
+    // capacity hints pre-size the clock store and location table.
+    Epoch = std::make_unique<EpochDetector>(Plan);
+    return Epoch.get();
+  }
   if (Config.Shards >= 1) {
     ShardedRuntimeOptions SOpts;
     SOpts.NumShards = Config.Shards;
@@ -286,7 +325,9 @@ PipelineResult herd::runPipeline(const Program &Input,
   // both produce the identical race-report set for the same schedule.
   std::unique_ptr<RaceRuntime> Serial;
   std::unique_ptr<ShardedRuntime> Sharded;
-  RuntimeHooks *Detect = makeDetectionRuntime(Config, Plan, Serial, Sharded);
+  std::unique_ptr<EpochDetector> Epoch;
+  RuntimeHooks *Detect =
+      makeDetectionRuntime(Config, Plan, Serial, Sharded, Epoch);
   DeadlockDetector Deadlocks;
   TraceWriter Writer;
   if (!Config.RecordTracePath.empty()) {
@@ -353,13 +394,20 @@ PipelineResult herd::runPipeline(const Program &Input,
       Result.Stats = Sharded->stats();
       Result.Reports = Sharded->reporter();
       Result.ShardBreakdown = Sharded->shardStats();
-    } else {
+    } else if (Serial) {
       Result.Stats = Serial->stats();
       Result.Reports = Serial->reporter();
+    } else {
+      Result.EpochBackend = true;
+      Result.Epoch = Epoch->stats();
     }
   }
   {
     Span FormatSpan(Metrics, "format-reports");
+    if (Epoch)
+      for (LocationKey Loc : Epoch->reportedLocations())
+        Result.FormattedRaces.push_back(
+            formatRacyLocation(P, &Interp.heap(), Loc));
     for (const RaceRecord &Rec : Result.Reports.records())
       Result.FormattedRaces.push_back(formatRace(P, &Interp.heap(), Rec));
   }
@@ -367,7 +415,7 @@ PipelineResult herd::runPipeline(const Program &Input,
     Metrics->counter("run.instructions").add(Result.Run.InstructionsExecuted);
     Metrics->counter("run.access_events").add(Result.Run.AccessEvents);
     Metrics->counter("run.context_switches").add(Result.Run.ContextSwitches);
-    Metrics->counter("run.races").add(Result.Reports.records().size());
+    Metrics->counter("run.races").add(Result.FormattedRaces.size());
   }
 
   if (Writer.isOpen()) {
@@ -395,8 +443,9 @@ PipelineResult herd::replayTracePipeline(const Program &Input,
   // phases, so replay only honours an Explicit plan (`--plan=N`).
   std::unique_ptr<RaceRuntime> Serial;
   std::unique_ptr<ShardedRuntime> Sharded;
-  RuntimeHooks *Detect =
-      makeDetectionRuntime(Config, configuredPlan(Config), Serial, Sharded);
+  std::unique_ptr<EpochDetector> Epoch;
+  RuntimeHooks *Detect = makeDetectionRuntime(Config, configuredPlan(Config),
+                                              Serial, Sharded, Epoch);
   DeadlockDetector Deadlocks;
   std::vector<RuntimeHooks *> SinkList{Detect};
   if (Config.DetectDeadlocks)
@@ -441,13 +490,20 @@ PipelineResult herd::replayTracePipeline(const Program &Input,
     Result.Stats = Sharded->stats();
     Result.Reports = Sharded->reporter();
     Result.ShardBreakdown = Sharded->shardStats();
-  } else {
+  } else if (Serial) {
     Result.Stats = Serial->stats();
     Result.Reports = Serial->reporter();
+  } else {
+    Result.EpochBackend = true;
+    Result.Epoch = Epoch->stats();
   }
   // No heap exists in a replay run; formatRace degrades to object indices.
   {
     Span FormatSpan(Metrics, "format-reports");
+    if (Epoch)
+      for (LocationKey Loc : Epoch->reportedLocations())
+        Result.FormattedRaces.push_back(
+            formatRacyLocation(Input, nullptr, Loc));
     for (const RaceRecord &Rec : Result.Reports.records())
       Result.FormattedRaces.push_back(formatRace(Input, nullptr, Rec));
   }

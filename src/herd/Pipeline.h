@@ -21,6 +21,7 @@
 
 #include "analysis/LockOrder.h"
 #include "analysis/StaticRace.h"
+#include "baselines/EpochDetector.h"
 #include "detect/DeadlockDetector.h"
 #include "detect/RaceRuntime.h"
 #include "detect/ShardedRuntime.h"
@@ -66,6 +67,16 @@ struct ToolConfig {
   /// location-hashed shard workers (docs/SHARDING.md).  Reports are
   /// identical either way; only throughput and statistics layout change.
   uint32_t Shards = 0;
+
+  /// Which detection backend consumes the event stream
+  /// (docs/DETECTORS.md).  Herd is the paper's lockset/trie pipeline
+  /// (cache + ownership filter + trie detector); Epoch is the
+  /// FastTrack-lineage happens-before backend (`--detector=epoch`),
+  /// serial only — it reports racy locations rather than full race
+  /// records, and ignores the runtime-optimizer knobs (UseCache,
+  /// UseOwnership, Shards, HookFilter).
+  enum class DetectorBackend : uint8_t { Herd, Epoch };
+  DetectorBackend Backend = DetectorBackend::Herd;
 
   /// Capacity planning for the detection runtime (`herd --plan=auto|off|N`).
   /// Auto derives a DetectorPlan from the static analysis (requires
@@ -163,6 +174,13 @@ struct PipelineResult {
   /// fused-execution counts live in Run.Fused).
   DispatchMode Dispatch = DispatchMode::Switch;
   FusionStats Fusion;
+
+  /// True when the epoch backend ran (ToolConfig::DetectorBackend::Epoch):
+  /// Stats/Reports/ShardBreakdown stay zeroed (the epoch detector has no
+  /// cache/ownership/trie machinery) and Epoch carries its counters;
+  /// FormattedRaces holds one line per racy location.
+  bool EpochBackend = false;
+  EpochStats Epoch;
 };
 
 /// Runs the full pipeline on a copy of \p Input (the input program is not

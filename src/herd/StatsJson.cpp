@@ -258,6 +258,24 @@ std::string herd::renderStatsJson(const PipelineResult &Result,
   W.member("bytes", Result.TraceBytes);
   W.endObject();
 
+  if (Result.EpochBackend) {
+    W.key("epoch");
+    W.beginObject();
+    W.member("events", Result.Epoch.Events);
+    W.member("reads", Result.Epoch.Reads);
+    W.member("writes", Result.Epoch.Writes);
+    W.member("same_epoch_reads", Result.Epoch.SameEpochReads);
+    W.member("same_epoch_writes", Result.Epoch.SameEpochWrites);
+    W.member("read_inflations", Result.Epoch.ReadInflations);
+    W.member("shared_collapses", Result.Epoch.SharedCollapses);
+    W.member("races_reported", Result.Epoch.RacesReported);
+    W.member("locations_tracked", Result.Epoch.LocationsTracked);
+    W.member("threads_seen", Result.Epoch.ThreadsSeen);
+    W.member("clock_rows_fresh", Result.Epoch.ClockRowsFresh);
+    W.member("clock_rows_reused", Result.Epoch.ClockRowsReused);
+    W.endObject();
+  }
+
   if (Metrics) {
     W.key("metrics");
     writeMetrics(W, *Metrics);

@@ -12,9 +12,11 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "baselines/EpochDetector.h"
 #include "baselines/EraserDetector.h"
 #include "baselines/NaiveDetector.h"
 #include "baselines/VectorClockDetector.h"
+#include "support/ClockStore.h"
 
 #include <gtest/gtest.h>
 
@@ -253,6 +255,444 @@ TEST(VectorClockDetectorTest, MissesFeasibleRaceTheLocksetApproachReports) {
   Oracle.addEvent(E1);
   Oracle.addEvent(E2);
   EXPECT_EQ(Oracle.racyLocations().size(), 1u);
+}
+
+//===----------------------------------------------------------------------===
+// Vector-clock edge cases: clocks past 32 bits, single-thread traces,
+// thread ids far beyond the initial capacity.
+//===----------------------------------------------------------------------===
+
+TEST(VectorClockTest, ClockValuesSurvivePast32Bits) {
+  // Components are 64-bit: ticking across the 2^32 boundary must not
+  // truncate, and joins/orderings must compare full-width.
+  const uint64_t Big = (uint64_t(1) << 32) - 1;
+  VectorClock A;
+  A.set(ThreadId(0), Big);
+  A.tick(ThreadId(0));
+  EXPECT_EQ(A.get(ThreadId(0)), uint64_t(1) << 32);
+
+  VectorClock B;
+  B.set(ThreadId(0), Big); // 2^32 - 1: a 32-bit compare would see B > A
+  EXPECT_TRUE(B.isOrderedBefore(A));
+  EXPECT_FALSE(A.isOrderedBefore(B));
+
+  B.joinWith(A);
+  EXPECT_EQ(B.get(ThreadId(0)), uint64_t(1) << 32);
+
+  VectorClock C;
+  C.set(ThreadId(1), (uint64_t(1) << 32) + 7);
+  B.joinWith(C);
+  EXPECT_EQ(B.get(ThreadId(0)), uint64_t(1) << 32);
+  EXPECT_EQ(B.get(ThreadId(1)), (uint64_t(1) << 32) + 7);
+}
+
+TEST(VectorClockDetectorTest, SingleThreadTraceNeverRaces) {
+  VectorClockDetector VC;
+  VC.onThreadCreate(ThreadId(0), ThreadId::invalid(), ObjectId::invalid());
+  for (int Round = 0; Round != 3; ++Round) {
+    for (uint32_t Obj = 1; Obj != 5; ++Obj) {
+      VC.onAccess(ThreadId(0), keyOf(Obj), RD, SiteId());
+      VC.onAccess(ThreadId(0), keyOf(Obj), WR, SiteId());
+    }
+    VC.onMonitorEnter(ThreadId(0), LockId(9), false);
+    VC.onAccess(ThreadId(0), keyOf(1), WR, SiteId());
+    VC.onMonitorExit(ThreadId(0), LockId(9), false);
+  }
+  EXPECT_TRUE(VC.reportedLocations().empty());
+}
+
+TEST(VectorClockDetectorTest, ThreadIdsBeyondInitialCapacity) {
+  // Sparse, far-apart thread ids must resize every per-thread structure on
+  // demand; the races between them are still detected.
+  VectorClockDetector VC;
+  VC.onThreadCreate(ThreadId(0), ThreadId::invalid(), ObjectId::invalid());
+  VC.onThreadCreate(ThreadId(500), ThreadId(0), ObjectId(1));
+  VC.onThreadCreate(ThreadId(1000), ThreadId(0), ObjectId(2));
+  VC.onAccess(ThreadId(500), keyOf(1), WR, SiteId());
+  VC.onAccess(ThreadId(1000), keyOf(1), WR, SiteId());
+  EXPECT_EQ(VC.reportedLocations().size(), 1u);
+  // Ordered via exit+join: no further report on another location.
+  VC.onAccess(ThreadId(500), keyOf(2), WR, SiteId());
+  VC.onThreadExit(ThreadId(500));
+  VC.onThreadJoin(ThreadId(1000), ThreadId(500));
+  VC.onAccess(ThreadId(1000), keyOf(2), WR, SiteId());
+  EXPECT_EQ(VC.reportedLocations().size(), 1u);
+}
+
+//===----------------------------------------------------------------------===
+// ClockStore: the pooled vector-clock arena behind the epoch detector.
+//===----------------------------------------------------------------------===
+
+TEST(ClockStoreTest, AllocZeroesAndSetGetRoundTrips) {
+  ClockStore S(4);
+  uint32_t H = S.alloc();
+  EXPECT_EQ(S.get(H, 0), 0u);
+  EXPECT_EQ(S.get(H, 3), 0u);
+  S.set(H, 2, 42);
+  EXPECT_EQ(S.get(H, 2), 42u);
+  // Reads past the current stride are implicitly zero.
+  EXPECT_EQ(S.get(H, 100), 0u);
+  EXPECT_EQ(S.freshAllocs(), 1u);
+  EXPECT_EQ(S.reusedAllocs(), 0u);
+}
+
+TEST(ClockStoreTest, ReleaseRecyclesRowsZeroed) {
+  ClockStore S(4);
+  uint32_t A = S.alloc();
+  S.set(A, 1, 7);
+  S.release(A);
+  uint32_t B = S.alloc();
+  EXPECT_EQ(B, A); // the free list hands the row back...
+  EXPECT_EQ(S.get(B, 1), 0u); // ...wiped
+  EXPECT_EQ(S.freshAllocs(), 1u);
+  EXPECT_EQ(S.reusedAllocs(), 1u);
+}
+
+TEST(ClockStoreTest, EnsureSlotsPreservesRowsAcrossGrowth) {
+  ClockStore S(2);
+  uint32_t A = S.alloc();
+  uint32_t B = S.alloc();
+  S.set(A, 0, 11);
+  S.set(A, 1, 22);
+  S.set(B, 1, 33);
+  S.ensureSlots(100); // forces a stride-doubling rebuild
+  EXPECT_GE(S.slots(), 100u);
+  EXPECT_EQ(S.get(A, 0), 11u);
+  EXPECT_EQ(S.get(A, 1), 22u);
+  EXPECT_EQ(S.get(B, 1), 33u);
+  EXPECT_EQ(S.get(A, 99), 0u); // new slots come up zero
+  S.set(B, 99, 44); // and are writable after the rebuild
+  EXPECT_EQ(S.get(B, 99), 44u);
+}
+
+TEST(ClockStoreTest, JoinAndOrderingArePointwise) {
+  ClockStore S(8);
+  uint32_t A = S.alloc();
+  uint32_t B = S.alloc();
+  S.set(A, 0, 5);
+  S.set(A, 2, 1);
+  S.set(B, 0, 3);
+  S.set(B, 1, 9);
+  EXPECT_FALSE(S.orderedBefore(A, B)); // A[0]=5 > B[0]=3
+  EXPECT_FALSE(S.orderedBefore(B, A)); // B[1]=9 > A[1]=0
+  S.joinInto(B, A);
+  EXPECT_EQ(S.get(B, 0), 5u);
+  EXPECT_EQ(S.get(B, 1), 9u);
+  EXPECT_EQ(S.get(B, 2), 1u);
+  EXPECT_TRUE(S.orderedBefore(A, B));
+  uint32_t C = S.alloc();
+  S.assign(C, B);
+  EXPECT_TRUE(S.orderedBefore(B, C));
+  EXPECT_TRUE(S.orderedBefore(C, B));
+}
+
+TEST(ClockStoreTest, ClockValuesSurvivePast32Bits) {
+  ClockStore S(4);
+  uint32_t A = S.alloc();
+  uint32_t B = S.alloc();
+  S.set(A, 0, (uint64_t(1) << 32) - 1);
+  S.set(B, 0, uint64_t(1) << 32);
+  EXPECT_TRUE(S.orderedBefore(A, B));
+  EXPECT_FALSE(S.orderedBefore(B, A));
+  S.joinInto(A, B);
+  EXPECT_EQ(S.get(A, 0), uint64_t(1) << 32);
+}
+
+//===----------------------------------------------------------------------===
+// Epoch detector.
+//===----------------------------------------------------------------------===
+
+TEST(EpochDetectorTest, PackUnpackRoundTrips) {
+  const uint32_t MaxSlot = (uint32_t(1) << EpochDetector::SlotBits) - 1;
+  const uint64_t Clocks[] = {0, 1, (uint64_t(1) << 32) - 1,
+                             (uint64_t(1) << 32) + 7,
+                             EpochDetector::MaxClock};
+  for (uint32_t Slot : {uint32_t(0), uint32_t(1), MaxSlot}) {
+    for (uint64_t Clock : Clocks) {
+      uint64_t E = EpochDetector::packEpoch(Slot, Clock);
+      EXPECT_EQ(EpochDetector::epochSlot(E), Slot);
+      EXPECT_EQ(EpochDetector::epochClock(E), Clock);
+      EXPECT_FALSE(E & EpochDetector::SharedBit);
+    }
+  }
+}
+
+TEST(EpochDetectorTest, UnorderedWritesReported) {
+  EpochDetector E;
+  E.onThreadCreate(ThreadId(0), ThreadId::invalid(), ObjectId::invalid());
+  E.onThreadCreate(ThreadId(1), ThreadId(0), ObjectId(1));
+  E.onThreadCreate(ThreadId(2), ThreadId(0), ObjectId(2));
+  E.onAccess(ThreadId(1), keyOf(1), WR, SiteId());
+  E.onAccess(ThreadId(2), keyOf(1), WR, SiteId());
+  EXPECT_EQ(E.reportedLocations(), (std::set<LocationKey>{keyOf(1)}));
+  EXPECT_EQ(E.stats().RacesReported, 1u);
+}
+
+TEST(EpochDetectorTest, StartAndJoinOrderAccesses) {
+  EpochDetector E;
+  E.onThreadCreate(ThreadId(0), ThreadId::invalid(), ObjectId::invalid());
+  E.onAccess(ThreadId(0), keyOf(1), WR, SiteId());
+  E.onThreadCreate(ThreadId(1), ThreadId(0), ObjectId(1));
+  E.onAccess(ThreadId(1), keyOf(1), WR, SiteId());
+  E.onThreadExit(ThreadId(1));
+  E.onThreadJoin(ThreadId(0), ThreadId(1));
+  E.onAccess(ThreadId(0), keyOf(1), WR, SiteId());
+  EXPECT_TRUE(E.reportedLocations().empty());
+}
+
+TEST(EpochDetectorTest, LockHandoffCreatesOrder) {
+  EpochDetector E;
+  E.onThreadCreate(ThreadId(0), ThreadId::invalid(), ObjectId::invalid());
+  E.onThreadCreate(ThreadId(1), ThreadId(0), ObjectId(1));
+  E.onThreadCreate(ThreadId(2), ThreadId(0), ObjectId(2));
+  E.onMonitorEnter(ThreadId(1), LockId(9), false);
+  E.onAccess(ThreadId(1), keyOf(1), WR, SiteId());
+  E.onMonitorExit(ThreadId(1), LockId(9), false);
+  E.onMonitorEnter(ThreadId(2), LockId(9), false);
+  E.onAccess(ThreadId(2), keyOf(1), WR, SiteId());
+  E.onMonitorExit(ThreadId(2), LockId(9), false);
+  EXPECT_TRUE(E.reportedLocations().empty());
+}
+
+TEST(EpochDetectorTest, SameEpochFastPathsCounted) {
+  EpochDetector E;
+  E.onThreadCreate(ThreadId(0), ThreadId::invalid(), ObjectId::invalid());
+  for (int I = 0; I != 5; ++I)
+    E.onAccess(ThreadId(0), keyOf(1), RD, SiteId());
+  for (int I = 0; I != 5; ++I)
+    E.onAccess(ThreadId(0), keyOf(1), WR, SiteId());
+  EpochStats S = E.stats();
+  EXPECT_EQ(S.Events, 10u);
+  EXPECT_EQ(S.SameEpochReads, 4u);  // first read establishes the epoch
+  EXPECT_EQ(S.SameEpochWrites, 4u); // first write establishes the epoch
+  EXPECT_TRUE(E.reportedLocations().empty());
+}
+
+TEST(EpochDetectorTest, ConcurrentReadsInflateThenOrderedWriteCollapses) {
+  EpochDetector E;
+  E.onThreadCreate(ThreadId(0), ThreadId::invalid(), ObjectId::invalid());
+  E.onThreadCreate(ThreadId(1), ThreadId(0), ObjectId(1));
+  E.onThreadCreate(ThreadId(2), ThreadId(0), ObjectId(2));
+  // Two genuinely concurrent reads: read state inflates to a ClockStore
+  // row; reads never race with reads.
+  E.onAccess(ThreadId(1), keyOf(1), RD, SiteId());
+  E.onAccess(ThreadId(2), keyOf(1), RD, SiteId());
+  EXPECT_EQ(E.stats().ReadInflations, 1u);
+  EXPECT_TRUE(E.reportedLocations().empty());
+  // A write ordered after both (via join) collapses the shared state back
+  // to an epoch without reporting.
+  E.onThreadExit(ThreadId(1));
+  E.onThreadExit(ThreadId(2));
+  E.onThreadJoin(ThreadId(0), ThreadId(1));
+  E.onThreadJoin(ThreadId(0), ThreadId(2));
+  E.onAccess(ThreadId(0), keyOf(1), WR, SiteId());
+  EpochStats S = E.stats();
+  EXPECT_EQ(S.SharedCollapses, 1u);
+  EXPECT_GE(S.ClockRowsReused + S.ClockRowsFresh, 1u);
+  EXPECT_TRUE(E.reportedLocations().empty());
+}
+
+TEST(EpochDetectorTest, WriteConcurrentWithSharedReadsReported) {
+  EpochDetector E;
+  E.onThreadCreate(ThreadId(0), ThreadId::invalid(), ObjectId::invalid());
+  E.onThreadCreate(ThreadId(1), ThreadId(0), ObjectId(1));
+  E.onThreadCreate(ThreadId(2), ThreadId(0), ObjectId(2));
+  E.onThreadCreate(ThreadId(3), ThreadId(0), ObjectId(3));
+  E.onAccess(ThreadId(1), keyOf(1), RD, SiteId());
+  E.onAccess(ThreadId(2), keyOf(1), RD, SiteId()); // inflates
+  E.onAccess(ThreadId(3), keyOf(1), WR, SiteId()); // concurrent with both
+  EXPECT_EQ(E.reportedLocations(), (std::set<LocationKey>{keyOf(1)}));
+}
+
+TEST(EpochDetectorTest, ReadConcurrentWithWriteReported) {
+  EpochDetector E;
+  E.onThreadCreate(ThreadId(0), ThreadId::invalid(), ObjectId::invalid());
+  E.onThreadCreate(ThreadId(1), ThreadId(0), ObjectId(1));
+  E.onThreadCreate(ThreadId(2), ThreadId(0), ObjectId(2));
+  E.onAccess(ThreadId(1), keyOf(1), WR, SiteId());
+  E.onAccess(ThreadId(2), keyOf(1), RD, SiteId());
+  EXPECT_EQ(E.reportedLocations(), (std::set<LocationKey>{keyOf(1)}));
+}
+
+TEST(EpochDetectorTest, SingleThreadTraceStaysOnFastPaths) {
+  EpochDetector E;
+  E.onThreadCreate(ThreadId(0), ThreadId::invalid(), ObjectId::invalid());
+  for (int Round = 0; Round != 3; ++Round) {
+    for (uint32_t Obj = 1; Obj != 5; ++Obj) {
+      E.onAccess(ThreadId(0), keyOf(Obj), RD, SiteId());
+      E.onAccess(ThreadId(0), keyOf(Obj), WR, SiteId());
+    }
+    E.onMonitorEnter(ThreadId(0), LockId(9), false);
+    E.onAccess(ThreadId(0), keyOf(1), WR, SiteId());
+    E.onMonitorExit(ThreadId(0), LockId(9), false);
+  }
+  EXPECT_TRUE(E.reportedLocations().empty());
+  EpochStats S = E.stats();
+  EXPECT_EQ(S.ReadInflations, 0u);
+  EXPECT_EQ(S.ThreadsSeen, 1u);
+}
+
+TEST(EpochDetectorTest, ThreadIdsBeyondInitialCapacity) {
+  // Sparse ids map to dense slots in first-appearance order, so arbitrary
+  // ThreadId values cost a slot, not an id-sized table.
+  EpochDetector E;
+  E.onThreadCreate(ThreadId(0), ThreadId::invalid(), ObjectId::invalid());
+  E.onThreadCreate(ThreadId(500), ThreadId(0), ObjectId(1));
+  E.onThreadCreate(ThreadId(1000), ThreadId(0), ObjectId(2));
+  E.onAccess(ThreadId(500), keyOf(1), WR, SiteId());
+  E.onAccess(ThreadId(1000), keyOf(1), WR, SiteId());
+  EXPECT_EQ(E.reportedLocations().size(), 1u);
+  E.onAccess(ThreadId(500), keyOf(2), WR, SiteId());
+  E.onThreadExit(ThreadId(500));
+  E.onThreadJoin(ThreadId(1000), ThreadId(500));
+  E.onAccess(ThreadId(1000), keyOf(2), WR, SiteId());
+  EXPECT_EQ(E.reportedLocations().size(), 1u);
+  EXPECT_EQ(E.stats().ThreadsSeen, 3u);
+}
+
+TEST(EpochDetectorTest, JoinOfUnseenOrLiveThreadIsANoOp) {
+  EpochDetector E;
+  E.onThreadCreate(ThreadId(0), ThreadId::invalid(), ObjectId::invalid());
+  E.onThreadJoin(ThreadId(0), ThreadId(42)); // never seen
+  E.onThreadCreate(ThreadId(1), ThreadId(0), ObjectId(1));
+  E.onThreadJoin(ThreadId(0), ThreadId(1)); // seen but never exited
+  E.onAccess(ThreadId(0), keyOf(1), WR, SiteId());
+  E.onAccess(ThreadId(1), keyOf(1), WR, SiteId());
+  // The no-op joins must not have manufactured an ordering edge.
+  EXPECT_EQ(E.reportedLocations().size(), 1u);
+}
+
+//===----------------------------------------------------------------------===
+// Epoch vs vector-clock differential: both detectors replay the same hand
+// traces and must report identical racy-location sets (the FastTrack
+// equivalence the docs/DETECTORS.md argument pins down).
+//===----------------------------------------------------------------------===
+
+struct TraceOp {
+  enum Kind { Create, Exit, Join, Enter, Leave, Access } K;
+  uint32_t A = 0, B = 0;
+  AccessKind Acc = AccessKind::Read;
+};
+
+void applyTrace(RuntimeHooks &H, const std::vector<TraceOp> &Ops) {
+  for (const TraceOp &Op : Ops) {
+    switch (Op.K) {
+    case TraceOp::Create:
+      H.onThreadCreate(ThreadId(Op.A),
+                       Op.B == UINT32_MAX ? ThreadId::invalid()
+                                          : ThreadId(Op.B),
+                       ObjectId(Op.A));
+      break;
+    case TraceOp::Exit:
+      H.onThreadExit(ThreadId(Op.A));
+      break;
+    case TraceOp::Join:
+      H.onThreadJoin(ThreadId(Op.A), ThreadId(Op.B));
+      break;
+    case TraceOp::Enter:
+      H.onMonitorEnter(ThreadId(Op.A), LockId(Op.B), false);
+      break;
+    case TraceOp::Leave:
+      H.onMonitorExit(ThreadId(Op.A), LockId(Op.B), false);
+      break;
+    case TraceOp::Access:
+      H.onAccess(ThreadId(Op.A), keyOf(Op.B), Op.Acc, SiteId());
+      break;
+    }
+  }
+}
+
+void expectSameRaceSet(const std::vector<TraceOp> &Ops) {
+  VectorClockDetector VC;
+  EpochDetector E;
+  applyTrace(VC, Ops);
+  applyTrace(E, Ops);
+  EXPECT_EQ(E.reportedLocations(), VC.reportedLocations());
+}
+
+TEST(EpochDifferentialTest, RacyAndOrderedMix) {
+  expectSameRaceSet({
+      {TraceOp::Create, 0, UINT32_MAX},
+      {TraceOp::Create, 1, 0},
+      {TraceOp::Create, 2, 0},
+      {TraceOp::Access, 1, 1, AccessKind::Write},
+      {TraceOp::Access, 2, 1, AccessKind::Write}, // race on 1
+      {TraceOp::Enter, 1, 9},
+      {TraceOp::Access, 1, 2, AccessKind::Write},
+      {TraceOp::Leave, 1, 9},
+      {TraceOp::Enter, 2, 9},
+      {TraceOp::Access, 2, 2, AccessKind::Write}, // ordered: no race on 2
+      {TraceOp::Leave, 2, 9},
+      {TraceOp::Access, 1, 3, AccessKind::Read},
+      {TraceOp::Access, 2, 3, AccessKind::Read}, // reads never race
+      {TraceOp::Access, 2, 3, AccessKind::Write}, // races with 1's read
+  });
+}
+
+TEST(EpochDifferentialTest, SharedReadsThenWrites) {
+  expectSameRaceSet({
+      {TraceOp::Create, 0, UINT32_MAX},
+      {TraceOp::Create, 1, 0},
+      {TraceOp::Create, 2, 0},
+      {TraceOp::Create, 3, 0},
+      {TraceOp::Access, 1, 1, AccessKind::Read},
+      {TraceOp::Access, 2, 1, AccessKind::Read},
+      {TraceOp::Access, 3, 1, AccessKind::Read}, // three-way shared
+      {TraceOp::Exit, 1, 0},
+      {TraceOp::Exit, 2, 0},
+      {TraceOp::Join, 0, 1},
+      {TraceOp::Join, 0, 2},
+      {TraceOp::Access, 0, 1, AccessKind::Write}, // races with 3's read only
+      {TraceOp::Access, 0, 2, AccessKind::Write},
+      {TraceOp::Exit, 3, 0},
+      {TraceOp::Join, 0, 3},
+      {TraceOp::Access, 0, 2, AccessKind::Write}, // same thread: no race
+  });
+}
+
+TEST(EpochDifferentialTest, LockChainsAndJoinOrdering) {
+  expectSameRaceSet({
+      {TraceOp::Create, 0, UINT32_MAX},
+      {TraceOp::Access, 0, 1, AccessKind::Write}, // init before start
+      {TraceOp::Create, 1, 0},
+      {TraceOp::Create, 2, 0},
+      {TraceOp::Access, 1, 1, AccessKind::Read}, // ordered after init
+      {TraceOp::Enter, 1, 5},
+      {TraceOp::Access, 1, 2, AccessKind::Write},
+      {TraceOp::Leave, 1, 5},
+      {TraceOp::Enter, 2, 5},
+      {TraceOp::Enter, 2, 6},
+      {TraceOp::Access, 2, 2, AccessKind::Read}, // ordered via lock 5
+      {TraceOp::Leave, 2, 6},
+      {TraceOp::Leave, 2, 5},
+      {TraceOp::Enter, 1, 6},
+      {TraceOp::Access, 1, 3, AccessKind::Write}, // ordered via 5 then 6
+      {TraceOp::Leave, 1, 6},
+      {TraceOp::Access, 2, 3, AccessKind::Write}, // concurrent: race on 3
+      {TraceOp::Exit, 1, 0},
+      {TraceOp::Exit, 2, 0},
+      {TraceOp::Join, 0, 1},
+      {TraceOp::Join, 0, 2},
+      {TraceOp::Access, 0, 2, AccessKind::Write}, // after both: no race
+      {TraceOp::Access, 0, 3, AccessKind::Read}, // location 3 already racy
+  });
+}
+
+TEST(EpochDifferentialTest, WriteAfterSharedCollapseStillCompared) {
+  expectSameRaceSet({
+      {TraceOp::Create, 0, UINT32_MAX},
+      {TraceOp::Create, 1, 0},
+      {TraceOp::Create, 2, 0},
+      {TraceOp::Create, 3, 0},
+      {TraceOp::Access, 1, 1, AccessKind::Read},
+      {TraceOp::Access, 2, 1, AccessKind::Read}, // inflate
+      {TraceOp::Exit, 1, 0},
+      {TraceOp::Exit, 2, 0},
+      {TraceOp::Join, 3, 1},
+      {TraceOp::Join, 3, 2},
+      {TraceOp::Access, 3, 1, AccessKind::Write}, // ordered: collapse
+      {TraceOp::Access, 0, 1, AccessKind::Write}, // concurrent with 3: race
+  });
 }
 
 } // namespace

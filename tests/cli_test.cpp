@@ -277,8 +277,22 @@ TEST(CliTest, EmptyPathFlags) {
 }
 
 TEST(CliTest, UnknownDetector) {
+  // Rejected at parse time with the accepted-values list, before any
+  // program or trace is touched.
   expectError(parse({"p.mj", "--detector=tsan"}),
-              "herd: unknown detector 'tsan'");
+              "herd: unknown detector 'tsan' "
+              "(accepted: herd, epoch, eraser, vectorclock, naive)");
+  expectError(parse({"p.mj", "--detector=fasttrack"}),
+              "herd: unknown detector 'fasttrack' "
+              "(accepted: herd, epoch, eraser, vectorclock, naive)");
+  expectError(parse({"p.mj", "--detector="}),
+              "herd: unknown detector '' "
+              "(accepted: herd, epoch, eraser, vectorclock, naive)");
+  // Misspellings of valid names are still unknown names, even with
+  // --replay present.
+  expectError(parse({"p.mj", "--replay=t.trace", "--detector=Epoch"}),
+              "herd: unknown detector 'Epoch' "
+              "(accepted: herd, epoch, eraser, vectorclock, naive)");
 }
 
 //===----------------------------------------------------------------------===
@@ -299,6 +313,26 @@ TEST(CliTest, DetectorRequiresReplay) {
               "herd: --detector requires --replay");
   EXPECT_EQ(parse({"p.mj", "--detector=eraser", "--replay=t.trace"}).St,
             HerdParse::Status::Run);
+}
+
+TEST(CliTest, EpochDetectorRunsLiveAndReplay) {
+  // Unlike the comparison baselines, the epoch backend is a first-class
+  // detector: it runs live (serial) as well as under --replay.
+  HerdParse Live = parse({"p.mj", "--detector=epoch"});
+  ASSERT_EQ(Live.St, HerdParse::Status::Run) << Live.Error;
+  EXPECT_EQ(Live.Opts.Config.Backend, ToolConfig::DetectorBackend::Epoch);
+  HerdParse Replay = parse({"p.mj", "--replay=t.trace", "--detector=epoch"});
+  ASSERT_EQ(Replay.St, HerdParse::Status::Run) << Replay.Error;
+  EXPECT_EQ(Replay.Opts.Config.Backend, ToolConfig::DetectorBackend::Epoch);
+  // The default stays on the herd backend.
+  EXPECT_EQ(parse({"p.mj"}).Opts.Config.Backend,
+            ToolConfig::DetectorBackend::Herd);
+}
+
+TEST(CliTest, EpochDetectorExcludesShards) {
+  expectError(parse({"p.mj", "--detector=epoch", "--shards=2"}),
+              "herd: --detector=epoch runs the serial happens-before "
+              "backend and cannot be combined with --shards");
 }
 
 TEST(CliTest, ObservabilityExcludesSweep) {
@@ -327,10 +361,17 @@ TEST(CliTest, BaselineDetectorsHaveNoJsonOutputs) {
   expectError(parse({"p.mj", "--replay=t.trace", "--detector=vectorclock",
                      "--trace-json=t.json"}),
               Msg);
-  // The herd detector replay supports both.
+  // The herd detector replay supports both, and so does epoch — it runs
+  // through the full pipeline with its own stats section.
   EXPECT_EQ(
       parse({"p.mj", "--replay=t.trace", "--stats=json"}).St,
       HerdParse::Status::Run);
+  EXPECT_EQ(parse({"p.mj", "--replay=t.trace", "--detector=epoch",
+                   "--stats=json"})
+                .St,
+            HerdParse::Status::Run);
+  EXPECT_EQ(parse({"p.mj", "--detector=epoch", "--trace-json=t.json"}).St,
+            HerdParse::Status::Run);
 }
 
 } // namespace

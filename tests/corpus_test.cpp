@@ -14,6 +14,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "baselines/EpochDetector.h"
+#include "baselines/VectorClockDetector.h"
 #include "detect/RaceRuntime.h"
 #include "detect/ShardedRuntime.h"
 #include "detect/TraceFile.h"
@@ -132,6 +134,29 @@ TEST(TraceCorpus, SerialAndShardedAgreeWithManifest) {
       EXPECT_EQ(Sharded.reporter().reportedLocations(), SerialRacy)
           << Shards << " shards";
     }
+    std::remove(Path.c_str());
+  }
+}
+
+TEST(TraceCorpus, EpochAndVectorClockAgreeAtScale) {
+  // The epoch backend must be race-set equivalent to the vector-clock
+  // happens-before baseline on every corpus trace (docs/DETECTORS.md);
+  // this is the at-scale leg of the differential that baselines_test.cpp
+  // and fuzz_test.cpp pin on small traces.
+  for (const CorpusEntry &E : readManifest()) {
+    SCOPED_TRACE(E.Workload);
+    std::string Path = inflateToTemp(E);
+
+    VectorClockDetector VC;
+    ASSERT_TRUE(replay(Path, VC));
+    EpochDetector Epoch;
+    ASSERT_TRUE(replay(Path, Epoch));
+    EXPECT_EQ(Epoch.reportedLocations(), VC.reportedLocations());
+
+    // The epoch fast paths must actually engage on real traces.
+    EpochStats S = Epoch.stats();
+    EXPECT_EQ(S.Events, S.Reads + S.Writes);
+    EXPECT_GT(S.SameEpochReads + S.SameEpochWrites, 0u);
     std::remove(Path.c_str());
   }
 }

@@ -22,8 +22,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "FuzzPrograms.h"
+#include "baselines/EpochDetector.h"
 #include "baselines/EraserDetector.h"
 #include "baselines/NaiveDetector.h"
+#include "baselines/VectorClockDetector.h"
 #include "detect/RaceRuntime.h"
 #include "herd/Pipeline.h"
 #include "instr/Instrumenter.h"
@@ -209,6 +211,33 @@ TEST_P(FuzzTest, DispatchModesAgree) {
     for (size_t Slot = 0; Slot != SwitchHeap[Obj].size(); ++Slot)
       EXPECT_TRUE(SwitchHeap[Obj][Slot] == ThreadedHeap[Obj][Slot])
           << "object " << Obj << " slot " << Slot;
+  }
+}
+
+TEST_P(FuzzTest, EpochAndVectorClockAgreeOnSharedSchedule) {
+  // The epoch backend must be race-set equivalent to the vector-clock
+  // baseline on the very same event stream (docs/DETECTORS.md): both
+  // detectors observe one execution through a fanout, so the comparison
+  // is exact, not schedule-modulo.  Two schedule seeds per program.
+  for (uint64_t ScheduleSeed : {1u, 13u}) {
+    Program P = generateProgram(GetParam());
+    InstrumenterOptions IOpts;
+    IOpts.UseStaticRaceSet = false;
+    IOpts.StaticWeakerThan = false;
+    IOpts.LoopPeeling = false;
+    instrumentProgram(P, IOpts, nullptr);
+
+    EpochDetector Epoch;
+    VectorClockDetector VC;
+    FanoutHooks Fanout{&Epoch, &VC};
+    InterpOptions Opts;
+    Opts.Seed = ScheduleSeed;
+    Interpreter Interp(P, &Fanout, Opts);
+    InterpResult R = Interp.run();
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(Epoch.reportedLocations(), VC.reportedLocations())
+        << "program seed " << GetParam() << " schedule " << ScheduleSeed;
+    EXPECT_EQ(Epoch.stats().RacesReported, Epoch.reportedLocations().size());
   }
 }
 

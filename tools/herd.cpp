@@ -69,6 +69,33 @@ void printStats(const PipelineResult &R) {
   std::printf("run:      %llu instructions, %u threads, %.4fs\n",
               (unsigned long long)R.Run.InstructionsExecuted,
               R.Run.ThreadsCreated, R.ExecSeconds);
+  if (R.EpochBackend) {
+    // The epoch backend has no cache/ownership/trie machinery; its own
+    // counters replace the herd detector sections (docs/DETECTORS.md).
+    const EpochStats &E = R.Epoch;
+    std::printf("epoch:    %llu events (%llu reads, %llu writes), "
+                "%llu same-epoch reads, %llu same-epoch writes\n",
+                (unsigned long long)E.Events, (unsigned long long)E.Reads,
+                (unsigned long long)E.Writes,
+                (unsigned long long)E.SameEpochReads,
+                (unsigned long long)E.SameEpochWrites);
+    std::printf("epoch:    %llu read inflations, %llu shared collapses, "
+                "%llu clock rows (%llu reused)\n",
+                (unsigned long long)E.ReadInflations,
+                (unsigned long long)E.SharedCollapses,
+                (unsigned long long)E.ClockRowsFresh,
+                (unsigned long long)E.ClockRowsReused);
+    std::printf("epoch:    %llu locations tracked, %llu threads, %llu racy "
+                "locations\n",
+                (unsigned long long)E.LocationsTracked,
+                (unsigned long long)E.ThreadsSeen,
+                (unsigned long long)E.RacesReported);
+    if (R.TraceRecords != 0 || R.TraceBytes != 0)
+      std::printf("trace:    %llu records, %llu bytes\n",
+                  (unsigned long long)R.TraceRecords,
+                  (unsigned long long)R.TraceBytes);
+    return;
+  }
   std::printf("events:   %llu seen, %llu cache hits, %llu to detector\n",
               (unsigned long long)R.Stats.EventsSeen,
               (unsigned long long)R.Stats.CacheHits,
@@ -266,7 +293,9 @@ int main(int argc, char **argv) {
   }
 
   if (!Opts.ReplayPath.empty()) {
-    if (Opts.Detector != "herd")
+    // The epoch backend replays through the pipeline (Config.Backend was
+    // set by the parser); only the comparison baselines bypass it.
+    if (Opts.Detector != "herd" && Opts.Detector != "epoch")
       return replayBaseline(Compiled.P, Opts.ReplayPath, Opts.Detector);
     PipelineResult R =
         replayTracePipeline(Compiled.P, Config, Opts.ReplayPath);
@@ -283,8 +312,12 @@ int main(int argc, char **argv) {
       std::printf("%s", renderStatsJson(R, Metrics, Prof).c_str());
       return Clean ? 0 : 1;
     }
-    std::printf("replayed %llu trace records\n",
-                (unsigned long long)R.TraceRecords);
+    if (Opts.Detector == "epoch")
+      std::printf("replayed %llu trace records through epoch\n",
+                  (unsigned long long)R.TraceRecords);
+    else
+      std::printf("replayed %llu trace records\n",
+                  (unsigned long long)R.TraceRecords);
     if (R.FormattedRaces.empty()) {
       std::printf("no dataraces reported\n");
     } else {
