@@ -57,6 +57,14 @@
 ///    identity (access_events == filter_hits + events_delivered);
 ///    scripts/check_hook_gate.py gates both.
 ///
+///  * A provenance A/B (docs/REPORTS.md) — each replica's default live
+///    configuration (devirtualized L0-filtered sink) repeats with
+///    `--provenance=on`: a ProvenanceStore fanned out next to the
+///    detector, which disables the single-sink devirtualized lane.  The
+///    JSON's per-trace `provenance_ab` section carries both throughputs
+///    and the overhead ratio — the honest cost (capture + lost devirt
+///    lane) the docs quote; the race sets must agree.
+///
 ///  * An epoch-vs-vector-clock A/B (docs/DETECTORS.md) — each trace also
 ///    replays through the epoch happens-before backend (`--detector=epoch`)
 ///    and the vector-clock baseline it optimizes: one timed cold replay
@@ -78,6 +86,7 @@
 #include "analysis/StaticRace.h"
 #include "baselines/EpochDetector.h"
 #include "baselines/VectorClockDetector.h"
+#include "detect/Provenance.h"
 #include "detect/RaceRuntime.h"
 #include "detect/ShardedRuntime.h"
 #include "detect/TraceFile.h"
@@ -317,6 +326,19 @@ struct HookPathResult {
   bool CountersReconcile = false;
 };
 
+/// The provenance on/off live A/B for one replica (docs/REPORTS.md): the
+/// default filtered live path against the same run with a ProvenanceStore
+/// fanned out next to the detector (which forfeits the devirtualized
+/// single-sink lane — the cost reported here is the honest total).
+struct ProvenanceAbResult {
+  bool Present = false;
+  double OffEventsPerSec = 0; ///< default path (devirt sink + L0 filter)
+  double OnEventsPerSec = 0;  ///< fanout of detector + ProvenanceStore
+  double OverheadRatio = 0;   ///< off ÷ on (>= 1.0 means on is slower)
+  uint64_t AccessesObserved = 0;
+  bool Agreement = false; ///< identical racy-location sets
+};
+
 /// The epoch-vs-vector-clock A/B for one trace (docs/DETECTORS.md): both
 /// happens-before detectors replay the same stream; the epoch backend's
 /// O(1) common-case checks are the quantity under test.
@@ -349,6 +371,8 @@ struct TraceReport {
   std::vector<std::pair<std::string, LiveResult>> LiveModes;
   /// The hook-path filtered-vs-unfiltered live A/B (docs/HOOKPATH.md).
   HookPathResult HookPath;
+  /// The provenance-capture on/off live A/B (docs/REPORTS.md).
+  ProvenanceAbResult ProvenanceAb;
   /// The epoch-vs-vector-clock happens-before A/B (docs/DETECTORS.md).
   EpochAbResult EpochAb;
 };
@@ -414,7 +438,7 @@ void printPass(const std::string &Trace, const PassResult &R) {
 void writeJson(std::FILE *F, const std::vector<TraceReport> &Reports,
                const MetricsRegistry &Metrics, bool Smoke, uint32_t Reps) {
   std::fprintf(F, "{\n");
-  std::fprintf(F, "  \"schema\": \"herd-bench-hotpath-v5\",\n");
+  std::fprintf(F, "  \"schema\": \"herd-bench-hotpath-v6\",\n");
   std::fprintf(F, "  \"smoke\": %s,\n", Smoke ? "true" : "false");
   std::fprintf(F, "  \"reps\": %u,\n", Reps);
   // The run's metrics-registry counters (support/Metrics.h), name-sorted:
@@ -492,6 +516,16 @@ void writeJson(std::FILE *F, const std::vector<TraceReport> &Reports,
                    T.HookPath.FilterHitRate,
                    (unsigned long long)T.HookPath.EventsDelivered,
                    T.HookPath.CountersReconcile ? "true" : "false");
+    if (T.ProvenanceAb.Present)
+      std::fprintf(F,
+                   "      \"provenance_ab\": {\"off_events_per_sec\": %.0f, "
+                   "\"on_events_per_sec\": %.0f, \"overhead_ratio\": %.3f, "
+                   "\"accesses_observed\": %llu, \"agreement\": %s},\n",
+                   T.ProvenanceAb.OffEventsPerSec,
+                   T.ProvenanceAb.OnEventsPerSec,
+                   T.ProvenanceAb.OverheadRatio,
+                   (unsigned long long)T.ProvenanceAb.AccessesObserved,
+                   T.ProvenanceAb.Agreement ? "true" : "false");
     if (T.EpochAb.Present)
       std::fprintf(F,
                    "      \"epoch_ab\": {\"vc_events_per_sec\": %.0f, "
@@ -951,6 +985,57 @@ int main(int argc, char **argv) {
                     HP.FilteredEventsPerSec, "-", "-", "-", "-",
                     HP.Speedup, 100.0 * HP.FilterHitRate);
         Report.HookPath = HP;
+      }
+
+      // Provenance A/B (docs/REPORTS.md): the default filtered live path
+      // again, now with a ProvenanceStore fanned out next to the
+      // detector.  Two sinks mean no devirtualized lane and no L0 filter
+      // — the overhead measured here is the honest total a
+      // `--provenance=on` user pays, not just the store's own cost.
+      {
+        ProvenanceAbResult PA;
+        PA.OffEventsPerSec = Report.HookPath.FilteredEventsPerSec;
+        std::unique_ptr<RaceRuntime> ProvRT;
+        std::unique_ptr<ProvenanceStore> Prov;
+        for (uint32_t Rep = 0; Rep != Reps; ++Rep) {
+          RaceRuntimeOptions LOpts;
+          LOpts.Plan = T.Plan;
+          ProvRT = std::make_unique<RaceRuntime>(LOpts);
+          Prov = std::make_unique<ProvenanceStore>();
+          FanoutHooks Fanout{ProvRT.get(), Prov.get()};
+          InterpOptions IOpts;
+          IOpts.TraceEveryAccess = true;
+          IOpts.Dispatch = DispatchMode::Threaded;
+          IOpts.Fused = &Fused;
+          Interpreter Interp(*T.Prog, &Fanout, IOpts);
+          auto T0 = std::chrono::steady_clock::now();
+          InterpResult R = Interp.run();
+          double Seconds = secondsSince(T0);
+          ProvRT->onRunEnd();
+          if (!R.Ok) {
+            std::fprintf(stderr, "%s live (provenance): %s\n",
+                         Report.Name.c_str(), R.Error.c_str());
+            return 1;
+          }
+          double Eps = Seconds > 0 ? double(T.Events) / Seconds : 0.0;
+          if (!PA.Present || Eps > PA.OnEventsPerSec) {
+            PA.Present = true;
+            PA.OnEventsPerSec = Eps;
+          }
+        }
+        PA.AccessesObserved = Prov->accessesObserved();
+        PA.OverheadRatio = PA.OnEventsPerSec > 0
+                               ? PA.OffEventsPerSec / PA.OnEventsPerSec
+                               : 0.0;
+        PA.Agreement = ProvRT->reporter().reportedLocations() ==
+                       Serial->reporter().reportedLocations();
+        Report.Agreement = Report.Agreement && PA.Agreement;
+        std::printf("%-8s %-9s %-5s %12.0f %10s %12s %10s %10s  "
+                    "(%.2fx overhead vs filtered)\n",
+                    Report.Name.c_str(), "live[pv]", "cold",
+                    PA.OnEventsPerSec, "-", "-", "-", "-",
+                    PA.OverheadRatio);
+        Report.ProvenanceAb = PA;
       }
     }
 

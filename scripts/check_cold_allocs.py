@@ -45,7 +45,8 @@ def main():
         # the cold-pass surface this gate reads is unchanged from v3.
         if report.get("schema") not in ("herd-bench-hotpath-v3",
                                         "herd-bench-hotpath-v4",
-                                        "herd-bench-hotpath-v5"):
+                                        "herd-bench-hotpath-v5",
+                                        "herd-bench-hotpath-v6"):
             print(f"{arg}: unexpected schema {report.get('schema')!r}",
                   file=sys.stderr)
             return 2

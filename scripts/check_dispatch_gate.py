@@ -70,7 +70,8 @@ def main():
         # unchanged from v3, so both versions are accepted.
         if report.get("schema") not in ("herd-bench-hotpath-v3",
                                         "herd-bench-hotpath-v4",
-                                        "herd-bench-hotpath-v5"):
+                                        "herd-bench-hotpath-v5",
+                                        "herd-bench-hotpath-v6"):
             print(f"{arg}: unexpected schema {report.get('schema')!r}",
                   file=sys.stderr)
             return 2

@@ -62,7 +62,8 @@ def main():
     with open(sys.argv[2]) as f:
         baseline = json.load(f)
     for report, arg in ((current, sys.argv[1]), (baseline, sys.argv[2])):
-        if report.get("schema") != "herd-bench-hotpath-v5":
+        if report.get("schema") not in ("herd-bench-hotpath-v5",
+                                        "herd-bench-hotpath-v6"):
             print(f"{arg}: unexpected schema {report.get('schema')!r}",
                   file=sys.stderr)
             return 2

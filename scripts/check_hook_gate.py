@@ -25,7 +25,13 @@ the checked-in baseline:
  * a full (non-smoke) run must demonstrate the headline >= 1.3x speedup
    on the hook-bound trace — this is the acceptance bar the checked-in
    BENCH_hotpath.json proves; smoke runs on shared CI runners are only
-   held to the loose clauses above.
+   held to the loose clauses above;
+ * (v6) every live-measured trace must carry a `provenance_ab` section
+   whose race sets agree — provenance capture is a pure listener, and a
+   disagreement means the store perturbed the run.  The provenance-off
+   row IS the filtered default path, so the off-throughput no-regression
+   is already enforced by the clauses above; the on-row only has to be a
+   real measurement (positive throughput, accesses observed).
 
 Usage: check_hook_gate.py CURRENT.json BASELINE.json
 """
@@ -65,7 +71,8 @@ def main():
         baseline = json.load(f)
     for report, arg in ((current, sys.argv[1]), (baseline, sys.argv[2])):
         if report.get("schema") not in ("herd-bench-hotpath-v4",
-                                        "herd-bench-hotpath-v5"):
+                                        "herd-bench-hotpath-v5",
+                                        "herd-bench-hotpath-v6"):
             print(f"{arg}: unexpected schema {report.get('schema')!r}",
                   file=sys.stderr)
             return 2
@@ -115,6 +122,29 @@ def main():
               f"baseline {base_unf:.0f} (floor {floor:.0f})")
         if unf < floor:
             failed = True
+
+        # v6: provenance capture must be a pure listener.  Only enforced
+        # when the current run's schema carries the section (older
+        # baselines stay usable for the hook clauses above).
+        if current.get("schema") == "herd-bench-hotpath-v6":
+            pa = t.get("provenance_ab")
+            if pa is None:
+                print(f"FAIL {name}: no provenance_ab in v6 run",
+                      file=sys.stderr)
+                failed = True
+            elif not pa.get("agreement"):
+                print(f"FAIL {name}: provenance run changed the race set",
+                      file=sys.stderr)
+                failed = True
+            elif pa.get("on_events_per_sec", 0) <= 0 or \
+                    pa.get("accesses_observed", 0) <= 0:
+                print(f"FAIL {name}: provenance_ab is not a real "
+                      f"measurement ({pa})", file=sys.stderr)
+                failed = True
+            else:
+                print(f"ok   {name:10} provenance on/off agree, "
+                      f"{pa['overhead_ratio']:.2f}x overhead "
+                      f"({pa['accesses_observed']} accesses observed)")
 
         if name == HOOKBOUND_TRACE:
             speedup = hp["speedup"]

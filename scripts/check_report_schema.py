@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Validates a `herd --report=json` document (and optionally a
+`--report=sarif` document) against the stable report schemas.
+
+This is the reference consumer of the contract declared in
+src/herd/ReportExport.h: the envelope ("schema", "version") is checked
+first and the script refuses documents it does not understand; within a
+version, required keys may gain siblings but never disappear or change
+type.  Fingerprints must be 16-digit lowercase hex strings — the reason
+they are strings at all is that JSON number parsers are doubles and would
+silently corrupt 64-bit values.  CI runs this against the report artifacts
+of the observability smoke job, so a field rename, a numeric fingerprint,
+or an unknown result kind fails the build instead of silently breaking
+downstream consumers.
+
+Usage:
+  check_report_schema.py report.json [--sarif report.sarif]
+
+Exit status: 0 when everything validates, 1 on any violation (each is
+printed), 2 on usage/IO errors.
+"""
+
+import json
+import re
+import sys
+
+SCHEMA_NAME = "herd-report"
+SCHEMA_VERSION = 1
+SARIF_VERSION = "2.1.0"
+
+FINGERPRINT_RE = re.compile(r"^[0-9a-f]{16}$")
+
+RESULT_KINDS = {"race", "racy-location", "deadlock", "deadlock-candidate"}
+RULE_IDS = {"herd/datarace", "herd/racy-location", "herd/deadlock",
+            "herd/deadlock-candidate"}
+
+errors = []
+
+
+def fail(msg):
+    errors.append(msg)
+
+
+def check_keys(obj, spec, where):
+    for key, types in spec.items():
+        if key not in obj:
+            fail(f"{where}: missing required key '{key}'")
+        elif not isinstance(obj[key], types):
+            fail(f"{where}.{key}: expected {types}, got "
+                 f"{type(obj[key]).__name__}")
+        elif types is int and isinstance(obj[key], bool):
+            fail(f"{where}.{key}: expected int, got bool")
+
+
+def check_fingerprint(value, where):
+    if not isinstance(value, str) or not FINGERPRINT_RE.match(value):
+        fail(f"{where}: expected 16-digit lowercase hex string, got "
+             f"{value!r}")
+
+
+def check_site(value, where):
+    if value is None:
+        return
+    if not isinstance(value, dict):
+        fail(f"{where}: expected object or null")
+        return
+    check_keys(value, {"label": str, "line": int}, where)
+
+
+def check_report(doc):
+    if doc.get("schema") != SCHEMA_NAME:
+        fail(f"schema: expected '{SCHEMA_NAME}', got {doc.get('schema')!r}")
+        return
+    if doc.get("version") != SCHEMA_VERSION:
+        fail(f"version: this checker understands version {SCHEMA_VERSION}, "
+             f"got {doc.get('version')!r}")
+        return
+    check_keys(doc, {"schema": str, "version": int, "tool": dict,
+                     "source": str, "summary": dict, "results": list,
+                     "provenance": dict}, "$")
+    if isinstance(doc.get("tool"), dict):
+        check_keys(doc["tool"], {"name": str, "detector": str}, "tool")
+        if doc["tool"].get("detector") not in ("herd", "epoch"):
+            fail(f"tool.detector: expected 'herd' or 'epoch', got "
+                 f"{doc['tool'].get('detector')!r}")
+    if isinstance(doc.get("summary"), dict):
+        check_keys(doc["summary"],
+                   {"distinct_races": int, "racy_locations": int,
+                    "deadlock_cycles": int, "deadlock_candidates": int,
+                    "total_reported": int, "dropped_records": int,
+                    "reporter_capacity": int},
+                   "summary")
+    for i, result in enumerate(doc.get("results", [])):
+        where = f"results[{i}]"
+        if not isinstance(result, dict):
+            fail(f"{where}: expected object")
+            continue
+        check_keys(result, {"kind": str, "rule": str, "fingerprint": str,
+                            "occurrences": int, "message": str}, where)
+        if result.get("kind") not in RESULT_KINDS:
+            fail(f"{where}.kind: unknown kind {result.get('kind')!r}")
+        if result.get("rule") not in RULE_IDS:
+            fail(f"{where}.rule: unknown rule {result.get('rule')!r}")
+        check_fingerprint(result.get("fingerprint"), f"{where}.fingerprint")
+        if result.get("occurrences") == 0:
+            fail(f"{where}.occurrences: must be at least 1")
+        check_site(result.get("site"), f"{where}.site")
+        check_site(result.get("prior_site"), f"{where}.prior_site")
+    if isinstance(doc.get("provenance"), dict):
+        check_keys(doc["provenance"],
+                   {"enabled": bool, "threads_tracked": int,
+                    "locks_tracked": int, "accesses_observed": int},
+                   "provenance")
+    # Cross-field consistency: the summary must count the results.
+    if isinstance(doc.get("summary"), dict) and \
+            isinstance(doc.get("results"), list):
+        counted = {"race": 0, "racy-location": 0, "deadlock": 0,
+                   "deadlock-candidate": 0}
+        for result in doc["results"]:
+            if isinstance(result, dict) and result.get("kind") in counted:
+                counted[result["kind"]] += 1
+        summary = doc["summary"]
+        for kind, key in (("race", "distinct_races"),
+                          ("racy-location", "racy_locations"),
+                          ("deadlock", "deadlock_cycles"),
+                          ("deadlock-candidate", "deadlock_candidates")):
+            if summary.get(key) != counted[kind]:
+                fail(f"summary.{key}: says {summary.get(key)!r} but results "
+                     f"contain {counted[kind]} of kind '{kind}'")
+
+
+def check_sarif(doc):
+    if doc.get("version") != SARIF_VERSION:
+        fail(f"sarif version: expected '{SARIF_VERSION}', got "
+             f"{doc.get('version')!r}")
+        return
+    if "$schema" not in doc:
+        fail("sarif: missing '$schema'")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail("sarif: 'runs' must be a non-empty array")
+        return
+    for r, run in enumerate(runs):
+        where = f"runs[{r}]"
+        if not isinstance(run, dict):
+            fail(f"{where}: expected object")
+            continue
+        driver = run.get("tool", {}).get("driver") \
+            if isinstance(run.get("tool"), dict) else None
+        if not isinstance(driver, dict):
+            fail(f"{where}.tool.driver: missing")
+        else:
+            check_keys(driver, {"name": str, "rules": list},
+                       f"{where}.tool.driver")
+            declared = set()
+            for j, rule in enumerate(driver.get("rules", [])):
+                if isinstance(rule, dict):
+                    check_keys(rule, {"id": str, "shortDescription": dict},
+                               f"{where}.tool.driver.rules[{j}]")
+                    declared.add(rule.get("id"))
+        for i, result in enumerate(run.get("results", [])):
+            rwhere = f"{where}.results[{i}]"
+            if not isinstance(result, dict):
+                fail(f"{rwhere}: expected object")
+                continue
+            check_keys(result, {"ruleId": str, "level": str,
+                                "message": dict,
+                                "partialFingerprints": dict,
+                                "occurrenceCount": int}, rwhere)
+            if result.get("ruleId") not in RULE_IDS:
+                fail(f"{rwhere}.ruleId: unknown rule "
+                     f"{result.get('ruleId')!r}")
+            elif isinstance(driver, dict) and \
+                    result["ruleId"] not in declared:
+                fail(f"{rwhere}.ruleId: {result['ruleId']!r} not declared "
+                     f"in tool.driver.rules")
+            msg = result.get("message")
+            if isinstance(msg, dict) and \
+                    not isinstance(msg.get("text"), str):
+                fail(f"{rwhere}.message.text: missing")
+            prints = result.get("partialFingerprints")
+            if isinstance(prints, dict):
+                check_fingerprint(prints.get("herdRace/v1"),
+                                  f"{rwhere}.partialFingerprints.herdRace/v1")
+            for k, loc in enumerate(result.get("locations", [])):
+                lwhere = f"{rwhere}.locations[{k}]"
+                phys = loc.get("physicalLocation") \
+                    if isinstance(loc, dict) else None
+                if not isinstance(phys, dict):
+                    fail(f"{lwhere}.physicalLocation: missing")
+                    continue
+                art = phys.get("artifactLocation")
+                if not isinstance(art, dict) or \
+                        not isinstance(art.get("uri"), str):
+                    fail(f"{lwhere}.physicalLocation.artifactLocation.uri: "
+                         f"missing")
+                region = phys.get("region")
+                if not isinstance(region, dict) or \
+                        not isinstance(region.get("startLine"), int) or \
+                        region.get("startLine") < 1:
+                    fail(f"{lwhere}.physicalLocation.region.startLine: "
+                         f"expected positive int")
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot load {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) not in (2, 4):
+        print(__doc__, file=sys.stderr)
+        return 2
+    check_report(load(argv[1]))
+    if len(argv) == 4:
+        if argv[2] != "--sarif":
+            print(__doc__, file=sys.stderr)
+            return 2
+        check_sarif(load(argv[3]))
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}")
+        return 1
+    suffix = " + sarif" if len(argv) == 4 else ""
+    print(f"ok: {argv[1]}{suffix} validates "
+          f"({SCHEMA_NAME} v{SCHEMA_VERSION})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

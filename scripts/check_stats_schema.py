@@ -51,6 +51,7 @@ TOP_LEVEL_KEYS = {
     "races": list,
     "deadlocks": list,
     "trace": dict,
+    "report": dict,
 }
 
 SECTION_KEYS = {
@@ -95,6 +96,17 @@ SECTION_KEYS = {
         "per_thread_cache": list,
     },
     "trace": {"ok": bool, "error": str, "records": int, "bytes": int},
+    "report": {
+        "entries": int,
+        "total_reported": int,
+        "distinct_fingerprints": int,
+        "dropped_records": int,
+        "reporter_capacity": int,
+        "provenance_enabled": bool,
+        "provenance_threads": int,
+        "provenance_locks": int,
+        "provenance_accesses": int,
+    },
 }
 
 errors = []

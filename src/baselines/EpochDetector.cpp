@@ -70,8 +70,9 @@ EpochDetector::PerThread &EpochDetector::threadState(ThreadId Thread) {
 }
 
 void EpochDetector::onThreadCreate(ThreadId Child, ThreadId Parent,
-                                   ObjectId ThreadObj) {
+                                   ObjectId ThreadObj, SiteId Site) {
   (void)ThreadObj;
+  (void)Site;
   // Materialize both states before taking references: threadState may
   // grow the Threads vector.
   uint32_t ChildSlot = threadState(Child).Slot;
@@ -120,7 +121,8 @@ void EpochDetector::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
 }
 
 void EpochDetector::onMonitorEnter(ThreadId Thread, LockId Lock,
-                                   bool Recursive) {
+                                   bool Recursive, SiteId Site) {
+  (void)Site;
   if (Recursive)
     return;
   PerThread &T = threadState(Thread);
@@ -149,7 +151,6 @@ void EpochDetector::onMonitorExit(ThreadId Thread, LockId Lock,
 
 void EpochDetector::onAccess(ThreadId Thread, LocationKey Location,
                              AccessKind Access, SiteId Site) {
-  (void)Site;
   PerThread &T = threadState(Thread);
   ++Counters.Events;
   VarState *V = Table.tryEmplace(Location).first;
@@ -172,7 +173,7 @@ void EpochDetector::onAccess(ThreadId Thread, LocationKey Location,
       }
       Store.set(Row, T.Slot, epochClock(E));
       if (!epochOrderedBefore(V->WriteEpoch, T))
-        report(Location);
+        report(Location, Thread, Access, Site);
       return;
     }
     bool Raced = !epochOrderedBefore(V->WriteEpoch, T);
@@ -188,7 +189,7 @@ void EpochDetector::onAccess(ThreadId Thread, LocationKey Location,
       ++Counters.ReadInflations;
     }
     if (Raced)
-      report(Location);
+      report(Location, Thread, Access, Site);
     return;
   }
 
@@ -216,7 +217,7 @@ void EpochDetector::onAccess(ThreadId Thread, LocationKey Location,
   }
   V->WriteEpoch = E;
   if (Raced)
-    report(Location);
+    report(Location, Thread, Access, Site);
 }
 
 EpochStats EpochDetector::stats() const {

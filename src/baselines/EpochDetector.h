@@ -98,16 +98,30 @@ public:
   /// steady state never touches the global allocator (hints, not limits).
   void reserve(const DetectorPlan &Plan);
 
-  void onThreadCreate(ThreadId Child, ThreadId Parent,
-                      ObjectId ThreadObj) override;
+  void onThreadCreate(ThreadId Child, ThreadId Parent, ObjectId ThreadObj,
+                      SiteId Site = SiteId::invalid()) override;
   void onThreadExit(ThreadId Dying) override;
   void onThreadJoin(ThreadId Joiner, ThreadId Joined) override;
-  void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive) override;
+  void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive,
+                      SiteId Site = SiteId::invalid()) override;
   void onMonitorExit(ThreadId Thread, LockId Lock, bool StillHeld) override;
   void onAccess(ThreadId Thread, LocationKey Location, AccessKind Access,
                 SiteId Site) override;
 
   const std::set<LocationKey> &reportedLocations() const { return Reported; }
+
+  /// The first racing access observed per reported location, in report
+  /// order — the epoch backend's contribution to the report document
+  /// (docs/REPORTS.md).  Happens-before detection only knows the *second*
+  /// access of a racing pair when it trips, so one access per location is
+  /// what this backend can attribute precisely.
+  struct RacyAccess {
+    LocationKey Location;
+    ThreadId Thread;
+    AccessKind Access = AccessKind::Read;
+    SiteId Site;
+  };
+  const std::vector<RacyAccess> &racyAccesses() const { return Racy; }
 
   EpochStats stats() const;
 
@@ -210,9 +224,12 @@ private:
     return Store.get(T.VC, epochSlot(E)) >= epochClock(E);
   }
 
-  void report(LocationKey Location) {
-    if (Reported.insert(Location).second)
+  void report(LocationKey Location, ThreadId Thread, AccessKind Access,
+              SiteId Site) {
+    if (Reported.insert(Location).second) {
       ++Races;
+      Racy.push_back(RacyAccess{Location, Thread, Access, Site});
+    }
   }
 
   ClockStore Store;
@@ -221,6 +238,7 @@ private:
   std::vector<uint32_t> SlotByThread; ///< ThreadId index -> dense slot
   std::vector<PerThread> Threads;     ///< indexed by dense slot
   std::set<LocationKey> Reported;
+  std::vector<RacyAccess> Racy;
   uint64_t Races = 0;
   EpochStats Counters; ///< event counters (structure sizes filled by stats())
 };

@@ -44,7 +44,9 @@ public:
   explicit EraserDetector(bool ObjectGranularity = false)
       : ObjectGranularity(ObjectGranularity) {}
 
-  void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive) override {
+  void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive,
+                      SiteId Site = SiteId::invalid()) override {
+    (void)Site;
     Locks.enter(Thread, Lock, Recursive);
   }
   void onMonitorExit(ThreadId Thread, LockId Lock, bool StillHeld) override {

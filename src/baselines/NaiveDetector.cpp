@@ -11,9 +11,10 @@
 using namespace herd;
 
 void NaiveDetector::onThreadCreate(ThreadId Child, ThreadId Parent,
-                                   ObjectId ThreadObj) {
+                                   ObjectId ThreadObj, SiteId Site) {
   (void)Parent;
   (void)ThreadObj;
+  (void)Site;
   if (!Opts.ModelJoin)
     return;
   size_t Index = Child.index();
@@ -38,7 +39,8 @@ void NaiveDetector::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
 }
 
 void NaiveDetector::onMonitorEnter(ThreadId Thread, LockId Lock,
-                                   bool Recursive) {
+                                   bool Recursive, SiteId Site) {
+  (void)Site;
   Locks.enter(Thread, Lock, Recursive);
 }
 

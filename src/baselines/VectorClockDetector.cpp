@@ -18,8 +18,9 @@ VectorClock &VectorClockDetector::clockOf(ThreadId Thread) {
 }
 
 void VectorClockDetector::onThreadCreate(ThreadId Child, ThreadId Parent,
-                                         ObjectId ThreadObj) {
+                                         ObjectId ThreadObj, SiteId Site) {
   (void)ThreadObj;
+  (void)Site;
   VectorClock &ChildClock = clockOf(Child);
   if (Parent.isValid()) {
     // Everything the parent did before start() happens-before the child.
@@ -42,7 +43,8 @@ void VectorClockDetector::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
 }
 
 void VectorClockDetector::onMonitorEnter(ThreadId Thread, LockId Lock,
-                                         bool Recursive) {
+                                         bool Recursive, SiteId Site) {
+  (void)Site;
   if (Recursive)
     return;
   auto It = LockClocks.find(Lock);

@@ -153,13 +153,14 @@ uint32_t AccessTrie::getOrCreateChild(uint32_t Parent, LockId Label) {
 }
 
 uint32_t AccessTrie::updateNode(const LockSet &Locks, ThreadLattice Thread,
-                                AccessKind Access) {
+                                AccessKind Access, SiteId Site) {
   uint32_t NIdx = Root;
   for (LockId Lock : Locks)
     NIdx = getOrCreateChild(NIdx, Lock);
   TrieNode &N = Store->Nodes[NIdx];
   N.Thread = meet(N.Thread, Thread);
   N.Access = meet(N.Access, Access);
+  N.Site = Site;
   return NIdx;
 }
 
@@ -175,6 +176,7 @@ void AccessTrie::pruneStronger(uint32_t NIdx, const std::vector<LockId> &Locks,
         isWeakerOrEqual(Access, N.Access)) {
       N.Thread = ThreadLattice::top();
       N.Access = AccessKind::Read;
+      N.Site = SiteId::invalid();
     }
   }
   // Visit children; after each visit, remove its edge if the child carries
@@ -217,7 +219,8 @@ void AccessTrie::pruneStronger(uint32_t NIdx, const std::vector<LockId> &Locks,
 }
 
 AccessTrie::Outcome AccessTrie::process(ThreadId Thread, const LockSet &Locks,
-                                        AccessKind Access, Scratch &S) {
+                                        AccessKind Access, SiteId Site,
+                                        Scratch &S) {
   Outcome Result;
   ThreadLattice EventThread(Thread);
 
@@ -247,12 +250,13 @@ AccessTrie::Outcome AccessTrie::process(ThreadId Thread, const LockSet &Locks,
     if (Result.PriorThreadKnown)
       Result.PriorThread = HitNode.Thread.concrete();
     Result.PriorAccess = HitNode.Access;
+    Result.PriorSite = HitNode.Site;
     for (LockId Lock : S.RacePath)
       Result.PriorLocks.insert(Lock);
   }
 
   // 3. Update the node for the event's exact lockset.
-  uint32_t Updated = updateNode(Locks, EventThread, Access);
+  uint32_t Updated = updateNode(Locks, EventThread, Access, Site);
 
   // 4. Remove stored accesses the new event is weaker than.
   pruneStronger(Root, Locks.items(), 0, EventThread, Access, Updated);
@@ -261,9 +265,14 @@ AccessTrie::Outcome AccessTrie::process(ThreadId Thread, const LockSet &Locks,
 }
 
 AccessTrie::Outcome AccessTrie::process(ThreadId Thread, const LockSet &Locks,
+                                        AccessKind Access, Scratch &S) {
+  return process(Thread, Locks, Access, SiteId::invalid(), S);
+}
+
+AccessTrie::Outcome AccessTrie::process(ThreadId Thread, const LockSet &Locks,
                                         AccessKind Access) {
   Scratch Local;
-  return process(Thread, Locks, Access, Local);
+  return process(Thread, Locks, Access, SiteId::invalid(), Local);
 }
 
 size_t AccessTrie::storedAccessCount() const {

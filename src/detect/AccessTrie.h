@@ -152,6 +152,13 @@ struct TrieNode {
   uint32_t EdgeCount = 0;  ///< live out-edges
   uint32_t Edges = 0xFFFFFFFF; ///< TrieEdgePool block, or None
 
+  /// Source site of the last event merged into this node — diagnostics
+  /// only (the prior-access site in race reports); never consulted by the
+  /// weakness/race checks, so detection is independent of it.  Events for
+  /// one location arrive in a deterministic order in every execution mode
+  /// (docs/SHARDING.md), so "last updater" is stable across modes.
+  SiteId Site;
+
   bool hasInfo() const { return !Thread.isTop(); }
 };
 
@@ -179,6 +186,7 @@ public:
     ThreadId PriorThread;
     AccessKind PriorAccess = AccessKind::Read;
     RaceLockSet PriorLocks;
+    SiteId PriorSite; ///< site of the last event merged into the hit node
   };
 
   /// Reusable traversal scratch.  The Detector keeps one per instance so
@@ -206,6 +214,11 @@ public:
   Outcome process(ThreadId Thread, const LockSet &Locks, AccessKind Access,
                   Scratch &S);
 
+  /// Same, additionally recording \p Site as the event's source site so a
+  /// later race against this access can name it (Outcome::PriorSite).
+  Outcome process(ThreadId Thread, const LockSet &Locks, AccessKind Access,
+                  SiteId Site, Scratch &S);
+
   /// Number of trie nodes currently allocated (the root counts as one);
   /// Section 8.2 reports this as the detector's space consumption.  The
   /// root is materialized lazily, so an untouched trie reports 1 without
@@ -228,7 +241,7 @@ private:
   uint32_t getOrCreateChild(uint32_t Parent, LockId Label);
 
   uint32_t updateNode(const LockSet &Locks, ThreadLattice Thread,
-                      AccessKind Access);
+                      AccessKind Access, SiteId Site);
 
   void pruneStronger(uint32_t N, const std::vector<LockId> &Locks,
                      size_t Matched, ThreadLattice Thread, AccessKind Access,

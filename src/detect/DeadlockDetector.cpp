@@ -12,13 +12,14 @@
 using namespace herd;
 
 void DeadlockDetector::onMonitorEnter(ThreadId Thread, LockId Lock,
-                                      bool Recursive) {
+                                      bool Recursive, SiteId Site) {
   if (Recursive)
     return;
   std::vector<LockId> &Stack = Held[Thread];
   for (LockId From : Stack) {
     Edge E;
     E.Thread = Thread;
+    E.AcquireSite = Site;
     for (LockId Other : Stack)
       if (Other != From)
         E.Gate.insert(Other);
@@ -58,6 +59,7 @@ namespace {
 struct PathState {
   std::vector<LockId> Locks;
   std::vector<ThreadId> Threads;
+  std::vector<SiteId> Sites;
   std::vector<LockSet> Gates;
 };
 
@@ -105,6 +107,8 @@ DeadlockDetector::findPotentialDeadlocks(size_t MaxLength) const {
           Cycle.Locks = Path.Locks;
           Cycle.Threads = Path.Threads;
           Cycle.Threads.push_back(E.Thread);
+          Cycle.Sites = Path.Sites;
+          Cycle.Sites.push_back(E.AcquireSite);
           Found.insert(std::move(Cycle));
         }
         continue;
@@ -121,10 +125,12 @@ DeadlockDetector::findPotentialDeadlocks(size_t MaxLength) const {
           continue;
         Path.Locks.push_back(Next);
         Path.Threads.push_back(E.Thread);
+        Path.Sites.push_back(E.AcquireSite);
         Path.Gates.push_back(E.Gate);
         Extend(Start, Path);
         Path.Locks.pop_back();
         Path.Threads.pop_back();
+        Path.Sites.pop_back();
         Path.Gates.pop_back();
       }
     }

@@ -39,6 +39,8 @@ namespace herd {
 struct DeadlockCycle {
   std::vector<LockId> Locks;     ///< in cycle order
   std::vector<ThreadId> Threads; ///< acquiring thread per edge
+  std::vector<SiteId> Sites;     ///< acquisition site per edge (may be
+                                 ///< invalid for site-less event streams)
 
   friend bool operator<(const DeadlockCycle &A, const DeadlockCycle &B) {
     return A.Locks < B.Locks;
@@ -49,7 +51,8 @@ struct DeadlockCycle {
 /// the run (or on demand).
 class DeadlockDetector : public RuntimeHooks {
 public:
-  void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive) override;
+  void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive,
+                      SiteId Site = SiteId::invalid()) override;
   void onMonitorExit(ThreadId Thread, LockId Lock, bool StillHeld) override;
 
   /// Finds every simple cycle (up to length \p MaxLength) in the
@@ -65,6 +68,8 @@ private:
   struct Edge {
     ThreadId Thread;
     LockSet Gate; ///< locks held besides From at acquisition of To
+    SiteId AcquireSite; ///< the monitorenter statement (first observation
+                        ///< of this (thread, gate) wins; diagnostics only)
   };
 
   /// (from, to) -> observations; multiple observations of the same pair

@@ -67,7 +67,8 @@ void Detector::handleEvent(const DetectorEvent &Event) {
 
   const LockSet &Locks = Interner->resolve(Event.Locks);
   AccessTrie::Outcome Outcome =
-      State->Trie.process(Event.Thread, Locks, Event.Access, Scratch);
+      State->Trie.process(Event.Thread, Locks, Event.Access, Event.Site,
+                          Scratch);
   if (Outcome.Filtered) {
     ++Stats.WeakerFiltered;
     return;
@@ -86,5 +87,6 @@ void Detector::handleEvent(const DetectorEvent &Event) {
   Record.PriorThread = Outcome.PriorThread;
   Record.PriorAccess = Outcome.PriorAccess;
   Record.PriorLocks = std::move(Outcome.PriorLocks);
+  Record.PriorSite = Outcome.PriorSite;
   Reporter.report(std::move(Record));
 }

@@ -17,12 +17,14 @@ using namespace herd::tracefmt;
 
 EventLog::Record EventLog::Record::threadCreate(ThreadId Child,
                                                 ThreadId Parent,
-                                                ObjectId ThreadObj) {
+                                                ObjectId ThreadObj,
+                                                SiteId Site) {
   Record R;
   R.Kind = RecordKind::ThreadCreate;
   R.Thread = Child;
   R.OtherThread = Parent;
   R.ThreadObj = ThreadObj;
+  R.Site = Site;
   return R;
 }
 
@@ -43,12 +45,13 @@ EventLog::Record EventLog::Record::threadJoin(ThreadId Joiner,
 }
 
 EventLog::Record EventLog::Record::monitorEnter(ThreadId Thread, LockId Lock,
-                                                bool Recursive) {
+                                                bool Recursive, SiteId Site) {
   Record R;
   R.Kind = RecordKind::MonitorEnter;
   R.Thread = Thread;
   R.Lock = Lock;
   R.Flags = Recursive ? 1 : 0;
+  R.Site = Site;
   return R;
 }
 
@@ -77,7 +80,7 @@ EventLog::Record EventLog::Record::access(ThreadId Thread,
 void EventLog::Record::dispatch(RuntimeHooks &Sink) const {
   switch (Kind) {
   case RecordKind::ThreadCreate:
-    Sink.onThreadCreate(Thread, OtherThread, ThreadObj);
+    Sink.onThreadCreate(Thread, OtherThread, ThreadObj, Site);
     break;
   case RecordKind::ThreadExit:
     Sink.onThreadExit(Thread);
@@ -86,7 +89,7 @@ void EventLog::Record::dispatch(RuntimeHooks &Sink) const {
     Sink.onThreadJoin(Thread, OtherThread);
     break;
   case RecordKind::MonitorEnter:
-    Sink.onMonitorEnter(Thread, Lock, Flags != 0);
+    Sink.onMonitorEnter(Thread, Lock, Flags != 0, Site);
     break;
   case RecordKind::MonitorExit:
     Sink.onMonitorExit(Thread, Lock, Flags != 0);
@@ -103,8 +106,8 @@ void EventLog::Record::dispatch(RuntimeHooks &Sink) const {
 //===----------------------------------------------------------------------===
 
 void EventLog::onThreadCreate(ThreadId Child, ThreadId Parent,
-                              ObjectId ThreadObj) {
-  Records.push_back(Record::threadCreate(Child, Parent, ThreadObj));
+                              ObjectId ThreadObj, SiteId Site) {
+  Records.push_back(Record::threadCreate(Child, Parent, ThreadObj, Site));
 }
 
 void EventLog::onThreadExit(ThreadId Dying) {
@@ -115,8 +118,9 @@ void EventLog::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
   Records.push_back(Record::threadJoin(Joiner, Joined));
 }
 
-void EventLog::onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive) {
-  Records.push_back(Record::monitorEnter(Thread, Lock, Recursive));
+void EventLog::onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive,
+                              SiteId Site) {
+  Records.push_back(Record::monitorEnter(Thread, Lock, Recursive, Site));
 }
 
 void EventLog::onMonitorExit(ThreadId Thread, LockId Lock, bool StillHeld) {

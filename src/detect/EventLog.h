@@ -64,10 +64,12 @@ public:
     // Builders: the single place the hook-to-record mapping lives, shared
     // by EventLog and the streaming TraceWriter.
     static Record threadCreate(ThreadId Child, ThreadId Parent,
-                               ObjectId ThreadObj);
+                               ObjectId ThreadObj,
+                               SiteId Site = SiteId::invalid());
     static Record threadExit(ThreadId Dying);
     static Record threadJoin(ThreadId Joiner, ThreadId Joined);
-    static Record monitorEnter(ThreadId Thread, LockId Lock, bool Recursive);
+    static Record monitorEnter(ThreadId Thread, LockId Lock, bool Recursive,
+                               SiteId Site = SiteId::invalid());
     static Record monitorExit(ThreadId Thread, LockId Lock, bool StillHeld);
     static Record access(ThreadId Thread, LocationKey Location,
                          AccessKind Access, SiteId Site);
@@ -78,11 +80,12 @@ public:
   };
 
   // RuntimeHooks:
-  void onThreadCreate(ThreadId Child, ThreadId Parent,
-                      ObjectId ThreadObj) override;
+  void onThreadCreate(ThreadId Child, ThreadId Parent, ObjectId ThreadObj,
+                      SiteId Site = SiteId::invalid()) override;
   void onThreadExit(ThreadId Dying) override;
   void onThreadJoin(ThreadId Joiner, ThreadId Joined) override;
-  void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive) override;
+  void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive,
+                      SiteId Site = SiteId::invalid()) override;
   void onMonitorExit(ThreadId Thread, LockId Lock, bool StillHeld) override;
   void onAccess(ThreadId Thread, LocationKey Location, AccessKind Access,
                 SiteId Site) override;

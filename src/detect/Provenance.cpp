@@ -1,0 +1,69 @@
+//===- detect/Provenance.cpp - Diagnostic provenance capture --------------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Provenance.h"
+
+using namespace herd;
+
+ProvenanceStore::PerThread &ProvenanceStore::threadState(ThreadId Thread) {
+  size_t Index = Thread.index();
+  if (Index >= Threads.size())
+    Threads.resize(Index + 1);
+  return Threads[Index];
+}
+
+void ProvenanceStore::onThreadCreate(ThreadId Child, ThreadId Parent,
+                                     ObjectId ThreadObj, SiteId Site) {
+  (void)ThreadObj;
+  PerThread &T = threadState(Child);
+  T.SpawnInfo.Parent = Parent;
+  T.SpawnInfo.Site = Site;
+}
+
+void ProvenanceStore::onMonitorEnter(ThreadId Thread, LockId Lock,
+                                     bool Recursive, SiteId Site) {
+  if (Recursive)
+    return; // reentrant acquisitions keep the outermost site
+  Locks[Lock.index()] = LockAcquire{Thread, Site};
+}
+
+void ProvenanceStore::onAccess(ThreadId Thread, LocationKey Location,
+                               AccessKind Access, SiteId Site) {
+  ++AccessesObserved;
+  PerThread &T = threadState(Thread);
+  T.Ring[T.Head] = AccessEntry{Location, Access, Site};
+  T.Head = (T.Head + 1) % RingEntries;
+  if (T.Count < RingEntries)
+    ++T.Count;
+}
+
+ProvenanceStore::LockAcquire ProvenanceStore::lockAcquire(LockId Lock) const {
+  auto It = Locks.find(Lock.index());
+  if (It == Locks.end())
+    return LockAcquire{};
+  return It->second;
+}
+
+ProvenanceStore::Spawn ProvenanceStore::spawnOf(ThreadId Thread) const {
+  size_t Index = Thread.index();
+  if (Index >= Threads.size())
+    return Spawn{};
+  return Threads[Index].SpawnInfo;
+}
+
+std::vector<ProvenanceStore::AccessEntry>
+ProvenanceStore::recentAccesses(ThreadId Thread) const {
+  std::vector<AccessEntry> Out;
+  size_t Index = Thread.index();
+  if (Index >= Threads.size())
+    return Out;
+  const PerThread &T = Threads[Index];
+  Out.reserve(T.Count);
+  uint32_t Start = (T.Head + RingEntries - T.Count) % RingEntries;
+  for (uint32_t I = 0; I != T.Count; ++I)
+    Out.push_back(T.Ring[(Start + I) % RingEntries]);
+  return Out;
+}

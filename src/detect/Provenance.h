@@ -1,0 +1,111 @@
+//===- detect/Provenance.h - Diagnostic provenance capture ------*- C++ -*-==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ProvenanceStore records *where* the synchronization structure around a
+/// race came from, so reports can say more than bare lock and thread ids
+/// (docs/REPORTS.md):
+///
+///   - per-thread bounded rings of recent access events (location, kind,
+///     site) — the short history leading up to a racing access;
+///   - the acquisition site of every currently-relevant lock, so each
+///     lock in a reported lockset maps to the statement that took it;
+///   - the spawn site of every thread (parent + ThreadStart statement).
+///
+/// It is a plain RuntimeHooks sink: when `--provenance=on` the pipeline
+/// adds it next to the detector in the fanout list; when off it simply
+/// does not exist (the PR-5 zero-cost-when-off discipline — no branch, no
+/// null check, no memory).  It observes the same deterministic event
+/// stream the detector does, never feeds anything back, and therefore
+/// cannot perturb schedules or race sets — the on/off byte-identity the
+/// differential tests pin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HERD_DETECT_PROVENANCE_H
+#define HERD_DETECT_PROVENANCE_H
+
+#include "runtime/Hooks.h"
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace herd {
+
+/// Bounded, allocation-light provenance capture (see file comment).
+class ProvenanceStore : public RuntimeHooks {
+public:
+  /// Entries retained per thread's access-history ring.
+  static constexpr size_t RingEntries = 32;
+
+  /// One remembered access event.
+  struct AccessEntry {
+    LocationKey Location;
+    AccessKind Access = AccessKind::Read;
+    SiteId Site;
+  };
+
+  /// Last non-recursive acquisition of a lock.
+  struct LockAcquire {
+    ThreadId Thread;
+    SiteId Site;
+  };
+
+  /// How a thread came to exist.
+  struct Spawn {
+    ThreadId Parent; ///< invalid for the main thread
+    SiteId Site;     ///< the ThreadStart statement; invalid when unknown
+  };
+
+  // RuntimeHooks:
+  void onThreadCreate(ThreadId Child, ThreadId Parent, ObjectId ThreadObj,
+                      SiteId Site = SiteId::invalid()) override;
+  void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive,
+                      SiteId Site = SiteId::invalid()) override;
+  void onAccess(ThreadId Thread, LocationKey Location, AccessKind Access,
+                SiteId Site) override;
+
+  /// Where \p Lock was last acquired (non-recursively); Site is invalid
+  /// when the lock was never seen (e.g. dummy join locks, which have no
+  /// monitorenter event).
+  LockAcquire lockAcquire(LockId Lock) const;
+
+  /// How \p Thread was spawned; Parent is invalid for the main thread or
+  /// threads never seen.
+  Spawn spawnOf(ThreadId Thread) const;
+
+  /// The last up-to-RingEntries accesses of \p Thread, oldest first.
+  std::vector<AccessEntry> recentAccesses(ThreadId Thread) const;
+
+  /// Threads with any recorded state (spawn or accesses).
+  size_t threadsTracked() const { return Threads.size(); }
+
+  /// Locks with a recorded acquisition site.
+  size_t locksTracked() const { return Locks.size(); }
+
+  /// Total access events observed (ring overwrites included).
+  uint64_t accessesObserved() const { return AccessesObserved; }
+
+private:
+  struct PerThread {
+    Spawn SpawnInfo;
+    std::array<AccessEntry, RingEntries> Ring;
+    uint32_t Head = 0;  ///< next slot to overwrite
+    uint32_t Count = 0; ///< live entries, <= RingEntries
+  };
+
+  PerThread &threadState(ThreadId Thread);
+
+  std::vector<PerThread> Threads;
+  std::unordered_map<uint32_t, LockAcquire> Locks;
+  uint64_t AccessesObserved = 0;
+};
+
+} // namespace herd
+
+#endif // HERD_DETECT_PROVENANCE_H

@@ -58,9 +58,10 @@ const LockSet &RaceRuntime::lockSetOf(ThreadId Thread) const {
 }
 
 void RaceRuntime::onThreadCreate(ThreadId Child, ThreadId Parent,
-                                 ObjectId ThreadObj) {
+                                 ObjectId ThreadObj, SiteId Site) {
   (void)Parent;
   (void)ThreadObj;
+  (void)Site;
   PerThread &T = threadState(Child);
   if (Opts.ModelJoin) {
     // A dummy mon-enter(S_child) at the start of the child's execution
@@ -98,7 +99,8 @@ void RaceRuntime::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
 }
 
 void RaceRuntime::onMonitorEnter(ThreadId Thread, LockId Lock,
-                                 bool Recursive) {
+                                 bool Recursive, SiteId Site) {
+  (void)Site;
   if (Recursive)
     return; // nested acquisitions are invisible to the detector (Sec 4.2)
   PerThread &T = threadState(Thread);

@@ -72,11 +72,12 @@ public:
   explicit RaceRuntime(RaceRuntimeOptions Opts = {});
   ~RaceRuntime() override;
 
-  void onThreadCreate(ThreadId Child, ThreadId Parent,
-                      ObjectId ThreadObj) override;
+  void onThreadCreate(ThreadId Child, ThreadId Parent, ObjectId ThreadObj,
+                      SiteId Site = SiteId::invalid()) override;
   void onThreadExit(ThreadId Dying) override;
   void onThreadJoin(ThreadId Joiner, ThreadId Joined) override;
-  void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive) override;
+  void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive,
+                      SiteId Site = SiteId::invalid()) override;
   void onMonitorExit(ThreadId Thread, LockId Lock, bool StillHeld) override;
   void onAccess(ThreadId Thread, LocationKey Location, AccessKind Access,
                 SiteId Site) override;

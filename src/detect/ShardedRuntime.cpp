@@ -134,6 +134,11 @@ std::vector<RaceRecord> ShardPool::mergedRecords() const {
   return Out;
 }
 
+const RaceReporter &ShardPool::shardReporter(uint32_t Shard) const {
+  assert(Shard < Shards.size());
+  return Shards[Shard]->Reporter;
+}
+
 ShardStats ShardPool::shardStats(uint32_t Shard) const {
   assert(Shard < Shards.size());
   const auto &S = *Shards[Shard];
@@ -211,9 +216,10 @@ ShardedRuntime::PerThread &ShardedRuntime::threadState(ThreadId Thread) {
 }
 
 void ShardedRuntime::onThreadCreate(ThreadId Child, ThreadId Parent,
-                                    ObjectId ThreadObj) {
+                                    ObjectId ThreadObj, SiteId Site) {
   (void)Parent;
   (void)ThreadObj;
+  (void)Site;
   PerThread &T = threadState(Child);
   if (Opts.ModelJoin) {
     T.Locks.insert(RaceRuntime::dummyLockOf(Child));
@@ -253,7 +259,8 @@ void ShardedRuntime::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
 }
 
 void ShardedRuntime::onMonitorEnter(ThreadId Thread, LockId Lock,
-                                    bool Recursive) {
+                                    bool Recursive, SiteId Site) {
+  (void)Site;
   if (Recursive)
     return; // nested acquisitions are invisible to the detector (Sec 4.2)
   PerThread &T = threadState(Thread);
@@ -382,9 +389,14 @@ void ShardedRuntime::finish() {
 const RaceReporter &ShardedRuntime::reporter() {
   drain();
   if (!MergedValid) {
+    // Semantic merge, not record re-reporting: per-shard reporters are
+    // individually capped, and a records()-only merge would lose the
+    // locations and occurrence counts a saturated shard shed past its
+    // cap.  merge() carries the exact location/object sets, the group
+    // counts, and the drop counters (shard order, so deterministic).
     Merged.clear();
-    for (RaceRecord &Rec : Pool.mergedRecords())
-      Merged.report(std::move(Rec));
+    for (uint32_t I = 0; I != Pool.numShards(); ++I)
+      Merged.merge(Pool.shardReporter(I));
     MergedValid = true;
   }
   return Merged;

@@ -152,6 +152,10 @@ public:
   /// preceding drain().
   std::vector<RaceRecord> mergedRecords() const;
 
+  /// One shard's reporter, for semantic merging (RaceReporter::merge)
+  /// that survives per-shard record caps.  Requires a preceding drain().
+  const RaceReporter &shardReporter(uint32_t Shard) const;
+
   /// Per-shard counters.  Requires a preceding drain().
   ShardStats shardStats(uint32_t Shard) const;
 
@@ -202,11 +206,12 @@ public:
   explicit ShardedRuntime(ShardedRuntimeOptions Opts = {});
   ~ShardedRuntime() override;
 
-  void onThreadCreate(ThreadId Child, ThreadId Parent,
-                      ObjectId ThreadObj) override;
+  void onThreadCreate(ThreadId Child, ThreadId Parent, ObjectId ThreadObj,
+                      SiteId Site = SiteId::invalid()) override;
   void onThreadExit(ThreadId Dying) override;
   void onThreadJoin(ThreadId Joiner, ThreadId Joined) override;
-  void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive) override;
+  void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive,
+                      SiteId Site = SiteId::invalid()) override;
   void onMonitorExit(ThreadId Thread, LockId Lock, bool StillHeld) override;
   void onAccess(ThreadId Thread, LocationKey Location, AccessKind Access,
                 SiteId Site) override;

@@ -84,8 +84,8 @@ TraceResult TraceWriter::close() {
 }
 
 void TraceWriter::onThreadCreate(ThreadId Child, ThreadId Parent,
-                                 ObjectId ThreadObj) {
-  write(EventLog::Record::threadCreate(Child, Parent, ThreadObj));
+                                 ObjectId ThreadObj, SiteId Site) {
+  write(EventLog::Record::threadCreate(Child, Parent, ThreadObj, Site));
 }
 
 void TraceWriter::onThreadExit(ThreadId Dying) {
@@ -97,8 +97,8 @@ void TraceWriter::onThreadJoin(ThreadId Joiner, ThreadId Joined) {
 }
 
 void TraceWriter::onMonitorEnter(ThreadId Thread, LockId Lock,
-                                 bool Recursive) {
-  write(EventLog::Record::monitorEnter(Thread, Lock, Recursive));
+                                 bool Recursive, SiteId Site) {
+  write(EventLog::Record::monitorEnter(Thread, Lock, Recursive, Site));
 }
 
 void TraceWriter::onMonitorExit(ThreadId Thread, LockId Lock,

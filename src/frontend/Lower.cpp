@@ -275,7 +275,7 @@ void Lowering::lowerStmts(const std::vector<StmtPtr> &Stmts) {
 }
 
 void Lowering::lowerStmt(const Stmt &S) {
-  B.site("L" + std::to_string(S.Line));
+  B.site("L" + std::to_string(S.Line), S.Line);
   switch (S.K) {
   case Stmt::Kind::VarDecl: {
     TypeRef Type = S.HasDeclType ? S.DeclType : TypeRef::intType();

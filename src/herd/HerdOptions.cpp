@@ -54,6 +54,15 @@ const char *herd::herdUsageText() {
       "                    submission, docs/HOOKPATH.md) | off (the legacy\n"
       "                    virtual hook path, for A/B measurement); reports\n"
       "                    and traces are byte-identical either way\n"
+      "  --report=<fmt>    race-report rendering: human (default) | json\n"
+      "                    (one versioned herd-report document on stdout) |\n"
+      "                    sarif (a SARIF 2.1.0 document for code-scanning\n"
+      "                    UIs; docs/REPORTS.md)\n"
+      "  --provenance=<m>  capture diagnostic provenance and enrich the\n"
+      "                    reports with spawn sites, lock-acquisition\n"
+      "                    sites, and recent-access history: on | off\n"
+      "                    (default; zero cost when off — docs/REPORTS.md);\n"
+      "                    race sets are byte-identical either way\n"
       "  --dump-ir         print the lowered MiniJ IR and exit\n"
       "  --workload=<name> analyse a built-in benchmark replica instead\n"
       "                    of a file: mtrt | tsp | sor2 | elevator | hedc\n";
@@ -107,6 +116,8 @@ HerdParse herd::parseHerdCommandLine(const std::vector<std::string> &Args) {
   DispatchMode Dispatch = DispatchMode::Threaded;
   bool HaveHookFilter = false;
   bool HookFilterOn = true;
+  bool HaveProvenance = false;
+  bool ProvenanceOn = false;
 
   for (const std::string &Arg : Args) {
     if (Arg.rfind("--config=", 0) == 0) {
@@ -210,6 +221,23 @@ HerdParse herd::parseHerdCommandLine(const std::vector<std::string> &Args) {
       else
         return fail("herd: --hook-filter expects on or off, got '" + Mode +
                     "'");
+    } else if (Arg.rfind("--report=", 0) == 0) {
+      O.Report = Arg.substr(9);
+      // Like --detector: unknown formats die here, at parse time, with
+      // the accepted list — never a silent fallback to human output.
+      if (O.Report != "human" && O.Report != "json" && O.Report != "sarif")
+        return fail("herd: --report expects human, json, or sarif, got '" +
+                    O.Report + "'");
+    } else if (Arg.rfind("--provenance=", 0) == 0) {
+      std::string Mode = Arg.substr(13);
+      HaveProvenance = true;
+      if (Mode == "on")
+        ProvenanceOn = true;
+      else if (Mode == "off")
+        ProvenanceOn = false;
+      else
+        return fail("herd: --provenance expects on or off, got '" + Mode +
+                    "'");
     } else if (Arg == "--profile") {
       O.Profile = true;
     } else if (Arg == "--dump-ir") {
@@ -248,6 +276,23 @@ HerdParse herd::parseHerdCommandLine(const std::vector<std::string> &Args) {
       (O.StatsJson || !O.TraceJsonPath.empty()))
     return fail("herd: --stats=json/--trace-json only apply to the herd "
                 "detector");
+  // The report document is per-run and owns stdout, exactly like
+  // --stats=json: no sweeps, no competing stdout consumers, and the
+  // baseline replay detectors bypass the pipeline that builds it.
+  if (O.Report != "human") {
+    if (O.Sweep > 0)
+      return fail("herd: --report=json/--report=sarif cannot be combined "
+                  "with --sweep");
+    if (O.Stats || O.StatsJson || O.Profile)
+      return fail("herd: --report=json/--report=sarif own stdout and "
+                  "cannot be combined with --stats/--profile");
+    if (O.Detector != "herd" && O.Detector != "epoch")
+      return fail("herd: --report only applies to the herd and epoch "
+                  "detectors");
+    if (O.DumpIR)
+      return fail("herd: --report=json/--report=sarif own stdout and "
+                  "cannot be combined with --dump-ir");
+  }
 
   O.Config.Shards = Shards;
   if (O.Detector == "epoch")
@@ -269,6 +314,8 @@ HerdParse herd::parseHerdCommandLine(const std::vector<std::string> &Args) {
     O.Config.Dispatch = Dispatch;
   if (HaveHookFilter)
     O.Config.HookFilter = HookFilterOn;
+  if (HaveProvenance)
+    O.Config.Provenance = ProvenanceOn;
   O.Config.Seed = O.Seed;
   O.Config.DetectDeadlocks = O.Deadlocks;
 

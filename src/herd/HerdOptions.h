@@ -37,6 +37,7 @@ struct HerdOptions {
   std::string ReplayPath;   ///< trace input (`--replay=`)
   std::string Detector = "herd"; ///< replay detector (`--detector=`)
   std::string TraceJsonPath;     ///< Chrome trace output (`--trace-json=`)
+  std::string Report = "human";  ///< report rendering (`--report=`)
 
   ToolConfig Config = ToolConfig::full();
   uint64_t Seed = 1;

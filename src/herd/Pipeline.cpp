@@ -65,6 +65,95 @@ ToolConfig ToolConfig::noOwnership() {
 
 namespace {
 
+/// Renders a site reference for diagnostics: the symbolic label, plus
+/// "(file:line)" when the frontend recorded a source line ("L7
+/// (prog.mj:7)"); empty for an invalid site.
+std::string siteRef(const Program &P, SiteId Site) {
+  if (!Site.isValid() || Site.index() >= P.numSites())
+    return std::string();
+  const SourceSite &S = P.site(Site);
+  std::string Out(P.Names.text(S.Label));
+  if (S.Line != 0 && !P.SourceName.empty()) {
+    Out += " (";
+    Out += P.SourceName;
+    Out += ':';
+    Out += std::to_string(S.Line);
+    Out += ')';
+  }
+  return Out;
+}
+
+/// The 1-based source line of \p Site, or 0 when unknown.
+uint32_t siteLine(const Program &P, SiteId Site) {
+  if (!Site.isValid() || Site.index() >= P.numSites())
+    return 0;
+  return P.site(Site).Line;
+}
+
+/// The symbolic label of \p Site, or empty when unknown.
+std::string siteLabel(const Program &P, SiteId Site) {
+  if (!Site.isValid() || Site.index() >= P.numSites())
+    return std::string();
+  return std::string(P.Names.text(P.site(Site).Label));
+}
+
+/// Appends the `--provenance=on` detail lines to a formatted race: where
+/// the earlier access was, how the racing thread was spawned, where each
+/// held lock was acquired, and the thread's recent access history.  Every
+/// line is indented continuation text of the same report.
+void appendProvenanceDetail(std::string &Out, const Program &P,
+                            const ProvenanceStore &Prov,
+                            const RaceRecord &Rec) {
+  if (Rec.PriorSite.isValid()) {
+    Out += "\n    earlier access at ";
+    Out += siteRef(P, Rec.PriorSite);
+  }
+  ProvenanceStore::Spawn Sp = Prov.spawnOf(Rec.CurrentThread);
+  if (Sp.Parent.isValid()) {
+    Out += "\n    thread ";
+    Out += std::to_string(Rec.CurrentThread.index());
+    Out += " spawned by thread ";
+    Out += std::to_string(Sp.Parent.index());
+    if (Sp.Site.isValid()) {
+      Out += " at ";
+      Out += siteRef(P, Sp.Site);
+    }
+  }
+  for (LockId L : Rec.CurrentLocks) {
+    if (L.index() >= (1u << 30))
+      continue; // dummy join locks have no acquisition statement
+    ProvenanceStore::LockAcquire Acq = Prov.lockAcquire(L);
+    if (!Acq.Site.isValid())
+      continue;
+    Out += "\n    lock #";
+    Out += std::to_string(L.index());
+    Out += " acquired by thread ";
+    Out += std::to_string(Acq.Thread.index());
+    Out += " at ";
+    Out += siteRef(P, Acq.Site);
+  }
+  std::vector<ProvenanceStore::AccessEntry> Recent =
+      Prov.recentAccesses(Rec.CurrentThread);
+  if (!Recent.empty()) {
+    Out += "\n    recent by thread ";
+    Out += std::to_string(Rec.CurrentThread.index());
+    Out += ':';
+    // Newest last mirrors program order; cap keeps reports readable.
+    size_t Shown = 0;
+    size_t First = Recent.size() > 4 ? Recent.size() - 4 : 0;
+    for (size_t I = First; I != Recent.size(); ++I) {
+      const ProvenanceStore::AccessEntry &A = Recent[I];
+      Out += Shown++ ? ", " : " ";
+      Out += A.Access == AccessKind::Write ? "write" : "read";
+      std::string Site = siteLabel(P, A.Site);
+      if (!Site.empty()) {
+        Out += " at ";
+        Out += Site;
+      }
+    }
+  }
+}
+
 /// Renders one race record using program metadata and, when available, the
 /// final heap (for object class names).  Replay runs have no heap — the
 /// trace carries only event ids — so \p TheHeap may be null, in which case
@@ -161,6 +250,28 @@ std::string formatRacyLocation(const Program &P, const Heap *TheHeap,
   return Out;
 }
 
+/// Stable identity of a deadlock cycle: the canonicalized lock sequence
+/// with each edge's acquisition site (detect/RaceReport.h's mixer).
+/// Threads are excluded — the same cycle witnessed by other threads is the
+/// same bug.
+uint64_t deadlockFingerprint(const DeadlockCycle &Cycle) {
+  uint64_t H = fingerprintMix(0xD1);
+  for (size_t I = 0; I != Cycle.Locks.size(); ++I) {
+    SiteId S = I < Cycle.Sites.size() ? Cycle.Sites[I] : SiteId::invalid();
+    H = fingerprintMix(H ^ ((uint64_t(Cycle.Locks[I].index()) << 32) |
+                            uint64_t(S.index())));
+  }
+  return H;
+}
+
+/// Stable identity of a static allocation-site cycle.
+uint64_t staticDeadlockFingerprint(const StaticLockCycle &Cycle) {
+  uint64_t H = fingerprintMix(0xD2);
+  for (AllocSiteId Site : Cycle.Sites)
+    H = fingerprintMix(H ^ uint64_t(Site.index()));
+  return H;
+}
+
 /// Runs the static half of the deadlock co-analysis over \p Input, reads
 /// the dynamic cycles out of \p Deadlocks, and formats both into
 /// \p Result.  Shared between live runs and trace replay.
@@ -188,6 +299,11 @@ void collectDeadlockResults(const Program &Input, DeadlockDetector &Deadlocks,
     }
     if (Cycle.Sites.size() == 1)
       Line += " [two instances of one site in opposite orders]";
+    ReportEntry Entry;
+    Entry.EntryKind = ReportEntry::Kind::DeadlockCandidate;
+    Entry.Message = Line;
+    Entry.Fingerprint = staticDeadlockFingerprint(Cycle);
+    Result.Entries.push_back(std::move(Entry));
     Result.FormattedDeadlocks.push_back(std::move(Line));
   }
 
@@ -204,6 +320,32 @@ void collectDeadlockResults(const Program &Input, DeadlockDetector &Deadlocks,
       Line += std::to_string(T.index());
     }
     Line += ")";
+    // Edge acquisition sites ride along when the event stream carried
+    // them (live MiniJ runs and v1 traces recorded from them); traces
+    // from site-less sources degrade to the bare cycle.
+    bool AnySite = false;
+    for (SiteId S : Cycle.Sites)
+      AnySite = AnySite || S.isValid();
+    if (AnySite) {
+      Line += " acquired at";
+      for (SiteId S : Cycle.Sites) {
+        Line += ' ';
+        std::string Ref = siteRef(Input, S);
+        Line += Ref.empty() ? std::string("?") : Ref;
+      }
+    }
+    ReportEntry Entry;
+    Entry.EntryKind = ReportEntry::Kind::Deadlock;
+    Entry.Message = Line;
+    Entry.Fingerprint = deadlockFingerprint(Cycle);
+    for (SiteId S : Cycle.Sites) {
+      if (!S.isValid())
+        continue;
+      Entry.SiteLabel = siteLabel(Input, S);
+      Entry.Line = siteLine(Input, S);
+      break;
+    }
+    Result.Entries.push_back(std::move(Entry));
     Result.FormattedDeadlocks.push_back(std::move(Line));
   }
 }
@@ -258,6 +400,53 @@ DetectorPlan configuredPlan(const ToolConfig &Config) {
   if (Config.Plan == ToolConfig::PlanMode::Explicit)
     return DetectorPlan::sized(Config.PlanLocations);
   return DetectorPlan();
+}
+
+/// The shared report-formatting phase: renders the human lines (optionally
+/// provenance-enriched) and builds the deduplicated ReportEntry list the
+/// document renderers consume.  \p TheHeap may be null (replay runs).
+void formatRaceResults(const Program &P, const Heap *TheHeap,
+                       const EpochDetector *Epoch,
+                       const ProvenanceStore *Prov, PipelineResult &Result) {
+  if (Epoch) {
+    for (LocationKey Loc : Epoch->reportedLocations())
+      Result.FormattedRaces.push_back(formatRacyLocation(P, TheHeap, Loc));
+    // Entries come from the first racing access per location, which
+    // carries thread/site attribution the location set cannot.
+    for (const EpochDetector::RacyAccess &RA : Epoch->racyAccesses()) {
+      ReportEntry Entry;
+      Entry.EntryKind = ReportEntry::Kind::RacyLocation;
+      Entry.Message = formatRacyLocation(P, TheHeap, RA.Location);
+      // Happens-before trips on the second access of a pair; the earlier
+      // one is unknown, so it fingerprints as the invalid site (stable,
+      // documented in docs/REPORTS.md).
+      Entry.Fingerprint = raceFingerprint(RA.Location, RA.Site, RA.Access,
+                                          SiteId::invalid(),
+                                          AccessKind::Read);
+      Entry.SiteLabel = siteLabel(P, RA.Site);
+      Entry.Line = siteLine(P, RA.Site);
+      Result.Entries.push_back(std::move(Entry));
+    }
+  }
+  for (const RaceRecord &Rec : Result.Reports.records()) {
+    std::string Line = formatRace(P, TheHeap, Rec);
+    if (Prov)
+      appendProvenanceDetail(Line, P, *Prov, Rec);
+    Result.FormattedRaces.push_back(std::move(Line));
+  }
+  for (const RaceReporter::Group &G : Result.Reports.groups()) {
+    const RaceRecord &Rec = Result.Reports.records()[G.FirstRecord];
+    ReportEntry Entry;
+    Entry.EntryKind = ReportEntry::Kind::Race;
+    Entry.Message = formatRace(P, TheHeap, Rec);
+    Entry.Fingerprint = G.Fingerprint;
+    Entry.Occurrences = G.Count;
+    Entry.SiteLabel = siteLabel(P, Rec.CurrentSite);
+    Entry.Line = siteLine(P, Rec.CurrentSite);
+    Entry.PriorSiteLabel = siteLabel(P, Rec.PriorSite);
+    Entry.PriorLine = siteLine(P, Rec.PriorSite);
+    Result.Entries.push_back(std::move(Entry));
+  }
 }
 
 } // namespace
@@ -344,6 +533,14 @@ PipelineResult herd::runPipeline(const Program &Input,
   std::vector<RuntimeHooks *> SinkList;
   if (Config.Instrument)
     SinkList.push_back(Detect);
+  // Provenance is a pure listener next to the detector: present only when
+  // asked for (zero-cost-when-off), and a second sink by design — which
+  // disables the devirtualized delivery lane below, never the race set.
+  std::optional<ProvenanceStore> Prov;
+  if (Config.Provenance && Config.Instrument) {
+    Prov.emplace();
+    SinkList.push_back(&*Prov);
+  }
   if (Config.DetectDeadlocks)
     SinkList.push_back(&Deadlocks);
   if (Writer.isOpen())
@@ -404,12 +601,12 @@ PipelineResult herd::runPipeline(const Program &Input,
   }
   {
     Span FormatSpan(Metrics, "format-reports");
-    if (Epoch)
-      for (LocationKey Loc : Epoch->reportedLocations())
-        Result.FormattedRaces.push_back(
-            formatRacyLocation(P, &Interp.heap(), Loc));
-    for (const RaceRecord &Rec : Result.Reports.records())
-      Result.FormattedRaces.push_back(formatRace(P, &Interp.heap(), Rec));
+    formatRaceResults(P, &Interp.heap(), Epoch.get(),
+                      Prov ? &*Prov : nullptr, Result);
+  }
+  if (Prov) {
+    Result.ProvenanceOn = true;
+    Result.Provenance = std::move(*Prov);
   }
   if (Metrics) {
     Metrics->counter("run.instructions").add(Result.Run.InstructionsExecuted);
@@ -448,6 +645,13 @@ PipelineResult herd::replayTracePipeline(const Program &Input,
                                               Serial, Sharded, Epoch);
   DeadlockDetector Deadlocks;
   std::vector<RuntimeHooks *> SinkList{Detect};
+  // v1 traces carry sites on monitor-enter / thread-create records, so
+  // replayed runs can capture the same provenance a live run would.
+  std::optional<ProvenanceStore> Prov;
+  if (Config.Provenance) {
+    Prov.emplace();
+    SinkList.push_back(&*Prov);
+  }
   if (Config.DetectDeadlocks)
     SinkList.push_back(&Deadlocks);
   std::optional<FanoutHooks> Fanout;
@@ -500,12 +704,12 @@ PipelineResult herd::replayTracePipeline(const Program &Input,
   // No heap exists in a replay run; formatRace degrades to object indices.
   {
     Span FormatSpan(Metrics, "format-reports");
-    if (Epoch)
-      for (LocationKey Loc : Epoch->reportedLocations())
-        Result.FormattedRaces.push_back(
-            formatRacyLocation(Input, nullptr, Loc));
-    for (const RaceRecord &Rec : Result.Reports.records())
-      Result.FormattedRaces.push_back(formatRace(Input, nullptr, Rec));
+    formatRaceResults(Input, nullptr, Epoch.get(), Prov ? &*Prov : nullptr,
+                      Result);
+  }
+  if (Prov) {
+    Result.ProvenanceOn = true;
+    Result.Provenance = std::move(*Prov);
   }
 
   if (Config.DetectDeadlocks)

@@ -23,6 +23,7 @@
 #include "analysis/StaticRace.h"
 #include "baselines/EpochDetector.h"
 #include "detect/DeadlockDetector.h"
+#include "detect/Provenance.h"
 #include "detect/RaceRuntime.h"
 #include "detect/ShardedRuntime.h"
 #include "detect/TraceFormat.h"
@@ -92,6 +93,18 @@ struct ToolConfig {
   /// over the same monitor event stream.
   bool DetectDeadlocks = false;
 
+  /// Capture diagnostic provenance (`herd --provenance=on`,
+  /// docs/REPORTS.md): thread-spawn sites, lock-acquisition sites, and a
+  /// bounded per-thread ring of recent accesses, observed by a
+  /// ProvenanceStore sink next to the detector.  Race sets and schedules
+  /// are byte-identical either way (the store only listens); human race
+  /// lines gain indented provenance detail.  Off costs nothing — the sink
+  /// does not exist.  On adds a second sink, which disables the
+  /// devirtualized single-sink delivery lane (docs/HOOKPATH.md), so live
+  /// throughput drops to the fanout path; the overhead is measured by
+  /// bench/bench_hotpath.cpp and documented honestly in docs/REPORTS.md.
+  bool Provenance = false;
+
   /// When non-empty, every runtime event is also streamed to this trace
   /// file (docs/REPLAY.md) while the run executes.  The trace can later be
   /// re-detected offline with replayTracePipeline / `herd --replay`.
@@ -141,6 +154,27 @@ struct ToolConfig {
   static ToolConfig noOwnership();
 };
 
+/// One deduplicated, exportable finding: the unit the report renderers
+/// (herd/ReportExport.h) consume.  Race entries are one-per-fingerprint
+/// (occurrence-counted), unlike FormattedRaces which keeps every report to
+/// preserve the historical human output byte-for-byte.
+struct ReportEntry {
+  enum class Kind : uint8_t {
+    Race,              ///< a lockset-detector race record group
+    RacyLocation,      ///< an epoch-backend racy location
+    Deadlock,          ///< a dynamic lock-order cycle
+    DeadlockCandidate, ///< a static allocation-site cycle
+  };
+  Kind EntryKind = Kind::Race;
+  std::string Message;      ///< the human-formatted line (no provenance)
+  uint64_t Fingerprint = 0; ///< stable identity (detect/RaceReport.h)
+  uint64_t Occurrences = 1; ///< reports collapsed into this entry
+  std::string SiteLabel;    ///< primary site label; empty when unknown
+  uint32_t Line = 0;        ///< primary 1-based source line; 0 unknown
+  std::string PriorSiteLabel; ///< earlier access's site (races only)
+  uint32_t PriorLine = 0;
+};
+
 /// Everything one run produces.
 struct PipelineResult {
   InterpResult Run;
@@ -181,6 +215,17 @@ struct PipelineResult {
   /// FormattedRaces holds one line per racy location.
   bool EpochBackend = false;
   EpochStats Epoch;
+
+  /// Deduplicated findings for the report document (`--report=json|sarif`):
+  /// one entry per race fingerprint / racy location / deadlock cycle, in
+  /// deterministic first-seen order.  Always populated — the document
+  /// renderers need no pipeline re-run.
+  std::vector<ReportEntry> Entries;
+
+  /// Provenance capture results (only meaningful with ProvenanceOn; the
+  /// store is empty otherwise).
+  bool ProvenanceOn = false;
+  ProvenanceStore Provenance;
 };
 
 /// Runs the full pipeline on a copy of \p Input (the input program is not

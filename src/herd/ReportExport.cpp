@@ -1,0 +1,237 @@
+//===- herd/ReportExport.cpp - Exportable race report documents -----------==//
+//
+// Part of the HERD project (PLDI 2002 datarace-detector reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "herd/ReportExport.h"
+
+#include "support/Json.h"
+
+#include <cstdio>
+
+using namespace herd;
+
+namespace {
+
+/// 64-bit fingerprints as fixed-width hex strings: JSON numbers are
+/// doubles in most consumers, which silently corrupt the high bits.
+std::string hexFingerprint(uint64_t F) {
+  char Buf[20];
+  std::snprintf(Buf, sizeof(Buf), "%016llx", (unsigned long long)F);
+  return std::string(Buf);
+}
+
+const char *entryKindName(ReportEntry::Kind K) {
+  switch (K) {
+  case ReportEntry::Kind::Race:
+    return "race";
+  case ReportEntry::Kind::RacyLocation:
+    return "racy-location";
+  case ReportEntry::Kind::Deadlock:
+    return "deadlock";
+  case ReportEntry::Kind::DeadlockCandidate:
+    return "deadlock-candidate";
+  }
+  return "unknown";
+}
+
+const char *entryRuleId(ReportEntry::Kind K) {
+  switch (K) {
+  case ReportEntry::Kind::Race:
+    return "herd/datarace";
+  case ReportEntry::Kind::RacyLocation:
+    return "herd/racy-location";
+  case ReportEntry::Kind::Deadlock:
+    return "herd/deadlock";
+  case ReportEntry::Kind::DeadlockCandidate:
+    return "herd/deadlock-candidate";
+  }
+  return "herd/unknown";
+}
+
+/// Emits `"site": {"label": ..., "line": ...}` or `"site": null`.
+void writeSite(JsonWriter &W, const char *Key, const std::string &Label,
+               uint32_t Line) {
+  W.key(Key);
+  if (Label.empty() && Line == 0) {
+    W.null();
+    return;
+  }
+  W.beginObject();
+  W.member("label", Label);
+  W.member("line", uint64_t(Line));
+  W.endObject();
+}
+
+} // namespace
+
+std::string herd::renderReportJson(const Program &P,
+                                   const PipelineResult &Result) {
+  std::string Out;
+  JsonWriter W(Out);
+  W.beginObject();
+  W.member("schema", ReportSchemaName);
+  W.member("version", ReportSchemaVersion);
+
+  W.key("tool");
+  W.beginObject();
+  W.member("name", "herd");
+  W.member("detector", Result.EpochBackend ? "epoch" : "herd");
+  W.endObject();
+
+  W.member("source", P.SourceName);
+
+  W.key("summary");
+  W.beginObject();
+  uint64_t Races = 0, RacyLocations = 0, Deadlocks = 0, Candidates = 0;
+  for (const ReportEntry &E : Result.Entries) {
+    switch (E.EntryKind) {
+    case ReportEntry::Kind::Race:
+      ++Races;
+      break;
+    case ReportEntry::Kind::RacyLocation:
+      ++RacyLocations;
+      break;
+    case ReportEntry::Kind::Deadlock:
+      ++Deadlocks;
+      break;
+    case ReportEntry::Kind::DeadlockCandidate:
+      ++Candidates;
+      break;
+    }
+  }
+  W.member("distinct_races", Races);
+  W.member("racy_locations", RacyLocations);
+  W.member("deadlock_cycles", Deadlocks);
+  W.member("deadlock_candidates", Candidates);
+  W.member("total_reported", Result.Reports.totalReported());
+  W.member("dropped_records", Result.Reports.droppedRecords());
+  W.member("reporter_capacity", uint64_t(Result.Reports.capacity()));
+  W.endObject();
+
+  W.key("results");
+  W.beginArray();
+  for (const ReportEntry &E : Result.Entries) {
+    W.beginObject();
+    W.member("kind", entryKindName(E.EntryKind));
+    W.member("rule", entryRuleId(E.EntryKind));
+    W.member("fingerprint", hexFingerprint(E.Fingerprint));
+    W.member("occurrences", E.Occurrences);
+    W.member("message", E.Message);
+    writeSite(W, "site", E.SiteLabel, E.Line);
+    writeSite(W, "prior_site", E.PriorSiteLabel, E.PriorLine);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("provenance");
+  W.beginObject();
+  W.member("enabled", Result.ProvenanceOn);
+  W.member("threads_tracked", uint64_t(Result.Provenance.threadsTracked()));
+  W.member("locks_tracked", uint64_t(Result.Provenance.locksTracked()));
+  W.member("accesses_observed", Result.Provenance.accessesObserved());
+  W.endObject();
+
+  W.endObject();
+  Out += '\n';
+  return Out;
+}
+
+std::string herd::renderReportSarif(const Program &P,
+                                    const PipelineResult &Result) {
+  std::string Out;
+  JsonWriter W(Out);
+  W.beginObject();
+  W.member("$schema", "https://json.schemastore.org/sarif-2.1.0.json");
+  W.member("version", ReportSarifVersion);
+
+  W.key("runs");
+  W.beginArray();
+  W.beginObject();
+
+  W.key("tool");
+  W.beginObject();
+  W.key("driver");
+  W.beginObject();
+  W.member("name", "herd");
+  W.member("informationUri", "docs/REPORTS.md");
+  W.key("rules");
+  W.beginArray();
+  struct RuleDesc {
+    const char *Id;
+    const char *Text;
+  };
+  static const RuleDesc Rules[] = {
+      {"herd/datarace",
+       "Two threads access the same memory location without a common lock "
+       "and at least one access is a write (lockset detection)."},
+      {"herd/racy-location",
+       "A memory location with two accesses unordered by happens-before, "
+       "at least one a write (epoch detection)."},
+      {"herd/deadlock",
+       "A dynamic lock-order cycle: threads acquired these locks in "
+       "opposite orders during the run."},
+      {"herd/deadlock-candidate",
+       "A static lock-order cycle over allocation sites: a whole-program "
+       "deadlock candidate."},
+  };
+  for (const RuleDesc &R : Rules) {
+    W.beginObject();
+    W.member("id", R.Id);
+    W.key("shortDescription");
+    W.beginObject();
+    W.member("text", R.Text);
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject(); // driver
+  W.endObject(); // tool
+
+  W.key("results");
+  W.beginArray();
+  for (const ReportEntry &E : Result.Entries) {
+    W.beginObject();
+    W.member("ruleId", entryRuleId(E.EntryKind));
+    W.member("level", "warning");
+    W.key("message");
+    W.beginObject();
+    W.member("text", E.Message);
+    W.endObject();
+    W.key("partialFingerprints");
+    W.beginObject();
+    W.member("herdRace/v1", hexFingerprint(E.Fingerprint));
+    W.endObject();
+    W.member("occurrenceCount", E.Occurrences);
+    // Physical locations need both an artifact and a line; workload and
+    // replay runs without line info emit message-only results (valid
+    // SARIF — locations are optional).
+    if (E.Line != 0 && !P.SourceName.empty()) {
+      W.key("locations");
+      W.beginArray();
+      W.beginObject();
+      W.key("physicalLocation");
+      W.beginObject();
+      W.key("artifactLocation");
+      W.beginObject();
+      W.member("uri", P.SourceName);
+      W.endObject();
+      W.key("region");
+      W.beginObject();
+      W.member("startLine", uint64_t(E.Line));
+      W.endObject();
+      W.endObject(); // physicalLocation
+      W.endObject(); // location
+      W.endArray();
+    }
+    W.endObject();
+  }
+  W.endArray();
+
+  W.endObject(); // run
+  W.endArray();  // runs
+  W.endObject();
+  Out += '\n';
+  return Out;
+}

@@ -258,6 +258,22 @@ std::string herd::renderStatsJson(const PipelineResult &Result,
   W.member("bytes", Result.TraceBytes);
   W.endObject();
 
+  // Additive within schema v1: the bounded reporter's dedup/truncation
+  // counters and the provenance capture summary (docs/REPORTS.md).
+  W.key("report");
+  W.beginObject();
+  W.member("entries", uint64_t(Result.Entries.size()));
+  W.member("total_reported", Result.Reports.totalReported());
+  W.member("distinct_fingerprints", uint64_t(Result.Reports.groups().size()));
+  W.member("dropped_records", Result.Reports.droppedRecords());
+  W.member("reporter_capacity", uint64_t(Result.Reports.capacity()));
+  W.member("provenance_enabled", Result.ProvenanceOn);
+  W.member("provenance_threads",
+           uint64_t(Result.Provenance.threadsTracked()));
+  W.member("provenance_locks", uint64_t(Result.Provenance.locksTracked()));
+  W.member("provenance_accesses", Result.Provenance.accessesObserved());
+  W.endObject();
+
   if (Result.EpochBackend) {
     W.key("epoch");
     W.beginObject();

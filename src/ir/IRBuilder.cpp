@@ -63,8 +63,8 @@ BlockId IRBuilder::newBlock() {
   return BlockId(uint32_t(M.Blocks.size() - 1));
 }
 
-void IRBuilder::site(std::string_view Label) {
-  CurSite = P.addSite(Label, CurMethod);
+void IRBuilder::site(std::string_view Label, uint32_t Line) {
+  CurSite = P.addSite(Label, CurMethod, Line);
 }
 
 RegId IRBuilder::newReg() { return RegId(curMethod().NumRegs++); }

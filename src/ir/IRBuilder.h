@@ -78,8 +78,9 @@ public:
   MethodId currentMethod() const { return CurMethod; }
 
   /// Sets the source label attached to subsequently emitted instructions
-  /// (the paper's statement labels such as "T11").
-  void site(std::string_view Label);
+  /// (the paper's statement labels such as "T11").  \p Line is the 1-based
+  /// source line when known (frontend-lowered programs); 0 otherwise.
+  void site(std::string_view Label, uint32_t Line = 0);
 
   RegId newReg();
 

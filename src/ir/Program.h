@@ -92,10 +92,13 @@ struct ClassDecl {
 };
 
 /// A source site: the statement label used when reporting races (the paper's
-/// T01/T11/... labels in Figure 2).
+/// T01/T11/... labels in Figure 2).  Line is the 1-based source line when
+/// the site came from the MiniJ frontend; 0 for synthetic/workload sites,
+/// whose symbolic labels are the only location they have.
 struct SourceSite {
   Symbol Label;
   MethodId InMethod;
+  uint32_t Line = 0;
 };
 
 /// An allocation site: `new C` / `new int[n]`.  Abstract objects of the
@@ -146,9 +149,10 @@ public:
     return Id;
   }
 
-  SiteId addSite(std::string_view Label, MethodId InMethod) {
+  SiteId addSite(std::string_view Label, MethodId InMethod,
+                 uint32_t Line = 0) {
     SiteId Id(uint32_t(Sites.size()));
-    Sites.push_back(SourceSite{Names.intern(Label), InMethod});
+    Sites.push_back(SourceSite{Names.intern(Label), InMethod, Line});
     return Id;
   }
 
@@ -193,6 +197,11 @@ public:
 
   /// The designated entry point; must be a static method with no params.
   MethodId MainMethod;
+
+  /// The source artifact this program came from (a .mj path for frontend
+  /// programs, a workload name otherwise).  Purely diagnostic: report
+  /// renderers use it as the artifact URI; empty means unknown.
+  std::string SourceName;
 
 private:
   std::vector<ClassDecl> Classes;

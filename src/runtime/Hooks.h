@@ -34,12 +34,17 @@ public:
 
   /// A new thread \p Child exists but has not yet been scheduled; \p Parent
   /// executed the ThreadStart.  Invalid Parent denotes the initial (main)
-  /// thread, which has no parent.
+  /// thread, which has no parent.  \p Site is the ThreadStart statement
+  /// (invalid when unknown — the main thread, or traces recorded before
+  /// sites were captured on sync records); detection never depends on it,
+  /// it only feeds diagnostics (docs/REPORTS.md).
   virtual void onThreadCreate(ThreadId Child, ThreadId Parent,
-                              ObjectId ThreadObj) {
+                              ObjectId ThreadObj,
+                              SiteId Site = SiteId::invalid()) {
     (void)Child;
     (void)Parent;
     (void)ThreadObj;
+    (void)Site;
   }
 
   /// Thread \p Dying ran to completion.
@@ -53,11 +58,15 @@ public:
 
   /// \p Thread acquired \p Lock.  \p Recursive is true when the monitor was
   /// already held by the same thread (Java reentrancy); the detector's
-  /// lockset and cache ignore nested acquisitions (Section 4.2).
-  virtual void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive) {
+  /// lockset and cache ignore nested acquisitions (Section 4.2).  \p Site
+  /// is the acquiring statement (invalid when unknown); diagnostics-only,
+  /// like onThreadCreate's.
+  virtual void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive,
+                              SiteId Site = SiteId::invalid()) {
     (void)Thread;
     (void)Lock;
     (void)Recursive;
+    (void)Site;
   }
 
   /// \p Thread executed monitorexit on \p Lock.  \p StillHeld is true when
@@ -104,10 +113,10 @@ public:
   explicit FanoutHooks(std::vector<RuntimeHooks *> List)
       : Sinks(std::move(List)) {}
 
-  void onThreadCreate(ThreadId Child, ThreadId Parent,
-                      ObjectId ThreadObj) override {
+  void onThreadCreate(ThreadId Child, ThreadId Parent, ObjectId ThreadObj,
+                      SiteId Site = SiteId::invalid()) override {
     for (RuntimeHooks *H : Sinks)
-      H->onThreadCreate(Child, Parent, ThreadObj);
+      H->onThreadCreate(Child, Parent, ThreadObj, Site);
   }
   void onThreadExit(ThreadId Dying) override {
     for (RuntimeHooks *H : Sinks)
@@ -117,9 +126,10 @@ public:
     for (RuntimeHooks *H : Sinks)
       H->onThreadJoin(Joiner, Joined);
   }
-  void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive) override {
+  void onMonitorEnter(ThreadId Thread, LockId Lock, bool Recursive,
+                      SiteId Site = SiteId::invalid()) override {
     for (RuntimeHooks *H : Sinks)
-      H->onMonitorEnter(Thread, Lock, Recursive);
+      H->onMonitorEnter(Thread, Lock, Recursive, Site);
   }
   void onMonitorExit(ThreadId Thread, LockId Lock, bool StillHeld) override {
     for (RuntimeHooks *H : Sinks)

@@ -509,7 +509,7 @@ Interpreter::StepResult Interpreter::execMonitorEnter(SimThread &Thread,
     return StepResult::Blocked;
   }
   if (Hooks)
-    Hooks->onMonitorEnter(Thread.Id, Heap::lockOf(Obj), Recursive);
+    Hooks->onMonitorEnter(Thread.Id, Heap::lockOf(Obj), Recursive, I.Site);
   ++F.Ip;
   return StepResult::Continue;
 }
@@ -557,7 +557,7 @@ Interpreter::StepResult Interpreter::execThreadStart(SimThread &Thread,
   ThreadByObject.emplace(Obj, Child->Id);
   ++Result.ThreadsCreated;
   if (Hooks)
-    Hooks->onThreadCreate(Child->Id, Thread.Id, Obj);
+    Hooks->onThreadCreate(Child->Id, Thread.Id, Obj, I.Site);
   Threads.push_back(std::move(Child));
   ++F.Ip;
   return StepResult::Continue;

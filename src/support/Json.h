@@ -94,6 +94,10 @@ public:
     preValue();
     Out += B ? "true" : "false";
   }
+  void null() {
+    preValue();
+    Out += "null";
+  }
   /// Fixed six-decimal formatting with trailing zeros trimmed ("0.125",
   /// "3.0", "0.000001"): stable across platforms, enough resolution for
   /// second-valued timings.

@@ -99,7 +99,8 @@ TEST(CliTest, UsageTextMentionsEveryFlag) {
        {"--config=", "--seed=", "--shards=", "--cache-size=", "--plan=",
         "--sweep=", "--record=", "--replay=", "--detector=", "--deadlocks",
         "--stats", "--trace-json=", "--profile", "--dispatch=",
-        "--hook-filter=", "--dump-ir", "--workload="})
+        "--hook-filter=", "--report=", "--provenance=", "--dump-ir",
+        "--workload="})
     EXPECT_NE(Usage.find(Flag), std::string::npos) << Flag;
 }
 
@@ -142,6 +143,74 @@ TEST(CliTest, HookFilterModes) {
               "herd: --hook-filter expects on or off, got ''");
   expectError(parse({"p.mj", "--hook-filter=ON"}),
               "herd: --hook-filter expects on or off, got 'ON'");
+}
+
+TEST(CliTest, ReportFormats) {
+  // Default is human; all three spellings parse; anything else dies at
+  // parse time with the accepted list, like --detector.
+  EXPECT_EQ(parse({"p.mj"}).Opts.Report, "human");
+  EXPECT_EQ(parse({"p.mj", "--report=human"}).Opts.Report, "human");
+  EXPECT_EQ(parse({"p.mj", "--report=json"}).Opts.Report, "json");
+  EXPECT_EQ(parse({"p.mj", "--report=sarif"}).Opts.Report, "sarif");
+  expectError(parse({"p.mj", "--report=xml"}),
+              "herd: --report expects human, json, or sarif, got 'xml'");
+  expectError(parse({"p.mj", "--report="}),
+              "herd: --report expects human, json, or sarif, got ''");
+  expectError(parse({"p.mj", "--report=JSON"}),
+              "herd: --report expects human, json, or sarif, got 'JSON'");
+}
+
+TEST(CliTest, ReportDocumentOwnsStdout) {
+  // The machine-readable documents own stdout, exactly like --stats=json:
+  // no sweeps, no competing stdout writers, no baseline detectors.
+  expectError(parse({"p.mj", "--report=json", "--sweep=3"}),
+              "herd: --report=json/--report=sarif cannot be combined with "
+              "--sweep");
+  expectError(parse({"p.mj", "--report=sarif", "--stats"}),
+              "herd: --report=json/--report=sarif own stdout and cannot be "
+              "combined with --stats/--profile");
+  expectError(parse({"p.mj", "--report=json", "--stats=json"}),
+              "herd: --report=json/--report=sarif own stdout and cannot be "
+              "combined with --stats/--profile");
+  expectError(parse({"p.mj", "--report=json", "--profile"}),
+              "herd: --report=json/--report=sarif own stdout and cannot be "
+              "combined with --stats/--profile");
+  expectError(parse({"p.mj", "--report=json", "--dump-ir"}),
+              "herd: --report=json/--report=sarif own stdout and cannot be "
+              "combined with --dump-ir");
+  expectError(
+      parse({"p.mj", "--replay=t.trace", "--detector=eraser",
+             "--report=json"}),
+      "herd: --report only applies to the herd and epoch detectors");
+  // The herd and epoch pipelines both export.
+  EXPECT_EQ(parse({"p.mj", "--replay=t.trace", "--report=sarif"}).St,
+            HerdParse::Status::Run);
+  EXPECT_EQ(parse({"p.mj", "--replay=t.trace", "--detector=epoch",
+                   "--report=json"})
+                .St,
+            HerdParse::Status::Run);
+}
+
+TEST(CliTest, ProvenanceModes) {
+  // Default is off (zero-cost-when-off); both spellings parse; anything
+  // else is an error, not a silently different run.
+  EXPECT_FALSE(parse({"p.mj"}).Opts.Config.Provenance);
+  EXPECT_TRUE(parse({"p.mj", "--provenance=on"}).Opts.Config.Provenance);
+  EXPECT_FALSE(parse({"p.mj", "--provenance=off"}).Opts.Config.Provenance);
+  expectError(parse({"p.mj", "--provenance=maybe"}),
+              "herd: --provenance expects on or off, got 'maybe'");
+  expectError(parse({"p.mj", "--provenance="}),
+              "herd: --provenance expects on or off, got ''");
+  expectError(parse({"p.mj", "--provenance=ON"}),
+              "herd: --provenance expects on or off, got 'ON'");
+}
+
+TEST(CliTest, ProvenanceSurvivesPreset) {
+  // An explicit --provenance must survive a later --config preset (which
+  // rebuilds the whole ToolConfig), like --hook-filter/--dispatch.
+  HerdParse P = parse({"p.mj", "--provenance=on", "--config=full"});
+  ASSERT_EQ(P.St, HerdParse::Status::Run) << P.Error;
+  EXPECT_TRUE(P.Opts.Config.Provenance);
 }
 
 TEST(CliTest, HookFilterSurvivesPreset) {

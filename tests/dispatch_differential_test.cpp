@@ -151,8 +151,8 @@ INSTANTIATE_TEST_SUITE_P(Programs, DispatchFuzzTest,
 /// be compared event-for-event (order included).
 class EventLog : public RuntimeHooks {
 public:
-  void onThreadCreate(ThreadId Child, ThreadId Parent,
-                      ObjectId Obj) override {
+  void onThreadCreate(ThreadId Child, ThreadId Parent, ObjectId Obj,
+                      SiteId = SiteId::invalid()) override {
     add("create", Child.index(), Parent.isValid() ? Parent.index() : ~0u,
         Obj.isValid() ? Obj.index() : ~0u);
   }
@@ -162,7 +162,8 @@ public:
   void onThreadJoin(ThreadId Joiner, ThreadId Joined) override {
     add("join", Joiner.index(), Joined.index(), 0);
   }
-  void onMonitorEnter(ThreadId T, LockId L, bool Recursive) override {
+  void onMonitorEnter(ThreadId T, LockId L, bool Recursive,
+                      SiteId = SiteId::invalid()) override {
     add("enter", T.index(), L.index(), Recursive);
   }
   void onMonitorExit(ThreadId T, LockId L, bool StillHeld) override {

@@ -257,7 +257,10 @@ TEST(InterpreterTest, SynchronizedMethodAcquiresThisMonitor) {
 
   struct MonitorCounter : RuntimeHooks {
     int Enters = 0, Exits = 0;
-    void onMonitorEnter(ThreadId, LockId, bool) override { ++Enters; }
+    void onMonitorEnter(ThreadId, LockId, bool,
+                        SiteId = SiteId::invalid()) override {
+      ++Enters;
+    }
     void onMonitorExit(ThreadId, LockId, bool) override { ++Exits; }
   } Hooks;
   InterpResult R = runProgram(P, 1, &Hooks);
@@ -278,7 +281,8 @@ TEST(InterpreterTest, ReentrantMonitorReportsRecursion) {
 
   struct RecHooks : RuntimeHooks {
     std::vector<bool> EnterRecursive, ExitStillHeld;
-    void onMonitorEnter(ThreadId, LockId, bool Recursive) override {
+    void onMonitorEnter(ThreadId, LockId, bool Recursive,
+                        SiteId = SiteId::invalid()) override {
       EnterRecursive.push_back(Recursive);
     }
     void onMonitorExit(ThreadId, LockId, bool StillHeld) override {

@@ -60,7 +60,8 @@ TEST(ReplayTest, ReplayedEventStreamIsIdentical) {
                   SiteId) override {
       Events.emplace_back(T.index(), L.raw(), uint8_t(A));
     }
-    void onMonitorEnter(ThreadId T, LockId L, bool R) override {
+    void onMonitorEnter(ThreadId T, LockId L, bool R,
+                        SiteId = SiteId::invalid()) override {
       Events.emplace_back(T.index(), L.index(), R ? 100 : 101);
     }
   };

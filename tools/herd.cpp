@@ -31,6 +31,7 @@
 #include "frontend/Frontend.h"
 #include "herd/HerdOptions.h"
 #include "herd/Pipeline.h"
+#include "herd/ReportExport.h"
 #include "herd/StatsJson.h"
 #include "ir/Printer.h"
 #include "runtime/InterpProfiler.h"
@@ -287,6 +288,11 @@ int main(int argc, char **argv) {
     }
   }
 
+  // Stamp the source artifact for the report renderers: the .mj path for
+  // frontend programs, the workload name otherwise (docs/REPORTS.md).
+  Compiled.P.SourceName =
+      Opts.WorkloadName.empty() ? Opts.Path : Opts.WorkloadName;
+
   if (Opts.DumpIR) {
     std::printf("%s", printProgram(Compiled.P).c_str());
     return 0;
@@ -310,6 +316,13 @@ int main(int argc, char **argv) {
     bool Clean = R.FormattedRaces.empty() && R.FormattedDeadlocks.empty();
     if (Opts.StatsJson) {
       std::printf("%s", renderStatsJson(R, Metrics, Prof).c_str());
+      return Clean ? 0 : 1;
+    }
+    if (Opts.Report != "human") {
+      // Document-only stdout, like --stats=json: scripts parse this.
+      std::printf("%s", Opts.Report == "sarif"
+                            ? renderReportSarif(Compiled.P, R).c_str()
+                            : renderReportJson(Compiled.P, R).c_str());
       return Clean ? 0 : 1;
     }
     if (Opts.Detector == "epoch")
@@ -374,6 +387,13 @@ int main(int argc, char **argv) {
   if (Opts.StatsJson) {
     // JSON-only stdout: scripts pipe this straight into a parser.
     std::printf("%s", renderStatsJson(R, Metrics, Prof).c_str());
+    return Clean ? 0 : 1;
+  }
+  if (Opts.Report != "human") {
+    // Document-only stdout, like --stats=json: scripts parse this.
+    std::printf("%s", Opts.Report == "sarif"
+                          ? renderReportSarif(Compiled.P, R).c_str()
+                          : renderReportJson(Compiled.P, R).c_str());
     return Clean ? 0 : 1;
   }
   if (!Opts.RecordPath.empty())
